@@ -1,0 +1,60 @@
+//! End-to-end throughput of the executable stack.
+//!
+//! Each iteration pushes one megabyte through a running split stack (TSO on
+//! versus off) to the iperf-like peer.  Absolute numbers are host dependent;
+//! the interesting signal is the TSO-on / TSO-off ratio, mirroring the
+//! Table II rows with and without offloads.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use newt_net::link::LinkConfig;
+use newt_net::peer::IPERF_PORT;
+use newt_stack::builder::{NewtStack, StackConfig};
+
+fn transfer(stack: &NewtStack, socket: &newt_stack::posix::TcpSocket, bytes: usize, already: u64) -> u64 {
+    let chunk = vec![0u8; 64 * 1024];
+    let mut sent = 0usize;
+    while sent < bytes {
+        let n = chunk.len().min(bytes - sent);
+        socket.send_all(&chunk[..n]).expect("send");
+        sent += n;
+    }
+    let target = already + bytes as u64;
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while stack.peer(0).bytes_received_on(IPERF_PORT) < target && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    stack.peer(0).bytes_received_on(IPERF_PORT)
+}
+
+fn bench_stack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stack_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    const MB: usize = 1024 * 1024;
+
+    for (label, tso) in [("split_tso_on_1MiB", true), ("split_tso_off_1MiB", false)] {
+        group.bench_function(label, |b| {
+            let stack = NewtStack::start(
+                StackConfig::newtos().tso(tso).link(LinkConfig::unshaped()).clock_speedup(50.0),
+            );
+            let client = stack.client().with_timeout(Duration::from_secs(30));
+            let socket = client.tcp_socket().expect("socket");
+            socket.connect(StackConfig::peer_addr(0), IPERF_PORT).expect("connect");
+            let mut received = 0u64;
+            b.iter(|| {
+                received = transfer(&stack, &socket, MB, received);
+                criterion::black_box(received);
+            });
+            stack.shutdown();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stack);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablations over the design principles (§III) using the analytic model:
+//! per-message IPC cost, TSO segment size, dedicated versus shared cores,
+//! zero copy versus copying, channels versus kernel IPC.
+
+use newt_bench::header;
+use newt_kernel::cost::CostModel;
+use newt_sim::ablation;
+
+fn main() {
+    header("Ablations over the design principles", "Section III / VIII discussion");
+    let model = CostModel::default();
+
+    println!(
+        "{}",
+        ablation::render(
+            "1. per-message IPC cost (cycles per enqueue/trap)",
+            "cycles",
+            &ablation::ipc_cost_sweep(&model)
+        )
+    );
+    println!(
+        "{}",
+        ablation::render(
+            "2. TSO aggregate segment size (bytes handed to the NIC per segment)",
+            "bytes",
+            &ablation::tso_segment_sweep(&model)
+        )
+    );
+    println!(
+        "{}",
+        ablation::render(
+            "3. core share per server (1.0 = dedicated core)",
+            "core share",
+            &ablation::core_share_sweep(&model)
+        )
+    );
+    println!(
+        "{}",
+        ablation::render(
+            "4. payload copies per segment (0 = zero copy)",
+            "copies",
+            &ablation::copy_sweep(&model)
+        )
+    );
+    println!(
+        "{}",
+        ablation::render(
+            "5. channels (0) versus synchronous kernel IPC (1)",
+            "mechanism",
+            &ablation::ipc_kind_comparison(&model)
+        )
+    );
+}

@@ -1,0 +1,87 @@
+//! Table II — peak performance of outgoing TCP in various setups.
+//!
+//! Two complementary reproductions are printed:
+//!
+//! 1. the **analytic model** of `newt-sim`, calibrated with the paper's cycle
+//!    costs, which reproduces the shape and magnitudes of the table;
+//! 2. a **measured comparison** of the executable stack in three of the
+//!    configurations (synchronous single-core baseline, split stack, split
+//!    stack + TSO) on an unshaped link.  Absolute numbers depend entirely on
+//!    the machine running this binary (the reference host has a single CPU
+//!    core, so "dedicated cores" time-share); the expected observation is the
+//!    *ordering* — the synchronous baseline is slowest and TSO helps.
+
+use std::time::{Duration, Instant};
+
+use newt_bench::{arg_or, header};
+use newt_kernel::cost::CostModel;
+use newt_net::link::LinkConfig;
+use newt_net::peer::IPERF_PORT;
+use newt_sim::table2;
+use newt_stack::builder::{NewtStack, StackConfig, Topology};
+
+fn measured_mbps(config: StackConfig, bytes: usize) -> f64 {
+    let stack = NewtStack::start(config);
+    let client = stack.client().with_timeout(Duration::from_secs(30));
+    let socket = client.tcp_socket().expect("tcp socket");
+    socket.connect(StackConfig::peer_addr(0), IPERF_PORT).expect("connect");
+    let chunk = vec![0u8; 64 * 1024];
+    let start = Instant::now();
+    let mut sent = 0usize;
+    while sent < bytes {
+        let n = chunk.len().min(bytes - sent);
+        socket.send_all(&chunk[..n]).expect("send");
+        sent += n;
+    }
+    // Wait for the peer to have received everything.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while stack.peer(0).bytes_received_on(IPERF_PORT) < bytes as u64 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let elapsed = start.elapsed();
+    let received = stack.peer(0).bytes_received_on(IPERF_PORT);
+    stack.shutdown();
+    received as f64 * 8.0 / elapsed.as_secs_f64() / 1e6
+}
+
+fn main() {
+    header("Table II — peak performance of outgoing TCP", "Table II");
+
+    // Part 1: the analytic model.
+    let rows = table2::run(&CostModel::default());
+    println!("{}", table2::render(&rows));
+
+    // Part 2: measured ordering on this machine.
+    let megabytes = arg_or(1, 8);
+    let bytes = megabytes * 1024 * 1024;
+    println!("Measured on this host (one {}-MiB transfer per configuration, unshaped link):", megabytes);
+    let configs: Vec<(&str, StackConfig)> = vec![
+        (
+            "synchronous single-core baseline (MINIX-3-like)",
+            StackConfig::minix_like().link(LinkConfig::unshaped()).clock_speedup(50.0),
+        ),
+        (
+            "split stack, channels, no TSO",
+            StackConfig::newtos().tso(false).link(LinkConfig::unshaped()).clock_speedup(50.0),
+        ),
+        (
+            "split stack, channels, TSO",
+            StackConfig::newtos().link(LinkConfig::unshaped()).clock_speedup(50.0),
+        ),
+        (
+            "single-server stack, channels, TSO",
+            StackConfig::newtos()
+                .topology(Topology::SingleServer)
+                .link(LinkConfig::unshaped())
+                .clock_speedup(50.0),
+        ),
+    ];
+    println!("{:<50} {:>14}", "configuration", "measured Mbps");
+    for (name, config) in configs {
+        let mbps = measured_mbps(config, bytes);
+        println!("{:<50} {:>14.0}", name, mbps);
+    }
+    println!();
+    println!("note: absolute measured numbers reflect this host, not the paper's testbed;");
+    println!("      the analytic model above carries the paper's magnitudes.");
+}

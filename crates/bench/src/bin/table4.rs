@@ -1,0 +1,31 @@
+//! Table IV — consequences of the injected crashes.
+//!
+//! Runs the same campaign as `table3` (the two tables come from the same 100
+//! runs in the paper) and prints the outcome classification: fully
+//! transparent recoveries, reachability from outside, broken TCP
+//! connections, transparency to UDP and reboots.
+
+use newt_bench::{arg_or, header};
+use newt_faults::campaign::{run_campaign, CampaignConfig};
+
+fn main() {
+    let runs = arg_or(1, 20);
+    header("Table IV — consequences of crashes", "Table IV");
+    println!("running {runs} fault-injection runs (paper: 100) ...");
+    let config = CampaignConfig { runs, ..CampaignConfig::default() };
+    let report = run_campaign(&config);
+
+    println!();
+    println!("{}", report.render_table4());
+    println!(
+        "raw counts over {} runs: transparent {}, reachable {} (+{} after manual restart), \
+         tcp broken {}, udp transparent {}, reboots {}",
+        report.total(),
+        report.fully_transparent(),
+        report.reachable(),
+        report.manually_fixed(),
+        report.tcp_broken(),
+        report.udp_transparent(),
+        report.reboots()
+    );
+}

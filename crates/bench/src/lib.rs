@@ -1,0 +1,34 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation; this library only hosts the small amount of code they share.
+
+#![warn(missing_docs)]
+
+/// Returns the first CLI argument parsed as a number, or `default`.
+///
+/// Used by the fault-injection binaries to pick the number of runs
+/// (`cargo run -p newt-bench --bin table3 -- 100`).
+pub fn arg_or(index: usize, default: usize) -> usize {
+    std::env::args()
+        .nth(index)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Prints a standard experiment header.
+pub fn header(title: &str, paper_reference: &str) {
+    println!("==============================================================");
+    println!("{title}");
+    println!("(reproduces {paper_reference} of Hruby et al., DSN 2012)");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn arg_or_falls_back_to_default() {
+        // The test binary's argv does not contain a number at index 40.
+        assert_eq!(super::arg_or(40, 7), 7);
+    }
+}

@@ -1,0 +1,211 @@
+//! Endpoint identifiers for servers and drivers.
+//!
+//! Every operating-system component (server, driver, application process) in
+//! the multiserver design is addressed by an [`Endpoint`].  Endpoints are
+//! stable across restarts of a component: when the reincarnation server
+//! restarts a crashed server, the new incarnation keeps the endpoint but is
+//! given a fresh [`Generation`], so that peers can tell stale messages and
+//! stale shared-memory exports apart from current ones.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one operating-system component (a server, driver or process).
+///
+/// An endpoint is a small copyable token.  The numeric value is assigned by
+/// whoever creates the component (usually [`EndpointAllocator`]) and carries
+/// no meaning besides identity.
+///
+/// # Examples
+///
+/// ```
+/// use newt_channels::endpoint::EndpointAllocator;
+///
+/// let mut alloc = EndpointAllocator::new();
+/// let ip = alloc.allocate("ip");
+/// let tcp = alloc.allocate("tcp");
+/// assert_ne!(ip, tcp);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Endpoint(u32);
+
+impl Endpoint {
+    /// Creates an endpoint from a raw number.
+    ///
+    /// Intended for well-known, statically assigned endpoints (for example
+    /// the reincarnation server); dynamically created components should use
+    /// an [`EndpointAllocator`].
+    pub const fn from_raw(raw: u32) -> Self {
+        Endpoint(raw)
+    }
+
+    /// Returns the raw numeric value of the endpoint.
+    pub const fn as_raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Endpoint({})", self.0)
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep:{}", self.0)
+    }
+}
+
+/// Restart generation of a component.
+///
+/// Incremented every time the reincarnation server restarts the component.
+/// Shared-memory exports, published channels and rich pointers are tagged
+/// with the generation of their creator so that consumers can detect stale
+/// resources after a crash.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Generation(u32);
+
+impl Generation {
+    /// The generation of a component that has never been restarted.
+    pub const FIRST: Generation = Generation(0);
+
+    /// Creates a generation from a raw counter value.
+    pub const fn from_raw(raw: u32) -> Self {
+        Generation(raw)
+    }
+
+    /// Returns the raw counter value.
+    pub const fn as_raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the generation following this one.
+    #[must_use]
+    pub const fn next(self) -> Generation {
+        Generation(self.0 + 1)
+    }
+
+    /// Returns `true` if `self` is an older incarnation than `other`.
+    pub const fn is_stale_relative_to(self, other: Generation) -> bool {
+        self.0 < other.0
+    }
+}
+
+impl fmt::Display for Generation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gen:{}", self.0)
+    }
+}
+
+/// Hands out unique endpoints, remembering a human-readable name per endpoint.
+///
+/// # Examples
+///
+/// ```
+/// use newt_channels::endpoint::EndpointAllocator;
+///
+/// let mut alloc = EndpointAllocator::new();
+/// let drv = alloc.allocate("e1000.0");
+/// assert_eq!(alloc.name(drv), Some("e1000.0"));
+/// ```
+#[derive(Debug, Default)]
+pub struct EndpointAllocator {
+    next: u32,
+    names: Vec<(Endpoint, String)>,
+}
+
+impl EndpointAllocator {
+    /// Creates an empty allocator.  The first allocated endpoint is `ep:1`;
+    /// `ep:0` is reserved for "kernel"/invalid uses by convention.
+    pub fn new() -> Self {
+        EndpointAllocator { next: 1, names: Vec::new() }
+    }
+
+    /// Allocates a fresh endpoint and associates `name` with it.
+    pub fn allocate(&mut self, name: &str) -> Endpoint {
+        let ep = Endpoint(self.next);
+        self.next += 1;
+        self.names.push((ep, name.to_string()));
+        ep
+    }
+
+    /// Returns the name the endpoint was allocated under, if any.
+    pub fn name(&self, ep: Endpoint) -> Option<&str> {
+        self.names
+            .iter()
+            .find(|(e, _)| *e == ep)
+            .map(|(_, n)| n.as_str())
+    }
+
+    /// Returns the number of endpoints allocated so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no endpoint has been allocated yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(endpoint, name)` pairs in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = (Endpoint, &str)> {
+        self.names.iter().map(|(e, n)| (*e, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_are_unique_and_named() {
+        let mut alloc = EndpointAllocator::new();
+        let a = alloc.allocate("ip");
+        let b = alloc.allocate("tcp");
+        let c = alloc.allocate("udp");
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(alloc.name(a), Some("ip"));
+        assert_eq!(alloc.name(c), Some("udp"));
+        assert_eq!(alloc.len(), 3);
+        assert!(!alloc.is_empty());
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let ep = Endpoint::from_raw(42);
+        assert_eq!(ep.as_raw(), 42);
+        assert_eq!(format!("{ep}"), "ep:42");
+        assert_eq!(format!("{ep:?}"), "Endpoint(42)");
+    }
+
+    #[test]
+    fn generation_ordering() {
+        let g0 = Generation::FIRST;
+        let g1 = g0.next();
+        let g2 = g1.next();
+        assert!(g0.is_stale_relative_to(g1));
+        assert!(g1.is_stale_relative_to(g2));
+        assert!(!g2.is_stale_relative_to(g2));
+        assert!(!g2.is_stale_relative_to(g0));
+        assert_eq!(g2.as_raw(), 2);
+    }
+
+    #[test]
+    fn allocator_iterates_in_order() {
+        let mut alloc = EndpointAllocator::new();
+        alloc.allocate("a");
+        alloc.allocate("b");
+        let names: Vec<&str> = alloc.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn endpoint_zero_is_reserved() {
+        let mut alloc = EndpointAllocator::new();
+        let first = alloc.allocate("first");
+        assert_ne!(first.as_raw(), 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! The request database.
+//!
+//! The servers are single-threaded and asynchronous, so they must remember
+//! which requests they submitted on which channels and what data was
+//! associated with each request (paper §IV, "Database of requests").  When a
+//! reply arrives it is matched back to the pending request by its unique
+//! identifier; when a neighbouring server crashes, every request addressed to
+//! it is *aborted* and the per-request abort policy tells the owner what to
+//! do (drop, resubmit, propagate an error, ...).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::endpoint::Endpoint;
+
+/// Unique identifier of an in-flight request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// Returns the raw numeric value.
+    pub const fn as_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Creates a request id from a raw value (mainly for tests and
+    /// serialisation).
+    pub const fn from_raw(raw: u64) -> Self {
+        RequestId(raw)
+    }
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req:{}", self.0)
+    }
+}
+
+/// What to do with a request when the destination server crashes before
+/// completing it.
+///
+/// Abort actions are application specific (paper §IV-D): a storage stack
+/// propagates errors upwards, a network stack usually prefers to resubmit or
+/// drop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbortPolicy {
+    /// Forget the request; for the network stack this usually means the
+    /// packet is dropped and the protocol recovers.
+    Drop,
+    /// Resubmit the request to the restarted server (possibly generating a
+    /// duplicate, which the paper prefers over losing data).
+    Resubmit,
+    /// Return an error to whoever originated the request.
+    Fail,
+}
+
+/// A request that was aborted because its destination crashed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbortedRequest<R> {
+    /// The identifier the request had.
+    pub id: RequestId,
+    /// The destination it was sent to.
+    pub to: Endpoint,
+    /// The policy registered when the request was submitted.
+    pub policy: AbortPolicy,
+    /// The request context stored at submission time.
+    pub context: R,
+}
+
+#[derive(Debug)]
+struct Pending<R> {
+    to: Endpoint,
+    policy: AbortPolicy,
+    context: R,
+}
+
+/// Tracks in-flight requests and their abort policies.
+///
+/// The database is owned by a single (single-threaded) server, so it needs no
+/// internal synchronisation.
+///
+/// # Examples
+///
+/// ```
+/// use newt_channels::endpoint::Endpoint;
+/// use newt_channels::reqdb::{AbortPolicy, RequestDb};
+///
+/// let ip = Endpoint::from_raw(3);
+/// let mut db: RequestDb<&'static str> = RequestDb::new();
+/// let id = db.submit(ip, AbortPolicy::Resubmit, "segment #1");
+/// assert_eq!(db.pending_to(ip), 1);
+/// let ctx = db.complete(id).unwrap();
+/// assert_eq!(ctx, "segment #1");
+/// ```
+#[derive(Debug)]
+pub struct RequestDb<R> {
+    next_id: u64,
+    pending: BTreeMap<RequestId, Pending<R>>,
+}
+
+impl<R> Default for RequestDb<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<R> RequestDb<R> {
+    /// Creates an empty request database.
+    pub fn new() -> Self {
+        RequestDb { next_id: 1, pending: BTreeMap::new() }
+    }
+
+    /// Records a new request addressed to `to`, returning its unique id.
+    pub fn submit(&mut self, to: Endpoint, policy: AbortPolicy, context: R) -> RequestId {
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.pending.insert(id, Pending { to, policy, context });
+        id
+    }
+
+    /// Completes a request, removing it from the database and returning its
+    /// context.  Returns `None` when the id is unknown — this is how a server
+    /// ignores replies to requests that were already aborted (the paper's
+    /// "generate new identifiers so that we can ignore replies to the
+    /// original requests").
+    pub fn complete(&mut self, id: RequestId) -> Option<R> {
+        self.pending.remove(&id).map(|p| p.context)
+    }
+
+    /// Returns `true` if `id` refers to a request that is still pending.
+    pub fn contains(&self, id: RequestId) -> bool {
+        self.pending.contains_key(&id)
+    }
+
+    /// Returns a reference to a pending request's context.
+    pub fn get(&self, id: RequestId) -> Option<&R> {
+        self.pending.get(&id).map(|p| &p.context)
+    }
+
+    /// Returns a mutable reference to a pending request's context.
+    pub fn get_mut(&mut self, id: RequestId) -> Option<&mut R> {
+        self.pending.get_mut(&id).map(|p| &mut p.context)
+    }
+
+    /// Returns the destination of a pending request.
+    pub fn destination(&self, id: RequestId) -> Option<Endpoint> {
+        self.pending.get(&id).map(|p| p.to)
+    }
+
+    /// Returns the number of requests pending to `to`.
+    pub fn pending_to(&self, to: Endpoint) -> usize {
+        self.pending.values().filter(|p| p.to == to).count()
+    }
+
+    /// Returns the total number of pending requests.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns `true` if no request is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Aborts every request addressed to `to` (because it crashed) and
+    /// returns them, in submission order, together with their abort
+    /// policies.  The caller executes the associated abort actions.
+    pub fn abort_all_to(&mut self, to: Endpoint) -> Vec<AbortedRequest<R>> {
+        let ids: Vec<RequestId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.to == to)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.into_iter()
+            .map(|id| {
+                let p = self.pending.remove(&id).expect("id collected above");
+                AbortedRequest { id, to: p.to, policy: p.policy, context: p.context }
+            })
+            .collect()
+    }
+
+    /// Aborts *every* pending request (used when the owning server itself is
+    /// shutting down gracefully for a live update).
+    pub fn abort_all(&mut self) -> Vec<AbortedRequest<R>> {
+        let ids: Vec<RequestId> = self.pending.keys().copied().collect();
+        ids.into_iter()
+            .map(|id| {
+                let p = self.pending.remove(&id).expect("id collected above");
+                AbortedRequest { id, to: p.to, policy: p.policy, context: p.context }
+            })
+            .collect()
+    }
+
+    /// Iterates over pending request ids in submission order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = RequestId> + '_ {
+        self.pending.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(n: u32) -> Endpoint {
+        Endpoint::from_raw(n)
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let mut db: RequestDb<()> = RequestDb::new();
+        let a = db.submit(ep(1), AbortPolicy::Drop, ());
+        let b = db.submit(ep(1), AbortPolicy::Drop, ());
+        let c = db.submit(ep(2), AbortPolicy::Drop, ());
+        assert!(a < b && b < c);
+        assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn complete_removes_and_returns_context() {
+        let mut db = RequestDb::new();
+        let id = db.submit(ep(1), AbortPolicy::Fail, "ctx".to_string());
+        assert!(db.contains(id));
+        assert_eq!(db.complete(id).unwrap(), "ctx");
+        assert!(!db.contains(id));
+        // Completing twice (a late duplicate reply) is harmless.
+        assert!(db.complete(id).is_none());
+    }
+
+    #[test]
+    fn abort_all_to_only_affects_one_destination() {
+        let mut db = RequestDb::new();
+        let to_ip = ep(3);
+        let to_drv = ep(4);
+        db.submit(to_ip, AbortPolicy::Resubmit, 1u32);
+        db.submit(to_drv, AbortPolicy::Drop, 2u32);
+        db.submit(to_ip, AbortPolicy::Resubmit, 3u32);
+
+        let aborted = db.abort_all_to(to_ip);
+        assert_eq!(aborted.len(), 2);
+        assert!(aborted.iter().all(|a| a.to == to_ip));
+        assert!(aborted.iter().all(|a| a.policy == AbortPolicy::Resubmit));
+        assert_eq!(aborted[0].context, 1);
+        assert_eq!(aborted[1].context, 3);
+        // Requests to the driver remain pending.
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.pending_to(to_drv), 1);
+    }
+
+    #[test]
+    fn abort_all_drains_everything() {
+        let mut db = RequestDb::new();
+        for i in 0..5 {
+            db.submit(ep(i % 2), AbortPolicy::Drop, i);
+        }
+        let aborted = db.abort_all();
+        assert_eq!(aborted.len(), 5);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn get_and_get_mut_access_context() {
+        let mut db = RequestDb::new();
+        let id = db.submit(ep(1), AbortPolicy::Drop, vec![1u8, 2, 3]);
+        assert_eq!(db.get(id).unwrap(), &vec![1, 2, 3]);
+        db.get_mut(id).unwrap().push(4);
+        assert_eq!(db.get(id).unwrap().len(), 4);
+        assert_eq!(db.destination(id), Some(ep(1)));
+    }
+
+    #[test]
+    fn replies_to_aborted_requests_are_ignored() {
+        // The scenario of §V-D: after a crash we resubmit with *new* ids and
+        // ignore replies carrying the old ids.
+        let mut db = RequestDb::new();
+        let dest = ep(7);
+        let old = db.submit(dest, AbortPolicy::Resubmit, "pkt");
+        let aborted = db.abort_all_to(dest);
+        // Resubmit under a fresh id.
+        let new = db.submit(dest, AbortPolicy::Resubmit, aborted[0].context);
+        assert_ne!(old, new);
+        // A late reply to the old id finds nothing.
+        assert!(db.complete(old).is_none());
+        // The reply to the new id completes normally.
+        assert_eq!(db.complete(new).unwrap(), "pkt");
+    }
+
+    #[test]
+    fn iter_ids_in_submission_order() {
+        let mut db: RequestDb<u8> = RequestDb::new();
+        let ids: Vec<RequestId> = (0..4).map(|i| db.submit(ep(1), AbortPolicy::Drop, i)).collect();
+        let listed: Vec<RequestId> = db.iter_ids().collect();
+        assert_eq!(ids, listed);
+    }
+}

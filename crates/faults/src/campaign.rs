@@ -1,0 +1,438 @@
+//! The SWIFI-style fault-injection campaign (paper §VI-B, Tables III & IV).
+//!
+//! Each run boots a full split stack, starts the workload the paper used —
+//! an interactive TCP session (the SSH stand-in) and periodic DNS queries
+//! over UDP — injects one fault into a randomly selected component, waits for
+//! the reincarnation server to recover it, and then classifies the outcome:
+//!
+//! * was the crash fully transparent (the existing TCP session and the UDP
+//!   socket kept working without any manual action)?
+//! * is the machine still reachable from outside (a new TCP connection can
+//!   be opened), possibly after a manual component restart?
+//! * did the crash break established TCP connections?
+//! * was UDP unaffected?
+//! * was a full reboot of the stack necessary?
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use newt_kernel::rs::FaultAction;
+use newt_net::link::LinkConfig;
+use newt_net::peer::{DNS_PORT, SSH_PORT};
+use newt_stack::builder::{NewtStack, StackConfig};
+use newt_stack::endpoints::Component;
+
+/// Which fault is injected (the paper's tool injects code mutations; the
+/// observable effects are crashes and hangs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The component panics.
+    Crash,
+    /// The component stops making progress until the watchdog reaps it.
+    Hang,
+}
+
+/// Configuration of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of fault-injection runs.
+    pub runs: usize,
+    /// RNG seed (runs are reproducible for a given seed).
+    pub seed: u64,
+    /// Virtual-clock speed-up used for each run.
+    pub clock_speedup: f64,
+    /// Fraction of faults that manifest as hangs rather than crashes.
+    pub hang_fraction: f64,
+    /// Per-component selection weights `(component, weight)`; defaults to
+    /// the distribution of Table III.
+    pub weights: Vec<(Component, u32)>,
+    /// Real-time budget for each recovery wait.
+    pub recovery_timeout: Duration,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            runs: 100,
+            seed: 0x2012_d5ef,
+            clock_speedup: 60.0,
+            hang_fraction: 0.12,
+            weights: vec![
+                (Component::Tcp, 25),
+                (Component::Udp, 10),
+                (Component::Ip, 24),
+                (Component::PacketFilter, 25),
+                (Component::Driver(0), 16),
+            ],
+            recovery_timeout: Duration::from_secs(20),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A small campaign suitable for unit tests and quick smoke runs.
+    pub fn quick(runs: usize) -> Self {
+        CampaignConfig { runs, ..Self::default() }
+    }
+}
+
+/// Outcome of a single fault-injection run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// The component the fault was injected into.
+    pub target: Component,
+    /// The kind of fault injected.
+    pub kind: FaultKind,
+    /// The crash was detected and the component restarted automatically.
+    pub recovered_automatically: bool,
+    /// The interactive TCP session survived the fault.
+    pub tcp_session_survived: bool,
+    /// A new TCP connection could be established afterwards.
+    pub reachable: bool,
+    /// The reachability required a manual component restart first.
+    pub manually_fixed: bool,
+    /// The UDP socket kept working across the fault.
+    pub udp_transparent: bool,
+    /// Only a full stack reboot would have restored service.
+    pub reboot_needed: bool,
+}
+
+/// Aggregate results of a campaign: Table III (fault distribution) and
+/// Table IV (consequences).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Individual run outcomes.
+    pub runs: Vec<RunOutcome>,
+}
+
+impl CampaignReport {
+    /// Total number of runs.
+    pub fn total(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of faults injected into `component` (a Table III cell).
+    pub fn injected_into(&self, component: Component) -> usize {
+        self.runs.iter().filter(|r| r.target == component).count()
+    }
+
+    /// Runs where recovery was fully transparent (Table IV row 1).
+    pub fn fully_transparent(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| {
+                r.recovered_automatically
+                    && r.tcp_session_survived
+                    && r.udp_transparent
+                    && !r.manually_fixed
+                    && !r.reboot_needed
+            })
+            .count()
+    }
+
+    /// Runs after which the host was reachable from outside (Table IV row 2),
+    /// excluding those that needed a manual fix.
+    pub fn reachable(&self) -> usize {
+        self.runs.iter().filter(|r| r.reachable && !r.manually_fixed).count()
+    }
+
+    /// Runs that were only reachable after a manual component restart.
+    pub fn manually_fixed(&self) -> usize {
+        self.runs.iter().filter(|r| r.reachable && r.manually_fixed).count()
+    }
+
+    /// Runs in which established TCP connections broke (Table IV row 3).
+    pub fn tcp_broken(&self) -> usize {
+        self.runs.iter().filter(|r| !r.tcp_session_survived).count()
+    }
+
+    /// Runs transparent to UDP (Table IV row 4).
+    pub fn udp_transparent(&self) -> usize {
+        self.runs.iter().filter(|r| r.udp_transparent).count()
+    }
+
+    /// Runs that required a reboot (Table IV row 5).
+    pub fn reboots(&self) -> usize {
+        self.runs.iter().filter(|r| r.reboot_needed).count()
+    }
+
+    /// Renders Table III (distribution of crashes over the components).
+    pub fn render_table3(&self) -> String {
+        let components = [
+            ("TCP", Component::Tcp),
+            ("UDP", Component::Udp),
+            ("IP", Component::Ip),
+            ("PF", Component::PacketFilter),
+            ("Driver", Component::Driver(0)),
+        ];
+        let mut out = String::from("Table III — distribution of injected faults\n");
+        out.push_str(&format!("{:<10} {:>6}\n", "component", "count"));
+        out.push_str(&format!("{:<10} {:>6}\n", "Total", self.total()));
+        for (label, component) in components {
+            out.push_str(&format!("{:<10} {:>6}\n", label, self.injected_into(component)));
+        }
+        out
+    }
+
+    /// Renders Table IV (consequences of the crashes), paper values alongside.
+    pub fn render_table4(&self) -> String {
+        let total = self.total().max(1) as f64;
+        let scale = 100.0 / total;
+        let mut out = String::from("Table IV — consequences of crashes (normalised to 100 runs)\n");
+        out.push_str(&format!("{:<38} {:>9} {:>9}\n", "outcome", "paper", "measured"));
+        let rows = [
+            ("Fully transparent crashes", 70.0, self.fully_transparent() as f64 * scale),
+            ("Reachable from outside", 90.0, self.reachable() as f64 * scale),
+            ("  (additionally after manual fix)", 6.0, self.manually_fixed() as f64 * scale),
+            ("Crash broke TCP connections", 30.0, self.tcp_broken() as f64 * scale),
+            ("Transparent to UDP", 95.0, self.udp_transparent() as f64 * scale),
+            ("Reboot necessary", 3.0, self.reboots() as f64 * scale),
+        ];
+        for (label, paper, measured) in rows {
+            out.push_str(&format!("{:<38} {:>9.0} {:>9.0}\n", label, paper, measured));
+        }
+        out
+    }
+}
+
+/// Runs a full campaign.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut report = CampaignReport::default();
+    for _ in 0..config.runs {
+        let target = pick_target(&config.weights, &mut rng);
+        let kind = if rng.gen::<f64>() < config.hang_fraction { FaultKind::Hang } else { FaultKind::Crash };
+        let outcome = run_one(config, target, kind);
+        report.runs.push(outcome);
+    }
+    report
+}
+
+fn pick_target(weights: &[(Component, u32)], rng: &mut StdRng) -> Component {
+    let total: u32 = weights.iter().map(|(_, w)| *w).sum();
+    let mut pick = rng.gen_range(0..total.max(1));
+    for (component, weight) in weights {
+        if pick < *weight {
+            return *component;
+        }
+        pick -= weight;
+    }
+    weights.last().map(|(c, _)| *c).unwrap_or(Component::Ip)
+}
+
+/// Runs a single fault-injection experiment against a freshly booted stack.
+pub fn run_one(config: &CampaignConfig, target: Component, kind: FaultKind) -> RunOutcome {
+    let stack_config = StackConfig::newtos()
+        .link(LinkConfig::unshaped())
+        .clock_speedup(config.clock_speedup);
+    // Hang detection relies on the heartbeat watchdog; use a timeout short
+    // enough (in virtual time) that reaping happens promptly at this
+    // speed-up without risking spurious reaps of healthy services.
+    let stack_config = StackConfig {
+        heartbeat_timeout: Duration::from_secs(20),
+        ..stack_config
+    };
+    let stack = NewtStack::start(stack_config);
+    let peer_addr = StackConfig::peer_addr(0);
+    let client = stack.client().with_timeout(Duration::from_secs(8));
+
+    // Workload: an interactive SSH-like session plus a DNS resolver socket.
+    let ssh = client.tcp_socket().ok();
+    let mut tcp_ok_before = false;
+    if let Some(ssh) = &ssh {
+        if ssh.connect(peer_addr, SSH_PORT).is_ok() {
+            tcp_ok_before = ssh_exchange(ssh, b"uname -a\n");
+        }
+    }
+    let dns = client.udp_socket().ok();
+    let mut udp_ok_before = false;
+    if let Some(dns) = &dns {
+        let _ = dns.bind(0);
+        udp_ok_before = dns_query(dns, peer_addr, b"newtos.example");
+    }
+
+    // Inject the fault.
+    let action = match kind {
+        FaultKind::Crash => FaultAction::Crash,
+        FaultKind::Hang => FaultAction::Hang,
+    };
+    let restarts_before = stack.restart_count(target);
+    stack.inject_fault(target, action);
+
+    // Wait for the fault to take effect (the component crashes on its next
+    // fault check) and for the reincarnation server to restart it.
+    let crash_deadline = std::time::Instant::now() + config.recovery_timeout;
+    while stack.restart_count(target) == restarts_before
+        && std::time::Instant::now() < crash_deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let recovered_automatically = stack.restart_count(target) > restarts_before
+        && stack.wait_component_running(target, config.recovery_timeout);
+    // Let recovery propagate (re-attachments, ARP, connection resync).
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Did the existing TCP session survive?
+    let tcp_session_survived = tcp_ok_before
+        && ssh.as_ref().map(|s| ssh_exchange(s, b"echo still-alive\n")).unwrap_or(false);
+
+    // Is the machine reachable from outside (new connection)?
+    let mut manually_fixed = false;
+    let mut reachable = can_connect(&client, peer_addr);
+    if !reachable {
+        // Manual intervention: restart the faulty component explicitly, as
+        // the paper's authors did for a handful of runs.
+        stack.live_update(target);
+        stack.wait_component_running(target, config.recovery_timeout);
+        std::thread::sleep(Duration::from_millis(150));
+        reachable = can_connect(&client, peer_addr);
+        manually_fixed = reachable;
+    }
+    let reboot_needed = !reachable;
+
+    // Is UDP still transparent on the *existing* socket?
+    let udp_transparent = udp_ok_before
+        && dns.as_ref().map(|s| dns_query(s, peer_addr, b"after-fault")).unwrap_or(false);
+
+    stack.shutdown();
+    RunOutcome {
+        target,
+        kind,
+        recovered_automatically,
+        tcp_session_survived,
+        reachable,
+        manually_fixed,
+        udp_transparent,
+        reboot_needed,
+    }
+}
+
+fn ssh_exchange(socket: &newt_stack::posix::TcpSocket, line: &[u8]) -> bool {
+    if socket.send_all(line).is_err() {
+        return false;
+    }
+    let mut buf = vec![0u8; line.len()];
+    socket.recv_exact(&mut buf).is_ok() && buf == line
+}
+
+fn dns_query(socket: &newt_stack::posix::UdpSocket, peer: std::net::Ipv4Addr, name: &[u8]) -> bool {
+    if socket.send_to(name, peer, DNS_PORT).is_err() {
+        return false;
+    }
+    match socket.recv_from() {
+        Ok((payload, _, _)) => payload.starts_with(b"answer:"),
+        Err(_) => false,
+    }
+}
+
+fn can_connect(client: &newt_stack::posix::NetClient, peer: std::net::Ipv4Addr) -> bool {
+    match client.tcp_socket() {
+        Ok(socket) => {
+            let ok = socket.connect(peer, SSH_PORT).is_ok() && ssh_exchange(&socket, b"probe\n");
+            let _ = socket.close();
+            ok
+        }
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_target_distribution_covers_all_components() {
+        let config = CampaignConfig::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..2000 {
+            *counts.entry(pick_target(&config.weights, &mut rng)).or_insert(0usize) += 1;
+        }
+        // Every component is picked, roughly according to its weight.
+        assert!(counts[&Component::Tcp] > counts[&Component::Udp]);
+        assert!(counts[&Component::PacketFilter] > counts[&Component::Driver(0)]);
+        assert_eq!(counts.len(), 5);
+    }
+
+    #[test]
+    fn report_classification_logic() {
+        let mut report = CampaignReport::default();
+        report.runs.push(RunOutcome {
+            target: Component::PacketFilter,
+            kind: FaultKind::Crash,
+            recovered_automatically: true,
+            tcp_session_survived: true,
+            reachable: true,
+            manually_fixed: false,
+            udp_transparent: true,
+            reboot_needed: false,
+        });
+        report.runs.push(RunOutcome {
+            target: Component::Tcp,
+            kind: FaultKind::Crash,
+            recovered_automatically: true,
+            tcp_session_survived: false,
+            reachable: true,
+            manually_fixed: false,
+            udp_transparent: true,
+            reboot_needed: false,
+        });
+        report.runs.push(RunOutcome {
+            target: Component::Ip,
+            kind: FaultKind::Hang,
+            recovered_automatically: false,
+            tcp_session_survived: false,
+            reachable: false,
+            manually_fixed: false,
+            udp_transparent: false,
+            reboot_needed: true,
+        });
+        assert_eq!(report.total(), 3);
+        assert_eq!(report.fully_transparent(), 1);
+        assert_eq!(report.reachable(), 2);
+        assert_eq!(report.tcp_broken(), 2);
+        assert_eq!(report.udp_transparent(), 2);
+        assert_eq!(report.reboots(), 1);
+        assert_eq!(report.injected_into(Component::Tcp), 1);
+        let t3 = report.render_table3();
+        assert!(t3.contains("Total"));
+        let t4 = report.render_table4();
+        assert!(t4.contains("Reboot necessary"));
+    }
+
+    #[test]
+    fn pf_crash_run_is_fully_transparent() {
+        let config = CampaignConfig { clock_speedup: 50.0, ..CampaignConfig::quick(1) };
+        let outcome = run_one(&config, Component::PacketFilter, FaultKind::Crash);
+        assert!(outcome.recovered_automatically, "pf was not restarted: {outcome:?}");
+        assert!(outcome.tcp_session_survived, "ssh session should survive a pf crash: {outcome:?}");
+        assert!(outcome.udp_transparent, "udp should survive a pf crash: {outcome:?}");
+        assert!(outcome.reachable);
+        assert!(!outcome.reboot_needed);
+    }
+
+    #[test]
+    fn tcp_crash_breaks_connections_but_machine_stays_reachable() {
+        let config = CampaignConfig { clock_speedup: 50.0, ..CampaignConfig::quick(1) };
+        let outcome = run_one(&config, Component::Tcp, FaultKind::Crash);
+        assert!(outcome.recovered_automatically, "tcp was not restarted: {outcome:?}");
+        assert!(!outcome.tcp_session_survived, "established connections are lost on a tcp crash");
+        assert!(outcome.reachable, "new connections must be possible after the restart: {outcome:?}");
+        assert!(outcome.udp_transparent, "udp is unaffected by a tcp crash");
+        assert!(!outcome.reboot_needed);
+    }
+
+    #[test]
+    fn small_campaign_produces_consistent_report() {
+        let config = CampaignConfig { clock_speedup: 60.0, ..CampaignConfig::quick(3) };
+        let report = run_campaign(&config);
+        assert_eq!(report.total(), 3);
+        // Internal consistency: counters never exceed the number of runs.
+        assert!(report.fully_transparent() <= report.total());
+        assert!(report.udp_transparent() <= report.total());
+        assert!(report.reachable() + report.manually_fixed() <= report.total());
+    }
+}

@@ -1,0 +1,24 @@
+//! SWIFI-style fault injection against the NewtOS networking stack.
+//!
+//! The paper evaluates dependability by injecting 100 random faults into the
+//! running stack while a TCP session and periodic DNS queries exercise it
+//! (§VI-B), and by tracing the bitrate of a bulk transfer across crashes of
+//! the IP server and the packet filter (§VI-C).  This crate reproduces both:
+//!
+//! * [`campaign`] — the Table III / Table IV experiment: weighted random
+//!   target selection, crash and hang faults, automatic recovery,
+//!   reachability and transparency classification;
+//! * [`figures`] — the Figure 4 / Figure 5 experiments: bitrate-versus-time
+//!   traces of a transfer across IP and packet-filter crashes.
+//!
+//! Both are driven through the public [`NewtStack`](newt_stack::builder::NewtStack)
+//! API, exactly as an external test harness would drive the real system.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod campaign;
+pub mod figures;
+
+pub use campaign::{run_campaign, run_one, CampaignConfig, CampaignReport, FaultKind, RunOutcome};
+pub use figures::{run_trace_experiment, TraceExperimentConfig, TraceExperimentResult};

@@ -1,0 +1,197 @@
+//! The cycle-cost model.
+//!
+//! The paper motivates its design with concrete costs measured on the test
+//! machine (a 12-core 1.9 GHz AMD Opteron 6168):
+//!
+//! * a void Linux `SYSCALL` with hot caches: **≈150 cycles**;
+//! * the same call with cold caches: **≈3000 cycles**;
+//! * asynchronously enqueueing a message on a channel between two processes
+//!   on different cores while the receiver keeps consuming: **≈30 cycles**;
+//! * kernel IPC to an idle core additionally needs an **inter-processor
+//!   interrupt**;
+//! * kernel IPC on a shared core additionally pays a **context switch**.
+//!
+//! [`CostModel`] packages those numbers so that both the analytic simulator
+//! (`newt-sim`) and the executable kernel-IPC substrate ([`crate::ipc`]) can
+//! charge them consistently.  [`CycleAccount`] accumulates charged cycles per
+//! actor, and can convert them back to seconds at the modelled CPU frequency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Cycle costs of the primitive operations of the communication substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// CPU clock frequency in GHz (cycles per nanosecond).
+    pub cpu_ghz: f64,
+    /// Cycles for a kernel trap with hot caches (the paper's ~150).
+    pub trap_hot: u64,
+    /// Cycles for a kernel trap with cold caches (the paper's ~3000).
+    pub trap_cold: u64,
+    /// Cycles to enqueue a message on a user-space channel (the paper's ~30).
+    pub channel_enqueue: u64,
+    /// Cycles for a context switch between two processes sharing a core.
+    pub context_switch: u64,
+    /// Cycles charged for sending and handling an inter-processor interrupt.
+    pub ipi: u64,
+    /// Cycles per byte for copying payload data (avoided by zero-copy).
+    pub copy_per_byte: f64,
+    /// Cycles of per-packet protocol work in one server (header building,
+    /// checksum bookkeeping, socket lookup, ...).
+    pub per_packet_work: u64,
+    /// Fraction of kernel traps that run with cold caches in steady state.
+    pub cold_trap_fraction: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::opteron_6168()
+    }
+}
+
+impl CostModel {
+    /// The cost model of the paper's evaluation machine (1.9 GHz Opteron).
+    pub fn opteron_6168() -> Self {
+        CostModel {
+            cpu_ghz: 1.9,
+            trap_hot: 150,
+            trap_cold: 3000,
+            channel_enqueue: 30,
+            context_switch: 1200,
+            ipi: 2000,
+            copy_per_byte: 0.5,
+            per_packet_work: 2500,
+            cold_trap_fraction: 0.2,
+        }
+    }
+
+    /// Expected cost of one kernel trap given the configured hot/cold mix.
+    pub fn trap_expected(&self) -> f64 {
+        self.trap_hot as f64 * (1.0 - self.cold_trap_fraction)
+            + self.trap_cold as f64 * self.cold_trap_fraction
+    }
+
+    /// Cycles needed to copy `bytes` bytes.
+    pub fn copy_cost(&self, bytes: usize) -> u64 {
+        (self.copy_per_byte * bytes as f64).round() as u64
+    }
+
+    /// Converts a cycle count into wall-clock time at the modelled frequency.
+    pub fn cycles_to_duration(&self, cycles: u64) -> Duration {
+        Duration::from_secs_f64(cycles as f64 / (self.cpu_ghz * 1e9))
+    }
+
+    /// Converts a duration into cycles at the modelled frequency.
+    pub fn duration_to_cycles(&self, duration: Duration) -> u64 {
+        (duration.as_secs_f64() * self.cpu_ghz * 1e9).round() as u64
+    }
+
+    /// Cycles one core can spend per second.
+    pub fn cycles_per_second(&self) -> f64 {
+        self.cpu_ghz * 1e9
+    }
+}
+
+/// Accumulates cycles charged to one actor (a core or a server).
+#[derive(Debug, Default)]
+pub struct CycleAccount {
+    cycles: AtomicU64,
+    charges: AtomicU64,
+}
+
+impl CycleAccount {
+    /// Creates an empty account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `cycles` to the account.
+    pub fn charge(&self, cycles: u64) {
+        self.cycles.fetch_add(cycles, Ordering::Relaxed);
+        self.charges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Returns the total cycles charged so far.
+    pub fn total(&self) -> u64 {
+        self.cycles.load(Ordering::Relaxed)
+    }
+
+    /// Returns the number of individual charges recorded.
+    pub fn charges(&self) -> u64 {
+        self.charges.load(Ordering::Relaxed)
+    }
+
+    /// Converts the accumulated cycles into time under `model`.
+    pub fn busy_time(&self, model: &CostModel) -> Duration {
+        model.cycles_to_duration(self.total())
+    }
+
+    /// Resets the account to zero.
+    pub fn reset(&self) {
+        self.cycles.store(0, Ordering::Relaxed);
+        self.charges.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_numbers() {
+        let m = CostModel::default();
+        assert_eq!(m.trap_hot, 150);
+        assert_eq!(m.trap_cold, 3000);
+        assert_eq!(m.channel_enqueue, 30);
+        assert!((m.cpu_ghz - 1.9).abs() < f64::EPSILON);
+        // The channel enqueue is at least 5x cheaper than even a hot trap.
+        assert!(m.channel_enqueue * 5 <= m.trap_hot);
+    }
+
+    #[test]
+    fn expected_trap_between_hot_and_cold() {
+        let m = CostModel::default();
+        let e = m.trap_expected();
+        assert!(e > m.trap_hot as f64);
+        assert!(e < m.trap_cold as f64);
+    }
+
+    #[test]
+    fn copy_cost_scales_linearly() {
+        let m = CostModel::default();
+        assert_eq!(m.copy_cost(0), 0);
+        assert_eq!(m.copy_cost(1000), 500);
+        assert_eq!(m.copy_cost(2000), 2 * m.copy_cost(1000));
+    }
+
+    #[test]
+    fn cycle_duration_round_trip() {
+        let m = CostModel::default();
+        let cycles = 1_900_000; // 1 ms at 1.9 GHz
+        let d = m.cycles_to_duration(cycles);
+        assert!((d.as_secs_f64() - 0.001).abs() < 1e-9);
+        assert_eq!(m.duration_to_cycles(d), cycles);
+    }
+
+    #[test]
+    fn account_accumulates_and_resets() {
+        let acct = CycleAccount::new();
+        acct.charge(100);
+        acct.charge(250);
+        assert_eq!(acct.total(), 350);
+        assert_eq!(acct.charges(), 2);
+        let m = CostModel::default();
+        assert!(acct.busy_time(&m) > Duration::ZERO);
+        acct.reset();
+        assert_eq!(acct.total(), 0);
+        assert_eq!(acct.charges(), 0);
+    }
+
+    #[test]
+    fn cycles_per_second_matches_frequency() {
+        let m = CostModel::default();
+        assert!((m.cycles_per_second() - 1.9e9).abs() < 1.0);
+    }
+}

@@ -1,0 +1,576 @@
+//! Synchronous kernel IPC — the slow, trusted path.
+//!
+//! In a multiserver system the kernel-mediated IPC primitive is what servers
+//! fall back to when the fast-path channels cannot be used: setting channels
+//! up, delivering interrupts to drivers, and accepting POSIX system calls
+//! from applications (paper §V-B).  Every use of it costs a trap into the
+//! kernel, and messages that cross to an *idle* core additionally cost an
+//! inter-processor interrupt — exactly the overheads the asynchronous
+//! channels avoid.
+//!
+//! [`KernelIpc`] reproduces this primitive between threads.  It charges the
+//! configured [`CostModel`] for every trap, context switch and IPI, and can
+//! optionally *emulate* those costs by spinning for the equivalent time, so
+//! that end-to-end throughput measurements of a kernel-IPC-based stack (the
+//! MINIX-3-like baseline of Table II) physically feel the overhead the paper
+//! describes.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use newt_channels::endpoint::Endpoint;
+
+use crate::cost::{CostModel, CycleAccount};
+
+/// A fixed-size kernel IPC message, patterned after the MINIX 3 message
+/// layout: a source endpoint, a message type and a small payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// The endpoint that sent the message (filled in by the kernel, so it
+    /// can be trusted by the receiver).
+    pub source: Endpoint,
+    /// Message type, interpreted by the receiving server.
+    pub mtype: u32,
+    /// Payload words.
+    pub payload: [u64; 8],
+}
+
+impl Message {
+    /// Creates a message of type `mtype` with an all-zero payload.
+    pub fn new(mtype: u32) -> Self {
+        Message { source: Endpoint::from_raw(0), mtype, payload: [0; 8] }
+    }
+
+    /// Builder-style helper that sets payload word `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`.
+    #[must_use]
+    pub fn with_word(mut self, index: usize, value: u64) -> Self {
+        self.payload[index] = value;
+        self
+    }
+
+    /// Returns payload word `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`.
+    pub fn word(&self, index: usize) -> u64 {
+        self.payload[index]
+    }
+}
+
+/// Errors returned by kernel IPC operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpcError {
+    /// The destination endpoint was never attached to the kernel.
+    UnknownEndpoint(Endpoint),
+    /// The destination endpoint has exited or was detached.
+    Dead(Endpoint),
+    /// No message arrived before the timeout expired.
+    Timeout,
+    /// A non-blocking receive found no pending message.
+    WouldBlock,
+}
+
+impl std::fmt::Display for IpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IpcError::UnknownEndpoint(ep) => write!(f, "endpoint {ep} is not attached to the kernel"),
+            IpcError::Dead(ep) => write!(f, "endpoint {ep} is dead"),
+            IpcError::Timeout => write!(f, "timed out waiting for a kernel message"),
+            IpcError::WouldBlock => write!(f, "no kernel message pending"),
+        }
+    }
+}
+
+impl std::error::Error for IpcError {}
+
+/// Counters describing kernel involvement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Kernel traps performed (every send and every blocking receive).
+    pub traps: u64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Inter-processor interrupts sent to wake idle destination cores.
+    pub ipis: u64,
+    /// Total cycles charged for kernel involvement.
+    pub cycles: u64,
+}
+
+#[derive(Debug, Default)]
+struct Mailbox {
+    queue: Mutex<VecDeque<Message>>,
+    condvar: Condvar,
+    alive: AtomicBool,
+    /// Whether the owner is currently blocked in `receive` (i.e. its core is
+    /// idle and a message needs an IPI to wake it).
+    idle: AtomicBool,
+}
+
+struct KernelInner {
+    model: CostModel,
+    emulate_costs: bool,
+    mailboxes: Mutex<HashMap<Endpoint, Arc<Mailbox>>>,
+    traps: AtomicU64,
+    messages: AtomicU64,
+    ipis: AtomicU64,
+    cycles: CycleAccount,
+}
+
+/// The kernel IPC substrate shared by every server thread.
+///
+/// Cloning yields another handle to the same kernel.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use newt_channels::endpoint::Endpoint;
+/// use newt_kernel::ipc::{KernelIpc, Message};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let kernel = KernelIpc::new(Default::default());
+/// let app = Endpoint::from_raw(10);
+/// let syscall = Endpoint::from_raw(11);
+/// kernel.attach(app);
+/// kernel.attach(syscall);
+///
+/// kernel.send(app, syscall, Message::new(42).with_word(0, 7))?;
+/// let msg = kernel.receive(syscall, Duration::from_secs(1))?;
+/// assert_eq!(msg.mtype, 42);
+/// assert_eq!(msg.source, app);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct KernelIpc {
+    inner: Arc<KernelInner>,
+}
+
+impl std::fmt::Debug for KernelIpc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelIpc")
+            .field("endpoints", &self.inner.mailboxes.lock().len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl KernelIpc {
+    /// Creates a kernel that only *accounts* costs (no artificial delays).
+    pub fn new(model: CostModel) -> Self {
+        Self::with_options(model, false)
+    }
+
+    /// Creates a kernel that additionally *emulates* the charged costs by
+    /// spinning, so kernel-IPC-heavy configurations measurably slow down.
+    pub fn with_cost_emulation(model: CostModel) -> Self {
+        Self::with_options(model, true)
+    }
+
+    fn with_options(model: CostModel, emulate_costs: bool) -> Self {
+        KernelIpc {
+            inner: Arc::new(KernelInner {
+                model,
+                emulate_costs,
+                mailboxes: Mutex::new(HashMap::new()),
+                traps: AtomicU64::new(0),
+                messages: AtomicU64::new(0),
+                ipis: AtomicU64::new(0),
+                cycles: CycleAccount::new(),
+            }),
+        }
+    }
+
+    /// Returns the cost model used for accounting.
+    pub fn cost_model(&self) -> CostModel {
+        self.inner.model
+    }
+
+    fn charge(&self, cycles: u64) {
+        self.inner.cycles.charge(cycles);
+        if self.inner.emulate_costs {
+            let wait = self.inner.model.cycles_to_duration(cycles);
+            let start = Instant::now();
+            while start.elapsed() < wait {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    fn charge_trap(&self) {
+        self.inner.traps.fetch_add(1, Ordering::Relaxed);
+        self.charge(self.inner.model.trap_expected() as u64);
+    }
+
+    /// Attaches an endpoint, creating its mailbox.  Attaching an endpoint
+    /// that already exists simply marks it alive again: messages queued for
+    /// the previous incarnation stay queued, because they are still valid
+    /// requests the new incarnation can serve.
+    pub fn attach(&self, endpoint: Endpoint) {
+        let mut boxes = self.inner.mailboxes.lock();
+        let mailbox = boxes.entry(endpoint).or_insert_with(|| Arc::new(Mailbox::default()));
+        mailbox.alive.store(true, Ordering::Release);
+    }
+
+    /// Discards every message queued for `endpoint` (used when a restarted
+    /// server explicitly wants to start from a clean mailbox).
+    pub fn clear_mailbox(&self, endpoint: Endpoint) {
+        if let Some(mailbox) = self.inner.mailboxes.lock().get(&endpoint) {
+            mailbox.queue.lock().clear();
+        }
+    }
+
+    /// Detaches an endpoint (it exited or crashed).  Blocked receivers are
+    /// woken and senders get [`IpcError::Dead`] from now on.
+    pub fn detach(&self, endpoint: Endpoint) {
+        let boxes = self.inner.mailboxes.lock();
+        if let Some(mailbox) = boxes.get(&endpoint) {
+            mailbox.alive.store(false, Ordering::Release);
+            let _guard = mailbox.queue.lock();
+            mailbox.condvar.notify_all();
+        }
+    }
+
+    /// Returns `true` if the endpoint is attached and alive.
+    pub fn is_attached(&self, endpoint: Endpoint) -> bool {
+        self.inner
+            .mailboxes
+            .lock()
+            .get(&endpoint)
+            .is_some_and(|m| m.alive.load(Ordering::Acquire))
+    }
+
+    fn mailbox(&self, endpoint: Endpoint) -> Result<Arc<Mailbox>, IpcError> {
+        self.inner
+            .mailboxes
+            .lock()
+            .get(&endpoint)
+            .cloned()
+            .ok_or(IpcError::UnknownEndpoint(endpoint))
+    }
+
+    /// Sends `message` from `from` to `to`.  This is the kernel trap the
+    /// fast-path channels avoid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IpcError::UnknownEndpoint`] or [`IpcError::Dead`] when the
+    /// destination cannot receive.
+    pub fn send(&self, from: Endpoint, to: Endpoint, mut message: Message) -> Result<(), IpcError> {
+        let mailbox = self.mailbox(to)?;
+        if !mailbox.alive.load(Ordering::Acquire) {
+            return Err(IpcError::Dead(to));
+        }
+        self.charge_trap();
+        message.source = from;
+        {
+            let mut queue = mailbox.queue.lock();
+            queue.push_back(message);
+            // Waking an idle destination core requires an IPI.
+            if mailbox.idle.load(Ordering::Acquire) {
+                self.inner.ipis.fetch_add(1, Ordering::Relaxed);
+                self.charge(self.inner.model.ipi);
+            }
+            mailbox.condvar.notify_all();
+        }
+        self.inner.messages.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IpcError::WouldBlock`] when no message is pending,
+    /// [`IpcError::UnknownEndpoint`] when `me` was never attached.
+    pub fn try_receive(&self, me: Endpoint) -> Result<Message, IpcError> {
+        let mailbox = self.mailbox(me)?;
+        let mut queue = mailbox.queue.lock();
+        queue.pop_front().ok_or(IpcError::WouldBlock)
+    }
+
+    /// Blocking receive with a timeout.  The caller's core is considered
+    /// idle while it waits (so senders pay the IPI cost to wake it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IpcError::Timeout`] if nothing arrives in time, or
+    /// [`IpcError::Dead`] if the endpoint was detached while waiting.
+    pub fn receive(&self, me: Endpoint, timeout: Duration) -> Result<Message, IpcError> {
+        self.receive_matching(me, timeout, |_| true)
+    }
+
+    /// Blocking receive of the first message whose source is `from`.
+    /// Messages from other sources stay queued.
+    ///
+    /// # Errors
+    ///
+    /// As [`KernelIpc::receive`].
+    pub fn receive_from(
+        &self,
+        me: Endpoint,
+        from: Endpoint,
+        timeout: Duration,
+    ) -> Result<Message, IpcError> {
+        self.receive_matching(me, timeout, |m| m.source == from)
+    }
+
+    fn receive_matching<F: Fn(&Message) -> bool>(
+        &self,
+        me: Endpoint,
+        timeout: Duration,
+        matches: F,
+    ) -> Result<Message, IpcError> {
+        let mailbox = self.mailbox(me)?;
+        self.charge_trap();
+        let deadline = Instant::now() + timeout;
+        let mut queue = mailbox.queue.lock();
+        loop {
+            if let Some(pos) = queue.iter().position(&matches) {
+                return Ok(queue.remove(pos).expect("position found above"));
+            }
+            if !mailbox.alive.load(Ordering::Acquire) {
+                return Err(IpcError::Dead(me));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(IpcError::Timeout);
+            }
+            mailbox.idle.store(true, Ordering::Release);
+            let timed_out = mailbox
+                .condvar
+                .wait_for(&mut queue, deadline - now)
+                .timed_out();
+            mailbox.idle.store(false, Ordering::Release);
+            if timed_out && queue.iter().position(&matches).is_none() {
+                return Err(IpcError::Timeout);
+            }
+        }
+    }
+
+    /// The synchronous request/reply pattern (`sendrec` in MINIX terms):
+    /// sends `message` to `to` and blocks until `to` replies.
+    ///
+    /// # Errors
+    ///
+    /// As [`KernelIpc::send`] and [`KernelIpc::receive_from`].
+    pub fn sendrec(
+        &self,
+        from: Endpoint,
+        to: Endpoint,
+        message: Message,
+        timeout: Duration,
+    ) -> Result<Message, IpcError> {
+        self.send(from, to, message)?;
+        self.receive_from(from, to, timeout)
+    }
+
+    /// Returns the number of messages waiting in `endpoint`'s mailbox.
+    pub fn pending(&self, endpoint: Endpoint) -> usize {
+        self.mailbox(endpoint).map(|m| m.queue.lock().len()).unwrap_or(0)
+    }
+
+    /// Returns a snapshot of the kernel involvement counters.
+    pub fn stats(&self) -> KernelStats {
+        KernelStats {
+            traps: self.inner.traps.load(Ordering::Relaxed),
+            messages: self.inner.messages.load(Ordering::Relaxed),
+            ipis: self.inner.ipis.load(Ordering::Relaxed),
+            cycles: self.inner.cycles.total(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn ep(n: u32) -> Endpoint {
+        Endpoint::from_raw(n)
+    }
+
+    fn kernel() -> KernelIpc {
+        KernelIpc::new(CostModel::default())
+    }
+
+    #[test]
+    fn send_and_receive_round_trip() {
+        let k = kernel();
+        k.attach(ep(1));
+        k.attach(ep(2));
+        k.send(ep(1), ep(2), Message::new(5).with_word(0, 99)).unwrap();
+        let m = k.receive(ep(2), Duration::from_secs(1)).unwrap();
+        assert_eq!(m.mtype, 5);
+        assert_eq!(m.word(0), 99);
+        assert_eq!(m.source, ep(1));
+    }
+
+    #[test]
+    fn source_is_set_by_kernel_not_sender() {
+        let k = kernel();
+        k.attach(ep(1));
+        k.attach(ep(2));
+        // A malicious sender cannot forge the source field.
+        let mut forged = Message::new(1);
+        forged.source = ep(77);
+        k.send(ep(1), ep(2), forged).unwrap();
+        let m = k.receive(ep(2), Duration::from_secs(1)).unwrap();
+        assert_eq!(m.source, ep(1));
+    }
+
+    #[test]
+    fn unknown_and_dead_endpoints_error() {
+        let k = kernel();
+        k.attach(ep(1));
+        assert_eq!(
+            k.send(ep(1), ep(9), Message::new(0)).unwrap_err(),
+            IpcError::UnknownEndpoint(ep(9))
+        );
+        k.attach(ep(2));
+        k.detach(ep(2));
+        assert_eq!(k.send(ep(1), ep(2), Message::new(0)).unwrap_err(), IpcError::Dead(ep(2)));
+        assert!(!k.is_attached(ep(2)));
+    }
+
+    #[test]
+    fn try_receive_does_not_block() {
+        let k = kernel();
+        k.attach(ep(1));
+        assert_eq!(k.try_receive(ep(1)).unwrap_err(), IpcError::WouldBlock);
+    }
+
+    #[test]
+    fn receive_times_out() {
+        let k = kernel();
+        k.attach(ep(1));
+        let start = Instant::now();
+        assert_eq!(
+            k.receive(ep(1), Duration::from_millis(30)).unwrap_err(),
+            IpcError::Timeout
+        );
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn receive_from_filters_sources() {
+        let k = kernel();
+        for i in 1..=3 {
+            k.attach(ep(i));
+        }
+        k.send(ep(1), ep(3), Message::new(1)).unwrap();
+        k.send(ep(2), ep(3), Message::new(2)).unwrap();
+        let m = k.receive_from(ep(3), ep(2), Duration::from_secs(1)).unwrap();
+        assert_eq!(m.mtype, 2);
+        // The other message is still pending.
+        assert_eq!(k.pending(ep(3)), 1);
+        let m = k.receive(ep(3), Duration::from_secs(1)).unwrap();
+        assert_eq!(m.mtype, 1);
+    }
+
+    #[test]
+    fn sendrec_round_trip_across_threads() {
+        let k = kernel();
+        let client = ep(1);
+        let server = ep(2);
+        k.attach(client);
+        k.attach(server);
+        let k_server = k.clone();
+        let handle = thread::spawn(move || {
+            let req = k_server.receive(server, Duration::from_secs(5)).unwrap();
+            let reply = Message::new(req.mtype + 1).with_word(0, req.word(0) * 2);
+            k_server.send(server, req.source, reply).unwrap();
+        });
+        let reply = k
+            .sendrec(client, server, Message::new(10).with_word(0, 21), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(reply.mtype, 11);
+        assert_eq!(reply.word(0), 42);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn idle_receiver_costs_an_ipi() {
+        let k = kernel();
+        k.attach(ep(1));
+        k.attach(ep(2));
+        let k2 = k.clone();
+        let handle = thread::spawn(move || k2.receive(ep(2), Duration::from_secs(5)));
+        // Give the receiver time to block (become idle).
+        thread::sleep(Duration::from_millis(30));
+        k.send(ep(1), ep(2), Message::new(7)).unwrap();
+        handle.join().unwrap().unwrap();
+        let stats = k.stats();
+        assert!(stats.ipis >= 1, "expected at least one IPI, got {stats:?}");
+    }
+
+    #[test]
+    fn stats_count_traps_and_messages() {
+        let k = kernel();
+        k.attach(ep(1));
+        k.attach(ep(2));
+        k.send(ep(1), ep(2), Message::new(0)).unwrap();
+        k.receive(ep(2), Duration::from_secs(1)).unwrap();
+        let stats = k.stats();
+        assert_eq!(stats.messages, 1);
+        assert!(stats.traps >= 2); // one for the send, one for the receive
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn detach_wakes_blocked_receiver() {
+        let k = kernel();
+        k.attach(ep(1));
+        let k2 = k.clone();
+        let handle = thread::spawn(move || k2.receive(ep(1), Duration::from_secs(10)));
+        thread::sleep(Duration::from_millis(30));
+        k.detach(ep(1));
+        assert_eq!(handle.join().unwrap().unwrap_err(), IpcError::Dead(ep(1)));
+    }
+
+    #[test]
+    fn reattach_keeps_pending_requests_and_clear_discards_them() {
+        let k = kernel();
+        k.attach(ep(1));
+        k.attach(ep(2));
+        k.send(ep(1), ep(2), Message::new(1)).unwrap();
+        // The server crashes and its new incarnation attaches again: the
+        // queued request is still valid and stays available...
+        k.attach(ep(2));
+        assert_eq!(k.pending(ep(2)), 1);
+        // ...unless the new incarnation explicitly clears its mailbox.
+        k.clear_mailbox(ep(2));
+        assert_eq!(k.pending(ep(2)), 0);
+    }
+
+    #[test]
+    fn cost_emulation_slows_traffic_down() {
+        let model = CostModel { trap_hot: 200_000, trap_cold: 200_000, ..CostModel::default() };
+        let fast = KernelIpc::new(model);
+        let slow = KernelIpc::with_cost_emulation(model);
+        for k in [&fast, &slow] {
+            k.attach(ep(1));
+            k.attach(ep(2));
+        }
+        let time = |k: &KernelIpc| {
+            let start = Instant::now();
+            for _ in 0..50 {
+                k.send(ep(1), ep(2), Message::new(0)).unwrap();
+                k.receive(ep(2), Duration::from_secs(1)).unwrap();
+            }
+            start.elapsed()
+        };
+        let fast_t = time(&fast);
+        let slow_t = time(&slow);
+        assert!(slow_t > fast_t, "emulated kernel should be slower: {fast_t:?} vs {slow_t:?}");
+    }
+}

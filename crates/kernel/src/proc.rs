@@ -1,0 +1,212 @@
+//! Process table and core assignment.
+//!
+//! NewtOS dedicates cores to operating-system components: each server runs
+//! alone on its core, keeping caches, TLBs and branch predictors warm and
+//! avoiding context switches; the remaining cores are time-shared by
+//! applications (paper Figure 1).  The [`ProcessTable`] records which
+//! component runs where, together with its privilege class and restart
+//! count, so that the rest of the system (the reincarnation server, the
+//! simulator, the benchmarks) can reason about core usage.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use newt_channels::endpoint::{Endpoint, EndpointAllocator};
+
+/// How a component is scheduled onto cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreAssignment {
+    /// The component owns a core exclusively (no context switching, warm
+    /// caches, interrupts handled locally).
+    Dedicated(u32),
+    /// The component shares the application cores with other processes and
+    /// pays context-switch costs.
+    Shared,
+}
+
+impl CoreAssignment {
+    /// Returns `true` for a dedicated-core assignment.
+    pub fn is_dedicated(&self) -> bool {
+        matches!(self, CoreAssignment::Dedicated(_))
+    }
+}
+
+/// Privilege class of a process, which determines the damage a fault can do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Privilege {
+    /// An unprivileged user-space operating-system server (the default in
+    /// NewtOS — even drivers and the network stack run here).
+    UserServer,
+    /// A device driver with access to its device (but nothing else).
+    Driver,
+    /// An ordinary application process.
+    Application,
+}
+
+/// One entry of the process table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessInfo {
+    /// The process's endpoint.
+    pub endpoint: Endpoint,
+    /// Human-readable name ("ip", "tcp", "e1000.0", ...).
+    pub name: String,
+    /// Core assignment.
+    pub core: CoreAssignment,
+    /// Privilege class.
+    pub privilege: Privilege,
+    /// How many times the reincarnation server restarted this process.
+    pub restarts: u32,
+}
+
+/// The system-wide process table.
+///
+/// # Examples
+///
+/// ```
+/// use newt_kernel::proc::{CoreAssignment, Privilege, ProcessTable};
+///
+/// let table = ProcessTable::new();
+/// let ip = table.register("ip", CoreAssignment::Dedicated(2), Privilege::UserServer);
+/// assert_eq!(table.info(ip).unwrap().name, "ip");
+/// assert_eq!(table.dedicated_cores(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProcessTable {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    allocator: EndpointAllocator,
+    processes: HashMap<Endpoint, ProcessInfo>,
+}
+
+impl ProcessTable {
+    /// Creates an empty process table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new process, allocating its endpoint.
+    pub fn register(&self, name: &str, core: CoreAssignment, privilege: Privilege) -> Endpoint {
+        let mut inner = self.inner.write();
+        let endpoint = inner.allocator.allocate(name);
+        inner.processes.insert(
+            endpoint,
+            ProcessInfo { endpoint, name: name.to_string(), core, privilege, restarts: 0 },
+        );
+        endpoint
+    }
+
+    /// Returns the process information for `endpoint`.
+    pub fn info(&self, endpoint: Endpoint) -> Option<ProcessInfo> {
+        self.inner.read().processes.get(&endpoint).cloned()
+    }
+
+    /// Looks a process up by name.
+    pub fn by_name(&self, name: &str) -> Option<ProcessInfo> {
+        self.inner
+            .read()
+            .processes
+            .values()
+            .find(|p| p.name == name)
+            .cloned()
+    }
+
+    /// Records that the reincarnation server restarted `endpoint`.
+    pub fn record_restart(&self, endpoint: Endpoint) {
+        if let Some(info) = self.inner.write().processes.get_mut(&endpoint) {
+            info.restarts += 1;
+        }
+    }
+
+    /// Removes a process from the table (it exited for good).
+    pub fn remove(&self, endpoint: Endpoint) -> Option<ProcessInfo> {
+        self.inner.write().processes.remove(&endpoint)
+    }
+
+    /// Returns all registered processes, sorted by endpoint.
+    pub fn list(&self) -> Vec<ProcessInfo> {
+        let mut all: Vec<ProcessInfo> = self.inner.read().processes.values().cloned().collect();
+        all.sort_by_key(|p| p.endpoint);
+        all
+    }
+
+    /// Returns the number of cores dedicated to operating-system components —
+    /// the "price we pay" the paper discusses.
+    pub fn dedicated_cores(&self) -> usize {
+        self.inner
+            .read()
+            .processes
+            .values()
+            .filter(|p| p.core.is_dedicated())
+            .count()
+    }
+
+    /// Returns the number of registered processes.
+    pub fn len(&self) -> usize {
+        self.inner.read().processes.len()
+    }
+
+    /// Returns `true` if no process is registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().processes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let table = ProcessTable::new();
+        let ip = table.register("ip", CoreAssignment::Dedicated(1), Privilege::UserServer);
+        let app = table.register("iperf", CoreAssignment::Shared, Privilege::Application);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.info(ip).unwrap().name, "ip");
+        assert_eq!(table.by_name("iperf").unwrap().endpoint, app);
+        assert!(table.by_name("missing").is_none());
+    }
+
+    #[test]
+    fn dedicated_core_count() {
+        let table = ProcessTable::new();
+        table.register("ip", CoreAssignment::Dedicated(1), Privilege::UserServer);
+        table.register("tcp", CoreAssignment::Dedicated(2), Privilege::UserServer);
+        table.register("app", CoreAssignment::Shared, Privilege::Application);
+        assert_eq!(table.dedicated_cores(), 2);
+    }
+
+    #[test]
+    fn restart_counter_increments() {
+        let table = ProcessTable::new();
+        let drv = table.register("e1000.0", CoreAssignment::Dedicated(3), Privilege::Driver);
+        table.record_restart(drv);
+        table.record_restart(drv);
+        assert_eq!(table.info(drv).unwrap().restarts, 2);
+    }
+
+    #[test]
+    fn remove_deletes_entry() {
+        let table = ProcessTable::new();
+        let ep = table.register("pf", CoreAssignment::Dedicated(4), Privilege::UserServer);
+        assert!(table.remove(ep).is_some());
+        assert!(table.info(ep).is_none());
+        assert!(table.remove(ep).is_none());
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn list_is_sorted_by_endpoint() {
+        let table = ProcessTable::new();
+        let a = table.register("a", CoreAssignment::Shared, Privilege::Application);
+        let b = table.register("b", CoreAssignment::Shared, Privilege::Application);
+        let list = table.list();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].endpoint, a);
+        assert_eq!(list[1].endpoint, b);
+    }
+}

@@ -1,0 +1,831 @@
+//! The reincarnation server.
+//!
+//! All system servers are children of the reincarnation server, which
+//! receives a signal when a server crashes and resets servers that stop
+//! responding to periodic heartbeats (paper §V-D, following MINIX 3).  A
+//! restarted server is told whether it starts *fresh* or in *restart* mode so
+//! that it knows to recover its state from the storage server; its restart
+//! *generation* is bumped so that peers can tell stale channel exports and
+//! replies apart from current ones.
+//!
+//! Each managed service runs as a dedicated thread (standing in for a
+//! dedicated core).  The service body is a closure invoked anew for every
+//! incarnation; it receives a [`ServiceRuntime`] through which it
+//! heartbeats, learns its start mode and observes injected faults (the hook
+//! used by the `newt-faults` crate to reproduce the paper's SWIFI
+//! experiments).
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use newt_channels::endpoint::{Endpoint, Generation};
+
+use crate::clock::SimClock;
+
+/// Whether an incarnation is the first one or a restart after a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartMode {
+    /// First start: initialise from scratch.
+    Fresh,
+    /// Restarted after a crash or live update: recover state from the
+    /// storage server.
+    Restart,
+}
+
+/// A fault armed against a service, observed at its next fault check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// No fault pending.
+    None,
+    /// The service panics (a crash the reincarnation server detects through
+    /// the exit signal).
+    Crash,
+    /// The service stops making progress and stops heartbeating (detected by
+    /// the heartbeat watchdog).
+    Hang,
+}
+
+/// Why a service incarnation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashReason {
+    /// The service panicked (crash signal).
+    Panicked,
+    /// The service's body returned even though it was not asked to stop.
+    ExitedUnexpectedly,
+    /// The service stopped responding to heartbeats and was reaped.
+    HeartbeatTimeout,
+}
+
+/// Lifecycle state of a managed service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceStatus {
+    /// The current incarnation is running.
+    Running,
+    /// A crash was detected and a new incarnation is being started.
+    Restarting,
+    /// The service was stopped deliberately.
+    Stopped,
+    /// The service exceeded its restart budget and was given up on.
+    Failed,
+}
+
+/// A crash (and possible restart) observed by the reincarnation server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// Service name.
+    pub name: String,
+    /// Service endpoint.
+    pub endpoint: Endpoint,
+    /// Generation of the incarnation that died.
+    pub generation: Generation,
+    /// Why the incarnation ended.
+    pub reason: CrashReason,
+    /// Whether a new incarnation is being started.
+    pub restarting: bool,
+}
+
+/// Static configuration of a managed service.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Human-readable service name.
+    pub name: String,
+    /// Virtual-time heartbeat timeout after which the service is considered
+    /// hung.
+    pub heartbeat_timeout: Duration,
+    /// Maximum number of automatic restarts before giving up.
+    pub max_restarts: u32,
+}
+
+impl ServiceConfig {
+    /// Creates a configuration with the defaults used throughout the stack:
+    /// a 2-second (virtual) heartbeat timeout and a budget of 32 restarts.
+    pub fn new(name: &str) -> Self {
+        ServiceConfig {
+            name: name.to_string(),
+            heartbeat_timeout: Duration::from_secs(2),
+            max_restarts: 32,
+        }
+    }
+
+    /// Sets the heartbeat timeout.
+    #[must_use]
+    pub fn heartbeat_timeout(mut self, timeout: Duration) -> Self {
+        self.heartbeat_timeout = timeout;
+        self
+    }
+
+    /// Sets the restart budget.
+    #[must_use]
+    pub fn max_restarts(mut self, max: u32) -> Self {
+        self.max_restarts = max;
+        self
+    }
+}
+
+#[derive(Debug)]
+struct ServiceShared {
+    name: String,
+    endpoint: Endpoint,
+    generation: AtomicU32,
+    stop: AtomicBool,
+    reap: AtomicBool,
+    start_mode: Mutex<StartMode>,
+    fault: Mutex<FaultAction>,
+    last_heartbeat: Mutex<Duration>,
+    clock: SimClock,
+}
+
+/// Handle handed to a service body, used to heartbeat and observe control
+/// signals from the reincarnation server.
+#[derive(Debug, Clone)]
+pub struct ServiceRuntime {
+    shared: Arc<ServiceShared>,
+}
+
+impl ServiceRuntime {
+    /// Returns the service name.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// Returns the service endpoint.
+    pub fn endpoint(&self) -> Endpoint {
+        self.shared.endpoint
+    }
+
+    /// Returns the start mode of this incarnation.
+    pub fn start_mode(&self) -> StartMode {
+        *self.shared.start_mode.lock()
+    }
+
+    /// Returns the generation of this incarnation.
+    pub fn generation(&self) -> Generation {
+        Generation::from_raw(self.shared.generation.load(Ordering::Acquire))
+    }
+
+    /// Returns `true` when the reincarnation server asked the service to
+    /// stop (graceful shutdown or live update).
+    pub fn should_stop(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// Records a heartbeat and honours any fault armed against the service.
+    ///
+    /// Service bodies call this once per event-loop iteration.  If a
+    /// [`FaultAction::Crash`] is armed the call panics (the crash the
+    /// reincarnation server then observes); a [`FaultAction::Hang`] makes the
+    /// call stop returning — and stop heartbeating — until the watchdog reaps
+    /// the service.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a crash fault is armed or when the watchdog reaps a hung
+    /// service; the panic is the simulated crash and is caught by the
+    /// service thread wrapper.
+    pub fn heartbeat(&self) {
+        *self.shared.last_heartbeat.lock() = self.shared.clock.now();
+        self.check_fault();
+    }
+
+    /// Honours any fault armed against the service without recording a
+    /// heartbeat (see [`ServiceRuntime::heartbeat`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a crash fault is armed or when the service is reaped.
+    pub fn check_fault(&self) {
+        if self.shared.reap.load(Ordering::Acquire) {
+            panic!("service {} reaped by the reincarnation server", self.shared.name);
+        }
+        let action = *self.shared.fault.lock();
+        match action {
+            FaultAction::None => {}
+            FaultAction::Crash => {
+                *self.shared.fault.lock() = FaultAction::None;
+                panic!("injected crash in {}", self.shared.name);
+            }
+            FaultAction::Hang => {
+                // Stop making progress (and heartbeating) until reaped or
+                // explicitly released.
+                loop {
+                    if self.shared.reap.load(Ordering::Acquire) {
+                        panic!("hung service {} reaped", self.shared.name);
+                    }
+                    if self.shared.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if *self.shared.fault.lock() != FaultAction::Hang {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+    }
+}
+
+type ServiceBody = Arc<dyn Fn(ServiceRuntime) + Send + Sync + 'static>;
+
+struct ManagedService {
+    config: ServiceConfig,
+    shared: Arc<ServiceShared>,
+    body: ServiceBody,
+    status: ServiceStatus,
+    restarts: u32,
+    thread: Option<JoinHandle<()>>,
+    exited: Arc<AtomicBool>,
+    panicked: Arc<AtomicBool>,
+}
+
+impl ManagedService {
+    fn spawn_incarnation(&mut self) {
+        self.exited = Arc::new(AtomicBool::new(false));
+        self.panicked = Arc::new(AtomicBool::new(false));
+        self.shared.reap.store(false, Ordering::Release);
+        *self.shared.last_heartbeat.lock() = self.shared.clock.now();
+        let shared = Arc::clone(&self.shared);
+        let body = Arc::clone(&self.body);
+        let exited = Arc::clone(&self.exited);
+        let panicked = Arc::clone(&self.panicked);
+        let name = self.config.name.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("newtos-{name}"))
+            .spawn(move || {
+                let runtime = ServiceRuntime { shared };
+                let result = catch_unwind(AssertUnwindSafe(|| body(runtime)));
+                if result.is_err() {
+                    panicked.store(true, Ordering::Release);
+                }
+                exited.store(true, Ordering::Release);
+            })
+            .expect("spawning a service thread");
+        self.thread = Some(handle);
+        self.status = ServiceStatus::Running;
+    }
+}
+
+struct RsInner {
+    clock: SimClock,
+    services: Mutex<HashMap<Endpoint, ManagedService>>,
+    listeners: Mutex<Vec<Box<dyn Fn(&CrashEvent) + Send + Sync>>>,
+    crash_log: Mutex<Vec<CrashEvent>>,
+    shutdown: AtomicBool,
+}
+
+/// The reincarnation server: registers services, watches them and restarts
+/// crashed or hung incarnations.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::sync::atomic::{AtomicU32, Ordering};
+/// use std::time::Duration;
+/// use newt_kernel::clock::SimClock;
+/// use newt_kernel::rs::{FaultAction, ReincarnationServer, ServiceConfig};
+///
+/// let rs = ReincarnationServer::new(SimClock::realtime());
+/// let starts = Arc::new(AtomicU32::new(0));
+/// let starts_in_body = Arc::clone(&starts);
+/// let ep = rs.register(ServiceConfig::new("demo"), move |rt| {
+///     starts_in_body.fetch_add(1, Ordering::SeqCst);
+///     while !rt.should_stop() {
+///         rt.heartbeat();
+///         std::thread::sleep(Duration::from_millis(1));
+///     }
+/// });
+/// // Crash it once: the reincarnation server restarts it automatically.
+/// rs.inject_fault(ep, FaultAction::Crash);
+/// let deadline = std::time::Instant::now() + Duration::from_secs(10);
+/// while starts.load(Ordering::SeqCst) < 2 && std::time::Instant::now() < deadline {
+///     std::thread::sleep(Duration::from_millis(5));
+/// }
+/// rs.wait_until_running(ep, Duration::from_secs(5));
+/// assert!(starts.load(Ordering::SeqCst) >= 2);
+/// rs.shutdown();
+/// ```
+pub struct ReincarnationServer {
+    inner: Arc<RsInner>,
+    watchdog: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ReincarnationServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReincarnationServer")
+            .field("services", &self.inner.services.lock().len())
+            .field("crashes", &self.inner.crash_log.lock().len())
+            .finish()
+    }
+}
+
+impl ReincarnationServer {
+    /// Creates a reincarnation server and starts its watchdog.
+    pub fn new(clock: SimClock) -> Self {
+        let inner = Arc::new(RsInner {
+            clock,
+            services: Mutex::new(HashMap::new()),
+            listeners: Mutex::new(Vec::new()),
+            crash_log: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+        });
+        let watchdog_inner = Arc::clone(&inner);
+        let watchdog = std::thread::Builder::new()
+            .name("newtos-rs-watchdog".to_string())
+            .spawn(move || watchdog_loop(watchdog_inner))
+            .expect("spawning the reincarnation watchdog");
+        ReincarnationServer { inner, watchdog: Mutex::new(Some(watchdog)) }
+    }
+
+    /// Registers and immediately starts a service.  The body closure is
+    /// invoked once per incarnation.
+    pub fn register<F>(&self, config: ServiceConfig, body: F) -> Endpoint
+    where
+        F: Fn(ServiceRuntime) + Send + Sync + 'static,
+    {
+        self.register_with_endpoint(config, Endpoint::from_raw(self.next_endpoint_raw()), body)
+    }
+
+    fn next_endpoint_raw(&self) -> u32 {
+        // Endpoints chosen by the caller (via `register_with_endpoint`) and
+        // auto-assigned ones share the space; auto assignment starts high to
+        // avoid collisions with the well-known endpoints of the stack.
+        static NEXT: AtomicU32 = AtomicU32::new(0x1000);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Registers a service under a caller-chosen endpoint (used by the stack
+    /// so that servers keep well-known endpoints across restarts).
+    pub fn register_with_endpoint<F>(
+        &self,
+        config: ServiceConfig,
+        endpoint: Endpoint,
+        body: F,
+    ) -> Endpoint
+    where
+        F: Fn(ServiceRuntime) + Send + Sync + 'static,
+    {
+        let shared = Arc::new(ServiceShared {
+            name: config.name.clone(),
+            endpoint,
+            generation: AtomicU32::new(0),
+            stop: AtomicBool::new(false),
+            reap: AtomicBool::new(false),
+            start_mode: Mutex::new(StartMode::Fresh),
+            fault: Mutex::new(FaultAction::None),
+            last_heartbeat: Mutex::new(self.inner.clock.now()),
+            clock: self.inner.clock.clone(),
+        });
+        let mut service = ManagedService {
+            config,
+            shared,
+            body: Arc::new(body),
+            status: ServiceStatus::Running,
+            restarts: 0,
+            thread: None,
+            exited: Arc::new(AtomicBool::new(false)),
+            panicked: Arc::new(AtomicBool::new(false)),
+        };
+        service.spawn_incarnation();
+        self.inner.services.lock().insert(endpoint, service);
+        endpoint
+    }
+
+    /// Registers a callback invoked for every crash event (the mechanism the
+    /// stack uses to tell neighbours to abort requests and re-attach
+    /// channels).
+    pub fn on_crash<F>(&self, listener: F)
+    where
+        F: Fn(&CrashEvent) + Send + Sync + 'static,
+    {
+        self.inner.listeners.lock().push(Box::new(listener));
+    }
+
+    /// Returns the crash events observed so far.
+    pub fn crash_log(&self) -> Vec<CrashEvent> {
+        self.inner.crash_log.lock().clone()
+    }
+
+    /// Returns a service's status.
+    pub fn status(&self, endpoint: Endpoint) -> Option<ServiceStatus> {
+        self.inner.services.lock().get(&endpoint).map(|s| s.status)
+    }
+
+    /// Returns a service's current generation.
+    pub fn generation(&self, endpoint: Endpoint) -> Option<Generation> {
+        self.inner
+            .services
+            .lock()
+            .get(&endpoint)
+            .map(|s| Generation::from_raw(s.shared.generation.load(Ordering::Acquire)))
+    }
+
+    /// Returns how many times a service has been restarted.
+    pub fn restart_count(&self, endpoint: Endpoint) -> Option<u32> {
+        self.inner.services.lock().get(&endpoint).map(|s| s.restarts)
+    }
+
+    /// Arms a fault against a service (the SWIFI hook).
+    pub fn inject_fault(&self, endpoint: Endpoint, fault: FaultAction) {
+        if let Some(service) = self.inner.services.lock().get(&endpoint) {
+            *service.shared.fault.lock() = fault;
+        }
+    }
+
+    /// Requests a graceful restart (live update): the current incarnation is
+    /// asked to stop, then a new incarnation starts in restart mode.
+    ///
+    /// Returns `true` if the service exists.
+    pub fn force_restart(&self, endpoint: Endpoint) -> bool {
+        let (thread, shared) = {
+            let mut services = self.inner.services.lock();
+            let Some(service) = services.get_mut(&endpoint) else { return false };
+            service.shared.stop.store(true, Ordering::Release);
+            // Marked `Stopped` (not `Restarting`) so the watchdog does not
+            // race with this manual restart while the old incarnation winds
+            // down.
+            service.status = ServiceStatus::Stopped;
+            (service.thread.take(), Arc::clone(&service.shared))
+        };
+        if let Some(handle) = thread {
+            let _ = handle.join();
+        }
+        let mut services = self.inner.services.lock();
+        let Some(service) = services.get_mut(&endpoint) else { return false };
+        shared.stop.store(false, Ordering::Release);
+        shared.generation.fetch_add(1, Ordering::AcqRel);
+        *shared.start_mode.lock() = StartMode::Restart;
+        *shared.fault.lock() = FaultAction::None;
+        service.restarts += 1;
+        service.spawn_incarnation();
+        true
+    }
+
+    /// Stops a service for good.
+    pub fn stop(&self, endpoint: Endpoint) {
+        let thread = {
+            let mut services = self.inner.services.lock();
+            let Some(service) = services.get_mut(&endpoint) else { return };
+            service.shared.stop.store(true, Ordering::Release);
+            service.status = ServiceStatus::Stopped;
+            service.thread.take()
+        };
+        if let Some(handle) = thread {
+            let _ = handle.join();
+        }
+    }
+
+    /// Returns `true` once a service's status is [`ServiceStatus::Running`],
+    /// polling for at most `timeout` (real time).
+    pub fn wait_until_running(&self, endpoint: Endpoint, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if self.status(endpoint) == Some(ServiceStatus::Running) {
+                // Also require the incarnation's thread to be alive.
+                let alive = self
+                    .inner
+                    .services
+                    .lock()
+                    .get(&endpoint)
+                    .map(|s| !s.exited.load(Ordering::Acquire))
+                    .unwrap_or(false);
+                if alive {
+                    return true;
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Lists the registered services as `(endpoint, name, status)` tuples.
+    pub fn list(&self) -> Vec<(Endpoint, String, ServiceStatus)> {
+        let services = self.inner.services.lock();
+        let mut out: Vec<(Endpoint, String, ServiceStatus)> = services
+            .iter()
+            .map(|(ep, s)| (*ep, s.config.name.clone(), s.status))
+            .collect();
+        out.sort_by_key(|(ep, _, _)| *ep);
+        out
+    }
+
+    /// Stops every service and the watchdog.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        let endpoints: Vec<Endpoint> = self.inner.services.lock().keys().copied().collect();
+        for ep in endpoints {
+            self.stop(ep);
+        }
+        if let Some(handle) = self.watchdog.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ReincarnationServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn watchdog_loop(inner: Arc<RsInner>) {
+    while !inner.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(5));
+        let mut events: Vec<CrashEvent> = Vec::new();
+        {
+            let mut services = inner.services.lock();
+            for service in services.values_mut() {
+                match service.status {
+                    ServiceStatus::Running => {}
+                    ServiceStatus::Restarting => {
+                        // Waiting for a reaped incarnation to exit.
+                        if service.exited.load(Ordering::Acquire) {
+                            if let Some(event) =
+                                restart_service(&inner.clock, service, CrashReason::HeartbeatTimeout)
+                            {
+                                events.push(event);
+                            }
+                        }
+                        continue;
+                    }
+                    _ => continue,
+                }
+                if service.exited.load(Ordering::Acquire) {
+                    if service.shared.stop.load(Ordering::Acquire) {
+                        service.status = ServiceStatus::Stopped;
+                        continue;
+                    }
+                    let reason = if service.panicked.load(Ordering::Acquire) {
+                        CrashReason::Panicked
+                    } else {
+                        CrashReason::ExitedUnexpectedly
+                    };
+                    if let Some(event) = restart_service(&inner.clock, service, reason) {
+                        events.push(event);
+                    }
+                    continue;
+                }
+                // Heartbeat check (virtual time).
+                let last = *service.shared.last_heartbeat.lock();
+                let now = inner.clock.now();
+                if now.saturating_sub(last) > service.config.heartbeat_timeout {
+                    // Reap the hung incarnation; the restart happens once the
+                    // thread actually exits.
+                    service.shared.reap.store(true, Ordering::Release);
+                    service.status = ServiceStatus::Restarting;
+                }
+            }
+        }
+        if !events.is_empty() {
+            let listeners = inner.listeners.lock();
+            for event in &events {
+                for listener in listeners.iter() {
+                    listener(event);
+                }
+            }
+            inner.crash_log.lock().extend(events);
+        }
+    }
+}
+
+/// Restarts a crashed incarnation (or marks the service failed when the
+/// restart budget is exhausted) and returns the crash event to publish.
+fn restart_service(
+    clock: &SimClock,
+    service: &mut ManagedService,
+    reason: CrashReason,
+) -> Option<CrashEvent> {
+    let _ = clock;
+    let old_generation = Generation::from_raw(service.shared.generation.load(Ordering::Acquire));
+    // Collect the incarnation's thread so it does not leak.
+    if let Some(handle) = service.thread.take() {
+        let _ = handle.join();
+    }
+    let restarting = service.restarts < service.config.max_restarts;
+    let event = CrashEvent {
+        name: service.config.name.clone(),
+        endpoint: service.shared.endpoint,
+        generation: old_generation,
+        reason,
+        restarting,
+    };
+    if !restarting {
+        service.status = ServiceStatus::Failed;
+        return Some(event);
+    }
+    service.restarts += 1;
+    service.shared.generation.fetch_add(1, Ordering::AcqRel);
+    *service.shared.start_mode.lock() = StartMode::Restart;
+    *service.shared.fault.lock() = FaultAction::None;
+    service.shared.stop.store(false, Ordering::Release);
+    service.spawn_incarnation();
+    Some(event)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn counting_service(counter: Arc<AtomicU32>) -> impl Fn(ServiceRuntime) + Send + Sync {
+        move |rt: ServiceRuntime| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            while !rt.should_stop() {
+                rt.heartbeat();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+
+    #[test]
+    fn service_runs_and_stops_gracefully() {
+        let rs = ReincarnationServer::new(SimClock::realtime());
+        let starts = Arc::new(AtomicU32::new(0));
+        let ep = rs.register(ServiceConfig::new("svc"), counting_service(Arc::clone(&starts)));
+        assert!(rs.wait_until_running(ep, Duration::from_secs(2)));
+        assert_eq!(rs.status(ep), Some(ServiceStatus::Running));
+        rs.stop(ep);
+        assert_eq!(rs.status(ep), Some(ServiceStatus::Stopped));
+        assert_eq!(starts.load(Ordering::SeqCst), 1);
+        assert!(rs.crash_log().is_empty());
+        rs.shutdown();
+    }
+
+    #[test]
+    fn crash_is_detected_and_restarted_with_restart_mode() {
+        let rs = ReincarnationServer::new(SimClock::realtime());
+        let starts = Arc::new(AtomicU32::new(0));
+        let restart_modes = Arc::new(Mutex::new(Vec::new()));
+        let starts_c = Arc::clone(&starts);
+        let modes_c = Arc::clone(&restart_modes);
+        let ep = rs.register(ServiceConfig::new("crashy"), move |rt| {
+            starts_c.fetch_add(1, Ordering::SeqCst);
+            modes_c.lock().push(rt.start_mode());
+            while !rt.should_stop() {
+                rt.heartbeat();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        assert!(rs.wait_until_running(ep, Duration::from_secs(2)));
+        rs.inject_fault(ep, FaultAction::Crash);
+        // Wait for the restart (and its crash record) to be observed.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while (starts.load(Ordering::SeqCst) < 2 || rs.crash_log().is_empty())
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(starts.load(Ordering::SeqCst) >= 2, "service was not restarted");
+        assert!(rs.wait_until_running(ep, Duration::from_secs(2)));
+        let modes = restart_modes.lock().clone();
+        assert_eq!(modes[0], StartMode::Fresh);
+        assert_eq!(modes[1], StartMode::Restart);
+        assert_eq!(rs.generation(ep), Some(Generation::from_raw(1)));
+        assert_eq!(rs.restart_count(ep), Some(1));
+        let log = rs.crash_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].reason, CrashReason::Panicked);
+        assert!(log[0].restarting);
+        rs.shutdown();
+    }
+
+    #[test]
+    fn hang_is_reaped_by_heartbeat_watchdog() {
+        let rs = ReincarnationServer::new(SimClock::with_speedup(50.0));
+        let starts = Arc::new(AtomicU32::new(0));
+        let starts_c = Arc::clone(&starts);
+        let config = ServiceConfig::new("hangy").heartbeat_timeout(Duration::from_millis(500));
+        let ep = rs.register(config, move |rt| {
+            starts_c.fetch_add(1, Ordering::SeqCst);
+            while !rt.should_stop() {
+                rt.heartbeat();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        assert!(rs.wait_until_running(ep, Duration::from_secs(2)));
+        rs.inject_fault(ep, FaultAction::Hang);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let reaped = |rs: &ReincarnationServer| {
+            rs.crash_log().iter().any(|e| e.reason == CrashReason::HeartbeatTimeout)
+        };
+        while (starts.load(Ordering::SeqCst) < 2 || !reaped(&rs))
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(starts.load(Ordering::SeqCst) >= 2, "hung service was not reaped and restarted");
+        assert!(reaped(&rs), "heartbeat timeout was not recorded in the crash log");
+        rs.shutdown();
+    }
+
+    #[test]
+    fn unexpected_exit_counts_as_crash() {
+        let rs = ReincarnationServer::new(SimClock::realtime());
+        let starts = Arc::new(AtomicU32::new(0));
+        let starts_c = Arc::clone(&starts);
+        let ep = rs.register(ServiceConfig::new("quitter").max_restarts(1), move |rt| {
+            let n = starts_c.fetch_add(1, Ordering::SeqCst);
+            if n == 0 {
+                // First incarnation returns immediately without being asked.
+                return;
+            }
+            while !rt.should_stop() {
+                rt.heartbeat();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while (starts.load(Ordering::SeqCst) < 2 || rs.crash_log().is_empty())
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(starts.load(Ordering::SeqCst) >= 2);
+        let log = rs.crash_log();
+        assert_eq!(log[0].reason, CrashReason::ExitedUnexpectedly);
+        assert_eq!(rs.status(ep), Some(ServiceStatus::Running));
+        rs.shutdown();
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_fails_the_service() {
+        let rs = ReincarnationServer::new(SimClock::realtime());
+        let ep = rs.register(ServiceConfig::new("doomed").max_restarts(0), |_rt| {
+            panic!("always dies");
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while rs.status(ep) != Some(ServiceStatus::Failed) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(rs.status(ep), Some(ServiceStatus::Failed));
+        let log = rs.crash_log();
+        assert_eq!(log.len(), 1);
+        assert!(!log[0].restarting);
+        rs.shutdown();
+    }
+
+    #[test]
+    fn crash_listeners_are_notified() {
+        let rs = ReincarnationServer::new(SimClock::realtime());
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen_c = Arc::clone(&seen);
+        rs.on_crash(move |event| seen_c.lock().push(event.name.clone()));
+        let ep = rs.register(ServiceConfig::new("observed"), |rt| {
+            while !rt.should_stop() {
+                rt.heartbeat();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        assert!(rs.wait_until_running(ep, Duration::from_secs(2)));
+        rs.inject_fault(ep, FaultAction::Crash);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while seen.lock().is_empty() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(seen.lock().first().map(String::as_str), Some("observed"));
+        rs.shutdown();
+    }
+
+    #[test]
+    fn force_restart_is_a_live_update() {
+        let rs = ReincarnationServer::new(SimClock::realtime());
+        let starts = Arc::new(AtomicU32::new(0));
+        let ep = rs.register(ServiceConfig::new("updatable"), counting_service(Arc::clone(&starts)));
+        assert!(rs.wait_until_running(ep, Duration::from_secs(2)));
+        assert!(rs.force_restart(ep));
+        assert!(rs.wait_until_running(ep, Duration::from_secs(2)));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while starts.load(Ordering::SeqCst) < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(starts.load(Ordering::SeqCst), 2);
+        // A live update is not a crash: nothing in the crash log.
+        assert!(rs.crash_log().is_empty());
+        assert_eq!(rs.generation(ep), Some(Generation::from_raw(1)));
+        assert!(!rs.force_restart(Endpoint::from_raw(9999)));
+        rs.shutdown();
+    }
+
+    #[test]
+    fn list_reports_registered_services() {
+        let rs = ReincarnationServer::new(SimClock::realtime());
+        let a = rs.register(ServiceConfig::new("a"), |rt| {
+            while !rt.should_stop() {
+                rt.heartbeat();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let listed = rs.list();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].0, a);
+        assert_eq!(listed[0].1, "a");
+        rs.shutdown();
+    }
+}

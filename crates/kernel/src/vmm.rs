@@ -1,0 +1,222 @@
+//! The virtual memory manager.
+//!
+//! A process cannot make part of its address space available to another
+//! process all by itself: setting up a shared-memory channel involves a
+//! trusted third party, the virtual memory manager, which every server
+//! implicitly trusts (paper §IV-A).  Once a shared region between two
+//! processes is set up, the source is known and cannot be forged.
+//!
+//! In this reproduction the actual sharing is done by the
+//! [`Registry`](newt_channels::registry::Registry); the [`Vmm`] wraps it to
+//! (a) account the kernel traps that channel setup costs — the slow path the
+//! fast-path channels deliberately keep off the per-packet path — and (b)
+//! keep a grant table recording which endpoint exported what to whom, which
+//! the recovery code consults after a crash.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use newt_channels::endpoint::{Endpoint, Generation};
+use newt_channels::error::RegistryError;
+use newt_channels::registry::{Access, Registry};
+
+use crate::cost::{CostModel, CycleAccount};
+
+/// One entry of the grant table: `owner` exported `name` to `grantee`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grant {
+    /// The exporting endpoint.
+    pub owner: Endpoint,
+    /// The receiving endpoint.
+    pub grantee: Endpoint,
+    /// The published name of the exported object.
+    pub name: String,
+}
+
+/// Counters describing VMM activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmmStats {
+    /// Map/export operations performed (each costs kernel traps).
+    pub exports: u64,
+    /// Attach operations performed.
+    pub attaches: u64,
+    /// Cycles charged for the slow-path setup work.
+    pub setup_cycles: u64,
+}
+
+/// The trusted third party for shared-memory setup.
+#[derive(Debug)]
+pub struct Vmm {
+    registry: Registry,
+    model: CostModel,
+    grants: Mutex<Vec<Grant>>,
+    exports: std::sync::atomic::AtomicU64,
+    attaches: std::sync::atomic::AtomicU64,
+    cycles: CycleAccount,
+}
+
+impl Vmm {
+    /// Creates a VMM around an existing registry.
+    pub fn new(registry: Registry, model: CostModel) -> Self {
+        Vmm {
+            registry,
+            model,
+            grants: Mutex::new(Vec::new()),
+            exports: std::sync::atomic::AtomicU64::new(0),
+            attaches: std::sync::atomic::AtomicU64::new(0),
+            cycles: CycleAccount::new(),
+        }
+    }
+
+    /// Returns the underlying registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    fn charge_setup(&self) {
+        // Channel setup takes a handful of kernel round trips (request,
+        // grant, map) — all off the fast path.
+        self.cycles.charge(3 * self.model.trap_expected() as u64 + self.model.context_switch);
+    }
+
+    /// Exports a shared object from `owner` to `grantee`, recording the
+    /// grant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RegistryError`] from the underlying publish/grant.
+    pub fn export_shared<T: Send + Sync + 'static>(
+        &self,
+        owner: Endpoint,
+        generation: Generation,
+        grantee: Endpoint,
+        name: &str,
+        object: Arc<T>,
+    ) -> Result<(), RegistryError> {
+        self.charge_setup();
+        self.exports.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        match self.registry.publish_shared(
+            owner,
+            generation,
+            name,
+            Access::Granted(vec![grantee]),
+            object,
+        ) {
+            Ok(()) => {}
+            Err(RegistryError::AlreadyPublished(_)) => {
+                // Already published (e.g. exporting the same pool to a second
+                // consumer): just extend the grant.
+                self.registry.grant(owner, name, grantee)?;
+            }
+            Err(e) => return Err(e),
+        }
+        self.grants.lock().push(Grant { owner, grantee, name: name.to_string() });
+        Ok(())
+    }
+
+    /// Attaches `grantee` to an object previously exported to it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RegistryError`] from the underlying attach.
+    pub fn attach_shared<T: Send + Sync + 'static>(
+        &self,
+        grantee: Endpoint,
+        name: &str,
+    ) -> Result<Arc<T>, RegistryError> {
+        self.charge_setup();
+        self.attaches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.registry.attach_shared(grantee, name)
+    }
+
+    /// Returns the grants currently recorded for `owner`.
+    pub fn grants_by(&self, owner: Endpoint) -> Vec<Grant> {
+        self.grants.lock().iter().filter(|g| g.owner == owner).cloned().collect()
+    }
+
+    /// Returns the grants currently recorded towards `grantee`.
+    pub fn grants_to(&self, grantee: Endpoint) -> Vec<Grant> {
+        self.grants.lock().iter().filter(|g| g.grantee == grantee).cloned().collect()
+    }
+
+    /// Drops every grant made by `owner` (its old incarnation crashed) and
+    /// returns them so neighbours know what they must re-attach.
+    pub fn revoke_owner(&self, owner: Endpoint) -> Vec<Grant> {
+        let mut grants = self.grants.lock();
+        let (revoked, kept): (Vec<Grant>, Vec<Grant>) =
+            grants.drain(..).partition(|g| g.owner == owner);
+        *grants = kept;
+        drop(grants);
+        self.registry.revoke_all_from(owner);
+        revoked
+    }
+
+    /// Returns activity counters.
+    pub fn stats(&self) -> VmmStats {
+        VmmStats {
+            exports: self.exports.load(std::sync::atomic::Ordering::Relaxed),
+            attaches: self.attaches.load(std::sync::atomic::Ordering::Relaxed),
+            setup_cycles: self.cycles.total(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(n: u32) -> Endpoint {
+        Endpoint::from_raw(n)
+    }
+
+    #[test]
+    fn export_and_attach_round_trip() {
+        let vmm = Vmm::new(Registry::new(), CostModel::default());
+        let ip = ep(1);
+        let tcp = ep(2);
+        vmm.export_shared(ip, Generation::FIRST, tcp, "ip.rx-pool", Arc::new(123u64)).unwrap();
+        let got: Arc<u64> = vmm.attach_shared(tcp, "ip.rx-pool").unwrap();
+        assert_eq!(*got, 123);
+        assert_eq!(vmm.grants_by(ip).len(), 1);
+        assert_eq!(vmm.grants_to(tcp).len(), 1);
+        assert!(vmm.stats().setup_cycles > 0);
+        assert_eq!(vmm.stats().exports, 1);
+        assert_eq!(vmm.stats().attaches, 1);
+    }
+
+    #[test]
+    fn ungranted_endpoint_cannot_attach() {
+        let vmm = Vmm::new(Registry::new(), CostModel::default());
+        vmm.export_shared(ep(1), Generation::FIRST, ep(2), "secret", Arc::new(1u8)).unwrap();
+        assert!(matches!(
+            vmm.attach_shared::<u8>(ep(3), "secret"),
+            Err(RegistryError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn exporting_to_a_second_consumer_extends_the_grant() {
+        let vmm = Vmm::new(Registry::new(), CostModel::default());
+        let obj = Arc::new(7u32);
+        vmm.export_shared(ep(1), Generation::FIRST, ep(2), "pool", Arc::clone(&obj)).unwrap();
+        vmm.export_shared(ep(1), Generation::FIRST, ep(3), "pool", obj).unwrap();
+        assert_eq!(*vmm.attach_shared::<u32>(ep(2), "pool").unwrap(), 7);
+        assert_eq!(*vmm.attach_shared::<u32>(ep(3), "pool").unwrap(), 7);
+        assert_eq!(vmm.grants_by(ep(1)).len(), 2);
+    }
+
+    #[test]
+    fn revoke_owner_clears_grants_and_registry() {
+        let vmm = Vmm::new(Registry::new(), CostModel::default());
+        vmm.export_shared(ep(1), Generation::FIRST, ep(2), "ip.pool", Arc::new(0u8)).unwrap();
+        vmm.export_shared(ep(4), Generation::FIRST, ep(2), "pf.pool", Arc::new(0u8)).unwrap();
+        let revoked = vmm.revoke_owner(ep(1));
+        assert_eq!(revoked.len(), 1);
+        assert_eq!(revoked[0].name, "ip.pool");
+        assert!(vmm.grants_by(ep(1)).is_empty());
+        assert!(!vmm.registry().exists("ip.pool"));
+        assert!(vmm.registry().exists("pf.pool"));
+    }
+}

@@ -1,0 +1,349 @@
+//! Full-duplex links with bandwidth shaping, propagation delay and loss.
+//!
+//! A [`Link`] connects two ports — in the reproduction one side is a
+//! simulated NIC owned by a driver server, the other side is the remote peer
+//! host.  The link paces frames according to a configurable bandwidth (the
+//! paper's network adapters are 1 Gb/s each), which is what gives the
+//! bitrate-versus-time figures their ceiling.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use newt_kernel::clock::SimClock;
+
+use crate::trace::TraceCapture;
+
+/// Configuration of a [`Link`].
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Bandwidth per direction in bits per second (`f64::INFINITY` disables
+    /// pacing).
+    pub bandwidth_bps: f64,
+    /// One-way propagation delay.
+    pub propagation: Duration,
+    /// Probability (0..1) that a frame is silently dropped.
+    pub loss_probability: f64,
+    /// Maximum number of frames queued per direction before tail drop.
+    pub queue_limit: usize,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self::gigabit()
+    }
+}
+
+impl LinkConfig {
+    /// A loss-free gigabit link with a 100 µs propagation delay, matching the
+    /// Intel PRO/1000 adapters used in the paper's evaluation.
+    pub fn gigabit() -> Self {
+        LinkConfig {
+            bandwidth_bps: 1e9,
+            propagation: Duration::from_micros(100),
+            loss_probability: 0.0,
+            queue_limit: 2048,
+        }
+    }
+
+    /// An unshaped link (infinite bandwidth, no delay), useful for unit tests
+    /// and peak-throughput measurements where the wire should not be the
+    /// bottleneck.
+    pub fn unshaped() -> Self {
+        LinkConfig {
+            bandwidth_bps: f64::INFINITY,
+            propagation: Duration::ZERO,
+            loss_probability: 0.0,
+            queue_limit: 1 << 16,
+        }
+    }
+
+    /// Sets the bandwidth in bits per second.
+    #[must_use]
+    pub fn bandwidth_bps(mut self, bps: f64) -> Self {
+        self.bandwidth_bps = bps;
+        self
+    }
+
+    /// Sets the loss probability.
+    #[must_use]
+    pub fn loss_probability(mut self, p: f64) -> Self {
+        self.loss_probability = p;
+        self
+    }
+}
+
+/// Which end of the link a port is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkSide {
+    /// The "A" end (conventionally the NIC under test).
+    A,
+    /// The "B" end (conventionally the remote peer).
+    B,
+}
+
+impl LinkSide {
+    fn other(self) -> LinkSide {
+        match self {
+            LinkSide::A => LinkSide::B,
+            LinkSide::B => LinkSide::A,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Direction {
+    /// Frames in flight, with the virtual time at which they arrive.
+    queue: VecDeque<(Duration, Vec<u8>)>,
+    /// Virtual time at which the transmitter finishes serialising the last
+    /// accepted frame.
+    busy_until: Duration,
+    frames: u64,
+    bytes: u64,
+    drops: u64,
+}
+
+/// Per-direction traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames accepted for transmission.
+    pub frames: u64,
+    /// Bytes accepted for transmission.
+    pub bytes: u64,
+    /// Frames dropped (loss or queue overflow).
+    pub drops: u64,
+}
+
+#[derive(Debug)]
+struct LinkInner {
+    config: LinkConfig,
+    clock: SimClock,
+    a_to_b: Mutex<Direction>,
+    b_to_a: Mutex<Direction>,
+    rng: Mutex<StdRng>,
+    trace_a: Mutex<Option<TraceCapture>>,
+    trace_b: Mutex<Option<TraceCapture>>,
+}
+
+impl LinkInner {
+    fn direction(&self, from: LinkSide) -> &Mutex<Direction> {
+        match from {
+            LinkSide::A => &self.a_to_b,
+            LinkSide::B => &self.b_to_a,
+        }
+    }
+
+    fn trace_for_receiver(&self, side: LinkSide) -> &Mutex<Option<TraceCapture>> {
+        match side {
+            LinkSide::A => &self.trace_a,
+            LinkSide::B => &self.trace_b,
+        }
+    }
+}
+
+/// A point-to-point link created by [`Link::new`].
+#[derive(Debug, Clone)]
+pub struct Link {
+    inner: Arc<LinkInner>,
+}
+
+impl Link {
+    /// Creates a link and returns it together with its two ports.
+    pub fn new(config: LinkConfig, clock: SimClock) -> (Link, LinkPort, LinkPort) {
+        let inner = Arc::new(LinkInner {
+            config,
+            clock,
+            a_to_b: Mutex::new(Direction::default()),
+            b_to_a: Mutex::new(Direction::default()),
+            rng: Mutex::new(StdRng::seed_from_u64(0x6e6574)),
+            trace_a: Mutex::new(None),
+            trace_b: Mutex::new(None),
+        });
+        let link = Link { inner: Arc::clone(&inner) };
+        let a = LinkPort { side: LinkSide::A, inner: Arc::clone(&inner) };
+        let b = LinkPort { side: LinkSide::B, inner };
+        (link, a, b)
+    }
+
+    /// Attaches a trace capture recording every frame *delivered to* `side`.
+    pub fn attach_trace(&self, side: LinkSide, trace: TraceCapture) {
+        *self.inner.trace_for_receiver(side).lock() = Some(trace);
+    }
+
+    /// Returns the counters for the direction transmitting *from* `side`.
+    pub fn stats_from(&self, side: LinkSide) -> LinkStats {
+        let dir = self.inner.direction(side).lock();
+        LinkStats { frames: dir.frames, bytes: dir.bytes, drops: dir.drops }
+    }
+}
+
+/// One end of a [`Link`].
+#[derive(Debug)]
+pub struct LinkPort {
+    side: LinkSide,
+    inner: Arc<LinkInner>,
+}
+
+impl LinkPort {
+    /// Returns which side of the link this port is.
+    pub fn side(&self) -> LinkSide {
+        self.side
+    }
+
+    /// Submits a frame for transmission.  Returns `false` if the frame was
+    /// dropped (random loss or queue overflow) — like a real wire, the link
+    /// never blocks the sender.
+    pub fn transmit(&self, frame: Vec<u8>) -> bool {
+        let inner = &*self.inner;
+        if inner.config.loss_probability > 0.0
+            && inner.rng.lock().gen::<f64>() < inner.config.loss_probability
+        {
+            inner.direction(self.side).lock().drops += 1;
+            return false;
+        }
+        let now = inner.clock.now();
+        let mut dir = inner.direction(self.side).lock();
+        if dir.queue.len() >= inner.config.queue_limit {
+            dir.drops += 1;
+            return false;
+        }
+        let serialisation = if inner.config.bandwidth_bps.is_finite() {
+            Duration::from_secs_f64(frame.len() as f64 * 8.0 / inner.config.bandwidth_bps)
+        } else {
+            Duration::ZERO
+        };
+        let start = dir.busy_until.max(now);
+        let done = start + serialisation;
+        dir.busy_until = done;
+        let arrival = done + inner.config.propagation;
+        dir.frames += 1;
+        dir.bytes += frame.len() as u64;
+        dir.queue.push_back((arrival, frame));
+        true
+    }
+
+    /// Returns the next frame that has fully arrived at this port, if any.
+    pub fn poll_receive(&self) -> Option<Vec<u8>> {
+        let inner = &*self.inner;
+        let now = inner.clock.now();
+        let mut dir = inner.direction(self.side.other()).lock();
+        match dir.queue.front() {
+            Some((arrival, _)) if *arrival <= now => {
+                let (at, frame) = dir.queue.pop_front().expect("front checked above");
+                drop(dir);
+                if let Some(trace) = inner.trace_for_receiver(self.side).lock().as_ref() {
+                    trace.record(at, frame.len());
+                }
+                Some(frame)
+            }
+            _ => None,
+        }
+    }
+
+    /// Drains every frame that has arrived at this port.
+    pub fn drain_receive(&self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(frame) = self.poll_receive() {
+            out.push(frame);
+        }
+        out
+    }
+
+    /// Returns the number of frames currently in flight towards this port.
+    pub fn in_flight(&self) -> usize {
+        self.inner.direction(self.side.other()).lock().queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_cross_an_unshaped_link_immediately() {
+        let clock = SimClock::realtime();
+        let (_link, a, b) = Link::new(LinkConfig::unshaped(), clock);
+        assert!(a.transmit(vec![1, 2, 3]));
+        assert_eq!(b.poll_receive(), Some(vec![1, 2, 3]));
+        assert_eq!(b.poll_receive(), None);
+        // And in the other direction.
+        assert!(b.transmit(vec![9]));
+        assert_eq!(a.poll_receive(), Some(vec![9]));
+    }
+
+    #[test]
+    fn bandwidth_paces_delivery() {
+        // 1 Mbit/s: a 12500-byte frame takes 100 ms to serialise, which keeps
+        // the assertion robust against scheduling jitter on loaded hosts.
+        let clock = SimClock::realtime();
+        let config = LinkConfig { bandwidth_bps: 1e6, propagation: Duration::ZERO, loss_probability: 0.0, queue_limit: 64 };
+        let (_link, a, b) = Link::new(config, clock.clone());
+        for _ in 0..3 {
+            assert!(a.transmit(vec![0u8; 12_500]));
+        }
+        // Immediately, at most one frame can have arrived.
+        let early = b.drain_receive().len();
+        assert!(early <= 1, "delivery was not paced: {early} frames arrived instantly");
+        // After 300+ ms everything has arrived.
+        clock.sleep(Duration::from_millis(400));
+        let total = early + b.drain_receive().len();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn queue_limit_causes_tail_drop() {
+        let clock = SimClock::realtime();
+        let config = LinkConfig { bandwidth_bps: 1e3, propagation: Duration::ZERO, loss_probability: 0.0, queue_limit: 4 };
+        let (link, a, _b) = Link::new(config, clock);
+        let mut accepted = 0;
+        for _ in 0..10 {
+            if a.transmit(vec![0u8; 100]) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 4);
+        assert_eq!(link.stats_from(LinkSide::A).drops, 6);
+    }
+
+    #[test]
+    fn lossy_link_drops_some_frames() {
+        let clock = SimClock::realtime();
+        let config = LinkConfig::unshaped().loss_probability(0.5);
+        let (link, a, b) = Link::new(config, clock);
+        for _ in 0..200 {
+            a.transmit(vec![0u8; 10]);
+        }
+        let delivered = b.drain_receive().len();
+        let drops = link.stats_from(LinkSide::A).drops as usize;
+        assert_eq!(delivered + drops, 200);
+        assert!(drops > 20, "expected a substantial number of drops, got {drops}");
+        assert!(delivered > 20, "expected a substantial number of deliveries, got {delivered}");
+    }
+
+    #[test]
+    fn stats_count_bytes_and_frames() {
+        let clock = SimClock::realtime();
+        let (link, a, b) = Link::new(LinkConfig::unshaped(), clock);
+        a.transmit(vec![0u8; 100]);
+        a.transmit(vec![0u8; 200]);
+        b.drain_receive();
+        let stats = link.stats_from(LinkSide::A);
+        assert_eq!(stats.frames, 2);
+        assert_eq!(stats.bytes, 300);
+        assert_eq!(stats.drops, 0);
+    }
+
+    #[test]
+    fn in_flight_counts_undelivered_frames() {
+        let clock = SimClock::realtime();
+        let config = LinkConfig { bandwidth_bps: 1e3, propagation: Duration::from_secs(10), loss_probability: 0.0, queue_limit: 64 };
+        let (_link, a, b) = Link::new(config, clock);
+        a.transmit(vec![0u8; 10]);
+        assert_eq!(b.in_flight(), 1);
+        assert_eq!(b.poll_receive(), None);
+    }
+}

@@ -1,0 +1,532 @@
+//! The simulated gigabit network adapter (Intel PRO/1000 style).
+//!
+//! The paper heavily modified the e1000 driver and relies on two hardware
+//! features to reach multigigabit rates: **checksum offloading** and **TCP
+//! segmentation offloading** (TSO — the NIC breaks one oversized TCP segment
+//! into MTU-sized frames), both of which dramatically reduce the number of
+//! per-packet traversals of the stack.  This module models such an adapter:
+//!
+//! * bounded RX/TX descriptor rings (frames are dropped when the driver does
+//!   not keep up — the symptom a misbehaving driver shows);
+//! * TSO: an oversized frame submitted for transmission is segmented in
+//!   "hardware", adjusting IP/TCP headers, lengths and checksums;
+//! * checksum offload: IP/TCP/UDP checksums of outgoing frames are filled in
+//!   by the NIC so the stack never touches payload bytes;
+//! * a link-reset quirk: the adapters "do not have a knob to invalidate
+//!   [their] shadow copies of the RX and TX descriptors", so recovering from
+//!   an IP-server crash requires a full device reset and the link takes a
+//!   while to come up again — the gap visible in Figure 4.
+
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+use newt_kernel::clock::SimClock;
+
+use crate::link::LinkPort;
+use crate::wire::{
+    internet_checksum, pseudo_header_checksum, EtherType, IpProtocol, MacAddr, ETHERNET_HEADER_LEN,
+    IPV4_HEADER_LEN, MTU,
+};
+
+/// Errors returned by the NIC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NicError {
+    /// The TX descriptor ring is full.
+    TxRingFull,
+    /// The link is down (the device is resetting).
+    LinkDown,
+    /// The frame exceeds the MTU and TSO is disabled (or it is not TCP).
+    Oversized {
+        /// Length of the rejected frame.
+        len: usize,
+    },
+    /// The frame is too short or malformed to transmit.
+    Malformed,
+}
+
+impl std::fmt::Display for NicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NicError::TxRingFull => write!(f, "transmit descriptor ring is full"),
+            NicError::LinkDown => write!(f, "link is down"),
+            NicError::Oversized { len } => write!(f, "frame of {len} bytes exceeds the mtu and cannot be segmented"),
+            NicError::Malformed => write!(f, "frame is malformed"),
+        }
+    }
+}
+
+impl std::error::Error for NicError {}
+
+/// Configuration of a [`Nic`].
+#[derive(Debug, Clone)]
+pub struct NicConfig {
+    /// MAC address of the adapter.
+    pub mac: MacAddr,
+    /// Whether TCP segmentation offload is enabled.
+    pub tso: bool,
+    /// Whether checksum offload is enabled.
+    pub checksum_offload: bool,
+    /// RX descriptor ring size (frames).
+    pub rx_ring: usize,
+    /// TX descriptor ring size (frames).
+    pub tx_ring: usize,
+    /// How long the link stays down after a device reset (virtual time).
+    pub link_reset_latency: Duration,
+}
+
+impl NicConfig {
+    /// Creates the default configuration for adapter `index`: offloads
+    /// enabled, 256-entry rings, and a 1.8-second link-reset latency (the
+    /// link-up delay that produces the gap in Figure 4).
+    pub fn new(index: u8) -> Self {
+        NicConfig {
+            mac: MacAddr::from_index(index),
+            tso: true,
+            checksum_offload: true,
+            rx_ring: 256,
+            tx_ring: 256,
+            link_reset_latency: Duration::from_millis(1800),
+        }
+    }
+
+    /// Disables TCP segmentation offload.
+    #[must_use]
+    pub fn without_tso(mut self) -> Self {
+        self.tso = false;
+        self
+    }
+
+    /// Disables checksum offload.
+    #[must_use]
+    pub fn without_checksum_offload(mut self) -> Self {
+        self.checksum_offload = false;
+        self
+    }
+}
+
+/// Traffic counters of a [`Nic`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicStats {
+    /// Frames handed to the link.
+    pub tx_frames: u64,
+    /// Bytes handed to the link.
+    pub tx_bytes: u64,
+    /// Frames received from the link.
+    pub rx_frames: u64,
+    /// Bytes received from the link.
+    pub rx_bytes: u64,
+    /// Frames produced by TSO segmentation (in excess of the submitted
+    /// oversized frames).
+    pub tso_segments: u64,
+    /// Frames dropped because the RX ring was full.
+    pub rx_drops: u64,
+    /// Device resets performed.
+    pub resets: u64,
+}
+
+/// The simulated adapter.
+#[derive(Debug)]
+pub struct Nic {
+    config: NicConfig,
+    clock: SimClock,
+    port: LinkPort,
+    rx_ring: VecDeque<Vec<u8>>,
+    tx_ring: VecDeque<Vec<u8>>,
+    link_up_at: Duration,
+    stats: NicStats,
+}
+
+impl Nic {
+    /// Creates an adapter attached to one end of a link.
+    pub fn new(config: NicConfig, clock: SimClock, port: LinkPort) -> Self {
+        Nic {
+            config,
+            clock,
+            port,
+            rx_ring: VecDeque::new(),
+            tx_ring: VecDeque::new(),
+            link_up_at: Duration::ZERO,
+            stats: NicStats::default(),
+        }
+    }
+
+    /// Returns the adapter's MAC address.
+    pub fn mac(&self) -> MacAddr {
+        self.config.mac
+    }
+
+    /// Returns `true` while the link is up (not resetting).
+    pub fn is_link_up(&self) -> bool {
+        self.clock.now() >= self.link_up_at
+    }
+
+    /// Returns the adapter configuration.
+    pub fn config(&self) -> &NicConfig {
+        &self.config
+    }
+
+    /// Submits an Ethernet frame for transmission.
+    ///
+    /// Oversized TCP frames are segmented when TSO is enabled; checksums are
+    /// filled in when checksum offload is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NicError::LinkDown`], [`NicError::TxRingFull`],
+    /// [`NicError::Oversized`] or [`NicError::Malformed`].
+    pub fn transmit(&mut self, frame: Vec<u8>) -> Result<(), NicError> {
+        if !self.is_link_up() {
+            return Err(NicError::LinkDown);
+        }
+        if frame.len() < ETHERNET_HEADER_LEN {
+            return Err(NicError::Malformed);
+        }
+        let max_frame = ETHERNET_HEADER_LEN + MTU;
+        let frames = if frame.len() <= max_frame {
+            vec![frame]
+        } else if self.config.tso {
+            let segments = segment_tso(&frame).ok_or(NicError::Oversized { len: frame.len() })?;
+            self.stats.tso_segments += segments.len() as u64 - 1;
+            segments
+        } else {
+            return Err(NicError::Oversized { len: frame.len() });
+        };
+        if self.tx_ring.len() + frames.len() > self.config.tx_ring {
+            return Err(NicError::TxRingFull);
+        }
+        for mut out in frames {
+            if self.config.checksum_offload {
+                offload_checksums(&mut out);
+            }
+            self.tx_ring.push_back(out);
+        }
+        Ok(())
+    }
+
+    /// Services the descriptor rings: pushes queued TX frames onto the link
+    /// and pulls arrived frames into the RX ring.  Drivers call this from
+    /// their event loop (it stands in for the DMA engine making progress).
+    pub fn poll(&mut self) {
+        if !self.is_link_up() {
+            return;
+        }
+        while let Some(frame) = self.tx_ring.pop_front() {
+            self.stats.tx_frames += 1;
+            self.stats.tx_bytes += frame.len() as u64;
+            self.port.transmit(frame);
+        }
+        while let Some(frame) = self.port.poll_receive() {
+            if self.rx_ring.len() >= self.config.rx_ring {
+                self.stats.rx_drops += 1;
+                continue;
+            }
+            self.stats.rx_frames += 1;
+            self.stats.rx_bytes += frame.len() as u64;
+            self.rx_ring.push_back(frame);
+        }
+    }
+
+    /// Pops the next received frame from the RX ring.
+    pub fn receive(&mut self) -> Option<Vec<u8>> {
+        self.rx_ring.pop_front()
+    }
+
+    /// Returns the number of free TX descriptors.
+    pub fn tx_ring_free(&self) -> usize {
+        self.config.tx_ring - self.tx_ring.len()
+    }
+
+    /// Resets the device: both rings are cleared (the shadow descriptors are
+    /// lost) and the link stays down for the configured reset latency.
+    pub fn reset(&mut self) {
+        self.rx_ring.clear();
+        self.tx_ring.clear();
+        self.link_up_at = self.clock.now() + self.config.link_reset_latency;
+        self.stats.resets += 1;
+    }
+
+    /// Returns the traffic counters.
+    pub fn stats(&self) -> NicStats {
+        self.stats
+    }
+}
+
+/// Fills in the IPv4 header checksum and the TCP/UDP checksum of an outgoing
+/// frame in place (checksum offload).
+fn offload_checksums(frame: &mut [u8]) {
+    if frame.len() < ETHERNET_HEADER_LEN + IPV4_HEADER_LEN {
+        return;
+    }
+    let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+    if ethertype != EtherType::Ipv4.as_u16() {
+        return;
+    }
+    let ip = ETHERNET_HEADER_LEN;
+    let ihl = ((frame[ip] & 0x0f) as usize) * 4;
+    if frame.len() < ip + ihl {
+        return;
+    }
+    // IPv4 header checksum.
+    frame[ip + 10] = 0;
+    frame[ip + 11] = 0;
+    let ip_csum = internet_checksum(&frame[ip..ip + ihl]);
+    frame[ip + 10..ip + 12].copy_from_slice(&ip_csum.to_be_bytes());
+
+    let src = Ipv4Addr::new(frame[ip + 12], frame[ip + 13], frame[ip + 14], frame[ip + 15]);
+    let dst = Ipv4Addr::new(frame[ip + 16], frame[ip + 17], frame[ip + 18], frame[ip + 19]);
+    let protocol = frame[ip + 9];
+    let total_len = u16::from_be_bytes([frame[ip + 2], frame[ip + 3]]) as usize;
+    if frame.len() < ip + total_len {
+        return;
+    }
+    let transport = ip + ihl;
+    let transport_len = total_len - ihl;
+    let csum_offset = match protocol {
+        p if p == IpProtocol::Tcp.as_u8() => 16,
+        p if p == IpProtocol::Udp.as_u8() => 6,
+        _ => return,
+    };
+    if transport_len < csum_offset + 2 {
+        return;
+    }
+    frame[transport + csum_offset] = 0;
+    frame[transport + csum_offset + 1] = 0;
+    let csum = pseudo_header_checksum(src, dst, protocol, &frame[transport..transport + transport_len]);
+    frame[transport + csum_offset..transport + csum_offset + 2].copy_from_slice(&csum.to_be_bytes());
+}
+
+/// Segments an oversized Ethernet+IPv4+TCP frame into MTU-sized frames,
+/// adjusting sequence numbers, lengths and flags (TSO).  Returns `None` if
+/// the frame is not segmentable TCP.
+fn segment_tso(frame: &[u8]) -> Option<Vec<Vec<u8>>> {
+    if frame.len() < ETHERNET_HEADER_LEN + IPV4_HEADER_LEN {
+        return None;
+    }
+    let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+    if ethertype != EtherType::Ipv4.as_u16() {
+        return None;
+    }
+    let ip = ETHERNET_HEADER_LEN;
+    let ihl = ((frame[ip] & 0x0f) as usize) * 4;
+    if frame[ip + 9] != IpProtocol::Tcp.as_u8() {
+        return None;
+    }
+    let total_len = u16::from_be_bytes([frame[ip + 2], frame[ip + 3]]) as usize;
+    if frame.len() < ip + total_len {
+        return None;
+    }
+    let transport = ip + ihl;
+    let tcp_header_len = ((frame[transport + 12] >> 4) as usize) * 4;
+    let payload_start = transport + tcp_header_len;
+    let payload_end = ip + total_len;
+    let payload = &frame[payload_start..payload_end];
+    let mss = MTU - ihl - tcp_header_len;
+    if payload.len() <= mss {
+        return Some(vec![frame.to_vec()]);
+    }
+    let base_seq = u32::from_be_bytes([
+        frame[transport + 4],
+        frame[transport + 5],
+        frame[transport + 6],
+        frame[transport + 7],
+    ]);
+    let orig_flags = frame[transport + 13];
+    let mut segments = Vec::new();
+    let mut offset = 0usize;
+    while offset < payload.len() {
+        let chunk = &payload[offset..payload.len().min(offset + mss)];
+        let last = offset + chunk.len() >= payload.len();
+        let mut seg = Vec::with_capacity(payload_start - ip + chunk.len() + ETHERNET_HEADER_LEN);
+        seg.extend_from_slice(&frame[..payload_start]);
+        seg.extend_from_slice(chunk);
+        // Patch IP total length.
+        let new_total = (ihl + tcp_header_len + chunk.len()) as u16;
+        seg[ip + 2..ip + 4].copy_from_slice(&new_total.to_be_bytes());
+        // Patch TCP sequence number.
+        let seq = base_seq.wrapping_add(offset as u32);
+        seg[transport + 4..transport + 8].copy_from_slice(&seq.to_be_bytes());
+        // FIN/PSH only on the last segment.
+        if !last {
+            seg[transport + 13] = orig_flags & !0x09; // clear FIN and PSH
+        }
+        // Checksums are recomputed by checksum offload (always on for TSO
+        // hardware).
+        offload_checksums(&mut seg);
+        segments.push(seg);
+        offset += chunk.len();
+    }
+    Some(segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{Link, LinkConfig};
+    use crate::wire::{EthernetFrame, Ipv4Packet, TcpFlags, TcpSegment};
+
+    fn setup(config: NicConfig) -> (Nic, LinkPort, SimClock) {
+        let clock = SimClock::with_speedup(100.0);
+        let (_link, a, b) = Link::new(LinkConfig::unshaped(), clock.clone());
+        (Nic::new(config, clock.clone(), a), b, clock)
+    }
+
+    fn tcp_frame(payload_len: usize) -> Vec<u8> {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let mut seg = TcpSegment::control(40000, 5001, 1_000, 500, TcpFlags::PSH_ACK);
+        seg.payload = (0..payload_len).map(|i| (i % 251) as u8).collect();
+        let ip = Ipv4Packet::new(src, dst, IpProtocol::Tcp, seg.build(src, dst));
+        EthernetFrame::new(MacAddr::from_index(2), MacAddr::from_index(1), EtherType::Ipv4, ip.build())
+            .build()
+    }
+
+    #[test]
+    fn transmit_and_receive_small_frame() {
+        let (mut nic, peer, _clock) = setup(NicConfig::new(0));
+        let frame = tcp_frame(100);
+        nic.transmit(frame.clone()).unwrap();
+        nic.poll();
+        let got = peer.poll_receive().unwrap();
+        assert_eq!(got.len(), frame.len());
+        assert_eq!(nic.stats().tx_frames, 1);
+    }
+
+    #[test]
+    fn rx_path_delivers_frames() {
+        let (mut nic, peer, _clock) = setup(NicConfig::new(0));
+        peer.transmit(tcp_frame(64));
+        nic.poll();
+        assert!(nic.receive().is_some());
+        assert!(nic.receive().is_none());
+        assert_eq!(nic.stats().rx_frames, 1);
+    }
+
+    #[test]
+    fn tso_segments_oversized_tcp_frames() {
+        let (mut nic, peer, _clock) = setup(NicConfig::new(0));
+        // 16000 bytes of TCP payload in one oversized frame.
+        let frame = tcp_frame(16_000);
+        nic.transmit(frame).unwrap();
+        nic.poll();
+        let frames = peer.drain_receive();
+        assert!(frames.len() > 10, "expected many MTU-sized segments, got {}", frames.len());
+        // Every segment must be parseable and within the MTU, and the
+        // payloads must reassemble to the original data.
+        let mut reassembled: Vec<(u32, Vec<u8>)> = Vec::new();
+        for bytes in &frames {
+            assert!(bytes.len() <= ETHERNET_HEADER_LEN + MTU);
+            let eth = EthernetFrame::parse(bytes).unwrap();
+            let ip = Ipv4Packet::parse(&eth.payload).unwrap();
+            let tcp = TcpSegment::parse(&ip.payload, ip.src, ip.dst).unwrap();
+            reassembled.push((tcp.seq, tcp.payload));
+        }
+        reassembled.sort_by_key(|(seq, _)| *seq);
+        let total: Vec<u8> = reassembled.into_iter().flat_map(|(_, p)| p).collect();
+        assert_eq!(total.len(), 16_000);
+        assert_eq!(total, (0..16_000).map(|i| (i % 251) as u8).collect::<Vec<u8>>());
+        assert!(nic.stats().tso_segments > 0);
+    }
+
+    #[test]
+    fn tso_preserves_fin_only_on_last_segment() {
+        let (mut nic, peer, _clock) = setup(NicConfig::new(0));
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let mut seg = TcpSegment::control(1, 2, 0, 0, TcpFlags::FIN_ACK);
+        seg.payload = vec![1u8; 4000];
+        let ip = Ipv4Packet::new(src, dst, IpProtocol::Tcp, seg.build(src, dst));
+        let frame =
+            EthernetFrame::new(MacAddr::from_index(2), MacAddr::from_index(1), EtherType::Ipv4, ip.build())
+                .build();
+        nic.transmit(frame).unwrap();
+        nic.poll();
+        let frames = peer.drain_receive();
+        let fins: Vec<bool> = frames
+            .iter()
+            .map(|bytes| {
+                let eth = EthernetFrame::parse(bytes).unwrap();
+                let ip = Ipv4Packet::parse(&eth.payload).unwrap();
+                TcpSegment::parse(&ip.payload, ip.src, ip.dst).unwrap().flags.fin
+            })
+            .collect();
+        assert!(!fins[..fins.len() - 1].iter().any(|&f| f));
+        assert!(fins[fins.len() - 1]);
+    }
+
+    #[test]
+    fn oversized_frame_rejected_without_tso() {
+        let (mut nic, _peer, _clock) = setup(NicConfig::new(0).without_tso());
+        let err = nic.transmit(tcp_frame(5000)).unwrap_err();
+        assert!(matches!(err, NicError::Oversized { .. }));
+        // A normal-sized frame still goes through.
+        assert!(nic.transmit(tcp_frame(1000)).is_ok());
+    }
+
+    #[test]
+    fn checksum_offload_fills_in_checksums() {
+        let (mut nic, peer, _clock) = setup(NicConfig::new(0));
+        // Build a frame with deliberately zeroed checksums (what the stack
+        // produces when offload is enabled).
+        let mut frame = tcp_frame(200);
+        let ip = ETHERNET_HEADER_LEN;
+        frame[ip + 10] = 0;
+        frame[ip + 11] = 0;
+        let transport = ip + IPV4_HEADER_LEN;
+        frame[transport + 16] = 0;
+        frame[transport + 17] = 0;
+        nic.transmit(frame).unwrap();
+        nic.poll();
+        let bytes = peer.poll_receive().unwrap();
+        let eth = EthernetFrame::parse(&bytes).unwrap();
+        let ip = Ipv4Packet::parse(&eth.payload).unwrap();
+        assert!(TcpSegment::parse(&ip.payload, ip.src, ip.dst).is_ok());
+    }
+
+    #[test]
+    fn reset_takes_the_link_down_then_up() {
+        let (mut nic, _peer, clock) = setup(NicConfig::new(0));
+        assert!(nic.is_link_up());
+        nic.transmit(tcp_frame(10)).unwrap();
+        nic.reset();
+        assert!(!nic.is_link_up());
+        assert_eq!(nic.transmit(tcp_frame(10)).unwrap_err(), NicError::LinkDown);
+        assert_eq!(nic.stats().resets, 1);
+        // After the reset latency the link comes back.
+        clock.sleep(Duration::from_millis(1900));
+        assert!(nic.is_link_up());
+        assert!(nic.transmit(tcp_frame(10)).is_ok());
+    }
+
+    #[test]
+    fn rx_ring_overflow_drops_frames() {
+        let mut config = NicConfig::new(0);
+        config.rx_ring = 4;
+        let (mut nic, peer, _clock) = setup(config);
+        for _ in 0..10 {
+            peer.transmit(tcp_frame(10));
+        }
+        nic.poll();
+        assert_eq!(nic.stats().rx_frames, 4);
+        assert_eq!(nic.stats().rx_drops, 6);
+    }
+
+    #[test]
+    fn tx_ring_overflow_reported() {
+        let mut config = NicConfig::new(0);
+        config.tx_ring = 2;
+        let (mut nic, _peer, _clock) = setup(config);
+        nic.transmit(tcp_frame(10)).unwrap();
+        nic.transmit(tcp_frame(10)).unwrap();
+        assert_eq!(nic.transmit(tcp_frame(10)).unwrap_err(), NicError::TxRingFull);
+        assert_eq!(nic.tx_ring_free(), 0);
+        nic.poll();
+        assert_eq!(nic.tx_ring_free(), 2);
+    }
+
+    #[test]
+    fn malformed_frame_rejected() {
+        let (mut nic, _peer, _clock) = setup(NicConfig::new(0));
+        assert_eq!(nic.transmit(vec![1, 2, 3]).unwrap_err(), NicError::Malformed);
+    }
+}

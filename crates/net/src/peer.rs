@@ -1,0 +1,647 @@
+//! The remote peer host.
+//!
+//! The paper's evaluation always involves a second machine: the Linux box
+//! running `iperf` that sinks the outgoing TCP stream, the SSH client that
+//! reconnects after every injected fault, the remote DNS server answering the
+//! resolver's UDP queries.  [`RemotePeer`] is that machine: a small but
+//! protocol-correct host attached to the other end of a link that
+//!
+//! * answers ARP requests and ICMP echo requests,
+//! * accepts TCP connections on configured ports and acknowledges (and
+//!   counts) everything it receives — the iperf sink,
+//! * optionally echoes received TCP data back — the SSH-session stand-in,
+//! * answers UDP "DNS" queries on port 53 and echoes UDP on port 7.
+//!
+//! It deliberately acknowledges cumulatively and immediately, and re-ACKs
+//! out-of-order data, so the stack's retransmission logic is exercised the
+//! same way a real receiver would.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use newt_kernel::clock::SimClock;
+
+use crate::link::LinkPort;
+use crate::wire::{
+    ArpOperation, ArpPacket, EtherType, EthernetFrame, IcmpMessage, IcmpType, IpProtocol,
+    Ipv4Packet, MacAddr, TcpFlags, TcpSegment, UdpDatagram, MTU,
+};
+
+/// Well-known port of the iperf-like bulk sink.
+pub const IPERF_PORT: u16 = 5001;
+/// Well-known port of the SSH-like echo service.
+pub const SSH_PORT: u16 = 22;
+/// Well-known port of the DNS-like UDP responder.
+pub const DNS_PORT: u16 = 53;
+/// Well-known port of the UDP echo service.
+pub const UDP_ECHO_PORT: u16 = 7;
+
+/// Configuration of a [`RemotePeer`].
+#[derive(Debug, Clone)]
+pub struct PeerConfig {
+    /// The peer's MAC address.
+    pub mac: MacAddr,
+    /// The peer's IPv4 address.
+    pub ip: Ipv4Addr,
+    /// Receive window advertised on TCP connections.
+    pub tcp_window: u16,
+    /// TCP ports the peer listens on, with `true` marking echo services.
+    pub tcp_services: Vec<(u16, bool)>,
+}
+
+impl Default for PeerConfig {
+    fn default() -> Self {
+        PeerConfig {
+            mac: MacAddr::from_index(200),
+            ip: Ipv4Addr::new(10, 0, 0, 2),
+            tcp_window: u16::MAX,
+            tcp_services: vec![(IPERF_PORT, false), (SSH_PORT, true)],
+        }
+    }
+}
+
+/// Counters describing the traffic the peer has seen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerStats {
+    /// Frames processed.
+    pub frames: u64,
+    /// TCP payload bytes received in order (goodput).
+    pub tcp_bytes_received: u64,
+    /// Duplicate or out-of-order TCP segments observed.
+    pub tcp_out_of_order: u64,
+    /// TCP connections accepted.
+    pub tcp_accepted: u64,
+    /// ICMP echo requests answered.
+    pub pings_answered: u64,
+    /// DNS queries answered.
+    pub dns_answered: u64,
+    /// Frames that failed to parse (corrupted).
+    pub parse_errors: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct FlowKey {
+    remote_ip: Ipv4Addr,
+    remote_port: u16,
+    local_port: u16,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    SynReceived,
+    Established,
+    Closed,
+}
+
+#[derive(Debug)]
+struct PeerConn {
+    state: ConnState,
+    rcv_nxt: u32,
+    snd_nxt: u32,
+    bytes_received: u64,
+    echo: bool,
+    echo_backlog: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct PeerState {
+    conns: HashMap<FlowKey, PeerConn>,
+    stats: PeerStats,
+}
+
+/// The simulated remote host.  See the module documentation.
+#[derive(Debug)]
+pub struct RemotePeer {
+    config: PeerConfig,
+    clock: SimClock,
+    port: LinkPort,
+    state: Mutex<PeerState>,
+}
+
+impl RemotePeer {
+    /// Creates a peer attached to one end of a link.
+    pub fn new(config: PeerConfig, clock: SimClock, port: LinkPort) -> Self {
+        RemotePeer {
+            config,
+            clock,
+            port,
+            state: Mutex::new(PeerState { conns: HashMap::new(), stats: PeerStats::default() }),
+        }
+    }
+
+    /// Returns the peer's IPv4 address.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.config.ip
+    }
+
+    /// Returns the peer's MAC address.
+    pub fn mac(&self) -> MacAddr {
+        self.config.mac
+    }
+
+    /// Returns traffic counters.
+    pub fn stats(&self) -> PeerStats {
+        self.state.lock().stats
+    }
+
+    /// Returns the total TCP payload bytes received in order on `port`.
+    pub fn bytes_received_on(&self, port: u16) -> u64 {
+        self.state
+            .lock()
+            .conns
+            .iter()
+            .filter(|(k, _)| k.local_port == port)
+            .map(|(_, c)| c.bytes_received)
+            .sum()
+    }
+
+    /// Returns the number of currently established connections to `port`.
+    pub fn established_connections(&self, port: u16) -> usize {
+        self.state
+            .lock()
+            .conns
+            .iter()
+            .filter(|(k, c)| k.local_port == port && c.state == ConnState::Established)
+            .count()
+    }
+
+    /// Processes every frame currently waiting at the peer's link port.
+    /// Returns the number of frames handled.
+    pub fn poll_once(&self) -> usize {
+        let mut handled = 0;
+        while let Some(frame) = self.port.poll_receive() {
+            handled += 1;
+            self.handle_frame(&frame);
+        }
+        handled
+    }
+
+    /// Runs the peer in a background thread until the returned handle is
+    /// stopped.
+    pub fn spawn(self: Arc<Self>) -> PeerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_thread = Arc::clone(&stop);
+        let peer = Arc::clone(&self);
+        let thread = std::thread::Builder::new()
+            .name("newtos-remote-peer".to_string())
+            .spawn(move || {
+                while !stop_thread.load(Ordering::Acquire) {
+                    if peer.poll_once() == 0 {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+            })
+            .expect("spawning the remote peer thread");
+        PeerHandle { stop, thread: Some(thread) }
+    }
+
+    fn send_frame(&self, dst_mac: MacAddr, ethertype: EtherType, payload: Vec<u8>) {
+        let frame = EthernetFrame::new(dst_mac, self.config.mac, ethertype, payload);
+        self.port.transmit(frame.build());
+    }
+
+    fn send_ipv4(&self, dst_mac: MacAddr, dst_ip: Ipv4Addr, protocol: IpProtocol, payload: Vec<u8>) {
+        let packet = Ipv4Packet::new(self.config.ip, dst_ip, protocol, payload);
+        self.send_frame(dst_mac, EtherType::Ipv4, packet.build());
+    }
+
+    fn handle_frame(&self, bytes: &[u8]) {
+        {
+            self.state.lock().stats.frames += 1;
+        }
+        let Ok(frame) = EthernetFrame::parse(bytes) else {
+            self.state.lock().stats.parse_errors += 1;
+            return;
+        };
+        match frame.ethertype {
+            EtherType::Arp => self.handle_arp(&frame),
+            EtherType::Ipv4 => self.handle_ipv4(&frame),
+        }
+    }
+
+    fn handle_arp(&self, frame: &EthernetFrame) {
+        let Ok(arp) = ArpPacket::parse(&frame.payload) else {
+            self.state.lock().stats.parse_errors += 1;
+            return;
+        };
+        if arp.operation == ArpOperation::Request && arp.target_ip == self.config.ip {
+            let reply = ArpPacket::reply_to(&arp, self.config.mac, self.config.ip);
+            self.send_frame(arp.sender_mac, EtherType::Arp, reply.build());
+        }
+    }
+
+    fn handle_ipv4(&self, frame: &EthernetFrame) {
+        let Ok(packet) = Ipv4Packet::parse(&frame.payload) else {
+            self.state.lock().stats.parse_errors += 1;
+            return;
+        };
+        if packet.dst != self.config.ip {
+            return;
+        }
+        match packet.protocol {
+            IpProtocol::Icmp => self.handle_icmp(frame, &packet),
+            IpProtocol::Udp => self.handle_udp(frame, &packet),
+            IpProtocol::Tcp => self.handle_tcp(frame, &packet),
+        }
+    }
+
+    fn handle_icmp(&self, frame: &EthernetFrame, packet: &Ipv4Packet) {
+        let Ok(icmp) = IcmpMessage::parse(&packet.payload) else {
+            self.state.lock().stats.parse_errors += 1;
+            return;
+        };
+        if icmp.icmp_type == IcmpType::EchoRequest {
+            self.state.lock().stats.pings_answered += 1;
+            let reply = IcmpMessage::reply_to(&icmp);
+            self.send_ipv4(frame.src, packet.src, IpProtocol::Icmp, reply.build());
+        }
+    }
+
+    fn handle_udp(&self, frame: &EthernetFrame, packet: &Ipv4Packet) {
+        let Ok(dgram) = UdpDatagram::parse(&packet.payload, packet.src, packet.dst) else {
+            self.state.lock().stats.parse_errors += 1;
+            return;
+        };
+        let reply_payload = match dgram.dst_port {
+            DNS_PORT => {
+                self.state.lock().stats.dns_answered += 1;
+                let mut answer = b"answer:".to_vec();
+                answer.extend_from_slice(&dgram.payload);
+                Some(answer)
+            }
+            UDP_ECHO_PORT => Some(dgram.payload.clone()),
+            _ => None,
+        };
+        if let Some(payload) = reply_payload {
+            let reply = UdpDatagram::new(dgram.dst_port, dgram.src_port, payload);
+            self.send_ipv4(
+                frame.src,
+                packet.src,
+                IpProtocol::Udp,
+                reply.build(self.config.ip, packet.src),
+            );
+        }
+    }
+
+    fn handle_tcp(&self, frame: &EthernetFrame, packet: &Ipv4Packet) {
+        let Ok(seg) = TcpSegment::parse(&packet.payload, packet.src, packet.dst) else {
+            self.state.lock().stats.parse_errors += 1;
+            return;
+        };
+        let key = FlowKey { remote_ip: packet.src, remote_port: seg.src_port, local_port: seg.dst_port };
+        let listening = self.config.tcp_services.iter().find(|(p, _)| *p == seg.dst_port).copied();
+
+        let mut replies: Vec<TcpSegment> = Vec::new();
+        {
+            let mut state = self.state.lock();
+            let PeerState { conns, stats } = &mut *state;
+            if seg.flags.rst {
+                conns.remove(&key);
+                return;
+            }
+            if seg.flags.syn && !seg.flags.ack {
+                let Some((_, echo)) = listening else {
+                    // Not listening: reset.
+                    let mut rst = TcpSegment::control(seg.dst_port, seg.src_port, 0, seg.seq.wrapping_add(1), TcpFlags::RST);
+                    rst.window = 0;
+                    replies.push(rst);
+                    drop(state);
+                    for r in replies {
+                        self.send_tcp(frame.src, packet.src, r);
+                    }
+                    return;
+                };
+                let isn = 0x7000_0000u32.wrapping_add(seg.seq);
+                let conn = PeerConn {
+                    state: ConnState::SynReceived,
+                    rcv_nxt: seg.seq.wrapping_add(1),
+                    snd_nxt: isn.wrapping_add(1),
+                    bytes_received: 0,
+                    echo,
+                    echo_backlog: Vec::new(),
+                };
+                stats.tcp_accepted += 1;
+                let mut syn_ack =
+                    TcpSegment::control(seg.dst_port, seg.src_port, isn, conn.rcv_nxt, TcpFlags::SYN_ACK);
+                syn_ack.window = self.config.tcp_window;
+                syn_ack.mss = Some((MTU - 40) as u16);
+                conns.insert(key, conn);
+                replies.push(syn_ack);
+            } else if let Some(conn) = conns.get_mut(&key) {
+                if conn.state == ConnState::SynReceived && seg.flags.ack {
+                    conn.state = ConnState::Established;
+                }
+                let mut ack_due = false;
+                if !seg.payload.is_empty() {
+                    if seg.seq == conn.rcv_nxt {
+                        conn.rcv_nxt = conn.rcv_nxt.wrapping_add(seg.payload.len() as u32);
+                        conn.bytes_received += seg.payload.len() as u64;
+                        stats.tcp_bytes_received += seg.payload.len() as u64;
+                        if conn.echo {
+                            conn.echo_backlog.extend_from_slice(&seg.payload);
+                        }
+                    } else {
+                        stats.tcp_out_of_order += 1;
+                    }
+                    ack_due = true;
+                }
+                if seg.flags.fin && seg.seq == conns.get(&key).expect("present").rcv_nxt {
+                    let conn = conns.get_mut(&key).expect("present");
+                    conn.rcv_nxt = conn.rcv_nxt.wrapping_add(1);
+                    conn.state = ConnState::Closed;
+                    let mut fin_ack = TcpSegment::control(
+                        seg.dst_port,
+                        seg.src_port,
+                        conn.snd_nxt,
+                        conn.rcv_nxt,
+                        TcpFlags::FIN_ACK,
+                    );
+                    fin_ack.window = self.config.tcp_window;
+                    conn.snd_nxt = conn.snd_nxt.wrapping_add(1);
+                    replies.push(fin_ack);
+                    ack_due = false;
+                }
+                if ack_due {
+                    let conn = conns.get(&key).expect("present");
+                    let mut ack = TcpSegment::control(
+                        seg.dst_port,
+                        seg.src_port,
+                        conn.snd_nxt,
+                        conn.rcv_nxt,
+                        TcpFlags::ACK,
+                    );
+                    ack.window = self.config.tcp_window;
+                    replies.push(ack);
+                }
+                // Flush echo data (the SSH-like service answering the client).
+                let conn = conns.get_mut(&key).expect("present");
+                if conn.state == ConnState::Established && !conn.echo_backlog.is_empty() {
+                    let data: Vec<u8> = conn.echo_backlog.drain(..).collect();
+                    for chunk in data.chunks(MTU - 40) {
+                        let mut reply = TcpSegment::control(
+                            seg.dst_port,
+                            seg.src_port,
+                            conn.snd_nxt,
+                            conn.rcv_nxt,
+                            TcpFlags::PSH_ACK,
+                        );
+                        reply.window = self.config.tcp_window;
+                        reply.payload = chunk.to_vec();
+                        conn.snd_nxt = conn.snd_nxt.wrapping_add(chunk.len() as u32);
+                        replies.push(reply);
+                    }
+                }
+            } else if seg.flags.ack && !seg.flags.syn {
+                // Segment for a connection we do not know (e.g. the stack
+                // kept a connection across our restart) — reset it.
+                let rst = TcpSegment::control(seg.dst_port, seg.src_port, seg.ack, 0, TcpFlags::RST);
+                replies.push(rst);
+            }
+        }
+        for reply in replies {
+            self.send_tcp(frame.src, packet.src, reply);
+        }
+    }
+
+    fn send_tcp(&self, dst_mac: MacAddr, dst_ip: Ipv4Addr, segment: TcpSegment) {
+        let bytes = segment.build(self.config.ip, dst_ip);
+        self.send_ipv4(dst_mac, dst_ip, IpProtocol::Tcp, bytes);
+    }
+
+    /// Returns the virtual time according to the peer's clock (useful for
+    /// harnesses correlating peer counters with trace timestamps).
+    pub fn now(&self) -> Duration {
+        self.clock.now()
+    }
+}
+
+/// Handle to a peer running in a background thread.
+#[derive(Debug)]
+pub struct PeerHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl PeerHandle {
+    /// Stops the peer thread and waits for it to finish.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for PeerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{Link, LinkConfig};
+
+    struct Harness {
+        peer: RemotePeer,
+        port: LinkPort,
+        local_mac: MacAddr,
+        local_ip: Ipv4Addr,
+    }
+
+    fn setup() -> Harness {
+        let clock = SimClock::realtime();
+        let (_link, a, b) = Link::new(LinkConfig::unshaped(), clock.clone());
+        let peer = RemotePeer::new(PeerConfig::default(), clock, b);
+        Harness {
+            peer,
+            port: a,
+            local_mac: MacAddr::from_index(1),
+            local_ip: Ipv4Addr::new(10, 0, 0, 1),
+        }
+    }
+
+    impl Harness {
+        fn send_ipv4(&self, protocol: IpProtocol, payload: Vec<u8>) {
+            let packet = Ipv4Packet::new(self.local_ip, self.peer.ip(), protocol, payload);
+            let frame = EthernetFrame::new(self.peer.mac(), self.local_mac, EtherType::Ipv4, packet.build());
+            self.port.transmit(frame.build());
+        }
+
+        fn recv_tcp(&self) -> Option<TcpSegment> {
+            let bytes = self.port.poll_receive()?;
+            let eth = EthernetFrame::parse(&bytes).ok()?;
+            let ip = Ipv4Packet::parse(&eth.payload).ok()?;
+            TcpSegment::parse(&ip.payload, ip.src, ip.dst).ok()
+        }
+    }
+
+    #[test]
+    fn answers_arp_requests() {
+        let h = setup();
+        let req = ArpPacket::request(h.local_mac, h.local_ip, h.peer.ip());
+        let frame = EthernetFrame::new(MacAddr::BROADCAST, h.local_mac, EtherType::Arp, req.build());
+        h.port.transmit(frame.build());
+        h.peer.poll_once();
+        let reply_bytes = h.port.poll_receive().expect("arp reply expected");
+        let reply_frame = EthernetFrame::parse(&reply_bytes).unwrap();
+        let reply = ArpPacket::parse(&reply_frame.payload).unwrap();
+        assert_eq!(reply.operation, ArpOperation::Reply);
+        assert_eq!(reply.sender_ip, h.peer.ip());
+        assert_eq!(reply.target_ip, h.local_ip);
+    }
+
+    #[test]
+    fn answers_pings() {
+        let h = setup();
+        let ping = IcmpMessage::echo_request(7, 1, b"hello".to_vec());
+        h.send_ipv4(IpProtocol::Icmp, ping.build());
+        h.peer.poll_once();
+        let bytes = h.port.poll_receive().expect("echo reply expected");
+        let eth = EthernetFrame::parse(&bytes).unwrap();
+        let ip = Ipv4Packet::parse(&eth.payload).unwrap();
+        let reply = IcmpMessage::parse(&ip.payload).unwrap();
+        assert_eq!(reply.icmp_type, IcmpType::EchoReply);
+        assert_eq!(reply.payload, b"hello");
+        assert_eq!(h.peer.stats().pings_answered, 1);
+    }
+
+    #[test]
+    fn answers_dns_queries() {
+        let h = setup();
+        let query = UdpDatagram::new(5353, DNS_PORT, b"www.example.org".to_vec());
+        h.send_ipv4(IpProtocol::Udp, query.build(h.local_ip, h.peer.ip()));
+        h.peer.poll_once();
+        let bytes = h.port.poll_receive().expect("dns answer expected");
+        let eth = EthernetFrame::parse(&bytes).unwrap();
+        let ip = Ipv4Packet::parse(&eth.payload).unwrap();
+        let reply = UdpDatagram::parse(&ip.payload, ip.src, ip.dst).unwrap();
+        assert_eq!(reply.src_port, DNS_PORT);
+        assert_eq!(reply.dst_port, 5353);
+        assert_eq!(reply.payload, b"answer:www.example.org");
+        assert_eq!(h.peer.stats().dns_answered, 1);
+    }
+
+    #[test]
+    fn tcp_handshake_data_and_teardown() {
+        let h = setup();
+        // SYN.
+        let mut syn = TcpSegment::control(40000, IPERF_PORT, 100, 0, TcpFlags::SYN);
+        syn.mss = Some(1460);
+        h.send_ipv4(IpProtocol::Tcp, syn.build(h.local_ip, h.peer.ip()));
+        h.peer.poll_once();
+        let syn_ack = h.recv_tcp().expect("syn-ack expected");
+        assert!(syn_ack.flags.syn && syn_ack.flags.ack);
+        assert_eq!(syn_ack.ack, 101);
+
+        // ACK + data.
+        let ack = TcpSegment::control(40000, IPERF_PORT, 101, syn_ack.seq.wrapping_add(1), TcpFlags::ACK);
+        h.send_ipv4(IpProtocol::Tcp, ack.build(h.local_ip, h.peer.ip()));
+        let mut data = TcpSegment::control(40000, IPERF_PORT, 101, syn_ack.seq.wrapping_add(1), TcpFlags::PSH_ACK);
+        data.payload = vec![0xab; 1000];
+        h.send_ipv4(IpProtocol::Tcp, data.build(h.local_ip, h.peer.ip()));
+        h.peer.poll_once();
+        // Collect the data ACK (the pure ACK generates no reply).
+        let data_ack = h.recv_tcp().expect("data ack expected");
+        assert_eq!(data_ack.ack, 1101);
+        assert_eq!(h.peer.bytes_received_on(IPERF_PORT), 1000);
+        assert_eq!(h.peer.established_connections(IPERF_PORT), 1);
+
+        // Retransmission of the same data is not double counted.
+        let mut dup = TcpSegment::control(40000, IPERF_PORT, 101, syn_ack.seq.wrapping_add(1), TcpFlags::PSH_ACK);
+        dup.payload = vec![0xab; 1000];
+        h.send_ipv4(IpProtocol::Tcp, dup.build(h.local_ip, h.peer.ip()));
+        h.peer.poll_once();
+        let dup_ack = h.recv_tcp().expect("duplicate ack expected");
+        assert_eq!(dup_ack.ack, 1101);
+        assert_eq!(h.peer.bytes_received_on(IPERF_PORT), 1000);
+        assert_eq!(h.peer.stats().tcp_out_of_order, 1);
+
+        // FIN.
+        let fin = TcpSegment::control(40000, IPERF_PORT, 1101, dup_ack.seq, TcpFlags::FIN_ACK);
+        h.send_ipv4(IpProtocol::Tcp, fin.build(h.local_ip, h.peer.ip()));
+        h.peer.poll_once();
+        let fin_ack = h.recv_tcp().expect("fin-ack expected");
+        assert!(fin_ack.flags.fin && fin_ack.flags.ack);
+        assert_eq!(fin_ack.ack, 1102);
+        assert_eq!(h.peer.established_connections(IPERF_PORT), 0);
+    }
+
+    #[test]
+    fn ssh_service_echoes_data() {
+        let h = setup();
+        let mut syn = TcpSegment::control(50000, SSH_PORT, 0, 0, TcpFlags::SYN);
+        syn.mss = Some(1460);
+        h.send_ipv4(IpProtocol::Tcp, syn.build(h.local_ip, h.peer.ip()));
+        h.peer.poll_once();
+        let syn_ack = h.recv_tcp().unwrap();
+        let mut data = TcpSegment::control(50000, SSH_PORT, 1, syn_ack.seq.wrapping_add(1), TcpFlags::PSH_ACK);
+        data.payload = b"uname -a\n".to_vec();
+        h.send_ipv4(IpProtocol::Tcp, data.build(h.local_ip, h.peer.ip()));
+        h.peer.poll_once();
+        // Expect an ACK and an echoed data segment.
+        let mut got_echo = false;
+        while let Some(seg) = h.recv_tcp() {
+            if seg.payload == b"uname -a\n" {
+                got_echo = true;
+            }
+        }
+        assert!(got_echo, "ssh-like service did not echo the request");
+    }
+
+    #[test]
+    fn syn_to_closed_port_is_reset() {
+        let h = setup();
+        let syn = TcpSegment::control(40000, 9999, 5, 0, TcpFlags::SYN);
+        h.send_ipv4(IpProtocol::Tcp, syn.build(h.local_ip, h.peer.ip()));
+        h.peer.poll_once();
+        let rst = h.recv_tcp().expect("rst expected");
+        assert!(rst.flags.rst);
+    }
+
+    #[test]
+    fn corrupted_frames_are_counted_not_crashing() {
+        let h = setup();
+        let mut seg = TcpSegment::control(1, IPERF_PORT, 0, 0, TcpFlags::SYN);
+        seg.payload = vec![0u8; 20];
+        let mut bytes = seg.build(h.local_ip, h.peer.ip());
+        bytes[30] ^= 0xff; // corrupt
+        let packet = Ipv4Packet::new(h.local_ip, h.peer.ip(), IpProtocol::Tcp, bytes);
+        let frame = EthernetFrame::new(h.peer.mac(), h.local_mac, EtherType::Ipv4, packet.build());
+        h.port.transmit(frame.build());
+        h.peer.poll_once();
+        assert_eq!(h.peer.stats().parse_errors, 1);
+        assert!(h.port.poll_receive().is_none());
+    }
+
+    #[test]
+    fn background_thread_answers_traffic() {
+        let clock = SimClock::realtime();
+        let (_link, a, b) = Link::new(LinkConfig::unshaped(), clock.clone());
+        let peer = Arc::new(RemotePeer::new(PeerConfig::default(), clock, b));
+        let handle = Arc::clone(&peer).spawn();
+        let local_ip = Ipv4Addr::new(10, 0, 0, 1);
+        let ping = IcmpMessage::echo_request(1, 1, vec![]);
+        let packet = Ipv4Packet::new(local_ip, peer.ip(), IpProtocol::Icmp, ping.build());
+        let frame = EthernetFrame::new(peer.mac(), MacAddr::from_index(1), EtherType::Ipv4, packet.build());
+        a.transmit(frame.build());
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        let mut got_reply = false;
+        while std::time::Instant::now() < deadline && !got_reply {
+            got_reply = a.poll_receive().is_some();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        handle.stop();
+        assert!(got_reply, "peer thread did not answer the ping");
+    }
+}

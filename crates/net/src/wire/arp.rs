@@ -1,0 +1,145 @@
+//! ARP (RFC 826) for IPv4 over Ethernet.
+//!
+//! ARP lives in the IP server in the decomposed stack (the paper folds ARP
+//! and ICMP into the IP component, both of which are stateless and therefore
+//! trivially restartable).
+
+use std::net::Ipv4Addr;
+
+use super::{MacAddr, WireError};
+
+const ARP_LEN: usize = 28;
+
+/// ARP operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArpOperation {
+    /// Who-has request.
+    Request,
+    /// Is-at reply.
+    Reply,
+}
+
+impl ArpOperation {
+    fn as_u16(self) -> u16 {
+        match self {
+            ArpOperation::Request => 1,
+            ArpOperation::Reply => 2,
+        }
+    }
+}
+
+/// An ARP packet for IPv4 over Ethernet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Request or reply.
+    pub operation: ArpOperation,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (all zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpPacket {
+    /// Creates a who-has request for `target_ip`.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
+        ArpPacket {
+            operation: ArpOperation::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr([0; 6]),
+            target_ip,
+        }
+    }
+
+    /// Creates the reply answering `request` with the local binding.
+    pub fn reply_to(request: &ArpPacket, local_mac: MacAddr, local_ip: Ipv4Addr) -> Self {
+        ArpPacket {
+            operation: ArpOperation::Reply,
+            sender_mac: local_mac,
+            sender_ip: local_ip,
+            target_mac: request.sender_mac,
+            target_ip: request.sender_ip,
+        }
+    }
+
+    /// Serialises the packet.
+    pub fn build(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ARP_LEN);
+        out.extend_from_slice(&1u16.to_be_bytes()); // hardware type: Ethernet
+        out.extend_from_slice(&0x0800u16.to_be_bytes()); // protocol type: IPv4
+        out.push(6); // hardware length
+        out.push(4); // protocol length
+        out.extend_from_slice(&self.operation.as_u16().to_be_bytes());
+        out.extend_from_slice(&self.sender_mac.octets());
+        out.extend_from_slice(&self.sender_ip.octets());
+        out.extend_from_slice(&self.target_mac.octets());
+        out.extend_from_slice(&self.target_ip.octets());
+        out
+    }
+
+    /// Parses an ARP packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if the buffer is too short or
+    /// [`WireError::BadLength`] if the hardware/protocol sizes are not
+    /// Ethernet/IPv4.
+    pub fn parse(data: &[u8]) -> Result<Self, WireError> {
+        if data.len() < ARP_LEN {
+            return Err(WireError::Truncated { needed: ARP_LEN, got: data.len() });
+        }
+        if data[4] != 6 || data[5] != 4 {
+            return Err(WireError::BadLength { field: "arp hardware/protocol size" });
+        }
+        let operation = match u16::from_be_bytes([data[6], data[7]]) {
+            1 => ArpOperation::Request,
+            2 => ArpOperation::Reply,
+            _ => return Err(WireError::BadLength { field: "arp operation" }),
+        };
+        let sender_mac = MacAddr([data[8], data[9], data[10], data[11], data[12], data[13]]);
+        let sender_ip = Ipv4Addr::new(data[14], data[15], data[16], data[17]);
+        let target_mac = MacAddr([data[18], data[19], data[20], data[21], data[22], data[23]]);
+        let target_ip = Ipv4Addr::new(data[24], data[25], data[26], data[27]);
+        Ok(ArpPacket { operation, sender_mac, sender_ip, target_mac, target_ip })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_reply_round_trip() {
+        let req = ArpPacket::request(
+            MacAddr::from_index(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let parsed = ArpPacket::parse(&req.build()).unwrap();
+        assert_eq!(parsed, req);
+
+        let reply = ArpPacket::reply_to(&parsed, MacAddr::from_index(2), Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(reply.operation, ArpOperation::Reply);
+        assert_eq!(reply.target_ip, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(reply.target_mac, MacAddr::from_index(1));
+        let parsed_reply = ArpPacket::parse(&reply.build()).unwrap();
+        assert_eq!(parsed_reply, reply);
+    }
+
+    #[test]
+    fn truncated_and_malformed_rejected() {
+        assert!(matches!(ArpPacket::parse(&[0u8; 10]), Err(WireError::Truncated { .. })));
+        let mut bytes = ArpPacket::request(
+            MacAddr::from_index(1),
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(1, 1, 1, 2),
+        )
+        .build();
+        bytes[4] = 8; // bogus hardware size
+        assert!(matches!(ArpPacket::parse(&bytes), Err(WireError::BadLength { .. })));
+    }
+}

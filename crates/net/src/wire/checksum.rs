@@ -1,0 +1,108 @@
+//! The Internet checksum (RFC 1071) and the TCP/UDP pseudo-header variant.
+//!
+//! In the paper's stack, checksums are normally offloaded to the NIC
+//! (checksum offloading is one of the optimisations that takes the stack from
+//! 3.2 Gbps to 5+ Gbps); the software implementation here is used by the
+//! remote peer host, by the simulated NIC when offload is enabled, and by the
+//! stack itself when offload is disabled.
+
+use std::net::Ipv4Addr;
+
+/// Computes the 16-bit ones'-complement Internet checksum over `data`.
+///
+/// # Examples
+///
+/// ```
+/// use newt_net::wire::internet_checksum;
+///
+/// // A buffer followed by its own checksum sums to zero.
+/// let mut header = vec![0x45, 0x00, 0x00, 0x54, 0x00, 0x00, 0x40, 0x00, 0x40, 0x01, 0x00, 0x00];
+/// let csum = internet_checksum(&header);
+/// header[10] = (csum >> 8) as u8;
+/// header[11] = (csum & 0xff) as u8;
+/// assert_eq!(internet_checksum(&header), 0);
+/// ```
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    finish(sum_words(data, 0))
+}
+
+/// Computes the TCP/UDP checksum, which covers a pseudo header (source and
+/// destination address, protocol, segment length) in addition to the segment
+/// itself.
+pub fn pseudo_header_checksum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, segment: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    sum = sum_words(&src.octets(), sum);
+    sum = sum_words(&dst.octets(), sum);
+    sum += protocol as u32;
+    sum += segment.len() as u32;
+    sum = sum_words(segment, sum);
+    finish(sum)
+}
+
+fn sum_words(data: &[u8], mut sum: u32) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let Some(&last) = chunks.remainder().first() {
+        sum += u32::from(u16::from_be_bytes([last, 0]));
+    }
+    sum
+}
+
+fn finish(mut sum: u32) -> u16 {
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The classic example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let sum = internet_checksum(&data);
+        assert_eq!(sum, !0xddf2);
+    }
+
+    #[test]
+    fn empty_buffer_checksums_to_ffff() {
+        assert_eq!(internet_checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn odd_length_is_padded() {
+        let even = internet_checksum(&[0x12, 0x34, 0x56, 0x00]);
+        let odd = internet_checksum(&[0x12, 0x34, 0x56]);
+        assert_eq!(even, odd);
+    }
+
+    #[test]
+    fn buffer_including_own_checksum_verifies_to_zero() {
+        let mut data = vec![0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x00, 0x00];
+        let csum = internet_checksum(&data);
+        data[6] = (csum >> 8) as u8;
+        data[7] = (csum & 0xff) as u8;
+        assert_eq!(internet_checksum(&data), 0);
+    }
+
+    #[test]
+    fn pseudo_header_differs_by_address() {
+        let seg = [0u8; 20];
+        let a = pseudo_header_checksum(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 6, &seg);
+        let b = pseudo_header_checksum(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 3), 6, &seg);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pseudo_header_differs_by_protocol() {
+        let seg = [1u8; 8];
+        let tcp = pseudo_header_checksum(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 6, &seg);
+        let udp = pseudo_header_checksum(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 17, &seg);
+        assert_ne!(tcp, udp);
+    }
+}

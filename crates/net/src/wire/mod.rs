@@ -1,0 +1,151 @@
+//! Wire formats: Ethernet II, ARP, IPv4, ICMP, UDP and TCP.
+//!
+//! The decomposed stack passes packets between servers as rich-pointer
+//! chains; at the edges (the simulated NIC putting frames on the wire, the
+//! remote peer host, the trace capture) packets are parsed from and built
+//! into contiguous byte buffers using the types in this module.
+//!
+//! Parsing is strict about lengths and checksums so that fault-injection
+//! experiments that corrupt packets are detected rather than silently
+//! accepted.
+
+mod arp;
+mod checksum;
+mod ethernet;
+mod icmp;
+mod ipv4;
+mod tcp;
+mod udp;
+
+pub use arp::{ArpOperation, ArpPacket};
+pub use checksum::{internet_checksum, pseudo_header_checksum};
+pub use ethernet::{EtherType, EthernetFrame, ETHERNET_HEADER_LEN};
+pub use icmp::{IcmpMessage, IcmpType};
+pub use ipv4::{IpProtocol, Ipv4Packet, IPV4_HEADER_LEN};
+pub use tcp::{TcpFlags, TcpSegment, TCP_HEADER_LEN};
+pub use udp::{UdpDatagram, UDP_HEADER_LEN};
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The standard Ethernet maximum transmission unit used throughout the
+/// evaluation (the paper uses a standard 1500-byte MTU in all
+/// configurations).
+pub const MTU: usize = 1500;
+
+/// Errors returned when parsing or building wire formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the protocol header requires.
+    Truncated {
+        /// Bytes needed for the header (or header + declared payload).
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Protocol whose checksum failed ("ipv4", "tcp", "udp", "icmp").
+        protocol: &'static str,
+    },
+    /// The EtherType is not one the stack understands.
+    UnsupportedEtherType(u16),
+    /// The IP version field is not 4.
+    UnsupportedIpVersion(u8),
+    /// The IP protocol number is not one the stack understands.
+    UnsupportedProtocol(u8),
+    /// A length field is inconsistent with the buffer.
+    BadLength {
+        /// Description of the inconsistent field.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "packet truncated: needed {needed} bytes, got {got}")
+            }
+            WireError::BadChecksum { protocol } => write!(f, "{protocol} checksum mismatch"),
+            WireError::UnsupportedEtherType(t) => write!(f, "unsupported ethertype {t:#06x}"),
+            WireError::UnsupportedIpVersion(v) => write!(f, "unsupported ip version {v}"),
+            WireError::UnsupportedProtocol(p) => write!(f, "unsupported ip protocol {p}"),
+            WireError::BadLength { field } => write!(f, "inconsistent length field: {field}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Returns `true` if this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Returns the raw octets.
+    pub const fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+
+    /// Creates a locally administered address from a small index, handy for
+    /// generating distinct NIC addresses in tests and simulations.
+    pub fn from_index(index: u8) -> MacAddr {
+        MacAddr([0x02, 0x00, 0x00, 0x00, 0x00, index])
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MacAddr({self})")
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_addr_display_and_broadcast() {
+        let mac = MacAddr([0x02, 0, 0, 0, 0, 0x2a]);
+        assert_eq!(format!("{mac}"), "02:00:00:00:00:2a");
+        assert!(!mac.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert_eq!(MacAddr::from_index(7).octets()[5], 7);
+    }
+
+    #[test]
+    fn wire_error_messages() {
+        let e = WireError::Truncated { needed: 20, got: 10 };
+        assert!(format!("{e}").contains("truncated"));
+        let e = WireError::BadChecksum { protocol: "tcp" };
+        assert!(format!("{e}").contains("tcp"));
+        let e = WireError::UnsupportedEtherType(0x86dd);
+        assert!(format!("{e}").contains("0x86dd"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Ablation sweeps over the design choices the paper motivates.
+//!
+//! These answer "how much does each principle buy?" with the same pipeline
+//! model used for Table II: the cost of kernel involvement per message, the
+//! benefit of dedicated cores, zero copy and TSO.
+
+use newt_kernel::cost::CostModel;
+use serde::{Deserialize, Serialize};
+
+use crate::model::{IpcKind, PipelineConfig, Stage};
+
+/// One point of an ablation sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationPoint {
+    /// The varied parameter's value (cycles, bytes or core share — see the
+    /// sweep's documentation).
+    pub parameter: f64,
+    /// Modelled throughput in Mbit/s.
+    pub throughput_mbps: f64,
+}
+
+fn reference_stack(ipc: IpcKind, segment: usize, core_share: f64, copied: usize) -> PipelineConfig {
+    PipelineConfig {
+        name: "ablation".to_string(),
+        ipc,
+        segment_size: segment,
+        copied_bytes: copied,
+        software_checksum: copied > 0,
+        stages: vec![
+            Stage { name: "tcp".into(), work_per_segment: 6_300, ipc_hops: 2, core_share },
+            Stage { name: "ip".into(), work_per_segment: 3_000, ipc_hops: 3, core_share },
+            Stage { name: "pf".into(), work_per_segment: 1_100, ipc_hops: 1, core_share },
+            Stage { name: "driver".into(), work_per_segment: 900, ipc_hops: 1, core_share },
+        ],
+        link_gbps: 10.0,
+        restartable: true,
+    }
+}
+
+/// Sweeps the per-message IPC cost from channel-like (30 cycles) to
+/// cold-trap-like (3000 cycles) by scaling the model's channel enqueue cost.
+/// Parameter: cycles per enqueue.
+pub fn ipc_cost_sweep(model: &CostModel) -> Vec<AblationPoint> {
+    [30u64, 150, 300, 600, 1200, 3000]
+        .iter()
+        .map(|&cost| {
+            let mut m = *model;
+            m.channel_enqueue = cost;
+            let result = reference_stack(IpcKind::Channels, 1460, 1.0, 0).evaluate(&m);
+            AblationPoint { parameter: cost as f64, throughput_mbps: result.throughput_mbps }
+        })
+        .collect()
+}
+
+/// Sweeps the TSO aggregate segment size.  Parameter: bytes per segment.
+pub fn tso_segment_sweep(model: &CostModel) -> Vec<AblationPoint> {
+    [1460usize, 2920, 8760, 16384, 32768, 65536]
+        .iter()
+        .map(|&bytes| {
+            let result = reference_stack(IpcKind::Channels, bytes, 1.0, 0).evaluate(model);
+            AblationPoint { parameter: bytes as f64, throughput_mbps: result.throughput_mbps }
+        })
+        .collect()
+}
+
+/// Sweeps the fraction of a core each server owns (1.0 = dedicated, smaller =
+/// the servers are coalesced onto fewer cores).  Parameter: core share.
+pub fn core_share_sweep(model: &CostModel) -> Vec<AblationPoint> {
+    [1.0, 0.5, 0.25, 0.125]
+        .iter()
+        .map(|&share| {
+            let result = reference_stack(IpcKind::Channels, 1460, share, 0).evaluate(model);
+            AblationPoint { parameter: share, throughput_mbps: result.throughput_mbps }
+        })
+        .collect()
+}
+
+/// Compares zero copy against one, two and three payload copies per segment.
+/// Parameter: number of copies.
+pub fn copy_sweep(model: &CostModel) -> Vec<AblationPoint> {
+    (0usize..=3)
+        .map(|copies| {
+            let result =
+                reference_stack(IpcKind::Channels, 1460, 1.0, copies * 1460).evaluate(model);
+            AblationPoint { parameter: copies as f64, throughput_mbps: result.throughput_mbps }
+        })
+        .collect()
+}
+
+/// Compares kernel IPC against user-space channels for the same stack.
+/// Parameter: 0 = channels, 1 = kernel IPC.
+pub fn ipc_kind_comparison(model: &CostModel) -> Vec<AblationPoint> {
+    vec![
+        AblationPoint {
+            parameter: 0.0,
+            throughput_mbps: reference_stack(IpcKind::Channels, 1460, 1.0, 0)
+                .evaluate(model)
+                .throughput_mbps,
+        },
+        AblationPoint {
+            parameter: 1.0,
+            throughput_mbps: reference_stack(IpcKind::KernelSync, 1460, 1.0, 0)
+                .evaluate(model)
+                .throughput_mbps,
+        },
+    ]
+}
+
+/// Renders a sweep as an aligned text table.
+pub fn render(title: &str, parameter_label: &str, points: &[AblationPoint]) -> String {
+    let mut out = format!("{title}\n{:<16} {:>14}\n", parameter_label, "Mbps");
+    for point in points {
+        out.push_str(&format!("{:<16} {:>14.0}\n", point.parameter, point.throughput_mbps));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cheaper_ipc_means_more_throughput() {
+        let sweep = ipc_cost_sweep(&CostModel::default());
+        assert_eq!(sweep.len(), 6);
+        for pair in sweep.windows(2) {
+            assert!(pair[0].throughput_mbps >= pair[1].throughput_mbps);
+        }
+        // Going from 30-cycle channels to 3000-cycle traps costs a
+        // noticeable share of throughput.
+        assert!(sweep[0].throughput_mbps > 1.3 * sweep[5].throughput_mbps);
+    }
+
+    #[test]
+    fn larger_tso_segments_help_until_the_link_caps() {
+        let sweep = tso_segment_sweep(&CostModel::default());
+        assert!(sweep.last().unwrap().throughput_mbps >= sweep[0].throughput_mbps);
+    }
+
+    #[test]
+    fn dedicated_cores_beat_coalesced_ones() {
+        let sweep = core_share_sweep(&CostModel::default());
+        assert!(sweep[0].throughput_mbps > sweep[3].throughput_mbps * 3.0);
+    }
+
+    #[test]
+    fn every_copy_costs_throughput() {
+        let sweep = copy_sweep(&CostModel::default());
+        for pair in sweep.windows(2) {
+            assert!(pair[0].throughput_mbps > pair[1].throughput_mbps);
+        }
+    }
+
+    #[test]
+    fn channels_beat_kernel_ipc_for_the_same_stack() {
+        let cmp = ipc_kind_comparison(&CostModel::default());
+        assert!(cmp[0].throughput_mbps > cmp[1].throughput_mbps);
+    }
+
+    #[test]
+    fn render_includes_every_point() {
+        let sweep = copy_sweep(&CostModel::default());
+        let text = render("copies", "n", &sweep);
+        assert_eq!(text.lines().count(), 2 + sweep.len());
+    }
+}

@@ -1,0 +1,29 @@
+//! Analytic performance model of the NewtOS stack configurations.
+//!
+//! The executable stack (`newt-stack`) demonstrates the mechanisms; this
+//! crate reproduces the *numbers* — the shape of Table II and the ablations
+//! over the design principles — using a cycle-cost pipeline model calibrated
+//! with the measurements the paper reports (≈150/≈3000-cycle kernel traps,
+//! ≈30-cycle channel enqueues, a 1.9 GHz 12-core machine, five 1 Gb NICs).
+//!
+//! ```
+//! use newt_kernel::cost::CostModel;
+//! use newt_sim::table2;
+//!
+//! let rows = table2::run(&CostModel::default());
+//! assert_eq!(rows.len(), 7);
+//! // The MINIX 3 baseline is orders of magnitude below the NewtOS rows.
+//! assert!(rows[0].model_mbps * 10.0 < rows[5].model_mbps);
+//! println!("{}", table2::render(&rows));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablation;
+pub mod model;
+pub mod table2;
+
+pub use ablation::AblationPoint;
+pub use model::{IpcKind, PipelineConfig, PipelineResult, Stage};
+pub use table2::Table2Row;

@@ -1,0 +1,206 @@
+//! Analytic pipeline model of the stack configurations.
+//!
+//! The executable stack in `newt-stack` runs on whatever host executes the
+//! test suite, so its absolute throughput says more about that host than
+//! about the paper's 12-core 1.9 GHz Opteron.  To reproduce the *shape* of
+//! Table II — which configuration beats which, and by roughly how much — this
+//! module models each configuration as a pipeline of stages with per-packet
+//! cycle costs taken from the paper's own measurements (≈150/3000-cycle
+//! kernel traps, ≈30-cycle channel enqueues, checksum/copy costs, TSO
+//! reducing the number of per-MTU traversals), and computes the bottleneck
+//! throughput.
+//!
+//! The model is deliberately simple: every stage is a core; a stage's
+//! capacity is `cycles_per_second / cycles_per_segment`; segments carry
+//! `segment_size` bytes of payload; the throughput of a configuration is the
+//! minimum of the stage capacities and the link capacity.  Stages that share
+//! a core split the core's capacity.
+
+use newt_kernel::cost::CostModel;
+use serde::{Deserialize, Serialize};
+
+/// How the servers communicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IpcKind {
+    /// Synchronous kernel IPC: two traps per hop plus a context switch when
+    /// the peer shares the core, plus an IPI when it sits on an idle remote
+    /// core.
+    KernelSync,
+    /// Asynchronous user-space channels: one enqueue per hop.
+    Channels,
+}
+
+/// One processing stage of a configuration (a server, or a group of servers
+/// sharing a core).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Stage {
+    /// Human-readable name ("tcp", "ip", "driver", "inet", ...).
+    pub name: String,
+    /// Protocol work per segment executed on this stage, in cycles.
+    pub work_per_segment: u64,
+    /// Number of IPC hops this stage initiates per segment.
+    pub ipc_hops: u32,
+    /// Share of a core this stage owns (1.0 = dedicated core; 0.25 = four
+    /// stages share one core).
+    pub core_share: f64,
+}
+
+/// A stack configuration to evaluate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Display name (matches the Table II row).
+    pub name: String,
+    /// Communication mechanism between the stages.
+    pub ipc: IpcKind,
+    /// Payload bytes carried per segment handed to the NIC (MSS without TSO,
+    /// the TSO aggregate size with it).
+    pub segment_size: usize,
+    /// Bytes copied per segment in software (0 with zero-copy).
+    pub copied_bytes: usize,
+    /// Whether checksums are computed in software.
+    pub software_checksum: bool,
+    /// The stages the segment traverses.
+    pub stages: Vec<Stage>,
+    /// Aggregate link capacity in Gbit/s.
+    pub link_gbps: f64,
+    /// Whether the configuration survives component crashes (reported in the
+    /// table for context).
+    pub restartable: bool,
+}
+
+/// The modelled outcome for one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineResult {
+    /// Configuration name.
+    pub name: String,
+    /// Peak throughput in Mbit/s.
+    pub throughput_mbps: f64,
+    /// The stage that limits throughput ("link" when the wire is the
+    /// bottleneck).
+    pub bottleneck: String,
+    /// Whether the configuration is restartable/live-updatable.
+    pub restartable: bool,
+}
+
+impl PipelineConfig {
+    /// Cycles one segment costs on `stage` under this configuration.
+    fn cycles_per_segment(&self, stage: &Stage, model: &CostModel) -> f64 {
+        let ipc_cost = match self.ipc {
+            IpcKind::KernelSync => {
+                // Request and reply each trap into the kernel; half the time
+                // the destination needs an IPI or a context switch.
+                2.0 * model.trap_expected() + 0.5 * (model.ipi as f64 + model.context_switch as f64)
+            }
+            IpcKind::Channels => model.channel_enqueue as f64,
+        };
+        let mut cycles = stage.work_per_segment as f64 + stage.ipc_hops as f64 * ipc_cost;
+        if self.copied_bytes > 0 {
+            cycles += model.copy_cost(self.copied_bytes) as f64;
+        }
+        if self.software_checksum {
+            // Checksumming touches every payload byte once.
+            cycles += self.segment_size as f64 * 0.25;
+        }
+        cycles
+    }
+
+    /// Evaluates the configuration under `model`.
+    pub fn evaluate(&self, model: &CostModel) -> PipelineResult {
+        let bits_per_segment = (self.segment_size * 8) as f64;
+        let mut throughput_mbps = self.link_gbps * 1000.0;
+        let mut bottleneck = "link".to_string();
+        for stage in &self.stages {
+            let cycles = self.cycles_per_segment(stage, model);
+            let segments_per_second = model.cycles_per_second() * stage.core_share / cycles;
+            let mbps = segments_per_second * bits_per_segment / 1e6;
+            if mbps < throughput_mbps {
+                throughput_mbps = mbps;
+                bottleneck = stage.name.clone();
+            }
+        }
+        PipelineResult {
+            name: self.name.clone(),
+            throughput_mbps,
+            bottleneck,
+            restartable: self.restartable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(name: &str, work: u64, hops: u32, share: f64) -> Stage {
+        Stage { name: name.to_string(), work_per_segment: work, ipc_hops: hops, core_share: share }
+    }
+
+    fn simple(name: &str, ipc: IpcKind, segment: usize, share: f64) -> PipelineConfig {
+        PipelineConfig {
+            name: name.to_string(),
+            ipc,
+            segment_size: segment,
+            copied_bytes: 0,
+            software_checksum: false,
+            stages: vec![stage("tcp", 2000, 2, share), stage("ip", 2000, 2, share)],
+            // Effectively unbounded so the stage effects under test are
+            // visible; the link-cap test overrides this.
+            link_gbps: 1000.0,
+            restartable: true,
+        }
+    }
+
+    #[test]
+    fn channels_beat_kernel_ipc() {
+        let model = CostModel::default();
+        let channels = simple("channels", IpcKind::Channels, 1460, 1.0).evaluate(&model);
+        let kernel = simple("kernel", IpcKind::KernelSync, 1460, 1.0).evaluate(&model);
+        assert!(channels.throughput_mbps > kernel.throughput_mbps);
+    }
+
+    #[test]
+    fn bigger_segments_mean_more_throughput() {
+        let model = CostModel::default();
+        let mtu = simple("mtu", IpcKind::Channels, 1460, 1.0).evaluate(&model);
+        let tso = simple("tso", IpcKind::Channels, 60_000, 1.0).evaluate(&model);
+        assert!(tso.throughput_mbps > mtu.throughput_mbps);
+    }
+
+    #[test]
+    fn shared_core_halves_capacity() {
+        let model = CostModel::default();
+        let dedicated = simple("dedicated", IpcKind::Channels, 1460, 1.0).evaluate(&model);
+        let shared = simple("shared", IpcKind::Channels, 1460, 0.5).evaluate(&model);
+        assert!(dedicated.throughput_mbps > shared.throughput_mbps * 1.5);
+    }
+
+    #[test]
+    fn link_caps_throughput() {
+        let model = CostModel::default();
+        let mut config = simple("fast", IpcKind::Channels, 60_000, 1.0);
+        config.link_gbps = 1.0;
+        let result = config.evaluate(&model);
+        assert_eq!(result.bottleneck, "link");
+        assert!((result.throughput_mbps - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn copies_and_software_checksums_cost_throughput() {
+        let model = CostModel::default();
+        let zero_copy = simple("zc", IpcKind::Channels, 1460, 1.0).evaluate(&model);
+        let mut copying = simple("copy", IpcKind::Channels, 1460, 1.0);
+        copying.copied_bytes = 1460;
+        copying.software_checksum = true;
+        let copying = copying.evaluate(&model);
+        assert!(zero_copy.throughput_mbps > copying.throughput_mbps);
+    }
+
+    #[test]
+    fn bottleneck_is_reported() {
+        let model = CostModel::default();
+        let mut config = simple("x", IpcKind::Channels, 1460, 1.0);
+        config.stages[1].work_per_segment = 50_000; // make IP the bottleneck
+        let result = config.evaluate(&model);
+        assert_eq!(result.bottleneck, "ip");
+    }
+}

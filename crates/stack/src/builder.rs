@@ -1,0 +1,1032 @@
+//! Assembling and running a complete NewtOS networking stack.
+//!
+//! [`StackConfig`] selects the configuration axes the paper's evaluation
+//! varies (Table II): how the stack is decomposed ([`Topology`]), whether
+//! TSO and checksum offload are enabled, whether the packet filter is in the
+//! path, how many NICs/links are attached, and whether kernel-IPC costs are
+//! merely accounted or physically emulated.  [`NewtStack::start`] brings the
+//! whole system up: the simulated NICs and links, the remote peer hosts, the
+//! reincarnation server with one service per component, and the SYSCALL
+//! front end applications talk to through [`NetClient`](crate::posix::NetClient).
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use newt_channels::endpoint::Endpoint;
+use newt_channels::pool::Pool;
+use newt_channels::registry::Registry;
+use newt_kernel::clock::SimClock;
+use newt_kernel::cost::CostModel;
+use newt_kernel::ipc::{KernelIpc, KernelStats};
+use newt_kernel::rs::{
+    CrashEvent, FaultAction, ReincarnationServer, ServiceConfig, ServiceRuntime, ServiceStatus,
+};
+use newt_kernel::storage::StorageServer;
+use newt_net::link::{Link, LinkConfig, LinkSide};
+use newt_net::nic::{Nic, NicConfig};
+use newt_net::peer::{PeerConfig, PeerHandle, RemotePeer};
+use newt_net::trace::TraceCapture;
+use newt_net::wire::MacAddr;
+
+use crate::driver::{DriverServer, DriverStats};
+use crate::endpoints::{self, Component};
+use crate::fabric::{Chan, CrashBoard, PoolTable};
+use crate::ip::{IfaceConfig, IpConfig, IpServer, IpStats};
+use crate::msg::{
+    DrvToIp, IpToDrv, IpToPf, IpToTransport, PfToIp, PfToTransport, SockReply, SockRequest,
+    TransportToIp, TransportToPf,
+};
+use crate::pf::{FilterRule, PacketFilterServer, PfStats};
+use crate::posix::NetClient;
+use crate::syscall::{SyscallServer, SyscallStats};
+use crate::tcp::{TcpConfig, TcpServer, TcpStats};
+use crate::udp::{UdpServer, UdpStats};
+
+/// How the stack is decomposed over cores (the main axis of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Every component (TCP, UDP, IP, PF, each driver, SYSCALL) is its own
+    /// server on its own dedicated core — the NewtOS design.
+    Split,
+    /// The whole protocol stack (TCP+UDP+IP+PF) runs as one server on one
+    /// dedicated core; drivers and SYSCALL stay separate — the "1 server
+    /// stack" rows of Table II.
+    SingleServer,
+    /// Everything, including drivers and the SYSCALL front end, shares a
+    /// single core and every message pays emulated kernel-IPC costs — the
+    /// MINIX-3-like fully synchronous baseline (Table II row 1).
+    SynchronousSingleCore,
+}
+
+/// Configuration of a [`NewtStack`].
+#[derive(Debug, Clone)]
+pub struct StackConfig {
+    /// Core/server decomposition.
+    pub topology: Topology,
+    /// Number of simulated gigabit NICs (and peer hosts), 1–8.
+    pub nics: usize,
+    /// Whether TCP segmentation offload is enabled.
+    pub tso: bool,
+    /// Whether checksum offload is enabled.
+    pub checksum_offload: bool,
+    /// Whether the packet filter sits next to IP.
+    pub with_packet_filter: bool,
+    /// Rules installed into the packet filter at boot.
+    pub filter_rules: Vec<FilterRule>,
+    /// Link characteristics (bandwidth, delay, loss).
+    pub link: LinkConfig,
+    /// Virtual-clock speed-up.
+    pub clock_speedup: f64,
+    /// Whether kernel-IPC cycle costs are physically emulated (spinning) in
+    /// addition to being accounted.
+    pub emulate_kernel_costs: bool,
+    /// TCP parameters.
+    pub tcp: TcpConfig,
+    /// Heartbeat timeout for crash detection (virtual time).
+    pub heartbeat_timeout: Duration,
+    /// Cycle-cost model used for accounting/emulation.
+    pub cost_model: CostModel,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        StackConfig {
+            topology: Topology::Split,
+            nics: 1,
+            tso: true,
+            checksum_offload: true,
+            with_packet_filter: true,
+            filter_rules: Vec::new(),
+            link: LinkConfig::gigabit(),
+            clock_speedup: 20.0,
+            emulate_kernel_costs: false,
+            tcp: TcpConfig::default(),
+            // Generous so that heavily loaded hosts (e.g. running the whole
+            // test suite in parallel) never reap healthy services; injected
+            // crashes are detected through the exit signal, not heartbeats.
+            heartbeat_timeout: Duration::from_secs(120),
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+impl StackConfig {
+    /// The full NewtOS configuration: split stack, dedicated cores, TSO and
+    /// checksum offload, packet filter enabled.
+    pub fn newtos() -> Self {
+        Self::default()
+    }
+
+    /// The MINIX-3-like baseline: one core, synchronous kernel IPC for every
+    /// message, no offloads.
+    pub fn minix_like() -> Self {
+        StackConfig {
+            topology: Topology::SynchronousSingleCore,
+            tso: false,
+            checksum_offload: false,
+            with_packet_filter: false,
+            emulate_kernel_costs: true,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the topology.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the number of NICs.
+    #[must_use]
+    pub fn nics(mut self, nics: usize) -> Self {
+        self.nics = nics.clamp(1, 8);
+        self
+    }
+
+    /// Enables or disables TSO.
+    #[must_use]
+    pub fn tso(mut self, tso: bool) -> Self {
+        self.tso = tso;
+        self.tcp.tso = tso;
+        self
+    }
+
+    /// Enables or disables the packet filter.
+    #[must_use]
+    pub fn packet_filter(mut self, enabled: bool) -> Self {
+        self.with_packet_filter = enabled;
+        self
+    }
+
+    /// Installs packet-filter rules.
+    #[must_use]
+    pub fn filter_rules(mut self, rules: Vec<FilterRule>) -> Self {
+        self.filter_rules = rules;
+        self
+    }
+
+    /// Sets the link configuration.
+    #[must_use]
+    pub fn link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Sets the virtual-clock speed-up.
+    #[must_use]
+    pub fn clock_speedup(mut self, speedup: f64) -> Self {
+        self.clock_speedup = speedup;
+        self
+    }
+
+    /// Returns the IP address assigned to interface `i` of the stack.
+    pub fn local_addr(i: usize) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, i as u8, 1)
+    }
+
+    /// Returns the IP address of the peer host behind interface `i`.
+    pub fn peer_addr(i: usize) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, i as u8, 2)
+    }
+}
+
+/// Aggregated per-component statistics sampled from the running servers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Telemetry {
+    /// TCP server counters.
+    pub tcp: TcpStats,
+    /// UDP server counters.
+    pub udp: UdpStats,
+    /// IP server counters.
+    pub ip: IpStats,
+    /// Packet filter counters.
+    pub pf: PfStats,
+    /// SYSCALL server counters.
+    pub syscall: SyscallStats,
+    /// Driver 0 counters (representative).
+    pub driver0: DriverStats,
+}
+
+/// A running NewtOS networking stack.
+///
+/// Dropping the stack shuts every service down.
+pub struct NewtStack {
+    config: StackConfig,
+    clock: SimClock,
+    kernel: KernelIpc,
+    registry: Registry,
+    storage: Arc<StorageServer>,
+    rs: ReincarnationServer,
+    pools: PoolTable,
+    peers: Vec<Arc<RemotePeer>>,
+    peer_handles: Vec<PeerHandle>,
+    links: Vec<Link>,
+    peer_traces: Vec<TraceCapture>,
+    nics: Vec<Arc<Mutex<Nic>>>,
+    component_services: HashMap<Component, Endpoint>,
+    telemetry: Arc<Mutex<Telemetry>>,
+    next_app: AtomicU32,
+}
+
+impl std::fmt::Debug for NewtStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NewtStack")
+            .field("topology", &self.config.topology)
+            .field("nics", &self.config.nics)
+            .field("tso", &self.config.tso)
+            .finish()
+    }
+}
+
+struct ServerBundle {
+    tcp: TcpServer,
+    udp: UdpServer,
+    ip: IpServer,
+    pf: Option<PacketFilterServer>,
+}
+
+impl NewtStack {
+    /// Builds and starts a stack with the given configuration.
+    pub fn start(config: StackConfig) -> Self {
+        let clock = SimClock::with_speedup(config.clock_speedup);
+        let kernel = if config.emulate_kernel_costs {
+            KernelIpc::with_cost_emulation(config.cost_model)
+        } else {
+            KernelIpc::new(config.cost_model)
+        };
+        let registry = Registry::new();
+        let storage = Arc::new(StorageServer::new());
+        let crash_board = CrashBoard::new();
+        let pools = PoolTable::new();
+        let rs = ReincarnationServer::new(clock.clone());
+        {
+            let board = crash_board.clone();
+            rs.on_crash(move |event: &CrashEvent| board.push(event.clone()));
+        }
+
+        // --- network substrate: links, NICs, peers, traces -------------------
+        let mut links = Vec::new();
+        let mut nics = Vec::new();
+        let mut peers = Vec::new();
+        let mut peer_handles = Vec::new();
+        let mut peer_traces = Vec::new();
+        for i in 0..config.nics {
+            let (link, local_port, peer_port) = Link::new(config.link.clone(), clock.clone());
+            let trace = TraceCapture::new();
+            link.attach_trace(LinkSide::B, trace.clone());
+            let mut nic_config = NicConfig::new(i as u8);
+            nic_config.tso = config.tso;
+            nic_config.checksum_offload = config.checksum_offload;
+            let nic = Arc::new(Mutex::new(Nic::new(nic_config, clock.clone(), local_port)));
+            let peer_config = PeerConfig {
+                mac: MacAddr::from_index(200 + i as u8),
+                ip: StackConfig::peer_addr(i),
+                tcp_window: u16::MAX,
+                tcp_services: vec![(newt_net::peer::IPERF_PORT, false), (newt_net::peer::SSH_PORT, true)],
+            };
+            let peer = Arc::new(RemotePeer::new(peer_config, clock.clone(), peer_port));
+            peer_handles.push(Arc::clone(&peer).spawn());
+            links.push(link);
+            nics.push(nic);
+            peers.push(peer);
+            peer_traces.push(trace);
+        }
+
+        // --- pools ------------------------------------------------------------
+        let rx_pool = Pool::new("ip.rx", endpoints::IP, 2048, 4096);
+        let header_pool = Pool::new("ip.hdr", endpoints::IP, 2048, 4096);
+        let tcp_tx_pool = Pool::new("tcp.tx", endpoints::TCP, config.tcp.tso_segment.max(2048), 2048);
+        let udp_tx_pool = Pool::new("udp.tx", endpoints::UDP, 4096, 512);
+        for pool in [&rx_pool, &header_pool, &tcp_tx_pool, &udp_tx_pool] {
+            pools.register(pool);
+        }
+
+        // --- channels -----------------------------------------------------------
+        let tcp_to_ip: Chan<TransportToIp> = Chan::new(4096);
+        let ip_to_tcp: Chan<IpToTransport> = Chan::new(4096);
+        let udp_to_ip: Chan<TransportToIp> = Chan::new(1024);
+        let ip_to_udp: Chan<IpToTransport> = Chan::new(1024);
+        let ip_to_pf: Chan<IpToPf> = Chan::new(4096);
+        let pf_to_ip: Chan<PfToIp> = Chan::new(4096);
+        let pf_to_tcp: Chan<PfToTransport> = Chan::new(16);
+        let tcp_to_pf: Chan<TransportToPf> = Chan::new(16);
+        let pf_to_udp: Chan<PfToTransport> = Chan::new(16);
+        let udp_to_pf: Chan<TransportToPf> = Chan::new(16);
+        let sys_to_tcp: Chan<SockRequest> = Chan::new(256);
+        let tcp_to_sys: Chan<SockReply> = Chan::new(256);
+        let sys_to_udp: Chan<SockRequest> = Chan::new(256);
+        let udp_to_sys: Chan<SockReply> = Chan::new(256);
+        let ip_to_drv: Vec<Chan<IpToDrv>> = (0..config.nics).map(|_| Chan::new(2048)).collect();
+        let drv_to_ip: Vec<Chan<DrvToIp>> = (0..config.nics).map(|_| Chan::new(2048)).collect();
+
+        // Attach the SYSCALL mailbox before any service or client runs so
+        // that applications started right after boot can already queue calls.
+        kernel.attach(endpoints::SYSCALL);
+
+        let telemetry = Arc::new(Mutex::new(Telemetry::default()));
+        let mut component_services: HashMap<Component, Endpoint> = HashMap::new();
+
+        let ip_config = IpConfig {
+            interfaces: (0..config.nics)
+                .map(|i| IfaceConfig {
+                    mac: MacAddr::from_index(i as u8),
+                    addr: StackConfig::local_addr(i),
+                    prefix_len: 24,
+                })
+                .collect(),
+            with_pf: config.with_packet_filter,
+            checksum_offload: config.checksum_offload,
+        };
+
+        // Factories for the protocol servers, shared by every topology.
+        let make_tcp = {
+            let config = config.clone();
+            let clock = clock.clone();
+            let storage = Arc::clone(&storage);
+            let registry = registry.clone();
+            let tcp_tx_pool = tcp_tx_pool.clone();
+            let pools = pools.clone();
+            let sys_to_tcp = sys_to_tcp.clone();
+            let tcp_to_sys = tcp_to_sys.clone();
+            let tcp_to_ip = tcp_to_ip.clone();
+            let ip_to_tcp = ip_to_tcp.clone();
+            let pf_to_tcp = pf_to_tcp.clone();
+            let tcp_to_pf = tcp_to_pf.clone();
+            let crash_board = crash_board.clone();
+            move |rt: &ServiceRuntime| {
+                TcpServer::new(
+                    rt.start_mode(),
+                    rt.generation(),
+                    config.tcp.clone(),
+                    clock.clone(),
+                    Arc::clone(&storage),
+                    registry.clone(),
+                    tcp_tx_pool.clone(),
+                    pools.clone(),
+                    sys_to_tcp.rx(),
+                    tcp_to_sys.tx(),
+                    tcp_to_ip.tx(),
+                    ip_to_tcp.rx(),
+                    pf_to_tcp.rx(),
+                    tcp_to_pf.tx(),
+                    crash_board.clone(),
+                )
+            }
+        };
+        let make_udp = {
+            let storage = Arc::clone(&storage);
+            let registry = registry.clone();
+            let udp_tx_pool = udp_tx_pool.clone();
+            let pools = pools.clone();
+            let sys_to_udp = sys_to_udp.clone();
+            let udp_to_sys = udp_to_sys.clone();
+            let udp_to_ip = udp_to_ip.clone();
+            let ip_to_udp = ip_to_udp.clone();
+            let pf_to_udp = pf_to_udp.clone();
+            let udp_to_pf = udp_to_pf.clone();
+            let crash_board = crash_board.clone();
+            move |rt: &ServiceRuntime| {
+                UdpServer::new(
+                    rt.start_mode(),
+                    rt.generation(),
+                    Arc::clone(&storage),
+                    registry.clone(),
+                    udp_tx_pool.clone(),
+                    pools.clone(),
+                    sys_to_udp.rx(),
+                    udp_to_sys.tx(),
+                    udp_to_ip.tx(),
+                    ip_to_udp.rx(),
+                    pf_to_udp.rx(),
+                    udp_to_pf.tx(),
+                    crash_board.clone(),
+                )
+            }
+        };
+        let make_ip = {
+            let ip_config = ip_config.clone();
+            let storage = Arc::clone(&storage);
+            let rx_pool = rx_pool.clone();
+            let header_pool = header_pool.clone();
+            let pools = pools.clone();
+            let tcp_to_ip = tcp_to_ip.clone();
+            let ip_to_tcp = ip_to_tcp.clone();
+            let udp_to_ip = udp_to_ip.clone();
+            let ip_to_udp = ip_to_udp.clone();
+            let ip_to_pf = ip_to_pf.clone();
+            let pf_to_ip = pf_to_ip.clone();
+            let ip_to_drv_tx: Vec<_> = ip_to_drv.iter().map(|c| c.tx()).collect();
+            let drv_to_ip_rx: Vec<_> = drv_to_ip.iter().map(|c| c.rx()).collect();
+            let crash_board = crash_board.clone();
+            move |rt: &ServiceRuntime| {
+                IpServer::new(
+                    rt.start_mode(),
+                    ip_config.clone(),
+                    Arc::clone(&storage),
+                    rx_pool.clone(),
+                    header_pool.clone(),
+                    pools.clone(),
+                    tcp_to_ip.rx(),
+                    ip_to_tcp.tx(),
+                    udp_to_ip.rx(),
+                    ip_to_udp.tx(),
+                    ip_to_pf.tx(),
+                    pf_to_ip.rx(),
+                    ip_to_drv_tx.clone(),
+                    drv_to_ip_rx.clone(),
+                    crash_board.clone(),
+                )
+            }
+        };
+        let make_pf = {
+            let rules = config.filter_rules.clone();
+            let storage = Arc::clone(&storage);
+            let ip_to_pf = ip_to_pf.clone();
+            let pf_to_ip = pf_to_ip.clone();
+            let pf_to_tcp = pf_to_tcp.clone();
+            let tcp_to_pf = tcp_to_pf.clone();
+            let pf_to_udp = pf_to_udp.clone();
+            let udp_to_pf = udp_to_pf.clone();
+            move |rt: &ServiceRuntime| {
+                PacketFilterServer::new(
+                    rt.start_mode(),
+                    rules.clone(),
+                    Arc::clone(&storage),
+                    ip_to_pf.rx(),
+                    pf_to_ip.tx(),
+                    pf_to_tcp.tx(),
+                    tcp_to_pf.rx(),
+                    pf_to_udp.tx(),
+                    udp_to_pf.rx(),
+                )
+            }
+        };
+        let make_syscall = {
+            let kernel = kernel.clone();
+            let sys_to_tcp = sys_to_tcp.clone();
+            let tcp_to_sys = tcp_to_sys.clone();
+            let sys_to_udp = sys_to_udp.clone();
+            let udp_to_sys = udp_to_sys.clone();
+            let crash_board = crash_board.clone();
+            move |_rt: &ServiceRuntime| {
+                SyscallServer::new(
+                    kernel.clone(),
+                    sys_to_tcp.tx(),
+                    tcp_to_sys.rx(),
+                    sys_to_udp.tx(),
+                    udp_to_sys.rx(),
+                    crash_board.clone(),
+                )
+            }
+        };
+        let make_driver = {
+            let nics = nics.clone();
+            let rx_pool = rx_pool.clone();
+            let pools = pools.clone();
+            let ip_to_drv_all: Vec<_> = ip_to_drv.iter().map(|c| c.rx()).collect();
+            let drv_to_ip_all: Vec<_> = drv_to_ip.iter().map(|c| c.tx()).collect();
+            let crash_board = crash_board.clone();
+            move |index: usize| {
+                DriverServer::new(
+                    index,
+                    Arc::clone(&nics[index]),
+                    rx_pool.clone(),
+                    pools.clone(),
+                    ip_to_drv_all[index].clone(),
+                    drv_to_ip_all[index].clone(),
+                    crash_board.clone(),
+                )
+            }
+        };
+
+        let service_config = |name: &str| {
+            ServiceConfig::new(name).heartbeat_timeout(config.heartbeat_timeout)
+        };
+
+        let with_pf = config.with_packet_filter;
+        match config.topology {
+            Topology::Split => {
+                // TCP.
+                {
+                    let make_tcp = make_tcp.clone();
+                    let telemetry = Arc::clone(&telemetry);
+                    rs.register_with_endpoint(service_config("tcp"), endpoints::TCP, move |rt| {
+                        let mut server = make_tcp(&rt);
+                        run_loop(&rt, || {
+                            let work = server.poll();
+                            telemetry.lock().tcp = server.stats();
+                            work
+                        });
+                    });
+                    component_services.insert(Component::Tcp, endpoints::TCP);
+                }
+                // UDP.
+                {
+                    let make_udp = make_udp.clone();
+                    let telemetry = Arc::clone(&telemetry);
+                    rs.register_with_endpoint(service_config("udp"), endpoints::UDP, move |rt| {
+                        let mut server = make_udp(&rt);
+                        run_loop(&rt, || {
+                            let work = server.poll();
+                            telemetry.lock().udp = server.stats();
+                            work
+                        });
+                    });
+                    component_services.insert(Component::Udp, endpoints::UDP);
+                }
+                // IP.
+                {
+                    let make_ip = make_ip.clone();
+                    let telemetry = Arc::clone(&telemetry);
+                    rs.register_with_endpoint(service_config("ip"), endpoints::IP, move |rt| {
+                        let mut server = make_ip(&rt);
+                        run_loop(&rt, || {
+                            let work = server.poll();
+                            telemetry.lock().ip = server.stats();
+                            work
+                        });
+                    });
+                    component_services.insert(Component::Ip, endpoints::IP);
+                }
+                // PF.
+                if with_pf {
+                    let make_pf = make_pf.clone();
+                    let telemetry = Arc::clone(&telemetry);
+                    rs.register_with_endpoint(service_config("pf"), endpoints::PF, move |rt| {
+                        let mut server = make_pf(&rt);
+                        run_loop(&rt, || {
+                            let work = server.poll();
+                            telemetry.lock().pf = server.stats();
+                            work
+                        });
+                    });
+                    component_services.insert(Component::PacketFilter, endpoints::PF);
+                }
+                // SYSCALL.
+                {
+                    let make_syscall = make_syscall.clone();
+                    let telemetry = Arc::clone(&telemetry);
+                    rs.register_with_endpoint(service_config("syscall"), endpoints::SYSCALL, move |rt| {
+                        let mut server = make_syscall(&rt);
+                        run_loop(&rt, || {
+                            let work = server.poll();
+                            telemetry.lock().syscall = server.stats();
+                            work
+                        });
+                    });
+                    component_services.insert(Component::Syscall, endpoints::SYSCALL);
+                }
+                // Drivers.
+                for i in 0..config.nics {
+                    let make_driver = make_driver.clone();
+                    let telemetry = Arc::clone(&telemetry);
+                    let name = Component::Driver(i).name();
+                    rs.register_with_endpoint(service_config(&name), endpoints::driver(i), move |rt| {
+                        let mut server = make_driver(i);
+                        run_loop(&rt, || {
+                            let work = server.poll();
+                            if i == 0 {
+                                telemetry.lock().driver0 = server.stats();
+                            }
+                            work
+                        });
+                    });
+                    component_services.insert(Component::Driver(i), endpoints::driver(i));
+                }
+            }
+            Topology::SingleServer | Topology::SynchronousSingleCore => {
+                let synchronous = config.topology == Topology::SynchronousSingleCore;
+                // The combined protocol server ("inet").
+                {
+                    let make_tcp = make_tcp.clone();
+                    let make_udp = make_udp.clone();
+                    let make_ip = make_ip.clone();
+                    let make_pf = make_pf.clone();
+                    let make_syscall = make_syscall.clone();
+                    let make_driver = make_driver.clone();
+                    let telemetry = Arc::clone(&telemetry);
+                    let nics_count = config.nics;
+                    let cost_model = config.cost_model;
+                    let emulate = config.emulate_kernel_costs;
+                    rs.register_with_endpoint(service_config("inet"), endpoints::INET, move |rt| {
+                        let mut bundle = ServerBundle {
+                            tcp: make_tcp(&rt),
+                            udp: make_udp(&rt),
+                            ip: make_ip(&rt),
+                            pf: if with_pf { Some(make_pf(&rt)) } else { None },
+                        };
+                        // In the fully synchronous baseline the drivers and the
+                        // SYSCALL server share this single core too.
+                        let mut drivers = Vec::new();
+                        let mut syscall = None;
+                        if synchronous {
+                            for i in 0..nics_count {
+                                drivers.push(make_driver(i));
+                            }
+                            syscall = Some(make_syscall(&rt));
+                        }
+                        run_loop(&rt, || {
+                            let mut work = 0;
+                            work += bundle.tcp.poll();
+                            work += bundle.udp.poll();
+                            work += bundle.ip.poll();
+                            if let Some(pf) = bundle.pf.as_mut() {
+                                work += pf.poll();
+                            }
+                            for driver in drivers.iter_mut() {
+                                work += driver.poll();
+                            }
+                            if let Some(sys) = syscall.as_mut() {
+                                work += sys.poll();
+                            }
+                            {
+                                let mut t = telemetry.lock();
+                                t.tcp = bundle.tcp.stats();
+                                t.udp = bundle.udp.stats();
+                                t.ip = bundle.ip.stats();
+                                if let Some(pf) = bundle.pf.as_ref() {
+                                    t.pf = pf.stats();
+                                }
+                            }
+                            if synchronous && emulate && work > 0 {
+                                // Every message in a synchronous single-core
+                                // multiserver costs kernel traps and context
+                                // switches; spin for the equivalent time.
+                                let cycles = work as u64
+                                    * (2 * cost_model.trap_expected() as u64 + cost_model.context_switch);
+                                spin_for(cost_model.cycles_to_duration(cycles));
+                            }
+                            work
+                        });
+                    });
+                    for component in [Component::Tcp, Component::Udp, Component::Ip, Component::PacketFilter] {
+                        component_services.insert(component, endpoints::INET);
+                    }
+                    if synchronous {
+                        component_services.insert(Component::Syscall, endpoints::INET);
+                        for i in 0..config.nics {
+                            component_services.insert(Component::Driver(i), endpoints::INET);
+                        }
+                    }
+                }
+                if !synchronous {
+                    // SYSCALL and drivers keep their own cores.
+                    {
+                        let make_syscall = make_syscall.clone();
+                        let telemetry = Arc::clone(&telemetry);
+                        rs.register_with_endpoint(service_config("syscall"), endpoints::SYSCALL, move |rt| {
+                            let mut server = make_syscall(&rt);
+                            run_loop(&rt, || {
+                                let work = server.poll();
+                                telemetry.lock().syscall = server.stats();
+                                work
+                            });
+                        });
+                        component_services.insert(Component::Syscall, endpoints::SYSCALL);
+                    }
+                    for i in 0..config.nics {
+                        let make_driver = make_driver.clone();
+                        let name = Component::Driver(i).name();
+                        rs.register_with_endpoint(service_config(&name), endpoints::driver(i), move |rt| {
+                            let mut server = make_driver(i);
+                            run_loop(&rt, || server.poll());
+                        });
+                        component_services.insert(Component::Driver(i), endpoints::driver(i));
+                    }
+                }
+            }
+        }
+
+        let _ = crash_board;
+        let stack = NewtStack {
+            config,
+            clock,
+            kernel,
+            registry,
+            storage,
+            rs,
+            pools,
+            peers,
+            peer_handles,
+            links,
+            peer_traces,
+            nics,
+            component_services,
+            telemetry,
+            next_app: AtomicU32::new(0),
+        };
+        // Wait until every service thread is up (in particular until the
+        // SYSCALL server has attached its kernel mailbox) so that clients
+        // created right after `start` never race the boot.
+        let services: Vec<Endpoint> = stack.component_services.values().copied().collect();
+        for service in services {
+            stack.rs.wait_until_running(service, Duration::from_secs(10));
+        }
+        stack
+    }
+
+    /// Returns the stack's configuration.
+    pub fn config(&self) -> &StackConfig {
+        &self.config
+    }
+
+    /// Returns the virtual clock shared by every component.
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// Returns the storage server (useful for inspecting recoverable state).
+    pub fn storage(&self) -> Arc<StorageServer> {
+        Arc::clone(&self.storage)
+    }
+
+    /// Returns the directory of shared pools (useful for diagnostics).
+    pub fn pool_table(&self) -> PoolTable {
+        self.pools.clone()
+    }
+
+    /// Returns a handle to the simulated NIC behind interface `i`.
+    pub fn nic(&self, i: usize) -> Arc<Mutex<Nic>> {
+        Arc::clone(&self.nics[i])
+    }
+
+    /// Creates a client handle for a new application process.
+    pub fn client(&self) -> NetClient {
+        let index = self.next_app.fetch_add(1, Ordering::Relaxed);
+        NetClient::new(self.kernel.clone(), self.registry.clone(), endpoints::application(index))
+    }
+
+    /// Returns the peer host behind interface `i`.
+    pub fn peer(&self, i: usize) -> &RemotePeer {
+        &self.peers[i]
+    }
+
+    /// Returns the trace of frames arriving at peer `i` (outgoing traffic of
+    /// the stack as a tcpdump-style capture).
+    pub fn peer_trace(&self, i: usize) -> TraceCapture {
+        self.peer_traces[i].clone()
+    }
+
+    /// Returns the link attached to interface `i`.
+    pub fn link(&self, i: usize) -> &Link {
+        &self.links[i]
+    }
+
+    /// Injects a fault into a component (the SWIFI hook used by the fault
+    /// injection campaign).  Returns `false` if the component does not exist
+    /// in this topology.
+    pub fn inject_fault(&self, component: Component, fault: FaultAction) -> bool {
+        match self.component_services.get(&component) {
+            Some(service) => {
+                self.rs.inject_fault(*service, fault);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Requests a graceful restart of a component (live update).
+    pub fn live_update(&self, component: Component) -> bool {
+        match self.component_services.get(&component) {
+            Some(service) => self.rs.force_restart(*service),
+            None => false,
+        }
+    }
+
+    /// Returns the crash events observed so far.
+    pub fn crash_log(&self) -> Vec<CrashEvent> {
+        self.rs.crash_log()
+    }
+
+    /// Returns the number of restarts the component's service has gone
+    /// through.
+    pub fn restart_count(&self, component: Component) -> u32 {
+        self.component_services
+            .get(&component)
+            .and_then(|service| self.rs.restart_count(*service))
+            .unwrap_or(0)
+    }
+
+    /// Returns the status of the service hosting `component`.
+    pub fn component_status(&self, component: Component) -> Option<ServiceStatus> {
+        self.component_services.get(&component).and_then(|service| self.rs.status(*service))
+    }
+
+    /// Waits (in real time) until the component's service reports running.
+    pub fn wait_component_running(&self, component: Component, timeout: Duration) -> bool {
+        match self.component_services.get(&component) {
+            Some(service) => self.rs.wait_until_running(*service, timeout),
+            None => false,
+        }
+    }
+
+    /// Returns a snapshot of per-component statistics.
+    pub fn telemetry(&self) -> Telemetry {
+        *self.telemetry.lock()
+    }
+
+    /// Returns the kernel-IPC counters (traps, messages, IPIs, cycles).
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.kernel.stats()
+    }
+
+    /// Returns the components present in this topology.
+    pub fn components(&self) -> Vec<Component> {
+        let mut all: Vec<Component> = self.component_services.keys().copied().collect();
+        all.sort();
+        all
+    }
+
+    /// Shuts the stack down: stops every service, the reincarnation server's
+    /// watchdog and the peer hosts.
+    pub fn shutdown(mut self) {
+        self.rs.shutdown();
+        for handle in self.peer_handles.drain(..) {
+            handle.stop();
+        }
+    }
+}
+
+impl Drop for NewtStack {
+    fn drop(&mut self) {
+        self.rs.shutdown();
+        for handle in self.peer_handles.drain(..) {
+            handle.stop();
+        }
+    }
+}
+
+/// The standard service loop: poll, heartbeat, idle briefly when there is no
+/// work, exit when asked to stop.
+fn run_loop<F: FnMut() -> usize>(rt: &ServiceRuntime, mut poll: F) {
+    let mut idle_rounds = 0u32;
+    while !rt.should_stop() {
+        rt.heartbeat();
+        let work = poll();
+        if work == 0 {
+            idle_rounds = idle_rounds.saturating_add(1);
+            if idle_rounds > 16 {
+                // The MWAIT-style idle: sleep briefly instead of burning the
+                // core.  Wake-up latency is bounded by this sleep.
+                std::thread::sleep(Duration::from_micros(200));
+            } else {
+                std::thread::yield_now();
+            }
+        } else {
+            idle_rounds = 0;
+        }
+    }
+}
+
+/// Spins for approximately `duration` (used to emulate kernel-IPC costs).
+fn spin_for(duration: Duration) {
+    let start = std::time::Instant::now();
+    while start.elapsed() < duration {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> StackConfig {
+        StackConfig {
+            link: LinkConfig::unshaped(),
+            clock_speedup: 50.0,
+            ..StackConfig::default()
+        }
+    }
+
+    #[test]
+    fn stack_starts_and_components_report_running() {
+        let stack = NewtStack::start(quick_config());
+        for component in [Component::Tcp, Component::Udp, Component::Ip, Component::PacketFilter, Component::Syscall, Component::Driver(0)] {
+            assert!(
+                stack.wait_component_running(component, Duration::from_secs(5)),
+                "{component} did not come up"
+            );
+        }
+        assert_eq!(stack.components().len(), 6);
+        stack.shutdown();
+    }
+
+    #[test]
+    fn udp_dns_query_round_trip() {
+        let stack = NewtStack::start(quick_config());
+        let client = stack.client();
+        let socket = client.udp_socket().expect("udp socket");
+        socket.bind(0).expect("bind");
+        socket
+            .send_to(b"www.example.org", StackConfig::peer_addr(0), newt_net::peer::DNS_PORT)
+            .expect("send");
+        let (payload, from, port) = socket.recv_from().expect("dns answer");
+        assert_eq!(from, StackConfig::peer_addr(0));
+        assert_eq!(port, newt_net::peer::DNS_PORT);
+        assert_eq!(payload, b"answer:www.example.org");
+        stack.shutdown();
+    }
+
+    #[test]
+    fn tcp_bulk_transfer_reaches_the_peer() {
+        let stack = NewtStack::start(quick_config());
+        let client = stack.client();
+        let socket = client.tcp_socket().expect("tcp socket");
+        socket.connect(StackConfig::peer_addr(0), newt_net::peer::IPERF_PORT).expect("connect");
+        let data = vec![0xabu8; 200 * 1024];
+        socket.send_all(&data).expect("send");
+        // Wait until the peer counted everything.
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        while stack.peer(0).bytes_received_on(newt_net::peer::IPERF_PORT) < data.len() as u64
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            stack.peer(0).bytes_received_on(newt_net::peer::IPERF_PORT),
+            data.len() as u64,
+            "peer did not receive the full transfer"
+        );
+        let telemetry = stack.telemetry();
+        assert!(telemetry.tcp.segments_out > 0);
+        assert!(telemetry.ip.packets_out > 0);
+        stack.shutdown();
+    }
+
+    #[test]
+    fn single_server_topology_also_transfers() {
+        let config = quick_config().topology(Topology::SingleServer);
+        let stack = NewtStack::start(config);
+        let client = stack.client();
+        let socket = client.tcp_socket().expect("tcp socket");
+        socket.connect(StackConfig::peer_addr(0), newt_net::peer::IPERF_PORT).expect("connect");
+        let data = vec![0x55u8; 64 * 1024];
+        socket.send_all(&data).expect("send");
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        while stack.peer(0).bytes_received_on(newt_net::peer::IPERF_PORT) < data.len() as u64
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(stack.peer(0).bytes_received_on(newt_net::peer::IPERF_PORT), data.len() as u64);
+        stack.shutdown();
+    }
+
+    #[test]
+    fn pf_crash_recovers_transparently() {
+        let stack = NewtStack::start(quick_config());
+        let client = stack.client();
+        let socket = client.tcp_socket().expect("tcp socket");
+        socket.connect(StackConfig::peer_addr(0), newt_net::peer::IPERF_PORT).expect("connect");
+        socket.send_all(&vec![1u8; 32 * 1024]).expect("send before crash");
+
+        assert!(stack.inject_fault(Component::PacketFilter, FaultAction::Crash));
+        assert!(stack.wait_component_running(Component::PacketFilter, Duration::from_secs(10)));
+        // Give the restarted filter a moment to resync.
+        std::thread::sleep(Duration::from_millis(100));
+
+        // The same connection keeps working after the filter restart.
+        socket.send_all(&vec![2u8; 32 * 1024]).expect("send after crash");
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        while stack.peer(0).bytes_received_on(newt_net::peer::IPERF_PORT) < 64 * 1024
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(stack.peer(0).bytes_received_on(newt_net::peer::IPERF_PORT), 64 * 1024);
+        assert!(stack.restart_count(Component::PacketFilter) >= 1);
+        assert!(!stack.crash_log().is_empty());
+        stack.shutdown();
+    }
+
+    #[test]
+    fn udp_survives_a_udp_server_crash() {
+        let stack = NewtStack::start(quick_config());
+        let client = stack.client();
+        let socket = client.udp_socket().expect("udp socket");
+        socket.bind(0).expect("bind");
+        socket
+            .send_to(b"before", StackConfig::peer_addr(0), newt_net::peer::DNS_PORT)
+            .expect("send before");
+        let _ = socket.recv_from().expect("answer before crash");
+
+        assert!(stack.inject_fault(Component::Udp, FaultAction::Crash));
+        assert!(stack.wait_component_running(Component::Udp, Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(100));
+
+        // The same socket, same shared buffer, keeps working: the restarted
+        // UDP server recovered the socket table from the storage server.
+        socket
+            .send_to(b"after", StackConfig::peer_addr(0), newt_net::peer::DNS_PORT)
+            .expect("send after");
+        let (payload, _, _) = socket.recv_from().expect("answer after crash");
+        assert_eq!(payload, b"answer:after");
+        stack.shutdown();
+    }
+}

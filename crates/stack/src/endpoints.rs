@@ -1,0 +1,124 @@
+//! Well-known endpoints and component identities of the networking stack.
+
+use newt_channels::endpoint::Endpoint;
+use serde::{Deserialize, Serialize};
+
+/// Endpoint of the SYSCALL server.
+pub const SYSCALL: Endpoint = Endpoint::from_raw(1);
+/// Endpoint of the TCP server.
+pub const TCP: Endpoint = Endpoint::from_raw(2);
+/// Endpoint of the UDP server.
+pub const UDP: Endpoint = Endpoint::from_raw(3);
+/// Endpoint of the IP/ICMP/ARP server.
+pub const IP: Endpoint = Endpoint::from_raw(4);
+/// Endpoint of the packet filter server.
+pub const PF: Endpoint = Endpoint::from_raw(5);
+/// Endpoint of the combined single-server stack (monolithic baseline).
+pub const INET: Endpoint = Endpoint::from_raw(6);
+/// First driver endpoint; driver `i` is `DRIVER_BASE + i`.
+pub const DRIVER_BASE: u32 = 16;
+/// First application endpoint; application `i` is `APP_BASE + i`.
+pub const APP_BASE: u32 = 256;
+
+/// Returns the endpoint of driver `index`.
+pub fn driver(index: usize) -> Endpoint {
+    Endpoint::from_raw(DRIVER_BASE + index as u32)
+}
+
+/// Returns the endpoint of application `index`.
+pub fn application(index: u32) -> Endpoint {
+    Endpoint::from_raw(APP_BASE + index)
+}
+
+/// The operating-system components of the networking stack, as the fault
+/// injection campaign and the recovery code name them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Component {
+    /// The TCP server.
+    Tcp,
+    /// The UDP server.
+    Udp,
+    /// The IP/ICMP/ARP server.
+    Ip,
+    /// The packet filter.
+    PacketFilter,
+    /// Network driver `i`.
+    Driver(usize),
+    /// The SYSCALL server.
+    Syscall,
+}
+
+impl Component {
+    /// Returns the component's well-known endpoint.
+    pub fn endpoint(&self) -> Endpoint {
+        match self {
+            Component::Tcp => TCP,
+            Component::Udp => UDP,
+            Component::Ip => IP,
+            Component::PacketFilter => PF,
+            Component::Driver(i) => driver(*i),
+            Component::Syscall => SYSCALL,
+        }
+    }
+
+    /// Returns the component's conventional name.
+    pub fn name(&self) -> String {
+        match self {
+            Component::Tcp => "tcp".to_string(),
+            Component::Udp => "udp".to_string(),
+            Component::Ip => "ip".to_string(),
+            Component::PacketFilter => "pf".to_string(),
+            Component::Driver(i) => format!("e1000.{i}"),
+            Component::Syscall => "syscall".to_string(),
+        }
+    }
+
+    /// The five components the paper injects faults into (Table III).
+    pub fn fault_targets(drivers: usize) -> Vec<Component> {
+        let mut targets = vec![Component::Tcp, Component::Udp, Component::Ip, Component::PacketFilter];
+        for i in 0..drivers {
+            targets.push(Component::Driver(i));
+        }
+        targets
+    }
+}
+
+impl std::fmt::Display for Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_known_endpoints_are_distinct() {
+        let eps = [SYSCALL, TCP, UDP, IP, PF, INET, driver(0), driver(1), application(0)];
+        for (i, a) in eps.iter().enumerate() {
+            for (j, b) in eps.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn component_endpoints_and_names() {
+        assert_eq!(Component::Ip.endpoint(), IP);
+        assert_eq!(Component::Driver(2).endpoint(), Endpoint::from_raw(DRIVER_BASE + 2));
+        assert_eq!(Component::Driver(0).name(), "e1000.0");
+        assert_eq!(Component::PacketFilter.name(), "pf");
+        assert_eq!(format!("{}", Component::Tcp), "tcp");
+    }
+
+    #[test]
+    fn fault_targets_cover_the_stack() {
+        let targets = Component::fault_targets(2);
+        assert_eq!(targets.len(), 6);
+        assert!(targets.contains(&Component::Driver(1)));
+        assert!(!targets.contains(&Component::Syscall));
+    }
+}

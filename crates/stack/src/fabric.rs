@@ -1,0 +1,243 @@
+//! Shared plumbing handed to every server: channel wiring, the pool
+//! directory and the crash notice board.
+//!
+//! In the paper, channels are set up dynamically through the
+//! publish/subscribe registry and the virtual memory manager; here the
+//! *queues between servers* are created once when the stack is built and
+//! survive server restarts (a restarted incarnation re-acquires the same
+//! endpoints from the [`Wires`] struct).  This keeps restart logic focused
+//! on the parts the paper's evaluation actually exercises — state recovery,
+//! request aborts and resubmission, pool invalidation — and is documented as
+//! a deviation in `DESIGN.md`.  Pools and socket buffers *are* managed
+//! dynamically through the registry.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use newt_channels::pool::{Pool, PoolReader};
+use newt_channels::rich::{PoolId, RichChain};
+use newt_channels::spsc::{self, Receiver, Sender};
+use newt_kernel::rs::CrashEvent;
+
+/// Shared sending half of an inter-server queue (usable across restarts of
+/// the owning server).
+pub type Tx<T> = Arc<Mutex<Sender<T>>>;
+/// Shared receiving half of an inter-server queue.
+pub type Rx<T> = Arc<Mutex<Receiver<T>>>;
+
+/// A unidirectional inter-server channel whose two ends can be cloned into
+/// the respective server bodies (and re-acquired after a restart).
+#[derive(Debug, Clone)]
+pub struct Chan<T> {
+    tx: Tx<T>,
+    rx: Rx<T>,
+}
+
+impl<T> Chan<T> {
+    /// Creates a channel with room for `capacity` messages.
+    pub fn new(capacity: usize) -> Self {
+        let (tx, rx) = spsc::channel(capacity);
+        Chan { tx: Arc::new(Mutex::new(tx)), rx: Arc::new(Mutex::new(rx)) }
+    }
+
+    /// Returns a shared handle to the sending end.
+    pub fn tx(&self) -> Tx<T> {
+        Arc::clone(&self.tx)
+    }
+
+    /// Returns a shared handle to the receiving end.
+    pub fn rx(&self) -> Rx<T> {
+        Arc::clone(&self.rx)
+    }
+}
+
+/// Sends a message on a shared sender, returning `false` when the queue is
+/// full or disconnected (the caller decides what dropping means — see the
+/// paper's "never block when the queue is full" rule).
+pub fn send<T>(tx: &Tx<T>, message: T) -> bool {
+    tx.lock().try_send(message).is_ok()
+}
+
+/// Drains every message currently queued on a shared receiver.
+pub fn drain<T>(rx: &Rx<T>) -> Vec<T> {
+    rx.lock().drain()
+}
+
+/// Directory of every shared pool in the system, keyed by pool id, so any
+/// server holding a rich pointer can resolve it to a read-only view.
+#[derive(Debug, Clone, Default)]
+pub struct PoolTable {
+    readers: Arc<RwLock<HashMap<PoolId, PoolReader>>>,
+}
+
+impl PoolTable {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-registers, after the owner restarted and recreated
+    /// it) a pool's read-only view.
+    pub fn register(&self, pool: &Pool) {
+        self.readers.write().insert(pool.id(), pool.reader());
+    }
+
+    /// Removes a pool from the directory (its owner is gone for good).
+    pub fn unregister(&self, id: PoolId) {
+        self.readers.write().remove(&id);
+    }
+
+    /// Returns the read-only view of a pool.
+    pub fn reader(&self, id: PoolId) -> Option<PoolReader> {
+        self.readers.read().get(&id).cloned()
+    }
+
+    /// Gathers a rich-pointer chain (possibly spanning several pools) into a
+    /// contiguous buffer.  Returns `None` if any part is stale or unknown —
+    /// the caller then drops the packet, exactly as a consumer must when a
+    /// producer crashed and invalidated its pool.
+    pub fn gather(&self, chain: &RichChain) -> Option<Vec<u8>> {
+        let readers = self.readers.read();
+        let mut out = Vec::with_capacity(chain.total_len());
+        for part in chain.iter() {
+            let reader = readers.get(&part.pool)?;
+            let bytes = reader.read(part).ok()?;
+            out.extend_from_slice(&bytes);
+        }
+        Some(out)
+    }
+
+    /// Returns the number of registered pools.
+    pub fn len(&self) -> usize {
+        self.readers.read().len()
+    }
+
+    /// Returns `true` if no pool is registered.
+    pub fn is_empty(&self) -> bool {
+        self.readers.read().is_empty()
+    }
+}
+
+/// The crash notice board: every crash event observed by the reincarnation
+/// server is appended here, and each server polls for events it has not seen
+/// yet from its own cursor.
+#[derive(Debug, Clone, Default)]
+pub struct CrashBoard {
+    events: Arc<RwLock<Vec<CrashEvent>>>,
+}
+
+impl CrashBoard {
+    /// Creates an empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a crash event (called from the reincarnation server's crash
+    /// listener).
+    pub fn push(&self, event: CrashEvent) {
+        self.events.write().push(event);
+    }
+
+    /// Returns the events recorded after `cursor`, advancing the cursor.
+    pub fn poll(&self, cursor: &mut usize) -> Vec<CrashEvent> {
+        let events = self.events.read();
+        if *cursor >= events.len() {
+            return Vec::new();
+        }
+        let new = events[*cursor..].to_vec();
+        *cursor = events.len();
+        new
+    }
+
+    /// Returns the total number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.read().len()
+    }
+
+    /// Returns `true` if no crash has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newt_channels::endpoint::{Endpoint, Generation};
+    use newt_kernel::rs::CrashReason;
+
+    #[test]
+    fn chan_round_trip_through_shared_handles() {
+        let chan: Chan<u32> = Chan::new(4);
+        let tx = chan.tx();
+        let rx = chan.rx();
+        assert!(send(&tx, 1));
+        assert!(send(&tx, 2));
+        assert_eq!(drain(&rx), vec![1, 2]);
+        assert!(drain(&rx).is_empty());
+    }
+
+    #[test]
+    fn send_reports_full_queue() {
+        let chan: Chan<u8> = Chan::new(1);
+        let tx = chan.tx();
+        assert!(send(&tx, 1));
+        assert!(!send(&tx, 2));
+    }
+
+    #[test]
+    fn pool_table_registers_and_gathers() {
+        let table = PoolTable::new();
+        let pool_a = Pool::new("a", Endpoint::from_raw(1), 128, 4);
+        let pool_b = Pool::new("b", Endpoint::from_raw(2), 128, 4);
+        table.register(&pool_a);
+        table.register(&pool_b);
+        assert_eq!(table.len(), 2);
+        let pa = pool_a.publish(b"head-").unwrap();
+        let pb = pool_b.publish(b"tail").unwrap();
+        let chain: RichChain = [pa, pb].into_iter().collect();
+        assert_eq!(table.gather(&chain).unwrap(), b"head-tail");
+    }
+
+    #[test]
+    fn gather_fails_on_stale_or_unknown_pools() {
+        let table = PoolTable::new();
+        let pool = Pool::new("a", Endpoint::from_raw(1), 128, 4);
+        let ptr = pool.publish(b"data").unwrap();
+        let chain = RichChain::single(ptr);
+        // Unknown pool.
+        assert!(table.gather(&chain).is_none());
+        table.register(&pool);
+        assert!(table.gather(&chain).is_some());
+        // Stale after the owner frees (e.g. crashed and reset).
+        pool.free(&ptr).unwrap();
+        assert!(table.gather(&chain).is_none());
+        table.unregister(pool.id());
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn crash_board_delivers_each_event_once_per_cursor() {
+        let board = CrashBoard::new();
+        assert!(board.is_empty());
+        let event = CrashEvent {
+            name: "ip".to_string(),
+            endpoint: Endpoint::from_raw(4),
+            generation: Generation::FIRST,
+            reason: CrashReason::Panicked,
+            restarting: true,
+        };
+        board.push(event.clone());
+        let mut tcp_cursor = 0;
+        let mut udp_cursor = 0;
+        assert_eq!(board.poll(&mut tcp_cursor).len(), 1);
+        assert_eq!(board.poll(&mut tcp_cursor).len(), 0);
+        // A second observer sees the same event independently.
+        assert_eq!(board.poll(&mut udp_cursor).len(), 1);
+        board.push(event);
+        assert_eq!(board.poll(&mut tcp_cursor).len(), 1);
+        assert_eq!(board.len(), 2);
+    }
+}

@@ -1,0 +1,427 @@
+//! Typed requests and replies exchanged between the stack's servers.
+//!
+//! Each filled slot on a queue is a marshalled request telling the receiver
+//! what to do next (paper §IV, "Queues").  Large data never rides in the
+//! messages themselves — payloads are referenced through rich pointers into
+//! shared pools — but small control information (port numbers, packet
+//! metadata, transport headers of a few dozen bytes) is carried inline.
+
+use std::net::Ipv4Addr;
+
+use newt_channels::reqdb::RequestId;
+use newt_channels::rich::{RichChain, RichPtr};
+use newt_net::wire::IpProtocol;
+use serde::{Deserialize, Serialize};
+
+use crate::sockbuf::SockError;
+
+/// Identifier of a socket within one protocol server.
+pub type SockId = u64;
+
+/// Direction of a packet relative to this host, used by the packet filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Packet arriving from the network.
+    Inbound,
+    /// Packet leaving towards the network.
+    Outbound,
+}
+
+/// The 5-tuple-ish metadata the packet filter evaluates its rules against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketMeta {
+    /// Direction of the packet.
+    pub direction: Direction,
+    /// Source IP address.
+    pub src: Ipv4Addr,
+    /// Destination IP address.
+    pub dst: Ipv4Addr,
+    /// Transport protocol.
+    pub protocol: IpProtocol,
+    /// Source port (0 for ICMP).
+    pub src_port: u16,
+    /// Destination port (0 for ICMP).
+    pub dst_port: u16,
+    /// Total packet length in bytes.
+    pub len: usize,
+    /// Whether this is the first segment of a new connection (TCP SYN
+    /// without ACK), which is what stateful rules key on.
+    pub is_connection_start: bool,
+}
+
+/// A transport-layer flow as reported to the packet filter for connection
+/// tracking recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowTuple {
+    /// Transport protocol number (6 = TCP, 17 = UDP).
+    pub protocol: u8,
+    /// Local port.
+    pub local_port: u16,
+    /// Remote address and port, if connected.
+    pub remote: Option<(Ipv4Addr, u16)>,
+}
+
+/// Requests from the IP server to a network driver.
+#[derive(Debug, Clone)]
+pub enum IpToDrv {
+    /// Transmit the frame described by `chain` (headers chunk followed by
+    /// payload chunks).
+    Transmit {
+        /// Request identifier from IP's request database.
+        req: RequestId,
+        /// Scatter-gather description of the frame.
+        chain: RichChain,
+    },
+}
+
+/// Messages from a network driver to the IP server.
+#[derive(Debug, Clone)]
+pub enum DrvToIp {
+    /// A transmit request completed (the data can be freed).
+    TransmitDone {
+        /// The request being acknowledged.
+        req: RequestId,
+        /// Whether the frame actually went out (false: dropped, e.g. link
+        /// down or ring full — the protocols recover).
+        ok: bool,
+    },
+    /// A frame was received into the RX pool.
+    Received {
+        /// Index of the NIC the frame arrived on.
+        nic: usize,
+        /// Location of the frame bytes in the RX pool.
+        ptr: RichPtr,
+    },
+}
+
+/// Requests from a transport server (TCP or UDP) to the IP server.
+#[derive(Debug, Clone)]
+pub enum TransportToIp {
+    /// Send a transport PDU: IP prepends its header (and the Ethernet
+    /// header), consults the packet filter and hands the frame to a driver.
+    SendPacket {
+        /// Request identifier from the transport's request database.
+        req: RequestId,
+        /// Transport protocol.
+        protocol: IpProtocol,
+        /// Destination address.
+        dst: Ipv4Addr,
+        /// Source and destination ports (for the packet filter's benefit).
+        src_port: u16,
+        /// Destination port.
+        dst_port: u16,
+        /// Serialized transport header (TCP or UDP header, checksum left to
+        /// offload when enabled).
+        transport_header: Vec<u8>,
+        /// Payload chunks in the transport's TX pool.
+        payload: RichChain,
+        /// Whether this packet opens a new connection (outbound SYN).
+        is_connection_start: bool,
+    },
+    /// The transport finished reading a received frame; IP may free the RX
+    /// pool chunk.
+    RxDone {
+        /// The chunk to release.
+        ptr: RichPtr,
+    },
+}
+
+/// Messages from the IP server to a transport server.
+#[derive(Debug, Clone)]
+pub enum IpToTransport {
+    /// A received frame (still in the RX pool) destined to this transport.
+    Deliver {
+        /// Location of the full Ethernet frame in the RX pool.
+        ptr: RichPtr,
+    },
+    /// A previously submitted [`TransportToIp::SendPacket`] has been handed
+    /// to the hardware (or definitively dropped).
+    SendDone {
+        /// The request being acknowledged.
+        req: RequestId,
+        /// Whether the packet went out.
+        ok: bool,
+    },
+}
+
+/// Requests from the IP server to the packet filter.
+#[derive(Debug, Clone)]
+pub enum IpToPf {
+    /// Ask for a verdict on a packet.
+    Check {
+        /// Request identifier from IP's request database.
+        req: RequestId,
+        /// Metadata the rules are evaluated against.
+        meta: PacketMeta,
+    },
+}
+
+/// Replies from the packet filter to the IP server.
+#[derive(Debug, Clone)]
+pub enum PfToIp {
+    /// The verdict for a previously submitted check.
+    Verdict {
+        /// The request being answered.
+        req: RequestId,
+        /// `true` to let the packet through.
+        pass: bool,
+    },
+}
+
+/// Requests from the packet filter to a transport server (used to rebuild
+/// connection tracking state after a packet-filter restart).
+#[derive(Debug, Clone)]
+pub enum PfToTransport {
+    /// Ask for the list of currently open flows.
+    QueryConnections,
+}
+
+/// Replies from a transport server to the packet filter.
+#[derive(Debug, Clone)]
+pub enum TransportToPf {
+    /// The currently open flows.
+    Connections(Vec<FlowTuple>),
+}
+
+/// Socket-API requests from the SYSCALL server to a transport server.
+#[derive(Debug, Clone)]
+pub enum SockRequest {
+    /// Create a socket.  The transport replies with the socket id and
+    /// publishes its shared buffer in the registry.
+    Open {
+        /// Request identifier assigned by the SYSCALL server.
+        req: RequestId,
+    },
+    /// Bind the socket to a local port (0 = pick an ephemeral port).
+    Bind {
+        /// Request identifier.
+        req: RequestId,
+        /// Socket to bind.
+        sock: SockId,
+        /// Requested local port.
+        port: u16,
+    },
+    /// Put a TCP socket into the listening state.
+    Listen {
+        /// Request identifier.
+        req: RequestId,
+        /// Socket to listen on.
+        sock: SockId,
+        /// Maximum accept backlog.
+        backlog: usize,
+    },
+    /// Accept a connection from a listening socket's backlog (replied when
+    /// one is available).
+    Accept {
+        /// Request identifier.
+        req: RequestId,
+        /// The listening socket.
+        sock: SockId,
+    },
+    /// Connect a socket to a remote address (TCP: three-way handshake;
+    /// UDP: set the default destination).
+    Connect {
+        /// Request identifier.
+        req: RequestId,
+        /// Socket to connect.
+        sock: SockId,
+        /// Remote address.
+        addr: Ipv4Addr,
+        /// Remote port.
+        port: u16,
+    },
+    /// Close a socket.
+    Close {
+        /// Request identifier.
+        req: RequestId,
+        /// Socket to close.
+        sock: SockId,
+    },
+}
+
+impl SockRequest {
+    /// Returns the request identifier carried by this request.
+    pub fn req(&self) -> RequestId {
+        match self {
+            SockRequest::Open { req }
+            | SockRequest::Bind { req, .. }
+            | SockRequest::Listen { req, .. }
+            | SockRequest::Accept { req, .. }
+            | SockRequest::Connect { req, .. }
+            | SockRequest::Close { req, .. } => *req,
+        }
+    }
+
+    /// Returns the socket this request operates on, if it names one.
+    pub fn sock(&self) -> Option<SockId> {
+        match self {
+            SockRequest::Open { .. } => None,
+            SockRequest::Bind { sock, .. }
+            | SockRequest::Listen { sock, .. }
+            | SockRequest::Accept { sock, .. }
+            | SockRequest::Connect { sock, .. }
+            | SockRequest::Close { sock, .. } => Some(*sock),
+        }
+    }
+}
+
+/// Replies from a transport server to the SYSCALL server.
+#[derive(Debug, Clone)]
+pub enum SockReply {
+    /// A socket was created; its shared buffer is published under
+    /// `sockbuf/<proto>/<sock>` in the registry.
+    Opened {
+        /// The request being answered.
+        req: RequestId,
+        /// The new socket's id.
+        sock: SockId,
+    },
+    /// The operation succeeded; `port` carries the bound local port where
+    /// relevant.
+    Ok {
+        /// The request being answered.
+        req: RequestId,
+        /// Local port (for bind), otherwise 0.
+        port: u16,
+    },
+    /// A connection was accepted.
+    Accepted {
+        /// The request being answered.
+        req: RequestId,
+        /// The new connection's socket id.
+        sock: SockId,
+        /// Remote address of the accepted connection.
+        peer_addr: Ipv4Addr,
+        /// Remote port of the accepted connection.
+        peer_port: u16,
+    },
+    /// The operation failed.
+    Error {
+        /// The request being answered.
+        req: RequestId,
+        /// Why it failed.
+        error: SockError,
+    },
+}
+
+impl SockReply {
+    /// Returns the request identifier this reply answers.
+    pub fn req(&self) -> RequestId {
+        match self {
+            SockReply::Opened { req, .. }
+            | SockReply::Ok { req, .. }
+            | SockReply::Accepted { req, .. }
+            | SockReply::Error { req, .. } => *req,
+        }
+    }
+}
+
+/// Kernel-IPC message types used between applications and the SYSCALL
+/// server (the POSIX layer of §V-B).
+pub mod syscalls {
+    /// socket(proto) — word0: protocol number (6 or 17).
+    pub const SOCKET: u32 = 1;
+    /// bind(sock, port) — word0: socket, word1: port.
+    pub const BIND: u32 = 2;
+    /// listen(sock, backlog) — word0: socket, word1: backlog.
+    pub const LISTEN: u32 = 3;
+    /// accept(sock) — word0: socket.
+    pub const ACCEPT: u32 = 4;
+    /// connect(sock, addr, port) — word0: socket, word1: address, word2: port.
+    pub const CONNECT: u32 = 5;
+    /// close(sock) — word0: socket.
+    pub const CLOSE: u32 = 6;
+    /// Successful reply; word0 carries the primary result.
+    pub const REPLY_OK: u32 = 100;
+    /// Failed reply; word0 carries the encoded error.
+    pub const REPLY_ERR: u32 = 101;
+    /// Every request carries the protocol number in word 7.
+    pub const PROTO_WORD: usize = 7;
+}
+
+/// Encodes a [`SockError`] into a kernel-IPC payload word.
+pub fn encode_sock_error(error: SockError) -> u64 {
+    match error {
+        SockError::ConnectionReset => 1,
+        SockError::TimedOut => 2,
+        SockError::ConnectionRefused => 3,
+        SockError::InvalidState => 4,
+        SockError::AddressInUse => 5,
+        SockError::ServerUnavailable => 6,
+        SockError::Filtered => 7,
+    }
+}
+
+/// Decodes a [`SockError`] from a kernel-IPC payload word.
+pub fn decode_sock_error(word: u64) -> SockError {
+    match word {
+        1 => SockError::ConnectionReset,
+        2 => SockError::TimedOut,
+        3 => SockError::ConnectionRefused,
+        5 => SockError::AddressInUse,
+        6 => SockError::ServerUnavailable,
+        7 => SockError::Filtered,
+        4 => SockError::InvalidState,
+        _ => SockError::InvalidState,
+    }
+}
+
+/// Converts an [`Ipv4Addr`] to a payload word.
+pub fn addr_to_word(addr: Ipv4Addr) -> u64 {
+    u32::from(addr) as u64
+}
+
+/// Converts a payload word back to an [`Ipv4Addr`].
+pub fn word_to_addr(word: u64) -> Ipv4Addr {
+    Ipv4Addr::from(word as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newt_channels::reqdb::RequestId;
+
+    #[test]
+    fn sock_request_accessors() {
+        let open = SockRequest::Open { req: RequestId::from_raw(1) };
+        assert_eq!(open.req(), RequestId::from_raw(1));
+        assert_eq!(open.sock(), None);
+        let bind = SockRequest::Bind { req: RequestId::from_raw(2), sock: 9, port: 80 };
+        assert_eq!(bind.req(), RequestId::from_raw(2));
+        assert_eq!(bind.sock(), Some(9));
+    }
+
+    #[test]
+    fn sock_reply_accessors() {
+        let reply = SockReply::Error { req: RequestId::from_raw(3), error: SockError::TimedOut };
+        assert_eq!(reply.req(), RequestId::from_raw(3));
+        let accepted = SockReply::Accepted {
+            req: RequestId::from_raw(4),
+            sock: 7,
+            peer_addr: Ipv4Addr::new(10, 0, 0, 2),
+            peer_port: 5001,
+        };
+        assert_eq!(accepted.req(), RequestId::from_raw(4));
+    }
+
+    #[test]
+    fn sock_error_round_trip() {
+        for error in [
+            SockError::ConnectionReset,
+            SockError::TimedOut,
+            SockError::ConnectionRefused,
+            SockError::InvalidState,
+            SockError::AddressInUse,
+            SockError::ServerUnavailable,
+            SockError::Filtered,
+        ] {
+            assert_eq!(decode_sock_error(encode_sock_error(error)), error);
+        }
+    }
+
+    #[test]
+    fn addr_word_round_trip() {
+        let addr = Ipv4Addr::new(192, 168, 7, 42);
+        assert_eq!(word_to_addr(addr_to_word(addr)), addr);
+    }
+}

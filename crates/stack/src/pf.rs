@@ -1,0 +1,466 @@
+//! The packet filter server (PF).
+//!
+//! The filter sits in a "T junction" next to the IP server (paper Figure 3):
+//! IP asks it for a verdict on every packet, pre- and post-routing, and only
+//! forwards the packet once the verdict arrives.  Because IP always waits
+//! for the reply, a crash of the filter never loses packets — IP simply
+//! resubmits the outstanding checks to the restarted incarnation, which is
+//! why Figure 5 shows almost no dip in throughput.
+//!
+//! The filter has two kinds of state (paper §V, Table I):
+//!
+//! * the rule set configured by the administrator — static, stored in the
+//!   storage server and restored verbatim after a crash;
+//! * connection-tracking state — dynamic, recovered after a restart by
+//!   querying the TCP and UDP servers for their open flows, so that a
+//!   "block inbound" policy does not cut established outgoing connections.
+
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use newt_kernel::rs::StartMode;
+use newt_kernel::storage::StorageServer;
+use std::sync::Arc;
+
+use crate::fabric::{drain, send, Rx, Tx};
+use crate::msg::{Direction, FlowTuple, IpToPf, PacketMeta, PfToIp, PfToTransport, TransportToPf};
+
+/// What a matching rule does with the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FilterAction {
+    /// Let the packet through.
+    Pass,
+    /// Drop the packet.
+    Block,
+}
+
+/// One packet-filter rule.  `None` fields match anything; the first matching
+/// rule decides, and the default policy is to pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterRule {
+    /// What to do with matching packets.
+    pub action: FilterAction,
+    /// Restrict the rule to one direction (`None` = both).
+    pub direction: Option<Direction>,
+    /// Restrict to an IP protocol number (`None` = any).
+    pub protocol: Option<u8>,
+    /// Restrict to a remote address (`None` = any).
+    pub remote_addr: Option<Ipv4Addr>,
+    /// Restrict to a local port (`None` = any).
+    pub local_port: Option<u16>,
+    /// Restrict to a remote port (`None` = any).
+    pub remote_port: Option<u16>,
+}
+
+impl FilterRule {
+    /// A rule that blocks every inbound connection attempt (stateful
+    /// firewalling: established flows are still allowed by connection
+    /// tracking).
+    pub fn block_inbound() -> Self {
+        FilterRule {
+            action: FilterAction::Block,
+            direction: Some(Direction::Inbound),
+            protocol: None,
+            remote_addr: None,
+            local_port: None,
+            remote_port: None,
+        }
+    }
+
+    /// A rule that passes inbound traffic to a given local port.
+    pub fn pass_inbound_port(port: u16) -> Self {
+        FilterRule {
+            action: FilterAction::Pass,
+            direction: Some(Direction::Inbound),
+            protocol: None,
+            remote_addr: None,
+            local_port: Some(port),
+            remote_port: None,
+        }
+    }
+
+    /// A rule that blocks traffic to/from a remote address.
+    pub fn block_remote(addr: Ipv4Addr) -> Self {
+        FilterRule {
+            action: FilterAction::Block,
+            direction: None,
+            protocol: None,
+            remote_addr: Some(addr),
+            local_port: None,
+            remote_port: None,
+        }
+    }
+
+    /// A neutral pass rule matching one local port; used to pad rule sets to
+    /// a given size (the paper recovers a set of 1024 rules in Figure 5).
+    pub fn pass_filler(port: u16) -> Self {
+        FilterRule {
+            action: FilterAction::Pass,
+            direction: None,
+            protocol: None,
+            remote_addr: None,
+            local_port: Some(port),
+            remote_port: None,
+        }
+    }
+
+    fn matches(&self, meta: &PacketMeta) -> bool {
+        let (local_port, remote_port, remote_addr) = match meta.direction {
+            Direction::Inbound => (meta.dst_port, meta.src_port, meta.src),
+            Direction::Outbound => (meta.src_port, meta.dst_port, meta.dst),
+        };
+        if let Some(dir) = self.direction {
+            if dir != meta.direction {
+                return false;
+            }
+        }
+        if let Some(proto) = self.protocol {
+            if proto != meta.protocol.as_u8() {
+                return false;
+            }
+        }
+        if let Some(addr) = self.remote_addr {
+            if addr != remote_addr {
+                return false;
+            }
+        }
+        if let Some(port) = self.local_port {
+            if port != local_port {
+                return false;
+            }
+        }
+        if let Some(port) = self.remote_port {
+            if port != remote_port {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Counters describing the packet filter's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PfStats {
+    /// Packets checked.
+    pub checked: u64,
+    /// Packets blocked.
+    pub blocked: u64,
+    /// Flows currently tracked.
+    pub tracked_flows: usize,
+    /// Rules currently loaded.
+    pub rules: usize,
+}
+
+/// One incarnation of the packet filter server.
+#[derive(Debug)]
+pub struct PacketFilterServer {
+    rules: Vec<FilterRule>,
+    tracked: HashSet<(u8, u16, Ipv4Addr, u16)>,
+    storage: Arc<StorageServer>,
+    inbox: Rx<IpToPf>,
+    outbox: Tx<PfToIp>,
+    to_tcp: Tx<PfToTransport>,
+    from_tcp: Rx<TransportToPf>,
+    to_udp: Tx<PfToTransport>,
+    from_udp: Rx<TransportToPf>,
+    checked: u64,
+    blocked: u64,
+}
+
+impl PacketFilterServer {
+    /// Creates a packet-filter incarnation.
+    ///
+    /// On a fresh start the `configured_rules` are installed and persisted;
+    /// on a restart the rules are restored from the storage server and the
+    /// connection table is rebuilt by querying the transport servers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        mode: StartMode,
+        configured_rules: Vec<FilterRule>,
+        storage: Arc<StorageServer>,
+        inbox: Rx<IpToPf>,
+        outbox: Tx<PfToIp>,
+        to_tcp: Tx<PfToTransport>,
+        from_tcp: Rx<TransportToPf>,
+        to_udp: Tx<PfToTransport>,
+        from_udp: Rx<TransportToPf>,
+    ) -> Self {
+        let rules = match mode {
+            StartMode::Fresh => {
+                storage.store("pf", "rules", &configured_rules);
+                configured_rules
+            }
+            StartMode::Restart => storage
+                .retrieve::<Vec<FilterRule>>("pf", "rules")
+                .unwrap_or(configured_rules),
+        };
+        let server = PacketFilterServer {
+            rules,
+            tracked: HashSet::new(),
+            storage,
+            inbox,
+            outbox,
+            to_tcp,
+            from_tcp,
+            to_udp,
+            from_udp,
+            checked: 0,
+            blocked: 0,
+        };
+        if mode == StartMode::Restart {
+            // Rebuild connection tracking by asking TCP and UDP what is open.
+            send(&server.to_tcp, PfToTransport::QueryConnections);
+            send(&server.to_udp, PfToTransport::QueryConnections);
+        }
+        server
+    }
+
+    /// Returns the filter's counters.
+    pub fn stats(&self) -> PfStats {
+        PfStats {
+            checked: self.checked,
+            blocked: self.blocked,
+            tracked_flows: self.tracked.len(),
+            rules: self.rules.len(),
+        }
+    }
+
+    /// Replaces the rule set at runtime (the administrator reconfiguring the
+    /// firewall) and persists it.
+    pub fn install_rules(&mut self, rules: Vec<FilterRule>) {
+        self.storage.store("pf", "rules", &rules);
+        self.rules = rules;
+    }
+
+    fn verdict(&mut self, meta: &PacketMeta) -> bool {
+        // Track outbound flows so that stateful inbound blocking lets the
+        // return traffic through.
+        if meta.direction == Direction::Outbound {
+            self.tracked
+                .insert((meta.protocol.as_u8(), meta.src_port, meta.dst, meta.dst_port));
+        }
+        let first_match = self.rules.iter().find(|rule| rule.matches(meta));
+        let pass = match first_match {
+            Some(rule) => rule.action == FilterAction::Pass,
+            None => true,
+        };
+        if !pass
+            && meta.direction == Direction::Inbound
+            && self
+                .tracked
+                .contains(&(meta.protocol.as_u8(), meta.dst_port, meta.src, meta.src_port))
+        {
+            // Connection tracking overrides a blanket inbound block for
+            // established flows.
+            return true;
+        }
+        pass
+    }
+
+    /// Runs one iteration of the filter's event loop.
+    pub fn poll(&mut self) -> usize {
+        let mut work = 0;
+
+        // Answers from the transports while rebuilding connection tracking.
+        for reply in drain(&self.from_tcp).into_iter().chain(drain(&self.from_udp)) {
+            work += 1;
+            let TransportToPf::Connections(flows) = reply;
+            for flow in flows {
+                self.track_flow(&flow);
+            }
+        }
+
+        for request in drain(&self.inbox) {
+            work += 1;
+            match request {
+                IpToPf::Check { req, meta } => {
+                    self.checked += 1;
+                    let pass = self.verdict(&meta);
+                    if !pass {
+                        self.blocked += 1;
+                    }
+                    send(&self.outbox, PfToIp::Verdict { req, pass });
+                }
+            }
+        }
+        work
+    }
+
+    fn track_flow(&mut self, flow: &FlowTuple) {
+        if let Some((addr, port)) = flow.remote {
+            self.tracked.insert((flow.protocol, flow.local_port, addr, port));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Chan;
+    use newt_channels::reqdb::RequestId;
+    use newt_net::wire::IpProtocol;
+
+    struct Rig {
+        pf: PacketFilterServer,
+        to_pf: Tx<IpToPf>,
+        from_pf: Rx<PfToIp>,
+        tcp_query: Rx<PfToTransport>,
+        tcp_reply: Tx<TransportToPf>,
+        storage: Arc<StorageServer>,
+    }
+
+    fn build(mode: StartMode, rules: Vec<FilterRule>, storage: Arc<StorageServer>) -> Rig {
+        let ip_to_pf: Chan<IpToPf> = Chan::new(64);
+        let pf_to_ip: Chan<PfToIp> = Chan::new(64);
+        let pf_to_tcp: Chan<PfToTransport> = Chan::new(8);
+        let tcp_to_pf: Chan<TransportToPf> = Chan::new(8);
+        let pf_to_udp: Chan<PfToTransport> = Chan::new(8);
+        let udp_to_pf: Chan<TransportToPf> = Chan::new(8);
+        let pf = PacketFilterServer::new(
+            mode,
+            rules,
+            Arc::clone(&storage),
+            ip_to_pf.rx(),
+            pf_to_ip.tx(),
+            pf_to_tcp.tx(),
+            tcp_to_pf.rx(),
+            pf_to_udp.tx(),
+            udp_to_pf.rx(),
+        );
+        Rig {
+            pf,
+            to_pf: ip_to_pf.tx(),
+            from_pf: pf_to_ip.rx(),
+            tcp_query: pf_to_tcp.rx(),
+            tcp_reply: tcp_to_pf.tx(),
+            storage,
+        }
+    }
+
+    fn meta(direction: Direction, src_port: u16, dst_port: u16) -> PacketMeta {
+        PacketMeta {
+            direction,
+            src: Ipv4Addr::new(10, 0, 0, 2),
+            dst: Ipv4Addr::new(10, 0, 0, 1),
+            protocol: IpProtocol::Tcp,
+            src_port,
+            dst_port,
+            len: 60,
+            is_connection_start: false,
+        }
+    }
+
+    fn check(rig: &mut Rig, req: u64, m: PacketMeta) -> bool {
+        send(&rig.to_pf, IpToPf::Check { req: RequestId::from_raw(req), meta: m });
+        rig.pf.poll();
+        match drain(&rig.from_pf).pop() {
+            Some(PfToIp::Verdict { pass, .. }) => pass,
+            None => panic!("no verdict"),
+        }
+    }
+
+    #[test]
+    fn default_policy_is_pass() {
+        let mut rig = build(StartMode::Fresh, vec![], Arc::new(StorageServer::new()));
+        assert!(check(&mut rig, 1, meta(Direction::Inbound, 12345, 22)));
+        assert_eq!(rig.pf.stats().checked, 1);
+        assert_eq!(rig.pf.stats().blocked, 0);
+    }
+
+    #[test]
+    fn inbound_block_with_port_exception() {
+        let rules = vec![FilterRule::pass_inbound_port(22), FilterRule::block_inbound()];
+        let mut rig = build(StartMode::Fresh, rules, Arc::new(StorageServer::new()));
+        // SSH is allowed in, telnet is not.
+        assert!(check(&mut rig, 1, meta(Direction::Inbound, 50000, 22)));
+        assert!(!check(&mut rig, 2, meta(Direction::Inbound, 50000, 23)));
+        // Outbound is unaffected.
+        assert!(check(&mut rig, 3, meta(Direction::Outbound, 40000, 80)));
+        assert_eq!(rig.pf.stats().blocked, 1);
+    }
+
+    #[test]
+    fn connection_tracking_lets_return_traffic_through_an_inbound_block() {
+        let rules = vec![FilterRule::block_inbound()];
+        let mut rig = build(StartMode::Fresh, rules, Arc::new(StorageServer::new()));
+        // Outbound connection from local port 40000 to remote port 5001.
+        let mut out = meta(Direction::Outbound, 40000, 5001);
+        out.src = Ipv4Addr::new(10, 0, 0, 1);
+        out.dst = Ipv4Addr::new(10, 0, 0, 2);
+        out.is_connection_start = true;
+        assert!(check(&mut rig, 1, out));
+        // The return traffic (remote 5001 -> local 40000) passes despite the
+        // blanket inbound block.
+        assert!(check(&mut rig, 2, meta(Direction::Inbound, 5001, 40000)));
+        // Unrelated inbound traffic is still blocked.
+        assert!(!check(&mut rig, 3, meta(Direction::Inbound, 5001, 40001)));
+    }
+
+    #[test]
+    fn block_remote_address_both_directions() {
+        let bad = Ipv4Addr::new(10, 0, 0, 66);
+        let rules = vec![FilterRule::block_remote(bad)];
+        let mut rig = build(StartMode::Fresh, rules, Arc::new(StorageServer::new()));
+        let mut inbound = meta(Direction::Inbound, 1, 2);
+        inbound.src = bad;
+        assert!(!check(&mut rig, 1, inbound));
+        let mut outbound = meta(Direction::Outbound, 1, 2);
+        outbound.dst = bad;
+        assert!(!check(&mut rig, 2, outbound));
+        assert!(check(&mut rig, 3, meta(Direction::Inbound, 1, 2)));
+    }
+
+    #[test]
+    fn restart_restores_rules_from_storage_and_queries_connections() {
+        let storage = Arc::new(StorageServer::new());
+        let rules = vec![FilterRule::block_inbound()];
+        {
+            let mut rig = build(StartMode::Fresh, rules, Arc::clone(&storage));
+            assert!(!check(&mut rig, 1, meta(Direction::Inbound, 9, 9)));
+        }
+        // The restarted incarnation gets an *empty* configured rule set but
+        // must recover the stored one, and asks TCP for open connections.
+        let mut rig = build(StartMode::Restart, vec![], Arc::clone(&storage));
+        assert_eq!(rig.pf.stats().rules, 1);
+        assert!(matches!(drain(&rig.tcp_query)[..], [PfToTransport::QueryConnections]));
+        // TCP reports an open connection; its return traffic passes.
+        send(
+            &rig.tcp_reply,
+            TransportToPf::Connections(vec![FlowTuple {
+                protocol: 6,
+                local_port: 40000,
+                remote: Some((Ipv4Addr::new(10, 0, 0, 2), 5001)),
+            }]),
+        );
+        rig.pf.poll();
+        assert!(check(&mut rig, 2, meta(Direction::Inbound, 5001, 40000)));
+        assert!(!check(&mut rig, 3, meta(Direction::Inbound, 5001, 40001)));
+    }
+
+    #[test]
+    fn large_rule_sets_are_persisted_and_recovered() {
+        let storage = Arc::new(StorageServer::new());
+        // The 1024-rule set of Figure 5.
+        let mut rules: Vec<FilterRule> = (0..1023).map(|i| FilterRule::pass_filler(i as u16 + 1)).collect();
+        rules.push(FilterRule::block_inbound());
+        {
+            let _rig = build(StartMode::Fresh, rules.clone(), Arc::clone(&storage));
+        }
+        let rig = build(StartMode::Restart, vec![], Arc::clone(&storage));
+        assert_eq!(rig.pf.stats().rules, 1024);
+        assert!(rig.storage.component_size("pf") > 1024);
+    }
+
+    #[test]
+    fn install_rules_updates_and_persists() {
+        let storage = Arc::new(StorageServer::new());
+        let mut rig = build(StartMode::Fresh, vec![], Arc::clone(&storage));
+        assert!(check(&mut rig, 1, meta(Direction::Inbound, 1, 23)));
+        rig.pf.install_rules(vec![FilterRule::block_inbound()]);
+        assert!(!check(&mut rig, 2, meta(Direction::Inbound, 1, 23)));
+        let stored: Vec<FilterRule> = rig.storage.retrieve("pf", "rules").unwrap();
+        assert_eq!(stored.len(), 1);
+    }
+}

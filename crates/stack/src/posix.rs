@@ -1,0 +1,353 @@
+//! The application-side socket library (the "C library" of §V-B).
+//!
+//! Synchronous POSIX-style calls are implemented as kernel IPC messages to
+//! the SYSCALL server; the calling application blocks in `sendrec` until the
+//! reply arrives.  The *data* path bypasses the SYSCALL server entirely:
+//! opening a socket exports a shared buffer to the application
+//! ([`SocketBuffer`]) and `send`/`recv` only touch that buffer.
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use newt_channels::endpoint::Endpoint;
+use newt_channels::registry::Registry;
+use newt_kernel::ipc::{IpcError, KernelIpc, Message};
+use newt_net::wire::IpProtocol;
+
+use crate::endpoints;
+use crate::msg::{addr_to_word, decode_sock_error, syscalls, SockId};
+use crate::sockbuf::{SockError, SocketBuffer};
+use crate::udp::{decode_datagram, encode_datagram};
+
+/// Handle through which an application process uses the networking stack.
+///
+/// Obtained from [`NewtStack::client`](crate::builder::NewtStack::client).
+#[derive(Debug, Clone)]
+pub struct NetClient {
+    kernel: KernelIpc,
+    registry: Registry,
+    app: Endpoint,
+    /// Real-time bound on each blocking operation.
+    op_timeout: Duration,
+}
+
+impl NetClient {
+    /// Creates a client for application endpoint `app` and attaches it to
+    /// the kernel.
+    pub fn new(kernel: KernelIpc, registry: Registry, app: Endpoint) -> Self {
+        kernel.attach(app);
+        NetClient { kernel, registry, app, op_timeout: Duration::from_secs(10) }
+    }
+
+    /// Returns this client's application endpoint.
+    pub fn endpoint(&self) -> Endpoint {
+        self.app
+    }
+
+    /// Sets the real-time timeout applied to blocking operations.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.op_timeout = timeout;
+        self
+    }
+
+    fn call(&self, mtype: u32, words: &[(usize, u64)], proto: IpProtocol) -> Result<Message, SockError> {
+        let mut message = Message::new(mtype).with_word(syscalls::PROTO_WORD, proto.as_u8() as u64);
+        for (index, value) in words {
+            message = message.with_word(*index, *value);
+        }
+        // The SYSCALL server may be booting or restarting; retry the
+        // synchronous call until it is reachable or the timeout expires.
+        let deadline = std::time::Instant::now() + self.op_timeout;
+        let reply = loop {
+            match self.kernel.sendrec(self.app, endpoints::SYSCALL, message, self.op_timeout) {
+                Ok(reply) => break reply,
+                Err(IpcError::Timeout) => return Err(SockError::TimedOut),
+                Err(_) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => return Err(SockError::ServerUnavailable),
+            }
+        };
+        match reply.mtype {
+            syscalls::REPLY_OK => Ok(reply),
+            syscalls::REPLY_ERR => Err(decode_sock_error(reply.word(0))),
+            _ => Err(SockError::InvalidState),
+        }
+    }
+
+    fn attach_buffer(&self, proto: &str, sock: SockId) -> Result<Arc<SocketBuffer>, SockError> {
+        self.registry
+            .attach_shared(self.app, &format!("sockbuf/{proto}/{sock}"))
+            .map_err(|_| SockError::ServerUnavailable)
+    }
+
+    /// Creates a TCP socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SockError::ServerUnavailable`] when the SYSCALL or TCP
+    /// server cannot be reached.
+    pub fn tcp_socket(&self) -> Result<TcpSocket, SockError> {
+        let reply = self.call(syscalls::SOCKET, &[], IpProtocol::Tcp)?;
+        let sock = reply.word(0);
+        let buffer = self.attach_buffer("tcp", sock)?;
+        Ok(TcpSocket { client: self.clone(), sock, buffer })
+    }
+
+    /// Creates a UDP socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SockError::ServerUnavailable`] when the SYSCALL or UDP
+    /// server cannot be reached.
+    pub fn udp_socket(&self) -> Result<UdpSocket, SockError> {
+        let reply = self.call(syscalls::SOCKET, &[], IpProtocol::Udp)?;
+        let sock = reply.word(0);
+        let buffer = self.attach_buffer("udp", sock)?;
+        Ok(UdpSocket { client: self.clone(), sock, buffer, pending: Mutex::new(Vec::new()) })
+    }
+}
+
+/// A connected or listening TCP socket.
+#[derive(Debug)]
+pub struct TcpSocket {
+    client: NetClient,
+    sock: SockId,
+    buffer: Arc<SocketBuffer>,
+}
+
+impl TcpSocket {
+    /// Returns the socket identifier assigned by the TCP server.
+    pub fn id(&self) -> SockId {
+        self.sock
+    }
+
+    /// Binds the socket to `port` (0 picks an ephemeral port); returns the
+    /// bound port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SockError::AddressInUse`] if another listening socket owns
+    /// the port.
+    pub fn bind(&self, port: u16) -> Result<u16, SockError> {
+        let reply = self.client.call(syscalls::BIND, &[(0, self.sock), (1, port as u64)], IpProtocol::Tcp)?;
+        Ok(reply.word(0) as u16)
+    }
+
+    /// Starts listening with the given backlog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SockError::InvalidState`] when the socket is not bound.
+    pub fn listen(&self, backlog: usize) -> Result<(), SockError> {
+        self.client
+            .call(syscalls::LISTEN, &[(0, self.sock), (1, backlog as u64)], IpProtocol::Tcp)?;
+        Ok(())
+    }
+
+    /// Accepts one connection, blocking until a peer connects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SockError::ServerUnavailable`] on timeout or when the TCP
+    /// server is unreachable.
+    pub fn accept(&self) -> Result<(TcpSocket, Ipv4Addr, u16), SockError> {
+        let reply = self.client.call(syscalls::ACCEPT, &[(0, self.sock)], IpProtocol::Tcp)?;
+        let child = reply.word(0);
+        let addr = crate::msg::word_to_addr(reply.word(1));
+        let port = reply.word(2) as u16;
+        let buffer = self.client.attach_buffer("tcp", child)?;
+        Ok((TcpSocket { client: self.client.clone(), sock: child, buffer }, addr, port))
+    }
+
+    /// Connects to `addr:port`, blocking until the handshake completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SockError::ConnectionRefused`] if the peer resets the
+    /// attempt and [`SockError::ServerUnavailable`] on timeouts.
+    pub fn connect(&self, addr: Ipv4Addr, port: u16) -> Result<(), SockError> {
+        self.client.call(
+            syscalls::CONNECT,
+            &[(0, self.sock), (1, addr_to_word(addr)), (2, port as u64)],
+            IpProtocol::Tcp,
+        )?;
+        Ok(())
+    }
+
+    /// Writes as much of `data` as currently fits into the send buffer and
+    /// returns the number of bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Returns the pending socket error (e.g. [`SockError::ConnectionReset`]
+    /// after an unrecoverable TCP crash).
+    pub fn send(&self, data: &[u8]) -> Result<usize, SockError> {
+        self.buffer.write(data, self.client.op_timeout)
+    }
+
+    /// Writes all of `data`, blocking as needed.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpSocket::send`].
+    pub fn send_all(&self, data: &[u8]) -> Result<(), SockError> {
+        let mut offset = 0;
+        while offset < data.len() {
+            offset += self.buffer.write(&data[offset..], self.client.op_timeout)?;
+        }
+        Ok(())
+    }
+
+    /// Reads into `buf`, blocking until data arrives; returns 0 at
+    /// end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SockError::TimedOut`] or the pending socket error.
+    pub fn recv(&self, buf: &mut [u8]) -> Result<usize, SockError> {
+        self.buffer.read(buf, self.client.op_timeout)
+    }
+
+    /// Reads exactly `buf.len()` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SockError::ConnectionReset`] if the stream ends early, or
+    /// any pending socket error.
+    pub fn recv_exact(&self, buf: &mut [u8]) -> Result<(), SockError> {
+        let mut offset = 0;
+        while offset < buf.len() {
+            let n = self.buffer.read(&mut buf[offset..], self.client.op_timeout)?;
+            if n == 0 {
+                return Err(SockError::ConnectionReset);
+            }
+            offset += n;
+        }
+        Ok(())
+    }
+
+    /// Returns the number of bytes immediately available for reading.
+    pub fn available(&self) -> usize {
+        self.buffer.recv_available()
+    }
+
+    /// Closes the socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SockError::ServerUnavailable`] if the TCP server cannot be
+    /// reached (the socket is abandoned in that case).
+    pub fn close(self) -> Result<(), SockError> {
+        self.client.call(syscalls::CLOSE, &[(0, self.sock)], IpProtocol::Tcp)?;
+        Ok(())
+    }
+}
+
+/// A UDP socket.
+#[derive(Debug)]
+pub struct UdpSocket {
+    client: NetClient,
+    sock: SockId,
+    buffer: Arc<SocketBuffer>,
+    pending: Mutex<Vec<u8>>,
+}
+
+impl UdpSocket {
+    /// Returns the socket identifier assigned by the UDP server.
+    pub fn id(&self) -> SockId {
+        self.sock
+    }
+
+    /// Binds the socket to `port` (0 picks an ephemeral port); returns the
+    /// bound port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SockError::AddressInUse`] when the port is taken.
+    pub fn bind(&self, port: u16) -> Result<u16, SockError> {
+        let reply = self.client.call(syscalls::BIND, &[(0, self.sock), (1, port as u64)], IpProtocol::Udp)?;
+        Ok(reply.word(0) as u16)
+    }
+
+    /// Sets the default remote address used by [`UdpSocket::send`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SockError::ServerUnavailable`] when the UDP server is
+    /// unreachable.
+    pub fn connect(&self, addr: Ipv4Addr, port: u16) -> Result<(), SockError> {
+        self.client.call(
+            syscalls::CONNECT,
+            &[(0, self.sock), (1, addr_to_word(addr)), (2, port as u64)],
+            IpProtocol::Udp,
+        )?;
+        Ok(())
+    }
+
+    /// Sends one datagram to `addr:port`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the pending socket error, or [`SockError::TimedOut`] if the
+    /// shared buffer stays full.
+    pub fn send_to(&self, payload: &[u8], addr: Ipv4Addr, port: u16) -> Result<(), SockError> {
+        let record = encode_datagram(addr, port, payload);
+        let mut offset = 0;
+        while offset < record.len() {
+            offset += self.buffer.write(&record[offset..], self.client.op_timeout)?;
+        }
+        Ok(())
+    }
+
+    /// Sends one datagram to the connected remote.
+    ///
+    /// # Errors
+    ///
+    /// As [`UdpSocket::send_to`].
+    pub fn send(&self, payload: &[u8]) -> Result<(), SockError> {
+        self.send_to(payload, Ipv4Addr::UNSPECIFIED, 0)
+    }
+
+    /// Receives one datagram, blocking until one arrives.  Returns the
+    /// payload together with the sender's address and port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SockError::TimedOut`] when nothing arrives within the
+    /// client's timeout.
+    pub fn recv_from(&self) -> Result<(Vec<u8>, Ipv4Addr, u16), SockError> {
+        let deadline = std::time::Instant::now() + self.client.op_timeout;
+        loop {
+            {
+                let mut pending = self.pending.lock();
+                if let Some(((addr, port, payload), consumed)) = decode_datagram(&pending) {
+                    pending.drain(..consumed);
+                    return Ok((payload, addr, port));
+                }
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(SockError::TimedOut);
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.buffer.read(&mut chunk, deadline - now)?;
+            self.pending.lock().extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Closes the socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SockError::ServerUnavailable`] if the UDP server cannot be
+    /// reached.
+    pub fn close(self) -> Result<(), SockError> {
+        self.client.call(syscalls::CLOSE, &[(0, self.sock)], IpProtocol::Udp)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,369 @@
+//! Shared socket buffers.
+//!
+//! When an application opens a socket, the protocol server exports a shared
+//! memory buffer to it and the actual data bypasses the SYSCALL server
+//! (paper §V-B): only control messages travel over kernel IPC.  A
+//! [`SocketBuffer`] is that shared region — a pair of byte queues (send and
+//! receive) plus the state flags needed for a faithful `send`/`recv`
+//! blocking behaviour on the application side and non-blocking polling on
+//! the server side.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
+
+/// Errors surfaced to the application through a socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SockError {
+    /// The connection was reset (e.g. the TCP server crashed and could not
+    /// recover the connection, or the peer sent RST).
+    ConnectionReset,
+    /// The operation timed out.
+    TimedOut,
+    /// The connection attempt was refused by the remote host.
+    ConnectionRefused,
+    /// The socket is not in a state that allows the operation.
+    InvalidState,
+    /// The requested address or port is already in use.
+    AddressInUse,
+    /// The protocol server is not reachable (crashed and not yet recovered).
+    ServerUnavailable,
+    /// The packet filter blocked the traffic.
+    Filtered,
+}
+
+impl std::fmt::Display for SockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SockError::ConnectionReset => write!(f, "connection reset"),
+            SockError::TimedOut => write!(f, "operation timed out"),
+            SockError::ConnectionRefused => write!(f, "connection refused"),
+            SockError::InvalidState => write!(f, "socket is in an invalid state for this operation"),
+            SockError::AddressInUse => write!(f, "address already in use"),
+            SockError::ServerUnavailable => write!(f, "protocol server unavailable"),
+            SockError::Filtered => write!(f, "traffic blocked by the packet filter"),
+        }
+    }
+}
+
+impl std::error::Error for SockError {}
+
+#[derive(Debug, Default)]
+struct BufInner {
+    send: VecDeque<u8>,
+    recv: VecDeque<u8>,
+    recv_eof: bool,
+    error: Option<SockError>,
+    closed_by_app: bool,
+}
+
+/// The shared buffer between an application and a protocol server.
+///
+/// The application side uses the blocking [`SocketBuffer::write`] and
+/// [`SocketBuffer::read`]; the protocol server uses the non-blocking
+/// [`SocketBuffer::drain_send`] and [`SocketBuffer::push_recv`] from its
+/// event loop.
+#[derive(Debug)]
+pub struct SocketBuffer {
+    inner: Mutex<BufInner>,
+    send_capacity: usize,
+    recv_capacity: usize,
+    readable: Condvar,
+    writable: Condvar,
+}
+
+impl SocketBuffer {
+    /// Creates a buffer with the given send and receive capacities in bytes.
+    pub fn new(send_capacity: usize, recv_capacity: usize) -> Self {
+        SocketBuffer {
+            inner: Mutex::new(BufInner::default()),
+            send_capacity,
+            recv_capacity,
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        }
+    }
+
+    /// Creates a buffer with the default 256 KiB capacities.
+    pub fn with_defaults() -> Self {
+        Self::new(256 * 1024, 256 * 1024)
+    }
+
+    // ---- application side -------------------------------------------------
+
+    /// Writes as much of `data` as fits, blocking until at least one byte can
+    /// be written or `timeout` expires.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error if one is pending, or
+    /// [`SockError::TimedOut`] if no space became available in time.
+    pub fn write(&self, data: &[u8], timeout: Duration) -> Result<usize, SockError> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(err) = inner.error {
+                return Err(err);
+            }
+            let space = self.send_capacity.saturating_sub(inner.send.len());
+            if space > 0 {
+                let n = space.min(data.len());
+                inner.send.extend(&data[..n]);
+                self.readable.notify_all();
+                return Ok(n);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SockError::TimedOut);
+            }
+            self.writable.wait_for(&mut inner, deadline - now);
+        }
+    }
+
+    /// Reads up to `buf.len()` bytes, blocking until data, end-of-stream or
+    /// an error is available, or `timeout` expires.  Returns 0 at
+    /// end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the pending socket error or [`SockError::TimedOut`].
+    pub fn read(&self, buf: &mut [u8], timeout: Duration) -> Result<usize, SockError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            if !inner.recv.is_empty() {
+                let n = buf.len().min(inner.recv.len());
+                for slot in buf.iter_mut().take(n) {
+                    *slot = inner.recv.pop_front().expect("length checked");
+                }
+                self.writable.notify_all();
+                return Ok(n);
+            }
+            if let Some(err) = inner.error {
+                return Err(err);
+            }
+            if inner.recv_eof {
+                return Ok(0);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SockError::TimedOut);
+            }
+            self.readable.wait_for(&mut inner, deadline - now);
+        }
+    }
+
+    /// Returns the number of bytes waiting to be read by the application.
+    pub fn recv_available(&self) -> usize {
+        self.inner.lock().recv.len()
+    }
+
+    /// Marks the socket as closed by the application (the server sends FIN
+    /// once the send buffer drains).
+    pub fn close(&self) {
+        let mut inner = self.inner.lock();
+        inner.closed_by_app = true;
+        self.readable.notify_all();
+    }
+
+    // ---- protocol-server side ---------------------------------------------
+
+    /// Takes up to `max` bytes from the send queue (data the application
+    /// wrote and the server should transmit).
+    pub fn drain_send(&self, max: usize) -> Vec<u8> {
+        let mut inner = self.inner.lock();
+        let n = max.min(inner.send.len());
+        let out: Vec<u8> = inner.send.drain(..n).collect();
+        if !out.is_empty() {
+            self.writable.notify_all();
+        }
+        out
+    }
+
+    /// Returns the number of bytes waiting in the send queue.
+    pub fn send_pending(&self) -> usize {
+        self.inner.lock().send.len()
+    }
+
+    /// Returns `true` once the application has closed the socket and the
+    /// send queue is fully drained.
+    pub fn app_closed_and_drained(&self) -> bool {
+        let inner = self.inner.lock();
+        inner.closed_by_app && inner.send.is_empty()
+    }
+
+    /// Returns `true` if the application has closed the socket.
+    pub fn app_closed(&self) -> bool {
+        self.inner.lock().closed_by_app
+    }
+
+    /// Appends received, in-order data for the application.  Returns the
+    /// number of bytes accepted (data beyond the receive capacity is
+    /// rejected so the advertised window is honoured).
+    pub fn push_recv(&self, data: &[u8]) -> usize {
+        let mut inner = self.inner.lock();
+        let space = self.recv_capacity.saturating_sub(inner.recv.len());
+        let n = space.min(data.len());
+        inner.recv.extend(&data[..n]);
+        if n > 0 {
+            self.readable.notify_all();
+        }
+        n
+    }
+
+    /// Returns the space currently available for received data (the receive
+    /// window to advertise).
+    pub fn recv_space(&self) -> usize {
+        let inner = self.inner.lock();
+        self.recv_capacity.saturating_sub(inner.recv.len())
+    }
+
+    /// Marks the receive stream as finished (the remote sent FIN).
+    pub fn set_eof(&self) {
+        let mut inner = self.inner.lock();
+        inner.recv_eof = true;
+        self.readable.notify_all();
+    }
+
+    /// Posts an error to the application (e.g. connection reset after an
+    /// unrecoverable TCP crash).
+    pub fn set_error(&self, error: SockError) {
+        let mut inner = self.inner.lock();
+        if inner.error.is_none() {
+            inner.error = Some(error);
+        }
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    /// Returns the pending error, if any.
+    pub fn error(&self) -> Option<SockError> {
+        self.inner.lock().error
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    const T: Duration = Duration::from_millis(200);
+
+    #[test]
+    fn write_then_drain() {
+        let buf = SocketBuffer::new(16, 16);
+        assert_eq!(buf.write(b"hello", T).unwrap(), 5);
+        assert_eq!(buf.send_pending(), 5);
+        assert_eq!(buf.drain_send(3), b"hel");
+        assert_eq!(buf.drain_send(10), b"lo");
+        assert_eq!(buf.send_pending(), 0);
+    }
+
+    #[test]
+    fn write_respects_capacity_and_unblocks() {
+        let buf = Arc::new(SocketBuffer::new(8, 8));
+        assert_eq!(buf.write(&[1u8; 20], T).unwrap(), 8);
+        // Full now; a writer blocks until the server drains.
+        let writer = Arc::clone(&buf);
+        let handle = thread::spawn(move || writer.write(&[2u8; 4], Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(buf.drain_send(8).len(), 8);
+        assert_eq!(handle.join().unwrap().unwrap(), 4);
+    }
+
+    #[test]
+    fn write_times_out_when_full() {
+        let buf = SocketBuffer::new(4, 4);
+        buf.write(&[0u8; 4], T).unwrap();
+        assert_eq!(buf.write(&[0u8; 1], Duration::from_millis(30)), Err(SockError::TimedOut));
+    }
+
+    #[test]
+    fn push_recv_and_read() {
+        let buf = SocketBuffer::new(16, 16);
+        assert_eq!(buf.push_recv(b"data!"), 5);
+        assert_eq!(buf.recv_available(), 5);
+        let mut out = [0u8; 3];
+        assert_eq!(buf.read(&mut out, T).unwrap(), 3);
+        assert_eq!(&out, b"dat");
+        assert_eq!(buf.recv_space(), 14);
+    }
+
+    #[test]
+    fn read_blocks_until_data_arrives() {
+        let buf = Arc::new(SocketBuffer::with_defaults());
+        let reader = Arc::clone(&buf);
+        let handle = thread::spawn(move || {
+            let mut out = [0u8; 8];
+            let n = reader.read(&mut out, Duration::from_secs(5)).unwrap();
+            out[..n].to_vec()
+        });
+        thread::sleep(Duration::from_millis(30));
+        buf.push_recv(b"wake up");
+        assert_eq!(handle.join().unwrap(), b"wake up");
+    }
+
+    #[test]
+    fn read_returns_zero_at_eof_and_error_when_set() {
+        let buf = SocketBuffer::with_defaults();
+        buf.push_recv(b"bye");
+        buf.set_eof();
+        let mut out = [0u8; 8];
+        // Buffered data is still delivered before EOF.
+        assert_eq!(buf.read(&mut out, T).unwrap(), 3);
+        assert_eq!(buf.read(&mut out, T).unwrap(), 0);
+
+        let buf = SocketBuffer::with_defaults();
+        buf.set_error(SockError::ConnectionReset);
+        assert_eq!(buf.read(&mut out, T), Err(SockError::ConnectionReset));
+        assert_eq!(buf.write(b"x", T), Err(SockError::ConnectionReset));
+        assert_eq!(buf.error(), Some(SockError::ConnectionReset));
+    }
+
+    #[test]
+    fn first_error_wins() {
+        let buf = SocketBuffer::with_defaults();
+        buf.set_error(SockError::ConnectionReset);
+        buf.set_error(SockError::TimedOut);
+        assert_eq!(buf.error(), Some(SockError::ConnectionReset));
+    }
+
+    #[test]
+    fn recv_capacity_limits_push() {
+        let buf = SocketBuffer::new(16, 4);
+        assert_eq!(buf.push_recv(&[0u8; 10]), 4);
+        assert_eq!(buf.recv_space(), 0);
+    }
+
+    #[test]
+    fn close_is_visible_after_drain() {
+        let buf = SocketBuffer::new(16, 16);
+        buf.write(b"last", T).unwrap();
+        buf.close();
+        assert!(buf.app_closed());
+        assert!(!buf.app_closed_and_drained());
+        buf.drain_send(16);
+        assert!(buf.app_closed_and_drained());
+    }
+
+    #[test]
+    fn sock_error_display() {
+        for e in [
+            SockError::ConnectionReset,
+            SockError::TimedOut,
+            SockError::ConnectionRefused,
+            SockError::InvalidState,
+            SockError::AddressInUse,
+            SockError::ServerUnavailable,
+            SockError::Filtered,
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! The SYSCALL server.
+//!
+//! Applications speak synchronous POSIX; the stack's internals are
+//! asynchronous.  The SYSCALL server sits in between (paper §V-B): it is the
+//! only server that frequently uses kernel IPC — "it pays the trapping toll
+//! for the rest of the system" — and its job is minimal: it peeks into the
+//! messages and passes them to the protocol servers through the channels.
+//! It keeps no state besides the table of outstanding calls, so restarting
+//! it is trivial: errors are returned for calls in flight and old replies
+//! are ignored.
+
+use newt_channels::endpoint::Endpoint;
+use newt_channels::reqdb::{AbortPolicy, RequestDb};
+use newt_kernel::ipc::{KernelIpc, Message};
+use newt_kernel::rs::CrashEvent;
+use newt_net::wire::IpProtocol;
+
+use crate::endpoints;
+use crate::fabric::{drain, send, CrashBoard, Rx, Tx};
+use crate::msg::{
+    addr_to_word, encode_sock_error, syscalls, word_to_addr, SockReply, SockRequest,
+};
+use crate::sockbuf::SockError;
+
+/// Counters describing SYSCALL server activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyscallStats {
+    /// System calls received from applications.
+    pub calls: u64,
+    /// Replies delivered back to applications.
+    pub replies: u64,
+    /// Calls answered with an error locally (e.g. protocol server down).
+    pub local_errors: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingCall {
+    app: Endpoint,
+}
+
+/// One incarnation of the SYSCALL server.
+#[derive(Debug)]
+pub struct SyscallServer {
+    kernel: KernelIpc,
+    to_tcp: Tx<SockRequest>,
+    from_tcp: Rx<SockReply>,
+    to_udp: Tx<SockRequest>,
+    from_udp: Rx<SockReply>,
+    crash_board: CrashBoard,
+    crash_cursor: usize,
+    pending: RequestDb<PendingCall>,
+    stats: SyscallStats,
+}
+
+impl SyscallServer {
+    /// Creates a SYSCALL server incarnation and attaches it to the kernel.
+    pub fn new(
+        kernel: KernelIpc,
+        to_tcp: Tx<SockRequest>,
+        from_tcp: Rx<SockReply>,
+        to_udp: Tx<SockRequest>,
+        from_udp: Rx<SockReply>,
+        crash_board: CrashBoard,
+    ) -> Self {
+        kernel.attach(endpoints::SYSCALL);
+        let crash_cursor = crash_board.len();
+        SyscallServer {
+            kernel,
+            to_tcp,
+            from_tcp,
+            to_udp,
+            from_udp,
+            crash_board,
+            crash_cursor,
+            pending: RequestDb::new(),
+            stats: SyscallStats::default(),
+        }
+    }
+
+    /// Returns the server's counters.
+    pub fn stats(&self) -> SyscallStats {
+        self.stats
+    }
+
+    /// Runs one iteration of the event loop; returns the amount of work done.
+    pub fn poll(&mut self) -> usize {
+        let mut work = 0;
+
+        for event in self.crash_board.poll(&mut self.crash_cursor) {
+            self.handle_crash(&event);
+        }
+
+        // System calls arriving over kernel IPC.
+        while let Ok(message) = self.kernel.try_receive(endpoints::SYSCALL) {
+            work += 1;
+            self.stats.calls += 1;
+            self.dispatch(message);
+        }
+
+        // Replies coming back from the protocol servers.
+        for reply in drain(&self.from_tcp) {
+            work += 1;
+            self.complete(reply);
+        }
+        for reply in drain(&self.from_udp) {
+            work += 1;
+            self.complete(reply);
+        }
+
+        work
+    }
+
+    fn dispatch(&mut self, message: Message) {
+        let app = message.source;
+        let proto = message.word(syscalls::PROTO_WORD) as u8;
+        let is_tcp = proto == IpProtocol::Tcp.as_u8();
+        let destination = if is_tcp { endpoints::TCP } else { endpoints::UDP };
+        let req = self.pending.submit(destination, AbortPolicy::Fail, PendingCall { app });
+
+        let request = match message.mtype {
+            syscalls::SOCKET => SockRequest::Open { req },
+            syscalls::BIND => SockRequest::Bind { req, sock: message.word(0), port: message.word(1) as u16 },
+            syscalls::LISTEN => {
+                SockRequest::Listen { req, sock: message.word(0), backlog: message.word(1) as usize }
+            }
+            syscalls::ACCEPT => SockRequest::Accept { req, sock: message.word(0) },
+            syscalls::CONNECT => SockRequest::Connect {
+                req,
+                sock: message.word(0),
+                addr: word_to_addr(message.word(1)),
+                port: message.word(2) as u16,
+            },
+            syscalls::CLOSE => SockRequest::Close { req, sock: message.word(0) },
+            _ => {
+                self.pending.complete(req);
+                self.reply_error(app, SockError::InvalidState);
+                return;
+            }
+        };
+        let channel = if is_tcp { &self.to_tcp } else { &self.to_udp };
+        if !send(channel, request) {
+            // The protocol server is unreachable (queue full or crashed).
+            self.pending.complete(req);
+            self.reply_error(app, SockError::ServerUnavailable);
+        }
+    }
+
+    fn complete(&mut self, reply: SockReply) {
+        let req = reply.req();
+        // Replies to aborted or unknown requests are ignored (the paper's
+        // "ignore old replies from the servers").
+        let Some(call) = self.pending.complete(req) else { return };
+        let message = match reply {
+            SockReply::Opened { sock, .. } => Message::new(syscalls::REPLY_OK).with_word(0, sock),
+            SockReply::Ok { port, .. } => Message::new(syscalls::REPLY_OK).with_word(0, port as u64),
+            SockReply::Accepted { sock, peer_addr, peer_port, .. } => Message::new(syscalls::REPLY_OK)
+                .with_word(0, sock)
+                .with_word(1, addr_to_word(peer_addr))
+                .with_word(2, peer_port as u64),
+            SockReply::Error { error, .. } => {
+                Message::new(syscalls::REPLY_ERR).with_word(0, encode_sock_error(error))
+            }
+        };
+        if self.kernel.send(endpoints::SYSCALL, call.app, message).is_ok() {
+            self.stats.replies += 1;
+        }
+    }
+
+    fn reply_error(&mut self, app: Endpoint, error: SockError) {
+        self.stats.local_errors += 1;
+        let message = Message::new(syscalls::REPLY_ERR).with_word(0, encode_sock_error(error));
+        let _ = self.kernel.send(endpoints::SYSCALL, app, message);
+    }
+
+    /// Reacts to a crash of another component: calls outstanding towards the
+    /// crashed protocol server are failed back to the applications.
+    pub fn handle_crash(&mut self, event: &CrashEvent) {
+        let target = match event.name.as_str() {
+            "tcp" => endpoints::TCP,
+            "udp" => endpoints::UDP,
+            _ => return,
+        };
+        let aborted = self.pending.abort_all_to(target);
+        for a in aborted {
+            self.reply_error(a.context.app, SockError::ServerUnavailable);
+        }
+    }
+
+    /// Convenience used by tests and the single-server composition: returns
+    /// the number of calls still waiting for a protocol-server reply.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Chan;
+    use newt_channels::endpoint::Generation;
+    use newt_channels::reqdb::RequestId;
+    use newt_kernel::cost::CostModel;
+    use newt_kernel::rs::CrashReason;
+    use std::time::Duration;
+
+    struct Rig {
+        syscall: SyscallServer,
+        kernel: KernelIpc,
+        tcp_rx: Rx<SockRequest>,
+        tcp_tx: Tx<SockReply>,
+        udp_rx: Rx<SockRequest>,
+        #[allow(dead_code)]
+        udp_tx: Tx<SockReply>,
+        crash_board: CrashBoard,
+        app: Endpoint,
+    }
+
+    fn rig() -> Rig {
+        let kernel = KernelIpc::new(CostModel::default());
+        let app = endpoints::application(0);
+        kernel.attach(app);
+        let sys_tcp: Chan<SockRequest> = Chan::new(16);
+        let tcp_sys: Chan<SockReply> = Chan::new(16);
+        let sys_udp: Chan<SockRequest> = Chan::new(16);
+        let udp_sys: Chan<SockReply> = Chan::new(16);
+        let crash_board = CrashBoard::new();
+        let syscall = SyscallServer::new(
+            kernel.clone(),
+            sys_tcp.tx(),
+            tcp_sys.rx(),
+            sys_udp.tx(),
+            udp_sys.rx(),
+            crash_board.clone(),
+        );
+        Rig {
+            syscall,
+            kernel,
+            tcp_rx: sys_tcp.rx(),
+            tcp_tx: tcp_sys.tx(),
+            udp_rx: sys_udp.rx(),
+            udp_tx: udp_sys.tx(),
+            crash_board,
+            app,
+        }
+    }
+
+    #[test]
+    fn socket_call_is_forwarded_and_replied() {
+        let mut rig = rig();
+        let msg = Message::new(syscalls::SOCKET).with_word(syscalls::PROTO_WORD, 6);
+        rig.kernel.send(rig.app, endpoints::SYSCALL, msg).unwrap();
+        rig.syscall.poll();
+        // Forwarded to TCP.
+        let forwarded = drain(&rig.tcp_rx);
+        let req = match &forwarded[..] {
+            [SockRequest::Open { req }] => *req,
+            other => panic!("unexpected {other:?}"),
+        };
+        // TCP answers; the app receives the kernel reply.
+        send(&rig.tcp_tx, SockReply::Opened { req, sock: 42 });
+        rig.syscall.poll();
+        let reply = rig.kernel.receive(rig.app, Duration::from_secs(1)).unwrap();
+        assert_eq!(reply.mtype, syscalls::REPLY_OK);
+        assert_eq!(reply.word(0), 42);
+        assert_eq!(rig.syscall.stats().calls, 1);
+        assert_eq!(rig.syscall.stats().replies, 1);
+        assert_eq!(rig.syscall.outstanding(), 0);
+    }
+
+    #[test]
+    fn udp_calls_go_to_the_udp_server() {
+        let mut rig = rig();
+        let msg = Message::new(syscalls::BIND)
+            .with_word(0, 7)
+            .with_word(1, 53)
+            .with_word(syscalls::PROTO_WORD, 17);
+        rig.kernel.send(rig.app, endpoints::SYSCALL, msg).unwrap();
+        rig.syscall.poll();
+        assert!(drain(&rig.tcp_rx).is_empty());
+        let forwarded = drain(&rig.udp_rx);
+        assert!(matches!(forwarded[..], [SockRequest::Bind { sock: 7, port: 53, .. }]));
+    }
+
+    #[test]
+    fn connect_arguments_are_decoded() {
+        let mut rig = rig();
+        let addr = std::net::Ipv4Addr::new(10, 0, 0, 2);
+        let msg = Message::new(syscalls::CONNECT)
+            .with_word(0, 3)
+            .with_word(1, addr_to_word(addr))
+            .with_word(2, 5001)
+            .with_word(syscalls::PROTO_WORD, 6);
+        rig.kernel.send(rig.app, endpoints::SYSCALL, msg).unwrap();
+        rig.syscall.poll();
+        let forwarded = drain(&rig.tcp_rx);
+        match &forwarded[..] {
+            [SockRequest::Connect { sock: 3, addr: a, port: 5001, .. }] => assert_eq!(*a, addr),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_replies_are_translated() {
+        let mut rig = rig();
+        let msg = Message::new(syscalls::LISTEN).with_word(0, 1).with_word(syscalls::PROTO_WORD, 6);
+        rig.kernel.send(rig.app, endpoints::SYSCALL, msg).unwrap();
+        rig.syscall.poll();
+        let req = drain(&rig.tcp_rx)[0].req();
+        send(&rig.tcp_tx, SockReply::Error { req, error: SockError::InvalidState });
+        rig.syscall.poll();
+        let reply = rig.kernel.receive(rig.app, Duration::from_secs(1)).unwrap();
+        assert_eq!(reply.mtype, syscalls::REPLY_ERR);
+        assert_eq!(reply.word(0), encode_sock_error(SockError::InvalidState));
+    }
+
+    #[test]
+    fn unknown_call_is_rejected_locally() {
+        let mut rig = rig();
+        let msg = Message::new(77).with_word(syscalls::PROTO_WORD, 6);
+        rig.kernel.send(rig.app, endpoints::SYSCALL, msg).unwrap();
+        rig.syscall.poll();
+        let reply = rig.kernel.receive(rig.app, Duration::from_secs(1)).unwrap();
+        assert_eq!(reply.mtype, syscalls::REPLY_ERR);
+        assert_eq!(rig.syscall.stats().local_errors, 1);
+        assert!(drain(&rig.tcp_rx).is_empty());
+    }
+
+    #[test]
+    fn tcp_crash_fails_outstanding_calls() {
+        let mut rig = rig();
+        let msg = Message::new(syscalls::ACCEPT).with_word(0, 5).with_word(syscalls::PROTO_WORD, 6);
+        rig.kernel.send(rig.app, endpoints::SYSCALL, msg).unwrap();
+        rig.syscall.poll();
+        assert_eq!(rig.syscall.outstanding(), 1);
+        rig.crash_board.push(CrashEvent {
+            name: "tcp".to_string(),
+            endpoint: endpoints::TCP,
+            generation: Generation::FIRST,
+            reason: CrashReason::Panicked,
+            restarting: true,
+        });
+        rig.syscall.poll();
+        assert_eq!(rig.syscall.outstanding(), 0);
+        let reply = rig.kernel.receive(rig.app, Duration::from_secs(1)).unwrap();
+        assert_eq!(reply.mtype, syscalls::REPLY_ERR);
+        assert_eq!(reply.word(0), encode_sock_error(SockError::ServerUnavailable));
+        // A late reply from the old TCP incarnation is ignored.
+        send(&rig.tcp_tx, SockReply::Opened { req: RequestId::from_raw(1), sock: 1 });
+        rig.syscall.poll();
+        assert_eq!(rig.syscall.stats().replies, 0);
+    }
+
+    #[test]
+    fn accepted_reply_carries_peer_address() {
+        let mut rig = rig();
+        let msg = Message::new(syscalls::ACCEPT).with_word(0, 5).with_word(syscalls::PROTO_WORD, 6);
+        rig.kernel.send(rig.app, endpoints::SYSCALL, msg).unwrap();
+        rig.syscall.poll();
+        let req = drain(&rig.tcp_rx)[0].req();
+        let peer = std::net::Ipv4Addr::new(10, 0, 0, 2);
+        send(&rig.tcp_tx, SockReply::Accepted { req, sock: 9, peer_addr: peer, peer_port: 51000 });
+        rig.syscall.poll();
+        let reply = rig.kernel.receive(rig.app, Duration::from_secs(1)).unwrap();
+        assert_eq!(reply.word(0), 9);
+        assert_eq!(word_to_addr(reply.word(1)), peer);
+        assert_eq!(reply.word(2), 51000);
+    }
+}

@@ -1,0 +1,72 @@
+//! Live update: replace the UDP server (the MS11-083 scenario the paper
+//! discusses — a critical vulnerability in the UDP part of the Windows stack)
+//! without rebooting and without disturbing the TCP traffic that carries
+//! most of the Internet.
+//!
+//! Run with `cargo run --example live_update`.
+
+use std::error::Error;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use newtos::net::peer::{DNS_PORT, IPERF_PORT};
+use newtos::{Component, NewtStack, StackConfig};
+use newtos_suite::{example_config, wait_for};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let stack = NewtStack::start(example_config());
+    let client = stack.client().with_timeout(Duration::from_secs(15));
+    let peer = StackConfig::peer_addr(0);
+
+    // Continuous TCP traffic that must not be disturbed by the update.
+    let tcp = client.tcp_socket()?;
+    tcp.connect(peer, IPERF_PORT)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let sent = Arc::new(AtomicU64::new(0));
+    let sender = {
+        let stop = Arc::clone(&stop);
+        let sent = Arc::clone(&sent);
+        std::thread::spawn(move || {
+            let chunk = vec![0xa1u8; 32 * 1024];
+            while !stop.load(Ordering::Relaxed) {
+                if tcp.send_all(&chunk).is_ok() {
+                    sent.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                }
+            }
+        })
+    };
+
+    // A resolver socket using the component we are about to replace.
+    let udp = client.udp_socket()?;
+    udp.bind(0)?;
+    udp.send_to(b"before-update", peer, DNS_PORT)?;
+    println!("dns before the update : {:?}", udp.recv_from().map(|(p, _, _)| String::from_utf8_lossy(&p).into_owned()));
+
+    let tcp_before = stack.peer(0).bytes_received_on(IPERF_PORT);
+    println!("\nlive-updating the udp server (graceful restart of the component) ...");
+    let updated = stack.live_update(Component::Udp);
+    stack.wait_component_running(Component::Udp, Duration::from_secs(20));
+    std::thread::sleep(Duration::from_millis(300));
+    println!("update applied: {updated}, udp generation is now {:?}", stack.component_status(Component::Udp));
+
+    // The same socket — same shared buffer, state recovered from the storage
+    // server — keeps working with the new incarnation.
+    udp.send_to(b"after-update", peer, DNS_PORT)?;
+    println!("dns after the update  : {:?}", udp.recv_from().map(|(p, _, _)| String::from_utf8_lossy(&p).into_owned()));
+
+    // And the TCP stream never stopped.
+    let tcp_progressed = wait_for(
+        || stack.peer(0).bytes_received_on(IPERF_PORT) > tcp_before + 64 * 1024,
+        Duration::from_secs(30),
+    );
+    println!("tcp kept flowing across the update: {tcp_progressed}");
+    println!("udp restarts: {}, crash log entries: {} (a live update is not a crash)",
+        stack.restart_count(Component::Udp),
+        stack.crash_log().len());
+
+    stop.store(true, Ordering::Relaxed);
+    let _ = sender.join();
+    stack.shutdown();
+    Ok(())
+}

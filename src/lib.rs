@@ -1,0 +1,59 @@
+//! Workspace-level helpers for the NewtOS reproduction's examples and
+//! integration tests.
+//!
+//! The real library lives in the [`newtos`] facade crate (and the crates it
+//! re-exports); this thin crate only hosts a few conveniences shared by the
+//! runnable examples under `examples/` and the integration tests under
+//! `tests/`.
+
+pub use newtos;
+
+use std::time::Duration;
+
+use newtos::net::link::LinkConfig;
+use newtos::StackConfig;
+
+/// Returns a stack configuration suitable for interactive examples: an
+/// unshaped link (so the host's speed, not the simulated wire, is the limit)
+/// and a moderate clock speed-up.
+pub fn example_config() -> StackConfig {
+    StackConfig::newtos().link(LinkConfig::unshaped()).clock_speedup(20.0)
+}
+
+/// Returns a stack configuration suitable for integration tests: unshaped
+/// link, higher speed-up, so multi-second protocol timers elapse quickly.
+pub fn test_config() -> StackConfig {
+    StackConfig::newtos().link(LinkConfig::unshaped()).clock_speedup(50.0)
+}
+
+/// Waits until `condition` returns `true` or `timeout` (real time) expires;
+/// returns whether the condition was met.
+pub fn wait_for<F: FnMut() -> bool>(mut condition: F, timeout: Duration) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        if condition() {
+            return true;
+        }
+        if std::time::Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_reasonable() {
+        assert!(example_config().tso);
+        assert!(test_config().clock_speedup > example_config().clock_speedup);
+    }
+
+    #[test]
+    fn wait_for_observes_conditions() {
+        assert!(wait_for(|| true, Duration::from_millis(10)));
+        assert!(!wait_for(|| false, Duration::from_millis(20)));
+    }
+}

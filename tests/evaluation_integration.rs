@@ -1,0 +1,72 @@
+//! Integration tests of the evaluation harnesses themselves: the Table II
+//! model, a miniature fault-injection campaign and a miniature crash-trace
+//! experiment, exercised exactly as the `newt-bench` binaries drive them.
+
+use std::time::Duration;
+
+use newtos::faults::campaign::{run_campaign, CampaignConfig};
+use newtos::faults::figures::{run_trace_experiment, TraceExperimentConfig};
+use newtos::sim::{ablation, table2};
+use newtos::Component;
+use newtos::CostModel;
+
+#[test]
+fn table2_model_reproduces_the_paper_shape() {
+    let rows = table2::run(&CostModel::default());
+    assert_eq!(rows.len(), 7);
+    // MINIX baseline orders of magnitude below NewtOS; TSO rows saturate the
+    // five links; Linux 10 GbE on top.
+    assert!(rows[0].model_mbps < 400.0);
+    assert!(rows[1].model_mbps > 2000.0);
+    assert!(rows[4].model_mbps >= 4900.0);
+    assert!(rows[5].model_mbps >= 4900.0);
+    assert!(rows[6].model_mbps > rows[5].model_mbps);
+    let rendered = table2::render(&rows);
+    assert!(rendered.contains("Linux"));
+}
+
+#[test]
+fn ablations_are_monotone_where_the_paper_expects_it() {
+    let model = CostModel::default();
+    let ipc = ablation::ipc_cost_sweep(&model);
+    assert!(ipc.first().unwrap().throughput_mbps >= ipc.last().unwrap().throughput_mbps);
+    let cores = ablation::core_share_sweep(&model);
+    assert!(cores.first().unwrap().throughput_mbps > cores.last().unwrap().throughput_mbps);
+    let kinds = ablation::ipc_kind_comparison(&model);
+    assert!(kinds[0].throughput_mbps > kinds[1].throughput_mbps);
+}
+
+#[test]
+fn miniature_campaign_produces_table3_and_table4() {
+    let config = CampaignConfig { clock_speedup: 60.0, ..CampaignConfig::quick(2) };
+    let report = run_campaign(&config);
+    assert_eq!(report.total(), 2);
+    let table3 = report.render_table3();
+    let table4 = report.render_table4();
+    assert!(table3.contains("Total"));
+    assert!(table4.contains("Transparent to UDP"));
+    // Sanity: every run either recovered automatically, was manually fixed,
+    // or is flagged as needing a reboot.
+    for run in &report.runs {
+        assert!(run.recovered_automatically || run.manually_fixed || run.reboot_needed || run.reachable);
+    }
+}
+
+#[test]
+fn miniature_crash_trace_has_the_figure5_shape() {
+    // One packet-filter crash in the middle of a short transfer: traffic
+    // keeps flowing and the component restarts.
+    let config = TraceExperimentConfig {
+        duration: Duration::from_secs(5),
+        fault_times: vec![Duration::from_secs(2)],
+        target: Component::PacketFilter,
+        bucket: Duration::from_millis(500),
+        clock_speedup: 10.0,
+        filter_rules: 128,
+    };
+    let result = run_trace_experiment(&config);
+    assert!(result.restarts >= 1);
+    assert!(result.total_bytes > 0);
+    let after_crash: f64 = result.series.iter().filter(|p| p.time_s >= 2.5).map(|p| p.mbps).sum();
+    assert!(after_crash > 0.0, "traffic must keep flowing after the packet-filter crash");
+}
