@@ -14,7 +14,10 @@ use newt_kernel::ipc::{KernelIpc, Message};
 
 fn bench_kernel_ipc(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel_ipc");
-    group.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
 
     group.bench_function("send_try_receive_same_thread", |b| {
         let kernel = KernelIpc::new(CostModel::default());
@@ -23,7 +26,9 @@ fn bench_kernel_ipc(c: &mut Criterion) {
         kernel.attach(a);
         kernel.attach(srv);
         b.iter(|| {
-            kernel.send(a, srv, Message::new(1).with_word(0, 7)).unwrap();
+            kernel
+                .send(a, srv, Message::new(1).with_word(0, 7))
+                .unwrap();
             criterion::black_box(kernel.try_receive(srv).unwrap());
         });
     });

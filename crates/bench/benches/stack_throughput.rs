@@ -13,8 +13,20 @@ use newt_net::link::LinkConfig;
 use newt_net::peer::IPERF_PORT;
 use newt_stack::builder::{NewtStack, StackConfig};
 
-fn transfer(stack: &NewtStack, socket: &newt_stack::posix::TcpSocket, bytes: usize, already: u64) -> u64 {
-    let chunk = vec![0u8; 64 * 1024];
+/// One 64 KiB send buffer shared by every iteration — allocated once so the
+/// measured loop times the stack, not the allocator.
+fn send_chunk() -> &'static [u8] {
+    static CHUNK: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    CHUNK.get_or_init(|| vec![0u8; 64 * 1024])
+}
+
+fn transfer(
+    stack: &NewtStack,
+    socket: &newt_stack::posix::TcpSocket,
+    bytes: usize,
+    already: u64,
+) -> u64 {
+    let chunk = send_chunk();
     let mut sent = 0usize;
     while sent < bytes {
         let n = chunk.len().min(bytes - sent);
@@ -23,7 +35,9 @@ fn transfer(stack: &NewtStack, socket: &newt_stack::posix::TcpSocket, bytes: usi
     }
     let target = already + bytes as u64;
     let deadline = std::time::Instant::now() + Duration::from_secs(60);
-    while stack.peer(0).bytes_received_on(IPERF_PORT) < target && std::time::Instant::now() < deadline {
+    while stack.peer(0).bytes_received_on(IPERF_PORT) < target
+        && std::time::Instant::now() < deadline
+    {
         std::thread::sleep(Duration::from_micros(500));
     }
     stack.peer(0).bytes_received_on(IPERF_PORT)
@@ -40,11 +54,16 @@ fn bench_stack(c: &mut Criterion) {
     for (label, tso) in [("split_tso_on_1MiB", true), ("split_tso_off_1MiB", false)] {
         group.bench_function(label, |b| {
             let stack = NewtStack::start(
-                StackConfig::newtos().tso(tso).link(LinkConfig::unshaped()).clock_speedup(50.0),
+                StackConfig::newtos()
+                    .tso(tso)
+                    .link(LinkConfig::unshaped())
+                    .clock_speedup(50.0),
             );
             let client = stack.client().with_timeout(Duration::from_secs(30));
             let socket = client.tcp_socket().expect("socket");
-            socket.connect(StackConfig::peer_addr(0), IPERF_PORT).expect("connect");
+            socket
+                .connect(StackConfig::peer_addr(0), IPERF_PORT)
+                .expect("connect");
             let mut received = 0u64;
             b.iter(|| {
                 received = transfer(&stack, &socket, MB, received);

@@ -17,12 +17,21 @@ fn sample_frame(payload: usize) -> Vec<u8> {
     let mut seg = TcpSegment::control(40_000, 5001, 1, 1, TcpFlags::PSH_ACK);
     seg.payload = vec![0x3cu8; payload];
     let ip = Ipv4Packet::new(src, dst, IpProtocol::Tcp, seg.build(src, dst));
-    EthernetFrame::new(MacAddr::from_index(1), MacAddr::from_index(2), EtherType::Ipv4, ip.build()).build()
+    EthernetFrame::new(
+        MacAddr::from_index(1),
+        MacAddr::from_index(2),
+        EtherType::Ipv4,
+        ip.build(),
+    )
+    .build()
 }
 
 fn bench_wire(c: &mut Criterion) {
     let mut group = c.benchmark_group("wire");
-    group.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
 
     let frame = sample_frame(1460);
     group.bench_function("parse_full_frame_1460B", |b| {

@@ -7,7 +7,10 @@ use newt_kernel::cost::CostModel;
 use newt_sim::ablation;
 
 fn main() {
-    header("Ablations over the design principles", "Section III / VIII discussion");
+    header(
+        "Ablations over the design principles",
+        "Section III / VIII discussion",
+    );
     let model = CostModel::default();
 
     println!(

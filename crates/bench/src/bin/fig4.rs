@@ -21,10 +21,19 @@ fn main() {
     let result = run_trace_experiment(&config);
     println!();
     println!("{}", result.render());
-    println!("steady bitrate before the crash : {:8.1} Mbps", result.steady_mbps);
-    println!("lowest bucket after the crash   : {:8.1} Mbps", result.dip_mbps[0]);
+    println!(
+        "steady bitrate before the crash : {:8.1} Mbps",
+        result.steady_mbps
+    );
+    println!(
+        "lowest bucket after the crash   : {:8.1} Mbps",
+        result.dip_mbps[0]
+    );
     match result.recovery_s[0] {
-        Some(s) => println!("recovered to >80% of steady rate: {:8.1} s after the fault", s),
+        Some(s) => println!(
+            "recovered to >80% of steady rate: {:8.1} s after the fault",
+            s
+        ),
         None => println!("recovered to >80% of steady rate: not within the trace"),
     }
     println!("IP server restarts observed     : {:8}", result.restarts);

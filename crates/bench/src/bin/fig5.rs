@@ -11,7 +11,10 @@ use newt_bench::header;
 use newt_faults::figures::{run_trace_experiment, TraceExperimentConfig};
 
 fn main() {
-    header("Figure 5 — packet-filter crashes during a bulk transfer", "Figure 5");
+    header(
+        "Figure 5 — packet-filter crashes during a bulk transfer",
+        "Figure 5",
+    );
     let config = TraceExperimentConfig::figure5();
     println!(
         "transfer: {}s, faults into PF at t={:?}, {} filter rules to recover",
@@ -22,12 +25,18 @@ fn main() {
     let result = run_trace_experiment(&config);
     println!();
     println!("{}", result.render());
-    println!("steady bitrate before the crashes: {:8.1} Mbps", result.steady_mbps);
+    println!(
+        "steady bitrate before the crashes: {:8.1} Mbps",
+        result.steady_mbps
+    );
     for (i, dip) in result.dip_mbps.iter().enumerate() {
         println!("lowest bucket after crash #{}    : {:8.1} Mbps", i + 1, dip);
     }
     println!("packet-filter restarts observed  : {:8}", result.restarts);
-    println!("bytes delivered to the receiver  : {:8}", result.total_bytes);
+    println!(
+        "bytes delivered to the receiver  : {:8}",
+        result.total_bytes
+    );
     println!();
     println!("paper: two crashes, immediate recovery to the original maximal bitrate");
     println!("       while restoring a set of 1024 rules; no packet loss.");

@@ -9,12 +9,12 @@
 
 use std::time::Duration;
 
-use newt_bench::header;
+use newt_bench::{fastpath, header};
 use newt_faults::campaign::{run_one, CampaignConfig, FaultKind};
+use newt_net::link::LinkConfig;
 use newt_stack::builder::{NewtStack, StackConfig};
 use newt_stack::endpoints::Component;
 use newt_stack::pf::FilterRule;
-use newt_net::link::LinkConfig;
 
 fn paper_row(component: Component) -> &'static str {
     match component {
@@ -45,21 +45,30 @@ fn main() {
     // connection, a bound UDP socket.
     let rules: Vec<FilterRule> = (0..63).map(|i| FilterRule::pass_filler(i + 1)).collect();
     let stack = NewtStack::start(
-        StackConfig::newtos().link(LinkConfig::unshaped()).clock_speedup(50.0).filter_rules(rules),
+        StackConfig::newtos()
+            .link(LinkConfig::unshaped())
+            .clock_speedup(50.0)
+            .filter_rules(rules),
     );
     let client = stack.client();
     let tcp = client.tcp_socket().expect("tcp socket");
-    tcp.connect(StackConfig::peer_addr(0), newt_net::peer::SSH_PORT).expect("connect");
+    tcp.connect(StackConfig::peer_addr(0), newt_net::peer::SSH_PORT)
+        .expect("connect");
     tcp.send_all(b"table1 state\n").expect("send");
     let udp = client.udp_socket().expect("udp socket");
     udp.bind(5353).expect("bind");
-    udp.send_to(b"probe", StackConfig::peer_addr(0), newt_net::peer::DNS_PORT).expect("send");
+    udp.send_to(
+        b"probe",
+        StackConfig::peer_addr(0),
+        newt_net::peer::DNS_PORT,
+    )
+    .expect("send");
     std::thread::sleep(Duration::from_millis(200));
 
     let storage = stack.storage();
     println!(
-        "{:<10} {:>14}  {:<28}  {}",
-        "component", "state (bytes)", "crash consequence (measured)", "paper"
+        "{:<10} {:>14}  {:<28}  paper",
+        "component", "state (bytes)", "crash consequence (measured)"
     );
 
     let components = [
@@ -77,7 +86,10 @@ fn main() {
 
     // One fault-injection run per component tells us whether its crash was
     // transparent in practice.
-    let config = CampaignConfig { clock_speedup: 50.0, ..CampaignConfig::quick(1) };
+    let config = CampaignConfig {
+        clock_speedup: 50.0,
+        ..CampaignConfig::quick(1)
+    };
     for (component, size) in sizes {
         let outcome = run_one(&config, component, FaultKind::Crash);
         let consequence = if outcome.tcp_session_survived && outcome.udp_transparent {
@@ -94,5 +106,16 @@ fn main() {
             consequence,
             paper_row(component)
         );
+    }
+
+    // Alongside the recovery table, measure the channel fast path and leave
+    // a machine-readable record so the perf trajectory is tracked across
+    // pull requests.
+    let report = fastpath::measure();
+    println!();
+    println!("fast path (ns/message): {report}");
+    match fastpath::write_json(&report, "BENCH_fastpath.json") {
+        Ok(path) => println!("wrote {path}"),
+        Err(err) => eprintln!("could not write BENCH_fastpath.json: {err}"),
     }
 }

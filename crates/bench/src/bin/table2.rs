@@ -24,7 +24,9 @@ fn measured_mbps(config: StackConfig, bytes: usize) -> f64 {
     let stack = NewtStack::start(config);
     let client = stack.client().with_timeout(Duration::from_secs(30));
     let socket = client.tcp_socket().expect("tcp socket");
-    socket.connect(StackConfig::peer_addr(0), IPERF_PORT).expect("connect");
+    socket
+        .connect(StackConfig::peer_addr(0), IPERF_PORT)
+        .expect("connect");
     let chunk = vec![0u8; 64 * 1024];
     let start = Instant::now();
     let mut sent = 0usize;
@@ -54,19 +56,29 @@ fn main() {
     // Part 2: measured ordering on this machine.
     let megabytes = arg_or(1, 8);
     let bytes = megabytes * 1024 * 1024;
-    println!("Measured on this host (one {}-MiB transfer per configuration, unshaped link):", megabytes);
+    println!(
+        "Measured on this host (one {}-MiB transfer per configuration, unshaped link):",
+        megabytes
+    );
     let configs: Vec<(&str, StackConfig)> = vec![
         (
             "synchronous single-core baseline (MINIX-3-like)",
-            StackConfig::minix_like().link(LinkConfig::unshaped()).clock_speedup(50.0),
+            StackConfig::minix_like()
+                .link(LinkConfig::unshaped())
+                .clock_speedup(50.0),
         ),
         (
             "split stack, channels, no TSO",
-            StackConfig::newtos().tso(false).link(LinkConfig::unshaped()).clock_speedup(50.0),
+            StackConfig::newtos()
+                .tso(false)
+                .link(LinkConfig::unshaped())
+                .clock_speedup(50.0),
         ),
         (
             "split stack, channels, TSO",
-            StackConfig::newtos().link(LinkConfig::unshaped()).clock_speedup(50.0),
+            StackConfig::newtos()
+                .link(LinkConfig::unshaped())
+                .clock_speedup(50.0),
         ),
         (
             "single-server stack, channels, TSO",

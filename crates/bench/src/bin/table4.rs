@@ -12,7 +12,10 @@ fn main() {
     let runs = arg_or(1, 20);
     header("Table IV — consequences of crashes", "Table IV");
     println!("running {runs} fault-injection runs (paper: 100) ...");
-    let config = CampaignConfig { runs, ..CampaignConfig::default() };
+    let config = CampaignConfig {
+        runs,
+        ..CampaignConfig::default()
+    };
     let report = run_campaign(&config);
 
     println!();

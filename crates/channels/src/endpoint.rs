@@ -64,7 +64,9 @@ impl fmt::Display for Endpoint {
 /// Shared-memory exports, published channels and rich pointers are tagged
 /// with the generation of their creator so that consumers can detect stale
 /// resources after a crash.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct Generation(u32);
 
 impl Generation {
@@ -120,7 +122,10 @@ impl EndpointAllocator {
     /// Creates an empty allocator.  The first allocated endpoint is `ep:1`;
     /// `ep:0` is reserved for "kernel"/invalid uses by convention.
     pub fn new() -> Self {
-        EndpointAllocator { next: 1, names: Vec::new() }
+        EndpointAllocator {
+            next: 1,
+            names: Vec::new(),
+        }
     }
 
     /// Allocates a fresh endpoint and associates `name` with it.

@@ -100,12 +100,13 @@ pub enum PoolError {
     InvalidSlot { slot: u32, capacity: u32 },
     /// The rich pointer refers to a previous generation of the chunk (the
     /// owner freed or reset it since the pointer was created).
-    StaleGeneration {
-        expected: u32,
-        found: u32,
-    },
+    StaleGeneration { expected: u32, found: u32 },
     /// The rich pointer's offset/length range is outside the published data.
-    OutOfRange { offset: u32, len: u32, published: u32 },
+    OutOfRange {
+        offset: u32,
+        len: u32,
+        published: u32,
+    },
     /// The rich pointer names a different pool.
     WrongPool,
     /// The chunk exists but no data has been published in it.
@@ -117,13 +118,20 @@ impl fmt::Display for PoolError {
         match self {
             PoolError::Exhausted => write!(f, "pool has no free chunks"),
             PoolError::InvalidSlot { slot, capacity } => {
-                write!(f, "chunk slot {slot} out of range (pool has {capacity} chunks)")
+                write!(
+                    f,
+                    "chunk slot {slot} out of range (pool has {capacity} chunks)"
+                )
             }
             PoolError::StaleGeneration { expected, found } => write!(
                 f,
                 "stale rich pointer: chunk generation is {expected}, pointer carries {found}"
             ),
-            PoolError::OutOfRange { offset, len, published } => write!(
+            PoolError::OutOfRange {
+                offset,
+                len,
+                published,
+            } => write!(
                 f,
                 "rich pointer range {offset}+{len} exceeds published length {published}"
             ),
@@ -146,7 +154,10 @@ pub enum RegistryError {
     /// The published object has a different type than the one requested.
     TypeMismatch(String),
     /// The object was published by an older incarnation and has been revoked.
-    Revoked { name: String, generation: Generation },
+    Revoked {
+        name: String,
+        generation: Generation,
+    },
     /// A publication already exists under this name for the current
     /// generation of the creator.
     AlreadyPublished(String),
@@ -208,11 +219,21 @@ mod tests {
 
     #[test]
     fn pool_error_variants_format() {
-        let e = PoolError::StaleGeneration { expected: 3, found: 1 };
+        let e = PoolError::StaleGeneration {
+            expected: 3,
+            found: 1,
+        };
         assert!(format!("{e}").contains("stale"));
-        let e = PoolError::OutOfRange { offset: 10, len: 20, published: 16 };
+        let e = PoolError::OutOfRange {
+            offset: 10,
+            len: 20,
+            published: 16,
+        };
         assert!(format!("{e}").contains("exceeds"));
-        let e = PoolError::InvalidSlot { slot: 9, capacity: 4 };
+        let e = PoolError::InvalidSlot {
+            slot: 9,
+            capacity: 4,
+        };
         assert!(format!("{e}").contains("out of range"));
     }
 

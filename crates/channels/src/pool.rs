@@ -228,7 +228,9 @@ impl Pool {
             match free.pop() {
                 Some(s) => s,
                 None => {
-                    self.inner.exhausted_rejections.fetch_add(1, Ordering::Relaxed);
+                    self.inner
+                        .exhausted_rejections
+                        .fetch_add(1, Ordering::Relaxed);
                     return Err(PoolError::Exhausted);
                 }
             }
@@ -340,7 +342,9 @@ impl Pool {
 
     /// Creates a read-only handle suitable for exporting to another server.
     pub fn reader(&self) -> PoolReader {
-        PoolReader { inner: Arc::clone(&self.inner) }
+        PoolReader {
+            inner: Arc::clone(&self.inner),
+        }
     }
 
     /// Returns usage counters.
@@ -383,19 +387,23 @@ impl PoolReader {
         self.inner.read(ptr)
     }
 
-    /// Gathers a chain into one contiguous buffer (this is the explicit copy
-    /// a consumer performs when it genuinely needs linear data, e.g. the
-    /// simulated NIC serialising a frame onto the wire).
+    /// Gathers a chain into one contiguous buffer.  A single-part chain is
+    /// returned as a zero-copy view of the pool chunk; only multi-part
+    /// chains perform the explicit copy a consumer needs for linear data
+    /// (e.g. the simulated NIC serialising a frame onto the wire).
     ///
     /// # Errors
     ///
     /// Fails with the first unresolvable part of the chain.
-    pub fn gather(&self, chain: &RichChain) -> Result<Vec<u8>, PoolError> {
-        let mut out = Vec::with_capacity(chain.total_len());
+    pub fn gather(&self, chain: &RichChain) -> Result<Bytes, PoolError> {
+        if let [part] = chain.parts() {
+            return self.read(part);
+        }
+        let mut out = BytesMut::with_capacity(chain.total_len());
         for part in chain.iter() {
             out.extend_from_slice(&self.read(part)?);
         }
-        Ok(out)
+        Ok(out.freeze())
     }
 }
 
@@ -507,9 +515,15 @@ mod tests {
         let ptr = pool.publish(b"data").unwrap();
         pool.free(&ptr).unwrap();
         assert_eq!(pool.in_use(), 0);
-        assert!(matches!(pool.read(&ptr), Err(PoolError::StaleGeneration { .. })));
+        assert!(matches!(
+            pool.read(&ptr),
+            Err(PoolError::StaleGeneration { .. })
+        ));
         // Double free is detected too.
-        assert!(matches!(pool.free(&ptr), Err(PoolError::StaleGeneration { .. })));
+        assert!(matches!(
+            pool.free(&ptr),
+            Err(PoolError::StaleGeneration { .. })
+        ));
     }
 
     #[test]
@@ -551,7 +565,10 @@ mod tests {
     fn oversized_publish_rejected() {
         let pool = test_pool(1);
         let big = vec![0u8; 300];
-        assert!(matches!(pool.publish(&big), Err(PoolError::OutOfRange { .. })));
+        assert!(matches!(
+            pool.publish(&big),
+            Err(PoolError::OutOfRange { .. })
+        ));
         // Nothing leaked.
         assert_eq!(pool.in_use(), 0);
     }
@@ -571,7 +588,10 @@ mod tests {
         let ptr = pool_a.publish(b"x").unwrap();
         assert_eq!(pool_b.read(&ptr), Err(PoolError::WrongPool));
         let bad_slot = RichPtr { slot: 99, ..ptr };
-        assert!(matches!(pool_a.read(&bad_slot), Err(PoolError::InvalidSlot { .. })));
+        assert!(matches!(
+            pool_a.read(&bad_slot),
+            Err(PoolError::InvalidSlot { .. })
+        ));
     }
 
     #[test]
@@ -586,12 +606,17 @@ mod tests {
     fn reset_invalidates_everything_after_restart() {
         let pool = test_pool(4);
         let reader = pool.reader();
-        let ptrs: Vec<RichPtr> = (0..4).map(|i| pool.publish(&[i as u8; 8]).unwrap()).collect();
+        let ptrs: Vec<RichPtr> = (0..4)
+            .map(|i| pool.publish(&[i as u8; 8]).unwrap())
+            .collect();
         assert_eq!(pool.in_use(), 4);
         pool.reset();
         assert_eq!(pool.in_use(), 0);
         for ptr in &ptrs {
-            assert!(matches!(reader.read(ptr), Err(PoolError::StaleGeneration { .. })));
+            assert!(matches!(
+                reader.read(ptr),
+                Err(PoolError::StaleGeneration { .. })
+            ));
         }
         // Full capacity is available again.
         for _ in 0..4 {

@@ -143,14 +143,18 @@ pub struct Registry {
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let entries = self.inner.entries.lock();
-        f.debug_struct("Registry").field("published", &entries.len()).finish()
+        f.debug_struct("Registry")
+            .field("published", &entries.len())
+            .finish()
     }
 }
 
 impl Registry {
     /// Creates an empty registry.
     pub fn new() -> Self {
-        Registry { inner: Arc::new(RegistryInner::default()) }
+        Registry {
+            inner: Arc::new(RegistryInner::default()),
+        }
     }
 
     fn notify(&self, event: ChannelEvent) {
@@ -189,9 +193,25 @@ impl Registry {
                 drop(entries);
                 self.notify(revoked);
                 let mut entries = self.inner.entries.lock();
-                entries.insert(name.to_string(), Entry { creator, generation, access, stored });
+                entries.insert(
+                    name.to_string(),
+                    Entry {
+                        creator,
+                        generation,
+                        access,
+                        stored,
+                    },
+                );
             } else {
-                entries.insert(name.to_string(), Entry { creator, generation, access, stored });
+                entries.insert(
+                    name.to_string(),
+                    Entry {
+                        creator,
+                        generation,
+                        access,
+                        stored,
+                    },
+                );
             }
         }
         self.notify(ChannelEvent {
@@ -235,7 +255,13 @@ impl Registry {
         access: Access,
         object: T,
     ) -> Result<(), RegistryError> {
-        self.insert(creator, generation, name, access, Stored::Offered(Some(Box::new(object))))
+        self.insert(
+            creator,
+            generation,
+            name,
+            access,
+            Stored::Offered(Some(Box::new(object))),
+        )
     }
 
     /// Attaches to a shared object published under `name`.
@@ -256,7 +282,10 @@ impl Registry {
             .get(name)
             .ok_or_else(|| RegistryError::UnknownName(name.to_string()))?;
         if !entry.access.allows(requester) {
-            return Err(RegistryError::PermissionDenied { name: name.to_string(), requester });
+            return Err(RegistryError::PermissionDenied {
+                name: name.to_string(),
+                requester,
+            });
         }
         match &entry.stored {
             Stored::Shared(any) => Arc::clone(any)
@@ -282,7 +311,10 @@ impl Registry {
             .get_mut(name)
             .ok_or_else(|| RegistryError::UnknownName(name.to_string()))?;
         if !entry.access.allows(requester) {
-            return Err(RegistryError::PermissionDenied { name: name.to_string(), requester });
+            return Err(RegistryError::PermissionDenied {
+                name: name.to_string(),
+                requester,
+            });
         }
         match &mut entry.stored {
             Stored::Offered(slot) => {
@@ -311,18 +343,16 @@ impl Registry {
     /// Returns [`RegistryError::UnknownName`] or
     /// [`RegistryError::PermissionDenied`] (when `granter` is not the
     /// creator).
-    pub fn grant(
-        &self,
-        granter: Endpoint,
-        name: &str,
-        to: Endpoint,
-    ) -> Result<(), RegistryError> {
+    pub fn grant(&self, granter: Endpoint, name: &str, to: Endpoint) -> Result<(), RegistryError> {
         let mut entries = self.inner.entries.lock();
         let entry = entries
             .get_mut(name)
             .ok_or_else(|| RegistryError::UnknownName(name.to_string()))?;
         if entry.creator != granter {
-            return Err(RegistryError::PermissionDenied { name: name.to_string(), requester: granter });
+            return Err(RegistryError::PermissionDenied {
+                name: name.to_string(),
+                requester: granter,
+            });
         }
         match &mut entry.access {
             Access::Public => {}
@@ -424,7 +454,10 @@ impl Registry {
             prefix: prefix.to_string(),
             queue: Vec::new(),
         });
-        Subscription { id, inner: Arc::clone(&self.inner) }
+        Subscription {
+            id,
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -436,7 +469,9 @@ pub struct Subscription {
 
 impl std::fmt::Debug for Subscription {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Subscription").field("id", &self.id).finish()
+        f.debug_struct("Subscription")
+            .field("id", &self.id)
+            .finish()
     }
 }
 
@@ -469,8 +504,14 @@ mod tests {
     #[test]
     fn shared_publish_and_attach() {
         let reg = Registry::new();
-        reg.publish_shared(ep(1), Generation::FIRST, "ip.pool", Access::Public, Arc::new(42u64))
-            .unwrap();
+        reg.publish_shared(
+            ep(1),
+            Generation::FIRST,
+            "ip.pool",
+            Access::Public,
+            Arc::new(42u64),
+        )
+        .unwrap();
         let v: Arc<u64> = reg.attach_shared(ep(2), "ip.pool").unwrap();
         assert_eq!(*v, 42);
         assert!(reg.exists("ip.pool"));
@@ -483,7 +524,14 @@ mod tests {
             reg.attach_shared::<u64>(ep(2), "nope"),
             Err(RegistryError::UnknownName(_))
         ));
-        reg.publish_shared(ep(1), Generation::FIRST, "x", Access::Public, Arc::new(1u32)).unwrap();
+        reg.publish_shared(
+            ep(1),
+            Generation::FIRST,
+            "x",
+            Access::Public,
+            Arc::new(1u32),
+        )
+        .unwrap();
         assert!(matches!(
             reg.attach_shared::<String>(ep(2), "x"),
             Err(RegistryError::TypeMismatch(_))
@@ -518,9 +566,10 @@ mod tests {
     #[test]
     fn offered_queue_end_is_claimed_once() {
         let reg = Registry::new();
-        let (tx, rx) = spsc::channel::<u32>(4);
-        reg.offer(ep(1), Generation::FIRST, "ip->tcp.rx", Access::Public, rx).unwrap();
-        let rx: spsc::Receiver<u32> = reg.claim(ep(2), "ip->tcp.rx").unwrap();
+        let (mut tx, rx) = spsc::channel::<u32>(4);
+        reg.offer(ep(1), Generation::FIRST, "ip->tcp.rx", Access::Public, rx)
+            .unwrap();
+        let mut rx: spsc::Receiver<u32> = reg.claim(ep(2), "ip->tcp.rx").unwrap();
         tx.try_send(5).unwrap();
         assert_eq!(rx.try_recv().unwrap(), 5);
         // Second claim fails: already taken.
@@ -533,7 +582,8 @@ mod tests {
     #[test]
     fn claim_with_wrong_type_keeps_object_available() {
         let reg = Registry::new();
-        reg.offer(ep(1), Generation::FIRST, "thing", Access::Public, 7u8).unwrap();
+        reg.offer(ep(1), Generation::FIRST, "thing", Access::Public, 7u8)
+            .unwrap();
         assert!(matches!(
             reg.claim::<String>(ep(2), "thing"),
             Err(RegistryError::TypeMismatch(_))
@@ -545,9 +595,22 @@ mod tests {
     #[test]
     fn duplicate_publish_same_generation_rejected() {
         let reg = Registry::new();
-        reg.publish_shared(ep(1), Generation::FIRST, "dup", Access::Public, Arc::new(1u8)).unwrap();
+        reg.publish_shared(
+            ep(1),
+            Generation::FIRST,
+            "dup",
+            Access::Public,
+            Arc::new(1u8),
+        )
+        .unwrap();
         assert!(matches!(
-            reg.publish_shared(ep(1), Generation::FIRST, "dup", Access::Public, Arc::new(2u8)),
+            reg.publish_shared(
+                ep(1),
+                Generation::FIRST,
+                "dup",
+                Access::Public,
+                Arc::new(2u8)
+            ),
             Err(RegistryError::AlreadyPublished(_))
         ));
     }
@@ -556,16 +619,32 @@ mod tests {
     fn restart_republish_revokes_old_incarnation() {
         let reg = Registry::new();
         let sub = reg.subscribe("ip.");
-        reg.publish_shared(ep(1), Generation::FIRST, "ip.pool", Access::Public, Arc::new(1u8))
-            .unwrap();
+        reg.publish_shared(
+            ep(1),
+            Generation::FIRST,
+            "ip.pool",
+            Access::Public,
+            Arc::new(1u8),
+        )
+        .unwrap();
         // The server crashes and its new incarnation republishes.
-        reg.publish_shared(ep(1), Generation::FIRST.next(), "ip.pool", Access::Public, Arc::new(2u8))
-            .unwrap();
+        reg.publish_shared(
+            ep(1),
+            Generation::FIRST.next(),
+            "ip.pool",
+            Access::Public,
+            Arc::new(2u8),
+        )
+        .unwrap();
         let events = sub.poll();
         let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
         assert_eq!(
             kinds,
-            vec![EventKind::Published, EventKind::Revoked, EventKind::Published]
+            vec![
+                EventKind::Published,
+                EventKind::Revoked,
+                EventKind::Published
+            ]
         );
         let v: Arc<u8> = reg.attach_shared(ep(2), "ip.pool").unwrap();
         assert_eq!(*v, 2);
@@ -574,11 +653,23 @@ mod tests {
     #[test]
     fn another_endpoint_cannot_hijack_a_name() {
         let reg = Registry::new();
-        reg.publish_shared(ep(1), Generation::FIRST, "ip.pool", Access::Public, Arc::new(1u8))
-            .unwrap();
+        reg.publish_shared(
+            ep(1),
+            Generation::FIRST,
+            "ip.pool",
+            Access::Public,
+            Arc::new(1u8),
+        )
+        .unwrap();
         // A different creator, even with a newer generation, cannot replace it.
         assert!(matches!(
-            reg.publish_shared(ep(9), Generation::FIRST.next(), "ip.pool", Access::Public, Arc::new(2u8)),
+            reg.publish_shared(
+                ep(9),
+                Generation::FIRST.next(),
+                "ip.pool",
+                Access::Public,
+                Arc::new(2u8)
+            ),
             Err(RegistryError::AlreadyPublished(_))
         ));
     }
@@ -587,8 +678,22 @@ mod tests {
     fn subscription_filters_by_prefix() {
         let reg = Registry::new();
         let sub = reg.subscribe("tcp.");
-        reg.publish_shared(ep(1), Generation::FIRST, "tcp.a", Access::Public, Arc::new(0u8)).unwrap();
-        reg.publish_shared(ep(1), Generation::FIRST, "udp.b", Access::Public, Arc::new(0u8)).unwrap();
+        reg.publish_shared(
+            ep(1),
+            Generation::FIRST,
+            "tcp.a",
+            Access::Public,
+            Arc::new(0u8),
+        )
+        .unwrap();
+        reg.publish_shared(
+            ep(1),
+            Generation::FIRST,
+            "udp.b",
+            Access::Public,
+            Arc::new(0u8),
+        )
+        .unwrap();
         let events = sub.poll();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].name, "tcp.a");
@@ -600,9 +705,30 @@ mod tests {
     fn revoke_all_from_withdraws_everything_of_a_crashed_server() {
         let reg = Registry::new();
         let sub = reg.subscribe("");
-        reg.publish_shared(ep(1), Generation::FIRST, "ip.a", Access::Public, Arc::new(0u8)).unwrap();
-        reg.publish_shared(ep(1), Generation::FIRST, "ip.b", Access::Public, Arc::new(0u8)).unwrap();
-        reg.publish_shared(ep(2), Generation::FIRST, "tcp.c", Access::Public, Arc::new(0u8)).unwrap();
+        reg.publish_shared(
+            ep(1),
+            Generation::FIRST,
+            "ip.a",
+            Access::Public,
+            Arc::new(0u8),
+        )
+        .unwrap();
+        reg.publish_shared(
+            ep(1),
+            Generation::FIRST,
+            "ip.b",
+            Access::Public,
+            Arc::new(0u8),
+        )
+        .unwrap();
+        reg.publish_shared(
+            ep(2),
+            Generation::FIRST,
+            "tcp.c",
+            Access::Public,
+            Arc::new(0u8),
+        )
+        .unwrap();
         sub.poll();
         let mut revoked = reg.revoke_all_from(ep(1));
         revoked.sort();
@@ -616,9 +742,30 @@ mod tests {
     #[test]
     fn list_returns_sorted_matches() {
         let reg = Registry::new();
-        reg.publish_shared(ep(1), Generation::FIRST, "drv.b", Access::Public, Arc::new(0u8)).unwrap();
-        reg.publish_shared(ep(1), Generation::FIRST, "drv.a", Access::Public, Arc::new(0u8)).unwrap();
-        reg.publish_shared(ep(2), Generation::FIRST, "ip.x", Access::Public, Arc::new(0u8)).unwrap();
+        reg.publish_shared(
+            ep(1),
+            Generation::FIRST,
+            "drv.b",
+            Access::Public,
+            Arc::new(0u8),
+        )
+        .unwrap();
+        reg.publish_shared(
+            ep(1),
+            Generation::FIRST,
+            "drv.a",
+            Access::Public,
+            Arc::new(0u8),
+        )
+        .unwrap();
+        reg.publish_shared(
+            ep(2),
+            Generation::FIRST,
+            "ip.x",
+            Access::Public,
+            Arc::new(0u8),
+        )
+        .unwrap();
         let listed = reg.list("drv.");
         assert_eq!(listed.len(), 2);
         assert_eq!(listed[0].0, "drv.a");
@@ -628,8 +775,12 @@ mod tests {
     #[test]
     fn revoke_requires_creator() {
         let reg = Registry::new();
-        reg.publish_shared(ep(1), Generation::FIRST, "x", Access::Public, Arc::new(0u8)).unwrap();
-        assert!(matches!(reg.revoke(ep(2), "x"), Err(RegistryError::PermissionDenied { .. })));
+        reg.publish_shared(ep(1), Generation::FIRST, "x", Access::Public, Arc::new(0u8))
+            .unwrap();
+        assert!(matches!(
+            reg.revoke(ep(2), "x"),
+            Err(RegistryError::PermissionDenied { .. })
+        ));
         reg.revoke(ep(1), "x").unwrap();
         assert!(!reg.exists("x"));
     }

@@ -108,14 +108,24 @@ impl<R> Default for RequestDb<R> {
 impl<R> RequestDb<R> {
     /// Creates an empty request database.
     pub fn new() -> Self {
-        RequestDb { next_id: 1, pending: BTreeMap::new() }
+        RequestDb {
+            next_id: 1,
+            pending: BTreeMap::new(),
+        }
     }
 
     /// Records a new request addressed to `to`, returning its unique id.
     pub fn submit(&mut self, to: Endpoint, policy: AbortPolicy, context: R) -> RequestId {
         let id = RequestId(self.next_id);
         self.next_id += 1;
-        self.pending.insert(id, Pending { to, policy, context });
+        self.pending.insert(
+            id,
+            Pending {
+                to,
+                policy,
+                context,
+            },
+        );
         id
     }
 
@@ -176,7 +186,12 @@ impl<R> RequestDb<R> {
         ids.into_iter()
             .map(|id| {
                 let p = self.pending.remove(&id).expect("id collected above");
-                AbortedRequest { id, to: p.to, policy: p.policy, context: p.context }
+                AbortedRequest {
+                    id,
+                    to: p.to,
+                    policy: p.policy,
+                    context: p.context,
+                }
             })
             .collect()
     }
@@ -188,7 +203,12 @@ impl<R> RequestDb<R> {
         ids.into_iter()
             .map(|id| {
                 let p = self.pending.remove(&id).expect("id collected above");
-                AbortedRequest { id, to: p.to, policy: p.policy, context: p.context }
+                AbortedRequest {
+                    id,
+                    to: p.to,
+                    policy: p.policy,
+                    context: p.context,
+                }
             })
             .collect()
     }
@@ -289,7 +309,9 @@ mod tests {
     #[test]
     fn iter_ids_in_submission_order() {
         let mut db: RequestDb<u8> = RequestDb::new();
-        let ids: Vec<RequestId> = (0..4).map(|i| db.submit(ep(1), AbortPolicy::Drop, i)).collect();
+        let ids: Vec<RequestId> = (0..4)
+            .map(|i| db.submit(ep(1), AbortPolicy::Drop, i))
+            .collect();
         let listed: Vec<RequestId> = db.iter_ids().collect();
         assert_eq!(ids, listed);
     }

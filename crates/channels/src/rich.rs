@@ -160,7 +160,9 @@ impl RichChain {
 
 impl FromIterator<RichPtr> for RichChain {
     fn from_iter<I: IntoIterator<Item = RichPtr>>(iter: I) -> Self {
-        RichChain { parts: iter.into_iter().collect() }
+        RichChain {
+            parts: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -235,7 +237,10 @@ mod tests {
         let mut chain: RichChain = (0..3).map(|i| ptr(1, i, 10)).collect();
         chain.extend([ptr(2, 0, 5)]);
         assert_eq!(chain.total_len(), 35);
-        assert_eq!(chain.referenced_pools(), vec![PoolId::from_raw(1), PoolId::from_raw(2)]);
+        assert_eq!(
+            chain.referenced_pools(),
+            vec![PoolId::from_raw(1), PoolId::from_raw(2)]
+        );
     }
 
     #[test]

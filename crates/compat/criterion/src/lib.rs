@@ -1,0 +1,264 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API this workspace's benches use
+//! (`Criterion`, benchmark groups, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros) as a small wall-clock
+//! harness.  Each benchmark is warmed up, then sampled; the median, minimum
+//! and maximum per-iteration times are printed in a `criterion`-like format
+//! so existing tooling that greps the output keeps working.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI configuration (accepted for API compatibility; the
+    /// stand-in ignores the arguments).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            group: name.to_string(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(
+            name,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+}
+
+/// A group of related benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    group: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.group, name);
+        run_benchmark(
+            &full,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Median/min/max per-iteration time of one benchmark, as printed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sampled {
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// Fastest sample, in nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, in nanoseconds per iteration.
+    pub max_ns: f64,
+}
+
+/// Runs one benchmark and prints its timing; also returns the sample stats
+/// so custom harnesses (e.g. the fast-path JSON reporter) can reuse them.
+pub fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mut f: F,
+) -> Sampled {
+    // Warm-up: discover a per-sample iteration count that keeps each sample
+    // short but measurable, while letting caches/branch predictors settle.
+    let mut iters: u64 = 1;
+    let warm_up_deadline = Instant::now() + warm_up_time;
+    let last = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let elapsed = b.elapsed.max(Duration::from_nanos(1));
+        if Instant::now() >= warm_up_deadline {
+            break elapsed;
+        }
+        if elapsed < Duration::from_millis(1) {
+            iters = iters.saturating_mul(2);
+        }
+    };
+    // Aim each sample at measurement_time / sample_size.
+    let per_iter_ns = (last.as_nanos() as f64 / iters as f64).max(0.1);
+    let target_sample_ns = measurement_time.as_nanos() as f64 / sample_size as f64;
+    iters = ((target_sample_ns / per_iter_ns).ceil() as u64).clamp(1, u64::MAX);
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let sampled = Sampled {
+        median_ns: samples_ns[samples_ns.len() / 2],
+        min_ns: samples_ns[0],
+        max_ns: samples_ns[samples_ns.len() - 1],
+    };
+    println!(
+        "{name:<50} time: [{} {} {}]",
+        format_ns(sampled.min_ns),
+        format_ns(sampled.median_ns),
+        format_ns(sampled.max_ns),
+    );
+    sampled
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function compatible with `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_plausible_timing() {
+        let sampled = run_benchmark(
+            "noop",
+            5,
+            Duration::from_millis(5),
+            Duration::from_millis(20),
+            |b| b.iter(|| black_box(1u64 + 1)),
+        );
+        assert!(sampled.median_ns > 0.0);
+        assert!(sampled.min_ns <= sampled.median_ns);
+        assert!(sampled.median_ns <= sampled.max_ns);
+    }
+
+    #[test]
+    fn group_builder_chains() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(10));
+        group.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        group.finish();
+    }
+}

@@ -1,0 +1,563 @@
+//! The deserialization half of the data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Errors produced while deserializing.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A value of the wrong type was encountered.
+    fn invalid_type(unexp: &dyn Display, exp: &dyn Display) -> Self {
+        Self::custom(format_args!("invalid type: {unexp}, expected {exp}"))
+    }
+
+    /// A sequence or map of the wrong length was encountered.
+    fn invalid_length(len: usize, exp: &dyn Display) -> Self {
+        Self::custom(format_args!("invalid length {len}, expected {exp}"))
+    }
+
+    /// An unknown enum variant was encountered.
+    fn unknown_variant(variant: u32, expected: &'static [&'static str]) -> Self {
+        Self::custom(format_args!(
+            "unknown variant index {variant}, expected one of {expected:?}"
+        ))
+    }
+
+    /// A required field was missing.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+}
+
+/// A data structure deserializable from any serde data format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value with the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data structure deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A stateful deserialization target (serde's seed mechanism).
+pub trait DeserializeSeed<'de>: Sized {
+    /// The produced value.
+    type Value;
+    /// Deserializes the value using `self`'s state.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+/// A data format that can deserialize any serde data structure.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Deserializes whatever the input contains (self-describing formats).
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `bool`.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i8`.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i16`.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i32`.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i64`.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u8`.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u16`.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u32`.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u64`.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `f32`.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `f64`.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `char`.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a string slice.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an owned string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes borrowed bytes.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes owned bytes.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `Option`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes `()`.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a unit struct.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a newtype struct.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a fixed-size tuple.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a tuple struct.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a struct.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes an enum.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a struct field name or enum variant identifier.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Skips over whatever the input contains.
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Whether the format is human readable.
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+macro_rules! default_visit {
+    ($name:ident, $ty:ty) => {
+        /// Visits a value of this type (default: type error).
+        fn $name<E: Error>(self, v: $ty) -> Result<Self::Value, E> {
+            Err(Error::invalid_type(&v, &self.expecting_display()))
+        }
+    };
+}
+
+/// Walks the values a [`Deserializer`] produces.
+pub trait Visitor<'de>: Sized {
+    /// The value built by this visitor.
+    type Value;
+
+    /// Describes what this visitor expects (for error messages).
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result;
+
+    /// Renders [`Visitor::expecting`] as an owned string (helper for the
+    /// default visit methods; not part of real serde's API surface).
+    fn expecting_display(&self) -> String {
+        struct Expected<'a, V>(&'a V);
+        impl<'de, V: Visitor<'de>> Display for Expected<'_, V> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.0.expecting(f)
+            }
+        }
+        Expected(self).to_string()
+    }
+
+    default_visit!(visit_bool, bool);
+
+    /// Visits an `i8` (default: widen to `i64`).
+    fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Visits an `i16` (default: widen to `i64`).
+    fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Visits an `i32` (default: widen to `i64`).
+    fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    default_visit!(visit_i64, i64);
+
+    /// Visits a `u8` (default: widen to `u64`).
+    fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Visits a `u16` (default: widen to `u64`).
+    fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Visits a `u32` (default: widen to `u64`).
+    fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    default_visit!(visit_u64, u64);
+
+    /// Visits an `f32` (default: widen to `f64`).
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(v as f64)
+    }
+    default_visit!(visit_f64, f64);
+
+    /// Visits a `char` (default: via `visit_str`).
+    fn visit_char<E: Error>(self, v: char) -> Result<Self::Value, E> {
+        self.visit_str(v.encode_utf8(&mut [0u8; 4]))
+    }
+
+    default_visit!(visit_str, &str);
+
+    /// Visits an owned string (default: via `visit_str`).
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    /// Visits borrowed (from the input) string data (default: `visit_str`).
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+
+    /// Visits borrowed bytes (default: type error).
+    fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::invalid_type(&"bytes", &self.expecting_display()))
+    }
+
+    /// Visits owned bytes (default: via `visit_bytes`).
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+
+    /// Visits borrowed (from the input) bytes (default: `visit_bytes`).
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+
+    /// Visits an absent optional (default: type error).
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::invalid_type(
+            &"Option::None",
+            &self.expecting_display(),
+        ))
+    }
+
+    /// Visits a present optional (default: type error).
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::invalid_type(
+            &"Option::Some",
+            &self.expecting_display(),
+        ))
+    }
+
+    /// Visits `()` (default: type error).
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::invalid_type(&"unit", &self.expecting_display()))
+    }
+
+    /// Visits a newtype struct (default: deserialize the inner value).
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::invalid_type(
+            &"newtype struct",
+            &self.expecting_display(),
+        ))
+    }
+
+    /// Visits a sequence (default: type error).
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(Error::invalid_type(&"sequence", &self.expecting_display()))
+    }
+
+    /// Visits a map (default: type error).
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(Error::invalid_type(&"map", &self.expecting_display()))
+    }
+
+    /// Visits an enum (default: type error).
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let _ = data;
+        Err(Error::invalid_type(&"enum", &self.expecting_display()))
+    }
+}
+
+/// Provides the elements of a sequence to a visitor.
+pub trait SeqAccess<'de> {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Deserializes the next element with a seed.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    /// Deserializes the next element.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+
+    /// Number of remaining elements, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Provides the entries of a map to a visitor.
+pub trait MapAccess<'de> {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Deserializes the next key with a seed.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+
+    /// Deserializes the next value with a seed.
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Deserializes the next key.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+
+    /// Deserializes the next value.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+
+    /// Deserializes the next entry.
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(key) => Ok(Some((key, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    /// Number of remaining entries, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Provides a variant identifier and its content to a visitor.
+pub trait EnumAccess<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+    /// Gives access to the variant's content.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    /// Deserializes the variant identifier with a seed.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    /// Deserializes the variant identifier.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Provides the content of one enum variant to a visitor.
+pub trait VariantAccess<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Deserializes a unit variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    /// Deserializes a newtype variant with a seed.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+
+    /// Deserializes a newtype variant.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    /// Deserializes a tuple variant.
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Deserializes a struct variant.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Turns a plain value into a deserializer yielding it (used by format
+/// adapters to hand variant indices to identifier seeds).
+pub trait IntoDeserializer<'de, E: Error> {
+    /// The deserializer produced.
+    type Deserializer: Deserializer<'de, Error = E>;
+    /// Converts `self` into a deserializer.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+impl<'de, E: Error> IntoDeserializer<'de, E> for u32 {
+    type Deserializer = value::U32Deserializer<E>;
+    fn into_deserializer(self) -> Self::Deserializer {
+        value::U32Deserializer {
+            value: self,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> IntoDeserializer<'de, E> for u64 {
+    type Deserializer = value::U64Deserializer<E>;
+    fn into_deserializer(self) -> Self::Deserializer {
+        value::U64Deserializer {
+            value: self,
+            marker: PhantomData,
+        }
+    }
+}
+
+/// Deserializers over plain in-memory values.
+pub mod value {
+    use super::*;
+
+    macro_rules! primitive_deserializer {
+        ($name:ident, $ty:ty, $visit:ident) => {
+            /// A deserializer that yields one plain value.
+            #[derive(Debug, Clone, Copy)]
+            pub struct $name<E> {
+                pub(crate) value: $ty,
+                pub(crate) marker: PhantomData<E>,
+            }
+
+            impl<E> $name<E> {
+                /// Creates a deserializer yielding `value`.
+                pub fn new(value: $ty) -> Self {
+                    $name {
+                        value,
+                        marker: PhantomData,
+                    }
+                }
+            }
+
+            impl<'de, E: Error> Deserializer<'de> for $name<E> {
+                type Error = E;
+
+                fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                    visitor.$visit(self.value)
+                }
+
+                forward_to_any! {
+                    deserialize_bool deserialize_i8 deserialize_i16 deserialize_i32
+                    deserialize_i64 deserialize_u8 deserialize_u16 deserialize_u32
+                    deserialize_u64 deserialize_f32 deserialize_f64 deserialize_char
+                    deserialize_str deserialize_string deserialize_bytes
+                    deserialize_byte_buf deserialize_option deserialize_unit
+                    deserialize_seq deserialize_map deserialize_identifier
+                    deserialize_ignored_any
+                }
+
+                fn deserialize_unit_struct<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    visitor: V,
+                ) -> Result<V::Value, E> {
+                    self.deserialize_any(visitor)
+                }
+                fn deserialize_newtype_struct<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    visitor: V,
+                ) -> Result<V::Value, E> {
+                    self.deserialize_any(visitor)
+                }
+                fn deserialize_tuple<V: Visitor<'de>>(
+                    self,
+                    _len: usize,
+                    visitor: V,
+                ) -> Result<V::Value, E> {
+                    self.deserialize_any(visitor)
+                }
+                fn deserialize_tuple_struct<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    _len: usize,
+                    visitor: V,
+                ) -> Result<V::Value, E> {
+                    self.deserialize_any(visitor)
+                }
+                fn deserialize_struct<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    _fields: &'static [&'static str],
+                    visitor: V,
+                ) -> Result<V::Value, E> {
+                    self.deserialize_any(visitor)
+                }
+                fn deserialize_enum<V: Visitor<'de>>(
+                    self,
+                    _name: &'static str,
+                    _variants: &'static [&'static str],
+                    visitor: V,
+                ) -> Result<V::Value, E> {
+                    self.deserialize_any(visitor)
+                }
+            }
+        };
+    }
+
+    macro_rules! forward_to_any {
+        ($($method:ident)*) => {$(
+            fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+        )*};
+    }
+
+    primitive_deserializer!(U32Deserializer, u32, visit_u32);
+    primitive_deserializer!(U64Deserializer, u64, visit_u64);
+}
+
+/// A display helper implementing the "expected ..." part of error messages.
+#[derive(Debug)]
+pub struct Unexpected<'a>(pub &'a str);
+
+impl Display for Unexpected<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Implements the serde **data model** — the `ser`/`de` trait pairs, the
+//! visitor machinery and `Serialize`/`Deserialize` impls for the std types
+//! this workspace persists — so that format adapters written against real
+//! serde (like the storage server's codec) compile and run unchanged.  The
+//! matching derive macros live in the sibling `serde_derive` crate and are
+//! re-exported here under the usual names.
+
+pub mod de;
+pub mod ser;
+
+mod impls;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+pub use serde_derive::{Deserialize, Serialize};

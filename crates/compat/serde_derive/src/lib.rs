@@ -1,0 +1,492 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace uses — non-generic structs (named, tuple, unit) and
+//! enums (unit, newtype, tuple and struct variants) — without `syn`/`quote`:
+//! the item is parsed directly from the `proc_macro` token stream and the
+//! impl is emitted as source text.  Field and variant encodings match what
+//! real serde derives produce against the serde data model (structs as
+//! field sequences, enum variants by declaration index).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated impl is valid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("literal"),
+    }
+}
+
+// ---- item model -----------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// Struct with named fields.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields.
+    TupleStruct(usize),
+    /// Unit struct.
+    UnitStruct,
+    /// Enum, variants in declaration order.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---- parsing --------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected a type name, found {other:?}")),
+    };
+    pos += 1;
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the offline serde derive does not support generic type `{name}`"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(group.stream())?;
+                Ok(Item {
+                    name,
+                    kind: ItemKind::Struct(fields),
+                })
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let count = split_top_level(group.stream()).len();
+                Ok(Item {
+                    name,
+                    kind: ItemKind::TupleStruct(count),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                kind: ItemKind::UnitStruct,
+            }),
+            None => Ok(Item {
+                name,
+                kind: ItemKind::UnitStruct,
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(group.stream())?;
+                Ok(Item {
+                    name,
+                    kind: ItemKind::Enum(variants),
+                })
+            }
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Advances `pos` past attributes (`#[...]`) and a visibility modifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *pos += 1;
+                }
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream on top-level commas, treating `<`/`>` pairs (which
+/// are bare punctuation, not groups) as nesting.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut pieces = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.is_empty() {
+                    pieces.push(std::mem::take(&mut current));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        current.push(token);
+    }
+    if !current.is_empty() {
+        pieces.push(current);
+    }
+    pieces
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for piece in split_top_level(stream) {
+        let mut pos = 0usize;
+        skip_attrs_and_vis(&piece, &mut pos);
+        match piece.get(pos) {
+            Some(TokenTree::Ident(ident)) => names.push(ident.to_string()),
+            other => return Err(format!("expected a field name, found {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for piece in split_top_level(stream) {
+        let mut pos = 0usize;
+        skip_attrs_and_vis(&piece, &mut pos);
+        let name = match piece.get(pos) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected a variant name, found {other:?}")),
+        };
+        pos += 1;
+        let fields = match piece.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                VariantFields::Tuple(split_top_level(group.stream()).len())
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                VariantFields::Struct(parse_named_fields(group.stream())?)
+            }
+            // `= discriminant` or end of variant.
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---- code generation: Serialize -------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut out = String::new();
+            out.push_str("#[allow(unused_imports)] use ::serde::ser::SerializeStruct as _;\n");
+            out.push_str(&format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_struct(__serializer, {name:?}, {}usize)?;\n",
+                fields.len()
+            ));
+            for field in fields {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, {field:?}, &self.{field})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__state)\n");
+            out
+        }
+        ItemKind::TupleStruct(1) => format!(
+            "::serde::ser::Serializer::serialize_newtype_struct(__serializer, {name:?}, &self.0)\n"
+        ),
+        ItemKind::TupleStruct(count) => {
+            let mut out = format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_tuple_struct(__serializer, {name:?}, {count}usize)?;\n"
+            );
+            for i in 0..*count {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{i})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeTupleStruct::end(__state)\n");
+            out
+        }
+        ItemKind::UnitStruct => {
+            format!("::serde::ser::Serializer::serialize_unit_struct(__serializer, {name:?})\n")
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for (index, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                match &variant.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(__serializer, {name:?}, {index}u32, {vname:?}),\n"
+                    )),
+                    VariantFields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::ser::Serializer::serialize_newtype_variant(__serializer, {name:?}, {index}u32, {vname:?}, __f0),\n"
+                    )),
+                    VariantFields::Tuple(count) => {
+                        let bindings: Vec<String> = (0..*count).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\nlet mut __state = ::serde::ser::Serializer::serialize_tuple_variant(__serializer, {name:?}, {index}u32, {vname:?}, {count}usize)?;\n",
+                            bindings.join(", ")
+                        );
+                        for binding in &bindings {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __state, {binding})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeTupleVariant::end(__state)\n},\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantFields::Struct(fields) => {
+                        let bindings: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let pattern: Vec<String> = fields
+                            .iter()
+                            .zip(&bindings)
+                            .map(|(f, b)| format!("{f}: {b}"))
+                            .collect();
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut __state = ::serde::ser::Serializer::serialize_struct_variant(__serializer, {name:?}, {index}u32, {vname:?}, {}usize)?;\n",
+                            pattern.join(", "),
+                            fields.len()
+                        );
+                        for (field, binding) in fields.iter().zip(&bindings) {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __state, {field:?}, {binding})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeStructVariant::end(__state)\n},\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\
+             }}\n\
+         }}\n"
+    )
+}
+
+// ---- code generation: Deserialize -----------------------------------------
+
+/// Emits the body of a `visit_seq` that builds `constructor` from `count`
+/// sequence elements (used for structs, tuple structs and enum variants).
+fn seq_builder(constructor: &str, fields: SeqFields, expecting: &str) -> String {
+    let (count, assignments): (usize, String) = match fields {
+        SeqFields::Named(names) => {
+            let mut body = String::new();
+            for (i, field) in names.iter().enumerate() {
+                body.push_str(&format!(
+                    "{field}: match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                         ::core::option::Option::Some(__value) => __value,\n\
+                         ::core::option::Option::None => return ::core::result::Result::Err(<__A::Error as ::serde::de::Error>::invalid_length({i}usize, &{expecting:?})),\n\
+                     }},\n"
+                ));
+            }
+            (names.len(), format!("{constructor} {{\n{body}}}"))
+        }
+        SeqFields::Unnamed(count) => {
+            let mut body = String::new();
+            for i in 0..count {
+                body.push_str(&format!(
+                    "match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                         ::core::option::Option::Some(__value) => __value,\n\
+                         ::core::option::Option::None => return ::core::result::Result::Err(<__A::Error as ::serde::de::Error>::invalid_length({i}usize, &{expecting:?})),\n\
+                     }},\n"
+                ));
+            }
+            (count, format!("{constructor}(\n{body})"))
+        }
+    };
+    let _ = count;
+    format!("::core::result::Result::Ok({assignments})\n")
+}
+
+enum SeqFields<'a> {
+    Named(&'a [String]),
+    Unnamed(usize),
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let expecting = format!("type {name}");
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let field_list: Vec<String> = fields.iter().map(|f| format!("{f:?}")).collect();
+            let visit_seq = seq_builder(name, SeqFields::Named(fields), &expecting);
+            format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{ __f.write_str({expecting:?}) }}\n\
+                     fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> ::core::result::Result<{name}, __A::Error> {{\n\
+                         {visit_seq}\
+                     }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_struct(__deserializer, {name:?}, &[{}], __Visitor)\n",
+                field_list.join(", ")
+            )
+        }
+        ItemKind::TupleStruct(1) => format!(
+            "struct __Visitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{ __f.write_str({expecting:?}) }}\n\
+                 fn visit_newtype_struct<__D: ::serde::de::Deserializer<'de>>(self, __d: __D) -> ::core::result::Result<{name}, __D::Error> {{\n\
+                     ::core::result::Result::Ok({name}(::serde::de::Deserialize::deserialize(__d)?))\n\
+                 }}\n\
+                 fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> ::core::result::Result<{name}, __A::Error> {{\n\
+                     {}\
+                 }}\n\
+             }}\n\
+             ::serde::de::Deserializer::deserialize_newtype_struct(__deserializer, {name:?}, __Visitor)\n",
+            seq_builder(name, SeqFields::Unnamed(1), &expecting)
+        ),
+        ItemKind::TupleStruct(count) => format!(
+            "struct __Visitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{ __f.write_str({expecting:?}) }}\n\
+                 fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> ::core::result::Result<{name}, __A::Error> {{\n\
+                     {}\
+                 }}\n\
+             }}\n\
+             ::serde::de::Deserializer::deserialize_tuple_struct(__deserializer, {name:?}, {count}usize, __Visitor)\n",
+            seq_builder(name, SeqFields::Unnamed(*count), &expecting)
+        ),
+        ItemKind::UnitStruct => format!(
+            "struct __Visitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{ __f.write_str({expecting:?}) }}\n\
+                 fn visit_unit<__E: ::serde::de::Error>(self) -> ::core::result::Result<{name}, __E> {{ ::core::result::Result::Ok({name}) }}\n\
+             }}\n\
+             ::serde::de::Deserializer::deserialize_unit_struct(__deserializer, {name:?}, __Visitor)\n"
+        ),
+        ItemKind::Enum(variants) => {
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("{:?}", v.name)).collect();
+            let mut arms = String::new();
+            for (index, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                let arm = match &variant.fields {
+                    VariantFields::Unit => format!(
+                        "{index}u32 => {{ ::serde::de::VariantAccess::unit_variant(__variant)?; ::core::result::Result::Ok({name}::{vname}) }},\n"
+                    ),
+                    VariantFields::Tuple(1) => format!(
+                        "{index}u32 => ::core::result::Result::Ok({name}::{vname}(::serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                    ),
+                    VariantFields::Tuple(count) => {
+                        let constructor = format!("{name}::{vname}");
+                        let visit_seq =
+                            seq_builder(&constructor, SeqFields::Unnamed(*count), &expecting);
+                        format!(
+                            "{index}u32 => {{\n\
+                                 struct __VariantVisitor;\n\
+                                 impl<'de> ::serde::de::Visitor<'de> for __VariantVisitor {{\n\
+                                     type Value = {name};\n\
+                                     fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{ __f.write_str({expecting:?}) }}\n\
+                                     fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> ::core::result::Result<{name}, __A::Error> {{\n\
+                                         {visit_seq}\
+                                     }}\n\
+                                 }}\n\
+                                 ::serde::de::VariantAccess::tuple_variant(__variant, {count}usize, __VariantVisitor)\n\
+                             }},\n"
+                        )
+                    }
+                    VariantFields::Struct(fields) => {
+                        let constructor = format!("{name}::{vname}");
+                        let field_list: Vec<String> =
+                            fields.iter().map(|f| format!("{f:?}")).collect();
+                        let visit_seq =
+                            seq_builder(&constructor, SeqFields::Named(fields), &expecting);
+                        format!(
+                            "{index}u32 => {{\n\
+                                 struct __VariantVisitor;\n\
+                                 impl<'de> ::serde::de::Visitor<'de> for __VariantVisitor {{\n\
+                                     type Value = {name};\n\
+                                     fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{ __f.write_str({expecting:?}) }}\n\
+                                     fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> ::core::result::Result<{name}, __A::Error> {{\n\
+                                         {visit_seq}\
+                                     }}\n\
+                                 }}\n\
+                                 ::serde::de::VariantAccess::struct_variant(__variant, &[{}], __VariantVisitor)\n\
+                             }},\n",
+                            field_list.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{ __f.write_str({expecting:?}) }}\n\
+                     fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A) -> ::core::result::Result<{name}, __A::Error> {{\n\
+                         let (__index, __variant): (u32, __A::Variant) = ::serde::de::EnumAccess::variant(__data)?;\n\
+                         match __index {{\n\
+                             {arms}\
+                             __other => ::core::result::Result::Err(<__A::Error as ::serde::de::Error>::unknown_variant(__other, &[{variant_list}])),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_enum(__deserializer, {name:?}, &[{variant_list}], __Visitor)\n",
+                variant_list = variant_names.join(", ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {body}\
+             }}\n\
+         }}\n"
+    )
+}

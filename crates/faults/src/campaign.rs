@@ -75,7 +75,10 @@ impl Default for CampaignConfig {
 impl CampaignConfig {
     /// A small campaign suitable for unit tests and quick smoke runs.
     pub fn quick(runs: usize) -> Self {
-        CampaignConfig { runs, ..Self::default() }
+        CampaignConfig {
+            runs,
+            ..Self::default()
+        }
     }
 }
 
@@ -136,12 +139,18 @@ impl CampaignReport {
     /// Runs after which the host was reachable from outside (Table IV row 2),
     /// excluding those that needed a manual fix.
     pub fn reachable(&self) -> usize {
-        self.runs.iter().filter(|r| r.reachable && !r.manually_fixed).count()
+        self.runs
+            .iter()
+            .filter(|r| r.reachable && !r.manually_fixed)
+            .count()
     }
 
     /// Runs that were only reachable after a manual component restart.
     pub fn manually_fixed(&self) -> usize {
-        self.runs.iter().filter(|r| r.reachable && r.manually_fixed).count()
+        self.runs
+            .iter()
+            .filter(|r| r.reachable && r.manually_fixed)
+            .count()
     }
 
     /// Runs in which established TCP connections broke (Table IV row 3).
@@ -172,7 +181,11 @@ impl CampaignReport {
         out.push_str(&format!("{:<10} {:>6}\n", "component", "count"));
         out.push_str(&format!("{:<10} {:>6}\n", "Total", self.total()));
         for (label, component) in components {
-            out.push_str(&format!("{:<10} {:>6}\n", label, self.injected_into(component)));
+            out.push_str(&format!(
+                "{:<10} {:>6}\n",
+                label,
+                self.injected_into(component)
+            ));
         }
         out
     }
@@ -182,13 +195,36 @@ impl CampaignReport {
         let total = self.total().max(1) as f64;
         let scale = 100.0 / total;
         let mut out = String::from("Table IV — consequences of crashes (normalised to 100 runs)\n");
-        out.push_str(&format!("{:<38} {:>9} {:>9}\n", "outcome", "paper", "measured"));
+        out.push_str(&format!(
+            "{:<38} {:>9} {:>9}\n",
+            "outcome", "paper", "measured"
+        ));
         let rows = [
-            ("Fully transparent crashes", 70.0, self.fully_transparent() as f64 * scale),
-            ("Reachable from outside", 90.0, self.reachable() as f64 * scale),
-            ("  (additionally after manual fix)", 6.0, self.manually_fixed() as f64 * scale),
-            ("Crash broke TCP connections", 30.0, self.tcp_broken() as f64 * scale),
-            ("Transparent to UDP", 95.0, self.udp_transparent() as f64 * scale),
+            (
+                "Fully transparent crashes",
+                70.0,
+                self.fully_transparent() as f64 * scale,
+            ),
+            (
+                "Reachable from outside",
+                90.0,
+                self.reachable() as f64 * scale,
+            ),
+            (
+                "  (additionally after manual fix)",
+                6.0,
+                self.manually_fixed() as f64 * scale,
+            ),
+            (
+                "Crash broke TCP connections",
+                30.0,
+                self.tcp_broken() as f64 * scale,
+            ),
+            (
+                "Transparent to UDP",
+                95.0,
+                self.udp_transparent() as f64 * scale,
+            ),
             ("Reboot necessary", 3.0, self.reboots() as f64 * scale),
         ];
         for (label, paper, measured) in rows {
@@ -204,7 +240,11 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
     let mut report = CampaignReport::default();
     for _ in 0..config.runs {
         let target = pick_target(&config.weights, &mut rng);
-        let kind = if rng.gen::<f64>() < config.hang_fraction { FaultKind::Hang } else { FaultKind::Crash };
+        let kind = if rng.gen::<f64>() < config.hang_fraction {
+            FaultKind::Hang
+        } else {
+            FaultKind::Crash
+        };
         let outcome = run_one(config, target, kind);
         report.runs.push(outcome);
     }
@@ -277,7 +317,10 @@ pub fn run_one(config: &CampaignConfig, target: Component, kind: FaultKind) -> R
 
     // Did the existing TCP session survive?
     let tcp_session_survived = tcp_ok_before
-        && ssh.as_ref().map(|s| ssh_exchange(s, b"echo still-alive\n")).unwrap_or(false);
+        && ssh
+            .as_ref()
+            .map(|s| ssh_exchange(s, b"echo still-alive\n"))
+            .unwrap_or(false);
 
     // Is the machine reachable from outside (new connection)?
     let mut manually_fixed = false;
@@ -295,7 +338,10 @@ pub fn run_one(config: &CampaignConfig, target: Component, kind: FaultKind) -> R
 
     // Is UDP still transparent on the *existing* socket?
     let udp_transparent = udp_ok_before
-        && dns.as_ref().map(|s| dns_query(s, peer_addr, b"after-fault")).unwrap_or(false);
+        && dns
+            .as_ref()
+            .map(|s| dns_query(s, peer_addr, b"after-fault"))
+            .unwrap_or(false);
 
     stack.shutdown();
     RunOutcome {
@@ -349,7 +395,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let mut counts = std::collections::HashMap::new();
         for _ in 0..2000 {
-            *counts.entry(pick_target(&config.weights, &mut rng)).or_insert(0usize) += 1;
+            *counts
+                .entry(pick_target(&config.weights, &mut rng))
+                .or_insert(0usize) += 1;
         }
         // Every component is picked, roughly according to its weight.
         assert!(counts[&Component::Tcp] > counts[&Component::Udp]);
@@ -405,29 +453,56 @@ mod tests {
 
     #[test]
     fn pf_crash_run_is_fully_transparent() {
-        let config = CampaignConfig { clock_speedup: 50.0, ..CampaignConfig::quick(1) };
+        let config = CampaignConfig {
+            clock_speedup: 50.0,
+            ..CampaignConfig::quick(1)
+        };
         let outcome = run_one(&config, Component::PacketFilter, FaultKind::Crash);
-        assert!(outcome.recovered_automatically, "pf was not restarted: {outcome:?}");
-        assert!(outcome.tcp_session_survived, "ssh session should survive a pf crash: {outcome:?}");
-        assert!(outcome.udp_transparent, "udp should survive a pf crash: {outcome:?}");
+        assert!(
+            outcome.recovered_automatically,
+            "pf was not restarted: {outcome:?}"
+        );
+        assert!(
+            outcome.tcp_session_survived,
+            "ssh session should survive a pf crash: {outcome:?}"
+        );
+        assert!(
+            outcome.udp_transparent,
+            "udp should survive a pf crash: {outcome:?}"
+        );
         assert!(outcome.reachable);
         assert!(!outcome.reboot_needed);
     }
 
     #[test]
     fn tcp_crash_breaks_connections_but_machine_stays_reachable() {
-        let config = CampaignConfig { clock_speedup: 50.0, ..CampaignConfig::quick(1) };
+        let config = CampaignConfig {
+            clock_speedup: 50.0,
+            ..CampaignConfig::quick(1)
+        };
         let outcome = run_one(&config, Component::Tcp, FaultKind::Crash);
-        assert!(outcome.recovered_automatically, "tcp was not restarted: {outcome:?}");
-        assert!(!outcome.tcp_session_survived, "established connections are lost on a tcp crash");
-        assert!(outcome.reachable, "new connections must be possible after the restart: {outcome:?}");
+        assert!(
+            outcome.recovered_automatically,
+            "tcp was not restarted: {outcome:?}"
+        );
+        assert!(
+            !outcome.tcp_session_survived,
+            "established connections are lost on a tcp crash"
+        );
+        assert!(
+            outcome.reachable,
+            "new connections must be possible after the restart: {outcome:?}"
+        );
         assert!(outcome.udp_transparent, "udp is unaffected by a tcp crash");
         assert!(!outcome.reboot_needed);
     }
 
     #[test]
     fn small_campaign_produces_consistent_report() {
-        let config = CampaignConfig { clock_speedup: 60.0, ..CampaignConfig::quick(3) };
+        let config = CampaignConfig {
+            clock_speedup: 60.0,
+            ..CampaignConfig::quick(3)
+        };
         let report = run_campaign(&config);
         assert_eq!(report.total(), 3);
         // Internal consistency: counters never exceed the number of runs.

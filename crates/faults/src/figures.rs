@@ -106,8 +106,9 @@ impl TraceExperimentResult {
 /// injected at the configured times, returning the receiver-side bitrate
 /// series.
 pub fn run_trace_experiment(config: &TraceExperimentConfig) -> TraceExperimentResult {
-    let mut rules: Vec<FilterRule> =
-        (0..config.filter_rules.saturating_sub(1)).map(|i| FilterRule::pass_filler(i as u16 + 1)).collect();
+    let mut rules: Vec<FilterRule> = (0..config.filter_rules.saturating_sub(1))
+        .map(|i| FilterRule::pass_filler(i as u16 + 1))
+        .collect();
     rules.push(FilterRule::block_inbound());
     let stack_config = StackConfig::newtos()
         .clock_speedup(config.clock_speedup)
@@ -121,7 +122,9 @@ pub fn run_trace_experiment(config: &TraceExperimentConfig) -> TraceExperimentRe
     // separate thread so the control thread can inject faults on schedule.
     let client = stack.client().with_timeout(Duration::from_secs(30));
     let socket = client.tcp_socket().expect("tcp socket");
-    socket.connect(peer_addr, IPERF_PORT).expect("connect to the iperf sink");
+    socket
+        .connect(peer_addr, IPERF_PORT)
+        .expect("connect to the iperf sink");
     let stop_at = config.duration;
     let sender_clock = clock.clone();
     let sender = std::thread::spawn(move || {
@@ -151,7 +154,11 @@ pub fn run_trace_experiment(config: &TraceExperimentConfig) -> TraceExperimentRe
 
     // Extract the series and the summary metrics.
     let series = trace.bitrate_series(config.bucket);
-    let first_fault = config.fault_times.first().copied().unwrap_or(config.duration);
+    let first_fault = config
+        .fault_times
+        .first()
+        .copied()
+        .unwrap_or(config.duration);
     let steady_mbps = trace.average_mbps(Duration::from_millis(500), first_fault);
     let bucket_s = config.bucket.as_secs_f64();
     let mut dip_mbps = Vec::new();
@@ -213,7 +220,10 @@ mod tests {
             .filter(|p| p.time_s >= 3.5)
             .map(|p| p.mbps)
             .sum();
-        assert!(after > 0.0, "no traffic at all after the pf crash: {result:?}");
+        assert!(
+            after > 0.0,
+            "no traffic at all after the pf crash: {result:?}"
+        );
         let rendered = result.render();
         assert!(rendered.contains("time_s"));
     }
@@ -248,6 +258,9 @@ mod tests {
             .filter(|p| p.time_s >= 6.0)
             .map(|p| p.mbps)
             .sum();
-        assert!(last_quarter > 0.0, "transfer never recovered after the ip crash: {result:?}");
+        assert!(
+            last_quarter > 0.0,
+            "transfer never recovered after the ip crash: {result:?}"
+        );
     }
 }

@@ -62,7 +62,10 @@ impl SimClock {
             "clock speed-up must be positive and finite"
         );
         SimClock {
-            inner: Arc::new(ClockInner { origin: Instant::now(), speedup }),
+            inner: Arc::new(ClockInner {
+                origin: Instant::now(),
+                speedup,
+            }),
         }
     }
 
@@ -164,7 +167,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(5));
         let a = clock.now();
         let b = clone.now();
-        let diff = if a > b { a - b } else { b - a };
+        let diff = a.abs_diff(b);
         assert!(diff < Duration::from_millis(50));
     }
 

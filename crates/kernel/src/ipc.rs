@@ -42,7 +42,11 @@ pub struct Message {
 impl Message {
     /// Creates a message of type `mtype` with an all-zero payload.
     pub fn new(mtype: u32) -> Self {
-        Message { source: Endpoint::from_raw(0), mtype, payload: [0; 8] }
+        Message {
+            source: Endpoint::from_raw(0),
+            mtype,
+            payload: [0; 8],
+        }
     }
 
     /// Builder-style helper that sets payload word `index`.
@@ -82,7 +86,9 @@ pub enum IpcError {
 impl std::fmt::Display for IpcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            IpcError::UnknownEndpoint(ep) => write!(f, "endpoint {ep} is not attached to the kernel"),
+            IpcError::UnknownEndpoint(ep) => {
+                write!(f, "endpoint {ep} is not attached to the kernel")
+            }
             IpcError::Dead(ep) => write!(f, "endpoint {ep} is dead"),
             IpcError::Timeout => write!(f, "timed out waiting for a kernel message"),
             IpcError::WouldBlock => write!(f, "no kernel message pending"),
@@ -217,7 +223,9 @@ impl KernelIpc {
     /// requests the new incarnation can serve.
     pub fn attach(&self, endpoint: Endpoint) {
         let mut boxes = self.inner.mailboxes.lock();
-        let mailbox = boxes.entry(endpoint).or_insert_with(|| Arc::new(Mailbox::default()));
+        let mailbox = boxes
+            .entry(endpoint)
+            .or_insert_with(|| Arc::new(Mailbox::default()));
         mailbox.alive.store(true, Ordering::Release);
     }
 
@@ -376,7 +384,9 @@ impl KernelIpc {
 
     /// Returns the number of messages waiting in `endpoint`'s mailbox.
     pub fn pending(&self, endpoint: Endpoint) -> usize {
-        self.mailbox(endpoint).map(|m| m.queue.lock().len()).unwrap_or(0)
+        self.mailbox(endpoint)
+            .map(|m| m.queue.lock().len())
+            .unwrap_or(0)
     }
 
     /// Returns a snapshot of the kernel involvement counters.
@@ -408,7 +418,8 @@ mod tests {
         let k = kernel();
         k.attach(ep(1));
         k.attach(ep(2));
-        k.send(ep(1), ep(2), Message::new(5).with_word(0, 99)).unwrap();
+        k.send(ep(1), ep(2), Message::new(5).with_word(0, 99))
+            .unwrap();
         let m = k.receive(ep(2), Duration::from_secs(1)).unwrap();
         assert_eq!(m.mtype, 5);
         assert_eq!(m.word(0), 99);
@@ -438,7 +449,10 @@ mod tests {
         );
         k.attach(ep(2));
         k.detach(ep(2));
-        assert_eq!(k.send(ep(1), ep(2), Message::new(0)).unwrap_err(), IpcError::Dead(ep(2)));
+        assert_eq!(
+            k.send(ep(1), ep(2), Message::new(0)).unwrap_err(),
+            IpcError::Dead(ep(2))
+        );
         assert!(!k.is_attached(ep(2)));
     }
 
@@ -469,7 +483,9 @@ mod tests {
         }
         k.send(ep(1), ep(3), Message::new(1)).unwrap();
         k.send(ep(2), ep(3), Message::new(2)).unwrap();
-        let m = k.receive_from(ep(3), ep(2), Duration::from_secs(1)).unwrap();
+        let m = k
+            .receive_from(ep(3), ep(2), Duration::from_secs(1))
+            .unwrap();
         assert_eq!(m.mtype, 2);
         // The other message is still pending.
         assert_eq!(k.pending(ep(3)), 1);
@@ -491,7 +507,12 @@ mod tests {
             k_server.send(server, req.source, reply).unwrap();
         });
         let reply = k
-            .sendrec(client, server, Message::new(10).with_word(0, 21), Duration::from_secs(5))
+            .sendrec(
+                client,
+                server,
+                Message::new(10).with_word(0, 21),
+                Duration::from_secs(5),
+            )
             .unwrap();
         assert_eq!(reply.mtype, 11);
         assert_eq!(reply.word(0), 42);
@@ -554,7 +575,11 @@ mod tests {
 
     #[test]
     fn cost_emulation_slows_traffic_down() {
-        let model = CostModel { trap_hot: 200_000, trap_cold: 200_000, ..CostModel::default() };
+        let model = CostModel {
+            trap_hot: 200_000,
+            trap_cold: 200_000,
+            ..CostModel::default()
+        };
         let fast = KernelIpc::new(model);
         let slow = KernelIpc::with_cost_emulation(model);
         for k in [&fast, &slow] {
@@ -571,6 +596,9 @@ mod tests {
         };
         let fast_t = time(&fast);
         let slow_t = time(&slow);
-        assert!(slow_t > fast_t, "emulated kernel should be slower: {fast_t:?} vs {slow_t:?}");
+        assert!(
+            slow_t > fast_t,
+            "emulated kernel should be slower: {fast_t:?} vs {slow_t:?}"
+        );
     }
 }

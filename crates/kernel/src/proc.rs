@@ -95,7 +95,13 @@ impl ProcessTable {
         let endpoint = inner.allocator.allocate(name);
         inner.processes.insert(
             endpoint,
-            ProcessInfo { endpoint, name: name.to_string(), core, privilege, restarts: 0 },
+            ProcessInfo {
+                endpoint,
+                name: name.to_string(),
+                core,
+                privilege,
+                restarts: 0,
+            },
         );
         endpoint
     }

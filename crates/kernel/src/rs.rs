@@ -201,7 +201,10 @@ impl ServiceRuntime {
     /// Panics when a crash fault is armed or when the service is reaped.
     pub fn check_fault(&self) {
         if self.shared.reap.load(Ordering::Acquire) {
-            panic!("service {} reaped by the reincarnation server", self.shared.name);
+            panic!(
+                "service {} reaped by the reincarnation server",
+                self.shared.name
+            );
         }
         let action = *self.shared.fault.lock();
         match action {
@@ -231,6 +234,9 @@ impl ServiceRuntime {
 }
 
 type ServiceBody = Arc<dyn Fn(ServiceRuntime) + Send + Sync + 'static>;
+
+/// A registered crash-event listener.
+type CrashListener = Box<dyn Fn(&CrashEvent) + Send + Sync>;
 
 struct ManagedService {
     config: ServiceConfig,
@@ -273,7 +279,7 @@ impl ManagedService {
 struct RsInner {
     clock: SimClock,
     services: Mutex<HashMap<Endpoint, ManagedService>>,
-    listeners: Mutex<Vec<Box<dyn Fn(&CrashEvent) + Send + Sync>>>,
+    listeners: Mutex<Vec<CrashListener>>,
     crash_log: Mutex<Vec<CrashEvent>>,
     shutdown: AtomicBool,
 }
@@ -339,7 +345,10 @@ impl ReincarnationServer {
             .name("newtos-rs-watchdog".to_string())
             .spawn(move || watchdog_loop(watchdog_inner))
             .expect("spawning the reincarnation watchdog");
-        ReincarnationServer { inner, watchdog: Mutex::new(Some(watchdog)) }
+        ReincarnationServer {
+            inner,
+            watchdog: Mutex::new(Some(watchdog)),
+        }
     }
 
     /// Registers and immediately starts a service.  The body closure is
@@ -427,7 +436,11 @@ impl ReincarnationServer {
 
     /// Returns how many times a service has been restarted.
     pub fn restart_count(&self, endpoint: Endpoint) -> Option<u32> {
-        self.inner.services.lock().get(&endpoint).map(|s| s.restarts)
+        self.inner
+            .services
+            .lock()
+            .get(&endpoint)
+            .map(|s| s.restarts)
     }
 
     /// Arms a fault against a service (the SWIFI hook).
@@ -444,7 +457,9 @@ impl ReincarnationServer {
     pub fn force_restart(&self, endpoint: Endpoint) -> bool {
         let (thread, shared) = {
             let mut services = self.inner.services.lock();
-            let Some(service) = services.get_mut(&endpoint) else { return false };
+            let Some(service) = services.get_mut(&endpoint) else {
+                return false;
+            };
             service.shared.stop.store(true, Ordering::Release);
             // Marked `Stopped` (not `Restarting`) so the watchdog does not
             // race with this manual restart while the old incarnation winds
@@ -456,7 +471,9 @@ impl ReincarnationServer {
             let _ = handle.join();
         }
         let mut services = self.inner.services.lock();
-        let Some(service) = services.get_mut(&endpoint) else { return false };
+        let Some(service) = services.get_mut(&endpoint) else {
+            return false;
+        };
         shared.stop.store(false, Ordering::Release);
         shared.generation.fetch_add(1, Ordering::AcqRel);
         *shared.start_mode.lock() = StartMode::Restart;
@@ -470,7 +487,9 @@ impl ReincarnationServer {
     pub fn stop(&self, endpoint: Endpoint) {
         let thread = {
             let mut services = self.inner.services.lock();
-            let Some(service) = services.get_mut(&endpoint) else { return };
+            let Some(service) = services.get_mut(&endpoint) else {
+                return;
+            };
             service.shared.stop.store(true, Ordering::Release);
             service.status = ServiceStatus::Stopped;
             service.thread.take()
@@ -547,9 +566,11 @@ fn watchdog_loop(inner: Arc<RsInner>) {
                     ServiceStatus::Restarting => {
                         // Waiting for a reaped incarnation to exit.
                         if service.exited.load(Ordering::Acquire) {
-                            if let Some(event) =
-                                restart_service(&inner.clock, service, CrashReason::HeartbeatTimeout)
-                            {
+                            if let Some(event) = restart_service(
+                                &inner.clock,
+                                service,
+                                CrashReason::HeartbeatTimeout,
+                            ) {
                                 events.push(event);
                             }
                         }
@@ -648,7 +669,10 @@ mod tests {
     fn service_runs_and_stops_gracefully() {
         let rs = ReincarnationServer::new(SimClock::realtime());
         let starts = Arc::new(AtomicU32::new(0));
-        let ep = rs.register(ServiceConfig::new("svc"), counting_service(Arc::clone(&starts)));
+        let ep = rs.register(
+            ServiceConfig::new("svc"),
+            counting_service(Arc::clone(&starts)),
+        );
         assert!(rs.wait_until_running(ep, Duration::from_secs(2)));
         assert_eq!(rs.status(ep), Some(ServiceStatus::Running));
         rs.stop(ep);
@@ -682,7 +706,10 @@ mod tests {
         {
             std::thread::sleep(Duration::from_millis(5));
         }
-        assert!(starts.load(Ordering::SeqCst) >= 2, "service was not restarted");
+        assert!(
+            starts.load(Ordering::SeqCst) >= 2,
+            "service was not restarted"
+        );
         assert!(rs.wait_until_running(ep, Duration::from_secs(2)));
         let modes = restart_modes.lock().clone();
         assert_eq!(modes[0], StartMode::Fresh);
@@ -713,15 +740,23 @@ mod tests {
         rs.inject_fault(ep, FaultAction::Hang);
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         let reaped = |rs: &ReincarnationServer| {
-            rs.crash_log().iter().any(|e| e.reason == CrashReason::HeartbeatTimeout)
+            rs.crash_log()
+                .iter()
+                .any(|e| e.reason == CrashReason::HeartbeatTimeout)
         };
         while (starts.load(Ordering::SeqCst) < 2 || !reaped(&rs))
             && std::time::Instant::now() < deadline
         {
             std::thread::sleep(Duration::from_millis(5));
         }
-        assert!(starts.load(Ordering::SeqCst) >= 2, "hung service was not reaped and restarted");
-        assert!(reaped(&rs), "heartbeat timeout was not recorded in the crash log");
+        assert!(
+            starts.load(Ordering::SeqCst) >= 2,
+            "hung service was not reaped and restarted"
+        );
+        assert!(
+            reaped(&rs),
+            "heartbeat timeout was not recorded in the crash log"
+        );
         rs.shutdown();
     }
 
@@ -797,7 +832,10 @@ mod tests {
     fn force_restart_is_a_live_update() {
         let rs = ReincarnationServer::new(SimClock::realtime());
         let starts = Arc::new(AtomicU32::new(0));
-        let ep = rs.register(ServiceConfig::new("updatable"), counting_service(Arc::clone(&starts)));
+        let ep = rs.register(
+            ServiceConfig::new("updatable"),
+            counting_service(Arc::clone(&starts)),
+        );
         assert!(rs.wait_until_running(ep, Duration::from_secs(2)));
         assert!(rs.force_restart(ep));
         assert!(rs.wait_until_running(ep, Duration::from_secs(2)));

@@ -37,7 +37,9 @@ impl std::fmt::Display for StorageError {
             StorageError::Missing { component, key } => {
                 write!(f, "no value stored under {component}/{key}")
             }
-            StorageError::Corrupt(key) => write!(f, "stored value under {key} could not be decoded"),
+            StorageError::Corrupt(key) => {
+                write!(f, "stored value under {key} could not be decoded")
+            }
         }
     }
 }
@@ -118,7 +120,11 @@ impl StorageServer {
     ///
     /// Returns [`StorageError::Missing`] when nothing is stored and
     /// [`StorageError::Corrupt`] when the bytes cannot be decoded as `T`.
-    pub fn retrieve<T: DeserializeOwned>(&self, component: &str, key: &str) -> Result<T, StorageError> {
+    pub fn retrieve<T: DeserializeOwned>(
+        &self,
+        component: &str,
+        key: &str,
+    ) -> Result<T, StorageError> {
         let entries = self.entries.read();
         match entries.get(&(component.to_string(), key.to_string())) {
             Some(bytes) => {
@@ -127,7 +133,10 @@ impl StorageServer {
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                Err(StorageError::Missing { component: component.to_string(), key: key.to_string() })
+                Err(StorageError::Missing {
+                    component: component.to_string(),
+                    key: key.to_string(),
+                })
             }
         }
     }
@@ -346,14 +355,19 @@ mod codec {
                 value.serialize(self)
             }
             fn serialize_seq(self, len: Option<usize>) -> Result<Self, Error> {
-                let len = len.ok_or_else(|| ser::Error::custom("sequences must know their length"))?;
+                let len =
+                    len.ok_or_else(|| ser::Error::custom("sequences must know their length"))?;
                 self.put_u64(len as u64);
                 Ok(self)
             }
             fn serialize_tuple(self, _len: usize) -> Result<Self, Error> {
                 Ok(self)
             }
-            fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, Error> {
+            fn serialize_tuple_struct(
+                self,
+                _name: &'static str,
+                _len: usize,
+            ) -> Result<Self, Error> {
                 Ok(self)
             }
             fn serialize_tuple_variant(
@@ -505,11 +519,13 @@ mod codec {
             };
         }
 
-        impl<'de, 'a> de::Deserializer<'de> for &'a mut Decoder<'de> {
+        impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
             type Error = Error;
 
             fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Error> {
-                Err(de::Error::custom("the storage codec is not self-describing"))
+                Err(de::Error::custom(
+                    "the storage codec is not self-describing",
+                ))
             }
             fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
                 visitor.visit_bool(self.get_u8()? != 0)
@@ -574,10 +590,20 @@ mod codec {
             }
             fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
                 let len = self.get_u64()? as usize;
-                visitor.visit_seq(Counted { de: self, remaining: len })
+                visitor.visit_seq(Counted {
+                    de: self,
+                    remaining: len,
+                })
             }
-            fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, Error> {
-                visitor.visit_seq(Counted { de: self, remaining: len })
+            fn deserialize_tuple<V: Visitor<'de>>(
+                self,
+                len: usize,
+                visitor: V,
+            ) -> Result<V::Value, Error> {
+                visitor.visit_seq(Counted {
+                    de: self,
+                    remaining: len,
+                })
             }
             fn deserialize_tuple_struct<V: Visitor<'de>>(
                 self,
@@ -585,11 +611,17 @@ mod codec {
                 len: usize,
                 visitor: V,
             ) -> Result<V::Value, Error> {
-                visitor.visit_seq(Counted { de: self, remaining: len })
+                visitor.visit_seq(Counted {
+                    de: self,
+                    remaining: len,
+                })
             }
             fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
                 let len = self.get_u64()? as usize;
-                visitor.visit_map(Counted { de: self, remaining: len })
+                visitor.visit_map(Counted {
+                    de: self,
+                    remaining: len,
+                })
             }
             fn deserialize_struct<V: Visitor<'de>>(
                 self,
@@ -597,7 +629,10 @@ mod codec {
                 fields: &'static [&'static str],
                 visitor: V,
             ) -> Result<V::Value, Error> {
-                visitor.visit_seq(Counted { de: self, remaining: fields.len() })
+                visitor.visit_seq(Counted {
+                    de: self,
+                    remaining: fields.len(),
+                })
             }
             fn deserialize_enum<V: Visitor<'de>>(
                 self,
@@ -607,11 +642,17 @@ mod codec {
             ) -> Result<V::Value, Error> {
                 visitor.visit_enum(EnumAccess { de: self })
             }
-            fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+            fn deserialize_identifier<V: Visitor<'de>>(
+                self,
+                visitor: V,
+            ) -> Result<V::Value, Error> {
                 let idx = self.get_u64()? as u32;
                 visitor.visit_u32(idx)
             }
-            fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Error> {
+            fn deserialize_ignored_any<V: Visitor<'de>>(
+                self,
+                _visitor: V,
+            ) -> Result<V::Value, Error> {
                 Err(de::Error::custom("cannot skip values in the storage codec"))
             }
         }
@@ -640,14 +681,20 @@ mod codec {
 
         impl<'de, 'a> de::MapAccess<'de> for Counted<'a, 'de> {
             type Error = Error;
-            fn next_key_seed<K: DeserializeSeed<'de>>(&mut self, seed: K) -> Result<Option<K::Value>, Error> {
+            fn next_key_seed<K: DeserializeSeed<'de>>(
+                &mut self,
+                seed: K,
+            ) -> Result<Option<K::Value>, Error> {
                 if self.remaining == 0 {
                     return Ok(None);
                 }
                 self.remaining -= 1;
                 seed.deserialize(&mut *self.de).map(Some)
             }
-            fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value, Error> {
+            fn next_value_seed<V: DeserializeSeed<'de>>(
+                &mut self,
+                seed: V,
+            ) -> Result<V::Value, Error> {
                 seed.deserialize(&mut *self.de)
             }
             fn size_hint(&self) -> Option<usize> {
@@ -681,18 +728,31 @@ mod codec {
             fn unit_variant(self) -> Result<(), Error> {
                 Ok(())
             }
-            fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value, Error> {
+            fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+                self,
+                seed: T,
+            ) -> Result<T::Value, Error> {
                 seed.deserialize(self.de)
             }
-            fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, Error> {
-                visitor.visit_seq(Counted { de: self.de, remaining: len })
+            fn tuple_variant<V: Visitor<'de>>(
+                self,
+                len: usize,
+                visitor: V,
+            ) -> Result<V::Value, Error> {
+                visitor.visit_seq(Counted {
+                    de: self.de,
+                    remaining: len,
+                })
             }
             fn struct_variant<V: Visitor<'de>>(
                 self,
                 fields: &'static [&'static str],
                 visitor: V,
             ) -> Result<V::Value, Error> {
-                visitor.visit_seq(Counted { de: self.de, remaining: fields.len() })
+                visitor.visit_seq(Counted {
+                    de: self.de,
+                    remaining: fields.len(),
+                })
             }
         }
     }
@@ -750,7 +810,12 @@ mod tests {
         let storage = StorageServer::new();
         let mut rules: BTreeMap<String, FilterAction> = BTreeMap::new();
         rules.insert("allow-ssh".into(), FilterAction::Pass);
-        rules.insert("deny-telnet".into(), FilterAction::Block { reason: "legacy".into() });
+        rules.insert(
+            "deny-telnet".into(),
+            FilterAction::Block {
+                reason: "legacy".into(),
+            },
+        );
         rules.insert("limit-dns".into(), FilterAction::RateLimit(100));
         storage.store("pf", "rules", &rules);
         let restored: BTreeMap<String, FilterAction> = storage.retrieve("pf", "rules").unwrap();
@@ -803,7 +868,9 @@ mod tests {
         let storage = StorageServer::new();
         storage.store("x", "k", &"short");
         // Asking for a type whose decoding runs past the stored bytes fails.
-        let err = storage.retrieve::<(u64, u64, u64, u64, u64)>("x", "k").unwrap_err();
+        let err = storage
+            .retrieve::<(u64, u64, u64, u64, u64)>("x", "k")
+            .unwrap_err();
         assert!(matches!(err, StorageError::Corrupt(_)));
     }
 

@@ -78,7 +78,8 @@ impl Vmm {
     fn charge_setup(&self) {
         // Channel setup takes a handful of kernel round trips (request,
         // grant, map) — all off the fast path.
-        self.cycles.charge(3 * self.model.trap_expected() as u64 + self.model.context_switch);
+        self.cycles
+            .charge(3 * self.model.trap_expected() as u64 + self.model.context_switch);
     }
 
     /// Exports a shared object from `owner` to `grantee`, recording the
@@ -96,7 +97,8 @@ impl Vmm {
         object: Arc<T>,
     ) -> Result<(), RegistryError> {
         self.charge_setup();
-        self.exports.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.exports
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         match self.registry.publish_shared(
             owner,
             generation,
@@ -112,7 +114,11 @@ impl Vmm {
             }
             Err(e) => return Err(e),
         }
-        self.grants.lock().push(Grant { owner, grantee, name: name.to_string() });
+        self.grants.lock().push(Grant {
+            owner,
+            grantee,
+            name: name.to_string(),
+        });
         Ok(())
     }
 
@@ -127,18 +133,29 @@ impl Vmm {
         name: &str,
     ) -> Result<Arc<T>, RegistryError> {
         self.charge_setup();
-        self.attaches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.attaches
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.registry.attach_shared(grantee, name)
     }
 
     /// Returns the grants currently recorded for `owner`.
     pub fn grants_by(&self, owner: Endpoint) -> Vec<Grant> {
-        self.grants.lock().iter().filter(|g| g.owner == owner).cloned().collect()
+        self.grants
+            .lock()
+            .iter()
+            .filter(|g| g.owner == owner)
+            .cloned()
+            .collect()
     }
 
     /// Returns the grants currently recorded towards `grantee`.
     pub fn grants_to(&self, grantee: Endpoint) -> Vec<Grant> {
-        self.grants.lock().iter().filter(|g| g.grantee == grantee).cloned().collect()
+        self.grants
+            .lock()
+            .iter()
+            .filter(|g| g.grantee == grantee)
+            .cloned()
+            .collect()
     }
 
     /// Drops every grant made by `owner` (its old incarnation crashed) and
@@ -176,7 +193,8 @@ mod tests {
         let vmm = Vmm::new(Registry::new(), CostModel::default());
         let ip = ep(1);
         let tcp = ep(2);
-        vmm.export_shared(ip, Generation::FIRST, tcp, "ip.rx-pool", Arc::new(123u64)).unwrap();
+        vmm.export_shared(ip, Generation::FIRST, tcp, "ip.rx-pool", Arc::new(123u64))
+            .unwrap();
         let got: Arc<u64> = vmm.attach_shared(tcp, "ip.rx-pool").unwrap();
         assert_eq!(*got, 123);
         assert_eq!(vmm.grants_by(ip).len(), 1);
@@ -189,7 +207,8 @@ mod tests {
     #[test]
     fn ungranted_endpoint_cannot_attach() {
         let vmm = Vmm::new(Registry::new(), CostModel::default());
-        vmm.export_shared(ep(1), Generation::FIRST, ep(2), "secret", Arc::new(1u8)).unwrap();
+        vmm.export_shared(ep(1), Generation::FIRST, ep(2), "secret", Arc::new(1u8))
+            .unwrap();
         assert!(matches!(
             vmm.attach_shared::<u8>(ep(3), "secret"),
             Err(RegistryError::PermissionDenied { .. })
@@ -200,8 +219,10 @@ mod tests {
     fn exporting_to_a_second_consumer_extends_the_grant() {
         let vmm = Vmm::new(Registry::new(), CostModel::default());
         let obj = Arc::new(7u32);
-        vmm.export_shared(ep(1), Generation::FIRST, ep(2), "pool", Arc::clone(&obj)).unwrap();
-        vmm.export_shared(ep(1), Generation::FIRST, ep(3), "pool", obj).unwrap();
+        vmm.export_shared(ep(1), Generation::FIRST, ep(2), "pool", Arc::clone(&obj))
+            .unwrap();
+        vmm.export_shared(ep(1), Generation::FIRST, ep(3), "pool", obj)
+            .unwrap();
         assert_eq!(*vmm.attach_shared::<u32>(ep(2), "pool").unwrap(), 7);
         assert_eq!(*vmm.attach_shared::<u32>(ep(3), "pool").unwrap(), 7);
         assert_eq!(vmm.grants_by(ep(1)).len(), 2);
@@ -210,8 +231,10 @@ mod tests {
     #[test]
     fn revoke_owner_clears_grants_and_registry() {
         let vmm = Vmm::new(Registry::new(), CostModel::default());
-        vmm.export_shared(ep(1), Generation::FIRST, ep(2), "ip.pool", Arc::new(0u8)).unwrap();
-        vmm.export_shared(ep(4), Generation::FIRST, ep(2), "pf.pool", Arc::new(0u8)).unwrap();
+        vmm.export_shared(ep(1), Generation::FIRST, ep(2), "ip.pool", Arc::new(0u8))
+            .unwrap();
+        vmm.export_shared(ep(4), Generation::FIRST, ep(2), "pf.pool", Arc::new(0u8))
+            .unwrap();
         let revoked = vmm.revoke_owner(ep(1));
         assert_eq!(revoked.len(), 1);
         assert_eq!(revoked[0].name, "ip.pool");

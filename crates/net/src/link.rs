@@ -10,6 +10,8 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::Bytes;
+
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -98,7 +100,7 @@ impl LinkSide {
 #[derive(Debug, Default)]
 struct Direction {
     /// Frames in flight, with the virtual time at which they arrive.
-    queue: VecDeque<(Duration, Vec<u8>)>,
+    queue: VecDeque<(Duration, Bytes)>,
     /// Virtual time at which the transmitter finishes serialising the last
     /// accepted frame.
     busy_until: Duration,
@@ -163,9 +165,17 @@ impl Link {
             trace_a: Mutex::new(None),
             trace_b: Mutex::new(None),
         });
-        let link = Link { inner: Arc::clone(&inner) };
-        let a = LinkPort { side: LinkSide::A, inner: Arc::clone(&inner) };
-        let b = LinkPort { side: LinkSide::B, inner };
+        let link = Link {
+            inner: Arc::clone(&inner),
+        };
+        let a = LinkPort {
+            side: LinkSide::A,
+            inner: Arc::clone(&inner),
+        };
+        let b = LinkPort {
+            side: LinkSide::B,
+            inner,
+        };
         (link, a, b)
     }
 
@@ -177,7 +187,11 @@ impl Link {
     /// Returns the counters for the direction transmitting *from* `side`.
     pub fn stats_from(&self, side: LinkSide) -> LinkStats {
         let dir = self.inner.direction(side).lock();
-        LinkStats { frames: dir.frames, bytes: dir.bytes, drops: dir.drops }
+        LinkStats {
+            frames: dir.frames,
+            bytes: dir.bytes,
+            drops: dir.drops,
+        }
     }
 }
 
@@ -196,8 +210,10 @@ impl LinkPort {
 
     /// Submits a frame for transmission.  Returns `false` if the frame was
     /// dropped (random loss or queue overflow) — like a real wire, the link
-    /// never blocks the sender.
-    pub fn transmit(&self, frame: Vec<u8>) -> bool {
+    /// never blocks the sender.  Accepts anything convertible to [`Bytes`],
+    /// so zero-copy views and owned buffers both work.
+    pub fn transmit(&self, frame: impl Into<Bytes>) -> bool {
+        let frame: Bytes = frame.into();
         let inner = &*self.inner;
         if inner.config.loss_probability > 0.0
             && inner.rng.lock().gen::<f64>() < inner.config.loss_probability
@@ -227,7 +243,7 @@ impl LinkPort {
     }
 
     /// Returns the next frame that has fully arrived at this port, if any.
-    pub fn poll_receive(&self) -> Option<Vec<u8>> {
+    pub fn poll_receive(&self) -> Option<Bytes> {
         let inner = &*self.inner;
         let now = inner.clock.now();
         let mut dir = inner.direction(self.side.other()).lock();
@@ -245,7 +261,7 @@ impl LinkPort {
     }
 
     /// Drains every frame that has arrived at this port.
-    pub fn drain_receive(&self) -> Vec<Vec<u8>> {
+    pub fn drain_receive(&self) -> Vec<Bytes> {
         let mut out = Vec::new();
         while let Some(frame) = self.poll_receive() {
             out.push(frame);
@@ -268,11 +284,11 @@ mod tests {
         let clock = SimClock::realtime();
         let (_link, a, b) = Link::new(LinkConfig::unshaped(), clock);
         assert!(a.transmit(vec![1, 2, 3]));
-        assert_eq!(b.poll_receive(), Some(vec![1, 2, 3]));
+        assert_eq!(b.poll_receive().as_deref(), Some(&[1u8, 2, 3][..]));
         assert_eq!(b.poll_receive(), None);
         // And in the other direction.
         assert!(b.transmit(vec![9]));
-        assert_eq!(a.poll_receive(), Some(vec![9]));
+        assert_eq!(a.poll_receive().as_deref(), Some(&[9u8][..]));
     }
 
     #[test]
@@ -280,14 +296,22 @@ mod tests {
         // 1 Mbit/s: a 12500-byte frame takes 100 ms to serialise, which keeps
         // the assertion robust against scheduling jitter on loaded hosts.
         let clock = SimClock::realtime();
-        let config = LinkConfig { bandwidth_bps: 1e6, propagation: Duration::ZERO, loss_probability: 0.0, queue_limit: 64 };
+        let config = LinkConfig {
+            bandwidth_bps: 1e6,
+            propagation: Duration::ZERO,
+            loss_probability: 0.0,
+            queue_limit: 64,
+        };
         let (_link, a, b) = Link::new(config, clock.clone());
         for _ in 0..3 {
             assert!(a.transmit(vec![0u8; 12_500]));
         }
         // Immediately, at most one frame can have arrived.
         let early = b.drain_receive().len();
-        assert!(early <= 1, "delivery was not paced: {early} frames arrived instantly");
+        assert!(
+            early <= 1,
+            "delivery was not paced: {early} frames arrived instantly"
+        );
         // After 300+ ms everything has arrived.
         clock.sleep(Duration::from_millis(400));
         let total = early + b.drain_receive().len();
@@ -297,7 +321,12 @@ mod tests {
     #[test]
     fn queue_limit_causes_tail_drop() {
         let clock = SimClock::realtime();
-        let config = LinkConfig { bandwidth_bps: 1e3, propagation: Duration::ZERO, loss_probability: 0.0, queue_limit: 4 };
+        let config = LinkConfig {
+            bandwidth_bps: 1e3,
+            propagation: Duration::ZERO,
+            loss_probability: 0.0,
+            queue_limit: 4,
+        };
         let (link, a, _b) = Link::new(config, clock);
         let mut accepted = 0;
         for _ in 0..10 {
@@ -320,8 +349,14 @@ mod tests {
         let delivered = b.drain_receive().len();
         let drops = link.stats_from(LinkSide::A).drops as usize;
         assert_eq!(delivered + drops, 200);
-        assert!(drops > 20, "expected a substantial number of drops, got {drops}");
-        assert!(delivered > 20, "expected a substantial number of deliveries, got {delivered}");
+        assert!(
+            drops > 20,
+            "expected a substantial number of drops, got {drops}"
+        );
+        assert!(
+            delivered > 20,
+            "expected a substantial number of deliveries, got {delivered}"
+        );
     }
 
     #[test]
@@ -340,7 +375,12 @@ mod tests {
     #[test]
     fn in_flight_counts_undelivered_frames() {
         let clock = SimClock::realtime();
-        let config = LinkConfig { bandwidth_bps: 1e3, propagation: Duration::from_secs(10), loss_probability: 0.0, queue_limit: 64 };
+        let config = LinkConfig {
+            bandwidth_bps: 1e3,
+            propagation: Duration::from_secs(10),
+            loss_probability: 0.0,
+            queue_limit: 64,
+        };
         let (_link, a, b) = Link::new(config, clock);
         a.transmit(vec![0u8; 10]);
         assert_eq!(b.in_flight(), 1);

@@ -21,6 +21,8 @@ use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
+use bytes::Bytes;
+
 use newt_kernel::clock::SimClock;
 
 use crate::link::LinkPort;
@@ -50,7 +52,10 @@ impl std::fmt::Display for NicError {
         match self {
             NicError::TxRingFull => write!(f, "transmit descriptor ring is full"),
             NicError::LinkDown => write!(f, "link is down"),
-            NicError::Oversized { len } => write!(f, "frame of {len} bytes exceeds the mtu and cannot be segmented"),
+            NicError::Oversized { len } => write!(
+                f,
+                "frame of {len} bytes exceeds the mtu and cannot be segmented"
+            ),
             NicError::Malformed => write!(f, "frame is malformed"),
         }
     }
@@ -131,8 +136,8 @@ pub struct Nic {
     config: NicConfig,
     clock: SimClock,
     port: LinkPort,
-    rx_ring: VecDeque<Vec<u8>>,
-    tx_ring: VecDeque<Vec<u8>>,
+    rx_ring: VecDeque<Bytes>,
+    tx_ring: VecDeque<Bytes>,
     link_up_at: Duration,
     stats: NicStats,
 }
@@ -169,13 +174,17 @@ impl Nic {
     /// Submits an Ethernet frame for transmission.
     ///
     /// Oversized TCP frames are segmented when TSO is enabled; checksums are
-    /// filled in when checksum offload is enabled.
+    /// filled in when checksum offload is enabled.  Accepts anything
+    /// convertible to [`Bytes`]; an in-MTU frame that needs no checksum
+    /// patching rides the descriptor ring without being copied, and a
+    /// uniquely owned buffer is patched in place.
     ///
     /// # Errors
     ///
     /// Returns [`NicError::LinkDown`], [`NicError::TxRingFull`],
     /// [`NicError::Oversized`] or [`NicError::Malformed`].
-    pub fn transmit(&mut self, frame: Vec<u8>) -> Result<(), NicError> {
+    pub fn transmit(&mut self, frame: impl Into<Bytes>) -> Result<(), NicError> {
+        let frame: Bytes = frame.into();
         if !self.is_link_up() {
             return Err(NicError::LinkDown);
         }
@@ -183,23 +192,27 @@ impl Nic {
             return Err(NicError::Malformed);
         }
         let max_frame = ETHERNET_HEADER_LEN + MTU;
-        let frames = if frame.len() <= max_frame {
-            vec![frame]
+        if frame.len() <= max_frame {
+            if self.tx_ring.len() >= self.config.tx_ring {
+                return Err(NicError::TxRingFull);
+            }
+            let out = if self.config.checksum_offload {
+                patch_checksums(frame)
+            } else {
+                frame
+            };
+            self.tx_ring.push_back(out);
         } else if self.config.tso {
             let segments = segment_tso(&frame).ok_or(NicError::Oversized { len: frame.len() })?;
+            if self.tx_ring.len() + segments.len() > self.config.tx_ring {
+                return Err(NicError::TxRingFull);
+            }
             self.stats.tso_segments += segments.len() as u64 - 1;
-            segments
+            // TSO segments are freshly built, so the checksum offload
+            // (always on for TSO hardware) already ran in `segment_tso`.
+            self.tx_ring.extend(segments.into_iter().map(Bytes::from));
         } else {
             return Err(NicError::Oversized { len: frame.len() });
-        };
-        if self.tx_ring.len() + frames.len() > self.config.tx_ring {
-            return Err(NicError::TxRingFull);
-        }
-        for mut out in frames {
-            if self.config.checksum_offload {
-                offload_checksums(&mut out);
-            }
-            self.tx_ring.push_back(out);
         }
         Ok(())
     }
@@ -227,8 +240,9 @@ impl Nic {
         }
     }
 
-    /// Pops the next received frame from the RX ring.
-    pub fn receive(&mut self) -> Option<Vec<u8>> {
+    /// Pops the next received frame from the RX ring (a zero-copy handle to
+    /// the buffer the link delivered).
+    pub fn receive(&mut self) -> Option<Bytes> {
         self.rx_ring.pop_front()
     }
 
@@ -249,6 +263,24 @@ impl Nic {
     /// Returns the traffic counters.
     pub fn stats(&self) -> NicStats {
         self.stats
+    }
+}
+
+/// Applies checksum offload to a frame, mutating in place when the buffer
+/// is uniquely owned (the common case for gathered multi-chunk frames) and
+/// copying only when the buffer is shared, e.g. a zero-copy view of a pool
+/// chunk that other holders may still read.
+fn patch_checksums(frame: Bytes) -> Bytes {
+    match frame.try_into_mut() {
+        Ok(mut unique) => {
+            offload_checksums(&mut unique);
+            unique.freeze()
+        }
+        Err(shared) => {
+            let mut copy = shared.to_vec();
+            offload_checksums(&mut copy);
+            Bytes::from(copy)
+        }
     }
 }
 
@@ -273,8 +305,18 @@ fn offload_checksums(frame: &mut [u8]) {
     let ip_csum = internet_checksum(&frame[ip..ip + ihl]);
     frame[ip + 10..ip + 12].copy_from_slice(&ip_csum.to_be_bytes());
 
-    let src = Ipv4Addr::new(frame[ip + 12], frame[ip + 13], frame[ip + 14], frame[ip + 15]);
-    let dst = Ipv4Addr::new(frame[ip + 16], frame[ip + 17], frame[ip + 18], frame[ip + 19]);
+    let src = Ipv4Addr::new(
+        frame[ip + 12],
+        frame[ip + 13],
+        frame[ip + 14],
+        frame[ip + 15],
+    );
+    let dst = Ipv4Addr::new(
+        frame[ip + 16],
+        frame[ip + 17],
+        frame[ip + 18],
+        frame[ip + 19],
+    );
     let protocol = frame[ip + 9];
     let total_len = u16::from_be_bytes([frame[ip + 2], frame[ip + 3]]) as usize;
     if frame.len() < ip + total_len {
@@ -292,8 +334,14 @@ fn offload_checksums(frame: &mut [u8]) {
     }
     frame[transport + csum_offset] = 0;
     frame[transport + csum_offset + 1] = 0;
-    let csum = pseudo_header_checksum(src, dst, protocol, &frame[transport..transport + transport_len]);
-    frame[transport + csum_offset..transport + csum_offset + 2].copy_from_slice(&csum.to_be_bytes());
+    let csum = pseudo_header_checksum(
+        src,
+        dst,
+        protocol,
+        &frame[transport..transport + transport_len],
+    );
+    frame[transport + csum_offset..transport + csum_offset + 2]
+        .copy_from_slice(&csum.to_be_bytes());
 }
 
 /// Segments an oversized Ethernet+IPv4+TCP frame into MTU-sized frames,
@@ -377,8 +425,13 @@ mod tests {
         let mut seg = TcpSegment::control(40000, 5001, 1_000, 500, TcpFlags::PSH_ACK);
         seg.payload = (0..payload_len).map(|i| (i % 251) as u8).collect();
         let ip = Ipv4Packet::new(src, dst, IpProtocol::Tcp, seg.build(src, dst));
-        EthernetFrame::new(MacAddr::from_index(2), MacAddr::from_index(1), EtherType::Ipv4, ip.build())
-            .build()
+        EthernetFrame::new(
+            MacAddr::from_index(2),
+            MacAddr::from_index(1),
+            EtherType::Ipv4,
+            ip.build(),
+        )
+        .build()
     }
 
     #[test]
@@ -410,7 +463,11 @@ mod tests {
         nic.transmit(frame).unwrap();
         nic.poll();
         let frames = peer.drain_receive();
-        assert!(frames.len() > 10, "expected many MTU-sized segments, got {}", frames.len());
+        assert!(
+            frames.len() > 10,
+            "expected many MTU-sized segments, got {}",
+            frames.len()
+        );
         // Every segment must be parseable and within the MTU, and the
         // payloads must reassemble to the original data.
         let mut reassembled: Vec<(u32, Vec<u8>)> = Vec::new();
@@ -424,7 +481,10 @@ mod tests {
         reassembled.sort_by_key(|(seq, _)| *seq);
         let total: Vec<u8> = reassembled.into_iter().flat_map(|(_, p)| p).collect();
         assert_eq!(total.len(), 16_000);
-        assert_eq!(total, (0..16_000).map(|i| (i % 251) as u8).collect::<Vec<u8>>());
+        assert_eq!(
+            total,
+            (0..16_000).map(|i| (i % 251) as u8).collect::<Vec<u8>>()
+        );
         assert!(nic.stats().tso_segments > 0);
     }
 
@@ -436,9 +496,13 @@ mod tests {
         let mut seg = TcpSegment::control(1, 2, 0, 0, TcpFlags::FIN_ACK);
         seg.payload = vec![1u8; 4000];
         let ip = Ipv4Packet::new(src, dst, IpProtocol::Tcp, seg.build(src, dst));
-        let frame =
-            EthernetFrame::new(MacAddr::from_index(2), MacAddr::from_index(1), EtherType::Ipv4, ip.build())
-                .build();
+        let frame = EthernetFrame::new(
+            MacAddr::from_index(2),
+            MacAddr::from_index(1),
+            EtherType::Ipv4,
+            ip.build(),
+        )
+        .build();
         nic.transmit(frame).unwrap();
         nic.poll();
         let frames = peer.drain_receive();
@@ -447,7 +511,10 @@ mod tests {
             .map(|bytes| {
                 let eth = EthernetFrame::parse(bytes).unwrap();
                 let ip = Ipv4Packet::parse(&eth.payload).unwrap();
-                TcpSegment::parse(&ip.payload, ip.src, ip.dst).unwrap().flags.fin
+                TcpSegment::parse(&ip.payload, ip.src, ip.dst)
+                    .unwrap()
+                    .flags
+                    .fin
             })
             .collect();
         assert!(!fins[..fins.len() - 1].iter().any(|&f| f));
@@ -518,7 +585,10 @@ mod tests {
         let (mut nic, _peer, _clock) = setup(config);
         nic.transmit(tcp_frame(10)).unwrap();
         nic.transmit(tcp_frame(10)).unwrap();
-        assert_eq!(nic.transmit(tcp_frame(10)).unwrap_err(), NicError::TxRingFull);
+        assert_eq!(
+            nic.transmit(tcp_frame(10)).unwrap_err(),
+            NicError::TxRingFull
+        );
         assert_eq!(nic.tx_ring_free(), 0);
         nic.poll();
         assert_eq!(nic.tx_ring_free(), 2);
@@ -527,6 +597,9 @@ mod tests {
     #[test]
     fn malformed_frame_rejected() {
         let (mut nic, _peer, _clock) = setup(NicConfig::new(0));
-        assert_eq!(nic.transmit(vec![1, 2, 3]).unwrap_err(), NicError::Malformed);
+        assert_eq!(
+            nic.transmit(vec![1, 2, 3]).unwrap_err(),
+            NicError::Malformed
+        );
     }
 }

@@ -131,7 +131,10 @@ impl RemotePeer {
             config,
             clock,
             port,
-            state: Mutex::new(PeerState { conns: HashMap::new(), stats: PeerStats::default() }),
+            state: Mutex::new(PeerState {
+                conns: HashMap::new(),
+                stats: PeerStats::default(),
+            }),
         }
     }
 
@@ -198,7 +201,10 @@ impl RemotePeer {
                 }
             })
             .expect("spawning the remote peer thread");
-        PeerHandle { stop, thread: Some(thread) }
+        PeerHandle {
+            stop,
+            thread: Some(thread),
+        }
     }
 
     fn send_frame(&self, dst_mac: MacAddr, ethertype: EtherType, payload: Vec<u8>) {
@@ -206,7 +212,13 @@ impl RemotePeer {
         self.port.transmit(frame.build());
     }
 
-    fn send_ipv4(&self, dst_mac: MacAddr, dst_ip: Ipv4Addr, protocol: IpProtocol, payload: Vec<u8>) {
+    fn send_ipv4(
+        &self,
+        dst_mac: MacAddr,
+        dst_ip: Ipv4Addr,
+        protocol: IpProtocol,
+        payload: Vec<u8>,
+    ) {
         let packet = Ipv4Packet::new(self.config.ip, dst_ip, protocol, payload);
         self.send_frame(dst_mac, EtherType::Ipv4, packet.build());
     }
@@ -294,8 +306,17 @@ impl RemotePeer {
             self.state.lock().stats.parse_errors += 1;
             return;
         };
-        let key = FlowKey { remote_ip: packet.src, remote_port: seg.src_port, local_port: seg.dst_port };
-        let listening = self.config.tcp_services.iter().find(|(p, _)| *p == seg.dst_port).copied();
+        let key = FlowKey {
+            remote_ip: packet.src,
+            remote_port: seg.src_port,
+            local_port: seg.dst_port,
+        };
+        let listening = self
+            .config
+            .tcp_services
+            .iter()
+            .find(|(p, _)| *p == seg.dst_port)
+            .copied();
 
         let mut replies: Vec<TcpSegment> = Vec::new();
         {
@@ -308,7 +329,13 @@ impl RemotePeer {
             if seg.flags.syn && !seg.flags.ack {
                 let Some((_, echo)) = listening else {
                     // Not listening: reset.
-                    let mut rst = TcpSegment::control(seg.dst_port, seg.src_port, 0, seg.seq.wrapping_add(1), TcpFlags::RST);
+                    let mut rst = TcpSegment::control(
+                        seg.dst_port,
+                        seg.src_port,
+                        0,
+                        seg.seq.wrapping_add(1),
+                        TcpFlags::RST,
+                    );
                     rst.window = 0;
                     replies.push(rst);
                     drop(state);
@@ -327,8 +354,13 @@ impl RemotePeer {
                     echo_backlog: Vec::new(),
                 };
                 stats.tcp_accepted += 1;
-                let mut syn_ack =
-                    TcpSegment::control(seg.dst_port, seg.src_port, isn, conn.rcv_nxt, TcpFlags::SYN_ACK);
+                let mut syn_ack = TcpSegment::control(
+                    seg.dst_port,
+                    seg.src_port,
+                    isn,
+                    conn.rcv_nxt,
+                    TcpFlags::SYN_ACK,
+                );
                 syn_ack.window = self.config.tcp_window;
                 syn_ack.mss = Some((MTU - 40) as u16);
                 conns.insert(key, conn);
@@ -400,7 +432,8 @@ impl RemotePeer {
             } else if seg.flags.ack && !seg.flags.syn {
                 // Segment for a connection we do not know (e.g. the stack
                 // kept a connection across our restart) — reset it.
-                let rst = TcpSegment::control(seg.dst_port, seg.src_port, seg.ack, 0, TcpFlags::RST);
+                let rst =
+                    TcpSegment::control(seg.dst_port, seg.src_port, seg.ack, 0, TcpFlags::RST);
                 replies.push(rst);
             }
         }
@@ -474,7 +507,12 @@ mod tests {
     impl Harness {
         fn send_ipv4(&self, protocol: IpProtocol, payload: Vec<u8>) {
             let packet = Ipv4Packet::new(self.local_ip, self.peer.ip(), protocol, payload);
-            let frame = EthernetFrame::new(self.peer.mac(), self.local_mac, EtherType::Ipv4, packet.build());
+            let frame = EthernetFrame::new(
+                self.peer.mac(),
+                self.local_mac,
+                EtherType::Ipv4,
+                packet.build(),
+            );
             self.port.transmit(frame.build());
         }
 
@@ -490,7 +528,8 @@ mod tests {
     fn answers_arp_requests() {
         let h = setup();
         let req = ArpPacket::request(h.local_mac, h.local_ip, h.peer.ip());
-        let frame = EthernetFrame::new(MacAddr::BROADCAST, h.local_mac, EtherType::Arp, req.build());
+        let frame =
+            EthernetFrame::new(MacAddr::BROADCAST, h.local_mac, EtherType::Arp, req.build());
         h.port.transmit(frame.build());
         h.peer.poll_once();
         let reply_bytes = h.port.poll_receive().expect("arp reply expected");
@@ -545,9 +584,21 @@ mod tests {
         assert_eq!(syn_ack.ack, 101);
 
         // ACK + data.
-        let ack = TcpSegment::control(40000, IPERF_PORT, 101, syn_ack.seq.wrapping_add(1), TcpFlags::ACK);
+        let ack = TcpSegment::control(
+            40000,
+            IPERF_PORT,
+            101,
+            syn_ack.seq.wrapping_add(1),
+            TcpFlags::ACK,
+        );
         h.send_ipv4(IpProtocol::Tcp, ack.build(h.local_ip, h.peer.ip()));
-        let mut data = TcpSegment::control(40000, IPERF_PORT, 101, syn_ack.seq.wrapping_add(1), TcpFlags::PSH_ACK);
+        let mut data = TcpSegment::control(
+            40000,
+            IPERF_PORT,
+            101,
+            syn_ack.seq.wrapping_add(1),
+            TcpFlags::PSH_ACK,
+        );
         data.payload = vec![0xab; 1000];
         h.send_ipv4(IpProtocol::Tcp, data.build(h.local_ip, h.peer.ip()));
         h.peer.poll_once();
@@ -558,7 +609,13 @@ mod tests {
         assert_eq!(h.peer.established_connections(IPERF_PORT), 1);
 
         // Retransmission of the same data is not double counted.
-        let mut dup = TcpSegment::control(40000, IPERF_PORT, 101, syn_ack.seq.wrapping_add(1), TcpFlags::PSH_ACK);
+        let mut dup = TcpSegment::control(
+            40000,
+            IPERF_PORT,
+            101,
+            syn_ack.seq.wrapping_add(1),
+            TcpFlags::PSH_ACK,
+        );
         dup.payload = vec![0xab; 1000];
         h.send_ipv4(IpProtocol::Tcp, dup.build(h.local_ip, h.peer.ip()));
         h.peer.poll_once();
@@ -585,7 +642,13 @@ mod tests {
         h.send_ipv4(IpProtocol::Tcp, syn.build(h.local_ip, h.peer.ip()));
         h.peer.poll_once();
         let syn_ack = h.recv_tcp().unwrap();
-        let mut data = TcpSegment::control(50000, SSH_PORT, 1, syn_ack.seq.wrapping_add(1), TcpFlags::PSH_ACK);
+        let mut data = TcpSegment::control(
+            50000,
+            SSH_PORT,
+            1,
+            syn_ack.seq.wrapping_add(1),
+            TcpFlags::PSH_ACK,
+        );
         data.payload = b"uname -a\n".to_vec();
         h.send_ipv4(IpProtocol::Tcp, data.build(h.local_ip, h.peer.ip()));
         h.peer.poll_once();
@@ -633,7 +696,12 @@ mod tests {
         let local_ip = Ipv4Addr::new(10, 0, 0, 1);
         let ping = IcmpMessage::echo_request(1, 1, vec![]);
         let packet = Ipv4Packet::new(local_ip, peer.ip(), IpProtocol::Icmp, ping.build());
-        let frame = EthernetFrame::new(peer.mac(), MacAddr::from_index(1), EtherType::Ipv4, packet.build());
+        let frame = EthernetFrame::new(
+            peer.mac(),
+            MacAddr::from_index(1),
+            EtherType::Ipv4,
+            packet.build(),
+        );
         a.transmit(frame.build());
         let deadline = std::time::Instant::now() + Duration::from_secs(2);
         let mut got_reply = false;

@@ -23,7 +23,9 @@ impl PayloadPattern {
     pub fn byte_at(&self, offset: u64) -> u8 {
         // A small multiplicative hash gives a pattern that catches both
         // reordering and truncation.
-        let x = offset.wrapping_add(self.seed).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let x = offset
+            .wrapping_add(self.seed)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
         (x >> 56) as u8 ^ (x >> 24) as u8
     }
 

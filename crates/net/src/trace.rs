@@ -94,7 +94,9 @@ impl TraceCapture {
     pub fn bitrate_series(&self, bucket: Duration) -> Vec<BitratePoint> {
         assert!(!bucket.is_zero(), "bucket duration must be non-zero");
         let records = self.records();
-        let Some(last) = records.last() else { return Vec::new() };
+        let Some(last) = records.last() else {
+            return Vec::new();
+        };
         let bucket_s = bucket.as_secs_f64();
         let buckets = (last.at.as_secs_f64() / bucket_s).floor() as usize + 1;
         let mut bytes_per_bucket = vec![0u64; buckets];
@@ -139,7 +141,10 @@ mod tests {
         assert!(trace.is_empty());
         assert!(trace.bitrate_series(Duration::from_secs(1)).is_empty());
         assert_eq!(trace.total_bytes(), 0);
-        assert_eq!(trace.average_mbps(Duration::ZERO, Duration::from_secs(1)), 0.0);
+        assert_eq!(
+            trace.average_mbps(Duration::ZERO, Duration::from_secs(1)),
+            0.0
+        );
     }
 
     #[test]

@@ -90,21 +90,36 @@ impl ArpPacket {
     /// Ethernet/IPv4.
     pub fn parse(data: &[u8]) -> Result<Self, WireError> {
         if data.len() < ARP_LEN {
-            return Err(WireError::Truncated { needed: ARP_LEN, got: data.len() });
+            return Err(WireError::Truncated {
+                needed: ARP_LEN,
+                got: data.len(),
+            });
         }
         if data[4] != 6 || data[5] != 4 {
-            return Err(WireError::BadLength { field: "arp hardware/protocol size" });
+            return Err(WireError::BadLength {
+                field: "arp hardware/protocol size",
+            });
         }
         let operation = match u16::from_be_bytes([data[6], data[7]]) {
             1 => ArpOperation::Request,
             2 => ArpOperation::Reply,
-            _ => return Err(WireError::BadLength { field: "arp operation" }),
+            _ => {
+                return Err(WireError::BadLength {
+                    field: "arp operation",
+                })
+            }
         };
         let sender_mac = MacAddr([data[8], data[9], data[10], data[11], data[12], data[13]]);
         let sender_ip = Ipv4Addr::new(data[14], data[15], data[16], data[17]);
         let target_mac = MacAddr([data[18], data[19], data[20], data[21], data[22], data[23]]);
         let target_ip = Ipv4Addr::new(data[24], data[25], data[26], data[27]);
-        Ok(ArpPacket { operation, sender_mac, sender_ip, target_mac, target_ip })
+        Ok(ArpPacket {
+            operation,
+            sender_mac,
+            sender_ip,
+            target_mac,
+            target_ip,
+        })
     }
 }
 
@@ -122,7 +137,8 @@ mod tests {
         let parsed = ArpPacket::parse(&req.build()).unwrap();
         assert_eq!(parsed, req);
 
-        let reply = ArpPacket::reply_to(&parsed, MacAddr::from_index(2), Ipv4Addr::new(10, 0, 0, 2));
+        let reply =
+            ArpPacket::reply_to(&parsed, MacAddr::from_index(2), Ipv4Addr::new(10, 0, 0, 2));
         assert_eq!(reply.operation, ArpOperation::Reply);
         assert_eq!(reply.target_ip, Ipv4Addr::new(10, 0, 0, 1));
         assert_eq!(reply.target_mac, MacAddr::from_index(1));
@@ -132,7 +148,10 @@ mod tests {
 
     #[test]
     fn truncated_and_malformed_rejected() {
-        assert!(matches!(ArpPacket::parse(&[0u8; 10]), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            ArpPacket::parse(&[0u8; 10]),
+            Err(WireError::Truncated { .. })
+        ));
         let mut bytes = ArpPacket::request(
             MacAddr::from_index(1),
             Ipv4Addr::new(1, 1, 1, 1),
@@ -140,6 +159,9 @@ mod tests {
         )
         .build();
         bytes[4] = 8; // bogus hardware size
-        assert!(matches!(ArpPacket::parse(&bytes), Err(WireError::BadLength { .. })));
+        assert!(matches!(
+            ArpPacket::parse(&bytes),
+            Err(WireError::BadLength { .. })
+        ));
     }
 }

@@ -93,16 +93,36 @@ mod tests {
     #[test]
     fn pseudo_header_differs_by_address() {
         let seg = [0u8; 20];
-        let a = pseudo_header_checksum(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 6, &seg);
-        let b = pseudo_header_checksum(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 3), 6, &seg);
+        let a = pseudo_header_checksum(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            6,
+            &seg,
+        );
+        let b = pseudo_header_checksum(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 3),
+            6,
+            &seg,
+        );
         assert_ne!(a, b);
     }
 
     #[test]
     fn pseudo_header_differs_by_protocol() {
         let seg = [1u8; 8];
-        let tcp = pseudo_header_checksum(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 6, &seg);
-        let udp = pseudo_header_checksum(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 17, &seg);
+        let tcp = pseudo_header_checksum(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            6,
+            &seg,
+        );
+        let udp = pseudo_header_checksum(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            17,
+            &seg,
+        );
         assert_ne!(tcp, udp);
     }
 }

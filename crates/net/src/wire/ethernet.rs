@@ -54,7 +54,12 @@ pub struct EthernetFrame {
 impl EthernetFrame {
     /// Creates a frame.
     pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: Vec<u8>) -> Self {
-        EthernetFrame { dst, src, ethertype, payload }
+        EthernetFrame {
+            dst,
+            src,
+            ethertype,
+            payload,
+        }
     }
 
     /// Serialises the frame into wire bytes.
@@ -75,12 +80,20 @@ impl EthernetFrame {
     /// [`WireError::UnsupportedEtherType`] for unknown payload protocols.
     pub fn parse(data: &[u8]) -> Result<Self, WireError> {
         if data.len() < ETHERNET_HEADER_LEN {
-            return Err(WireError::Truncated { needed: ETHERNET_HEADER_LEN, got: data.len() });
+            return Err(WireError::Truncated {
+                needed: ETHERNET_HEADER_LEN,
+                got: data.len(),
+            });
         }
         let dst = MacAddr([data[0], data[1], data[2], data[3], data[4], data[5]]);
         let src = MacAddr([data[6], data[7], data[8], data[9], data[10], data[11]]);
         let ethertype = EtherType::try_from_u16(u16::from_be_bytes([data[12], data[13]]))?;
-        Ok(EthernetFrame { dst, src, ethertype, payload: data[ETHERNET_HEADER_LEN..].to_vec() })
+        Ok(EthernetFrame {
+            dst,
+            src,
+            ethertype,
+            payload: data[ETHERNET_HEADER_LEN..].to_vec(),
+        })
     }
 
     /// Total length of the frame on the wire.
@@ -111,7 +124,10 @@ mod tests {
     fn truncated_frame_rejected() {
         assert!(matches!(
             EthernetFrame::parse(&[0u8; 10]),
-            Err(WireError::Truncated { needed: 14, got: 10 })
+            Err(WireError::Truncated {
+                needed: 14,
+                got: 10
+            })
         ));
     }
 
@@ -126,7 +142,10 @@ mod tests {
         .build();
         bytes[12] = 0x86;
         bytes[13] = 0xdd; // IPv6
-        assert_eq!(EthernetFrame::parse(&bytes), Err(WireError::UnsupportedEtherType(0x86dd)));
+        assert_eq!(
+            EthernetFrame::parse(&bytes),
+            Err(WireError::UnsupportedEtherType(0x86dd))
+        );
     }
 
     #[test]

@@ -44,7 +44,12 @@ pub struct IcmpMessage {
 impl IcmpMessage {
     /// Creates an echo request.
     pub fn echo_request(identifier: u16, sequence: u16, payload: Vec<u8>) -> Self {
-        IcmpMessage { icmp_type: IcmpType::EchoRequest, identifier, sequence, payload }
+        IcmpMessage {
+            icmp_type: IcmpType::EchoRequest,
+            identifier,
+            sequence,
+            payload,
+        }
     }
 
     /// Creates the reply answering `request`.
@@ -79,7 +84,10 @@ impl IcmpMessage {
     /// [`WireError::BadLength`] (for non-echo types).
     pub fn parse(data: &[u8]) -> Result<Self, WireError> {
         if data.len() < ICMP_HEADER_LEN {
-            return Err(WireError::Truncated { needed: ICMP_HEADER_LEN, got: data.len() });
+            return Err(WireError::Truncated {
+                needed: ICMP_HEADER_LEN,
+                got: data.len(),
+            });
         }
         if internet_checksum(data) != 0 {
             return Err(WireError::BadChecksum { protocol: "icmp" });
@@ -118,11 +126,17 @@ mod tests {
     fn corruption_detected() {
         let mut bytes = IcmpMessage::echo_request(1, 1, vec![0u8; 16]).build();
         bytes[9] ^= 0x40;
-        assert_eq!(IcmpMessage::parse(&bytes), Err(WireError::BadChecksum { protocol: "icmp" }));
+        assert_eq!(
+            IcmpMessage::parse(&bytes),
+            Err(WireError::BadChecksum { protocol: "icmp" })
+        );
     }
 
     #[test]
     fn short_message_rejected() {
-        assert!(matches!(IcmpMessage::parse(&[8, 0, 0]), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            IcmpMessage::parse(&[8, 0, 0]),
+            Err(WireError::Truncated { .. })
+        ));
     }
 }

@@ -66,7 +66,14 @@ pub struct Ipv4Packet {
 impl Ipv4Packet {
     /// Creates a packet with the default TTL of 64.
     pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: IpProtocol, payload: Vec<u8>) -> Self {
-        Ipv4Packet { src, dst, protocol, ttl: 64, identification: 0, payload }
+        Ipv4Packet {
+            src,
+            dst,
+            protocol,
+            ttl: 64,
+            identification: 0,
+            payload,
+        }
     }
 
     /// Serialises the packet, computing the header checksum.
@@ -98,7 +105,10 @@ impl Ipv4Packet {
     /// [`WireError::UnsupportedProtocol`] as appropriate.
     pub fn parse(data: &[u8]) -> Result<Self, WireError> {
         if data.len() < IPV4_HEADER_LEN {
-            return Err(WireError::Truncated { needed: IPV4_HEADER_LEN, got: data.len() });
+            return Err(WireError::Truncated {
+                needed: IPV4_HEADER_LEN,
+                got: data.len(),
+            });
         }
         let version = data[0] >> 4;
         if version != 4 {
@@ -113,7 +123,9 @@ impl Ipv4Packet {
         }
         let total_len = u16::from_be_bytes([data[2], data[3]]) as usize;
         if total_len < ihl || data.len() < total_len {
-            return Err(WireError::BadLength { field: "ipv4 total length" });
+            return Err(WireError::BadLength {
+                field: "ipv4 total length",
+            });
         }
         let protocol = IpProtocol::try_from_u8(data[9])?;
         Ok(Ipv4Packet {
@@ -157,14 +169,20 @@ mod tests {
     fn corrupted_header_fails_checksum() {
         let mut bytes = sample().build();
         bytes[16] ^= 0xff; // flip destination address bits
-        assert_eq!(Ipv4Packet::parse(&bytes), Err(WireError::BadChecksum { protocol: "ipv4" }));
+        assert_eq!(
+            Ipv4Packet::parse(&bytes),
+            Err(WireError::BadChecksum { protocol: "ipv4" })
+        );
     }
 
     #[test]
     fn ipv6_rejected() {
         let mut bytes = sample().build();
         bytes[0] = 0x65;
-        assert_eq!(Ipv4Packet::parse(&bytes), Err(WireError::UnsupportedIpVersion(6)));
+        assert_eq!(
+            Ipv4Packet::parse(&bytes),
+            Err(WireError::UnsupportedIpVersion(6))
+        );
     }
 
     #[test]

@@ -141,7 +141,10 @@ mod tests {
 
     #[test]
     fn wire_error_messages() {
-        let e = WireError::Truncated { needed: 20, got: 10 };
+        let e = WireError::Truncated {
+            needed: 20,
+            got: 10,
+        };
         assert!(format!("{e}").contains("truncated"));
         let e = WireError::BadChecksum { protocol: "tcp" };
         assert!(format!("{e}").contains("tcp"));

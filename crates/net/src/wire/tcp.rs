@@ -25,17 +25,53 @@ pub struct TcpFlags {
 
 impl TcpFlags {
     /// A pure SYN.
-    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, rst: false, psh: false };
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// SYN+ACK.
-    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false, psh: false };
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// A pure ACK.
-    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false, psh: false };
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// FIN+ACK.
-    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: true, rst: false, psh: false };
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: true,
+        rst: false,
+        psh: false,
+    };
     /// A reset.
-    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, fin: false, rst: true, psh: false };
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+        psh: false,
+    };
     /// ACK carrying data to be pushed.
-    pub const PSH_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false, psh: true };
+    pub const PSH_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: true,
+    };
 
     fn as_u8(self) -> u8 {
         (self.fin as u8)
@@ -80,7 +116,16 @@ pub struct TcpSegment {
 impl TcpSegment {
     /// Creates a segment with an empty payload.
     pub fn control(src_port: u16, dst_port: u16, seq: u32, ack: u32, flags: TcpFlags) -> Self {
-        TcpSegment { src_port, dst_port, seq, ack, flags, window: 65535, mss: None, payload: Vec::new() }
+        TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window: 65535,
+            mss: None,
+            payload: Vec::new(),
+        }
     }
 
     /// Serialises the segment, computing the checksum over the pseudo
@@ -117,11 +162,16 @@ impl TcpSegment {
     /// [`WireError::BadChecksum`].
     pub fn parse(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<Self, WireError> {
         if data.len() < TCP_HEADER_LEN {
-            return Err(WireError::Truncated { needed: TCP_HEADER_LEN, got: data.len() });
+            return Err(WireError::Truncated {
+                needed: TCP_HEADER_LEN,
+                got: data.len(),
+            });
         }
         let header_len = ((data[12] >> 4) as usize) * 4;
         if header_len < TCP_HEADER_LEN || data.len() < header_len {
-            return Err(WireError::BadLength { field: "tcp data offset" });
+            return Err(WireError::BadLength {
+                field: "tcp data offset",
+            });
         }
         if pseudo_header_checksum(src, dst, IpProtocol::Tcp.as_u8(), data) != 0 {
             return Err(WireError::BadChecksum { protocol: "tcp" });
@@ -131,8 +181,8 @@ impl TcpSegment {
         let mut idx = TCP_HEADER_LEN;
         while idx < header_len {
             match data[idx] {
-                0 => break,          // end of options
-                1 => idx += 1,       // NOP
+                0 => break,    // end of options
+                1 => idx += 1, // NOP
                 2 => {
                     if idx + 4 <= header_len {
                         mss = Some(u16::from_be_bytes([data[idx + 2], data[idx + 3]]));
@@ -209,7 +259,10 @@ mod tests {
         seg.payload = vec![7u8; 100];
         let mut bytes = seg.build(src, dst);
         bytes[40] ^= 0x01;
-        assert_eq!(TcpSegment::parse(&bytes, src, dst), Err(WireError::BadChecksum { protocol: "tcp" }));
+        assert_eq!(
+            TcpSegment::parse(&bytes, src, dst),
+            Err(WireError::BadChecksum { protocol: "tcp" })
+        );
     }
 
     #[test]

@@ -22,7 +22,11 @@ pub struct UdpDatagram {
 impl UdpDatagram {
     /// Creates a datagram.
     pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> Self {
-        UdpDatagram { src_port, dst_port, payload }
+        UdpDatagram {
+            src_port,
+            dst_port,
+            payload,
+        }
     }
 
     /// Serialises the datagram, computing the checksum over the pseudo
@@ -51,11 +55,16 @@ impl UdpDatagram {
     /// [`WireError::BadChecksum`].
     pub fn parse(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<Self, WireError> {
         if data.len() < UDP_HEADER_LEN {
-            return Err(WireError::Truncated { needed: UDP_HEADER_LEN, got: data.len() });
+            return Err(WireError::Truncated {
+                needed: UDP_HEADER_LEN,
+                got: data.len(),
+            });
         }
         let len = u16::from_be_bytes([data[4], data[5]]) as usize;
         if len < UDP_HEADER_LEN || data.len() < len {
-            return Err(WireError::BadLength { field: "udp length" });
+            return Err(WireError::BadLength {
+                field: "udp length",
+            });
         }
         let declared_checksum = u16::from_be_bytes([data[6], data[7]]);
         if declared_checksum != 0
@@ -108,7 +117,10 @@ mod tests {
         let (src, dst) = addrs();
         let mut bytes = UdpDatagram::new(1, 2, vec![0u8; 64]).build(src, dst);
         bytes[20] ^= 1;
-        assert_eq!(UdpDatagram::parse(&bytes, src, dst), Err(WireError::BadChecksum { protocol: "udp" }));
+        assert_eq!(
+            UdpDatagram::parse(&bytes, src, dst),
+            Err(WireError::BadChecksum { protocol: "udp" })
+        );
     }
 
     #[test]

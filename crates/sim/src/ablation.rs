@@ -27,10 +27,30 @@ fn reference_stack(ipc: IpcKind, segment: usize, core_share: f64, copied: usize)
         copied_bytes: copied,
         software_checksum: copied > 0,
         stages: vec![
-            Stage { name: "tcp".into(), work_per_segment: 6_300, ipc_hops: 2, core_share },
-            Stage { name: "ip".into(), work_per_segment: 3_000, ipc_hops: 3, core_share },
-            Stage { name: "pf".into(), work_per_segment: 1_100, ipc_hops: 1, core_share },
-            Stage { name: "driver".into(), work_per_segment: 900, ipc_hops: 1, core_share },
+            Stage {
+                name: "tcp".into(),
+                work_per_segment: 6_300,
+                ipc_hops: 2,
+                core_share,
+            },
+            Stage {
+                name: "ip".into(),
+                work_per_segment: 3_000,
+                ipc_hops: 3,
+                core_share,
+            },
+            Stage {
+                name: "pf".into(),
+                work_per_segment: 1_100,
+                ipc_hops: 1,
+                core_share,
+            },
+            Stage {
+                name: "driver".into(),
+                work_per_segment: 900,
+                ipc_hops: 1,
+                core_share,
+            },
         ],
         link_gbps: 10.0,
         restartable: true,
@@ -47,7 +67,10 @@ pub fn ipc_cost_sweep(model: &CostModel) -> Vec<AblationPoint> {
             let mut m = *model;
             m.channel_enqueue = cost;
             let result = reference_stack(IpcKind::Channels, 1460, 1.0, 0).evaluate(&m);
-            AblationPoint { parameter: cost as f64, throughput_mbps: result.throughput_mbps }
+            AblationPoint {
+                parameter: cost as f64,
+                throughput_mbps: result.throughput_mbps,
+            }
         })
         .collect()
 }
@@ -58,7 +81,10 @@ pub fn tso_segment_sweep(model: &CostModel) -> Vec<AblationPoint> {
         .iter()
         .map(|&bytes| {
             let result = reference_stack(IpcKind::Channels, bytes, 1.0, 0).evaluate(model);
-            AblationPoint { parameter: bytes as f64, throughput_mbps: result.throughput_mbps }
+            AblationPoint {
+                parameter: bytes as f64,
+                throughput_mbps: result.throughput_mbps,
+            }
         })
         .collect()
 }
@@ -70,7 +96,10 @@ pub fn core_share_sweep(model: &CostModel) -> Vec<AblationPoint> {
         .iter()
         .map(|&share| {
             let result = reference_stack(IpcKind::Channels, 1460, share, 0).evaluate(model);
-            AblationPoint { parameter: share, throughput_mbps: result.throughput_mbps }
+            AblationPoint {
+                parameter: share,
+                throughput_mbps: result.throughput_mbps,
+            }
         })
         .collect()
 }
@@ -82,7 +111,10 @@ pub fn copy_sweep(model: &CostModel) -> Vec<AblationPoint> {
         .map(|copies| {
             let result =
                 reference_stack(IpcKind::Channels, 1460, 1.0, copies * 1460).evaluate(model);
-            AblationPoint { parameter: copies as f64, throughput_mbps: result.throughput_mbps }
+            AblationPoint {
+                parameter: copies as f64,
+                throughput_mbps: result.throughput_mbps,
+            }
         })
         .collect()
 }
@@ -110,7 +142,10 @@ pub fn ipc_kind_comparison(model: &CostModel) -> Vec<AblationPoint> {
 pub fn render(title: &str, parameter_label: &str, points: &[AblationPoint]) -> String {
     let mut out = format!("{title}\n{:<16} {:>14}\n", parameter_label, "Mbps");
     for point in points {
-        out.push_str(&format!("{:<16} {:>14.0}\n", point.parameter, point.throughput_mbps));
+        out.push_str(&format!(
+            "{:<16} {:>14.0}\n",
+            point.parameter, point.throughput_mbps
+        ));
     }
     out
 }

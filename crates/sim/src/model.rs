@@ -132,7 +132,12 @@ mod tests {
     use super::*;
 
     fn stage(name: &str, work: u64, hops: u32, share: f64) -> Stage {
-        Stage { name: name.to_string(), work_per_segment: work, ipc_hops: hops, core_share: share }
+        Stage {
+            name: name.to_string(),
+            work_per_segment: work,
+            ipc_hops: hops,
+            core_share: share,
+        }
     }
 
     fn simple(name: &str, ipc: IpcKind, segment: usize, share: f64) -> PipelineConfig {

@@ -26,13 +26,24 @@ pub const PAPER_MBPS: [(&str, f64); 7] = [
     ("NewtOS, split stack, dedicated cores", 3200.0),
     ("NewtOS, split stack, dedicated cores + SYSCALL", 3600.0),
     ("NewtOS, 1 server stack, dedicated core + SYSCALL", 3900.0),
-    ("NewtOS, 1 server stack, dedicated core + SYSCALL + TSO", 5000.0),
-    ("NewtOS, split stack, dedicated cores + SYSCALL + TSO", 5000.0),
+    (
+        "NewtOS, 1 server stack, dedicated core + SYSCALL + TSO",
+        5000.0,
+    ),
+    (
+        "NewtOS, split stack, dedicated cores + SYSCALL + TSO",
+        5000.0,
+    ),
     ("Linux, 10Gbe interface", 8400.0),
 ];
 
 fn stage(name: &str, work: u64, hops: u32, share: f64) -> Stage {
-    Stage { name: name.to_string(), work_per_segment: work, ipc_hops: hops, core_share: share }
+    Stage {
+        name: name.to_string(),
+        work_per_segment: work,
+        ipc_hops: hops,
+        core_share: share,
+    }
 }
 
 /// Protocol work per MTU-sized segment in the lwIP-derived servers (cycles).
@@ -210,7 +221,10 @@ pub fn run(model: &CostModel) -> Vec<Table2Row> {
 pub fn render(rows: &[Table2Row]) -> String {
     let mut out = String::new();
     out.push_str("Table II — peak performance of outgoing TCP in various setups\n");
-    out.push_str(&format!("{:<58} {:>12} {:>12}  {}\n", "configuration", "paper", "model", "bottleneck"));
+    out.push_str(&format!(
+        "{:<58} {:>12} {:>12}  {}\n",
+        "configuration", "paper", "model", "bottleneck"
+    ));
     for row in rows {
         let paper = if row.paper_mbps >= 1000.0 {
             format!("{:.1} Gbps", row.paper_mbps / 1000.0)

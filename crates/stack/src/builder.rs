@@ -288,7 +288,10 @@ impl NewtStack {
                 mac: MacAddr::from_index(200 + i as u8),
                 ip: StackConfig::peer_addr(i),
                 tcp_window: u16::MAX,
-                tcp_services: vec![(newt_net::peer::IPERF_PORT, false), (newt_net::peer::SSH_PORT, true)],
+                tcp_services: vec![
+                    (newt_net::peer::IPERF_PORT, false),
+                    (newt_net::peer::SSH_PORT, true),
+                ],
             };
             let peer = Arc::new(RemotePeer::new(peer_config, clock.clone(), peer_port));
             peer_handles.push(Arc::clone(&peer).spawn());
@@ -301,7 +304,12 @@ impl NewtStack {
         // --- pools ------------------------------------------------------------
         let rx_pool = Pool::new("ip.rx", endpoints::IP, 2048, 4096);
         let header_pool = Pool::new("ip.hdr", endpoints::IP, 2048, 4096);
-        let tcp_tx_pool = Pool::new("tcp.tx", endpoints::TCP, config.tcp.tso_segment.max(2048), 2048);
+        let tcp_tx_pool = Pool::new(
+            "tcp.tx",
+            endpoints::TCP,
+            config.tcp.tso_segment.max(2048),
+            2048,
+        );
         let udp_tx_pool = Pool::new("udp.tx", endpoints::UDP, 4096, 512);
         for pool in [&rx_pool, &header_pool, &tcp_tx_pool, &udp_tx_pool] {
             pools.register(pool);
@@ -421,8 +429,8 @@ impl NewtStack {
             let ip_to_udp = ip_to_udp.clone();
             let ip_to_pf = ip_to_pf.clone();
             let pf_to_ip = pf_to_ip.clone();
-            let ip_to_drv_tx: Vec<_> = ip_to_drv.iter().map(|c| c.tx()).collect();
-            let drv_to_ip_rx: Vec<_> = drv_to_ip.iter().map(|c| c.rx()).collect();
+            let ip_to_drv = ip_to_drv.clone();
+            let drv_to_ip = drv_to_ip.clone();
             let crash_board = crash_board.clone();
             move |rt: &ServiceRuntime| {
                 IpServer::new(
@@ -438,8 +446,8 @@ impl NewtStack {
                     ip_to_udp.tx(),
                     ip_to_pf.tx(),
                     pf_to_ip.rx(),
-                    ip_to_drv_tx.clone(),
-                    drv_to_ip_rx.clone(),
+                    ip_to_drv.iter().map(|c| c.tx()).collect(),
+                    drv_to_ip.iter().map(|c| c.rx()).collect(),
                     crash_board.clone(),
                 )
             }
@@ -489,8 +497,8 @@ impl NewtStack {
             let nics = nics.clone();
             let rx_pool = rx_pool.clone();
             let pools = pools.clone();
-            let ip_to_drv_all: Vec<_> = ip_to_drv.iter().map(|c| c.rx()).collect();
-            let drv_to_ip_all: Vec<_> = drv_to_ip.iter().map(|c| c.tx()).collect();
+            let ip_to_drv = ip_to_drv.clone();
+            let drv_to_ip = drv_to_ip.clone();
             let crash_board = crash_board.clone();
             move |index: usize| {
                 DriverServer::new(
@@ -498,16 +506,15 @@ impl NewtStack {
                     Arc::clone(&nics[index]),
                     rx_pool.clone(),
                     pools.clone(),
-                    ip_to_drv_all[index].clone(),
-                    drv_to_ip_all[index].clone(),
+                    ip_to_drv[index].rx(),
+                    drv_to_ip[index].tx(),
                     crash_board.clone(),
                 )
             }
         };
 
-        let service_config = |name: &str| {
-            ServiceConfig::new(name).heartbeat_timeout(config.heartbeat_timeout)
-        };
+        let service_config =
+            |name: &str| ServiceConfig::new(name).heartbeat_timeout(config.heartbeat_timeout);
 
         let with_pf = config.with_packet_filter;
         match config.topology {
@@ -572,14 +579,18 @@ impl NewtStack {
                 {
                     let make_syscall = make_syscall.clone();
                     let telemetry = Arc::clone(&telemetry);
-                    rs.register_with_endpoint(service_config("syscall"), endpoints::SYSCALL, move |rt| {
-                        let mut server = make_syscall(&rt);
-                        run_loop(&rt, || {
-                            let work = server.poll();
-                            telemetry.lock().syscall = server.stats();
-                            work
-                        });
-                    });
+                    rs.register_with_endpoint(
+                        service_config("syscall"),
+                        endpoints::SYSCALL,
+                        move |rt| {
+                            let mut server = make_syscall(&rt);
+                            run_loop(&rt, || {
+                                let work = server.poll();
+                                telemetry.lock().syscall = server.stats();
+                                work
+                            });
+                        },
+                    );
                     component_services.insert(Component::Syscall, endpoints::SYSCALL);
                 }
                 // Drivers.
@@ -587,16 +598,20 @@ impl NewtStack {
                     let make_driver = make_driver.clone();
                     let telemetry = Arc::clone(&telemetry);
                     let name = Component::Driver(i).name();
-                    rs.register_with_endpoint(service_config(&name), endpoints::driver(i), move |rt| {
-                        let mut server = make_driver(i);
-                        run_loop(&rt, || {
-                            let work = server.poll();
-                            if i == 0 {
-                                telemetry.lock().driver0 = server.stats();
-                            }
-                            work
-                        });
-                    });
+                    rs.register_with_endpoint(
+                        service_config(&name),
+                        endpoints::driver(i),
+                        move |rt| {
+                            let mut server = make_driver(i);
+                            run_loop(&rt, || {
+                                let work = server.poll();
+                                if i == 0 {
+                                    telemetry.lock().driver0 = server.stats();
+                                }
+                                work
+                            });
+                        },
+                    );
                     component_services.insert(Component::Driver(i), endpoints::driver(i));
                 }
             }
@@ -659,13 +674,19 @@ impl NewtStack {
                                 // multiserver costs kernel traps and context
                                 // switches; spin for the equivalent time.
                                 let cycles = work as u64
-                                    * (2 * cost_model.trap_expected() as u64 + cost_model.context_switch);
+                                    * (2 * cost_model.trap_expected() as u64
+                                        + cost_model.context_switch);
                                 spin_for(cost_model.cycles_to_duration(cycles));
                             }
                             work
                         });
                     });
-                    for component in [Component::Tcp, Component::Udp, Component::Ip, Component::PacketFilter] {
+                    for component in [
+                        Component::Tcp,
+                        Component::Udp,
+                        Component::Ip,
+                        Component::PacketFilter,
+                    ] {
                         component_services.insert(component, endpoints::INET);
                     }
                     if synchronous {
@@ -680,23 +701,31 @@ impl NewtStack {
                     {
                         let make_syscall = make_syscall.clone();
                         let telemetry = Arc::clone(&telemetry);
-                        rs.register_with_endpoint(service_config("syscall"), endpoints::SYSCALL, move |rt| {
-                            let mut server = make_syscall(&rt);
-                            run_loop(&rt, || {
-                                let work = server.poll();
-                                telemetry.lock().syscall = server.stats();
-                                work
-                            });
-                        });
+                        rs.register_with_endpoint(
+                            service_config("syscall"),
+                            endpoints::SYSCALL,
+                            move |rt| {
+                                let mut server = make_syscall(&rt);
+                                run_loop(&rt, || {
+                                    let work = server.poll();
+                                    telemetry.lock().syscall = server.stats();
+                                    work
+                                });
+                            },
+                        );
                         component_services.insert(Component::Syscall, endpoints::SYSCALL);
                     }
                     for i in 0..config.nics {
                         let make_driver = make_driver.clone();
                         let name = Component::Driver(i).name();
-                        rs.register_with_endpoint(service_config(&name), endpoints::driver(i), move |rt| {
-                            let mut server = make_driver(i);
-                            run_loop(&rt, || server.poll());
-                        });
+                        rs.register_with_endpoint(
+                            service_config(&name),
+                            endpoints::driver(i),
+                            move |rt| {
+                                let mut server = make_driver(i);
+                                run_loop(&rt, || server.poll());
+                            },
+                        );
                         component_services.insert(Component::Driver(i), endpoints::driver(i));
                     }
                 }
@@ -726,7 +755,9 @@ impl NewtStack {
         // created right after `start` never race the boot.
         let services: Vec<Endpoint> = stack.component_services.values().copied().collect();
         for service in services {
-            stack.rs.wait_until_running(service, Duration::from_secs(10));
+            stack
+                .rs
+                .wait_until_running(service, Duration::from_secs(10));
         }
         stack
     }
@@ -759,7 +790,11 @@ impl NewtStack {
     /// Creates a client handle for a new application process.
     pub fn client(&self) -> NetClient {
         let index = self.next_app.fetch_add(1, Ordering::Relaxed);
-        NetClient::new(self.kernel.clone(), self.registry.clone(), endpoints::application(index))
+        NetClient::new(
+            self.kernel.clone(),
+            self.registry.clone(),
+            endpoints::application(index),
+        )
     }
 
     /// Returns the peer host behind interface `i`.
@@ -815,7 +850,9 @@ impl NewtStack {
 
     /// Returns the status of the service hosting `component`.
     pub fn component_status(&self, component: Component) -> Option<ServiceStatus> {
-        self.component_services.get(&component).and_then(|service| self.rs.status(*service))
+        self.component_services
+            .get(&component)
+            .and_then(|service| self.rs.status(*service))
     }
 
     /// Waits (in real time) until the component's service reports running.
@@ -907,7 +944,14 @@ mod tests {
     #[test]
     fn stack_starts_and_components_report_running() {
         let stack = NewtStack::start(quick_config());
-        for component in [Component::Tcp, Component::Udp, Component::Ip, Component::PacketFilter, Component::Syscall, Component::Driver(0)] {
+        for component in [
+            Component::Tcp,
+            Component::Udp,
+            Component::Ip,
+            Component::PacketFilter,
+            Component::Syscall,
+            Component::Driver(0),
+        ] {
             assert!(
                 stack.wait_component_running(component, Duration::from_secs(5)),
                 "{component} did not come up"
@@ -924,7 +968,11 @@ mod tests {
         let socket = client.udp_socket().expect("udp socket");
         socket.bind(0).expect("bind");
         socket
-            .send_to(b"www.example.org", StackConfig::peer_addr(0), newt_net::peer::DNS_PORT)
+            .send_to(
+                b"www.example.org",
+                StackConfig::peer_addr(0),
+                newt_net::peer::DNS_PORT,
+            )
             .expect("send");
         let (payload, from, port) = socket.recv_from().expect("dns answer");
         assert_eq!(from, StackConfig::peer_addr(0));
@@ -938,7 +986,9 @@ mod tests {
         let stack = NewtStack::start(quick_config());
         let client = stack.client();
         let socket = client.tcp_socket().expect("tcp socket");
-        socket.connect(StackConfig::peer_addr(0), newt_net::peer::IPERF_PORT).expect("connect");
+        socket
+            .connect(StackConfig::peer_addr(0), newt_net::peer::IPERF_PORT)
+            .expect("connect");
         let data = vec![0xabu8; 200 * 1024];
         socket.send_all(&data).expect("send");
         // Wait until the peer counted everything.
@@ -965,7 +1015,9 @@ mod tests {
         let stack = NewtStack::start(config);
         let client = stack.client();
         let socket = client.tcp_socket().expect("tcp socket");
-        socket.connect(StackConfig::peer_addr(0), newt_net::peer::IPERF_PORT).expect("connect");
+        socket
+            .connect(StackConfig::peer_addr(0), newt_net::peer::IPERF_PORT)
+            .expect("connect");
         let data = vec![0x55u8; 64 * 1024];
         socket.send_all(&data).expect("send");
         let deadline = std::time::Instant::now() + Duration::from_secs(20);
@@ -974,7 +1026,10 @@ mod tests {
         {
             std::thread::sleep(Duration::from_millis(10));
         }
-        assert_eq!(stack.peer(0).bytes_received_on(newt_net::peer::IPERF_PORT), data.len() as u64);
+        assert_eq!(
+            stack.peer(0).bytes_received_on(newt_net::peer::IPERF_PORT),
+            data.len() as u64
+        );
         stack.shutdown();
     }
 
@@ -983,8 +1038,12 @@ mod tests {
         let stack = NewtStack::start(quick_config());
         let client = stack.client();
         let socket = client.tcp_socket().expect("tcp socket");
-        socket.connect(StackConfig::peer_addr(0), newt_net::peer::IPERF_PORT).expect("connect");
-        socket.send_all(&vec![1u8; 32 * 1024]).expect("send before crash");
+        socket
+            .connect(StackConfig::peer_addr(0), newt_net::peer::IPERF_PORT)
+            .expect("connect");
+        socket
+            .send_all(&vec![1u8; 32 * 1024])
+            .expect("send before crash");
 
         assert!(stack.inject_fault(Component::PacketFilter, FaultAction::Crash));
         assert!(stack.wait_component_running(Component::PacketFilter, Duration::from_secs(10)));
@@ -992,14 +1051,19 @@ mod tests {
         std::thread::sleep(Duration::from_millis(100));
 
         // The same connection keeps working after the filter restart.
-        socket.send_all(&vec![2u8; 32 * 1024]).expect("send after crash");
+        socket
+            .send_all(&vec![2u8; 32 * 1024])
+            .expect("send after crash");
         let deadline = std::time::Instant::now() + Duration::from_secs(20);
         while stack.peer(0).bytes_received_on(newt_net::peer::IPERF_PORT) < 64 * 1024
             && std::time::Instant::now() < deadline
         {
             std::thread::sleep(Duration::from_millis(10));
         }
-        assert_eq!(stack.peer(0).bytes_received_on(newt_net::peer::IPERF_PORT), 64 * 1024);
+        assert_eq!(
+            stack.peer(0).bytes_received_on(newt_net::peer::IPERF_PORT),
+            64 * 1024
+        );
         assert!(stack.restart_count(Component::PacketFilter) >= 1);
         assert!(!stack.crash_log().is_empty());
         stack.shutdown();
@@ -1012,7 +1076,11 @@ mod tests {
         let socket = client.udp_socket().expect("udp socket");
         socket.bind(0).expect("bind");
         socket
-            .send_to(b"before", StackConfig::peer_addr(0), newt_net::peer::DNS_PORT)
+            .send_to(
+                b"before",
+                StackConfig::peer_addr(0),
+                newt_net::peer::DNS_PORT,
+            )
             .expect("send before");
         let _ = socket.recv_from().expect("answer before crash");
 
@@ -1023,7 +1091,11 @@ mod tests {
         // The same socket, same shared buffer, keeps working: the restarted
         // UDP server recovered the socket table from the storage server.
         socket
-            .send_to(b"after", StackConfig::peer_addr(0), newt_net::peer::DNS_PORT)
+            .send_to(
+                b"after",
+                StackConfig::peer_addr(0),
+                newt_net::peer::DNS_PORT,
+            )
             .expect("send after");
         let (payload, _, _) = socket.recv_from().expect("answer after crash");
         assert_eq!(payload, b"answer:after");

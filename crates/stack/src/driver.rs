@@ -22,7 +22,9 @@ use newt_channels::pool::Pool;
 use newt_kernel::rs::CrashEvent;
 use newt_net::nic::Nic;
 
-use crate::fabric::{drain, send, CrashBoard, PoolTable, Rx, Tx};
+#[cfg(test)]
+use crate::fabric::drain;
+use crate::fabric::{send, CrashBoard, PoolTable, Rx, Tx};
 use crate::msg::{DrvToIp, IpToDrv};
 
 /// Counters describing one driver's activity.
@@ -53,6 +55,12 @@ pub struct DriverServer {
     crash_board: CrashBoard,
     crash_cursor: usize,
     stats: DriverStats,
+    /// Scratch buffer for draining the inbox, reused across poll rounds so
+    /// the steady state allocates nothing.
+    inbox_scratch: Vec<IpToDrv>,
+    /// Transmit acknowledgements accumulated during one poll round and
+    /// flushed to IP as a single batch (one index publish, one wake).
+    ack_batch: Vec<DrvToIp>,
 }
 
 impl DriverServer {
@@ -81,6 +89,8 @@ impl DriverServer {
             crash_board,
             crash_cursor,
             stats: DriverStats::default(),
+            inbox_scratch: Vec::new(),
+            ack_batch: Vec::new(),
         }
     }
 
@@ -104,8 +114,11 @@ impl DriverServer {
             self.handle_crash(&event);
         }
 
-        // Transmit requests from IP.
-        for request in drain(&self.inbox) {
+        // Transmit requests from IP, drained in one batch into a reused
+        // scratch buffer; the acknowledgements go back as one batch too.
+        let mut requests = std::mem::take(&mut self.inbox_scratch);
+        self.inbox.drain_into(&mut requests);
+        for request in requests.drain(..) {
             work += 1;
             match request {
                 IpToDrv::Transmit { req, chain } => {
@@ -120,10 +133,15 @@ impl DriverServer {
                     if !ok {
                         self.stats.tx_failures += 1;
                     }
-                    send(&self.outbox, DrvToIp::TransmitDone { req, ok });
+                    self.ack_batch.push(DrvToIp::TransmitDone { req, ok });
                 }
             }
         }
+        self.inbox_scratch = requests;
+        self.outbox.send_batch(&mut self.ack_batch);
+        // Acknowledgements that did not fit are dropped, never blocked on
+        // (IP resubmits transmits it believes were lost).
+        self.ack_batch.clear();
 
         // Service the device and deliver received frames to IP.
         {
@@ -133,7 +151,13 @@ impl DriverServer {
                 work += 1;
                 match self.rx_pool.publish(&frame) {
                     Ok(ptr) => {
-                        if send(&self.outbox, DrvToIp::Received { nic: self.index, ptr }) {
+                        if send(
+                            &self.outbox,
+                            DrvToIp::Received {
+                                nic: self.index,
+                                ptr,
+                            },
+                        ) {
                             self.stats.rx_delivered += 1;
                         } else {
                             // IP's queue is full (or IP is gone): drop the
@@ -225,8 +249,13 @@ mod tests {
         let dst = Ipv4Addr::new(10, 0, 0, 1);
         let udp = UdpDatagram::new(53, 5353, b"reply".to_vec());
         let ip = Ipv4Packet::new(src, dst, IpProtocol::Udp, udp.build(src, dst));
-        EthernetFrame::new(MacAddr::from_index(0), MacAddr::from_index(200), EtherType::Ipv4, ip.build())
-            .build()
+        EthernetFrame::new(
+            MacAddr::from_index(0),
+            MacAddr::from_index(200),
+            EtherType::Ipv4,
+            ip.build(),
+        )
+        .build()
     }
 
     #[test]
@@ -235,7 +264,13 @@ mod tests {
         let frame = sample_frame();
         let ptr = rig.header_pool.publish(&frame).unwrap();
         let req = RequestId::from_raw(7);
-        send(&rig.to_driver, IpToDrv::Transmit { req, chain: RichChain::single(ptr) });
+        send(
+            &rig.to_driver,
+            IpToDrv::Transmit {
+                req,
+                chain: RichChain::single(ptr),
+            },
+        );
         rig.driver.poll();
         // The frame went out on the link...
         let on_wire = rig.peer_port.poll_receive().expect("frame on the wire");
@@ -253,11 +288,17 @@ mod tests {
         rig.header_pool.free(&ptr).unwrap(); // the owner invalidated it
         send(
             &rig.to_driver,
-            IpToDrv::Transmit { req: RequestId::from_raw(1), chain: RichChain::single(ptr) },
+            IpToDrv::Transmit {
+                req: RequestId::from_raw(1),
+                chain: RichChain::single(ptr),
+            },
         );
         rig.driver.poll();
         let replies = drain(&rig.from_driver);
-        assert!(matches!(replies[..], [DrvToIp::TransmitDone { ok: false, .. }]));
+        assert!(matches!(
+            replies[..],
+            [DrvToIp::TransmitDone { ok: false, .. }]
+        ));
         assert_eq!(rig.driver.stats().tx_failures, 1);
     }
 

@@ -75,7 +75,12 @@ impl Component {
 
     /// The five components the paper injects faults into (Table III).
     pub fn fault_targets(drivers: usize) -> Vec<Component> {
-        let mut targets = vec![Component::Tcp, Component::Udp, Component::Ip, Component::PacketFilter];
+        let mut targets = vec![
+            Component::Tcp,
+            Component::Udp,
+            Component::Ip,
+            Component::PacketFilter,
+        ];
         for i in 0..drivers {
             targets.push(Component::Driver(i));
         }
@@ -95,7 +100,17 @@ mod tests {
 
     #[test]
     fn well_known_endpoints_are_distinct() {
-        let eps = [SYSCALL, TCP, UDP, IP, PF, INET, driver(0), driver(1), application(0)];
+        let eps = [
+            SYSCALL,
+            TCP,
+            UDP,
+            IP,
+            PF,
+            INET,
+            driver(0),
+            driver(1),
+            application(0),
+        ];
         for (i, a) in eps.iter().enumerate() {
             for (j, b) in eps.iter().enumerate() {
                 if i != j {
@@ -108,7 +123,10 @@ mod tests {
     #[test]
     fn component_endpoints_and_names() {
         assert_eq!(Component::Ip.endpoint(), IP);
-        assert_eq!(Component::Driver(2).endpoint(), Endpoint::from_raw(DRIVER_BASE + 2));
+        assert_eq!(
+            Component::Driver(2).endpoint(),
+            Endpoint::from_raw(DRIVER_BASE + 2)
+        );
         assert_eq!(Component::Driver(0).name(), "e1000.0");
         assert_eq!(Component::PacketFilter.name(), "pf");
         assert_eq!(format!("{}", Component::Tcp), "tcp");

@@ -5,15 +5,40 @@
 //! publish/subscribe registry and the virtual memory manager; here the
 //! *queues between servers* are created once when the stack is built and
 //! survive server restarts (a restarted incarnation re-acquires the same
-//! endpoints from the [`Wires`] struct).  This keeps restart logic focused
-//! on the parts the paper's evaluation actually exercises — state recovery,
-//! request aborts and resubmission, pool invalidation — and is documented as
-//! a deviation in `DESIGN.md`.  Pools and socket buffers *are* managed
-//! dynamically through the registry.
+//! endpoints from the channel's parking slot).  This keeps restart logic
+//! focused on the parts the paper's evaluation actually exercises — state
+//! recovery, request aborts and resubmission, pool invalidation — and is
+//! documented as a deviation in `DESIGN.md`.  Pools and socket buffers *are*
+//! managed dynamically through the registry.
+//!
+//! # The lock-free fast path and the restart re-acquisition protocol
+//!
+//! Earlier revisions wrapped each queue end in `Arc<Mutex<...>>`, paying an
+//! uncontended mutex acquisition **per message** on exactly the path the
+//! paper makes lock-free (§IV: ~30 cycles per enqueue versus ~150/~3000 for
+//! kernel traps).  [`Tx`]/[`Rx`] now work like the paper's channel
+//! endpoints instead:
+//!
+//! * each channel end lives in a *parking slot* (`Mutex<Option<...>>`);
+//! * the first time a handle sends or drains, it **acquires** the endpoint
+//!   out of the slot and caches it privately — from then on every operation
+//!   is a direct call on the owned SPSC endpoint: no lock, no allocation,
+//!   and (with the queue's cached peer indices) no foreign cache line;
+//! * when the handle is dropped — which the reincarnation server guarantees
+//!   happens before the replacement incarnation starts, because it joins the
+//!   crashed thread first — the endpoint is parked again for the next
+//!   incarnation to re-acquire.
+//!
+//! The slot mutex is therefore touched only at acquisition time (once per
+//! incarnation), never per message.  If two live clones ever contend, the
+//! loser simply observes an unavailable endpoint and reports "queue full" —
+//! the paper's "never block, drop instead" rule.
 
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use bytes::{Bytes, BytesMut};
 use parking_lot::{Mutex, RwLock};
 
 use newt_channels::pool::{Pool, PoolReader};
@@ -21,48 +46,223 @@ use newt_channels::rich::{PoolId, RichChain};
 use newt_channels::spsc::{self, Receiver, Sender};
 use newt_kernel::rs::CrashEvent;
 
-/// Shared sending half of an inter-server queue (usable across restarts of
-/// the owning server).
-pub type Tx<T> = Arc<Mutex<Sender<T>>>;
-/// Shared receiving half of an inter-server queue.
-pub type Rx<T> = Arc<Mutex<Receiver<T>>>;
+/// A parking slot holding a channel endpoint between acquisitions.
+#[derive(Debug)]
+struct Slot<E> {
+    parked: Mutex<Option<E>>,
+}
 
-/// A unidirectional inter-server channel whose two ends can be cloned into
+impl<E> Slot<E> {
+    fn new(endpoint: E) -> Arc<Self> {
+        Arc::new(Slot {
+            parked: Mutex::new(Some(endpoint)),
+        })
+    }
+}
+
+/// A restart-safe handle to one end of an inter-server queue; [`Tx`] and
+/// [`Rx`] wrap it for the two endpoint types.
+///
+/// Cloning produces an *unacquired* handle; the underlying endpoint is
+/// taken from the parking slot on first use and returned when the handle is
+/// dropped (see the module docs for the protocol).  Steady-state operations
+/// are direct calls on the owned SPSC endpoint — no mutex is involved.
+struct Handle<E> {
+    slot: Arc<Slot<E>>,
+    /// The acquired endpoint.  `UnsafeCell` (rather than `Mutex`) is what
+    /// keeps the fast path lock-free; it makes the handle deliberately
+    /// `!Sync`, so `&self` methods can never run concurrently on one
+    /// handle.
+    cache: UnsafeCell<Option<E>>,
+}
+
+impl<E> Handle<E> {
+    fn new(slot: Arc<Slot<E>>) -> Self {
+        Handle {
+            slot,
+            cache: UnsafeCell::new(None),
+        }
+    }
+
+    /// Runs `f` on the acquired endpoint, acquiring it from the parking
+    /// slot first if this handle does not hold it yet.  Returns `default`
+    /// when the endpoint is held by another live handle.
+    #[inline]
+    fn with<R>(&self, default: R, f: impl FnOnce(&mut E) -> R) -> R {
+        // SAFETY: `UnsafeCell` makes the handle `!Sync`, so no other thread
+        // can be inside a `&self` method of this handle, and the reference
+        // never escapes this scope.  Distinct clones have distinct caches;
+        // the single endpoint moves between them only through the slot
+        // mutex.
+        let cache = unsafe { &mut *self.cache.get() };
+        if cache.is_none() {
+            *cache = self.slot.parked.lock().take();
+        }
+        match cache.as_mut() {
+            Some(endpoint) => f(endpoint),
+            None => default,
+        }
+    }
+
+    /// Parks the endpoint back into the slot so another handle (e.g. a
+    /// restarted incarnation racing this one) can acquire it.
+    fn release(&self) {
+        // SAFETY: as in `with`.
+        let cache = unsafe { &mut *self.cache.get() };
+        if let Some(endpoint) = cache.take() {
+            *self.slot.parked.lock() = Some(endpoint);
+        }
+    }
+}
+
+impl<E> Clone for Handle<E> {
+    fn clone(&self) -> Self {
+        Handle::new(Arc::clone(&self.slot))
+    }
+}
+
+impl<E> Drop for Handle<E> {
+    fn drop(&mut self) {
+        if let Some(endpoint) = self.cache.get_mut().take() {
+            *self.slot.parked.lock() = Some(endpoint);
+        }
+    }
+}
+
+/// A restart-safe handle to the sending half of an inter-server queue (see
+/// the module docs for the acquisition protocol).
+#[derive(Clone)]
+pub struct Tx<T> {
+    handle: Handle<Sender<T>>,
+}
+
+/// A restart-safe handle to the receiving half of an inter-server queue.
+#[derive(Clone)]
+pub struct Rx<T> {
+    handle: Handle<Receiver<T>>,
+}
+
+impl<T> std::fmt::Debug for Tx<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tx").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for Rx<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rx").finish_non_exhaustive()
+    }
+}
+
+impl<T> Tx<T> {
+    /// Sends a message, returning `false` when the queue is full, the
+    /// receiver is gone, or the endpoint is held by another incarnation.
+    pub fn send(&self, message: T) -> bool {
+        self.handle
+            .with(false, |sender| sender.try_send(message).is_ok())
+    }
+
+    /// Bulk-enqueues from the front of `items` (removing what was sent) and
+    /// returns how many messages were accepted.  The queue indices, wake
+    /// word and statistics are published once for the whole batch.
+    pub fn send_batch(&self, items: &mut Vec<T>) -> usize {
+        self.handle.with(0, |sender| sender.send_batch(items))
+    }
+
+    /// Parks the endpoint back into the slot so another handle (e.g. a
+    /// restarted incarnation) can acquire it.
+    pub fn release(&self) {
+        self.handle.release();
+    }
+}
+
+impl<T> Rx<T> {
+    /// Drains every queued message into `buf` (a caller-owned scratch
+    /// buffer, reused across poll rounds on the hot path) and returns how
+    /// many arrived.
+    pub fn drain_into(&self, buf: &mut Vec<T>) -> usize {
+        self.handle.with(0, |receiver| receiver.drain_into(buf))
+    }
+
+    /// Dequeues at most `max` messages into `buf`.
+    pub fn recv_batch(&self, buf: &mut Vec<T>, max: usize) -> usize {
+        self.handle
+            .with(0, |receiver| receiver.recv_batch(buf, max))
+    }
+
+    /// Drains every queued message into a fresh `Vec` (convenience for
+    /// tests and cold paths; hot paths use [`Rx::drain_into`]).
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// Parks the endpoint back into the slot (see [`Tx::release`]).
+    pub fn release(&self) {
+        self.handle.release();
+    }
+}
+
+/// A unidirectional inter-server channel whose two ends can be handed to
 /// the respective server bodies (and re-acquired after a restart).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Chan<T> {
-    tx: Tx<T>,
-    rx: Rx<T>,
+    tx_slot: Arc<Slot<Sender<T>>>,
+    rx_slot: Arc<Slot<Receiver<T>>>,
+}
+
+impl<T> Clone for Chan<T> {
+    fn clone(&self) -> Self {
+        Chan {
+            tx_slot: Arc::clone(&self.tx_slot),
+            rx_slot: Arc::clone(&self.rx_slot),
+        }
+    }
 }
 
 impl<T> Chan<T> {
     /// Creates a channel with room for `capacity` messages.
     pub fn new(capacity: usize) -> Self {
         let (tx, rx) = spsc::channel(capacity);
-        Chan { tx: Arc::new(Mutex::new(tx)), rx: Arc::new(Mutex::new(rx)) }
+        Chan {
+            tx_slot: Slot::new(tx),
+            rx_slot: Slot::new(rx),
+        }
     }
 
-    /// Returns a shared handle to the sending end.
+    /// Returns a handle to the sending end.
     pub fn tx(&self) -> Tx<T> {
-        Arc::clone(&self.tx)
+        Tx {
+            handle: Handle::new(Arc::clone(&self.tx_slot)),
+        }
     }
 
-    /// Returns a shared handle to the receiving end.
+    /// Returns a handle to the receiving end.
     pub fn rx(&self) -> Rx<T> {
-        Arc::clone(&self.rx)
+        Rx {
+            handle: Handle::new(Arc::clone(&self.rx_slot)),
+        }
     }
 }
 
-/// Sends a message on a shared sender, returning `false` when the queue is
+/// Sends a message on a fabric sender, returning `false` when the queue is
 /// full or disconnected (the caller decides what dropping means — see the
 /// paper's "never block when the queue is full" rule).
 pub fn send<T>(tx: &Tx<T>, message: T) -> bool {
-    tx.lock().try_send(message).is_ok()
+    tx.send(message)
 }
 
-/// Drains every message currently queued on a shared receiver.
+/// Drains every message currently queued on a fabric receiver into a fresh
+/// `Vec`.  Hot paths should use [`drain_into`] with a reused scratch buffer.
 pub fn drain<T>(rx: &Rx<T>) -> Vec<T> {
-    rx.lock().drain()
+    rx.drain()
+}
+
+/// Drains every message currently queued on a fabric receiver into a
+/// caller-owned scratch buffer; returns how many arrived.
+pub fn drain_into<T>(rx: &Rx<T>, buf: &mut Vec<T>) -> usize {
+    rx.drain_into(buf)
 }
 
 /// Directory of every shared pool in the system, keyed by pool id, so any
@@ -95,18 +295,22 @@ impl PoolTable {
     }
 
     /// Gathers a rich-pointer chain (possibly spanning several pools) into a
-    /// contiguous buffer.  Returns `None` if any part is stale or unknown —
-    /// the caller then drops the packet, exactly as a consumer must when a
+    /// contiguous buffer.  Single-part chains resolve to a zero-copy view of
+    /// the pool chunk.  Returns `None` if any part is stale or unknown — the
+    /// caller then drops the packet, exactly as a consumer must when a
     /// producer crashed and invalidated its pool.
-    pub fn gather(&self, chain: &RichChain) -> Option<Vec<u8>> {
+    pub fn gather(&self, chain: &RichChain) -> Option<Bytes> {
         let readers = self.readers.read();
-        let mut out = Vec::with_capacity(chain.total_len());
+        if let [part] = chain.parts() {
+            return readers.get(&part.pool)?.read(part).ok();
+        }
+        let mut out = BytesMut::with_capacity(chain.total_len());
         for part in chain.iter() {
             let reader = readers.get(&part.pool)?;
             let bytes = reader.read(part).ok()?;
             out.extend_from_slice(&bytes);
         }
-        Some(out)
+        Some(out.freeze())
     }
 
     /// Returns the number of registered pools.
@@ -169,7 +373,7 @@ mod tests {
     use newt_kernel::rs::CrashReason;
 
     #[test]
-    fn chan_round_trip_through_shared_handles() {
+    fn chan_round_trip_through_fabric_handles() {
         let chan: Chan<u32> = Chan::new(4);
         let tx = chan.tx();
         let rx = chan.rx();
@@ -185,6 +389,68 @@ mod tests {
         let tx = chan.tx();
         assert!(send(&tx, 1));
         assert!(!send(&tx, 2));
+    }
+
+    #[test]
+    fn batch_send_and_scratch_drain() {
+        let chan: Chan<u32> = Chan::new(8);
+        let tx = chan.tx();
+        let rx = chan.rx();
+        let mut batch = vec![1, 2, 3, 4, 5];
+        assert_eq!(tx.send_batch(&mut batch), 5);
+        assert!(batch.is_empty());
+        let mut scratch = Vec::new();
+        assert_eq!(drain_into(&rx, &mut scratch), 5);
+        assert_eq!(scratch, vec![1, 2, 3, 4, 5]);
+        scratch.clear();
+        assert_eq!(drain_into(&rx, &mut scratch), 0);
+    }
+
+    #[test]
+    fn endpoint_is_exclusive_while_acquired() {
+        let chan: Chan<u32> = Chan::new(4);
+        let first = chan.tx();
+        let second = chan.tx();
+        assert!(first.send(1)); // `first` acquires the endpoint...
+        assert!(!second.send(2)); // ...so `second` cannot.
+                                  // Releasing hands it over.
+        first.release();
+        assert!(second.send(3));
+        let rx = chan.rx();
+        assert_eq!(drain(&rx), vec![1, 3]);
+    }
+
+    #[test]
+    fn dropping_a_handle_reparks_the_endpoint_for_the_next_incarnation() {
+        let chan: Chan<u32> = Chan::new(4);
+        let rx = chan.rx();
+        {
+            let first_incarnation = chan.tx();
+            assert!(first_incarnation.send(1));
+        } // crash: the incarnation is dropped, the endpoint parked again
+        let second_incarnation = chan.tx();
+        assert!(second_incarnation.send(2));
+        assert_eq!(drain(&rx), vec![1, 2]);
+    }
+
+    #[test]
+    fn handles_move_across_threads() {
+        let chan: Chan<u64> = Chan::new(64);
+        let tx = chan.tx();
+        let rx = chan.rx();
+        let producer = std::thread::spawn(move || {
+            for i in 0..50u64 {
+                while !tx.send(i) {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < 50 {
+            drain_into(&rx, &mut got);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..50).collect::<Vec<u64>>());
     }
 
     #[test]

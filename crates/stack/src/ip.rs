@@ -34,7 +34,9 @@ use newt_net::wire::{
 use std::sync::Arc;
 
 use crate::endpoints;
-use crate::fabric::{drain, send, CrashBoard, PoolTable, Rx, Tx};
+#[cfg(test)]
+use crate::fabric::drain;
+use crate::fabric::{send, CrashBoard, PoolTable, Rx, Tx};
 use crate::msg::{
     Direction, DrvToIp, IpToDrv, IpToPf, IpToTransport, PacketMeta, PfToIp, TransportToIp,
 };
@@ -52,7 +54,11 @@ pub struct IfaceConfig {
 
 impl IfaceConfig {
     fn contains(&self, addr: Ipv4Addr) -> bool {
-        let mask = if self.prefix_len == 0 { 0 } else { u32::MAX << (32 - self.prefix_len) };
+        let mask = if self.prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.prefix_len)
+        };
         (u32::from(self.addr) & mask) == (u32::from(addr) & mask)
     }
 }
@@ -160,6 +166,11 @@ pub struct IpServer {
     lent_rx: HashMap<RichPtr, LentTo>,
     ip_ident: u16,
     stats: IpStats,
+    /// Scratch buffers reused across poll rounds (zero steady-state
+    /// allocation on the message path).
+    transport_scratch: Vec<TransportToIp>,
+    pf_scratch: Vec<PfToIp>,
+    drv_scratch: Vec<DrvToIp>,
 }
 
 impl IpServer {
@@ -197,7 +208,9 @@ impl IpServer {
                 // purposes: invalidate every outstanding pointer.
                 rx_pool.reset();
                 header_pool.reset();
-                storage.retrieve::<IpConfig>("ip", "config").unwrap_or(config)
+                storage
+                    .retrieve::<IpConfig>("ip", "config")
+                    .unwrap_or(config)
             }
         };
         let crash_cursor = crash_board.len();
@@ -223,6 +236,9 @@ impl IpServer {
             lent_rx: HashMap::new(),
             ip_ident: 1,
             stats: IpStats::default(),
+            transport_scratch: Vec::new(),
+            pf_scratch: Vec::new(),
+            drv_scratch: Vec::new(),
         }
     }
 
@@ -245,26 +261,36 @@ impl IpServer {
             self.handle_crash(&event);
         }
 
-        // Requests from the transports.
-        for msg in drain(&self.from_tcp) {
+        // Requests from the transports, drained batch-wise into reused
+        // scratch buffers.
+        let mut transport = std::mem::take(&mut self.transport_scratch);
+        self.from_tcp.drain_into(&mut transport);
+        for msg in transport.drain(..) {
             work += 1;
             self.handle_transport(msg, LentTo::Tcp);
         }
-        for msg in drain(&self.from_udp) {
+        self.from_udp.drain_into(&mut transport);
+        for msg in transport.drain(..) {
             work += 1;
             self.handle_transport(msg, LentTo::Udp);
         }
+        self.transport_scratch = transport;
 
         // Verdicts from the packet filter.
-        for msg in drain(&self.from_pf) {
+        let mut verdicts = std::mem::take(&mut self.pf_scratch);
+        self.from_pf.drain_into(&mut verdicts);
+        for msg in verdicts.drain(..) {
             work += 1;
             let PfToIp::Verdict { req, pass } = msg;
             self.handle_verdict(req, pass);
         }
+        self.pf_scratch = verdicts;
 
         // Completions and received frames from the drivers.
+        let mut from_drivers = std::mem::take(&mut self.drv_scratch);
         for iface in 0..self.from_drv.len() {
-            for msg in drain(&self.from_drv[iface]) {
+            self.from_drv[iface].drain_into(&mut from_drivers);
+            for msg in from_drivers.drain(..) {
                 work += 1;
                 match msg {
                     DrvToIp::TransmitDone { req, ok } => self.handle_transmit_done(req, ok),
@@ -272,6 +298,7 @@ impl IpServer {
                 }
             }
         }
+        self.drv_scratch = from_drivers;
 
         work
     }
@@ -331,7 +358,11 @@ impl IpServer {
             len: IPV4_HEADER_LEN + pkt.transport_header.len() + pkt.payload.total_len(),
             is_connection_start: pkt.is_connection_start,
         };
-        let req = self.pf_reqs.submit(endpoints::PF, AbortPolicy::Resubmit, PendingCheck::Outbound(pkt));
+        let req = self.pf_reqs.submit(
+            endpoints::PF,
+            AbortPolicy::Resubmit,
+            PendingCheck::Outbound(pkt),
+        );
         if !send(&self.to_pf, IpToPf::Check { req, meta }) {
             // The filter's queue is full or the filter is gone; the check
             // stays pending and will be resubmitted when the filter is back
@@ -340,7 +371,9 @@ impl IpServer {
     }
 
     fn handle_verdict(&mut self, req: RequestId, pass: bool) {
-        let Some(pending) = self.pf_reqs.complete(req) else { return };
+        let Some(pending) = self.pf_reqs.complete(req) else {
+            return;
+        };
         match pending {
             PendingCheck::Outbound(pkt) => {
                 if pass {
@@ -386,7 +419,9 @@ impl IpServer {
         let mut transport_header = pkt.transport_header.clone();
         let total_len = IPV4_HEADER_LEN + transport_header.len() + pkt.payload.total_len();
 
-        if !self.config.checksum_offload && matches!(pkt.protocol, IpProtocol::Tcp | IpProtocol::Udp) {
+        if !self.config.checksum_offload
+            && matches!(pkt.protocol, IpProtocol::Tcp | IpProtocol::Udp)
+        {
             // Software checksum: gather the payload and compute over the
             // pseudo header + transport header + payload.
             let payload_bytes = self.pools.gather(&pkt.payload).unwrap_or_default();
@@ -407,7 +442,8 @@ impl IpServer {
         }
 
         // Build the combined Ethernet + IP (+ transport) header chunk.
-        let mut header = Vec::with_capacity(ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + transport_header.len());
+        let mut header =
+            Vec::with_capacity(ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + transport_header.len());
         header.extend_from_slice(&dst_mac.octets());
         header.extend_from_slice(&iface_cfg.mac.octets());
         header.extend_from_slice(&EtherType::Ipv4.as_u16().to_be_bytes());
@@ -424,7 +460,9 @@ impl IpServer {
         header.extend_from_slice(&iface_cfg.addr.octets());
         header.extend_from_slice(&pkt.dst.octets());
         if !self.config.checksum_offload {
-            let csum = internet_checksum(&header[ETHERNET_HEADER_LEN..ETHERNET_HEADER_LEN + IPV4_HEADER_LEN]);
+            let csum = internet_checksum(
+                &header[ETHERNET_HEADER_LEN..ETHERNET_HEADER_LEN + IPV4_HEADER_LEN],
+            );
             header[ETHERNET_HEADER_LEN + 10..ETHERNET_HEADER_LEN + 12]
                 .copy_from_slice(&csum.to_be_bytes());
         }
@@ -442,7 +480,11 @@ impl IpServer {
         let req = self.drv_reqs.submit(
             endpoints::driver(iface),
             AbortPolicy::Resubmit,
-            PendingTx { origin: pkt.origin, chain: chain.clone(), iface },
+            PendingTx {
+                origin: pkt.origin,
+                chain: chain.clone(),
+                iface,
+            },
         );
         if !send(&self.to_drv[iface], IpToDrv::Transmit { req, chain }) {
             // Queue to the driver full: drop.
@@ -456,7 +498,9 @@ impl IpServer {
     }
 
     fn handle_transmit_done(&mut self, req: RequestId, ok: bool) {
-        let Some(pending) = self.drv_reqs.complete(req) else { return };
+        let Some(pending) = self.drv_reqs.complete(req) else {
+            return;
+        };
         self.header_pool.free_chain(&pending.chain);
         self.notify_send_done(pending.origin, ok);
     }
@@ -476,7 +520,9 @@ impl IpServer {
     // ---- inbound path -------------------------------------------------------
 
     fn handle_received(&mut self, nic: usize, ptr: RichPtr) {
-        let Ok(frame_bytes) = self.rx_pool.read(&ptr) else { return };
+        let Ok(frame_bytes) = self.rx_pool.read(&ptr) else {
+            return;
+        };
         let Ok(frame) = EthernetFrame::parse(&frame_bytes) else {
             self.stats.parse_errors += 1;
             let _ = self.rx_pool.free(&ptr);
@@ -493,7 +539,12 @@ impl IpServer {
                     let _ = self.rx_pool.free(&ptr);
                     return;
                 };
-                if !self.config.interfaces.iter().any(|iface| iface.addr == packet.dst) {
+                if !self
+                    .config
+                    .interfaces
+                    .iter()
+                    .any(|iface| iface.addr == packet.dst)
+                {
                     // Not for us; this host does not forward.
                     let _ = self.rx_pool.free(&ptr);
                     return;
@@ -538,7 +589,9 @@ impl IpServer {
     }
 
     fn continue_inbound(&mut self, _nic: usize, ptr: RichPtr) {
-        let Ok(frame_bytes) = self.rx_pool.read(&ptr) else { return };
+        let Ok(frame_bytes) = self.rx_pool.read(&ptr) else {
+            return;
+        };
         let Ok(frame) = EthernetFrame::parse(&frame_bytes) else {
             let _ = self.rx_pool.free(&ptr);
             return;
@@ -608,8 +661,13 @@ impl IpServer {
                         let reply = ArpPacket::reply_to(&arp, iface_cfg.mac, iface_cfg.addr);
                         self.transmit_raw(
                             nic,
-                            EthernetFrame::new(arp.sender_mac, iface_cfg.mac, EtherType::Arp, reply.build())
-                                .build(),
+                            EthernetFrame::new(
+                                arp.sender_mac,
+                                iface_cfg.mac,
+                                EtherType::Arp,
+                                reply.build(),
+                            )
+                            .build(),
                         );
                     }
                 }
@@ -629,19 +687,30 @@ impl IpServer {
     fn send_arp_request(&mut self, target: Ipv4Addr, iface: usize) {
         let iface_cfg = self.config.interfaces[iface];
         let request = ArpPacket::request(iface_cfg.mac, iface_cfg.addr, target);
-        let frame =
-            EthernetFrame::new(MacAddr::BROADCAST, iface_cfg.mac, EtherType::Arp, request.build()).build();
+        let frame = EthernetFrame::new(
+            MacAddr::BROADCAST,
+            iface_cfg.mac,
+            EtherType::Arp,
+            request.build(),
+        )
+        .build();
         self.transmit_raw(iface, frame);
     }
 
     /// Transmits a locally generated frame (ARP) through the driver.
     fn transmit_raw(&mut self, iface: usize, frame: Vec<u8>) {
-        let Ok(ptr) = self.header_pool.publish(&frame) else { return };
+        let Ok(ptr) = self.header_pool.publish(&frame) else {
+            return;
+        };
         let chain = RichChain::single(ptr);
         let req = self.drv_reqs.submit(
             endpoints::driver(iface),
             AbortPolicy::Resubmit,
-            PendingTx { origin: Origin::Local, chain: chain.clone(), iface },
+            PendingTx {
+                origin: Origin::Local,
+                chain: chain.clone(),
+                iface,
+            },
         );
         send(&self.to_drv[iface], IpToDrv::Transmit { req, chain });
     }
@@ -663,7 +732,13 @@ impl IpServer {
                     pending.clone(),
                 );
                 self.stats.resubmitted_tx += 1;
-                send(&self.to_drv[pending.iface], IpToDrv::Transmit { req, chain: pending.chain });
+                send(
+                    &self.to_drv[pending.iface],
+                    IpToDrv::Transmit {
+                        req,
+                        chain: pending.chain,
+                    },
+                );
             }
         } else if event.name == "pf" {
             // The filter crashed: it never saw (or never answered) these
@@ -681,25 +756,39 @@ impl IpServer {
                             protocol: pkt.protocol,
                             src_port: pkt.src_port,
                             dst_port: pkt.dst_port,
-                            len: IPV4_HEADER_LEN + pkt.transport_header.len() + pkt.payload.total_len(),
+                            len: IPV4_HEADER_LEN
+                                + pkt.transport_header.len()
+                                + pkt.payload.total_len(),
                             is_connection_start: pkt.is_connection_start,
                         }
                     }
                     PendingCheck::Inbound { ptr, .. } => {
-                        let Ok(frame_bytes) = self.rx_pool.read(ptr) else { continue };
-                        let Ok(frame) = EthernetFrame::parse(&frame_bytes) else { continue };
-                        let Ok(packet) = Ipv4Packet::parse(&frame.payload) else { continue };
+                        let Ok(frame_bytes) = self.rx_pool.read(ptr) else {
+                            continue;
+                        };
+                        let Ok(frame) = EthernetFrame::parse(&frame_bytes) else {
+                            continue;
+                        };
+                        let Ok(packet) = Ipv4Packet::parse(&frame.payload) else {
+                            continue;
+                        };
                         Self::meta_for_inbound(&packet)
                     }
                 };
-                let req = self.pf_reqs.submit(endpoints::PF, AbortPolicy::Resubmit, pending);
+                let req = self
+                    .pf_reqs
+                    .submit(endpoints::PF, AbortPolicy::Resubmit, pending);
                 self.stats.resubmitted_checks += 1;
                 send(&self.to_pf, IpToPf::Check { req, meta });
             }
         } else if event.name == "tcp" || event.name == "udp" {
             // The transport will never send RxDone for the chunks it was
             // lent; free them.
-            let who = if event.name == "tcp" { LentTo::Tcp } else { LentTo::Udp };
+            let who = if event.name == "tcp" {
+                LentTo::Tcp
+            } else {
+                LentTo::Udp
+            };
             let lent: Vec<RichPtr> = self
                 .lent_rx
                 .iter()
@@ -715,7 +804,9 @@ impl IpServer {
 
     /// Parses transport headers out of a received frame, used by the
     /// transports (and tests) that hold a rich pointer into the RX pool.
-    pub fn parse_frame(bytes: &[u8]) -> Option<(Ipv4Packet, Option<TcpSegment>, Option<UdpDatagram>)> {
+    pub fn parse_frame(
+        bytes: &[u8],
+    ) -> Option<(Ipv4Packet, Option<TcpSegment>, Option<UdpDatagram>)> {
         let frame = EthernetFrame::parse(bytes).ok()?;
         let packet = Ipv4Packet::parse(&frame.payload).ok()?;
         match packet.protocol {
@@ -785,7 +876,13 @@ mod tests {
         crash_board: CrashBoard,
     }
 
-    fn rig_with(mode: StartMode, with_pf: bool, storage: Arc<StorageServer>, rx_pool: Pool, header_pool: Pool) -> Rig {
+    fn rig_with(
+        mode: StartMode,
+        with_pf: bool,
+        storage: Arc<StorageServer>,
+        rx_pool: Pool,
+        header_pool: Pool,
+    ) -> Rig {
         let pools = PoolTable::new();
         pools.register(&rx_pool);
         pools.register(&header_pool);
@@ -901,7 +998,12 @@ mod tests {
             target_mac: MacAddr::from_index(1),
             target_ip: Ipv4Addr::new(10, 0, 0, 1),
         };
-        let frame = EthernetFrame::new(MacAddr::from_index(1), peer_mac(), EtherType::Arp, reply.build());
+        let frame = EthernetFrame::new(
+            MacAddr::from_index(1),
+            peer_mac(),
+            EtherType::Arp,
+            reply.build(),
+        );
         inject_frame(&mut rig, frame.build());
 
         let to_driver = drain(&rig.ip_to_drv);
@@ -927,17 +1029,31 @@ mod tests {
         };
         inject_frame(
             &mut rig,
-            EthernetFrame::new(MacAddr::from_index(1), peer_mac(), EtherType::Arp, reply.build()).build(),
+            EthernetFrame::new(
+                MacAddr::from_index(1),
+                peer_mac(),
+                EtherType::Arp,
+                reply.build(),
+            )
+            .build(),
         );
         let origin_req = send_packet_request(&mut rig, b"data");
         let to_driver = drain(&rig.ip_to_drv);
         let IpToDrv::Transmit { req, .. } = &to_driver[0];
         let header_in_use_before = rig.ip.header_pool.in_use();
-        send(&rig.drv_to_ip, DrvToIp::TransmitDone { req: *req, ok: true });
+        send(
+            &rig.drv_to_ip,
+            DrvToIp::TransmitDone {
+                req: *req,
+                ok: true,
+            },
+        );
         rig.ip.poll();
         assert!(rig.ip.header_pool.in_use() < header_in_use_before);
         let notified = drain(&rig.ip_to_tcp);
-        assert!(matches!(notified[..], [IpToTransport::SendDone { req, ok: true }] if req == origin_req));
+        assert!(
+            matches!(notified[..], [IpToTransport::SendDone { req, ok: true }] if req == origin_req)
+        );
     }
 
     #[test]
@@ -947,7 +1063,12 @@ mod tests {
         let dst = Ipv4Addr::new(10, 0, 0, 1);
         let seg = TcpSegment::control(5001, 40000, 1, 1, TcpFlags::ACK);
         let packet = Ipv4Packet::new(src, dst, IpProtocol::Tcp, seg.build(src, dst));
-        let frame = EthernetFrame::new(MacAddr::from_index(1), peer_mac(), EtherType::Ipv4, packet.build());
+        let frame = EthernetFrame::new(
+            MacAddr::from_index(1),
+            peer_mac(),
+            EtherType::Ipv4,
+            packet.build(),
+        );
         inject_frame(&mut rig, frame.build());
 
         // The packet went to the filter, not yet to TCP.
@@ -959,7 +1080,13 @@ mod tests {
         assert_eq!(meta.dst_port, 40000);
 
         // Pass verdict: TCP receives the delivery.
-        send(&rig.pf_to_ip, PfToIp::Verdict { req: *req, pass: true });
+        send(
+            &rig.pf_to_ip,
+            PfToIp::Verdict {
+                req: *req,
+                pass: true,
+            },
+        );
         rig.ip.poll();
         let delivered = drain(&rig.ip_to_tcp);
         let ptr = match &delivered[..] {
@@ -982,11 +1109,22 @@ mod tests {
         let dst = Ipv4Addr::new(10, 0, 0, 1);
         let seg = TcpSegment::control(12345, 23, 1, 0, TcpFlags::SYN);
         let packet = Ipv4Packet::new(src, dst, IpProtocol::Tcp, seg.build(src, dst));
-        let frame = EthernetFrame::new(MacAddr::from_index(1), peer_mac(), EtherType::Ipv4, packet.build());
+        let frame = EthernetFrame::new(
+            MacAddr::from_index(1),
+            peer_mac(),
+            EtherType::Ipv4,
+            packet.build(),
+        );
         inject_frame(&mut rig, frame.build());
         let checks = drain(&rig.ip_to_pf);
         let IpToPf::Check { req, .. } = &checks[0];
-        send(&rig.pf_to_ip, PfToIp::Verdict { req: *req, pass: false });
+        send(
+            &rig.pf_to_ip,
+            PfToIp::Verdict {
+                req: *req,
+                pass: false,
+            },
+        );
         rig.ip.poll();
         assert!(drain(&rig.ip_to_tcp).is_empty());
         assert_eq!(rig.rx_pool.in_use(), 0);
@@ -1001,7 +1139,12 @@ mod tests {
         let dst = Ipv4Addr::new(10, 0, 0, 1);
         let ping = IcmpMessage::echo_request(0x42, 1, b"ping".to_vec());
         let packet = Ipv4Packet::new(src, dst, IpProtocol::Icmp, ping.build());
-        let frame = EthernetFrame::new(MacAddr::from_index(1), peer_mac(), EtherType::Ipv4, packet.build());
+        let frame = EthernetFrame::new(
+            MacAddr::from_index(1),
+            peer_mac(),
+            EtherType::Ipv4,
+            packet.build(),
+        );
         inject_frame(&mut rig, frame.build());
         // The reply goes straight out (the sender's MAC was learned from the
         // request itself).
@@ -1024,7 +1167,12 @@ mod tests {
     fn arp_requests_for_our_address_are_answered() {
         let mut rig = rig(false);
         let request = ArpPacket::request(peer_mac(), peer_ip(), Ipv4Addr::new(10, 0, 0, 1));
-        let frame = EthernetFrame::new(MacAddr::BROADCAST, peer_mac(), EtherType::Arp, request.build());
+        let frame = EthernetFrame::new(
+            MacAddr::BROADCAST,
+            peer_mac(),
+            EtherType::Arp,
+            request.build(),
+        );
         inject_frame(&mut rig, frame.build());
         let to_driver = drain(&rig.ip_to_drv);
         assert_eq!(to_driver.len(), 1);
@@ -1049,7 +1197,13 @@ mod tests {
         };
         inject_frame(
             &mut rig,
-            EthernetFrame::new(MacAddr::from_index(1), peer_mac(), EtherType::Arp, reply.build()).build(),
+            EthernetFrame::new(
+                MacAddr::from_index(1),
+                peer_mac(),
+                EtherType::Arp,
+                reply.build(),
+            )
+            .build(),
         );
         send_packet_request(&mut rig, b"unacked");
         drain(&rig.ip_to_drv);
@@ -1094,7 +1248,12 @@ mod tests {
         let dst = Ipv4Addr::new(10, 0, 0, 1);
         let seg = TcpSegment::control(5001, 40000, 1, 1, TcpFlags::ACK);
         let packet = Ipv4Packet::new(src, dst, IpProtocol::Tcp, seg.build(src, dst));
-        let frame = EthernetFrame::new(MacAddr::from_index(1), peer_mac(), EtherType::Ipv4, packet.build());
+        let frame = EthernetFrame::new(
+            MacAddr::from_index(1),
+            peer_mac(),
+            EtherType::Ipv4,
+            packet.build(),
+        );
         inject_frame(&mut rig, frame.build());
         assert_eq!(rig.rx_pool.in_use(), 1);
         rig.crash_board.push(CrashEvent {
@@ -1114,7 +1273,13 @@ mod tests {
         let rx_pool = Pool::new("ip.rx", endpoints::IP, 2048, 16);
         let header_pool = Pool::new("ip.hdr", endpoints::IP, 2048, 16);
         {
-            let _first = rig_with(StartMode::Fresh, true, Arc::clone(&storage), rx_pool.clone(), header_pool.clone());
+            let _first = rig_with(
+                StartMode::Fresh,
+                true,
+                Arc::clone(&storage),
+                rx_pool.clone(),
+                header_pool.clone(),
+            );
             // Leave a chunk dangling, as an in-flight packet would.
             rx_pool.publish(b"dangling frame").unwrap();
         }
@@ -1127,7 +1292,10 @@ mod tests {
             rx_pool.clone(),
             header_pool,
         );
-        assert!(restarted.ip.config().with_pf, "config should come from the storage server");
+        assert!(
+            restarted.ip.config().with_pf,
+            "config should come from the storage server"
+        );
         assert_eq!(rx_pool.in_use(), 0, "restart must reset the receive pool");
     }
 
@@ -1148,7 +1316,13 @@ mod tests {
         };
         inject_frame(
             &mut rig,
-            EthernetFrame::new(MacAddr::from_index(1), peer_mac(), EtherType::Arp, reply.build()).build(),
+            EthernetFrame::new(
+                MacAddr::from_index(1),
+                peer_mac(),
+                EtherType::Arp,
+                reply.build(),
+            )
+            .build(),
         );
         // UDP this time, with a payload that must be covered by the checksum.
         let dgram = UdpDatagram::new(5353, 53, vec![]);

@@ -383,17 +383,26 @@ mod tests {
 
     #[test]
     fn sock_request_accessors() {
-        let open = SockRequest::Open { req: RequestId::from_raw(1) };
+        let open = SockRequest::Open {
+            req: RequestId::from_raw(1),
+        };
         assert_eq!(open.req(), RequestId::from_raw(1));
         assert_eq!(open.sock(), None);
-        let bind = SockRequest::Bind { req: RequestId::from_raw(2), sock: 9, port: 80 };
+        let bind = SockRequest::Bind {
+            req: RequestId::from_raw(2),
+            sock: 9,
+            port: 80,
+        };
         assert_eq!(bind.req(), RequestId::from_raw(2));
         assert_eq!(bind.sock(), Some(9));
     }
 
     #[test]
     fn sock_reply_accessors() {
-        let reply = SockReply::Error { req: RequestId::from_raw(3), error: SockError::TimedOut };
+        let reply = SockReply::Error {
+            req: RequestId::from_raw(3),
+            error: SockError::TimedOut,
+        };
         assert_eq!(reply.req(), RequestId::from_raw(3));
         let accepted = SockReply::Accepted {
             req: RequestId::from_raw(4),

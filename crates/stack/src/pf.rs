@@ -24,7 +24,9 @@ use newt_kernel::rs::StartMode;
 use newt_kernel::storage::StorageServer;
 use std::sync::Arc;
 
-use crate::fabric::{drain, send, Rx, Tx};
+#[cfg(test)]
+use crate::fabric::drain;
+use crate::fabric::{send, Rx, Tx};
 use crate::msg::{Direction, FlowTuple, IpToPf, PacketMeta, PfToIp, PfToTransport, TransportToPf};
 
 /// What a matching rule does with the packet.
@@ -167,6 +169,13 @@ pub struct PacketFilterServer {
     from_udp: Rx<TransportToPf>,
     checked: u64,
     blocked: u64,
+    /// Scratch buffers reused across poll rounds (zero steady-state
+    /// allocation on the message path).
+    inbox_scratch: Vec<IpToPf>,
+    transport_scratch: Vec<TransportToPf>,
+    /// Verdicts accumulated during one poll round and flushed to IP as a
+    /// single batch.
+    verdict_batch: Vec<PfToIp>,
 }
 
 impl PacketFilterServer {
@@ -208,6 +217,9 @@ impl PacketFilterServer {
             from_udp,
             checked: 0,
             blocked: 0,
+            inbox_scratch: Vec::new(),
+            transport_scratch: Vec::new(),
+            verdict_batch: Vec::new(),
         };
         if mode == StartMode::Restart {
             // Rebuild connection tracking by asking TCP and UDP what is open.
@@ -238,8 +250,12 @@ impl PacketFilterServer {
         // Track outbound flows so that stateful inbound blocking lets the
         // return traffic through.
         if meta.direction == Direction::Outbound {
-            self.tracked
-                .insert((meta.protocol.as_u8(), meta.src_port, meta.dst, meta.dst_port));
+            self.tracked.insert((
+                meta.protocol.as_u8(),
+                meta.src_port,
+                meta.dst,
+                meta.dst_port,
+            ));
         }
         let first_match = self.rules.iter().find(|rule| rule.matches(meta));
         let pass = match first_match {
@@ -248,9 +264,12 @@ impl PacketFilterServer {
         };
         if !pass
             && meta.direction == Direction::Inbound
-            && self
-                .tracked
-                .contains(&(meta.protocol.as_u8(), meta.dst_port, meta.src, meta.src_port))
+            && self.tracked.contains(&(
+                meta.protocol.as_u8(),
+                meta.dst_port,
+                meta.src,
+                meta.src_port,
+            ))
         {
             // Connection tracking overrides a blanket inbound block for
             // established flows.
@@ -264,15 +283,23 @@ impl PacketFilterServer {
         let mut work = 0;
 
         // Answers from the transports while rebuilding connection tracking.
-        for reply in drain(&self.from_tcp).into_iter().chain(drain(&self.from_udp)) {
+        let mut replies = std::mem::take(&mut self.transport_scratch);
+        self.from_tcp.drain_into(&mut replies);
+        self.from_udp.drain_into(&mut replies);
+        for reply in replies.drain(..) {
             work += 1;
             let TransportToPf::Connections(flows) = reply;
             for flow in flows {
                 self.track_flow(&flow);
             }
         }
+        self.transport_scratch = replies;
 
-        for request in drain(&self.inbox) {
+        // Checks from IP, drained in one batch; the verdicts go back as one
+        // batch too (one index publish and one wake for the whole round).
+        let mut checks = std::mem::take(&mut self.inbox_scratch);
+        self.inbox.drain_into(&mut checks);
+        for request in checks.drain(..) {
             work += 1;
             match request {
                 IpToPf::Check { req, meta } => {
@@ -281,16 +308,22 @@ impl PacketFilterServer {
                     if !pass {
                         self.blocked += 1;
                     }
-                    send(&self.outbox, PfToIp::Verdict { req, pass });
+                    self.verdict_batch.push(PfToIp::Verdict { req, pass });
                 }
             }
         }
+        self.inbox_scratch = checks;
+        self.outbox.send_batch(&mut self.verdict_batch);
+        // Verdicts that did not fit are dropped, never blocked on (IP
+        // resubmits outstanding checks when the filter appears unresponsive).
+        self.verdict_batch.clear();
         work
     }
 
     fn track_flow(&mut self, flow: &FlowTuple) {
         if let Some((addr, port)) = flow.remote {
-            self.tracked.insert((flow.protocol, flow.local_port, addr, port));
+            self.tracked
+                .insert((flow.protocol, flow.local_port, addr, port));
         }
     }
 }
@@ -353,7 +386,13 @@ mod tests {
     }
 
     fn check(rig: &mut Rig, req: u64, m: PacketMeta) -> bool {
-        send(&rig.to_pf, IpToPf::Check { req: RequestId::from_raw(req), meta: m });
+        send(
+            &rig.to_pf,
+            IpToPf::Check {
+                req: RequestId::from_raw(req),
+                meta: m,
+            },
+        );
         rig.pf.poll();
         match drain(&rig.from_pf).pop() {
             Some(PfToIp::Verdict { pass, .. }) => pass,
@@ -371,7 +410,10 @@ mod tests {
 
     #[test]
     fn inbound_block_with_port_exception() {
-        let rules = vec![FilterRule::pass_inbound_port(22), FilterRule::block_inbound()];
+        let rules = vec![
+            FilterRule::pass_inbound_port(22),
+            FilterRule::block_inbound(),
+        ];
         let mut rig = build(StartMode::Fresh, rules, Arc::new(StorageServer::new()));
         // SSH is allowed in, telnet is not.
         assert!(check(&mut rig, 1, meta(Direction::Inbound, 50000, 22)));
@@ -424,7 +466,10 @@ mod tests {
         // must recover the stored one, and asks TCP for open connections.
         let mut rig = build(StartMode::Restart, vec![], Arc::clone(&storage));
         assert_eq!(rig.pf.stats().rules, 1);
-        assert!(matches!(drain(&rig.tcp_query)[..], [PfToTransport::QueryConnections]));
+        assert!(matches!(
+            drain(&rig.tcp_query)[..],
+            [PfToTransport::QueryConnections]
+        ));
         // TCP reports an open connection; its return traffic passes.
         send(
             &rig.tcp_reply,
@@ -443,7 +488,9 @@ mod tests {
     fn large_rule_sets_are_persisted_and_recovered() {
         let storage = Arc::new(StorageServer::new());
         // The 1024-rule set of Figure 5.
-        let mut rules: Vec<FilterRule> = (0..1023).map(|i| FilterRule::pass_filler(i as u16 + 1)).collect();
+        let mut rules: Vec<FilterRule> = (0..1023)
+            .map(|i| FilterRule::pass_filler(i as u16 + 1))
+            .collect();
         rules.push(FilterRule::block_inbound());
         {
             let _rig = build(StartMode::Fresh, rules.clone(), Arc::clone(&storage));

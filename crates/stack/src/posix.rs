@@ -39,7 +39,12 @@ impl NetClient {
     /// the kernel.
     pub fn new(kernel: KernelIpc, registry: Registry, app: Endpoint) -> Self {
         kernel.attach(app);
-        NetClient { kernel, registry, app, op_timeout: Duration::from_secs(10) }
+        NetClient {
+            kernel,
+            registry,
+            app,
+            op_timeout: Duration::from_secs(10),
+        }
     }
 
     /// Returns this client's application endpoint.
@@ -54,7 +59,12 @@ impl NetClient {
         self
     }
 
-    fn call(&self, mtype: u32, words: &[(usize, u64)], proto: IpProtocol) -> Result<Message, SockError> {
+    fn call(
+        &self,
+        mtype: u32,
+        words: &[(usize, u64)],
+        proto: IpProtocol,
+    ) -> Result<Message, SockError> {
         let mut message = Message::new(mtype).with_word(syscalls::PROTO_WORD, proto.as_u8() as u64);
         for (index, value) in words {
             message = message.with_word(*index, *value);
@@ -63,7 +73,10 @@ impl NetClient {
         // synchronous call until it is reachable or the timeout expires.
         let deadline = std::time::Instant::now() + self.op_timeout;
         let reply = loop {
-            match self.kernel.sendrec(self.app, endpoints::SYSCALL, message, self.op_timeout) {
+            match self
+                .kernel
+                .sendrec(self.app, endpoints::SYSCALL, message, self.op_timeout)
+            {
                 Ok(reply) => break reply,
                 Err(IpcError::Timeout) => return Err(SockError::TimedOut),
                 Err(_) if std::time::Instant::now() < deadline => {
@@ -95,7 +108,11 @@ impl NetClient {
         let reply = self.call(syscalls::SOCKET, &[], IpProtocol::Tcp)?;
         let sock = reply.word(0);
         let buffer = self.attach_buffer("tcp", sock)?;
-        Ok(TcpSocket { client: self.clone(), sock, buffer })
+        Ok(TcpSocket {
+            client: self.clone(),
+            sock,
+            buffer,
+        })
     }
 
     /// Creates a UDP socket.
@@ -108,7 +125,12 @@ impl NetClient {
         let reply = self.call(syscalls::SOCKET, &[], IpProtocol::Udp)?;
         let sock = reply.word(0);
         let buffer = self.attach_buffer("udp", sock)?;
-        Ok(UdpSocket { client: self.clone(), sock, buffer, pending: Mutex::new(Vec::new()) })
+        Ok(UdpSocket {
+            client: self.clone(),
+            sock,
+            buffer,
+            pending: Mutex::new(Vec::new()),
+        })
     }
 }
 
@@ -134,7 +156,11 @@ impl TcpSocket {
     /// Returns [`SockError::AddressInUse`] if another listening socket owns
     /// the port.
     pub fn bind(&self, port: u16) -> Result<u16, SockError> {
-        let reply = self.client.call(syscalls::BIND, &[(0, self.sock), (1, port as u64)], IpProtocol::Tcp)?;
+        let reply = self.client.call(
+            syscalls::BIND,
+            &[(0, self.sock), (1, port as u64)],
+            IpProtocol::Tcp,
+        )?;
         Ok(reply.word(0) as u16)
     }
 
@@ -144,8 +170,11 @@ impl TcpSocket {
     ///
     /// Returns [`SockError::InvalidState`] when the socket is not bound.
     pub fn listen(&self, backlog: usize) -> Result<(), SockError> {
-        self.client
-            .call(syscalls::LISTEN, &[(0, self.sock), (1, backlog as u64)], IpProtocol::Tcp)?;
+        self.client.call(
+            syscalls::LISTEN,
+            &[(0, self.sock), (1, backlog as u64)],
+            IpProtocol::Tcp,
+        )?;
         Ok(())
     }
 
@@ -156,12 +185,22 @@ impl TcpSocket {
     /// Returns [`SockError::ServerUnavailable`] on timeout or when the TCP
     /// server is unreachable.
     pub fn accept(&self) -> Result<(TcpSocket, Ipv4Addr, u16), SockError> {
-        let reply = self.client.call(syscalls::ACCEPT, &[(0, self.sock)], IpProtocol::Tcp)?;
+        let reply = self
+            .client
+            .call(syscalls::ACCEPT, &[(0, self.sock)], IpProtocol::Tcp)?;
         let child = reply.word(0);
         let addr = crate::msg::word_to_addr(reply.word(1));
         let port = reply.word(2) as u16;
         let buffer = self.client.attach_buffer("tcp", child)?;
-        Ok((TcpSocket { client: self.client.clone(), sock: child, buffer }, addr, port))
+        Ok((
+            TcpSocket {
+                client: self.client.clone(),
+                sock: child,
+                buffer,
+            },
+            addr,
+            port,
+        ))
     }
 
     /// Connects to `addr:port`, blocking until the handshake completes.
@@ -222,7 +261,9 @@ impl TcpSocket {
     pub fn recv_exact(&self, buf: &mut [u8]) -> Result<(), SockError> {
         let mut offset = 0;
         while offset < buf.len() {
-            let n = self.buffer.read(&mut buf[offset..], self.client.op_timeout)?;
+            let n = self
+                .buffer
+                .read(&mut buf[offset..], self.client.op_timeout)?;
             if n == 0 {
                 return Err(SockError::ConnectionReset);
             }
@@ -243,7 +284,8 @@ impl TcpSocket {
     /// Returns [`SockError::ServerUnavailable`] if the TCP server cannot be
     /// reached (the socket is abandoned in that case).
     pub fn close(self) -> Result<(), SockError> {
-        self.client.call(syscalls::CLOSE, &[(0, self.sock)], IpProtocol::Tcp)?;
+        self.client
+            .call(syscalls::CLOSE, &[(0, self.sock)], IpProtocol::Tcp)?;
         Ok(())
     }
 }
@@ -270,7 +312,11 @@ impl UdpSocket {
     ///
     /// Returns [`SockError::AddressInUse`] when the port is taken.
     pub fn bind(&self, port: u16) -> Result<u16, SockError> {
-        let reply = self.client.call(syscalls::BIND, &[(0, self.sock), (1, port as u64)], IpProtocol::Udp)?;
+        let reply = self.client.call(
+            syscalls::BIND,
+            &[(0, self.sock), (1, port as u64)],
+            IpProtocol::Udp,
+        )?;
         Ok(reply.word(0) as u16)
     }
 
@@ -299,7 +345,9 @@ impl UdpSocket {
         let record = encode_datagram(addr, port, payload);
         let mut offset = 0;
         while offset < record.len() {
-            offset += self.buffer.write(&record[offset..], self.client.op_timeout)?;
+            offset += self
+                .buffer
+                .write(&record[offset..], self.client.op_timeout)?;
         }
         Ok(())
     }
@@ -347,7 +395,8 @@ impl UdpSocket {
     /// Returns [`SockError::ServerUnavailable`] if the UDP server cannot be
     /// reached.
     pub fn close(self) -> Result<(), SockError> {
-        self.client.call(syscalls::CLOSE, &[(0, self.sock)], IpProtocol::Udp)?;
+        self.client
+            .call(syscalls::CLOSE, &[(0, self.sock)], IpProtocol::Udp)?;
         Ok(())
     }
 }

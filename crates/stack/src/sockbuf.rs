@@ -40,7 +40,9 @@ impl std::fmt::Display for SockError {
             SockError::ConnectionReset => write!(f, "connection reset"),
             SockError::TimedOut => write!(f, "operation timed out"),
             SockError::ConnectionRefused => write!(f, "connection refused"),
-            SockError::InvalidState => write!(f, "socket is in an invalid state for this operation"),
+            SockError::InvalidState => {
+                write!(f, "socket is in an invalid state for this operation")
+            }
             SockError::AddressInUse => write!(f, "address already in use"),
             SockError::ServerUnavailable => write!(f, "protocol server unavailable"),
             SockError::Filtered => write!(f, "traffic blocked by the packet filter"),
@@ -281,7 +283,10 @@ mod tests {
     fn write_times_out_when_full() {
         let buf = SocketBuffer::new(4, 4);
         buf.write(&[0u8; 4], T).unwrap();
-        assert_eq!(buf.write(&[0u8; 1], Duration::from_millis(30)), Err(SockError::TimedOut));
+        assert_eq!(
+            buf.write(&[0u8; 1], Duration::from_millis(30)),
+            Err(SockError::TimedOut)
+        );
     }
 
     #[test]

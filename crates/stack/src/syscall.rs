@@ -16,10 +16,10 @@ use newt_kernel::rs::CrashEvent;
 use newt_net::wire::IpProtocol;
 
 use crate::endpoints;
-use crate::fabric::{drain, send, CrashBoard, Rx, Tx};
-use crate::msg::{
-    addr_to_word, encode_sock_error, syscalls, word_to_addr, SockReply, SockRequest,
-};
+#[cfg(test)]
+use crate::fabric::drain;
+use crate::fabric::{send, CrashBoard, Rx, Tx};
+use crate::msg::{addr_to_word, encode_sock_error, syscalls, word_to_addr, SockReply, SockRequest};
 use crate::sockbuf::SockError;
 
 /// Counters describing SYSCALL server activity.
@@ -50,6 +50,8 @@ pub struct SyscallServer {
     crash_cursor: usize,
     pending: RequestDb<PendingCall>,
     stats: SyscallStats,
+    /// Scratch buffer reused across poll rounds for transport replies.
+    reply_scratch: Vec<SockReply>,
 }
 
 impl SyscallServer {
@@ -74,6 +76,7 @@ impl SyscallServer {
             crash_cursor,
             pending: RequestDb::new(),
             stats: SyscallStats::default(),
+            reply_scratch: Vec::new(),
         }
     }
 
@@ -97,15 +100,16 @@ impl SyscallServer {
             self.dispatch(message);
         }
 
-        // Replies coming back from the protocol servers.
-        for reply in drain(&self.from_tcp) {
+        // Replies coming back from the protocol servers, drained batch-wise
+        // into a reused scratch buffer.
+        let mut replies = std::mem::take(&mut self.reply_scratch);
+        self.from_tcp.drain_into(&mut replies);
+        self.from_udp.drain_into(&mut replies);
+        for reply in replies.drain(..) {
             work += 1;
             self.complete(reply);
         }
-        for reply in drain(&self.from_udp) {
-            work += 1;
-            self.complete(reply);
-        }
+        self.reply_scratch = replies;
 
         work
     }
@@ -114,23 +118,41 @@ impl SyscallServer {
         let app = message.source;
         let proto = message.word(syscalls::PROTO_WORD) as u8;
         let is_tcp = proto == IpProtocol::Tcp.as_u8();
-        let destination = if is_tcp { endpoints::TCP } else { endpoints::UDP };
-        let req = self.pending.submit(destination, AbortPolicy::Fail, PendingCall { app });
+        let destination = if is_tcp {
+            endpoints::TCP
+        } else {
+            endpoints::UDP
+        };
+        let req = self
+            .pending
+            .submit(destination, AbortPolicy::Fail, PendingCall { app });
 
         let request = match message.mtype {
             syscalls::SOCKET => SockRequest::Open { req },
-            syscalls::BIND => SockRequest::Bind { req, sock: message.word(0), port: message.word(1) as u16 },
-            syscalls::LISTEN => {
-                SockRequest::Listen { req, sock: message.word(0), backlog: message.word(1) as usize }
-            }
-            syscalls::ACCEPT => SockRequest::Accept { req, sock: message.word(0) },
+            syscalls::BIND => SockRequest::Bind {
+                req,
+                sock: message.word(0),
+                port: message.word(1) as u16,
+            },
+            syscalls::LISTEN => SockRequest::Listen {
+                req,
+                sock: message.word(0),
+                backlog: message.word(1) as usize,
+            },
+            syscalls::ACCEPT => SockRequest::Accept {
+                req,
+                sock: message.word(0),
+            },
             syscalls::CONNECT => SockRequest::Connect {
                 req,
                 sock: message.word(0),
                 addr: word_to_addr(message.word(1)),
                 port: message.word(2) as u16,
             },
-            syscalls::CLOSE => SockRequest::Close { req, sock: message.word(0) },
+            syscalls::CLOSE => SockRequest::Close {
+                req,
+                sock: message.word(0),
+            },
             _ => {
                 self.pending.complete(req);
                 self.reply_error(app, SockError::InvalidState);
@@ -149,11 +171,20 @@ impl SyscallServer {
         let req = reply.req();
         // Replies to aborted or unknown requests are ignored (the paper's
         // "ignore old replies from the servers").
-        let Some(call) = self.pending.complete(req) else { return };
+        let Some(call) = self.pending.complete(req) else {
+            return;
+        };
         let message = match reply {
             SockReply::Opened { sock, .. } => Message::new(syscalls::REPLY_OK).with_word(0, sock),
-            SockReply::Ok { port, .. } => Message::new(syscalls::REPLY_OK).with_word(0, port as u64),
-            SockReply::Accepted { sock, peer_addr, peer_port, .. } => Message::new(syscalls::REPLY_OK)
+            SockReply::Ok { port, .. } => {
+                Message::new(syscalls::REPLY_OK).with_word(0, port as u64)
+            }
+            SockReply::Accepted {
+                sock,
+                peer_addr,
+                peer_port,
+                ..
+            } => Message::new(syscalls::REPLY_OK)
                 .with_word(0, sock)
                 .with_word(1, addr_to_word(peer_addr))
                 .with_word(2, peer_port as u64),
@@ -161,7 +192,11 @@ impl SyscallServer {
                 Message::new(syscalls::REPLY_ERR).with_word(0, encode_sock_error(error))
             }
         };
-        if self.kernel.send(endpoints::SYSCALL, call.app, message).is_ok() {
+        if self
+            .kernel
+            .send(endpoints::SYSCALL, call.app, message)
+            .is_ok()
+        {
             self.stats.replies += 1;
         }
     }
@@ -191,7 +226,6 @@ impl SyscallServer {
     pub fn outstanding(&self) -> usize {
         self.pending.len()
     }
-
 }
 
 #[cfg(test)]
@@ -279,7 +313,14 @@ mod tests {
         rig.syscall.poll();
         assert!(drain(&rig.tcp_rx).is_empty());
         let forwarded = drain(&rig.udp_rx);
-        assert!(matches!(forwarded[..], [SockRequest::Bind { sock: 7, port: 53, .. }]));
+        assert!(matches!(
+            forwarded[..],
+            [SockRequest::Bind {
+                sock: 7,
+                port: 53,
+                ..
+            }]
+        ));
     }
 
     #[test]
@@ -295,7 +336,12 @@ mod tests {
         rig.syscall.poll();
         let forwarded = drain(&rig.tcp_rx);
         match &forwarded[..] {
-            [SockRequest::Connect { sock: 3, addr: a, port: 5001, .. }] => assert_eq!(*a, addr),
+            [SockRequest::Connect {
+                sock: 3,
+                addr: a,
+                port: 5001,
+                ..
+            }] => assert_eq!(*a, addr),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -303,11 +349,19 @@ mod tests {
     #[test]
     fn error_replies_are_translated() {
         let mut rig = rig();
-        let msg = Message::new(syscalls::LISTEN).with_word(0, 1).with_word(syscalls::PROTO_WORD, 6);
+        let msg = Message::new(syscalls::LISTEN)
+            .with_word(0, 1)
+            .with_word(syscalls::PROTO_WORD, 6);
         rig.kernel.send(rig.app, endpoints::SYSCALL, msg).unwrap();
         rig.syscall.poll();
         let req = drain(&rig.tcp_rx)[0].req();
-        send(&rig.tcp_tx, SockReply::Error { req, error: SockError::InvalidState });
+        send(
+            &rig.tcp_tx,
+            SockReply::Error {
+                req,
+                error: SockError::InvalidState,
+            },
+        );
         rig.syscall.poll();
         let reply = rig.kernel.receive(rig.app, Duration::from_secs(1)).unwrap();
         assert_eq!(reply.mtype, syscalls::REPLY_ERR);
@@ -329,7 +383,9 @@ mod tests {
     #[test]
     fn tcp_crash_fails_outstanding_calls() {
         let mut rig = rig();
-        let msg = Message::new(syscalls::ACCEPT).with_word(0, 5).with_word(syscalls::PROTO_WORD, 6);
+        let msg = Message::new(syscalls::ACCEPT)
+            .with_word(0, 5)
+            .with_word(syscalls::PROTO_WORD, 6);
         rig.kernel.send(rig.app, endpoints::SYSCALL, msg).unwrap();
         rig.syscall.poll();
         assert_eq!(rig.syscall.outstanding(), 1);
@@ -344,9 +400,18 @@ mod tests {
         assert_eq!(rig.syscall.outstanding(), 0);
         let reply = rig.kernel.receive(rig.app, Duration::from_secs(1)).unwrap();
         assert_eq!(reply.mtype, syscalls::REPLY_ERR);
-        assert_eq!(reply.word(0), encode_sock_error(SockError::ServerUnavailable));
+        assert_eq!(
+            reply.word(0),
+            encode_sock_error(SockError::ServerUnavailable)
+        );
         // A late reply from the old TCP incarnation is ignored.
-        send(&rig.tcp_tx, SockReply::Opened { req: RequestId::from_raw(1), sock: 1 });
+        send(
+            &rig.tcp_tx,
+            SockReply::Opened {
+                req: RequestId::from_raw(1),
+                sock: 1,
+            },
+        );
         rig.syscall.poll();
         assert_eq!(rig.syscall.stats().replies, 0);
     }
@@ -354,12 +419,22 @@ mod tests {
     #[test]
     fn accepted_reply_carries_peer_address() {
         let mut rig = rig();
-        let msg = Message::new(syscalls::ACCEPT).with_word(0, 5).with_word(syscalls::PROTO_WORD, 6);
+        let msg = Message::new(syscalls::ACCEPT)
+            .with_word(0, 5)
+            .with_word(syscalls::PROTO_WORD, 6);
         rig.kernel.send(rig.app, endpoints::SYSCALL, msg).unwrap();
         rig.syscall.poll();
         let req = drain(&rig.tcp_rx)[0].req();
         let peer = std::net::Ipv4Addr::new(10, 0, 0, 2);
-        send(&rig.tcp_tx, SockReply::Accepted { req, sock: 9, peer_addr: peer, peer_port: 51000 });
+        send(
+            &rig.tcp_tx,
+            SockReply::Accepted {
+                req,
+                sock: 9,
+                peer_addr: peer,
+                peer_port: 51000,
+            },
+        );
         rig.syscall.poll();
         let reply = rig.kernel.receive(rig.app, Duration::from_secs(1)).unwrap();
         assert_eq!(reply.word(0), 9);

@@ -34,7 +34,9 @@ use newt_kernel::storage::StorageServer;
 use newt_net::wire::{EthernetFrame, IpProtocol, Ipv4Packet, TcpFlags, TcpSegment};
 
 use crate::endpoints;
-use crate::fabric::{drain, send, CrashBoard, PoolTable, Rx, Tx};
+#[cfg(test)]
+use crate::fabric::drain;
+use crate::fabric::{send, CrashBoard, PoolTable, Rx, Tx};
 use crate::msg::{
     FlowTuple, IpToTransport, PfToTransport, SockId, SockReply, SockRequest, TransportToIp,
     TransportToPf,
@@ -195,6 +197,11 @@ pub struct TcpServer {
     isn_counter: u32,
     ip_reqs: RequestDb<PendingSend>,
     stats: TcpStats,
+    /// Scratch buffers reused across poll rounds (zero steady-state
+    /// allocation on the message path).
+    syscall_scratch: Vec<SockRequest>,
+    ip_scratch: Vec<IpToTransport>,
+    pf_scratch: Vec<PfToTransport>,
 }
 
 impl TcpServer {
@@ -240,6 +247,9 @@ impl TcpServer {
             isn_counter: 0x1000_0000,
             ip_reqs: RequestDb::new(),
             stats: TcpStats::default(),
+            syscall_scratch: Vec::new(),
+            ip_scratch: Vec::new(),
+            pf_scratch: Vec::new(),
         };
         if mode == StartMode::Restart {
             server.tx_pool.reset();
@@ -283,8 +293,9 @@ impl TcpServer {
             } else {
                 // Established connections are lost: surface an error to the
                 // application through the shared buffer, if it still exists.
-                if let Ok(buffer) =
-                    self.registry.attach_shared::<SocketBuffer>(endpoints::TCP, &buffer_name)
+                if let Ok(buffer) = self
+                    .registry
+                    .attach_shared::<SocketBuffer>(endpoints::TCP, &buffer_name)
                 {
                     buffer.set_error(SockError::ConnectionReset);
                 }
@@ -350,25 +361,34 @@ impl TcpServer {
             self.handle_crash(&event);
         }
 
-        for request in drain(&self.from_syscall) {
+        let mut requests = std::mem::take(&mut self.syscall_scratch);
+        self.from_syscall.drain_into(&mut requests);
+        for request in requests.drain(..) {
             work += 1;
             self.handle_sock_request(request);
         }
+        self.syscall_scratch = requests;
 
-        for msg in drain(&self.from_ip) {
+        let mut from_ip = std::mem::take(&mut self.ip_scratch);
+        self.from_ip.drain_into(&mut from_ip);
+        for msg in from_ip.drain(..) {
             work += 1;
             match msg {
                 IpToTransport::Deliver { ptr } => self.handle_deliver(ptr),
                 IpToTransport::SendDone { req, ok } => self.handle_send_done(req, ok),
             }
         }
+        self.ip_scratch = from_ip;
 
-        for msg in drain(&self.from_pf) {
+        let mut from_pf = std::mem::take(&mut self.pf_scratch);
+        self.from_pf.drain_into(&mut from_pf);
+        for msg in from_pf.drain(..) {
             work += 1;
             let PfToTransport::QueryConnections = msg;
             let flows = self.flows();
             send(&self.to_pf, TransportToPf::Connections(flows));
         }
+        self.pf_scratch = from_pf;
 
         work += self.pump_sockets();
         work
@@ -427,21 +447,24 @@ impl TcpServer {
                 self.persist_sockets();
                 send(&self.to_syscall, reply_for(req, reply));
             }
-            SockRequest::Accept { sock, .. } => {
-                match self.sockets.get_mut(&sock) {
-                    Some(listener) if listener.state == TcpState::Listen => {
-                        listener.pending_accepts.push(req);
-                        self.try_complete_accepts(sock);
-                    }
-                    _ => {
-                        send(
-                            &self.to_syscall,
-                            SockReply::Error { req, error: SockError::InvalidState },
-                        );
-                    }
+            SockRequest::Accept { sock, .. } => match self.sockets.get_mut(&sock) {
+                Some(listener) if listener.state == TcpState::Listen => {
+                    listener.pending_accepts.push(req);
+                    self.try_complete_accepts(sock);
                 }
-            }
-            SockRequest::Connect { sock, addr, port, .. } => {
+                _ => {
+                    send(
+                        &self.to_syscall,
+                        SockReply::Error {
+                            req,
+                            error: SockError::InvalidState,
+                        },
+                    );
+                }
+            },
+            SockRequest::Connect {
+                sock, addr, port, ..
+            } => {
                 let result = self.connect(sock, addr, port, req);
                 if let Err(error) = result {
                     send(&self.to_syscall, SockReply::Error { req, error });
@@ -487,15 +510,23 @@ impl TcpServer {
         port: u16,
         req: RequestId,
     ) -> Result<(), SockError> {
-        if self.sockets.get(&sock).is_none() {
+        if !self.sockets.contains_key(&sock) {
             return Err(SockError::InvalidState);
         }
         // Auto-bind to an ephemeral port if needed.
         let local_port = {
             let s = self.sockets.get(&sock).expect("checked above");
-            if s.local_port == 0 { 0 } else { s.local_port }
+            if s.local_port == 0 {
+                0
+            } else {
+                s.local_port
+            }
         };
-        let local_port = if local_port == 0 { self.bind(sock, 0)? } else { local_port };
+        let local_port = if local_port == 0 {
+            self.bind(sock, 0)?
+        } else {
+            local_port
+        };
 
         let isn = self.next_isn();
         let s = self.sockets.get_mut(&sock).expect("checked above");
@@ -514,7 +545,9 @@ impl TcpServer {
     }
 
     fn close(&mut self, sock: SockId) -> Result<u16, SockError> {
-        let Some(s) = self.sockets.get_mut(&sock) else { return Err(SockError::InvalidState) };
+        let Some(s) = self.sockets.get_mut(&sock) else {
+            return Err(SockError::InvalidState);
+        };
         match s.state {
             TcpState::Listen | TcpState::Closed | TcpState::SynSent => {
                 let name = Self::buffer_name(sock);
@@ -532,7 +565,9 @@ impl TcpServer {
 
     fn try_complete_accepts(&mut self, listener_id: SockId) {
         loop {
-            let Some(listener) = self.sockets.get_mut(&listener_id) else { return };
+            let Some(listener) = self.sockets.get_mut(&listener_id) else {
+                return;
+            };
             if listener.pending_accepts.is_empty() || listener.backlog.is_empty() {
                 return;
             }
@@ -545,7 +580,12 @@ impl TcpServer {
                 .unwrap_or((Ipv4Addr::UNSPECIFIED, 0));
             send(
                 &self.to_syscall,
-                SockReply::Accepted { req, sock: child_id, peer_addr, peer_port },
+                SockReply::Accepted {
+                    req,
+                    sock: child_id,
+                    peer_addr,
+                    peer_port,
+                },
             );
         }
     }
@@ -565,8 +605,12 @@ impl TcpServer {
         payload: Vec<u8>,
         is_connection_start: bool,
     ) {
-        let Some(s) = self.sockets.get(&sock) else { return };
-        let Some((dst, dst_port)) = s.remote else { return };
+        let Some(s) = self.sockets.get(&sock) else {
+            return;
+        };
+        let Some((dst, dst_port)) = s.remote else {
+            return;
+        };
         segment.window = s.buffer.recv_space().min(65_535) as u16;
         segment.payload = payload;
         // Build the header bytes with a zero checksum (software checksumming
@@ -592,7 +636,9 @@ impl TcpServer {
             transport_header: header.clone(),
             is_connection_start,
         };
-        let req = self.ip_reqs.submit(endpoints::IP, AbortPolicy::Resubmit, pending);
+        let req = self
+            .ip_reqs
+            .submit(endpoints::IP, AbortPolicy::Resubmit, pending);
         let sent = send(
             &self.to_ip,
             TransportToIp::SendPacket {
@@ -642,7 +688,9 @@ impl TcpServer {
 
         // Retransmission timeout.
         let timed_out = {
-            let Some(s) = self.sockets.get(&id) else { return 0 };
+            let Some(s) = self.sockets.get(&id) else {
+                return 0;
+            };
             matches!(s.rto_deadline, Some(deadline) if now >= deadline && s.flight() > 0)
         };
         if timed_out {
@@ -653,7 +701,9 @@ impl TcpServer {
         // New data.
         loop {
             let (seq, data, dst_port_known) = {
-                let Some(s) = self.sockets.get_mut(&id) else { return work };
+                let Some(s) = self.sockets.get_mut(&id) else {
+                    return work;
+                };
                 if s.state != TcpState::Established && s.state != TcpState::CloseWait {
                     break;
                 }
@@ -666,7 +716,11 @@ impl TcpServer {
                     break;
                 }
                 let budget = (window - in_flight) as usize;
-                let seg_size = if self.config.tso { self.config.tso_segment } else { s.mss };
+                let seg_size = if self.config.tso {
+                    self.config.tso_segment
+                } else {
+                    s.mss
+                };
                 let take = budget.min(seg_size);
                 let data = s.buffer.drain_send(take);
                 if data.is_empty() {
@@ -688,14 +742,17 @@ impl TcpServer {
                 let s = self.sockets.get(&id).expect("socket exists");
                 (s.local_port, s.remote.expect("remote checked").1, s.rcv_nxt)
             };
-            let mut seg = TcpSegment::control(local_port, dst_port, seq, rcv_nxt, TcpFlags::PSH_ACK);
+            let mut seg =
+                TcpSegment::control(local_port, dst_port, seq, rcv_nxt, TcpFlags::PSH_ACK);
             seg.payload.clear();
             self.emit_segment(id, seg, data, false);
         }
 
         // FIN emission once everything is out.
         let fin_due = {
-            let Some(s) = self.sockets.get(&id) else { return work };
+            let Some(s) = self.sockets.get(&id) else {
+                return work;
+            };
             s.close_requested
                 && !s.fin_sent
                 && s.unacked.is_empty()
@@ -718,7 +775,13 @@ impl TcpServer {
                 if s.rto_deadline.is_none() {
                     s.rto_deadline = Some(now + s.rto);
                 }
-                (s.local_port, s.remote.expect("remote checked").1, seq, s.rcv_nxt, next_state)
+                (
+                    s.local_port,
+                    s.remote.expect("remote checked").1,
+                    seq,
+                    s.rcv_nxt,
+                    next_state,
+                )
             };
             let _ = next_state;
             let seg = TcpSegment::control(local_port, dst_port, seq, rcv_nxt, TcpFlags::FIN_ACK);
@@ -731,14 +794,17 @@ impl TcpServer {
     fn retransmit(&mut self, id: SockId, from_timeout: bool) {
         let now = self.clock.now();
         let (seg, payload) = {
-            let Some(s) = self.sockets.get_mut(&id) else { return };
+            let Some(s) = self.sockets.get_mut(&id) else {
+                return;
+            };
             if s.remote.is_none() {
                 return;
             }
             let (_, dst_port) = s.remote.expect("checked");
             if s.state == TcpState::SynSent {
                 // Retransmit the SYN.
-                let mut syn = TcpSegment::control(s.local_port, dst_port, s.snd_una, 0, TcpFlags::SYN);
+                let mut syn =
+                    TcpSegment::control(s.local_port, dst_port, s.snd_una, 0, TcpFlags::SYN);
                 syn.mss = Some(s.mss as u16);
                 if from_timeout {
                     s.rto = (s.rto * 2).min(self.config.rto_max);
@@ -746,7 +812,11 @@ impl TcpServer {
                 s.rto_deadline = Some(now + s.rto);
                 (syn, Vec::new())
             } else {
-                let seg_size = if self.config.tso { self.config.tso_segment } else { s.mss };
+                let seg_size = if self.config.tso {
+                    self.config.tso_segment
+                } else {
+                    s.mss
+                };
                 let len = s.unacked.len().min(seg_size);
                 let payload = s.unacked[..len].to_vec();
                 let flags = if payload.is_empty() && s.fin_sent {
@@ -754,8 +824,7 @@ impl TcpServer {
                 } else {
                     TcpFlags::PSH_ACK
                 };
-                let seg =
-                    TcpSegment::control(s.local_port, dst_port, s.snd_una, s.rcv_nxt, flags);
+                let seg = TcpSegment::control(s.local_port, dst_port, s.snd_una, s.rcv_nxt, flags);
                 if from_timeout {
                     // Classic Reno reaction to a timeout.
                     s.ssthresh = (s.flight() / 2).max(2 * s.mss as u32);
@@ -784,7 +853,9 @@ impl TcpServer {
             .and_then(|bytes| Self::parse_segment(&bytes));
         // Always hand the chunk back to IP, even if parsing failed.
         send(&self.to_ip, TransportToIp::RxDone { ptr });
-        let Some((src, _dst, segment)) = parsed else { return };
+        let Some((src, _dst, segment)) = parsed else {
+            return;
+        };
         self.stats.segments_in += 1;
         self.handle_segment(src, segment);
     }
@@ -823,7 +894,11 @@ impl TcpServer {
             // evaluation workloads never need it.
             return;
         };
-        let is_listener = self.sockets.get(&id).map(|s| s.state == TcpState::Listen).unwrap_or(false);
+        let is_listener = self
+            .sockets
+            .get(&id)
+            .map(|s| s.state == TcpState::Listen)
+            .unwrap_or(false);
         if is_listener {
             if segment.flags.syn && !segment.flags.ack {
                 self.accept_syn(id, src, &segment);
@@ -836,14 +911,21 @@ impl TcpServer {
     fn accept_syn(&mut self, listener_id: SockId, src: Ipv4Addr, syn: &TcpSegment) {
         let (local_port, backlog_limit, backlog_len) = {
             let listener = self.sockets.get(&listener_id).expect("listener exists");
-            (listener.local_port, listener.backlog_limit, listener.backlog.len())
+            (
+                listener.local_port,
+                listener.backlog_limit,
+                listener.backlog.len(),
+            )
         };
         if backlog_len >= backlog_limit {
             return; // drop the SYN; the client retries
         }
         let child_id = self.next_sock;
         self.next_sock += 1;
-        let buffer = Arc::new(SocketBuffer::new(self.config.buffer_capacity, self.config.buffer_capacity));
+        let buffer = Arc::new(SocketBuffer::new(
+            self.config.buffer_capacity,
+            self.config.buffer_capacity,
+        ));
         let _ = self.registry.publish_shared(
             endpoints::TCP,
             self.generation,
@@ -866,11 +948,20 @@ impl TcpServer {
         self.sockets.insert(child_id, child);
         // Remember which listener owns this half-open connection by storing
         // it on the listener's backlog once established; for now send SYN-ACK.
-        let mut syn_ack = TcpSegment::control(local_port, syn.src_port, isn, syn.seq.wrapping_add(1), TcpFlags::SYN_ACK);
+        let mut syn_ack = TcpSegment::control(
+            local_port,
+            syn.src_port,
+            isn,
+            syn.seq.wrapping_add(1),
+            TcpFlags::SYN_ACK,
+        );
         syn_ack.mss = Some(self.config.mss as u16);
         self.emit_segment(child_id, syn_ack, Vec::new(), false);
         // Track the parent so the child can be queued on establishment.
-        self.sockets.get_mut(&child_id).expect("just inserted").backlog_limit = listener_id as usize;
+        self.sockets
+            .get_mut(&child_id)
+            .expect("just inserted")
+            .backlog_limit = listener_id as usize;
         self.persist_sockets();
     }
 
@@ -879,13 +970,21 @@ impl TcpServer {
         let mut newly_established: Option<SockId> = None;
         let mut remove_sock = false;
         {
-            let Some(s) = self.sockets.get_mut(&id) else { return };
+            let Some(s) = self.sockets.get_mut(&id) else {
+                return;
+            };
             s.peer_window = (segment.window as u32).max(1) * self.config.window_scale.max(1);
 
             if segment.flags.rst {
                 s.buffer.set_error(SockError::ConnectionReset);
                 if let Some(req) = s.pending_connect.take() {
-                    send(&self.to_syscall, SockReply::Error { req, error: SockError::ConnectionRefused });
+                    send(
+                        &self.to_syscall,
+                        SockReply::Error {
+                            req,
+                            error: SockError::ConnectionRefused,
+                        },
+                    );
                 }
                 s.state = TcpState::Closed;
                 self.stats.connections_reset += 1;
@@ -893,21 +992,27 @@ impl TcpServer {
             } else {
                 // Handshake transitions.
                 match s.state {
-                    TcpState::SynSent if segment.flags.syn && segment.flags.ack => {
-                        if segment.ack == s.snd_nxt {
-                            s.rcv_nxt = segment.seq.wrapping_add(1);
-                            s.snd_una = segment.ack;
-                            s.state = TcpState::Established;
-                            s.rto_deadline = None;
-                            if let Some(mss) = segment.mss {
-                                s.mss = (mss as usize).min(self.config.mss);
-                            }
-                            self.stats.connections_established += 1;
-                            if let Some(req) = s.pending_connect.take() {
-                                send(&self.to_syscall, SockReply::Ok { req, port: s.local_port });
-                            }
-                            ack_due = true;
+                    TcpState::SynSent
+                        if segment.flags.syn && segment.flags.ack && segment.ack == s.snd_nxt =>
+                    {
+                        s.rcv_nxt = segment.seq.wrapping_add(1);
+                        s.snd_una = segment.ack;
+                        s.state = TcpState::Established;
+                        s.rto_deadline = None;
+                        if let Some(mss) = segment.mss {
+                            s.mss = (mss as usize).min(self.config.mss);
                         }
+                        self.stats.connections_established += 1;
+                        if let Some(req) = s.pending_connect.take() {
+                            send(
+                                &self.to_syscall,
+                                SockReply::Ok {
+                                    req,
+                                    port: s.local_port,
+                                },
+                            );
+                        }
+                        ack_due = true;
                     }
                     TcpState::SynReceived if segment.flags.ack && segment.ack == s.snd_nxt => {
                         s.snd_una = segment.ack;
@@ -968,7 +1073,8 @@ impl TcpServer {
                 }
 
                 // FIN processing.
-                if segment.flags.fin && segment.seq.wrapping_add(segment.payload.len() as u32) == s.rcv_nxt
+                if segment.flags.fin
+                    && segment.seq.wrapping_add(segment.payload.len() as u32) == s.rcv_nxt
                 {
                     s.rcv_nxt = s.rcv_nxt.wrapping_add(1);
                     s.buffer.set_eof();
@@ -1017,10 +1123,14 @@ impl TcpServer {
         if ack_due {
             let info = {
                 let s = self.sockets.get(&id);
-                s.and_then(|s| s.remote.map(|(_, port)| (s.local_port, port, s.snd_nxt, s.rcv_nxt)))
+                s.and_then(|s| {
+                    s.remote
+                        .map(|(_, port)| (s.local_port, port, s.snd_nxt, s.rcv_nxt))
+                })
             };
             if let Some((local_port, dst_port, snd_nxt, rcv_nxt)) = info {
-                let seg = TcpSegment::control(local_port, dst_port, snd_nxt, rcv_nxt, TcpFlags::ACK);
+                let seg =
+                    TcpSegment::control(local_port, dst_port, snd_nxt, rcv_nxt, TcpFlags::ACK);
                 self.emit_segment(id, seg, Vec::new(), false);
             }
         }
@@ -1044,7 +1154,9 @@ impl TcpServer {
             let aborted = self.ip_reqs.abort_all_to(endpoints::IP);
             for a in aborted {
                 let pending = a.context;
-                let req = self.ip_reqs.submit(endpoints::IP, AbortPolicy::Resubmit, pending.clone());
+                let req =
+                    self.ip_reqs
+                        .submit(endpoints::IP, AbortPolicy::Resubmit, pending.clone());
                 self.stats.resubmitted_sends += 1;
                 send(
                     &self.to_ip,
@@ -1121,7 +1233,10 @@ mod tests {
         let tcp = TcpServer::new(
             mode,
             Generation::FIRST,
-            TcpConfig { tso: false, ..TcpConfig::default() },
+            TcpConfig {
+                tso: false,
+                ..TcpConfig::default()
+            },
             clock.clone(),
             Arc::clone(&storage),
             registry.clone(),
@@ -1152,14 +1267,23 @@ mod tests {
     }
 
     fn rig() -> Rig {
-        rig_with(StartMode::Fresh, Arc::new(StorageServer::new()), Registry::new())
+        rig_with(
+            StartMode::Fresh,
+            Arc::new(StorageServer::new()),
+            Registry::new(),
+        )
     }
 
     const PEER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
     const LOCAL: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 
     fn open_socket(rig: &mut Rig) -> SockId {
-        send(&rig.syscall_tx, SockRequest::Open { req: RequestId::from_raw(1) });
+        send(
+            &rig.syscall_tx,
+            SockRequest::Open {
+                req: RequestId::from_raw(1),
+            },
+        );
         rig.tcp.poll();
         match drain(&rig.syscall_rx).pop() {
             Some(SockReply::Opened { sock, .. }) => sock,
@@ -1171,7 +1295,12 @@ mod tests {
     fn outgoing(rig: &mut Rig) -> Vec<TcpSegment> {
         let mut out = Vec::new();
         for msg in drain(&rig.ip_rx) {
-            if let TransportToIp::SendPacket { transport_header, payload, .. } = msg {
+            if let TransportToIp::SendPacket {
+                transport_header,
+                payload,
+                ..
+            } = msg
+            {
                 let mut bytes = transport_header.clone();
                 if let Some(data) = rig.pools.gather(&payload) {
                     bytes.extend_from_slice(&data);
@@ -1225,7 +1354,12 @@ mod tests {
         let sock = open_socket(rig);
         send(
             &rig.syscall_tx,
-            SockRequest::Connect { req: RequestId::from_raw(2), sock, addr: PEER, port: 5001 },
+            SockRequest::Connect {
+                req: RequestId::from_raw(2),
+                sock,
+                addr: PEER,
+                port: 5001,
+            },
         );
         rig.tcp.poll();
         let syn = outgoing(rig).pop().expect("syn expected");
@@ -1233,24 +1367,52 @@ mod tests {
         let local_port = syn.src_port;
         // Peer answers SYN-ACK.
         let peer_isn = 9_000u32;
-        let mut syn_ack = TcpSegment::control(5001, local_port, peer_isn, syn.seq.wrapping_add(1), TcpFlags::SYN_ACK);
+        let mut syn_ack = TcpSegment::control(
+            5001,
+            local_port,
+            peer_isn,
+            syn.seq.wrapping_add(1),
+            TcpFlags::SYN_ACK,
+        );
         syn_ack.mss = Some(1460);
         syn_ack.window = 65_535;
         inject(rig, syn_ack);
         // Connect completes and the final ACK of the handshake goes out.
         let replies = drain(&rig.syscall_rx);
-        assert!(matches!(replies[..], [SockReply::Ok { .. }]), "connect should complete: {replies:?}");
+        assert!(
+            matches!(replies[..], [SockReply::Ok { .. }]),
+            "connect should complete: {replies:?}"
+        );
         let acks = outgoing(rig);
         assert!(acks.iter().any(|s| s.flags.ack && !s.flags.syn));
-        (sock, local_port, syn.seq.wrapping_add(1), peer_isn.wrapping_add(1))
+        (
+            sock,
+            local_port,
+            syn.seq.wrapping_add(1),
+            peer_isn.wrapping_add(1),
+        )
     }
 
     #[test]
     fn open_bind_listen_and_persist() {
         let mut rig = rig();
         let sock = open_socket(&mut rig);
-        send(&rig.syscall_tx, SockRequest::Bind { req: RequestId::from_raw(2), sock, port: 22 });
-        send(&rig.syscall_tx, SockRequest::Listen { req: RequestId::from_raw(3), sock, backlog: 4 });
+        send(
+            &rig.syscall_tx,
+            SockRequest::Bind {
+                req: RequestId::from_raw(2),
+                sock,
+                port: 22,
+            },
+        );
+        send(
+            &rig.syscall_tx,
+            SockRequest::Listen {
+                req: RequestId::from_raw(3),
+                sock,
+                backlog: 4,
+            },
+        );
         rig.tcp.poll();
         let replies = drain(&rig.syscall_rx);
         assert_eq!(replies.len(), 2);
@@ -1266,7 +1428,14 @@ mod tests {
         let mut rig = rig();
         let a = open_socket(&mut rig);
         let b = open_socket(&mut rig);
-        send(&rig.syscall_tx, SockRequest::Bind { req: RequestId::from_raw(2), sock: a, port: 0 });
+        send(
+            &rig.syscall_tx,
+            SockRequest::Bind {
+                req: RequestId::from_raw(2),
+                sock: a,
+                port: 0,
+            },
+        );
         rig.tcp.poll();
         let port = match drain(&rig.syscall_rx).pop() {
             Some(SockReply::Ok { port, .. }) => port,
@@ -1274,14 +1443,39 @@ mod tests {
         };
         assert!(port >= 40_000);
         // Listening twice on the same port fails.
-        send(&rig.syscall_tx, SockRequest::Bind { req: RequestId::from_raw(3), sock: a, port: 80 });
-        send(&rig.syscall_tx, SockRequest::Listen { req: RequestId::from_raw(4), sock: a, backlog: 1 });
-        send(&rig.syscall_tx, SockRequest::Bind { req: RequestId::from_raw(5), sock: b, port: 80 });
+        send(
+            &rig.syscall_tx,
+            SockRequest::Bind {
+                req: RequestId::from_raw(3),
+                sock: a,
+                port: 80,
+            },
+        );
+        send(
+            &rig.syscall_tx,
+            SockRequest::Listen {
+                req: RequestId::from_raw(4),
+                sock: a,
+                backlog: 1,
+            },
+        );
+        send(
+            &rig.syscall_tx,
+            SockRequest::Bind {
+                req: RequestId::from_raw(5),
+                sock: b,
+                port: 80,
+            },
+        );
         rig.tcp.poll();
         let replies = drain(&rig.syscall_rx);
-        assert!(replies
-            .iter()
-            .any(|r| matches!(r, SockReply::Error { error: SockError::AddressInUse, .. })));
+        assert!(replies.iter().any(|r| matches!(
+            r,
+            SockReply::Error {
+                error: SockError::AddressInUse,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1305,10 +1499,19 @@ mod tests {
         rig.tcp.poll();
         let segs = outgoing(&mut rig);
         let data_bytes: usize = segs.iter().map(|s| s.payload.len()).sum();
-        assert!(data_bytes >= 4000, "all buffered data should be sent, got {data_bytes}");
+        assert!(
+            data_bytes >= 4000,
+            "all buffered data should be sent, got {data_bytes}"
+        );
         assert!(segs.iter().all(|s| s.payload.len() <= 1460));
         // Peer ACKs everything: the in-flight window empties.
-        let ack = TcpSegment::control(5001, local_port, rcv_nxt, snd_base.wrapping_add(4000), TcpFlags::ACK);
+        let ack = TcpSegment::control(
+            5001,
+            local_port,
+            rcv_nxt,
+            snd_base.wrapping_add(4000),
+            TcpFlags::ACK,
+        );
         inject(&mut rig, ack);
         let s = rig.tcp.sockets.get(&sock).unwrap();
         assert_eq!(s.flight(), 0);
@@ -1365,9 +1568,29 @@ mod tests {
     fn passive_open_accept_and_receive_data() {
         let mut rig = rig();
         let listener = open_socket(&mut rig);
-        send(&rig.syscall_tx, SockRequest::Bind { req: RequestId::from_raw(2), sock: listener, port: 22 });
-        send(&rig.syscall_tx, SockRequest::Listen { req: RequestId::from_raw(3), sock: listener, backlog: 4 });
-        send(&rig.syscall_tx, SockRequest::Accept { req: RequestId::from_raw(4), sock: listener });
+        send(
+            &rig.syscall_tx,
+            SockRequest::Bind {
+                req: RequestId::from_raw(2),
+                sock: listener,
+                port: 22,
+            },
+        );
+        send(
+            &rig.syscall_tx,
+            SockRequest::Listen {
+                req: RequestId::from_raw(3),
+                sock: listener,
+                backlog: 4,
+            },
+        );
+        send(
+            &rig.syscall_tx,
+            SockRequest::Accept {
+                req: RequestId::from_raw(4),
+                sock: listener,
+            },
+        );
         rig.tcp.poll();
         drain(&rig.syscall_rx);
 
@@ -1379,16 +1602,32 @@ mod tests {
         assert!(syn_ack.flags.syn && syn_ack.flags.ack);
         assert_eq!(syn_ack.ack, 7_001);
         // Final ACK of the handshake.
-        let ack = TcpSegment::control(50_000, 22, 7_001, syn_ack.seq.wrapping_add(1), TcpFlags::ACK);
+        let ack = TcpSegment::control(
+            50_000,
+            22,
+            7_001,
+            syn_ack.seq.wrapping_add(1),
+            TcpFlags::ACK,
+        );
         inject(&mut rig, ack);
         // The pending accept completes.
         let replies = drain(&rig.syscall_rx);
         let child = match &replies[..] {
-            [SockReply::Accepted { sock, peer_port: 50_000, .. }] => *sock,
+            [SockReply::Accepted {
+                sock,
+                peer_port: 50_000,
+                ..
+            }] => *sock,
             other => panic!("expected accept completion, got {other:?}"),
         };
         // Data from the peer lands in the child's buffer.
-        let mut data = TcpSegment::control(50_000, 22, 7_001, syn_ack.seq.wrapping_add(1), TcpFlags::PSH_ACK);
+        let mut data = TcpSegment::control(
+            50_000,
+            22,
+            7_001,
+            syn_ack.seq.wrapping_add(1),
+            TcpFlags::PSH_ACK,
+        );
         data.payload = b"ssh-2.0 hello".to_vec();
         inject(&mut rig, data);
         let buffer: Arc<SocketBuffer> = rig
@@ -1406,14 +1645,32 @@ mod tests {
     fn close_sends_fin_and_completes() {
         let mut rig = rig();
         let (sock, local_port, snd_base, rcv_nxt) = connect_established(&mut rig);
-        send(&rig.syscall_tx, SockRequest::Close { req: RequestId::from_raw(9), sock });
+        send(
+            &rig.syscall_tx,
+            SockRequest::Close {
+                req: RequestId::from_raw(9),
+                sock,
+            },
+        );
         rig.tcp.poll();
         let fins = outgoing(&mut rig);
         assert!(fins.iter().any(|s| s.flags.fin));
         // Peer ACKs the FIN and sends its own.
-        let ack = TcpSegment::control(5001, local_port, rcv_nxt, snd_base.wrapping_add(1), TcpFlags::ACK);
+        let ack = TcpSegment::control(
+            5001,
+            local_port,
+            rcv_nxt,
+            snd_base.wrapping_add(1),
+            TcpFlags::ACK,
+        );
         inject(&mut rig, ack);
-        let mut fin = TcpSegment::control(5001, local_port, rcv_nxt, snd_base.wrapping_add(1), TcpFlags::FIN_ACK);
+        let mut fin = TcpSegment::control(
+            5001,
+            local_port,
+            rcv_nxt,
+            snd_base.wrapping_add(1),
+            TcpFlags::FIN_ACK,
+        );
         fin.window = 65_535;
         inject(&mut rig, fin);
         // The socket is gone.
@@ -1462,7 +1719,13 @@ mod tests {
             .unwrap();
         buffer.write(&[5u8; 1000], Duration::from_secs(1)).unwrap();
         rig.tcp.poll();
-        assert_eq!(outgoing(&mut rig).iter().filter(|s| !s.payload.is_empty()).count(), 1);
+        assert_eq!(
+            outgoing(&mut rig)
+                .iter()
+                .filter(|s| !s.payload.is_empty())
+                .count(),
+            1
+        );
         // IP crashes before acknowledging the send.
         let event = CrashEvent {
             name: "ip".to_string(),
@@ -1486,8 +1749,22 @@ mod tests {
             let mut rig = rig_with(StartMode::Fresh, Arc::clone(&storage), registry.clone());
             // One listening socket...
             let listener = open_socket(&mut rig);
-            send(&rig.syscall_tx, SockRequest::Bind { req: RequestId::from_raw(2), sock: listener, port: 22 });
-            send(&rig.syscall_tx, SockRequest::Listen { req: RequestId::from_raw(3), sock: listener, backlog: 4 });
+            send(
+                &rig.syscall_tx,
+                SockRequest::Bind {
+                    req: RequestId::from_raw(2),
+                    sock: listener,
+                    port: 22,
+                },
+            );
+            send(
+                &rig.syscall_tx,
+                SockRequest::Listen {
+                    req: RequestId::from_raw(3),
+                    sock: listener,
+                    backlog: 4,
+                },
+            );
             rig.tcp.poll();
             // ...and one established connection.
             let (sock, _p, _s, _r) = connect_established(&mut rig);
@@ -1503,8 +1780,9 @@ mod tests {
         assert_eq!(flows[0].local_port, 22);
         assert_eq!(flows[0].remote, None);
         // The established connection's application sees a reset.
-        let buffer: Arc<SocketBuffer> =
-            registry.attach_shared(endpoints::SYSCALL, &established_buffer_name).unwrap();
+        let buffer: Arc<SocketBuffer> = registry
+            .attach_shared(endpoints::SYSCALL, &established_buffer_name)
+            .unwrap();
         assert_eq!(buffer.error(), Some(SockError::ConnectionReset));
         assert!(rig.tcp.stats().connections_reset >= 1);
     }

@@ -29,12 +29,17 @@ use newt_kernel::storage::StorageServer;
 use newt_net::wire::{EthernetFrame, IpProtocol, Ipv4Packet, UdpDatagram, UDP_HEADER_LEN};
 
 use crate::endpoints;
-use crate::fabric::{drain, send, CrashBoard, PoolTable, Rx, Tx};
+#[cfg(test)]
+use crate::fabric::drain;
+use crate::fabric::{send, CrashBoard, PoolTable, Rx, Tx};
 use crate::msg::{
     FlowTuple, IpToTransport, PfToTransport, SockId, SockReply, SockRequest, TransportToIp,
     TransportToPf,
 };
 use crate::sockbuf::{SockError, SocketBuffer};
+
+/// A decoded datagram record: source address, source port, payload.
+pub type DecodedDatagram = (Ipv4Addr, u16, Vec<u8>);
 
 /// Encodes one datagram as a record in a socket buffer byte stream.
 ///
@@ -52,7 +57,7 @@ pub fn encode_datagram(addr: Ipv4Addr, port: u16, payload: &[u8]) -> Vec<u8> {
 /// Decodes the next datagram record from `stream`, returning the record and
 /// the number of bytes consumed.  Returns `None` when the stream does not
 /// yet hold a full record.
-pub fn decode_datagram(stream: &[u8]) -> Option<((Ipv4Addr, u16, Vec<u8>), usize)> {
+pub fn decode_datagram(stream: &[u8]) -> Option<(DecodedDatagram, usize)> {
     if stream.len() < 10 {
         return None;
     }
@@ -123,6 +128,11 @@ pub struct UdpServer {
     next_ephemeral: u16,
     ip_reqs: RequestDb<RichChain>,
     stats: UdpStats,
+    /// Scratch buffers reused across poll rounds (zero steady-state
+    /// allocation on the message path).
+    syscall_scratch: Vec<SockRequest>,
+    ip_scratch: Vec<IpToTransport>,
+    pf_scratch: Vec<PfToTransport>,
 }
 
 impl UdpServer {
@@ -165,6 +175,9 @@ impl UdpServer {
             next_ephemeral: 50_000,
             ip_reqs: RequestDb::new(),
             stats: UdpStats::default(),
+            syscall_scratch: Vec::new(),
+            ip_scratch: Vec::new(),
+            pf_scratch: Vec::new(),
         };
         match mode {
             StartMode::Fresh => server.persist(),
@@ -244,12 +257,17 @@ impl UdpServer {
             self.handle_crash(&event);
         }
 
-        for request in drain(&self.from_syscall) {
+        let mut requests = std::mem::take(&mut self.syscall_scratch);
+        self.from_syscall.drain_into(&mut requests);
+        for request in requests.drain(..) {
             work += 1;
             self.handle_sock_request(request);
         }
+        self.syscall_scratch = requests;
 
-        for msg in drain(&self.from_ip) {
+        let mut from_ip = std::mem::take(&mut self.ip_scratch);
+        self.from_ip.drain_into(&mut from_ip);
+        for msg in from_ip.drain(..) {
             work += 1;
             match msg {
                 IpToTransport::Deliver { ptr } => self.handle_deliver(ptr),
@@ -260,13 +278,17 @@ impl UdpServer {
                 }
             }
         }
+        self.ip_scratch = from_ip;
 
-        for msg in drain(&self.from_pf) {
+        let mut from_pf = std::mem::take(&mut self.pf_scratch);
+        self.from_pf.drain_into(&mut from_pf);
+        for msg in from_pf.drain(..) {
             work += 1;
             let PfToTransport::QueryConnections = msg;
             let flows = self.flows();
             send(&self.to_pf, TransportToPf::Connections(flows));
         }
+        self.pf_scratch = from_pf;
 
         work += self.pump_sockets();
         work
@@ -288,7 +310,13 @@ impl UdpServer {
                 );
                 self.sockets.insert(
                     id,
-                    UdpSock { id, local_port: 0, remote: None, buffer, pending_send: Vec::new() },
+                    UdpSock {
+                        id,
+                        local_port: 0,
+                        remote: None,
+                        buffer,
+                        pending_send: Vec::new(),
+                    },
                 );
                 self.persist();
                 send(&self.to_syscall, SockReply::Opened { req, sock: id });
@@ -306,20 +334,31 @@ impl UdpServer {
                     .values()
                     .any(|s| s.id != sock && s.local_port == requested && requested != 0);
                 let reply = if in_use {
-                    SockReply::Error { req, error: SockError::AddressInUse }
+                    SockReply::Error {
+                        req,
+                        error: SockError::AddressInUse,
+                    }
                 } else {
                     match self.sockets.get_mut(&sock) {
                         Some(s) => {
                             s.local_port = requested;
-                            SockReply::Ok { req, port: requested }
+                            SockReply::Ok {
+                                req,
+                                port: requested,
+                            }
                         }
-                        None => SockReply::Error { req, error: SockError::InvalidState },
+                        None => SockReply::Error {
+                            req,
+                            error: SockError::InvalidState,
+                        },
                     }
                 };
                 self.persist();
                 send(&self.to_syscall, reply);
             }
-            SockRequest::Connect { sock, addr, port, .. } => {
+            SockRequest::Connect {
+                sock, addr, port, ..
+            } => {
                 let reply = match self.sockets.get_mut(&sock) {
                     Some(s) => {
                         s.remote = Some((addr, port));
@@ -327,9 +366,15 @@ impl UdpServer {
                             s.local_port = self.next_ephemeral;
                             self.next_ephemeral = self.next_ephemeral.wrapping_add(1).max(50_000);
                         }
-                        SockReply::Ok { req, port: s.local_port }
+                        SockReply::Ok {
+                            req,
+                            port: s.local_port,
+                        }
                     }
-                    None => SockReply::Error { req, error: SockError::InvalidState },
+                    None => SockReply::Error {
+                        req,
+                        error: SockError::InvalidState,
+                    },
                 };
                 self.persist();
                 send(&self.to_syscall, reply);
@@ -337,18 +382,29 @@ impl UdpServer {
             SockRequest::Close { sock, .. } => {
                 let existed = self.sockets.remove(&sock).is_some();
                 if existed {
-                    let _ = self.registry.revoke(endpoints::UDP, &Self::buffer_name(sock));
+                    let _ = self
+                        .registry
+                        .revoke(endpoints::UDP, &Self::buffer_name(sock));
                 }
                 self.persist();
                 let reply = if existed {
                     SockReply::Ok { req, port: 0 }
                 } else {
-                    SockReply::Error { req, error: SockError::InvalidState }
+                    SockReply::Error {
+                        req,
+                        error: SockError::InvalidState,
+                    }
                 };
                 send(&self.to_syscall, reply);
             }
             SockRequest::Listen { .. } | SockRequest::Accept { .. } => {
-                send(&self.to_syscall, SockReply::Error { req, error: SockError::InvalidState });
+                send(
+                    &self.to_syscall,
+                    SockReply::Error {
+                        req,
+                        error: SockError::InvalidState,
+                    },
+                );
             }
         }
     }
@@ -361,7 +417,11 @@ impl UdpServer {
             .and_then(|bytes| Self::parse_datagram(&bytes));
         send(&self.to_ip, TransportToIp::RxDone { ptr });
         let Some((src, dgram)) = parsed else { return };
-        let Some(sock) = self.sockets.values_mut().find(|s| s.local_port == dgram.dst_port) else {
+        let Some(sock) = self
+            .sockets
+            .values_mut()
+            .find(|s| s.local_port == dgram.dst_port)
+        else {
             self.stats.no_socket += 1;
             return;
         };
@@ -388,7 +448,9 @@ impl UdpServer {
         for id in ids {
             loop {
                 let record = {
-                    let Some(sock) = self.sockets.get_mut(&id) else { break };
+                    let Some(sock) = self.sockets.get_mut(&id) else {
+                        break;
+                    };
                     // Accumulate stream bytes until a whole record is there.
                     let chunk = sock.buffer.drain_send(64 * 1024);
                     sock.pending_send.extend_from_slice(&chunk);
@@ -400,7 +462,9 @@ impl UdpServer {
                         None => None,
                     }
                 };
-                let Some((addr, port, payload)) = record else { break };
+                let Some((addr, port, payload)) = record else {
+                    break;
+                };
                 work += 1;
                 self.send_datagram(id, addr, port, &payload);
             }
@@ -411,7 +475,9 @@ impl UdpServer {
     fn send_datagram(&mut self, id: SockId, addr: Ipv4Addr, port: u16, payload: &[u8]) {
         let mut needs_persist = false;
         let (local_port, dst, dst_port) = {
-            let Some(sock) = self.sockets.get_mut(&id) else { return };
+            let Some(sock) = self.sockets.get_mut(&id) else {
+                return;
+            };
             if sock.local_port == 0 {
                 sock.local_port = self.next_ephemeral;
                 self.next_ephemeral = self.next_ephemeral.wrapping_add(1).max(50_000);
@@ -446,7 +512,9 @@ impl UdpServer {
                 Err(_) => return, // pool exhausted: drop the datagram
             }
         }
-        let req = self.ip_reqs.submit(endpoints::IP, AbortPolicy::Drop, chain.clone());
+        let req = self
+            .ip_reqs
+            .submit(endpoints::IP, AbortPolicy::Drop, chain.clone());
         let sent = send(
             &self.to_ip,
             TransportToIp::SendPacket {
@@ -538,20 +606,36 @@ mod tests {
     }
 
     fn rig() -> Rig {
-        rig_with(StartMode::Fresh, Arc::new(StorageServer::new()), Registry::new())
+        rig_with(
+            StartMode::Fresh,
+            Arc::new(StorageServer::new()),
+            Registry::new(),
+        )
     }
 
     const PEER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
     const LOCAL: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 
     fn open_and_bind(rig: &mut Rig, port: u16) -> SockId {
-        send(&rig.syscall_tx, SockRequest::Open { req: RequestId::from_raw(1) });
+        send(
+            &rig.syscall_tx,
+            SockRequest::Open {
+                req: RequestId::from_raw(1),
+            },
+        );
         rig.udp.poll();
         let sock = match drain(&rig.syscall_rx).pop() {
             Some(SockReply::Opened { sock, .. }) => sock,
             other => panic!("unexpected {other:?}"),
         };
-        send(&rig.syscall_tx, SockRequest::Bind { req: RequestId::from_raw(2), sock, port });
+        send(
+            &rig.syscall_tx,
+            SockRequest::Bind {
+                req: RequestId::from_raw(2),
+                sock,
+                port,
+            },
+        );
         rig.udp.poll();
         drain(&rig.syscall_rx);
         sock
@@ -579,7 +663,13 @@ mod tests {
         rig.udp.poll();
         let out = drain(&rig.ip_rx);
         match &out[..] {
-            [TransportToIp::SendPacket { dst, dst_port, src_port, transport_header, .. }] => {
+            [TransportToIp::SendPacket {
+                dst,
+                dst_port,
+                src_port,
+                transport_header,
+                ..
+            }] => {
                 assert_eq!(*dst, PEER);
                 assert_eq!(*dst_port, 53);
                 assert_eq!(*src_port, 5353);
@@ -644,7 +734,12 @@ mod tests {
         let sock = open_and_bind(&mut rig, 0);
         send(
             &rig.syscall_tx,
-            SockRequest::Connect { req: RequestId::from_raw(3), sock, addr: PEER, port: 53 },
+            SockRequest::Connect {
+                req: RequestId::from_raw(3),
+                sock,
+                addr: PEER,
+                port: 53,
+            },
         );
         rig.udp.poll();
         drain(&rig.syscall_rx);
@@ -658,18 +753,39 @@ mod tests {
         buffer.write(&record, Duration::from_secs(1)).unwrap();
         rig.udp.poll();
         let out = drain(&rig.ip_rx);
-        assert!(matches!(&out[..], [TransportToIp::SendPacket { dst, dst_port: 53, .. }] if *dst == PEER));
+        assert!(
+            matches!(&out[..], [TransportToIp::SendPacket { dst, dst_port: 53, .. }] if *dst == PEER)
+        );
     }
 
     #[test]
     fn close_removes_socket_and_listen_is_invalid() {
         let mut rig = rig();
         let sock = open_and_bind(&mut rig, 1234);
-        send(&rig.syscall_tx, SockRequest::Listen { req: RequestId::from_raw(5), sock, backlog: 1 });
-        send(&rig.syscall_tx, SockRequest::Close { req: RequestId::from_raw(6), sock });
+        send(
+            &rig.syscall_tx,
+            SockRequest::Listen {
+                req: RequestId::from_raw(5),
+                sock,
+                backlog: 1,
+            },
+        );
+        send(
+            &rig.syscall_tx,
+            SockRequest::Close {
+                req: RequestId::from_raw(6),
+                sock,
+            },
+        );
         rig.udp.poll();
         let replies = drain(&rig.syscall_rx);
-        assert!(matches!(replies[0], SockReply::Error { error: SockError::InvalidState, .. }));
+        assert!(matches!(
+            replies[0],
+            SockReply::Error {
+                error: SockError::InvalidState,
+                ..
+            }
+        ));
         assert!(matches!(replies[1], SockReply::Ok { .. }));
         assert_eq!(rig.udp.socket_count(), 0);
     }
@@ -693,10 +809,16 @@ mod tests {
         assert_eq!(rig.udp.socket_count(), 1);
         assert_eq!(rig.udp.stats().recovered_sockets, 1);
         let record = encode_datagram(PEER, 53, b"after restart");
-        buffer_before.write(&record, Duration::from_secs(1)).unwrap();
+        buffer_before
+            .write(&record, Duration::from_secs(1))
+            .unwrap();
         rig.udp.poll();
         let out = drain(&rig.ip_rx);
-        assert_eq!(out.len(), 1, "datagram written before recovery flows after restart");
+        assert_eq!(
+            out.len(),
+            1,
+            "datagram written before recovery flows after restart"
+        );
         let _ = sock;
     }
 

@@ -33,8 +33,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     for component in [Component::PacketFilter, Component::Driver(0), Component::Ip] {
         println!("\ninjecting a crash into {component} ...");
         stack.inject_fault(component, FaultAction::Crash);
-        let recovered = wait_for(|| stack.restart_count(component) > 0, Duration::from_secs(20))
-            && stack.wait_component_running(component, Duration::from_secs(20));
+        let recovered = wait_for(
+            || stack.restart_count(component) > 0,
+            Duration::from_secs(20),
+        ) && stack.wait_component_running(component, Duration::from_secs(20));
         println!("  reincarnation server restarted {component}: {recovered}");
         // Give recovery (NIC reset, ARP, resubmissions) a moment.
         std::thread::sleep(Duration::from_millis(400));

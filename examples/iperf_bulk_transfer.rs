@@ -46,16 +46,24 @@ fn run_transfer(label: &str, config: StackConfig, bytes: usize) -> Result<f64, B
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let megabytes: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(8);
+    let megabytes: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
     let bytes = megabytes * 1024 * 1024;
     println!("iperf-like bulk transfer of {megabytes} MiB per configuration (host-speed link)\n");
 
-    let base = StackConfig::newtos().link(LinkConfig::unshaped()).clock_speedup(50.0);
+    let base = StackConfig::newtos()
+        .link(LinkConfig::unshaped())
+        .clock_speedup(50.0);
     let with_tso = run_transfer("split stack + TSO", base.clone(), bytes)?;
     let without_tso = run_transfer("split stack, no TSO", base.tso(false), bytes)?;
 
     println!();
-    println!("TSO speed-up on this host: {:.2}x", with_tso / without_tso.max(1e-9));
+    println!(
+        "TSO speed-up on this host: {:.2}x",
+        with_tso / without_tso.max(1e-9)
+    );
     println!("(the paper reports 3.6 Gbps -> 5+ Gbps when enabling TSO on its testbed)");
     Ok(())
 }

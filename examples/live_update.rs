@@ -41,19 +41,30 @@ fn main() -> Result<(), Box<dyn Error>> {
     let udp = client.udp_socket()?;
     udp.bind(0)?;
     udp.send_to(b"before-update", peer, DNS_PORT)?;
-    println!("dns before the update : {:?}", udp.recv_from().map(|(p, _, _)| String::from_utf8_lossy(&p).into_owned()));
+    println!(
+        "dns before the update : {:?}",
+        udp.recv_from()
+            .map(|(p, _, _)| String::from_utf8_lossy(&p).into_owned())
+    );
 
     let tcp_before = stack.peer(0).bytes_received_on(IPERF_PORT);
     println!("\nlive-updating the udp server (graceful restart of the component) ...");
     let updated = stack.live_update(Component::Udp);
     stack.wait_component_running(Component::Udp, Duration::from_secs(20));
     std::thread::sleep(Duration::from_millis(300));
-    println!("update applied: {updated}, udp generation is now {:?}", stack.component_status(Component::Udp));
+    println!(
+        "update applied: {updated}, udp generation is now {:?}",
+        stack.component_status(Component::Udp)
+    );
 
     // The same socket — same shared buffer, state recovered from the storage
     // server — keeps working with the new incarnation.
     udp.send_to(b"after-update", peer, DNS_PORT)?;
-    println!("dns after the update  : {:?}", udp.recv_from().map(|(p, _, _)| String::from_utf8_lossy(&p).into_owned()));
+    println!(
+        "dns after the update  : {:?}",
+        udp.recv_from()
+            .map(|(p, _, _)| String::from_utf8_lossy(&p).into_owned())
+    );
 
     // And the TCP stream never stopped.
     let tcp_progressed = wait_for(
@@ -61,9 +72,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         Duration::from_secs(30),
     );
     println!("tcp kept flowing across the update: {tcp_progressed}");
-    println!("udp restarts: {}, crash log entries: {} (a live update is not a crash)",
+    println!(
+        "udp restarts: {}, crash log entries: {} (a live update is not a crash)",
         stack.restart_count(Component::Udp),
-        stack.crash_log().len());
+        stack.crash_log().len()
+    );
 
     stop.store(true, Ordering::Relaxed);
     let _ = sender.join();

@@ -44,14 +44,19 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("outbound DNS query answered despite the inbound block : {dns_ok}");
 
     let before = stack.telemetry().pf;
-    println!("filter so far: {} packets checked, {} blocked, {} rules, {} tracked flows",
-        before.checked, before.blocked, before.rules, before.tracked_flows);
+    println!(
+        "filter so far: {} packets checked, {} blocked, {} rules, {} tracked flows",
+        before.checked, before.blocked, before.rules, before.tracked_flows
+    );
 
     // Crash the filter: the rules come back from the storage server, the
     // connection table is rebuilt by querying TCP and UDP.
     println!("\ncrashing the packet filter ...");
     stack.inject_fault(Component::PacketFilter, FaultAction::Crash);
-    wait_for(|| stack.restart_count(Component::PacketFilter) > 0, Duration::from_secs(20));
+    wait_for(
+        || stack.restart_count(Component::PacketFilter) > 0,
+        Duration::from_secs(20),
+    );
     stack.wait_component_running(Component::PacketFilter, Duration::from_secs(20));
     std::thread::sleep(Duration::from_millis(300));
 
@@ -63,7 +68,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     let after = stack.telemetry().pf;
     println!("connection still flowing after the filter restart      : {still_flowing}");
-    println!("filter after restart: {} rules restored, {} tracked flows", after.rules, after.tracked_flows);
+    println!(
+        "filter after restart: {} rules restored, {} tracked flows",
+        after.rules, after.tracked_flows
+    );
 
     stack.shutdown();
     Ok(())

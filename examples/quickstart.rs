@@ -14,7 +14,14 @@ use newtos_suite::example_config;
 fn main() -> Result<(), Box<dyn Error>> {
     println!("booting the NewtOS networking stack (split topology, TSO on) ...");
     let stack = NewtStack::start(example_config());
-    println!("components: {:?}", stack.components().iter().map(|c| c.name()).collect::<Vec<_>>());
+    println!(
+        "components: {:?}",
+        stack
+            .components()
+            .iter()
+            .map(|c| c.name())
+            .collect::<Vec<_>>()
+    );
 
     // Open a TCP connection to the SSH-like echo service of the peer host.
     let client = stack.client();
@@ -27,26 +34,51 @@ fn main() -> Result<(), Box<dyn Error>> {
     socket.send_all(request)?;
     let mut reply = vec![0u8; request.len()];
     socket.recv_exact(&mut reply)?;
-    println!("sent     : {:?}", String::from_utf8_lossy(request).trim_end());
-    println!("received : {:?}", String::from_utf8_lossy(&reply).trim_end());
+    println!(
+        "sent     : {:?}",
+        String::from_utf8_lossy(request).trim_end()
+    );
+    println!(
+        "received : {:?}",
+        String::from_utf8_lossy(&reply).trim_end()
+    );
     socket.close()?;
 
     // And a DNS-style query over UDP.
     let udp = client.udp_socket()?;
     udp.bind(0)?;
-    udp.send_to(b"www.example.org", StackConfig::peer_addr(0), newtos::net::peer::DNS_PORT)?;
+    udp.send_to(
+        b"www.example.org",
+        StackConfig::peer_addr(0),
+        newtos::net::peer::DNS_PORT,
+    )?;
     let (answer, from, _) = udp.recv_from()?;
-    println!("dns reply from {from}: {:?}", String::from_utf8_lossy(&answer));
+    println!(
+        "dns reply from {from}: {:?}",
+        String::from_utf8_lossy(&answer)
+    );
 
     // Show what the servers did.
     std::thread::sleep(Duration::from_millis(100));
     let telemetry = stack.telemetry();
     println!();
     println!("server activity:");
-    println!("  tcp     : {} segments out, {} segments in", telemetry.tcp.segments_out, telemetry.tcp.segments_in);
-    println!("  udp     : {} datagrams out, {} in", telemetry.udp.datagrams_out, telemetry.udp.datagrams_in);
-    println!("  ip      : {} packets out, {} in", telemetry.ip.packets_out, telemetry.ip.packets_in);
-    println!("  pf      : {} packets checked, {} blocked", telemetry.pf.checked, telemetry.pf.blocked);
+    println!(
+        "  tcp     : {} segments out, {} segments in",
+        telemetry.tcp.segments_out, telemetry.tcp.segments_in
+    );
+    println!(
+        "  udp     : {} datagrams out, {} in",
+        telemetry.udp.datagrams_out, telemetry.udp.datagrams_in
+    );
+    println!(
+        "  ip      : {} packets out, {} in",
+        telemetry.ip.packets_out, telemetry.ip.packets_in
+    );
+    println!(
+        "  pf      : {} packets checked, {} blocked",
+        telemetry.pf.checked, telemetry.pf.blocked
+    );
     println!("  syscall : {} calls handled", telemetry.syscall.calls);
     println!("  kernel  : {:?}", stack.kernel_stats());
 

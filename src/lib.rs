@@ -17,13 +17,17 @@ use newtos::StackConfig;
 /// unshaped link (so the host's speed, not the simulated wire, is the limit)
 /// and a moderate clock speed-up.
 pub fn example_config() -> StackConfig {
-    StackConfig::newtos().link(LinkConfig::unshaped()).clock_speedup(20.0)
+    StackConfig::newtos()
+        .link(LinkConfig::unshaped())
+        .clock_speedup(20.0)
 }
 
 /// Returns a stack configuration suitable for integration tests: unshaped
 /// link, higher speed-up, so multi-second protocol timers elapse quickly.
 pub fn test_config() -> StackConfig {
-    StackConfig::newtos().link(LinkConfig::unshaped()).clock_speedup(50.0)
+    StackConfig::newtos()
+        .link(LinkConfig::unshaped())
+        .clock_speedup(50.0)
 }
 
 /// Waits until `condition` returns `true` or `timeout` (real time) expires;

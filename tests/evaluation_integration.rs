@@ -38,7 +38,10 @@ fn ablations_are_monotone_where_the_paper_expects_it() {
 
 #[test]
 fn miniature_campaign_produces_table3_and_table4() {
-    let config = CampaignConfig { clock_speedup: 60.0, ..CampaignConfig::quick(2) };
+    let config = CampaignConfig {
+        clock_speedup: 60.0,
+        ..CampaignConfig::quick(2)
+    };
     let report = run_campaign(&config);
     assert_eq!(report.total(), 2);
     let table3 = report.render_table3();
@@ -48,7 +51,9 @@ fn miniature_campaign_produces_table3_and_table4() {
     // Sanity: every run either recovered automatically, was manually fixed,
     // or is flagged as needing a reboot.
     for run in &report.runs {
-        assert!(run.recovered_automatically || run.manually_fixed || run.reboot_needed || run.reachable);
+        assert!(
+            run.recovered_automatically || run.manually_fixed || run.reboot_needed || run.reachable
+        );
     }
 }
 
@@ -67,6 +72,14 @@ fn miniature_crash_trace_has_the_figure5_shape() {
     let result = run_trace_experiment(&config);
     assert!(result.restarts >= 1);
     assert!(result.total_bytes > 0);
-    let after_crash: f64 = result.series.iter().filter(|p| p.time_s >= 2.5).map(|p| p.mbps).sum();
-    assert!(after_crash > 0.0, "traffic must keep flowing after the packet-filter crash");
+    let after_crash: f64 = result
+        .series
+        .iter()
+        .filter(|p| p.time_s >= 2.5)
+        .map(|p| p.mbps)
+        .sum();
+    assert!(
+        after_crash > 0.0,
+        "traffic must keep flowing after the packet-filter crash"
+    );
 }

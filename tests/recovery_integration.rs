@@ -12,7 +12,10 @@ fn crash_and_wait(stack: &NewtStack, component: Component) {
     let before = stack.restart_count(component);
     assert!(stack.inject_fault(component, FaultAction::Crash));
     assert!(
-        wait_for(|| stack.restart_count(component) > before, Duration::from_secs(30)),
+        wait_for(
+            || stack.restart_count(component) > before,
+            Duration::from_secs(30)
+        ),
         "{component} was never restarted"
     );
     assert!(stack.wait_component_running(component, Duration::from_secs(30)));
@@ -24,7 +27,9 @@ fn driver_crash_is_survived_by_a_running_transfer() {
     let stack = NewtStack::start(test_config());
     let client = stack.client().with_timeout(Duration::from_secs(20));
     let socket = client.tcp_socket().expect("socket");
-    socket.connect(StackConfig::peer_addr(0), IPERF_PORT).expect("connect");
+    socket
+        .connect(StackConfig::peer_addr(0), IPERF_PORT)
+        .expect("connect");
 
     socket.send_all(&vec![1u8; 64 * 1024]).expect("send before");
     crash_and_wait(&stack, Component::Driver(0));
@@ -46,7 +51,9 @@ fn ip_crash_resets_the_nic_and_traffic_recovers() {
     let stack = NewtStack::start(test_config());
     let client = stack.client().with_timeout(Duration::from_secs(30));
     let socket = client.tcp_socket().expect("socket");
-    socket.connect(StackConfig::peer_addr(0), IPERF_PORT).expect("connect");
+    socket
+        .connect(StackConfig::peer_addr(0), IPERF_PORT)
+        .expect("connect");
     socket.send_all(&vec![1u8; 32 * 1024]).expect("send before");
     assert!(wait_for(
         || stack.peer(0).bytes_received_on(IPERF_PORT) >= 32 * 1024,
@@ -55,7 +62,10 @@ fn ip_crash_resets_the_nic_and_traffic_recovers() {
 
     crash_and_wait(&stack, Component::Ip);
     // The device was reset because IP owned the receive pool.
-    assert!(stack.nic(0).lock().stats().resets >= 1, "ip crash must reset the adapter");
+    assert!(
+        stack.nic(0).lock().stats().resets >= 1,
+        "ip crash must reset the adapter"
+    );
 
     // After the link comes back the same connection keeps going (TCP
     // retransmits whatever was lost during the outage).
@@ -77,7 +87,9 @@ fn tcp_crash_recovers_listening_sockets_but_not_connections() {
 
     // An established connection and a listening socket.
     let established = client.tcp_socket().expect("socket");
-    established.connect(StackConfig::peer_addr(0), SSH_PORT).expect("connect");
+    established
+        .connect(StackConfig::peer_addr(0), SSH_PORT)
+        .expect("connect");
     established.send_all(b"hello\n").expect("send");
     let listener = client.tcp_socket().expect("listener");
     listener.bind(2222).expect("bind");
@@ -94,7 +106,9 @@ fn tcp_crash_recovers_listening_sockets_but_not_connections() {
     // ...but the system accepts new connections immediately (the listening
     // socket state was recovered; new outbound connections work too).
     let fresh = client.tcp_socket().expect("new socket after crash");
-    fresh.connect(StackConfig::peer_addr(0), SSH_PORT).expect("reconnect after crash");
+    fresh
+        .connect(StackConfig::peer_addr(0), SSH_PORT)
+        .expect("reconnect after crash");
     fresh.send_all(b"back again\n").expect("send after crash");
     let mut reply = vec![0u8; 11];
     fresh.recv_exact(&mut reply).expect("echo after crash");
@@ -111,13 +125,17 @@ fn udp_crash_is_transparent_to_bound_sockets() {
     let client = stack.client().with_timeout(Duration::from_secs(20));
     let socket = client.udp_socket().expect("socket");
     socket.bind(5353).expect("bind");
-    socket.send_to(b"one", StackConfig::peer_addr(0), DNS_PORT).expect("send");
+    socket
+        .send_to(b"one", StackConfig::peer_addr(0), DNS_PORT)
+        .expect("send");
     assert!(socket.recv_from().is_ok());
 
     crash_and_wait(&stack, Component::Udp);
 
     // Same socket, same shared buffer, new UDP incarnation.
-    socket.send_to(b"two", StackConfig::peer_addr(0), DNS_PORT).expect("send after crash");
+    socket
+        .send_to(b"two", StackConfig::peer_addr(0), DNS_PORT)
+        .expect("send after crash");
     let (payload, _, _) = socket.recv_from().expect("answer after crash");
     assert_eq!(payload, b"answer:two");
     stack.shutdown();
@@ -128,7 +146,9 @@ fn packet_filter_crash_loses_no_packets() {
     let stack = NewtStack::start(test_config());
     let client = stack.client().with_timeout(Duration::from_secs(20));
     let socket = client.tcp_socket().expect("socket");
-    socket.connect(StackConfig::peer_addr(0), IPERF_PORT).expect("connect");
+    socket
+        .connect(StackConfig::peer_addr(0), IPERF_PORT)
+        .expect("connect");
     socket.send_all(&vec![0u8; 64 * 1024]).expect("send before");
     crash_and_wait(&stack, Component::PacketFilter);
     socket.send_all(&vec![0u8; 64 * 1024]).expect("send after");
@@ -166,16 +186,23 @@ fn live_update_is_not_recorded_as_a_crash() {
     let client = stack.client().with_timeout(Duration::from_secs(20));
     let socket = client.udp_socket().expect("socket");
     socket.bind(0).expect("bind");
-    socket.send_to(b"pre", StackConfig::peer_addr(0), DNS_PORT).expect("send");
+    socket
+        .send_to(b"pre", StackConfig::peer_addr(0), DNS_PORT)
+        .expect("send");
     assert!(socket.recv_from().is_ok());
 
     assert!(stack.live_update(Component::Udp));
     assert!(stack.wait_component_running(Component::Udp, Duration::from_secs(30)));
     std::thread::sleep(Duration::from_millis(300));
 
-    socket.send_to(b"post", StackConfig::peer_addr(0), DNS_PORT).expect("send after update");
+    socket
+        .send_to(b"post", StackConfig::peer_addr(0), DNS_PORT)
+        .expect("send after update");
     assert!(socket.recv_from().is_ok());
-    assert!(stack.crash_log().is_empty(), "a live update must not be treated as a crash");
+    assert!(
+        stack.crash_log().is_empty(),
+        "a live update must not be treated as a crash"
+    );
     assert_eq!(stack.restart_count(Component::Udp), 1);
     stack.shutdown();
 }

@@ -14,7 +14,9 @@ fn bulk_transfer_delivers_every_byte_in_order() {
     let stack = NewtStack::start(test_config());
     let client = stack.client().with_timeout(Duration::from_secs(20));
     let socket = client.tcp_socket().expect("socket");
-    socket.connect(StackConfig::peer_addr(0), IPERF_PORT).expect("connect");
+    socket
+        .connect(StackConfig::peer_addr(0), IPERF_PORT)
+        .expect("connect");
 
     const TOTAL: usize = 256 * 1024;
     let pattern = PayloadPattern::new(0xbeef);
@@ -34,7 +36,10 @@ fn bulk_transfer_delivers_every_byte_in_order() {
     let telemetry = stack.telemetry();
     assert!(telemetry.tcp.segments_out > 0);
     assert!(telemetry.ip.packets_out as u64 >= telemetry.tcp.segments_out / 2);
-    assert!(telemetry.pf.checked > 0, "the packet filter must sit on the data path");
+    assert!(
+        telemetry.pf.checked > 0,
+        "the packet filter must sit on the data path"
+    );
     stack.shutdown();
 }
 
@@ -43,14 +48,20 @@ fn echo_round_trip_preserves_data_integrity() {
     let stack = NewtStack::start(test_config());
     let client = stack.client().with_timeout(Duration::from_secs(20));
     let socket = client.tcp_socket().expect("socket");
-    socket.connect(StackConfig::peer_addr(0), SSH_PORT).expect("connect");
+    socket
+        .connect(StackConfig::peer_addr(0), SSH_PORT)
+        .expect("connect");
 
     let pattern = PayloadPattern::new(7);
     let request = pattern.generate(0, 16 * 1024);
     socket.send_all(&request).expect("send");
     let mut reply = vec![0u8; request.len()];
     socket.recv_exact(&mut reply).expect("recv");
-    assert_eq!(pattern.verify(0, &reply), Ok(()), "echoed data was corrupted in flight");
+    assert_eq!(
+        pattern.verify(0, &reply),
+        Ok(()),
+        "echoed data was corrupted in flight"
+    );
     socket.close().expect("close");
     stack.shutdown();
 }
@@ -69,7 +80,11 @@ fn udp_request_response_and_port_demultiplexing() {
         .send_to(b"host.example", StackConfig::peer_addr(0), DNS_PORT)
         .expect("send dns");
     echoer
-        .send_to(b"echo me", StackConfig::peer_addr(0), newtos::net::peer::UDP_ECHO_PORT)
+        .send_to(
+            b"echo me",
+            StackConfig::peer_addr(0),
+            newtos::net::peer::UDP_ECHO_PORT,
+        )
         .expect("send echo");
 
     let (dns_answer, _, from_port) = resolver.recv_from().expect("dns answer");
@@ -87,7 +102,9 @@ fn multiple_interfaces_route_to_their_own_peers() {
 
     for nic in 0..2 {
         let socket = client.tcp_socket().expect("socket");
-        socket.connect(StackConfig::peer_addr(nic), IPERF_PORT).expect("connect");
+        socket
+            .connect(StackConfig::peer_addr(nic), IPERF_PORT)
+            .expect("connect");
         socket.send_all(&vec![nic as u8; 32 * 1024]).expect("send");
         assert!(
             wait_for(
@@ -111,7 +128,9 @@ fn concurrent_clients_share_the_stack() {
         let client = stack.client().with_timeout(Duration::from_secs(20));
         handles.push(std::thread::spawn(move || {
             let socket = client.tcp_socket().expect("socket");
-            socket.connect(StackConfig::peer_addr(0), SSH_PORT).expect("connect");
+            socket
+                .connect(StackConfig::peer_addr(0), SSH_PORT)
+                .expect("connect");
             let line = vec![i; 512];
             socket.send_all(&line).expect("send");
             let mut reply = vec![0u8; line.len()];
@@ -131,7 +150,9 @@ fn telemetry_and_kernel_stats_reflect_traffic() {
     let stack = NewtStack::start(test_config());
     let client = stack.client().with_timeout(Duration::from_secs(20));
     let socket = client.tcp_socket().expect("socket");
-    socket.connect(StackConfig::peer_addr(0), IPERF_PORT).expect("connect");
+    socket
+        .connect(StackConfig::peer_addr(0), IPERF_PORT)
+        .expect("connect");
     socket.send_all(&vec![0u8; 64 * 1024]).expect("send");
     assert!(wait_for(
         || stack.peer(0).bytes_received_on(IPERF_PORT) >= 64 * 1024,
@@ -141,7 +162,10 @@ fn telemetry_and_kernel_stats_reflect_traffic() {
     // but the data path did not: far fewer kernel messages than TCP segments.
     let kernel = stack.kernel_stats();
     let telemetry = stack.telemetry();
-    assert!(kernel.messages >= 4, "socket/connect calls must use kernel IPC");
+    assert!(
+        kernel.messages >= 4,
+        "socket/connect calls must use kernel IPC"
+    );
     assert!(
         telemetry.tcp.segments_out > kernel.messages,
         "the data path must not be kernel-IPC bound (segments {} vs kernel messages {})",
