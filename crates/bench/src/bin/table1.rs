@@ -24,6 +24,9 @@ fn paper_row(component: Component) -> &'static str {
         Component::PacketFilter => "Static configuration + recoverable connection state",
         Component::Tcp => "Large, frequently changing state; only listening sockets recovered",
         Component::Syscall => "No state (not listed in the paper's table)",
+        Component::TcpShard(_) | Component::UdpShard(_) | Component::IpShard(_) => {
+            "Replica of the matching singleton row, one per shard"
+        }
     }
 }
 
@@ -35,6 +38,9 @@ fn storage_component(component: Component) -> &'static str {
         Component::PacketFilter => "pf",
         Component::Tcp => "tcp",
         Component::Syscall => "syscall",
+        Component::TcpShard(_) => "tcp",
+        Component::UdpShard(_) => "udp",
+        Component::IpShard(_) => "ip",
     }
 }
 

@@ -157,6 +157,20 @@ impl Registry {
         }
     }
 
+    /// Creates an empty registry pre-sized for roughly `entries` published
+    /// names.  A sharded stack publishes a socket buffer per socket per
+    /// replica; sizing the table up front keeps the publish path from
+    /// rehashing under load.
+    pub fn with_capacity(entries: usize) -> Self {
+        Registry {
+            inner: Arc::new(RegistryInner {
+                entries: Mutex::new(HashMap::with_capacity(entries)),
+                subscribers: Mutex::new(Vec::new()),
+                next_subscriber: AtomicU64::new(0),
+            }),
+        }
+    }
+
     fn notify(&self, event: ChannelEvent) {
         let mut subs = self.inner.subscribers.lock();
         for sub in subs.iter_mut() {

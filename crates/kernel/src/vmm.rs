@@ -7,7 +7,7 @@
 //! processes is set up, the source is known and cannot be forged.
 //!
 //! In this reproduction the actual sharing is done by the
-//! [`Registry`](newt_channels::registry::Registry); the [`Vmm`] wraps it to
+//! [`Registry`]; the [`Vmm`] wraps it to
 //! (a) account the kernel traps that channel setup costs — the slow path the
 //! fast-path channels deliberately keep off the per-packet path — and (b)
 //! keep a grant table recording which endpoint exported what to whom, which

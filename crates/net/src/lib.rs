@@ -10,8 +10,12 @@
 //! * [`wire`] — Ethernet II, ARP, IPv4, ICMP, UDP and TCP parsing/building
 //!   with strict checksum verification;
 //! * [`nic`] — an e1000-like adapter with descriptor rings, TSO, checksum
-//!   offload, and the reset-loses-descriptors quirk that forces a device
-//!   reset (and a multi-second link outage) when the IP server crashes;
+//!   offload, multiple RSS queue pairs, and the reset-loses-descriptors
+//!   quirk that forces a device reset (and a multi-second link outage) when
+//!   the IP server crashes;
+//! * [`rss`] — receive-side scaling: the Toeplitz flow hash, the
+//!   indirection table and the flow-director (ATR) exact-match table that
+//!   steer frames to queues;
 //! * [`link`] — bandwidth-shaped, lossy point-to-point links over the
 //!   virtual clock;
 //! * [`peer`] — the remote host: ARP/ICMP responder, iperf-like TCP sink,
@@ -55,6 +59,7 @@ pub mod link;
 pub mod nic;
 pub mod peer;
 pub mod pktgen;
+pub mod rss;
 pub mod trace;
 pub mod wire;
 
@@ -62,4 +67,5 @@ pub use link::{Link, LinkConfig, LinkPort, LinkSide, LinkStats};
 pub use nic::{Nic, NicConfig, NicError, NicStats};
 pub use peer::{PeerConfig, PeerHandle, PeerStats, RemotePeer};
 pub use pktgen::PayloadPattern;
+pub use rss::{FlowKey, RssKey, RssSteering};
 pub use trace::{BitratePoint, TraceCapture, TraceRecord};

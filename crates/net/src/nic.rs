@@ -13,7 +13,7 @@
 //! * checksum offload: IP/TCP/UDP checksums of outgoing frames are filled in
 //!   by the NIC so the stack never touches payload bytes;
 //! * a link-reset quirk: the adapters "do not have a knob to invalidate
-//!   [their] shadow copies of the RX and TX descriptors", so recovering from
+//!   \[their\] shadow copies of the RX and TX descriptors", so recovering from
 //!   an IP-server crash requires a full device reset and the link takes a
 //!   while to come up again — the gap visible in Figure 4.
 
@@ -26,6 +26,7 @@ use bytes::Bytes;
 use newt_kernel::clock::SimClock;
 
 use crate::link::LinkPort;
+use crate::rss::{RssKey, RssSteering, MAX_QUEUES};
 use crate::wire::{
     internet_checksum, pseudo_header_checksum, EtherType, IpProtocol, MacAddr, ETHERNET_HEADER_LEN,
     IPV4_HEADER_LEN, MTU,
@@ -72,12 +73,16 @@ pub struct NicConfig {
     pub tso: bool,
     /// Whether checksum offload is enabled.
     pub checksum_offload: bool,
-    /// RX descriptor ring size (frames).
+    /// RX descriptor ring size (frames, per queue).
     pub rx_ring: usize,
-    /// TX descriptor ring size (frames).
+    /// TX descriptor ring size (frames, per queue).
     pub tx_ring: usize,
     /// How long the link stays down after a device reset (virtual time).
     pub link_reset_latency: Duration,
+    /// Number of RX/TX queue pairs (receive-side scaling), 1..=8.
+    pub queues: usize,
+    /// Toeplitz key used by the RSS hash.
+    pub rss_key: RssKey,
 }
 
 impl NicConfig {
@@ -92,6 +97,8 @@ impl NicConfig {
             rx_ring: 256,
             tx_ring: 256,
             link_reset_latency: Duration::from_millis(1800),
+            queues: 1,
+            rss_key: RssKey::default(),
         }
     }
 
@@ -99,6 +106,13 @@ impl NicConfig {
     #[must_use]
     pub fn without_tso(mut self) -> Self {
         self.tso = false;
+        self
+    }
+
+    /// Sets the number of RSS queue pairs (clamped to 1..=8).
+    #[must_use]
+    pub fn with_queues(mut self, queues: usize) -> Self {
+        self.queues = queues.clamp(1, MAX_QUEUES);
         self
     }
 
@@ -128,6 +142,14 @@ pub struct NicStats {
     pub rx_drops: u64,
     /// Device resets performed.
     pub resets: u64,
+    /// Per-queue resets performed (a crashed stack shard being reincarnated
+    /// without taking the link down).
+    pub queue_resets: u64,
+    /// Frames steered into each RX queue by RSS/flow-director.
+    pub rx_steered: [u64; MAX_QUEUES],
+    /// Inbound frames whose queue came from a flow-director exact match
+    /// (rather than the Toeplitz fallback).
+    pub fdir_hits: u64,
 }
 
 /// The simulated adapter.
@@ -136,21 +158,26 @@ pub struct Nic {
     config: NicConfig,
     clock: SimClock,
     port: LinkPort,
-    rx_ring: VecDeque<Bytes>,
-    tx_ring: VecDeque<Bytes>,
+    rx_rings: Vec<VecDeque<Bytes>>,
+    tx_rings: Vec<VecDeque<Bytes>>,
+    steering: RssSteering,
     link_up_at: Duration,
     stats: NicStats,
 }
 
 impl Nic {
     /// Creates an adapter attached to one end of a link.
-    pub fn new(config: NicConfig, clock: SimClock, port: LinkPort) -> Self {
+    pub fn new(mut config: NicConfig, clock: SimClock, port: LinkPort) -> Self {
+        config.queues = config.queues.clamp(1, MAX_QUEUES);
+        let steering = RssSteering::new(config.rss_key, config.queues);
+        let queues = config.queues;
         Nic {
             config,
             clock,
             port,
-            rx_ring: VecDeque::new(),
-            tx_ring: VecDeque::new(),
+            rx_rings: (0..queues).map(|_| VecDeque::new()).collect(),
+            tx_rings: (0..queues).map(|_| VecDeque::new()).collect(),
+            steering,
             link_up_at: Duration::ZERO,
             stats: NicStats::default(),
         }
@@ -171,7 +198,23 @@ impl Nic {
         &self.config
     }
 
-    /// Submits an Ethernet frame for transmission.
+    /// Returns the number of RX/TX queue pairs.
+    pub fn queues(&self) -> usize {
+        self.config.queues
+    }
+
+    /// Submits an Ethernet frame for transmission on queue 0 (single-queue
+    /// compatibility wrapper around [`Nic::transmit_on`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NicError::LinkDown`], [`NicError::TxRingFull`],
+    /// [`NicError::Oversized`] or [`NicError::Malformed`].
+    pub fn transmit(&mut self, frame: impl Into<Bytes>) -> Result<(), NicError> {
+        self.transmit_on(0, frame)
+    }
+
+    /// Submits an Ethernet frame for transmission on a specific TX queue.
     ///
     /// Oversized TCP frames are segmented when TSO is enabled; checksums are
     /// filled in when checksum offload is enabled.  Accepts anything
@@ -179,12 +222,18 @@ impl Nic {
     /// patching rides the descriptor ring without being copied, and a
     /// uniquely owned buffer is patched in place.
     ///
+    /// On multi-queue adapters the transmit is also *sampled* (flow
+    /// director / ATR): inbound frames of the reverse flow are steered to
+    /// the same queue index from then on, pinning a connection to the stack
+    /// shard that owns it.
+    ///
     /// # Errors
     ///
     /// Returns [`NicError::LinkDown`], [`NicError::TxRingFull`],
     /// [`NicError::Oversized`] or [`NicError::Malformed`].
-    pub fn transmit(&mut self, frame: impl Into<Bytes>) -> Result<(), NicError> {
+    pub fn transmit_on(&mut self, queue: usize, frame: impl Into<Bytes>) -> Result<(), NicError> {
         let frame: Bytes = frame.into();
+        let queue = queue.min(self.config.queues - 1);
         if !self.is_link_up() {
             return Err(NicError::LinkDown);
         }
@@ -193,24 +242,26 @@ impl Nic {
         }
         let max_frame = ETHERNET_HEADER_LEN + MTU;
         if frame.len() <= max_frame {
-            if self.tx_ring.len() >= self.config.tx_ring {
+            if self.tx_rings[queue].len() >= self.config.tx_ring {
                 return Err(NicError::TxRingFull);
             }
+            self.steering.note_transmit(&frame, queue);
             let out = if self.config.checksum_offload {
                 patch_checksums(frame)
             } else {
                 frame
             };
-            self.tx_ring.push_back(out);
+            self.tx_rings[queue].push_back(out);
         } else if self.config.tso {
             let segments = segment_tso(&frame).ok_or(NicError::Oversized { len: frame.len() })?;
-            if self.tx_ring.len() + segments.len() > self.config.tx_ring {
+            if self.tx_rings[queue].len() + segments.len() > self.config.tx_ring {
                 return Err(NicError::TxRingFull);
             }
             self.stats.tso_segments += segments.len() as u64 - 1;
+            self.steering.note_transmit(&frame, queue);
             // TSO segments are freshly built, so the checksum offload
             // (always on for TSO hardware) already ran in `segment_tso`.
-            self.tx_ring.extend(segments.into_iter().map(Bytes::from));
+            self.tx_rings[queue].extend(segments.into_iter().map(Bytes::from));
         } else {
             return Err(NicError::Oversized { len: frame.len() });
         }
@@ -218,46 +269,85 @@ impl Nic {
     }
 
     /// Services the descriptor rings: pushes queued TX frames onto the link
-    /// and pulls arrived frames into the RX ring.  Drivers call this from
-    /// their event loop (it stands in for the DMA engine making progress).
+    /// and steers arrived frames into the RX rings (RSS hash or
+    /// flow-director match).  Drivers call this from their event loop (it
+    /// stands in for the DMA engine making progress).
     pub fn poll(&mut self) {
         if !self.is_link_up() {
             return;
         }
-        while let Some(frame) = self.tx_ring.pop_front() {
-            self.stats.tx_frames += 1;
-            self.stats.tx_bytes += frame.len() as u64;
-            self.port.transmit(frame);
+        for ring in self.tx_rings.iter_mut() {
+            while let Some(frame) = ring.pop_front() {
+                self.stats.tx_frames += 1;
+                self.stats.tx_bytes += frame.len() as u64;
+                self.port.transmit(frame);
+            }
         }
         while let Some(frame) = self.port.poll_receive() {
-            if self.rx_ring.len() >= self.config.rx_ring {
+            let (queue, fdir_hit) = self.steering.steer_frame(&frame);
+            if self.rx_rings[queue].len() >= self.config.rx_ring {
                 self.stats.rx_drops += 1;
                 continue;
             }
             self.stats.rx_frames += 1;
             self.stats.rx_bytes += frame.len() as u64;
-            self.rx_ring.push_back(frame);
+            self.stats.rx_steered[queue] += 1;
+            if fdir_hit {
+                self.stats.fdir_hits += 1;
+            }
+            self.rx_rings[queue].push_back(frame);
         }
     }
 
-    /// Pops the next received frame from the RX ring (a zero-copy handle to
-    /// the buffer the link delivered).
+    /// Pops the next received frame from the lowest-numbered non-empty RX
+    /// ring (single-queue compatibility wrapper; multi-queue drivers use
+    /// [`Nic::receive_on`]).
     pub fn receive(&mut self) -> Option<Bytes> {
-        self.rx_ring.pop_front()
+        self.rx_rings.iter_mut().find_map(|ring| ring.pop_front())
     }
 
-    /// Returns the number of free TX descriptors.
+    /// Pops the next received frame from a specific RX queue (a zero-copy
+    /// handle to the buffer the link delivered).
+    pub fn receive_on(&mut self, queue: usize) -> Option<Bytes> {
+        self.rx_rings.get_mut(queue)?.pop_front()
+    }
+
+    /// Returns the number of frames waiting in an RX queue.
+    pub fn rx_queue_depth(&self, queue: usize) -> usize {
+        self.rx_rings.get(queue).map_or(0, VecDeque::len)
+    }
+
+    /// Returns the number of free TX descriptors on queue 0.
     pub fn tx_ring_free(&self) -> usize {
-        self.config.tx_ring - self.tx_ring.len()
+        self.config.tx_ring - self.tx_rings[0].len()
     }
 
-    /// Resets the device: both rings are cleared (the shadow descriptors are
-    /// lost) and the link stays down for the configured reset latency.
+    /// Resets the device: every ring is cleared (the shadow descriptors are
+    /// lost), the flow-director table is forgotten, and the link stays down
+    /// for the configured reset latency.
     pub fn reset(&mut self) {
-        self.rx_ring.clear();
-        self.tx_ring.clear();
+        for ring in self.rx_rings.iter_mut().chain(self.tx_rings.iter_mut()) {
+            ring.clear();
+        }
+        self.steering.forget_all();
         self.link_up_at = self.clock.now() + self.config.link_reset_latency;
         self.stats.resets += 1;
+    }
+
+    /// Resets a single queue pair: its rings are cleared and the
+    /// flow-director entries pinned to it are dropped, but the link stays
+    /// up and the other queues keep flowing.  This is how a crashed stack
+    /// shard is reincarnated without disturbing its siblings — unlike a
+    /// crash of a singleton IP server, which still requires [`Nic::reset`]
+    /// and the multi-second link outage of Figure 4.
+    pub fn reset_queue(&mut self, queue: usize) {
+        if queue >= self.config.queues {
+            return;
+        }
+        self.rx_rings[queue].clear();
+        self.tx_rings[queue].clear();
+        self.steering.forget_queue(queue);
+        self.stats.queue_resets += 1;
     }
 
     /// Returns the traffic counters.
@@ -601,5 +691,78 @@ mod tests {
             nic.transmit(vec![1, 2, 3]).unwrap_err(),
             NicError::Malformed
         );
+    }
+
+    /// Builds the frame the peer would send back for `tcp_frame(..)` traffic
+    /// (source/destination tuple reversed).
+    fn reply_frame(payload_len: usize) -> Vec<u8> {
+        let src = Ipv4Addr::new(10, 0, 0, 2);
+        let dst = Ipv4Addr::new(10, 0, 0, 1);
+        let mut seg = TcpSegment::control(5001, 40000, 500, 1_000, TcpFlags::PSH_ACK);
+        seg.payload = vec![7u8; payload_len];
+        let ip = Ipv4Packet::new(src, dst, IpProtocol::Tcp, seg.build(src, dst));
+        EthernetFrame::new(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            EtherType::Ipv4,
+            ip.build(),
+        )
+        .build()
+    }
+
+    #[test]
+    fn transmit_pins_the_reverse_flow_to_the_same_queue() {
+        let (mut nic, peer, _clock) = setup(NicConfig::new(0).with_queues(4));
+        // Transmit the flow on queue 2; the adapter samples it (ATR).
+        nic.transmit_on(2, tcp_frame(100)).unwrap();
+        nic.poll();
+        assert!(peer.poll_receive().is_some());
+        // The reply is steered to queue 2 by the flow director, wherever
+        // the Toeplitz hash would have put it.
+        peer.transmit(reply_frame(64));
+        nic.poll();
+        assert!(nic.receive_on(2).is_some());
+        assert_eq!(nic.stats().rx_steered[2], 1);
+        assert_eq!(nic.stats().fdir_hits, 1);
+    }
+
+    #[test]
+    fn queue_reset_keeps_the_link_up_and_other_queues_intact() {
+        let (mut nic, peer, _clock) = setup(NicConfig::new(0).with_queues(2));
+        nic.transmit_on(1, tcp_frame(100)).unwrap();
+        nic.poll();
+        peer.transmit(reply_frame(10));
+        nic.poll();
+        assert_eq!(nic.rx_queue_depth(1), 1);
+        // Resetting queue 0 clears nothing that queue 1 holds and the link
+        // never goes down.
+        nic.reset_queue(0);
+        assert!(nic.is_link_up());
+        assert_eq!(nic.rx_queue_depth(1), 1);
+        assert_eq!(nic.stats().queue_resets, 1);
+        assert_eq!(nic.stats().resets, 0);
+        // Resetting queue 1 drops its frames and its flow pins.
+        nic.reset_queue(1);
+        assert_eq!(nic.rx_queue_depth(1), 0);
+        peer.transmit(reply_frame(10));
+        nic.poll();
+        assert_eq!(nic.stats().fdir_hits, 1, "pin was forgotten by the reset");
+    }
+
+    #[test]
+    fn deterministic_steering_without_flow_director() {
+        // The same inbound tuple lands on the same queue across adapter
+        // instances and shard counts (RSS determinism).
+        for queues in 1..=4usize {
+            let (mut a, peer_a, _clock_a) = setup(NicConfig::new(0).with_queues(queues));
+            let (mut b, peer_b, _clock_b) = setup(NicConfig::new(1).with_queues(queues));
+            peer_a.transmit(reply_frame(32));
+            peer_b.transmit(reply_frame(32));
+            a.poll();
+            b.poll();
+            let qa = (0..queues).find(|&q| a.rx_queue_depth(q) > 0).unwrap();
+            let qb = (0..queues).find(|&q| b.rx_queue_depth(q) > 0).unwrap();
+            assert_eq!(qa, qb, "steering differed at {queues} queues");
+        }
     }
 }

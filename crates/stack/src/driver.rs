@@ -1,6 +1,6 @@
 //! The network driver server (NetDrv).
 //!
-//! Drivers are nearly stateless: they move frames between the IP server's
+//! Drivers are nearly stateless: they move frames between the IP servers'
 //! shared pools and the device's descriptor rings.  Unlike the original
 //! MINIX 3 driver restart work, which fed the driver a single packet at a
 //! time, this driver is fed asynchronously with as much data as possible so
@@ -10,9 +10,29 @@
 //! * the IP server must wait for a transmit acknowledgement before freeing
 //!   the data, and resubmits frames it believes were not transmitted when
 //!   the driver crashes;
-//! * when the *IP server* crashes, the device has to be reset because the
-//!   adapters cannot invalidate their shadow descriptors, which takes the
-//!   link down for a while (the gap in Figure 4).
+//! * when a singleton *IP server* crashes, the device has to be reset
+//!   because the adapters cannot invalidate their shadow descriptors, which
+//!   takes the link down for a while (the gap in Figure 4).
+//!
+//! # Receive-side scaling
+//!
+//! With a sharded stack the driver serves one queue pair per stack shard:
+//! shard `s`'s transmits go out on TX queue `s` (which lets the adapter's
+//! flow director pin the reply flow to RX queue `s`), and frames the
+//! adapter steered into RX queue `q` are published into shard `q`'s receive
+//! pool.  Two frame classes are broadcast to every shard instead:
+//!
+//! * **ARP** — each IP replica keeps its own ARP cache;
+//! * **TCP connection-opening SYNs** (SYN without ACK) — a listening
+//!   socket lives on exactly one shard, and a remote peer's first packet
+//!   carries no flow-director pin yet.  Broadcasting the SYN lets the
+//!   owning shard answer (its SYN-ACK then pins the whole flow to its
+//!   queue) while the other shards find no matching socket and drop it.
+//!   UDP has no handshake to piggyback on, so a bound UDP socket only
+//!   receives from peers it has sent to first (or under `shards(1)`).
+//!
+//! When one shard's IP server crashes only its queue pair is reset; the
+//! link stays up and the sibling shards keep flowing.
 
 use std::sync::Arc;
 
@@ -21,6 +41,7 @@ use parking_lot::Mutex;
 use newt_channels::pool::Pool;
 use newt_kernel::rs::CrashEvent;
 use newt_net::nic::Nic;
+use newt_net::rss::{is_handshake_syn, MAX_QUEUES};
 
 #[cfg(test)]
 use crate::fabric::drain;
@@ -39,8 +60,13 @@ pub struct DriverStats {
     /// Frames dropped because the RX pool was exhausted or the queue to IP
     /// was full.
     pub rx_dropped: u64,
-    /// Device resets performed because the IP server crashed.
+    /// Frames delivered to each stack shard (RSS steering counters).
+    pub rx_steered: [u64; MAX_QUEUES],
+    /// Device resets performed because a singleton IP server crashed.
     pub resets_for_ip: u64,
+    /// Per-queue resets performed because one stack shard's IP server
+    /// crashed (the link stays up).
+    pub queue_resets: u64,
 }
 
 /// One incarnation of a network driver server.
@@ -48,55 +74,71 @@ pub struct DriverStats {
 pub struct DriverServer {
     index: usize,
     nic: Arc<Mutex<Nic>>,
-    rx_pool: Pool,
+    /// Receive pool of each stack shard's IP server, indexed by shard.
+    rx_pools: Vec<Pool>,
     pools: PoolTable,
-    inbox: Rx<IpToDrv>,
-    outbox: Tx<DrvToIp>,
+    /// Transmit-request lane from each shard's IP server.
+    inboxes: Vec<Rx<IpToDrv>>,
+    /// Completion/delivery lane to each shard's IP server.
+    outboxes: Vec<Tx<DrvToIp>>,
     crash_board: CrashBoard,
     crash_cursor: usize,
     stats: DriverStats,
-    /// Scratch buffer for draining the inbox, reused across poll rounds so
-    /// the steady state allocates nothing.
+    /// Scratch buffer for draining the inboxes, reused across poll rounds
+    /// so the steady state allocates nothing.
     inbox_scratch: Vec<IpToDrv>,
-    /// Transmit acknowledgements accumulated during one poll round and
-    /// flushed to IP as a single batch (one index publish, one wake).
-    ack_batch: Vec<DrvToIp>,
+    /// Transmit acknowledgements accumulated per shard during one poll
+    /// round and flushed as a single batch per lane (one index publish, one
+    /// wake).
+    ack_batches: Vec<Vec<DrvToIp>>,
 }
 
 impl DriverServer {
-    /// Creates a driver incarnation.
+    /// Creates a driver incarnation serving one lane (queue pair) per stack
+    /// shard.
     ///
-    /// `rx_pool` is the (IP-owned) pool the device "DMAs" received frames
-    /// into; `pools` resolves the chains of transmit requests.
+    /// `rx_pools[s]` is the pool shard `s`'s IP server owns and the device
+    /// "DMAs" that shard's frames into; `pools` resolves the chains of
+    /// transmit requests.  The three per-shard vectors must have the same
+    /// length (one entry for a singleton stack).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         index: usize,
         nic: Arc<Mutex<Nic>>,
-        rx_pool: Pool,
+        rx_pools: Vec<Pool>,
         pools: PoolTable,
-        inbox: Rx<IpToDrv>,
-        outbox: Tx<DrvToIp>,
+        inboxes: Vec<Rx<IpToDrv>>,
+        outboxes: Vec<Tx<DrvToIp>>,
         crash_board: CrashBoard,
     ) -> Self {
+        assert_eq!(rx_pools.len(), inboxes.len());
+        assert_eq!(rx_pools.len(), outboxes.len());
+        assert!(!rx_pools.is_empty(), "a driver needs at least one lane");
         let crash_cursor = crash_board.len();
+        let shards = rx_pools.len();
         DriverServer {
             index,
             nic,
-            rx_pool,
+            rx_pools,
             pools,
-            inbox,
-            outbox,
+            inboxes,
+            outboxes,
             crash_board,
             crash_cursor,
             stats: DriverStats::default(),
             inbox_scratch: Vec::new(),
-            ack_batch: Vec::new(),
+            ack_batches: (0..shards).map(|_| Vec::new()).collect(),
         }
     }
 
     /// Returns this driver's index.
     pub fn index(&self) -> usize {
         self.index
+    }
+
+    /// Returns the number of stack shards this driver serves.
+    pub fn shards(&self) -> usize {
+        self.outboxes.len()
     }
 
     /// Returns the driver's activity counters.
@@ -111,63 +153,66 @@ impl DriverServer {
 
         // React to crashes of our neighbours.
         for event in self.crash_board.poll(&mut self.crash_cursor) {
+            // Reacting to a crash is work: it must reset the idle
+            // back-off and push fresh stats out to telemetry.
+            work += 1;
             self.handle_crash(&event);
         }
 
-        // Transmit requests from IP, drained in one batch into a reused
-        // scratch buffer; the acknowledgements go back as one batch too.
+        // Transmit requests from each shard's IP server, drained in one
+        // batch per lane into a reused scratch buffer; the acknowledgements
+        // go back as one batch per lane too.  Shard s transmits on TX queue
+        // s so the adapter's flow director learns the reply affinity.
         let mut requests = std::mem::take(&mut self.inbox_scratch);
-        self.inbox.drain_into(&mut requests);
-        for request in requests.drain(..) {
-            work += 1;
-            match request {
-                IpToDrv::Transmit { req, chain } => {
-                    self.stats.tx_requests += 1;
-                    let ok = match self.pools.gather(&chain) {
-                        Some(frame) => self.nic.lock().transmit(frame).is_ok(),
-                        // A stale chain (its owner crashed and invalidated the
-                        // pool) cannot be sent; report failure so the owner
-                        // can clean up.
-                        None => false,
-                    };
-                    if !ok {
-                        self.stats.tx_failures += 1;
+        for shard in 0..self.inboxes.len() {
+            self.inboxes[shard].drain_into(&mut requests);
+            for request in requests.drain(..) {
+                work += 1;
+                match request {
+                    IpToDrv::Transmit { req, chain } => {
+                        self.stats.tx_requests += 1;
+                        let ok = match self.pools.gather(&chain) {
+                            Some(frame) => self.nic.lock().transmit_on(shard, frame).is_ok(),
+                            // A stale chain (its owner crashed and invalidated
+                            // the pool) cannot be sent; report failure so the
+                            // owner can clean up.
+                            None => false,
+                        };
+                        if !ok {
+                            self.stats.tx_failures += 1;
+                        }
+                        self.ack_batches[shard].push(DrvToIp::TransmitDone { req, ok });
                     }
-                    self.ack_batch.push(DrvToIp::TransmitDone { req, ok });
                 }
             }
+            self.outboxes[shard].send_batch(&mut self.ack_batches[shard]);
+            // Acknowledgements that did not fit are dropped, never blocked
+            // on (IP resubmits transmits it believes were lost).
+            self.ack_batches[shard].clear();
         }
         self.inbox_scratch = requests;
-        self.outbox.send_batch(&mut self.ack_batch);
-        // Acknowledgements that did not fit are dropped, never blocked on
-        // (IP resubmits transmits it believes were lost).
-        self.ack_batch.clear();
 
-        // Service the device and deliver received frames to IP.
+        // Service the device and deliver received frames to the IP server
+        // of the shard each frame was steered to.
         {
-            let mut nic = self.nic.lock();
+            let shards = self.outboxes.len();
+            let nic_arc = Arc::clone(&self.nic);
+            let mut nic = nic_arc.lock();
             nic.poll();
-            while let Some(frame) = nic.receive() {
-                work += 1;
-                match self.rx_pool.publish(&frame) {
-                    Ok(ptr) => {
-                        if send(
-                            &self.outbox,
-                            DrvToIp::Received {
-                                nic: self.index,
-                                ptr,
-                            },
-                        ) {
-                            self.stats.rx_delivered += 1;
-                        } else {
-                            // IP's queue is full (or IP is gone): drop the
-                            // frame, never block.
-                            let _ = self.rx_pool.free(&ptr);
-                            self.stats.rx_dropped += 1;
+            let queues = nic.queues();
+            for queue in 0..queues {
+                while let Some(frame) = nic.receive_on(queue) {
+                    work += 1;
+                    let shard = queue.min(shards - 1);
+                    if is_arp(&frame) || (shards > 1 && is_handshake_syn(&frame)) {
+                        // ARP feeds every replica's private cache; a
+                        // connection-opening SYN must reach whichever shard
+                        // holds the listener (its SYN-ACK pins the flow).
+                        for s in 0..shards {
+                            self.deliver(s, &frame);
                         }
-                    }
-                    Err(_) => {
-                        self.stats.rx_dropped += 1;
+                    } else {
+                        self.deliver(shard, &frame);
                     }
                 }
             }
@@ -176,16 +221,62 @@ impl DriverServer {
         work
     }
 
+    /// Publishes one received frame into shard `shard`'s receive pool and
+    /// hands the rich pointer to its IP server.
+    fn deliver(&mut self, shard: usize, frame: &[u8]) {
+        match self.rx_pools[shard].publish(frame) {
+            Ok(ptr) => {
+                if send(
+                    &self.outboxes[shard],
+                    DrvToIp::Received {
+                        nic: self.index,
+                        ptr,
+                    },
+                ) {
+                    self.stats.rx_delivered += 1;
+                    self.stats.rx_steered[shard.min(MAX_QUEUES - 1)] += 1;
+                } else {
+                    // IP's queue is full (or IP is gone): drop the frame,
+                    // never block.
+                    let _ = self.rx_pools[shard].free(&ptr);
+                    self.stats.rx_dropped += 1;
+                }
+            }
+            Err(_) => {
+                self.stats.rx_dropped += 1;
+            }
+        }
+    }
+
     /// Reacts to a crash of another component.
     pub fn handle_crash(&mut self, event: &CrashEvent) {
         if event.name == "ip" {
-            // The IP server owns the receive pool the device DMAs into; once
-            // it is gone we must reset the device so it stops using stale
-            // descriptors.  The link goes down for the reset latency.
+            // The singleton IP server owns the receive pool the device DMAs
+            // into; once it is gone we must reset the device so it stops
+            // using stale descriptors.  The link goes down for the reset
+            // latency.
             self.nic.lock().reset();
             self.stats.resets_for_ip += 1;
+        } else if let Some(shard) = event
+            .name
+            .strip_prefix("ip.")
+            .and_then(|rest| rest.parse::<usize>().ok())
+        {
+            // One stack shard's IP server crashed.  Multi-queue adapters can
+            // invalidate a single queue pair, so only that shard's rings and
+            // flow pins are cleared; the link stays up and sibling shards
+            // are untouched.
+            if shard < self.shards() {
+                self.nic.lock().reset_queue(shard);
+                self.stats.queue_resets += 1;
+            }
         }
     }
+}
+
+/// Returns `true` if the frame's EtherType is ARP.
+fn is_arp(frame: &[u8]) -> bool {
+    frame.len() >= 14 && frame[12] == 0x08 && frame[13] == 0x06
 }
 
 #[cfg(test)]
@@ -199,7 +290,9 @@ mod tests {
     use newt_kernel::rs::CrashReason;
     use newt_net::link::{Link, LinkConfig, LinkPort};
     use newt_net::nic::NicConfig;
-    use newt_net::wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, MacAddr, UdpDatagram};
+    use newt_net::wire::{
+        ArpPacket, EtherType, EthernetFrame, IpProtocol, Ipv4Packet, MacAddr, UdpDatagram,
+    };
     use std::net::Ipv4Addr;
 
     struct Rig {
@@ -227,10 +320,10 @@ mod tests {
         let driver = DriverServer::new(
             0,
             Arc::clone(&nic),
-            rx_pool.clone(),
+            vec![rx_pool.clone()],
             pools,
-            ip_to_drv.rx(),
-            drv_to_ip.tx(),
+            vec![ip_to_drv.rx()],
+            vec![drv_to_ip.tx()],
             crash_board.clone(),
         );
         Rig {
@@ -311,12 +404,13 @@ mod tests {
         match &replies[..] {
             [DrvToIp::Received { nic: 0, ptr }] => {
                 // IP can read the frame through the pool.
-                let frame = rig.driver.rx_pool.read(ptr).unwrap();
+                let frame = rig.driver.rx_pools[0].read(ptr).unwrap();
                 assert!(EthernetFrame::parse(&frame).is_ok());
             }
             other => panic!("expected one received frame, got {other:?}"),
         }
         assert_eq!(rig.driver.stats().rx_delivered, 1);
+        assert_eq!(rig.driver.stats().rx_steered[0], 1);
     }
 
     #[test]
@@ -357,10 +451,10 @@ mod tests {
         let mut driver = DriverServer::new(
             0,
             nic,
-            rx_pool,
+            vec![rx_pool],
             pools,
-            ip_to_drv.rx(),
-            drv_to_ip.tx(),
+            vec![ip_to_drv.rx()],
+            vec![drv_to_ip.tx()],
             CrashBoard::new(),
         );
         for _ in 0..5 {
@@ -370,5 +464,194 @@ mod tests {
         let stats = driver.stats();
         assert_eq!(stats.rx_delivered, 2);
         assert_eq!(stats.rx_dropped, 3);
+    }
+
+    /// A rig with two stack shards behind one two-queue NIC.
+    struct ShardedRig {
+        driver: DriverServer,
+        from_driver: Vec<Rx<DrvToIp>>,
+        to_driver: Vec<Tx<IpToDrv>>,
+        rx_pools: Vec<Pool>,
+        header_pool: Pool,
+        peer_port: LinkPort,
+        crash_board: CrashBoard,
+        nic: Arc<Mutex<Nic>>,
+    }
+
+    fn sharded_rig() -> ShardedRig {
+        let clock = SimClock::with_speedup(100.0);
+        let (_link, nic_port, peer_port) = Link::new(LinkConfig::unshaped(), clock.clone());
+        let nic = Arc::new(Mutex::new(Nic::new(
+            NicConfig::new(0).with_queues(2),
+            clock,
+            nic_port,
+        )));
+        let pools = PoolTable::new();
+        let rx_pools: Vec<Pool> = (0..2)
+            .map(|s| Pool::new("ip.rx", Endpoint::from_raw(100 + s), 2048, 64))
+            .collect();
+        let header_pool = Pool::new("ip.hdr", Endpoint::from_raw(4), 2048, 64);
+        for pool in rx_pools.iter().chain([&header_pool]) {
+            pools.register(pool);
+        }
+        let lanes_in: Vec<Chan<IpToDrv>> = (0..2).map(|_| Chan::new(64)).collect();
+        let lanes_out: Vec<Chan<DrvToIp>> = (0..2).map(|_| Chan::new(64)).collect();
+        let crash_board = CrashBoard::new();
+        let driver = DriverServer::new(
+            0,
+            Arc::clone(&nic),
+            rx_pools.clone(),
+            pools,
+            lanes_in.iter().map(Chan::rx).collect(),
+            lanes_out.iter().map(Chan::tx).collect(),
+            crash_board.clone(),
+        );
+        ShardedRig {
+            driver,
+            from_driver: lanes_out.iter().map(Chan::rx).collect(),
+            to_driver: lanes_in.iter().map(Chan::tx).collect(),
+            rx_pools,
+            header_pool,
+            peer_port,
+            crash_board,
+            nic,
+        }
+    }
+
+    fn reply_to(frame: &[u8]) -> Vec<u8> {
+        // Builds the reverse-direction UDP frame for a transmitted one.
+        let eth = EthernetFrame::parse(frame).unwrap();
+        let ip = Ipv4Packet::parse(&eth.payload).unwrap();
+        let udp = UdpDatagram::parse(&ip.payload, ip.src, ip.dst).unwrap();
+        let reply = UdpDatagram::new(udp.dst_port, udp.src_port, b"pong".to_vec());
+        let pkt = Ipv4Packet::new(ip.dst, ip.src, IpProtocol::Udp, reply.build(ip.dst, ip.src));
+        EthernetFrame::new(eth.src, eth.dst, EtherType::Ipv4, pkt.build()).build()
+    }
+
+    fn outbound_udp(src_port: u16) -> Vec<u8> {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let udp = UdpDatagram::new(src_port, 53, b"ping".to_vec());
+        let ip = Ipv4Packet::new(src, dst, IpProtocol::Udp, udp.build(src, dst));
+        EthernetFrame::new(
+            MacAddr::from_index(200),
+            MacAddr::from_index(0),
+            EtherType::Ipv4,
+            ip.build(),
+        )
+        .build()
+    }
+
+    #[test]
+    fn replies_are_steered_to_the_transmitting_shard() {
+        let mut rig = sharded_rig();
+        // Shard 1's IP transmits a datagram.
+        let frame = outbound_udp(50_005);
+        let ptr = rig.header_pool.publish(&frame).unwrap();
+        send(
+            &rig.to_driver[1],
+            IpToDrv::Transmit {
+                req: RequestId::from_raw(9),
+                chain: RichChain::single(ptr),
+            },
+        );
+        rig.driver.poll();
+        let on_wire = rig.peer_port.poll_receive().expect("datagram on the wire");
+        // The peer answers; the flow director pins the reply to shard 1.
+        rig.peer_port.transmit(reply_to(&on_wire));
+        rig.driver.poll();
+        assert!(drain(&rig.from_driver[0]).is_empty());
+        // Lane 1 carries the transmit acknowledgement and the steered reply.
+        let delivered = drain(&rig.from_driver[1]);
+        let received: Vec<_> = delivered
+            .iter()
+            .filter_map(|msg| match msg {
+                DrvToIp::Received { ptr, .. } => Some(*ptr),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            matches!(&received[..], [ptr] if rig.rx_pools[1].read(ptr).is_ok()),
+            "reply should land in shard 1's pool, got {delivered:?}"
+        );
+        assert_eq!(rig.driver.stats().rx_steered[1], 1);
+    }
+
+    #[test]
+    fn arp_frames_are_broadcast_to_every_shard() {
+        let mut rig = sharded_rig();
+        let arp = ArpPacket::request(
+            MacAddr::from_index(200),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        let frame = EthernetFrame::new(
+            MacAddr::BROADCAST,
+            MacAddr::from_index(200),
+            EtherType::Arp,
+            arp.build(),
+        )
+        .build();
+        rig.peer_port.transmit(frame);
+        rig.driver.poll();
+        for shard in 0..2 {
+            let delivered = drain(&rig.from_driver[shard]);
+            assert_eq!(delivered.len(), 1, "shard {shard} missed the ARP");
+        }
+    }
+
+    #[test]
+    fn connection_opening_syns_are_broadcast_to_every_shard() {
+        use newt_net::wire::{TcpFlags, TcpSegment};
+        let mut rig = sharded_rig();
+        let src = Ipv4Addr::new(10, 0, 0, 2);
+        let dst = Ipv4Addr::new(10, 0, 0, 1);
+        let syn = TcpSegment::control(51_000, 8080, 7, 0, TcpFlags::SYN);
+        let frame = EthernetFrame::new(
+            MacAddr::from_index(0),
+            MacAddr::from_index(200),
+            EtherType::Ipv4,
+            Ipv4Packet::new(src, dst, IpProtocol::Tcp, syn.build(src, dst)).build(),
+        )
+        .build();
+        rig.peer_port.transmit(frame);
+        rig.driver.poll();
+        // Whichever shard holds the listener sees the SYN; the others drop
+        // it after finding no socket.
+        for shard in 0..2 {
+            let delivered = drain(&rig.from_driver[shard]);
+            assert_eq!(delivered.len(), 1, "shard {shard} missed the SYN");
+        }
+        // A non-SYN segment is steered normally, not broadcast.
+        let ack = TcpSegment::control(51_000, 8080, 8, 1, TcpFlags::ACK);
+        let frame = EthernetFrame::new(
+            MacAddr::from_index(0),
+            MacAddr::from_index(200),
+            EtherType::Ipv4,
+            Ipv4Packet::new(src, dst, IpProtocol::Tcp, ack.build(src, dst)).build(),
+        )
+        .build();
+        rig.peer_port.transmit(frame);
+        rig.driver.poll();
+        let total: usize = (0..2).map(|s| drain(&rig.from_driver[s]).len()).sum();
+        assert_eq!(total, 1, "plain segments must reach exactly one shard");
+    }
+
+    #[test]
+    fn shard_ip_crash_resets_only_its_queue() {
+        let mut rig = sharded_rig();
+        rig.crash_board.push(CrashEvent {
+            name: "ip.1".to_string(),
+            endpoint: crate::endpoints::ip_shard(1),
+            generation: Generation::FIRST,
+            reason: CrashReason::Panicked,
+            restarting: true,
+        });
+        rig.driver.poll();
+        let stats = rig.driver.stats();
+        assert_eq!(stats.queue_resets, 1);
+        assert_eq!(stats.resets_for_ip, 0);
+        assert!(rig.nic.lock().is_link_up(), "link must stay up");
+        assert_eq!(rig.nic.lock().stats().queue_resets, 1);
     }
 }

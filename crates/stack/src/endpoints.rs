@@ -17,8 +17,17 @@ pub const PF: Endpoint = Endpoint::from_raw(5);
 pub const INET: Endpoint = Endpoint::from_raw(6);
 /// First driver endpoint; driver `i` is `DRIVER_BASE + i`.
 pub const DRIVER_BASE: u32 = 16;
+/// First endpoint of the replicated stack shards; shard `s > 0` owns the
+/// three endpoints `SHARD_BASE + 3*(s-1) ..= SHARD_BASE + 3*(s-1) + 2`
+/// (tcp, udp, ip).  Shard 0 reuses the singleton TCP/UDP/IP endpoints so a
+/// one-shard stack is bit-identical to the unsharded one.
+pub const SHARD_BASE: u32 = 64;
 /// First application endpoint; application `i` is `APP_BASE + i`.
 pub const APP_BASE: u32 = 256;
+
+/// The largest number of stack shards (replicated tcp/udp/ip trios) a stack
+/// can run, matching the NIC's queue-pair limit.
+pub const MAX_SHARDS: usize = newt_net::rss::MAX_QUEUES;
 
 /// Returns the endpoint of driver `index`.
 pub fn driver(index: usize) -> Endpoint {
@@ -30,15 +39,145 @@ pub fn application(index: u32) -> Endpoint {
     Endpoint::from_raw(APP_BASE + index)
 }
 
+/// Returns the endpoint of the TCP server of shard `shard`.
+pub fn tcp_shard(shard: usize) -> Endpoint {
+    if shard == 0 {
+        TCP
+    } else {
+        Endpoint::from_raw(SHARD_BASE + 3 * (shard as u32 - 1))
+    }
+}
+
+/// Returns the endpoint of the UDP server of shard `shard`.
+pub fn udp_shard(shard: usize) -> Endpoint {
+    if shard == 0 {
+        UDP
+    } else {
+        Endpoint::from_raw(SHARD_BASE + 3 * (shard as u32 - 1) + 1)
+    }
+}
+
+/// Returns the endpoint of the IP server of shard `shard`.
+pub fn ip_shard(shard: usize) -> Endpoint {
+    if shard == 0 {
+        IP
+    } else {
+        Endpoint::from_raw(SHARD_BASE + 3 * (shard as u32 - 1) + 2)
+    }
+}
+
+/// Socket identifiers carry the shard that owns them in their upper bits,
+/// so the SYSCALL server can route a call from the id alone and sockbuf
+/// registry names stay globally unique across replicas.
+pub const SOCK_SHARD_SHIFT: u32 = 32;
+
+/// Returns the first socket id minted by a transport on `shard` (ids grow
+/// upwards from here).
+pub fn sock_id_base(shard: usize) -> u64 {
+    (shard as u64) << SOCK_SHARD_SHIFT
+}
+
+/// Returns the shard that minted a socket id.
+pub fn sock_shard(sock: u64) -> usize {
+    (sock >> SOCK_SHARD_SHIFT) as usize
+}
+
+/// The identity of one stack shard: its index and how many replicas run in
+/// total.  A `Shard::singleton()` stack names its services exactly like the
+/// unsharded stack did ("tcp", "udp", "ip"), so single-shard behaviour —
+/// including the crash/recovery protocol keyed on those names — is
+/// unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's index, `0..count`.
+    pub index: usize,
+    /// Total number of shards in the stack.
+    pub count: usize,
+}
+
+impl Shard {
+    /// The identity of the only shard of an unsharded stack.
+    pub fn singleton() -> Self {
+        Shard { index: 0, count: 1 }
+    }
+
+    /// Creates a shard identity (count clamped to 1..=[`MAX_SHARDS`],
+    /// index clamped below count).
+    pub fn new(index: usize, count: usize) -> Self {
+        let count = count.clamp(1, MAX_SHARDS);
+        Shard {
+            index: index.min(count - 1),
+            count,
+        }
+    }
+
+    /// Returns the service name of a component on this shard: the bare
+    /// `base` for a singleton stack, `"{base}.{index}"` otherwise.
+    pub fn service_name(&self, base: &str) -> String {
+        if self.count <= 1 {
+            base.to_string()
+        } else {
+            format!("{base}.{}", self.index)
+        }
+    }
+
+    /// Returns this shard's TCP endpoint.
+    pub fn tcp(&self) -> Endpoint {
+        tcp_shard(self.index)
+    }
+
+    /// Returns this shard's UDP endpoint.
+    pub fn udp(&self) -> Endpoint {
+        udp_shard(self.index)
+    }
+
+    /// Returns this shard's IP endpoint.
+    pub fn ip(&self) -> Endpoint {
+        ip_shard(self.index)
+    }
+
+    /// Returns the first socket id transports on this shard mint.
+    pub fn sock_id_base(&self) -> u64 {
+        sock_id_base(self.index)
+    }
+
+    /// Returns this shard's slice of an ephemeral port range: the
+    /// [`EPHEMERAL_SPAN`] ports above `base` divided into disjoint
+    /// per-replica windows, so flows minted by different replicas can never
+    /// collide on the same 4-tuple.  A singleton stack keeps the whole
+    /// span.
+    pub fn ephemeral_range(&self, base: u16) -> (u16, u16) {
+        let width = EPHEMERAL_SPAN / self.count as u16;
+        let start = base + (self.index as u16) * width;
+        (start, start + width)
+    }
+}
+
+/// Size of each transport's ephemeral port range (divided among shards by
+/// [`Shard::ephemeral_range`]).  TCP uses base 40000 and UDP base 50000,
+/// so the two spans never overlap.
+pub const EPHEMERAL_SPAN: u16 = 10_000;
+
+/// Returns the successor of `p` inside a half-open ephemeral `range`,
+/// wrapping at the end — the single definition of the wrap rule both
+/// transports allocate with.
+pub fn next_ephemeral_port(range: (u16, u16), p: u16) -> u16 {
+    if p + 1 >= range.1 {
+        range.0
+    } else {
+        p + 1
+    }
+}
+
 /// The operating-system components of the networking stack, as the fault
 /// injection campaign and the recovery code name them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Component {
-    /// The TCP server.
+    /// The TCP server (shard 0 in a sharded stack).
     Tcp,
-    /// The UDP server.
+    /// The UDP server (shard 0 in a sharded stack).
     Udp,
-    /// The IP/ICMP/ARP server.
+    /// The IP/ICMP/ARP server (shard 0 in a sharded stack).
     Ip,
     /// The packet filter.
     PacketFilter,
@@ -46,6 +185,12 @@ pub enum Component {
     Driver(usize),
     /// The SYSCALL server.
     Syscall,
+    /// The TCP server of shard `s` of a sharded stack.
+    TcpShard(usize),
+    /// The UDP server of shard `s` of a sharded stack.
+    UdpShard(usize),
+    /// The IP server of shard `s` of a sharded stack.
+    IpShard(usize),
 }
 
 impl Component {
@@ -58,6 +203,9 @@ impl Component {
             Component::PacketFilter => PF,
             Component::Driver(i) => driver(*i),
             Component::Syscall => SYSCALL,
+            Component::TcpShard(s) => tcp_shard(*s),
+            Component::UdpShard(s) => udp_shard(*s),
+            Component::IpShard(s) => ip_shard(*s),
         }
     }
 
@@ -70,6 +218,25 @@ impl Component {
             Component::PacketFilter => "pf".to_string(),
             Component::Driver(i) => format!("e1000.{i}"),
             Component::Syscall => "syscall".to_string(),
+            Component::TcpShard(s) => format!("tcp.{s}"),
+            Component::UdpShard(s) => format!("udp.{s}"),
+            Component::IpShard(s) => format!("ip.{s}"),
+        }
+    }
+
+    /// Returns the shard-0 alias of a shard component (and vice versa), if
+    /// one exists: `Tcp` ⇄ `TcpShard(0)` and so on.  A sharded stack
+    /// registers only the shard variants and a singleton stack only the
+    /// legacy ones, so lookups try both spellings through this mapping.
+    pub fn shard_alias(&self) -> Option<Component> {
+        match self {
+            Component::Tcp => Some(Component::TcpShard(0)),
+            Component::Udp => Some(Component::UdpShard(0)),
+            Component::Ip => Some(Component::IpShard(0)),
+            Component::TcpShard(0) => Some(Component::Tcp),
+            Component::UdpShard(0) => Some(Component::Udp),
+            Component::IpShard(0) => Some(Component::Ip),
+            _ => None,
         }
     }
 
@@ -100,7 +267,7 @@ mod tests {
 
     #[test]
     fn well_known_endpoints_are_distinct() {
-        let eps = [
+        let mut eps = vec![
             SYSCALL,
             TCP,
             UDP,
@@ -111,6 +278,11 @@ mod tests {
             driver(1),
             application(0),
         ];
+        for shard in 1..MAX_SHARDS {
+            eps.push(tcp_shard(shard));
+            eps.push(udp_shard(shard));
+            eps.push(ip_shard(shard));
+        }
         for (i, a) in eps.iter().enumerate() {
             for (j, b) in eps.iter().enumerate() {
                 if i != j {
@@ -118,6 +290,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn shard_zero_reuses_the_singleton_endpoints_and_names() {
+        assert_eq!(tcp_shard(0), TCP);
+        assert_eq!(udp_shard(0), UDP);
+        assert_eq!(ip_shard(0), IP);
+        let singleton = Shard::singleton();
+        assert_eq!(singleton.service_name("tcp"), "tcp");
+        let sharded = Shard::new(2, 4);
+        assert_eq!(sharded.service_name("tcp"), "tcp.2");
+        assert_eq!(sharded.tcp(), tcp_shard(2));
+    }
+
+    #[test]
+    fn sock_ids_encode_their_shard() {
+        assert_eq!(sock_shard(sock_id_base(0) + 1), 0);
+        assert_eq!(sock_shard(sock_id_base(3) + 42), 3);
+        assert_eq!(Shard::new(5, 8).sock_id_base(), 5u64 << SOCK_SHARD_SHIFT);
+    }
+
+    #[test]
+    fn shard_aliases_map_both_directions() {
+        assert_eq!(Component::Tcp.shard_alias(), Some(Component::TcpShard(0)));
+        assert_eq!(Component::IpShard(0).shard_alias(), Some(Component::Ip));
+        assert_eq!(Component::TcpShard(1).shard_alias(), None);
+        assert_eq!(Component::PacketFilter.shard_alias(), None);
+        assert_eq!(Component::TcpShard(3).name(), "tcp.3");
+        assert_eq!(Component::IpShard(1).endpoint(), ip_shard(1));
     }
 
     #[test]

@@ -143,6 +143,13 @@ enum LentTo {
 #[derive(Debug)]
 pub struct IpServer {
     config: IpConfig,
+    /// Which stack shard this incarnation belongs to.
+    shard: endpoints::Shard,
+    /// Service names of this shard's transports, matched against crash
+    /// events (a sibling shard's transport crashing must not free our lent
+    /// chunks).
+    tcp_name: String,
+    udp_name: String,
     rx_pool: Pool,
     header_pool: Pool,
     pools: PoolTable,
@@ -183,6 +190,7 @@ impl IpServer {
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         mode: StartMode,
+        shard: endpoints::Shard,
         config: IpConfig,
         storage: Arc<StorageServer>,
         rx_pool: Pool,
@@ -198,9 +206,10 @@ impl IpServer {
         from_drv: Vec<Rx<DrvToIp>>,
         crash_board: CrashBoard,
     ) -> Self {
+        let storage_ns = shard.service_name("ip");
         let config = match mode {
             StartMode::Fresh => {
-                storage.store("ip", "config", &config);
+                storage.store(&storage_ns, "config", &config);
                 config
             }
             StartMode::Restart => {
@@ -209,13 +218,16 @@ impl IpServer {
                 rx_pool.reset();
                 header_pool.reset();
                 storage
-                    .retrieve::<IpConfig>("ip", "config")
+                    .retrieve::<IpConfig>(&storage_ns, "config")
                     .unwrap_or(config)
             }
         };
         let crash_cursor = crash_board.len();
         IpServer {
             config,
+            shard,
+            tcp_name: shard.service_name("tcp"),
+            udp_name: shard.service_name("udp"),
             rx_pool,
             header_pool,
             pools,
@@ -252,12 +264,20 @@ impl IpServer {
         &self.config
     }
 
+    /// Returns the shard identity of this incarnation.
+    pub fn shard(&self) -> endpoints::Shard {
+        self.shard
+    }
+
     /// Runs one iteration of the event loop; returns the amount of work
     /// done.
     pub fn poll(&mut self) -> usize {
         let mut work = 0;
 
         for event in self.crash_board.poll(&mut self.crash_cursor) {
+            // Reacting to a crash is work: it must reset the idle
+            // back-off and push fresh stats out to telemetry.
+            work += 1;
             self.handle_crash(&event);
         }
 
@@ -655,6 +675,12 @@ impl IpServer {
         self.arp_cache.insert(arp.sender_ip, arp.sender_mac);
         match arp.operation {
             ArpOperation::Request => {
+                // Requests are broadcast to every replica so each can warm
+                // its cache, but only one shard may answer or the stack
+                // would emit duplicate replies per request.
+                if self.shard.index != 0 {
+                    return;
+                }
                 let iface = self.config.interfaces.get(nic).copied();
                 if let Some(iface_cfg) = iface {
                     if arp.target_ip == iface_cfg.addr {
@@ -781,10 +807,10 @@ impl IpServer {
                 self.stats.resubmitted_checks += 1;
                 send(&self.to_pf, IpToPf::Check { req, meta });
             }
-        } else if event.name == "tcp" || event.name == "udp" {
+        } else if event.name == self.tcp_name || event.name == self.udp_name {
             // The transport will never send RxDone for the chunks it was
             // lent; free them.
-            let who = if event.name == "tcp" {
+            let who = if event.name == self.tcp_name {
                 LentTo::Tcp
             } else {
                 LentTo::Udp
@@ -901,6 +927,7 @@ mod tests {
 
         let ip = IpServer::new(
             mode,
+            endpoints::Shard::singleton(),
             config(with_pf),
             Arc::clone(&storage),
             rx_pool.clone(),

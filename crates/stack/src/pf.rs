@@ -156,17 +156,27 @@ pub struct PfStats {
 }
 
 /// One incarnation of the packet filter server.
+///
+/// The filter stays a **singleton** in a sharded stack — the rule set and
+/// the connection-tracking table are global policy — but it talks to every
+/// stack shard over that shard's own lanes: checks arrive from each IP
+/// replica on its own queue and the verdicts go back on the matching
+/// queue, and connection-tracking recovery queries every transport
+/// replica.
 #[derive(Debug)]
 pub struct PacketFilterServer {
     rules: Vec<FilterRule>,
     tracked: HashSet<(u8, u16, Ipv4Addr, u16)>,
     storage: Arc<StorageServer>,
-    inbox: Rx<IpToPf>,
-    outbox: Tx<PfToIp>,
-    to_tcp: Tx<PfToTransport>,
-    from_tcp: Rx<TransportToPf>,
-    to_udp: Tx<PfToTransport>,
-    from_udp: Rx<TransportToPf>,
+    /// Check lane from each stack shard's IP server.
+    inboxes: Vec<Rx<IpToPf>>,
+    /// Verdict lane back to each stack shard's IP server.
+    outboxes: Vec<Tx<PfToIp>>,
+    /// Connection-query lanes to/from each shard's transports.
+    to_tcp: Vec<Tx<PfToTransport>>,
+    from_tcp: Vec<Rx<TransportToPf>>,
+    to_udp: Vec<Tx<PfToTransport>>,
+    from_udp: Vec<Rx<TransportToPf>>,
     checked: u64,
     blocked: u64,
     /// Scratch buffers reused across poll rounds (zero steady-state
@@ -196,6 +206,36 @@ impl PacketFilterServer {
         to_udp: Tx<PfToTransport>,
         from_udp: Rx<TransportToPf>,
     ) -> Self {
+        Self::new_sharded(
+            mode,
+            configured_rules,
+            storage,
+            vec![inbox],
+            vec![outbox],
+            vec![to_tcp],
+            vec![from_tcp],
+            vec![to_udp],
+            vec![from_udp],
+        )
+    }
+
+    /// Creates a packet-filter incarnation serving one lane set per stack
+    /// shard (see [`PacketFilterServer::new`] for the recovery behaviour).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_sharded(
+        mode: StartMode,
+        configured_rules: Vec<FilterRule>,
+        storage: Arc<StorageServer>,
+        inboxes: Vec<Rx<IpToPf>>,
+        outboxes: Vec<Tx<PfToIp>>,
+        to_tcp: Vec<Tx<PfToTransport>>,
+        from_tcp: Vec<Rx<TransportToPf>>,
+        to_udp: Vec<Tx<PfToTransport>>,
+        from_udp: Vec<Rx<TransportToPf>>,
+    ) -> Self {
+        assert_eq!(inboxes.len(), outboxes.len());
+        assert_eq!(to_tcp.len(), from_tcp.len());
+        assert_eq!(to_udp.len(), from_udp.len());
         let rules = match mode {
             StartMode::Fresh => {
                 storage.store("pf", "rules", &configured_rules);
@@ -209,8 +249,8 @@ impl PacketFilterServer {
             rules,
             tracked: HashSet::new(),
             storage,
-            inbox,
-            outbox,
+            inboxes,
+            outboxes,
             to_tcp,
             from_tcp,
             to_udp,
@@ -222,9 +262,11 @@ impl PacketFilterServer {
             verdict_batch: Vec::new(),
         };
         if mode == StartMode::Restart {
-            // Rebuild connection tracking by asking TCP and UDP what is open.
-            send(&server.to_tcp, PfToTransport::QueryConnections);
-            send(&server.to_udp, PfToTransport::QueryConnections);
+            // Rebuild connection tracking by asking every transport replica
+            // what is open.
+            for lane in server.to_tcp.iter().chain(server.to_udp.iter()) {
+                send(lane, PfToTransport::QueryConnections);
+            }
         }
         server
     }
@@ -284,8 +326,9 @@ impl PacketFilterServer {
 
         // Answers from the transports while rebuilding connection tracking.
         let mut replies = std::mem::take(&mut self.transport_scratch);
-        self.from_tcp.drain_into(&mut replies);
-        self.from_udp.drain_into(&mut replies);
+        for lane in self.from_tcp.iter().chain(self.from_udp.iter()) {
+            lane.drain_into(&mut replies);
+        }
         for reply in replies.drain(..) {
             work += 1;
             let TransportToPf::Connections(flows) = reply;
@@ -295,28 +338,32 @@ impl PacketFilterServer {
         }
         self.transport_scratch = replies;
 
-        // Checks from IP, drained in one batch; the verdicts go back as one
-        // batch too (one index publish and one wake for the whole round).
+        // Checks from each shard's IP server, drained in one batch per
+        // lane; the verdicts go back as one batch on the *same* shard's
+        // lane (request ids are per-shard and must not cross replicas).
         let mut checks = std::mem::take(&mut self.inbox_scratch);
-        self.inbox.drain_into(&mut checks);
-        for request in checks.drain(..) {
-            work += 1;
-            match request {
-                IpToPf::Check { req, meta } => {
-                    self.checked += 1;
-                    let pass = self.verdict(&meta);
-                    if !pass {
-                        self.blocked += 1;
+        for shard in 0..self.inboxes.len() {
+            self.inboxes[shard].drain_into(&mut checks);
+            for request in checks.drain(..) {
+                work += 1;
+                match request {
+                    IpToPf::Check { req, meta } => {
+                        self.checked += 1;
+                        let pass = self.verdict(&meta);
+                        if !pass {
+                            self.blocked += 1;
+                        }
+                        self.verdict_batch.push(PfToIp::Verdict { req, pass });
                     }
-                    self.verdict_batch.push(PfToIp::Verdict { req, pass });
                 }
             }
+            self.outboxes[shard].send_batch(&mut self.verdict_batch);
+            // Verdicts that did not fit are dropped, never blocked on (IP
+            // resubmits outstanding checks when the filter appears
+            // unresponsive).
+            self.verdict_batch.clear();
         }
         self.inbox_scratch = checks;
-        self.outbox.send_batch(&mut self.verdict_batch);
-        // Verdicts that did not fit are dropped, never blocked on (IP
-        // resubmits outstanding checks when the filter appears unresponsive).
-        self.verdict_batch.clear();
         work
     }
 

@@ -8,6 +8,13 @@
 //! It keeps no state besides the table of outstanding calls, so restarting
 //! it is trivial: errors are returned for calls in flight and old replies
 //! are ignored.
+//!
+//! With a sharded stack the SYSCALL server stays a singleton and *routes*:
+//! new sockets are spread round-robin over the transport replicas, and
+//! every later call is steered by the shard index carried in the socket
+//! id's upper bits ([`endpoints::sock_shard`]), so a socket's calls always
+//! land on the shard that owns its state — the same place the NIC's flow
+//! director steers the socket's packets.
 
 use newt_channels::endpoint::Endpoint;
 use newt_channels::reqdb::{AbortPolicy, RequestDb};
@@ -31,6 +38,8 @@ pub struct SyscallStats {
     pub replies: u64,
     /// Calls answered with an error locally (e.g. protocol server down).
     pub local_errors: u64,
+    /// Calls routed to each stack shard.
+    pub routed: [u64; endpoints::MAX_SHARDS],
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -42,10 +51,17 @@ struct PendingCall {
 #[derive(Debug)]
 pub struct SyscallServer {
     kernel: KernelIpc,
-    to_tcp: Tx<SockRequest>,
-    from_tcp: Rx<SockReply>,
-    to_udp: Tx<SockRequest>,
-    from_udp: Rx<SockReply>,
+    /// Request lane to each TCP shard.
+    to_tcp: Vec<Tx<SockRequest>>,
+    /// Reply lane from each TCP shard.
+    from_tcp: Vec<Rx<SockReply>>,
+    /// Request lane to each UDP shard.
+    to_udp: Vec<Tx<SockRequest>>,
+    /// Reply lane from each UDP shard.
+    from_udp: Vec<Rx<SockReply>>,
+    /// Round-robin cursors for placing new sockets on shards.
+    next_tcp_shard: usize,
+    next_udp_shard: usize,
     crash_board: CrashBoard,
     crash_cursor: usize,
     pending: RequestDb<PendingCall>,
@@ -55,7 +71,8 @@ pub struct SyscallServer {
 }
 
 impl SyscallServer {
-    /// Creates a SYSCALL server incarnation and attaches it to the kernel.
+    /// Creates a SYSCALL server incarnation serving a single-shard stack
+    /// and attaches it to the kernel.
     pub fn new(
         kernel: KernelIpc,
         to_tcp: Tx<SockRequest>,
@@ -64,6 +81,30 @@ impl SyscallServer {
         from_udp: Rx<SockReply>,
         crash_board: CrashBoard,
     ) -> Self {
+        Self::new_sharded(
+            kernel,
+            vec![to_tcp],
+            vec![from_tcp],
+            vec![to_udp],
+            vec![from_udp],
+            crash_board,
+        )
+    }
+
+    /// Creates a SYSCALL server incarnation routing to one transport pair
+    /// per stack shard.
+    pub fn new_sharded(
+        kernel: KernelIpc,
+        to_tcp: Vec<Tx<SockRequest>>,
+        from_tcp: Vec<Rx<SockReply>>,
+        to_udp: Vec<Tx<SockRequest>>,
+        from_udp: Vec<Rx<SockReply>>,
+        crash_board: CrashBoard,
+    ) -> Self {
+        assert!(!to_tcp.is_empty());
+        assert_eq!(to_tcp.len(), from_tcp.len());
+        assert_eq!(to_tcp.len(), to_udp.len());
+        assert_eq!(to_udp.len(), from_udp.len());
         kernel.attach(endpoints::SYSCALL);
         let crash_cursor = crash_board.len();
         SyscallServer {
@@ -72,12 +113,19 @@ impl SyscallServer {
             from_tcp,
             to_udp,
             from_udp,
+            next_tcp_shard: 0,
+            next_udp_shard: 0,
             crash_board,
             crash_cursor,
             pending: RequestDb::new(),
             stats: SyscallStats::default(),
             reply_scratch: Vec::new(),
         }
+    }
+
+    /// Returns the number of stack shards this server routes to.
+    pub fn shards(&self) -> usize {
+        self.to_tcp.len()
     }
 
     /// Returns the server's counters.
@@ -90,6 +138,9 @@ impl SyscallServer {
         let mut work = 0;
 
         for event in self.crash_board.poll(&mut self.crash_cursor) {
+            // Reacting to a crash is work: it must reset the idle
+            // back-off and push fresh stats out to telemetry.
+            work += 1;
             self.handle_crash(&event);
         }
 
@@ -103,8 +154,9 @@ impl SyscallServer {
         // Replies coming back from the protocol servers, drained batch-wise
         // into a reused scratch buffer.
         let mut replies = std::mem::take(&mut self.reply_scratch);
-        self.from_tcp.drain_into(&mut replies);
-        self.from_udp.drain_into(&mut replies);
+        for lane in self.from_tcp.iter().chain(self.from_udp.iter()) {
+            lane.drain_into(&mut replies);
+        }
         for reply in replies.drain(..) {
             work += 1;
             self.complete(reply);
@@ -118,10 +170,27 @@ impl SyscallServer {
         let app = message.source;
         let proto = message.word(syscalls::PROTO_WORD) as u8;
         let is_tcp = proto == IpProtocol::Tcp.as_u8();
-        let destination = if is_tcp {
-            endpoints::TCP
+        // Route the call: a new socket goes to the next shard round-robin;
+        // anything naming an existing socket goes to the shard encoded in
+        // the socket id, where its state lives.
+        let shards = self.shards();
+        let shard = if message.mtype == syscalls::SOCKET {
+            let cursor = if is_tcp {
+                &mut self.next_tcp_shard
+            } else {
+                &mut self.next_udp_shard
+            };
+            let shard = *cursor % shards;
+            *cursor = (*cursor + 1) % shards;
+            shard
         } else {
-            endpoints::UDP
+            endpoints::sock_shard(message.word(0)).min(shards - 1)
+        };
+        self.stats.routed[shard.min(endpoints::MAX_SHARDS - 1)] += 1;
+        let destination = if is_tcp {
+            endpoints::tcp_shard(shard)
+        } else {
+            endpoints::udp_shard(shard)
         };
         let req = self
             .pending
@@ -159,7 +228,11 @@ impl SyscallServer {
                 return;
             }
         };
-        let channel = if is_tcp { &self.to_tcp } else { &self.to_udp };
+        let channel = if is_tcp {
+            &self.to_tcp[shard]
+        } else {
+            &self.to_udp[shard]
+        };
         if !send(channel, request) {
             // The protocol server is unreachable (queue full or crashed).
             self.pending.complete(req);
@@ -210,9 +283,9 @@ impl SyscallServer {
     /// Reacts to a crash of another component: calls outstanding towards the
     /// crashed protocol server are failed back to the applications.
     pub fn handle_crash(&mut self, event: &CrashEvent) {
-        let target = match event.name.as_str() {
-            "tcp" => endpoints::TCP,
-            "udp" => endpoints::UDP,
+        let target = match transport_shard_of(&event.name) {
+            Some(("tcp", shard)) => endpoints::tcp_shard(shard),
+            Some(("udp", shard)) => endpoints::udp_shard(shard),
             _ => return,
         };
         let aborted = self.pending.abort_all_to(target);
@@ -226,6 +299,22 @@ impl SyscallServer {
     pub fn outstanding(&self) -> usize {
         self.pending.len()
     }
+}
+
+/// Parses a transport service name ("tcp", "udp", "tcp.3", ...) into the
+/// transport kind and shard index.
+fn transport_shard_of(name: &str) -> Option<(&'static str, usize)> {
+    for kind in ["tcp", "udp"] {
+        if name == kind {
+            return Some((kind, 0));
+        }
+        if let Some(rest) = name.strip_prefix(kind) {
+            if let Some(shard) = rest.strip_prefix('.').and_then(|r| r.parse().ok()) {
+                return Some((kind, shard));
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]

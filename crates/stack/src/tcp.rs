@@ -62,6 +62,11 @@ pub struct TcpConfig {
     /// TCP window-scaling option the paper lists among the features needed
     /// to reach peak rates.
     pub window_scale: u32,
+    /// Total bytes this TCP server (one shard) may keep in flight across
+    /// all of its connections, divided evenly among the active senders —
+    /// the kernel-memory accounting (`tcp_mem`) that makes socket-buffer
+    /// space a *per-shard* resource: replicating the stack multiplies it.
+    pub shard_send_budget: usize,
 }
 
 impl Default for TcpConfig {
@@ -74,6 +79,7 @@ impl Default for TcpConfig {
             rto_max: Duration::from_secs(2),
             buffer_capacity: 256 * 1024,
             window_scale: 16,
+            shard_send_budget: 4 * 1024 * 1024,
         }
     }
 }
@@ -175,6 +181,18 @@ struct PendingSend {
 pub struct TcpServer {
     config: TcpConfig,
     generation: Generation,
+    /// Which stack shard this incarnation belongs to; a singleton stack is
+    /// shard 0 of 1 and behaves exactly like the unsharded server.
+    shard: endpoints::Shard,
+    /// This server's own endpoint (owner of its registry entries).
+    endpoint: newt_channels::endpoint::Endpoint,
+    /// The endpoint of this shard's IP server (request-database key).
+    ip_endpoint: newt_channels::endpoint::Endpoint,
+    /// Storage namespace ("tcp" or "tcp.{shard}").
+    storage_ns: String,
+    /// Service name of this shard's IP server, matched against crash
+    /// events.
+    ip_name: String,
     clock: SimClock,
     storage: Arc<StorageServer>,
     registry: Registry,
@@ -210,6 +228,7 @@ impl TcpServer {
     pub fn new(
         mode: StartMode,
         generation: Generation,
+        shard: endpoints::Shard,
         config: TcpConfig,
         clock: SimClock,
         storage: Arc<StorageServer>,
@@ -228,6 +247,11 @@ impl TcpServer {
         let mut server = TcpServer {
             config,
             generation,
+            shard,
+            endpoint: shard.tcp(),
+            ip_endpoint: shard.ip(),
+            storage_ns: shard.service_name("tcp"),
+            ip_name: shard.service_name("ip"),
             clock,
             storage,
             registry,
@@ -242,8 +266,8 @@ impl TcpServer {
             crash_board,
             crash_cursor,
             sockets: HashMap::new(),
-            next_sock: 1,
-            next_ephemeral: 40_000,
+            next_sock: shard.sock_id_base() + 1,
+            next_ephemeral: shard.ephemeral_range(40_000).0,
             isn_counter: 0x1000_0000,
             ip_reqs: RequestDb::new(),
             stats: TcpStats::default(),
@@ -270,11 +294,18 @@ impl TcpServer {
         self.sockets.len()
     }
 
+    /// Returns the shard identity of this incarnation.
+    pub fn shard(&self) -> endpoints::Shard {
+        self.shard
+    }
+
     // ---- recovery ----------------------------------------------------------
 
     fn recover(&mut self) {
-        let summaries: Vec<SockSummary> =
-            self.storage.retrieve("tcp", "sockets").unwrap_or_default();
+        let summaries: Vec<SockSummary> = self
+            .storage
+            .retrieve(&self.storage_ns, "sockets")
+            .unwrap_or_default();
         for summary in summaries {
             self.next_sock = self.next_sock.max(summary.id + 1);
             let buffer_name = Self::buffer_name(summary.id);
@@ -282,7 +313,7 @@ impl TcpServer {
                 // Listening sockets have no volatile state and are restored.
                 let buffer: Arc<SocketBuffer> = self
                     .registry
-                    .attach_shared(endpoints::TCP, &buffer_name)
+                    .attach_shared(self.endpoint, &buffer_name)
                     .unwrap_or_else(|_| Arc::new(SocketBuffer::with_defaults()));
                 let sock = self.blank_socket(summary.id, buffer);
                 let mut sock = sock;
@@ -295,7 +326,7 @@ impl TcpServer {
                 // application through the shared buffer, if it still exists.
                 if let Ok(buffer) = self
                     .registry
-                    .attach_shared::<SocketBuffer>(endpoints::TCP, &buffer_name)
+                    .attach_shared::<SocketBuffer>(self.endpoint, &buffer_name)
                 {
                     buffer.set_error(SockError::ConnectionReset);
                 }
@@ -317,7 +348,7 @@ impl TcpServer {
                 listening: s.state == TcpState::Listen,
             })
             .collect();
-        self.storage.store("tcp", "sockets", &summaries);
+        self.storage.store(&self.storage_ns, "sockets", &summaries);
     }
 
     fn buffer_name(id: SockId) -> String {
@@ -358,6 +389,9 @@ impl TcpServer {
         let mut work = 0;
 
         for event in self.crash_board.poll(&mut self.crash_cursor) {
+            // Reacting to a crash is work: it must reset the idle
+            // back-off and push fresh stats out to telemetry.
+            work += 1;
             self.handle_crash(&event);
         }
 
@@ -419,7 +453,7 @@ impl TcpServer {
                     self.config.buffer_capacity,
                 ));
                 let _ = self.registry.publish_shared(
-                    endpoints::TCP,
+                    self.endpoint,
                     self.generation,
                     &Self::buffer_name(id),
                     Access::Public,
@@ -480,8 +514,27 @@ impl TcpServer {
 
     fn bind(&mut self, sock: SockId, port: u16) -> Result<u16, SockError> {
         let requested = if port == 0 {
-            let p = self.next_ephemeral;
-            self.next_ephemeral = self.next_ephemeral.wrapping_add(1).max(40_000);
+            // Scan this shard's slice for a port no live socket holds, so
+            // long-lived connections can never be handed a colliding
+            // 4-tuple even after the cursor wraps.
+            let range = self.shard.ephemeral_range(40_000);
+            let width = (range.1 - range.0) as usize;
+            let mut candidate = self.next_ephemeral;
+            let mut found = None;
+            for _ in 0..width {
+                let in_use = self.sockets.values().any(|s| {
+                    s.id != sock && s.local_port == candidate && s.state != TcpState::Closed
+                });
+                if !in_use {
+                    found = Some(candidate);
+                    break;
+                }
+                candidate = endpoints::next_ephemeral_port(range, candidate);
+            }
+            let Some(p) = found else {
+                return Err(SockError::AddressInUse);
+            };
+            self.next_ephemeral = endpoints::next_ephemeral_port(range, p);
             p
         } else {
             port
@@ -551,7 +604,7 @@ impl TcpServer {
         match s.state {
             TcpState::Listen | TcpState::Closed | TcpState::SynSent => {
                 let name = Self::buffer_name(sock);
-                let _ = self.registry.revoke(endpoints::TCP, &name);
+                let _ = self.registry.revoke(self.endpoint, &name);
                 self.sockets.remove(&sock);
                 Ok(0)
             }
@@ -638,7 +691,7 @@ impl TcpServer {
         };
         let req = self
             .ip_reqs
-            .submit(endpoints::IP, AbortPolicy::Resubmit, pending);
+            .submit(self.ip_endpoint, AbortPolicy::Resubmit, pending);
         let sent = send(
             &self.to_ip,
             TransportToIp::SendPacket {
@@ -676,14 +729,27 @@ impl TcpServer {
     fn pump_sockets(&mut self) -> usize {
         let now = self.clock.now();
         let mut work = 0;
+        // This shard's in-flight budget is divided evenly among the
+        // connections that are actively sending (tcp_mem-style accounting);
+        // replicating the stack replicates the budget.
+        let active_senders = self
+            .sockets
+            .values()
+            .filter(|s| {
+                matches!(s.state, TcpState::Established | TcpState::CloseWait) && s.remote.is_some()
+            })
+            .count();
+        let budget_share = (self.config.shard_send_budget / active_senders.max(1))
+            .max(self.config.mss)
+            .min(u32::MAX as usize) as u32;
         let ids: Vec<SockId> = self.sockets.keys().copied().collect();
         for id in ids {
-            work += self.pump_one(id, now);
+            work += self.pump_one(id, now, budget_share);
         }
         work
     }
 
-    fn pump_one(&mut self, id: SockId, now: Duration) -> usize {
+    fn pump_one(&mut self, id: SockId, now: Duration, budget_share: u32) -> usize {
         let mut work = 0;
 
         // Retransmission timeout.
@@ -710,7 +776,11 @@ impl TcpServer {
                 if s.remote.is_none() {
                     break;
                 }
-                let window = s.cwnd.min(s.peer_window).max(s.mss as u32);
+                let window = s
+                    .cwnd
+                    .min(s.peer_window)
+                    .min(budget_share)
+                    .max(s.mss as u32);
                 let in_flight = s.flight();
                 if in_flight >= window {
                     break;
@@ -927,7 +997,7 @@ impl TcpServer {
             self.config.buffer_capacity,
         ));
         let _ = self.registry.publish_shared(
-            endpoints::TCP,
+            self.endpoint,
             self.generation,
             &Self::buffer_name(child_id),
             Access::Public,
@@ -1137,7 +1207,7 @@ impl TcpServer {
 
         if remove_sock {
             let name = Self::buffer_name(id);
-            let _ = self.registry.revoke(endpoints::TCP, &name);
+            let _ = self.registry.revoke(self.endpoint, &name);
             self.sockets.remove(&id);
             self.persist_sockets();
         }
@@ -1147,16 +1217,16 @@ impl TcpServer {
 
     /// Reacts to a crash of another component.
     pub fn handle_crash(&mut self, event: &CrashEvent) {
-        if event.name == "ip" {
+        if event.name == self.ip_name {
             // Resubmit every send IP had not completed, under fresh request
             // identifiers so late replies to the old ones are ignored; this
             // is the quick-retransmit policy of §V-D.
-            let aborted = self.ip_reqs.abort_all_to(endpoints::IP);
+            let aborted = self.ip_reqs.abort_all_to(self.ip_endpoint);
             for a in aborted {
                 let pending = a.context;
                 let req =
                     self.ip_reqs
-                        .submit(endpoints::IP, AbortPolicy::Resubmit, pending.clone());
+                        .submit(self.ip_endpoint, AbortPolicy::Resubmit, pending.clone());
                 self.stats.resubmitted_sends += 1;
                 send(
                     &self.to_ip,
@@ -1233,6 +1303,7 @@ mod tests {
         let tcp = TcpServer::new(
             mode,
             Generation::FIRST,
+            endpoints::Shard::singleton(),
             TcpConfig {
                 tso: false,
                 ..TcpConfig::default()

@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use newt_channels::endpoint::Generation;
+use newt_channels::endpoint::{Endpoint, Generation};
 use newt_channels::pool::Pool;
 use newt_channels::registry::{Access, Registry};
 use newt_channels::reqdb::{AbortPolicy, RequestDb};
@@ -108,6 +108,17 @@ pub struct UdpStats {
 #[derive(Debug)]
 pub struct UdpServer {
     generation: Generation,
+    /// Which stack shard this incarnation belongs to.
+    shard: endpoints::Shard,
+    /// This server's own endpoint (owner of its registry entries).
+    endpoint: Endpoint,
+    /// The endpoint of this shard's IP server (request-database key).
+    ip_endpoint: Endpoint,
+    /// Storage namespace ("udp" or "udp.{shard}").
+    storage_ns: String,
+    /// Service name of this shard's IP server, matched against crash
+    /// events.
+    ip_name: String,
     storage: Arc<StorageServer>,
     registry: Registry,
     tx_pool: Pool,
@@ -143,6 +154,7 @@ impl UdpServer {
     pub fn new(
         mode: StartMode,
         generation: Generation,
+        shard: endpoints::Shard,
         storage: Arc<StorageServer>,
         registry: Registry,
         tx_pool: Pool,
@@ -158,6 +170,11 @@ impl UdpServer {
         let crash_cursor = crash_board.len();
         let mut server = UdpServer {
             generation,
+            shard,
+            endpoint: shard.udp(),
+            ip_endpoint: shard.ip(),
+            storage_ns: shard.service_name("udp"),
+            ip_name: shard.service_name("ip"),
             storage,
             registry,
             tx_pool,
@@ -171,8 +188,8 @@ impl UdpServer {
             crash_board,
             crash_cursor,
             sockets: HashMap::new(),
-            next_sock: 1,
-            next_ephemeral: 50_000,
+            next_sock: shard.sock_id_base() + 1,
+            next_ephemeral: shard.ephemeral_range(50_000).0,
             ip_reqs: RequestDb::new(),
             stats: UdpStats::default(),
             syscall_scratch: Vec::new(),
@@ -203,16 +220,19 @@ impl UdpServer {
                 remote: s.remote.map(|(a, p)| (u32::from(a), p)),
             })
             .collect();
-        self.storage.store("udp", "sockets", &states);
+        self.storage.store(&self.storage_ns, "sockets", &states);
     }
 
     fn recover(&mut self) {
-        let states: Vec<UdpSockState> = self.storage.retrieve("udp", "sockets").unwrap_or_default();
+        let states: Vec<UdpSockState> = self
+            .storage
+            .retrieve(&self.storage_ns, "sockets")
+            .unwrap_or_default();
         for state in states {
             self.next_sock = self.next_sock.max(state.id + 1);
             let buffer: Arc<SocketBuffer> = self
                 .registry
-                .attach_shared(endpoints::UDP, &Self::buffer_name(state.id))
+                .attach_shared(self.endpoint, &Self::buffer_name(state.id))
                 .unwrap_or_else(|_| Arc::new(SocketBuffer::with_defaults()));
             self.sockets.insert(
                 state.id,
@@ -238,6 +258,29 @@ impl UdpServer {
         self.sockets.len()
     }
 
+    /// Returns the shard identity of this incarnation.
+    pub fn shard(&self) -> endpoints::Shard {
+        self.shard
+    }
+
+    /// Picks the next ephemeral port from this shard's slice that no
+    /// socket currently holds and advances the cursor past it.  Returns
+    /// `None` when the whole slice is occupied — handing out an in-use
+    /// port would silently starve one of the colliding sockets.
+    fn alloc_ephemeral(&mut self) -> Option<u16> {
+        let range = self.shard.ephemeral_range(50_000);
+        let width = (range.1 - range.0) as usize;
+        let mut candidate = self.next_ephemeral;
+        for _ in 0..width {
+            if !self.sockets.values().any(|s| s.local_port == candidate) {
+                self.next_ephemeral = endpoints::next_ephemeral_port(range, candidate);
+                return Some(candidate);
+            }
+            candidate = endpoints::next_ephemeral_port(range, candidate);
+        }
+        None
+    }
+
     fn flows(&self) -> Vec<FlowTuple> {
         self.sockets
             .values()
@@ -254,6 +297,9 @@ impl UdpServer {
         let mut work = 0;
 
         for event in self.crash_board.poll(&mut self.crash_cursor) {
+            // Reacting to a crash is work: it must reset the idle
+            // back-off and push fresh stats out to telemetry.
+            work += 1;
             self.handle_crash(&event);
         }
 
@@ -302,7 +348,7 @@ impl UdpServer {
                 self.next_sock += 1;
                 let buffer = Arc::new(SocketBuffer::with_defaults());
                 let _ = self.registry.publish_shared(
-                    endpoints::UDP,
+                    self.endpoint,
                     self.generation,
                     &Self::buffer_name(id),
                     Access::Public,
@@ -323,9 +369,19 @@ impl UdpServer {
             }
             SockRequest::Bind { sock, port, .. } => {
                 let requested = if port == 0 {
-                    let p = self.next_ephemeral;
-                    self.next_ephemeral = self.next_ephemeral.wrapping_add(1).max(50_000);
-                    p
+                    match self.alloc_ephemeral() {
+                        Some(p) => p,
+                        None => {
+                            send(
+                                &self.to_syscall,
+                                SockReply::Error {
+                                    req,
+                                    error: SockError::AddressInUse,
+                                },
+                            );
+                            return;
+                        }
+                    }
                 } else {
                     port
                 };
@@ -359,12 +415,29 @@ impl UdpServer {
             SockRequest::Connect {
                 sock, addr, port, ..
             } => {
+                let needs_port = self.sockets.get(&sock).is_some_and(|s| s.local_port == 0);
+                let fresh_port = if needs_port {
+                    match self.alloc_ephemeral() {
+                        Some(p) => Some(p),
+                        None => {
+                            send(
+                                &self.to_syscall,
+                                SockReply::Error {
+                                    req,
+                                    error: SockError::AddressInUse,
+                                },
+                            );
+                            return;
+                        }
+                    }
+                } else {
+                    None
+                };
                 let reply = match self.sockets.get_mut(&sock) {
                     Some(s) => {
                         s.remote = Some((addr, port));
-                        if s.local_port == 0 {
-                            s.local_port = self.next_ephemeral;
-                            self.next_ephemeral = self.next_ephemeral.wrapping_add(1).max(50_000);
+                        if let Some(p) = fresh_port {
+                            s.local_port = p;
                         }
                         SockReply::Ok {
                             req,
@@ -384,7 +457,7 @@ impl UdpServer {
                 if existed {
                     let _ = self
                         .registry
-                        .revoke(endpoints::UDP, &Self::buffer_name(sock));
+                        .revoke(self.endpoint, &Self::buffer_name(sock));
                 }
                 self.persist();
                 let reply = if existed {
@@ -473,14 +546,24 @@ impl UdpServer {
     }
 
     fn send_datagram(&mut self, id: SockId, addr: Ipv4Addr, port: u16, payload: &[u8]) {
+        let needs_port = self.sockets.get(&id).is_some_and(|s| s.local_port == 0);
+        let fresh_port = if needs_port {
+            match self.alloc_ephemeral() {
+                Some(p) => Some(p),
+                // No free source port: drop the datagram (UDP applications
+                // tolerate loss; a colliding port would misdeliver instead).
+                None => return,
+            }
+        } else {
+            None
+        };
         let mut needs_persist = false;
         let (local_port, dst, dst_port) = {
             let Some(sock) = self.sockets.get_mut(&id) else {
                 return;
             };
-            if sock.local_port == 0 {
-                sock.local_port = self.next_ephemeral;
-                self.next_ephemeral = self.next_ephemeral.wrapping_add(1).max(50_000);
+            if let Some(p) = fresh_port {
+                sock.local_port = p;
                 needs_persist = true;
             }
             let (dst, dst_port) = if addr.is_unspecified() {
@@ -514,7 +597,7 @@ impl UdpServer {
         }
         let req = self
             .ip_reqs
-            .submit(endpoints::IP, AbortPolicy::Drop, chain.clone());
+            .submit(self.ip_endpoint, AbortPolicy::Drop, chain.clone());
         let sent = send(
             &self.to_ip,
             TransportToIp::SendPacket {
@@ -537,10 +620,10 @@ impl UdpServer {
 
     /// Reacts to a crash of another component.
     pub fn handle_crash(&mut self, event: &CrashEvent) {
-        if event.name == "ip" {
+        if event.name == self.ip_name {
             // Datagrams are fire-and-forget: drop whatever was in flight and
             // free the chunks (UDP applications tolerate loss).
-            let aborted = self.ip_reqs.abort_all_to(endpoints::IP);
+            let aborted = self.ip_reqs.abort_all_to(self.ip_endpoint);
             for a in aborted {
                 self.tx_pool.free_chain(&a.context);
             }
@@ -581,6 +664,7 @@ mod tests {
         let udp = UdpServer::new(
             mode,
             Generation::FIRST,
+            endpoints::Shard::singleton(),
             Arc::clone(&storage),
             registry.clone(),
             tx_pool,

@@ -1,4 +1,5 @@
-//! Quickstart: boot the decomposed stack, open a TCP connection through the
+//! Quickstart: boot the decomposed stack — with the ip/tcp/udp pipeline
+//! replicated over two RSS shards — open a TCP connection through the
 //! POSIX-like client API, exchange data with the simulated remote host and
 //! print what the operating-system servers did on our behalf.
 //!
@@ -12,8 +13,11 @@ use newtos::{NewtStack, StackConfig};
 use newtos_suite::example_config;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    println!("booting the NewtOS networking stack (split topology, TSO on) ...");
-    let stack = NewtStack::start(example_config());
+    println!("booting the NewtOS networking stack (split topology, TSO on, 2 shards) ...");
+    // `shards(2)` replicates the ip/tcp/udp trio; each replica owns its own
+    // lanes, pools and socket-buffer budget, and the NIC steers every flow
+    // to the shard that owns its socket.
+    let stack = NewtStack::start(example_config().shards(2));
     println!(
         "components: {:?}",
         stack
@@ -26,6 +30,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Open a TCP connection to the SSH-like echo service of the peer host.
     let client = stack.client();
     let socket = client.tcp_socket()?;
+    println!(
+        "socket {} lives on shard {}",
+        socket.id(),
+        NewtStack::shard_of_socket(socket.id())
+    );
     socket.connect(StackConfig::peer_addr(0), SSH_PORT)?;
     println!("connected to {}:{}", StackConfig::peer_addr(0), SSH_PORT);
 
@@ -64,8 +73,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!();
     println!("server activity:");
     println!(
-        "  tcp     : {} segments out, {} segments in",
-        telemetry.tcp.segments_out, telemetry.tcp.segments_in
+        "  tcp     : {} segments out, {} segments in (all shards: {} out)",
+        telemetry.tcp.segments_out,
+        telemetry.tcp.segments_in,
+        telemetry.segments_out_total()
     );
     println!(
         "  udp     : {} datagrams out, {} in",
