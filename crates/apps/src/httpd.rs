@@ -1,0 +1,354 @@
+//! An HTTP/1.1 server on top of the stack's POSIX socket library.
+//!
+//! One thread multiplexes every connection through the non-blocking
+//! socket API: accept readiness comes from the TCP server's `POLL`
+//! syscall, data readiness from the shared socket buffers, and the thread
+//! parks in [`NetClient::poll`] when nothing is ready — the §V-B "C
+//! library" grown into something an event loop can use.
+//!
+//! The server listens `SO_REUSEPORT`-style: one listening socket per
+//! stack shard ([`NetClient::listen_sharded`]), so the NIC's RSS hash
+//! decides which replicated pipeline serves each inbound connection and
+//! the workload scales with the shard count.
+//!
+//! Crash behaviour follows §V-D: when a TCP shard is reincarnated its
+//! listening sockets are recovered and the server keeps accepting;
+//! established connections surface errors and are dropped, and clients
+//! reconnect (see `newt_apps::loadgen`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use newt_stack::posix::{Interest, NetClient, PollFd, TcpSocket};
+use newt_stack::sockbuf::SockError;
+
+use crate::http::{body_for_path, parse_request, response_bytes, HttpRequest, ParseOutcome};
+
+/// Configuration of an [`Httpd`].
+#[derive(Debug, Clone)]
+pub struct HttpdConfig {
+    /// TCP port to listen on.
+    pub port: u16,
+    /// Accept backlog per shard listener.
+    pub backlog: usize,
+}
+
+impl Default for HttpdConfig {
+    fn default() -> Self {
+        HttpdConfig {
+            port: 80,
+            backlog: 64,
+        }
+    }
+}
+
+/// Counters published by the server thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HttpdStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests answered (any status).
+    pub requests: u64,
+    /// Requests answered with 404/405/400.
+    pub error_responses: u64,
+    /// Connections dropped because of a socket error (reset, server
+    /// crash, ...).
+    pub connection_errors: u64,
+    /// Response bytes queued for transmission.
+    pub bytes_out: u64,
+}
+
+#[derive(Debug, Default)]
+struct SharedStats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    error_responses: AtomicU64,
+    connection_errors: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+impl SharedStats {
+    fn snapshot(&self) -> HttpdStats {
+        HttpdStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            error_responses: self.error_responses.load(Ordering::Relaxed),
+            connection_errors: self.connection_errors.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One in-flight connection of the event loop.
+#[derive(Debug)]
+struct Conn {
+    sock: TcpSocket,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    /// Cursor into `outbuf` (bytes already handed to the socket).
+    sent: usize,
+    close_after_flush: bool,
+}
+
+enum ConnVerdict {
+    Alive(usize),
+    Dead(usize, bool),
+}
+
+impl Conn {
+    fn new(sock: TcpSocket) -> Self {
+        Conn {
+            sock,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            sent: 0,
+            close_after_flush: false,
+        }
+    }
+
+    /// Flushes output, reads input, answers complete requests.  Returns
+    /// the work done and whether the connection survives.
+    fn service(&mut self, stats: &SharedStats) -> ConnVerdict {
+        let mut work = 0;
+
+        // Flush queued response bytes.
+        while self.sent < self.outbuf.len() {
+            match self.sock.try_send(&self.outbuf[self.sent..]) {
+                Ok(n) => {
+                    self.sent += n;
+                    work += 1;
+                }
+                Err(SockError::WouldBlock) => break,
+                Err(_) => return ConnVerdict::Dead(work, true),
+            }
+        }
+        if self.sent == self.outbuf.len() && !self.outbuf.is_empty() {
+            self.outbuf.clear();
+            self.sent = 0;
+            if self.close_after_flush {
+                return ConnVerdict::Dead(work, false);
+            }
+        }
+
+        // Pull everything the shared buffer holds.  An orderly remote
+        // close (EOF) must not short-circuit here: requests that arrived
+        // in the same pass still deserve their responses, so only mark
+        // the close and decide after the parse loop.
+        loop {
+            let mut chunk = [0u8; 4096];
+            match self.sock.try_recv(&mut chunk) {
+                Ok(0) => {
+                    self.close_after_flush = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.inbuf.extend_from_slice(&chunk[..n]);
+                    work += 1;
+                }
+                Err(SockError::WouldBlock) => break,
+                Err(_) => return ConnVerdict::Dead(work, true),
+            }
+        }
+
+        // Answer every complete request (keep-alive pipelining works).
+        loop {
+            match parse_request(&self.inbuf) {
+                ParseOutcome::Incomplete => break,
+                ParseOutcome::Bad => {
+                    self.queue_response(400, "Bad Request", b"bad request", false, stats);
+                    stats.error_responses.fetch_add(1, Ordering::Relaxed);
+                    self.inbuf.clear();
+                    work += 1;
+                    break;
+                }
+                ParseOutcome::Request(request, consumed) => {
+                    self.inbuf.drain(..consumed);
+                    self.respond(&request, stats);
+                    work += 1;
+                }
+            }
+        }
+
+        // The remote closed and every queued response is out: drop the
+        // connection (responses queued above flush on the next pass).
+        if self.close_after_flush && self.outbuf.is_empty() {
+            return ConnVerdict::Dead(work, false);
+        }
+
+        ConnVerdict::Alive(work)
+    }
+
+    fn respond(&mut self, request: &HttpRequest, stats: &SharedStats) {
+        if request.method != "GET" {
+            stats.error_responses.fetch_add(1, Ordering::Relaxed);
+            self.queue_response(
+                405,
+                "Method Not Allowed",
+                b"GET only",
+                request.keep_alive,
+                stats,
+            );
+            return;
+        }
+        match body_for_path(&request.path) {
+            Some(body) => self.queue_response(200, "OK", &body, request.keep_alive, stats),
+            None => {
+                stats.error_responses.fetch_add(1, Ordering::Relaxed);
+                self.queue_response(
+                    404,
+                    "Not Found",
+                    b"no such object",
+                    request.keep_alive,
+                    stats,
+                )
+            }
+        }
+    }
+
+    fn queue_response(
+        &mut self,
+        status: u16,
+        reason: &str,
+        body: &[u8],
+        keep_alive: bool,
+        stats: &SharedStats,
+    ) {
+        let wire = response_bytes(status, reason, body, keep_alive);
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        stats
+            .bytes_out
+            .fetch_add(wire.len() as u64, Ordering::Relaxed);
+        self.outbuf.extend_from_slice(&wire);
+        if !keep_alive {
+            self.close_after_flush = true;
+        }
+    }
+}
+
+/// A running HTTP server (one event-loop thread).  Dropping the handle
+/// stops the thread.
+#[derive(Debug)]
+pub struct Httpd {
+    stop: Arc<AtomicBool>,
+    stats: Arc<SharedStats>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Httpd {
+    /// Binds one listener per stack shard on `config.port` and spawns the
+    /// event loop.  `shards` is the stack's shard count
+    /// ([`NewtStack::shards`](newt_stack::builder::NewtStack::shards)).
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`NetClient::listen_sharded`] can return (the listeners
+    /// are set up synchronously so a returned `Httpd` is already
+    /// serving).
+    pub fn spawn(client: NetClient, shards: usize, config: HttpdConfig) -> Result<Self, SockError> {
+        let client = client.nonblocking();
+        let listeners = client.listen_sharded(config.port, config.backlog, shards)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(SharedStats::default());
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("newtos-httpd".to_string())
+                .spawn(move || run_event_loop(&client, &listeners, &stop, &stats))
+                .expect("spawning the httpd thread")
+        };
+        Ok(Httpd {
+            stop,
+            stats,
+            thread: Some(thread),
+        })
+    }
+
+    /// Returns the server's counters.
+    pub fn stats(&self) -> HttpdStats {
+        self.stats.snapshot()
+    }
+
+    /// Stops the event loop and waits for the thread to exit.
+    pub fn stop(mut self) -> HttpdStats {
+        self.halt();
+        self.stats.snapshot()
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Httpd {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+fn run_event_loop(
+    client: &NetClient,
+    listeners: &[TcpSocket],
+    stop: &AtomicBool,
+    stats: &SharedStats,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        let mut work = 0;
+
+        // Accept until every backlog is drained.  A restarting TCP shard
+        // answers ServerUnavailable; its listener was persisted and comes
+        // back with the reincarnation, so treat errors as "nothing yet".
+        for listener in listeners {
+            while let Ok(Some((sock, _addr, _port))) = listener.accept_nb() {
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                conns.push(Conn::new(sock));
+                work += 1;
+            }
+        }
+
+        // Service every connection; collect the dead ones.
+        let mut dead: Vec<usize> = Vec::new();
+        for (index, conn) in conns.iter_mut().enumerate() {
+            match conn.service(stats) {
+                ConnVerdict::Alive(w) => work += w,
+                ConnVerdict::Dead(w, errored) => {
+                    work += w + 1;
+                    if errored {
+                        stats.connection_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    dead.push(index);
+                }
+            }
+        }
+        for index in dead.into_iter().rev() {
+            let conn = conns.swap_remove(index);
+            let _ = conn.sock.close();
+        }
+
+        if work == 0 {
+            // Park on readiness instead of spinning: accept backlogs plus
+            // every connection (read always; write only with output
+            // pending).  The short timeout doubles as the stop-flag poll
+            // interval.
+            let mut fds: Vec<PollFd<'_>> = listeners
+                .iter()
+                .map(|l| PollFd::new(l, Interest::Accept))
+                .collect();
+            for conn in &conns {
+                let interest = if conn.sent < conn.outbuf.len() {
+                    Interest::ReadWrite
+                } else {
+                    Interest::Readable
+                };
+                fds.push(PollFd::new(&conn.sock, interest));
+            }
+            let _ = client.poll(&mut fds, Duration::from_millis(2));
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! In-process HTTP load generator.
+//!
+//! Drives hundreds of concurrent keep-alive HTTP connections *from the
+//! remote peer host through the NIC into the stack* — the direction real
+//! traffic arrives from — using the peer's client flows
+//! ([`RemotePeer::client_connect`](newt_net::peer::RemotePeer::client_connect)).
+//! Each connection issues GET requests back to back, verifies every
+//! response body byte for byte, and measures per-request latency in
+//! **virtual time**, so the resulting requests/sec and p50/p99 numbers are
+//! a property of the stack, not of the host CPU the bench happens to run
+//! on.
+//!
+//! Failures are handled the way the paper's workloads handle them (§VI-B's
+//! SSH client): a connection that dies — reset by a reincarnated TCP
+//! server, or starved past its response timeout on a badly impaired link —
+//! is abandoned, a fresh connection is opened on a new source port, and
+//! the in-flight request is retried.  A transfer therefore *survives* a
+//! mid-flight TCP-server crash, at the cost of a latency spike.
+
+use std::time::Duration;
+
+use newt_net::peer::ClientStatus;
+use newt_stack::builder::{NewtStack, StackConfig};
+
+use crate::http::{body_for_path, request_bytes, ResponseReader};
+
+/// Configuration of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent keep-alive connections.
+    pub connections: usize,
+    /// Requests issued per connection.
+    pub requests_per_connection: usize,
+    /// Request target; must be servable ([`body_for_path`]).
+    pub path: String,
+    /// Server port.
+    pub port: u16,
+    /// Which NIC/peer the load enters through.
+    pub nic: usize,
+    /// First client source port (grows upwards, also for retries).
+    pub src_port_base: u16,
+    /// Virtual-time budget per request (connect or response) before the
+    /// connection is abandoned and the request retried on a fresh one.
+    pub response_timeout: Duration,
+    /// Real-time bound on the whole run.
+    pub run_deadline: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            connections: 8,
+            requests_per_connection: 4,
+            path: "/bytes/2048".to_string(),
+            port: 80,
+            nic: 0,
+            src_port_base: 21_000,
+            response_timeout: Duration::from_secs(5),
+            run_deadline: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Outcome of a load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests completed with a verified 200 response.
+    pub completed: u64,
+    /// Connections abandoned and reopened (crash recovery, timeouts).
+    pub retries: u64,
+    /// Responses whose status or body did not match the expectation.
+    pub verify_failures: u64,
+    /// Whether every connection finished its request quota before the
+    /// real-time deadline.
+    pub completed_all: bool,
+    /// Virtual time the run took.
+    pub virtual_secs: f64,
+    /// Requests per virtual second.
+    pub rps: f64,
+    /// Median request latency (virtual microseconds).
+    pub p50_us: f64,
+    /// 99th-percentile request latency (virtual microseconds).
+    pub p99_us: f64,
+    /// All request latencies, sorted, in virtual microseconds.
+    pub latencies_us: Vec<f64>,
+    /// Verified response-body bytes received.
+    pub bytes_received: u64,
+}
+
+/// Returns the `p`-quantile (0..=1) of an already sorted latency slice.
+pub fn percentile_us(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[derive(Debug)]
+struct GenConn {
+    src_port: u16,
+    remaining: usize,
+    reader: ResponseReader,
+    /// Virtual time the current *attempt* (request send or connect)
+    /// started — drives the response/connect timeout.
+    started: Duration,
+    /// Virtual time the current logical request was *first* issued.  Kept
+    /// across reconnect retries so recorded latencies include the whole
+    /// failure-detection and reconnect cost (the "latency spike" a crash
+    /// is supposed to show up as).
+    issued_at: Option<Duration>,
+    request_outstanding: bool,
+}
+
+/// Runs the configured HTTP load against `stack` (whose HTTP server must
+/// already listen on `config.port`) and returns the measured report.
+///
+/// # Panics
+///
+/// Panics if `config.path` is not servable by the HTTP routing table —
+/// the generator needs the expected body for verification.
+pub fn run_http_load(stack: &NewtStack, config: &LoadConfig) -> LoadReport {
+    let expected = body_for_path(&config.path).expect("load path must be servable");
+    let request = request_bytes(&config.path);
+    let peer = stack.peer(config.nic);
+    let clock = stack.clock();
+    let server_addr = StackConfig::local_addr(config.nic);
+
+    let mut next_port = config.src_port_base;
+    let mut alloc_port = || {
+        let p = next_port;
+        next_port += 1;
+        assert!(next_port < 40_000, "source ports exhausted");
+        p
+    };
+
+    let mut conns: Vec<GenConn> = (0..config.connections)
+        .map(|_| {
+            let src_port = alloc_port();
+            peer.client_connect(src_port, server_addr, config.port);
+            GenConn {
+                src_port,
+                remaining: config.requests_per_connection,
+                reader: ResponseReader::new(),
+                started: clock.now(),
+                issued_at: None,
+                request_outstanding: false,
+            }
+        })
+        .collect();
+
+    let t0 = clock.now();
+    let hard_deadline = std::time::Instant::now() + config.run_deadline;
+    let mut latencies_us: Vec<f64> = Vec::new();
+    let mut retries = 0u64;
+    let mut verify_failures = 0u64;
+    let mut bytes_received = 0u64;
+    let mut completed_all = true;
+
+    'run: loop {
+        let mut all_done = true;
+        let mut progress = false;
+        for conn in conns.iter_mut() {
+            if conn.remaining == 0 {
+                continue;
+            }
+            all_done = false;
+            let now = clock.now();
+            let reconnect = match peer.client_status(conn.src_port) {
+                Some(ClientStatus::Established) => {
+                    if !conn.request_outstanding {
+                        peer.client_send(conn.src_port, &request);
+                        conn.started = now;
+                        // A retried request keeps its original issue time.
+                        conn.issued_at.get_or_insert(now);
+                        conn.request_outstanding = true;
+                        progress = true;
+                        false
+                    } else {
+                        let data = peer.client_take(conn.src_port);
+                        if !data.is_empty() {
+                            conn.reader.push(&data);
+                            progress = true;
+                        }
+                        while let Some((status, body)) = conn.reader.pop_response() {
+                            if status != 200 || body != expected {
+                                verify_failures += 1;
+                            } else {
+                                bytes_received += body.len() as u64;
+                            }
+                            let issued = conn.issued_at.take().unwrap_or(conn.started);
+                            latencies_us.push((clock.now() - issued).as_secs_f64() * 1e6);
+                            conn.remaining -= 1;
+                            conn.request_outstanding = false;
+                            progress = true;
+                            if conn.remaining > 0 {
+                                peer.client_send(conn.src_port, &request);
+                                conn.started = clock.now();
+                                conn.issued_at = Some(conn.started);
+                                conn.request_outstanding = true;
+                            } else {
+                                break;
+                            }
+                        }
+                        // Overdue: the server-side connection is probably
+                        // gone (e.g. TCP server reincarnated).
+                        conn.request_outstanding
+                            && clock.now() - conn.started > config.response_timeout
+                    }
+                }
+                Some(ClientStatus::Resolving) | Some(ClientStatus::Connecting) => {
+                    now - conn.started > config.response_timeout
+                }
+                Some(ClientStatus::Closed) | Some(ClientStatus::Failed) | None => true,
+            };
+            if reconnect {
+                peer.client_close(conn.src_port);
+                conn.src_port = alloc_port();
+                conn.reader = ResponseReader::new();
+                conn.request_outstanding = false;
+                conn.started = clock.now();
+                retries += 1;
+                progress = true;
+                peer.client_connect(conn.src_port, server_addr, config.port);
+            }
+        }
+        if all_done {
+            break 'run;
+        }
+        if std::time::Instant::now() >= hard_deadline {
+            completed_all = false;
+            break 'run;
+        }
+        if !progress {
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    }
+    let virtual_secs = (clock.now() - t0).as_secs_f64().max(1e-9);
+    for conn in &conns {
+        peer.client_close(conn.src_port);
+    }
+
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let completed = latencies_us.len() as u64 - verify_failures.min(latencies_us.len() as u64);
+    LoadReport {
+        completed,
+        retries,
+        verify_failures,
+        completed_all,
+        virtual_secs,
+        rps: latencies_us.len() as f64 / virtual_secs,
+        p50_us: percentile_us(&latencies_us, 0.50),
+        p99_us: percentile_us(&latencies_us, 0.99),
+        latencies_us,
+        bytes_received,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_a_sorted_slice() {
+        let lat: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile_us(&lat, 0.0), 1.0);
+        assert_eq!(percentile_us(&lat, 1.0), 100.0);
+        assert_eq!(percentile_us(&lat, 0.5), 51.0);
+        assert!((percentile_us(&lat, 0.99) - 99.0).abs() <= 1.0);
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn default_config_is_servable() {
+        assert!(body_for_path(&LoadConfig::default().path).is_some());
+    }
+}

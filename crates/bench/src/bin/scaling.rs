@@ -57,12 +57,7 @@ fn bench_config(shards: usize) -> StackConfig {
         // The filter is a singleton; keep it out of the path so the curve
         // isolates the replicated pipeline.
         .packet_filter(false)
-        .link(LinkConfig {
-            bandwidth_bps: f64::INFINITY,
-            propagation: PROPAGATION,
-            loss_probability: 0.0,
-            queue_limit: 1 << 16,
-        })
+        .link(LinkConfig::unshaped().propagation(PROPAGATION))
         // Real-time clock: the delay budget above already keeps the run
         // short, and any speedup would shrink the CPU headroom that keeps
         // the measurement resource-bound.

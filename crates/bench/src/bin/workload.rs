@@ -1,0 +1,228 @@
+//! HTTP workload bench — requests/sec and p50/p99 latency of the
+//! application layer at 1/2/4 stack shards, over a clean and an impaired
+//! (burst-loss + reorder + jitter + duplication) gigabit link.
+//!
+//! The paper's end goal is a dependable stack that carries *application*
+//! traffic fast; this harness measures exactly that.  An HTTP/1.1 server
+//! (`newt-apps`) listens `SO_REUSEPORT`-style on every shard through the
+//! poll-based socket API; the in-process load generator opens hundreds of
+//! concurrent keep-alive connections from the remote peer, issues GET
+//! requests back to back, byte-verifies every response and timestamps each
+//! request in **virtual time** — so rps and latency are properties of the
+//! stack, not of the CI runner.
+//!
+//! Writes `BENCH_workload.json`.  If a previous `BENCH_workload.json` is
+//! present (the checked-in baseline), the clean 4-shard p99 is compared
+//! against it and the run fails when it regressed by more than 2x; the
+//! run also fails if any request is lost, any body fails verification, or
+//! any shard serves no connections at 4 shards.
+
+use std::time::Duration;
+
+use newt_apps::httpd::{Httpd, HttpdConfig};
+use newt_apps::loadgen::{run_http_load, LoadConfig};
+use newt_bench::{arg_or, header};
+use newt_net::link::LinkConfig;
+use newt_stack::builder::{NewtStack, StackConfig};
+
+/// Requests each connection issues over its keep-alive session.
+const REQUESTS_PER_CONNECTION: usize = 4;
+/// Object fetched by every request.
+const PATH: &str = "/bytes/2048";
+/// Allowed p99 regression over the checked-in baseline.
+const P99_GATE_FACTOR: f64 = 2.0;
+
+struct Sample {
+    shards: usize,
+    link: &'static str,
+    connections: usize,
+    requests: u64,
+    retries: u64,
+    virtual_secs: f64,
+    rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    completed_all: bool,
+    verify_failures: u64,
+    served_per_shard: Vec<u64>,
+}
+
+fn bench_config(shards: usize, impaired: bool) -> StackConfig {
+    let link = if impaired {
+        LinkConfig::impaired()
+    } else {
+        LinkConfig::gigabit()
+    };
+    StackConfig::newtos()
+        .shards(shards)
+        .link(link)
+        // Moderate speed-up: virtual TCP timers (200 ms RTO) elapse fast
+        // on the impaired runs without inflating scheduling noise into
+        // the virtual latencies too much.
+        .clock_speedup(10.0)
+}
+
+fn run_point(shards: usize, impaired: bool, connections: usize) -> Sample {
+    let stack = NewtStack::start(bench_config(shards, impaired));
+    let server =
+        Httpd::spawn(stack.client(), stack.shards(), HttpdConfig::default()).expect("http server");
+    let report = run_http_load(
+        &stack,
+        &LoadConfig {
+            connections,
+            requests_per_connection: REQUESTS_PER_CONNECTION,
+            path: PATH.to_string(),
+            response_timeout: Duration::from_secs(if impaired { 30 } else { 10 }),
+            run_deadline: Duration::from_secs(300),
+            ..LoadConfig::default()
+        },
+    );
+    let telemetry = stack.telemetry();
+    let served_per_shard: Vec<u64> = (0..shards)
+        .map(|s| telemetry.tcp_shards[s].connections_established)
+        .collect();
+    let _ = server.stop();
+    stack.shutdown();
+    Sample {
+        shards,
+        link: if impaired { "impaired" } else { "clean" },
+        connections,
+        requests: report.completed,
+        retries: report.retries,
+        virtual_secs: report.virtual_secs,
+        rps: report.rps,
+        p50_us: report.p50_us,
+        p99_us: report.p99_us,
+        completed_all: report.completed_all,
+        verify_failures: report.verify_failures,
+        served_per_shard,
+    }
+}
+
+/// Pulls the clean 4-shard p99 out of a previously written
+/// `BENCH_workload.json` (one result object per line, so a line scan is
+/// enough — no JSON parser in the tree).
+fn baseline_p99(json: &str) -> Option<f64> {
+    json.lines()
+        .find(|l| l.contains("\"shards\": 4") && l.contains("\"link\": \"clean\""))
+        .and_then(|l| {
+            l.split("\"p99_us\": ")
+                .nth(1)?
+                .split(['}', ','])
+                .next()?
+                .trim()
+                .parse()
+                .ok()
+        })
+}
+
+fn main() {
+    header(
+        "HTTP workload — keep-alive request/response over the sharded stack",
+        "the application layer the paper's stack exists to carry",
+    );
+    // Connections at 4 shards (scaled down proportionally for 1/2).
+    let connections_at_4 = arg_or(1, 200);
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for impaired in [false, true] {
+        for shards in [1usize, 2, 4] {
+            let connections = (connections_at_4 * shards / 4).max(8);
+            println!(
+                "running {connections} connections x {REQUESTS_PER_CONNECTION} requests, {shards} shard(s), {} link...",
+                if impaired { "impaired" } else { "clean" }
+            );
+            let sample = run_point(shards, impaired, connections);
+            println!(
+                "  {:>8} {:>2} shards: {:>6} reqs in {:>8.3}s virtual = {:>9.1} rps, p50 {:>9.1} us, p99 {:>9.1} us, {} reconnects, served/shard {:?}",
+                sample.link,
+                sample.shards,
+                sample.requests,
+                sample.virtual_secs,
+                sample.rps,
+                sample.p50_us,
+                sample.p99_us,
+                sample.retries,
+                sample.served_per_shard,
+            );
+            samples.push(sample);
+        }
+    }
+
+    // The regression gate reads the previous (checked-in) record before it
+    // is overwritten.
+    let baseline = std::fs::read_to_string("BENCH_workload.json")
+        .ok()
+        .as_deref()
+        .and_then(baseline_p99);
+
+    let results: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"shards\": {}, \"link\": \"{}\", \"connections\": {}, \"requests\": {}, \"retries\": {}, \"virtual_secs\": {:.4}, \"rps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"completed_all\": {}, \"verify_failures\": {}, \"served_per_shard\": {:?}}}",
+                s.shards,
+                s.link,
+                s.connections,
+                s.requests,
+                s.retries,
+                s.virtual_secs,
+                s.rps,
+                s.p50_us,
+                s.p99_us,
+                s.completed_all,
+                s.verify_failures,
+                s.served_per_shard,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"workload\": \"keep-alive HTTP GET {PATH}, {REQUESTS_PER_CONNECTION} requests/connection, virtual-time latency\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        results.join(",\n"),
+    );
+    match std::fs::write("BENCH_workload.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_workload.json"),
+        Err(err) => eprintln!("could not write BENCH_workload.json: {err}"),
+    }
+
+    // ---- gates ------------------------------------------------------------
+    let mut failed = false;
+    for s in &samples {
+        if !s.completed_all || s.verify_failures > 0 {
+            eprintln!(
+                "FAIL: {} {}-shard run lost requests (completed_all={}, verify_failures={})",
+                s.link, s.shards, s.completed_all, s.verify_failures
+            );
+            failed = true;
+        }
+        if s.shards == 4 && s.served_per_shard.contains(&0) {
+            eprintln!(
+                "FAIL: {} 4-shard run left a shard idle: {:?}",
+                s.link, s.served_per_shard
+            );
+            failed = true;
+        }
+    }
+    let measured = samples
+        .iter()
+        .find(|s| s.shards == 4 && s.link == "clean")
+        .map(|s| s.p99_us)
+        .unwrap_or(0.0);
+    match baseline {
+        Some(base) if base > 0.0 => {
+            let factor = measured / base;
+            println!("p99 gate: clean 4-shard p99 {measured:.1} us vs baseline {base:.1} us ({factor:.2}x)");
+            if factor > P99_GATE_FACTOR {
+                eprintln!(
+                    "FAIL: p99 regressed {factor:.2}x (> {P99_GATE_FACTOR}x) over the baseline"
+                );
+                failed = true;
+            }
+        }
+        _ => println!("p99 gate: no baseline BENCH_workload.json found, recording only"),
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("PASS: workload completed on every link/shard point, bodies verified");
+}

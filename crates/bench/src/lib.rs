@@ -1,11 +1,24 @@
 //! Shared helpers for the benchmark harness binaries.
 //!
-//! Each binary in `src/bin/` regenerates one table or figure of the paper's
-//! evaluation; this library hosts the small amount of code they share, plus
+//! Each binary in `src/bin/` regenerates one artefact of the paper's
+//! evaluation — or one of the reproduction's own tracked records:
+//!
+//! | binary | artefact |
+//! | --- | --- |
+//! | `table1` | kernel-IPC / channel cycle costs → `BENCH_fastpath.json` |
+//! | `table2` | throughput of every stack configuration (analytic model) |
+//! | `table3`/`table4` | the SWIFI fault-injection campaign |
+//! | `fig4`/`fig5` | bitrate traces across IP / packet-filter crashes |
+//! | `ablation` | design-principle ablation sweep |
+//! | `scaling` | RSS scaling at 1/2/4 shards → `BENCH_scaling.json` |
+//! | `workload` | HTTP rps + p50/p99 over clean/impaired links → `BENCH_workload.json` |
+//!
+//! This library hosts the small amount of code the binaries share, plus
 //! the [`fastpath`] micro-measurement that tracks the inter-server channel
 //! fast path across pull requests.
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 /// Returns the first CLI argument parsed as a number, or `default`.
 ///

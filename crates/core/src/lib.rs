@@ -16,7 +16,9 @@
 //! * [`faults`] — the SWIFI fault-injection campaign and the crash-trace
 //!   experiments;
 //! * [`sim`] — the analytic pipeline model reproducing Table II and the
-//!   ablations.
+//!   ablations;
+//! * [`apps`] — the application workload layer: an HTTP/1.1 server on the
+//!   poll-based socket API and the in-process HTTP load generator.
 //!
 //! # Quickstart
 //!
@@ -46,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub use newt_apps as apps;
 pub use newt_channels as channels;
 pub use newt_faults as faults;
 pub use newt_kernel as kernel;

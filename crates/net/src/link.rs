@@ -1,10 +1,19 @@
-//! Full-duplex links with bandwidth shaping, propagation delay and loss.
+//! Full-duplex links with bandwidth shaping, propagation delay and
+//! netem-style impairments.
 //!
 //! A [`Link`] connects two ports — in the reproduction one side is a
 //! simulated NIC owned by a driver server, the other side is the remote peer
 //! host.  The link paces frames according to a configurable bandwidth (the
 //! paper's network adapters are 1 Gb/s each), which is what gives the
 //! bitrate-versus-time figures their ceiling.
+//!
+//! Beyond the clean gigabit wire, a link can be *impaired* the way Linux
+//! `tc netem` impairs one: uniform random loss, bursty two-state
+//! (Gilbert–Elliott) loss, per-frame jitter, probabilistic reordering and
+//! duplication.  Impairments are what turn the workload benches from
+//! fair-weather demos into end-to-end exercises of the stack's
+//! retransmission, fast-retransmit and duplicate-suppression paths — see
+//! [`Netem`] and [`LinkConfig::impaired`].
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -20,6 +29,89 @@ use newt_kernel::clock::SimClock;
 
 use crate::trace::TraceCapture;
 
+/// Two-state Markov (Gilbert–Elliott) loss model: the link alternates
+/// between a *good* state with low loss and a *bad* state with high loss,
+/// so drops arrive in bursts — the pattern that actually trips TCP's
+/// fast-retransmit and RTO machinery, unlike independent uniform loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// Per-frame probability of transitioning good → bad.
+    pub p_enter_bad: f64,
+    /// Per-frame probability of transitioning bad → good.
+    pub p_exit_bad: f64,
+    /// Loss probability while in the good state.
+    pub loss_good: f64,
+    /// Loss probability while in the bad state.
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// A moderate burst-loss profile: mostly clean, but roughly every fifty
+    /// frames the link enters a bad period that lasts ~4 frames and drops
+    /// about half of them.
+    pub fn bursty() -> Self {
+        GilbertElliott {
+            p_enter_bad: 0.02,
+            p_exit_bad: 0.25,
+            loss_good: 0.0005,
+            loss_bad: 0.5,
+        }
+    }
+}
+
+/// Netem-style impairments applied to each direction of a [`Link`]
+/// independently (like `tc qdisc add dev ... netem`).  The default is a
+/// clean wire: no burst loss, no jitter, no reordering, no duplication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Netem {
+    /// Bursty (Gilbert–Elliott) loss, layered on top of
+    /// [`LinkConfig::loss_probability`]'s uniform loss.
+    pub burst_loss: Option<GilbertElliott>,
+    /// Uniform random extra delay in `[0, jitter]` added per frame.
+    pub jitter: Duration,
+    /// Probability that a frame is held back by [`Netem::reorder_delay`]
+    /// extra, letting later frames overtake it (netem's `reorder`).
+    pub reorder_probability: f64,
+    /// Extra delay applied to reordered frames.
+    pub reorder_delay: Duration,
+    /// Probability that a frame is delivered twice (netem's `duplicate`).
+    pub duplicate_probability: f64,
+}
+
+impl Default for Netem {
+    fn default() -> Self {
+        Netem {
+            burst_loss: None,
+            jitter: Duration::ZERO,
+            reorder_probability: 0.0,
+            reorder_delay: Duration::ZERO,
+            duplicate_probability: 0.0,
+        }
+    }
+}
+
+impl Netem {
+    /// Returns `true` if every impairment is disabled (a clean wire).
+    pub fn is_clean(&self) -> bool {
+        self.burst_loss.is_none()
+            && self.jitter.is_zero()
+            && self.reorder_probability == 0.0
+            && self.duplicate_probability == 0.0
+    }
+
+    /// The degraded-link profile the workload benches run over: bursty
+    /// loss, 1 ms jitter, 5% of frames reordered by 2 ms, 1% duplicated.
+    pub fn degraded() -> Self {
+        Netem {
+            burst_loss: Some(GilbertElliott::bursty()),
+            jitter: Duration::from_millis(1),
+            reorder_probability: 0.05,
+            reorder_delay: Duration::from_millis(2),
+            duplicate_probability: 0.01,
+        }
+    }
+}
+
 /// Configuration of a [`Link`].
 #[derive(Debug, Clone)]
 pub struct LinkConfig {
@@ -28,10 +120,14 @@ pub struct LinkConfig {
     pub bandwidth_bps: f64,
     /// One-way propagation delay.
     pub propagation: Duration,
-    /// Probability (0..1) that a frame is silently dropped.
+    /// Probability (0..1) that a frame is silently dropped (uniform,
+    /// independent loss).
     pub loss_probability: f64,
     /// Maximum number of frames queued per direction before tail drop.
     pub queue_limit: usize,
+    /// Netem-style impairments (burst loss, jitter, reordering,
+    /// duplication); [`Netem::default`] is a clean wire.
+    pub netem: Netem,
 }
 
 impl Default for LinkConfig {
@@ -49,6 +145,7 @@ impl LinkConfig {
             propagation: Duration::from_micros(100),
             loss_probability: 0.0,
             queue_limit: 2048,
+            netem: Netem::default(),
         }
     }
 
@@ -61,6 +158,17 @@ impl LinkConfig {
             propagation: Duration::ZERO,
             loss_probability: 0.0,
             queue_limit: 1 << 16,
+            netem: Netem::default(),
+        }
+    }
+
+    /// A gigabit link degraded by [`Netem::degraded`]: burst loss, jitter,
+    /// reordering and duplication — the "bad day on the network" profile of
+    /// the workload benches.
+    pub fn impaired() -> Self {
+        LinkConfig {
+            netem: Netem::degraded(),
+            ..Self::gigabit()
         }
     }
 
@@ -71,10 +179,24 @@ impl LinkConfig {
         self
     }
 
-    /// Sets the loss probability.
+    /// Sets the uniform loss probability.
     #[must_use]
     pub fn loss_probability(mut self, p: f64) -> Self {
         self.loss_probability = p;
+        self
+    }
+
+    /// Sets the one-way propagation delay.
+    #[must_use]
+    pub fn propagation(mut self, delay: Duration) -> Self {
+        self.propagation = delay;
+        self
+    }
+
+    /// Sets the netem-style impairment profile.
+    #[must_use]
+    pub fn netem(mut self, netem: Netem) -> Self {
+        self.netem = netem;
         self
     }
 }
@@ -99,14 +221,30 @@ impl LinkSide {
 
 #[derive(Debug, Default)]
 struct Direction {
-    /// Frames in flight, with the virtual time at which they arrive.
+    /// Frames in flight, ordered by the virtual time at which they arrive.
     queue: VecDeque<(Duration, Bytes)>,
     /// Virtual time at which the transmitter finishes serialising the last
     /// accepted frame.
     busy_until: Duration,
+    /// Whether the Gilbert–Elliott model is currently in its bad state.
+    ge_bad: bool,
     frames: u64,
     bytes: u64,
     drops: u64,
+    duplicated: u64,
+    reordered: u64,
+}
+
+impl Direction {
+    /// Inserts a frame keeping the queue sorted by arrival time, so frames
+    /// are *delivered* in arrival order even when jitter or reordering made
+    /// the per-frame delays non-monotonic.
+    fn enqueue_sorted(&mut self, arrival: Duration, frame: Bytes) {
+        let at = self
+            .queue
+            .partition_point(|(existing, _)| *existing <= arrival);
+        self.queue.insert(at, (arrival, frame));
+    }
 }
 
 /// Per-direction traffic counters.
@@ -116,8 +254,13 @@ pub struct LinkStats {
     pub frames: u64,
     /// Bytes accepted for transmission.
     pub bytes: u64,
-    /// Frames dropped (loss or queue overflow).
+    /// Frames dropped (uniform loss, burst loss or queue overflow).
     pub drops: u64,
+    /// Extra frame copies injected by the duplication impairment.
+    pub duplicated: u64,
+    /// Frames held back by the reordering impairment (later frames may
+    /// overtake them).
+    pub reordered: u64,
 }
 
 #[derive(Debug)]
@@ -191,6 +334,8 @@ impl Link {
             frames: dir.frames,
             bytes: dir.bytes,
             drops: dir.drops,
+            duplicated: dir.duplicated,
+            reordered: dir.reordered,
         }
     }
 }
@@ -209,19 +354,66 @@ impl LinkPort {
     }
 
     /// Submits a frame for transmission.  Returns `false` if the frame was
-    /// dropped (random loss or queue overflow) — like a real wire, the link
-    /// never blocks the sender.  Accepts anything convertible to [`Bytes`],
-    /// so zero-copy views and owned buffers both work.
+    /// dropped (random or bursty loss, or queue overflow) — like a real
+    /// wire, the link never blocks the sender.  Accepts anything
+    /// convertible to [`Bytes`], so zero-copy views and owned buffers both
+    /// work.
     pub fn transmit(&self, frame: impl Into<Bytes>) -> bool {
         let frame: Bytes = frame.into();
         let inner = &*self.inner;
+        let netem = inner.config.netem;
+
+        // Loss decisions: uniform loss first, then the two-state burst
+        // model.  The Gilbert–Elliott state advances once per offered
+        // frame, so bad periods span a run of frames — a burst.
         if inner.config.loss_probability > 0.0
             && inner.rng.lock().gen::<f64>() < inner.config.loss_probability
         {
             inner.direction(self.side).lock().drops += 1;
             return false;
         }
+        if let Some(ge) = netem.burst_loss {
+            let mut rng = inner.rng.lock();
+            let mut dir = inner.direction(self.side).lock();
+            let flip = if dir.ge_bad {
+                ge.p_exit_bad
+            } else {
+                ge.p_enter_bad
+            };
+            if rng.gen::<f64>() < flip {
+                dir.ge_bad = !dir.ge_bad;
+            }
+            let loss = if dir.ge_bad {
+                ge.loss_bad
+            } else {
+                ge.loss_good
+            };
+            if rng.gen::<f64>() < loss {
+                dir.drops += 1;
+                return false;
+            }
+        }
+
         let now = inner.clock.now();
+        // Sample the per-frame impairments before taking the direction
+        // lock; a clean wire skips the rng entirely so the benchmark hot
+        // path pays no extra lock per frame.
+        let (jitter, reordered, duplicate) = if netem.is_clean() {
+            (Duration::ZERO, false, false)
+        } else {
+            let mut rng = inner.rng.lock();
+            let jitter = if netem.jitter.is_zero() {
+                Duration::ZERO
+            } else {
+                netem.jitter.mul_f64(rng.gen::<f64>())
+            };
+            let reordered =
+                netem.reorder_probability > 0.0 && rng.gen::<f64>() < netem.reorder_probability;
+            let duplicate =
+                netem.duplicate_probability > 0.0 && rng.gen::<f64>() < netem.duplicate_probability;
+            (jitter, reordered, duplicate)
+        };
+
         let mut dir = inner.direction(self.side).lock();
         if dir.queue.len() >= inner.config.queue_limit {
             dir.drops += 1;
@@ -235,10 +427,18 @@ impl LinkPort {
         let start = dir.busy_until.max(now);
         let done = start + serialisation;
         dir.busy_until = done;
-        let arrival = done + inner.config.propagation;
+        let mut arrival = done + inner.config.propagation + jitter;
+        if reordered {
+            arrival += netem.reorder_delay;
+            dir.reordered += 1;
+        }
         dir.frames += 1;
         dir.bytes += frame.len() as u64;
-        dir.queue.push_back((arrival, frame));
+        if duplicate && dir.queue.len() + 1 < inner.config.queue_limit {
+            dir.duplicated += 1;
+            dir.enqueue_sorted(arrival, frame.clone());
+        }
+        dir.enqueue_sorted(arrival, frame);
         true
     }
 
@@ -301,6 +501,7 @@ mod tests {
             propagation: Duration::ZERO,
             loss_probability: 0.0,
             queue_limit: 64,
+            netem: Netem::default(),
         };
         let (_link, a, b) = Link::new(config, clock.clone());
         for _ in 0..3 {
@@ -326,6 +527,7 @@ mod tests {
             propagation: Duration::ZERO,
             loss_probability: 0.0,
             queue_limit: 4,
+            netem: Netem::default(),
         };
         let (link, a, _b) = Link::new(config, clock);
         let mut accepted = 0;
@@ -370,6 +572,8 @@ mod tests {
         assert_eq!(stats.frames, 2);
         assert_eq!(stats.bytes, 300);
         assert_eq!(stats.drops, 0);
+        assert_eq!(stats.duplicated, 0);
+        assert_eq!(stats.reordered, 0);
     }
 
     #[test]
@@ -380,10 +584,111 @@ mod tests {
             propagation: Duration::from_secs(10),
             loss_probability: 0.0,
             queue_limit: 64,
+            netem: Netem::default(),
         };
         let (_link, a, b) = Link::new(config, clock);
         a.transmit(vec![0u8; 10]);
         assert_eq!(b.in_flight(), 1);
         assert_eq!(b.poll_receive(), None);
+    }
+
+    #[test]
+    fn burst_loss_drops_frames_in_bursts() {
+        let clock = SimClock::realtime();
+        let config = LinkConfig::unshaped().netem(Netem {
+            burst_loss: Some(GilbertElliott {
+                p_enter_bad: 0.05,
+                p_exit_bad: 0.2,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            }),
+            ..Netem::default()
+        });
+        let (link, a, b) = Link::new(config, clock);
+        // Record the drop pattern over a long run.
+        let mut pattern = Vec::new();
+        for _ in 0..2_000 {
+            pattern.push(!a.transmit(vec![0u8; 10]));
+        }
+        let drops = link.stats_from(LinkSide::A).drops as usize;
+        let delivered = b.drain_receive().len();
+        assert_eq!(drops + delivered, 2_000);
+        assert!(drops > 50, "burst model produced almost no loss: {drops}");
+        assert!(delivered > 1_000, "burst model lost too much: {delivered}");
+        // Burstiness: the number of loss *runs* must be far below the number
+        // of lost frames (uniform loss at the same rate would have roughly
+        // one run per drop).
+        let runs = pattern.windows(2).filter(|w| w[1] && !w[0]).count().max(1);
+        assert!(
+            drops as f64 / runs as f64 >= 2.0,
+            "losses are not bursty: {drops} drops in {runs} runs"
+        );
+    }
+
+    #[test]
+    fn reordering_lets_later_frames_overtake() {
+        let clock = SimClock::realtime();
+        let config = LinkConfig::unshaped().netem(Netem {
+            reorder_probability: 0.2,
+            reorder_delay: Duration::from_millis(50),
+            ..Netem::default()
+        });
+        let (link, a, b) = Link::new(config, clock.clone());
+        for i in 0..100u8 {
+            assert!(a.transmit(vec![i]));
+        }
+        clock.sleep(Duration::from_millis(100));
+        let order: Vec<u8> = b.drain_receive().iter().map(|f| f[0]).collect();
+        assert_eq!(order.len(), 100, "no frames may be lost by reordering");
+        let sorted: Vec<u8> = (0..100).collect();
+        assert_ne!(order, sorted, "expected at least one overtake");
+        assert!(link.stats_from(LinkSide::A).reordered > 0);
+        // Every frame still arrives exactly once.
+        let mut check = order.clone();
+        check.sort_unstable();
+        assert_eq!(check, sorted);
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let clock = SimClock::realtime();
+        let config = LinkConfig::unshaped().netem(Netem {
+            duplicate_probability: 1.0,
+            ..Netem::default()
+        });
+        let (link, a, b) = Link::new(config, clock);
+        for i in 0..10u8 {
+            assert!(a.transmit(vec![i]));
+        }
+        let delivered = b.drain_receive();
+        assert_eq!(delivered.len(), 20);
+        assert_eq!(link.stats_from(LinkSide::A).duplicated, 10);
+        // Stats count offered frames once.
+        assert_eq!(link.stats_from(LinkSide::A).frames, 10);
+    }
+
+    #[test]
+    fn jitter_delays_but_never_loses_frames() {
+        let clock = SimClock::realtime();
+        let config = LinkConfig::unshaped().netem(Netem {
+            jitter: Duration::from_millis(20),
+            ..Netem::default()
+        });
+        let (_link, a, b) = Link::new(config, clock.clone());
+        for i in 0..50u8 {
+            assert!(a.transmit(vec![i]));
+        }
+        clock.sleep(Duration::from_millis(40));
+        let mut delivered: Vec<u8> = b.drain_receive().iter().map(|f| f[0]).collect();
+        delivered.sort_unstable();
+        assert_eq!(delivered, (0..50).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn impaired_preset_is_degraded_and_clean_preset_is_clean() {
+        assert!(LinkConfig::impaired().netem.burst_loss.is_some());
+        assert!(!Netem::degraded().is_clean());
+        assert!(Netem::default().is_clean());
+        assert!(LinkConfig::gigabit().netem.is_clean());
     }
 }

@@ -15,6 +15,19 @@
 //! It deliberately acknowledges cumulatively and immediately, and re-ACKs
 //! out-of-order data, so the stack's retransmission logic is exercised the
 //! same way a real receiver would.
+//!
+//! # Client flows
+//!
+//! The peer can also *originate* TCP connections towards the stack — the
+//! wire half of the HTTP load generator (`newt-apps`).  A client flow is
+//! opened with [`RemotePeer::client_connect`], written to with
+//! [`RemotePeer::client_send`] and read with [`RemotePeer::client_take`];
+//! the peer resolves the stack's MAC over ARP, performs the three-way
+//! handshake, retransmits unacknowledged data on a doubling virtual-time
+//! RTO (so client flows survive lossy and bursty links), acknowledges and
+//! re-ACKs response data, and reports dead flows as
+//! [`ClientStatus::Failed`] so a harness can reconnect — the behaviour of
+//! the paper's SSH client that reconnects after every injected fault.
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -109,9 +122,70 @@ struct PeerConn {
     echo_backlog: Vec<u8>,
 }
 
+/// Externally visible state of a peer-originated client flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientStatus {
+    /// Waiting for the stack's MAC address (ARP in flight).
+    Resolving,
+    /// SYN sent, waiting for the SYN-ACK.
+    Connecting,
+    /// Handshake complete; data can flow.
+    Established,
+    /// The remote side closed the connection (FIN received).
+    Closed,
+    /// The flow is dead: the remote reset it, or retransmissions were
+    /// exhausted (e.g. the owning TCP server crashed and lost the socket).
+    Failed,
+}
+
+/// Maximum retransmissions (SYN, data or ARP) before a client flow is
+/// declared [`ClientStatus::Failed`].
+const CLIENT_MAX_RETRIES: u32 = 12;
+/// Initial client retransmission timeout (virtual time).
+const CLIENT_RTO_INITIAL: Duration = Duration::from_millis(200);
+/// Maximum client retransmission timeout (virtual time).
+const CLIENT_RTO_MAX: Duration = Duration::from_secs(2);
+/// Bytes a client flow keeps in flight at most.
+const CLIENT_WINDOW: usize = 64 * 1024;
+/// MSS used by client flows (Ethernet MTU minus IP + TCP headers).
+const CLIENT_MSS: usize = MTU - 40;
+
+/// A peer-originated TCP connection (see the module docs, "Client flows").
+#[derive(Debug)]
+struct ClientConn {
+    dst_ip: Ipv4Addr,
+    dst_port: u16,
+    src_port: u16,
+    dst_mac: Option<MacAddr>,
+    status: ClientStatus,
+    isn: u32,
+    snd_una: u32,
+    /// Bytes written but not yet transmitted.
+    tx_backlog: Vec<u8>,
+    /// Bytes transmitted but unacknowledged (contiguous from `snd_una`).
+    unacked: Vec<u8>,
+    rcv_nxt: u32,
+    peer_window: u32,
+    /// Response bytes waiting for the harness to take.
+    received: Vec<u8>,
+    rto: Duration,
+    rto_deadline: Option<Duration>,
+    retries: u32,
+}
+
+impl ClientConn {
+    fn snd_nxt(&self) -> u32 {
+        self.snd_una.wrapping_add(self.unacked.len() as u32)
+    }
+}
+
 #[derive(Debug)]
 struct PeerState {
     conns: HashMap<FlowKey, PeerConn>,
+    /// Client flows keyed by the local (peer-side) source port.
+    clients: HashMap<u16, ClientConn>,
+    /// MAC addresses learned from ARP traffic.
+    arp_cache: HashMap<Ipv4Addr, MacAddr>,
     stats: PeerStats,
 }
 
@@ -133,6 +207,8 @@ impl RemotePeer {
             port,
             state: Mutex::new(PeerState {
                 conns: HashMap::new(),
+                clients: HashMap::new(),
+                arp_cache: HashMap::new(),
                 stats: PeerStats::default(),
             }),
         }
@@ -174,15 +250,15 @@ impl RemotePeer {
             .count()
     }
 
-    /// Processes every frame currently waiting at the peer's link port.
-    /// Returns the number of frames handled.
+    /// Processes every frame currently waiting at the peer's link port and
+    /// runs the client-flow timers.  Returns the amount of work done.
     pub fn poll_once(&self) -> usize {
         let mut handled = 0;
         while let Some(frame) = self.port.poll_receive() {
             handled += 1;
             self.handle_frame(&frame);
         }
-        handled
+        handled + self.tick()
     }
 
     /// Runs the peer in a background thread until the returned handle is
@@ -246,6 +322,27 @@ impl RemotePeer {
             let reply = ArpPacket::reply_to(&arp, self.config.mac, self.config.ip);
             self.send_frame(arp.sender_mac, EtherType::Arp, reply.build());
         }
+        // Learn the sender's mapping from requests and replies alike, and
+        // kick any client flows that were waiting for it.
+        let resolved = {
+            let mut state = self.state.lock();
+            state.arp_cache.insert(arp.sender_ip, arp.sender_mac);
+            let mut syns = Vec::new();
+            for conn in state.clients.values_mut() {
+                if conn.status == ClientStatus::Resolving && conn.dst_ip == arp.sender_ip {
+                    conn.dst_mac = Some(arp.sender_mac);
+                    conn.status = ClientStatus::Connecting;
+                    conn.retries = 0;
+                    conn.rto = CLIENT_RTO_INITIAL;
+                    conn.rto_deadline = Some(self.clock.now() + conn.rto);
+                    syns.push((arp.sender_mac, conn.dst_ip, Self::client_syn(conn)));
+                }
+            }
+            syns
+        };
+        for (mac, ip, syn) in resolved {
+            self.send_tcp(mac, ip, syn);
+        }
     }
 
     fn handle_ipv4(&self, frame: &EthernetFrame) {
@@ -306,6 +403,19 @@ impl RemotePeer {
             self.state.lock().stats.parse_errors += 1;
             return;
         };
+        // A segment addressed to a client flow's source port belongs to the
+        // client state machine, not to the listening services.
+        let is_client = {
+            let state = self.state.lock();
+            state
+                .clients
+                .get(&seg.dst_port)
+                .is_some_and(|c| c.dst_port == seg.src_port && c.dst_ip == packet.src)
+        };
+        if is_client {
+            self.handle_client_segment(frame, packet, &seg);
+            return;
+        }
         let key = FlowKey {
             remote_ip: packet.src,
             remote_port: seg.src_port,
@@ -321,7 +431,7 @@ impl RemotePeer {
         let mut replies: Vec<TcpSegment> = Vec::new();
         {
             let mut state = self.state.lock();
-            let PeerState { conns, stats } = &mut *state;
+            let PeerState { conns, stats, .. } = &mut *state;
             if seg.flags.rst {
                 conns.remove(&key);
                 return;
@@ -445,6 +555,338 @@ impl RemotePeer {
     fn send_tcp(&self, dst_mac: MacAddr, dst_ip: Ipv4Addr, segment: TcpSegment) {
         let bytes = segment.build(self.config.ip, dst_ip);
         self.send_ipv4(dst_mac, dst_ip, IpProtocol::Tcp, bytes);
+    }
+
+    // ---- client flows (the load generator's wire side) ----------------------
+
+    /// Opens a TCP connection from local `src_port` towards `dst_ip:dst_port`
+    /// on the far side of the link.  Resolution (ARP), the handshake and
+    /// retransmissions run asynchronously in the peer's poll loop; track
+    /// progress with [`RemotePeer::client_status`].  An existing flow on the
+    /// same source port is replaced.
+    pub fn client_connect(&self, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) {
+        let now = self.clock.now();
+        let isn = 0x4000_0000u32
+            .wrapping_add((src_port as u32) << 12)
+            .wrapping_add(now.subsec_nanos());
+        let mut conn = ClientConn {
+            dst_ip,
+            dst_port,
+            src_port,
+            dst_mac: None,
+            status: ClientStatus::Resolving,
+            isn,
+            snd_una: isn.wrapping_add(1),
+            tx_backlog: Vec::new(),
+            unacked: Vec::new(),
+            rcv_nxt: 0,
+            peer_window: CLIENT_WINDOW as u32,
+            received: Vec::new(),
+            rto: CLIENT_RTO_INITIAL,
+            rto_deadline: Some(now + CLIENT_RTO_INITIAL),
+            retries: 0,
+        };
+        let cached_mac = self.state.lock().arp_cache.get(&dst_ip).copied();
+        let action = match cached_mac {
+            Some(mac) => {
+                conn.dst_mac = Some(mac);
+                conn.status = ClientStatus::Connecting;
+                Some((mac, dst_ip, Self::client_syn(&conn)))
+            }
+            None => None,
+        };
+        self.state.lock().clients.insert(src_port, conn);
+        match action {
+            Some((mac, ip, syn)) => self.send_tcp(mac, ip, syn),
+            None => self.send_arp_request(dst_ip),
+        }
+    }
+
+    /// Queues `data` for transmission on the client flow bound to
+    /// `src_port` and flushes as much as the window allows.  Returns `false`
+    /// if no such flow exists or it has failed.
+    pub fn client_send(&self, src_port: u16, data: &[u8]) -> bool {
+        let ok = {
+            let mut state = self.state.lock();
+            match state.clients.get_mut(&src_port) {
+                Some(conn) if conn.status != ClientStatus::Failed => {
+                    conn.tx_backlog.extend_from_slice(data);
+                    true
+                }
+                _ => false,
+            }
+        };
+        if ok {
+            self.flush_client(src_port);
+        }
+        ok
+    }
+
+    /// Takes every response byte the client flow has received so far.
+    pub fn client_take(&self, src_port: u16) -> Vec<u8> {
+        let mut state = self.state.lock();
+        match state.clients.get_mut(&src_port) {
+            Some(conn) => std::mem::take(&mut conn.received),
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns the status of the client flow bound to `src_port`.
+    pub fn client_status(&self, src_port: u16) -> Option<ClientStatus> {
+        self.state.lock().clients.get(&src_port).map(|c| c.status)
+    }
+
+    /// Abortively closes a client flow (RST, like `SO_LINGER` 0) and forgets
+    /// it.  Load generators use this to recycle connections; an orderly FIN
+    /// exchange is not needed for the workloads the peer drives.
+    pub fn client_close(&self, src_port: u16) {
+        let rst = {
+            let mut state = self.state.lock();
+            let Some(conn) = state.clients.remove(&src_port) else {
+                return;
+            };
+            match (conn.dst_mac, conn.status) {
+                (Some(mac), ClientStatus::Established | ClientStatus::Connecting) => {
+                    let mut rst = TcpSegment::control(
+                        conn.src_port,
+                        conn.dst_port,
+                        conn.snd_nxt(),
+                        conn.rcv_nxt,
+                        TcpFlags::RST,
+                    );
+                    rst.window = 0;
+                    Some((mac, conn.dst_ip, rst))
+                }
+                _ => None,
+            }
+        };
+        if let Some((mac, ip, rst)) = rst {
+            self.send_tcp(mac, ip, rst);
+        }
+    }
+
+    /// Number of client flows currently established.
+    pub fn client_established_count(&self) -> usize {
+        self.state
+            .lock()
+            .clients
+            .values()
+            .filter(|c| c.status == ClientStatus::Established)
+            .count()
+    }
+
+    fn client_syn(conn: &ClientConn) -> TcpSegment {
+        let mut syn = TcpSegment::control(conn.src_port, conn.dst_port, conn.isn, 0, TcpFlags::SYN);
+        syn.mss = Some(CLIENT_MSS as u16);
+        syn.window = u16::MAX;
+        syn
+    }
+
+    fn send_arp_request(&self, target: Ipv4Addr) {
+        let req = ArpPacket::request(self.config.mac, self.config.ip, target);
+        self.send_frame(MacAddr::BROADCAST, EtherType::Arp, req.build());
+    }
+
+    /// Moves backlog bytes into the window and transmits them.
+    fn flush_client(&self, src_port: u16) {
+        let now = self.clock.now();
+        let mut out = Vec::new();
+        {
+            let mut state = self.state.lock();
+            let Some(conn) = state.clients.get_mut(&src_port) else {
+                return;
+            };
+            if conn.status != ClientStatus::Established {
+                return;
+            }
+            let Some(mac) = conn.dst_mac else { return };
+            let window = (conn.peer_window as usize).min(CLIENT_WINDOW);
+            while !conn.tx_backlog.is_empty() && conn.unacked.len() < window {
+                let take = conn
+                    .tx_backlog
+                    .len()
+                    .min(CLIENT_MSS)
+                    .min(window - conn.unacked.len());
+                let seq = conn.snd_nxt();
+                let chunk: Vec<u8> = conn.tx_backlog.drain(..take).collect();
+                conn.unacked.extend_from_slice(&chunk);
+                let mut seg = TcpSegment::control(
+                    conn.src_port,
+                    conn.dst_port,
+                    seq,
+                    conn.rcv_nxt,
+                    TcpFlags::PSH_ACK,
+                );
+                seg.window = u16::MAX;
+                seg.payload = chunk;
+                out.push((mac, conn.dst_ip, seg));
+            }
+            if !out.is_empty() && conn.rto_deadline.is_none() {
+                conn.rto_deadline = Some(now + conn.rto);
+            }
+        }
+        for (mac, ip, seg) in out {
+            self.send_tcp(mac, ip, seg);
+        }
+    }
+
+    /// Handles an inbound segment belonging to a client flow.
+    fn handle_client_segment(&self, frame: &EthernetFrame, packet: &Ipv4Packet, seg: &TcpSegment) {
+        let mut replies: Vec<(MacAddr, Ipv4Addr, TcpSegment)> = Vec::new();
+        let mut flush = false;
+        {
+            let mut state = self.state.lock();
+            let PeerState { clients, stats, .. } = &mut *state;
+            let Some(conn) = clients.get_mut(&seg.dst_port) else {
+                return;
+            };
+            // Refresh the MAC from live traffic (gratuitous resolution).
+            conn.dst_mac = Some(frame.src);
+            conn.peer_window = (seg.window as u32).max(1);
+            if seg.flags.rst {
+                conn.status = ClientStatus::Failed;
+                return;
+            }
+            match conn.status {
+                ClientStatus::Connecting if seg.flags.syn && seg.flags.ack => {
+                    if seg.ack != conn.isn.wrapping_add(1) {
+                        return; // stale SYN-ACK of a dead incarnation
+                    }
+                    conn.rcv_nxt = seg.seq.wrapping_add(1);
+                    conn.status = ClientStatus::Established;
+                    conn.retries = 0;
+                    conn.rto = CLIENT_RTO_INITIAL;
+                    conn.rto_deadline = None;
+                    let mut ack = TcpSegment::control(
+                        conn.src_port,
+                        conn.dst_port,
+                        conn.snd_nxt(),
+                        conn.rcv_nxt,
+                        TcpFlags::ACK,
+                    );
+                    ack.window = u16::MAX;
+                    replies.push((frame.src, packet.src, ack));
+                    flush = true;
+                }
+                ClientStatus::Established | ClientStatus::Closed => {
+                    let mut ack_due = false;
+                    // ACK processing for our outstanding request data.
+                    if seg.flags.ack {
+                        let acked = seg.ack.wrapping_sub(conn.snd_una);
+                        if acked > 0 && acked as usize <= conn.unacked.len() {
+                            conn.unacked.drain(..acked as usize);
+                            conn.snd_una = seg.ack;
+                            conn.retries = 0;
+                            conn.rto = CLIENT_RTO_INITIAL;
+                            conn.rto_deadline = if conn.unacked.is_empty() {
+                                None
+                            } else {
+                                Some(self.clock.now() + conn.rto)
+                            };
+                            flush = true;
+                        }
+                    }
+                    // In-order response data is accumulated; anything else
+                    // is re-ACKed so the stack fast-retransmits.
+                    if !seg.payload.is_empty() {
+                        if seg.seq == conn.rcv_nxt {
+                            conn.rcv_nxt = conn.rcv_nxt.wrapping_add(seg.payload.len() as u32);
+                            conn.received.extend_from_slice(&seg.payload);
+                            stats.tcp_bytes_received += seg.payload.len() as u64;
+                        } else {
+                            stats.tcp_out_of_order += 1;
+                        }
+                        ack_due = true;
+                    }
+                    if seg.flags.fin
+                        && seg.seq.wrapping_add(seg.payload.len() as u32) == conn.rcv_nxt
+                    {
+                        conn.rcv_nxt = conn.rcv_nxt.wrapping_add(1);
+                        conn.status = ClientStatus::Closed;
+                        ack_due = true;
+                    }
+                    if ack_due {
+                        let mut ack = TcpSegment::control(
+                            conn.src_port,
+                            conn.dst_port,
+                            conn.snd_nxt(),
+                            conn.rcv_nxt,
+                            TcpFlags::ACK,
+                        );
+                        ack.window = u16::MAX;
+                        replies.push((frame.src, packet.src, ack));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (mac, ip, reply) in replies {
+            self.send_tcp(mac, ip, reply);
+        }
+        if flush {
+            self.flush_client(seg.dst_port);
+        }
+    }
+
+    /// Runs the client-flow timers: ARP and SYN retries plus data
+    /// retransmission on a doubling RTO.  Returns the amount of work done.
+    pub fn tick(&self) -> usize {
+        let now = self.clock.now();
+        let mut arps: Vec<Ipv4Addr> = Vec::new();
+        let mut segs: Vec<(MacAddr, Ipv4Addr, TcpSegment)> = Vec::new();
+        {
+            let mut state = self.state.lock();
+            for conn in state.clients.values_mut() {
+                let Some(deadline) = conn.rto_deadline else {
+                    continue;
+                };
+                if now < deadline {
+                    continue;
+                }
+                conn.retries += 1;
+                if conn.retries > CLIENT_MAX_RETRIES {
+                    conn.status = ClientStatus::Failed;
+                    conn.rto_deadline = None;
+                    continue;
+                }
+                conn.rto = (conn.rto * 2).min(CLIENT_RTO_MAX);
+                conn.rto_deadline = Some(now + conn.rto);
+                match conn.status {
+                    ClientStatus::Resolving => arps.push(conn.dst_ip),
+                    ClientStatus::Connecting => {
+                        if let Some(mac) = conn.dst_mac {
+                            segs.push((mac, conn.dst_ip, Self::client_syn(conn)));
+                        }
+                    }
+                    ClientStatus::Established if !conn.unacked.is_empty() => {
+                        if let Some(mac) = conn.dst_mac {
+                            let len = conn.unacked.len().min(CLIENT_MSS);
+                            let mut seg = TcpSegment::control(
+                                conn.src_port,
+                                conn.dst_port,
+                                conn.snd_una,
+                                conn.rcv_nxt,
+                                TcpFlags::PSH_ACK,
+                            );
+                            seg.window = u16::MAX;
+                            seg.payload = conn.unacked[..len].to_vec();
+                            segs.push((mac, conn.dst_ip, seg));
+                        }
+                    }
+                    _ => {
+                        conn.rto_deadline = None;
+                    }
+                }
+            }
+        }
+        let work = arps.len() + segs.len();
+        for target in arps {
+            self.send_arp_request(target);
+        }
+        for (mac, ip, seg) in segs {
+            self.send_tcp(mac, ip, seg);
+        }
+        work
     }
 
     /// Returns the virtual time according to the peer's clock (useful for
@@ -685,6 +1127,121 @@ mod tests {
         h.peer.poll_once();
         assert_eq!(h.peer.stats().parse_errors, 1);
         assert!(h.port.poll_receive().is_none());
+    }
+
+    /// Two peers on one link: `a` originates client flows towards `b`'s
+    /// services, which exercises ARP resolution, the client handshake,
+    /// data transfer and retransmission without booting a whole stack.
+    fn peer_pair(config: LinkConfig) -> (SimClock, RemotePeer, RemotePeer) {
+        let clock = SimClock::with_speedup(50.0);
+        let (_link, a_port, b_port) = Link::new(config, clock.clone());
+        let a = RemotePeer::new(
+            PeerConfig {
+                mac: MacAddr::from_index(7),
+                ip: Ipv4Addr::new(10, 0, 0, 7),
+                tcp_window: u16::MAX,
+                tcp_services: vec![],
+            },
+            clock.clone(),
+            a_port,
+        );
+        let b = RemotePeer::new(PeerConfig::default(), clock.clone(), b_port);
+        (clock, a, b)
+    }
+
+    /// Polls both peers until `done` holds or the real-time deadline hits.
+    fn pump(a: &RemotePeer, b: &RemotePeer, mut done: impl FnMut() -> bool) -> bool {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while std::time::Instant::now() < deadline {
+            if done() {
+                return true;
+            }
+            a.poll_once();
+            b.poll_once();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        false
+    }
+
+    #[test]
+    fn client_flow_connects_sends_and_receives_the_echo() {
+        let (_clock, a, b) = peer_pair(LinkConfig::unshaped());
+        a.client_connect(49_000, b.ip(), SSH_PORT);
+        assert!(
+            pump(&a, &b, || a.client_status(49_000)
+                == Some(ClientStatus::Established)),
+            "client flow never established"
+        );
+        assert_eq!(a.client_established_count(), 1);
+        assert!(a.client_send(49_000, b"ls -l\n"));
+        let mut got = Vec::new();
+        assert!(
+            pump(&a, &b, || {
+                got.extend(a.client_take(49_000));
+                got == b"ls -l\n"
+            }),
+            "echo never arrived, got {got:?}"
+        );
+        a.client_close(49_000);
+        assert_eq!(a.client_status(49_000), None);
+    }
+
+    #[test]
+    fn client_flow_survives_a_lossy_link_via_retransmission() {
+        let (_clock, a, b) = peer_pair(LinkConfig::unshaped().loss_probability(0.3));
+        a.client_connect(49_100, b.ip(), IPERF_PORT);
+        assert!(
+            pump(&a, &b, || a.client_status(49_100)
+                == Some(ClientStatus::Established)),
+            "handshake never completed over the lossy link"
+        );
+        let payload = vec![0x5a; 40_000];
+        assert!(a.client_send(49_100, &payload));
+        assert!(
+            pump(&a, &b, || b.bytes_received_on(IPERF_PORT)
+                >= payload.len() as u64),
+            "bulk data never fully arrived over the lossy link: {} / {}",
+            b.bytes_received_on(IPERF_PORT),
+            payload.len()
+        );
+    }
+
+    #[test]
+    fn client_flow_to_a_closed_port_fails() {
+        let (_clock, a, b) = peer_pair(LinkConfig::unshaped());
+        a.client_connect(49_200, b.ip(), 9_999);
+        assert!(
+            pump(&a, &b, || a.client_status(49_200)
+                == Some(ClientStatus::Failed)),
+            "RST should fail the flow"
+        );
+        // Sending on a failed flow is rejected.
+        assert!(!a.client_send(49_200, b"nope"));
+    }
+
+    #[test]
+    fn client_flow_fails_after_retry_exhaustion_when_peer_is_gone() {
+        // No listener ever answers (b never polls): the SYN retries back
+        // off and the flow eventually fails.
+        let (clock, a, b) = peer_pair(LinkConfig::unshaped());
+        a.client_connect(49_300, b.ip(), IPERF_PORT);
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while a.client_status(49_300) != Some(ClientStatus::Failed) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "flow should have failed by now, status {:?}",
+                a.client_status(49_300)
+            );
+            a.poll_once();
+            // Answer ARP (so the failure is the handshake, not resolution)
+            // but never the SYN.
+            while let Some(frame) = b.port.poll_receive() {
+                if frame.len() >= 14 && frame[12] == 0x08 && frame[13] == 0x06 {
+                    b.handle_frame(&frame);
+                }
+            }
+            clock.sleep(Duration::from_millis(50));
+        }
     }
 
     #[test]

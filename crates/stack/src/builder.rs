@@ -420,6 +420,10 @@ impl NewtStack {
             nic_config.tso = config.tso;
             nic_config.checksum_offload = config.checksum_offload;
             nic_config.queues = shards;
+            // One Toeplitz key rules the whole stack: the TCP servers
+            // recompute the adapters' RSS mapping for their sharded
+            // listeners, so program the key they assume into every NIC.
+            nic_config.rss_key = config.tcp.rss_key;
             let nic = Arc::new(Mutex::new(Nic::new(nic_config, clock.clone(), local_port)));
             let peer_config = PeerConfig {
                 mac: MacAddr::from_index(200 + i as u8),

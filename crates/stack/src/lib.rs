@@ -57,5 +57,6 @@ pub mod udp;
 pub use builder::{NewtStack, StackConfig, Telemetry, Topology};
 pub use endpoints::Component;
 pub use pf::{FilterAction, FilterRule};
-pub use posix::{NetClient, TcpSocket, UdpSocket};
+pub use posix::{Interest, NetClient, PollFd, TcpSocket, UdpSocket};
+pub use sockbuf::Readiness;
 pub use sockbuf::{SockError, SocketBuffer};

@@ -209,6 +209,10 @@ pub enum SockRequest {
         sock: SockId,
         /// Maximum accept backlog.
         backlog: usize,
+        /// `SO_REUSEPORT`-style sharded listener: other stack shards hold a
+        /// listener on the same port and this one must only answer the
+        /// connection-opening SYNs whose RSS hash steers to its shard.
+        sharded: bool,
     },
     /// Accept a connection from a listening socket's backlog (replied when
     /// one is available).
@@ -216,6 +220,23 @@ pub enum SockRequest {
         /// Request identifier.
         req: RequestId,
         /// The listening socket.
+        sock: SockId,
+    },
+    /// Accept without blocking: replied immediately, with
+    /// [`SockError::WouldBlock`] when the backlog is empty.
+    AcceptNb {
+        /// Request identifier.
+        req: RequestId,
+        /// The listening socket.
+        sock: SockId,
+    },
+    /// Query server-side readiness (the half of `poll()` shared memory
+    /// cannot answer: listen/accept backlog state).  Replied immediately
+    /// with [`SockReply::Readiness`].
+    Poll {
+        /// Request identifier.
+        req: RequestId,
+        /// The socket being polled.
         sock: SockId,
     },
     /// Connect a socket to a remote address (TCP: three-way handshake;
@@ -247,6 +268,8 @@ impl SockRequest {
             | SockRequest::Bind { req, .. }
             | SockRequest::Listen { req, .. }
             | SockRequest::Accept { req, .. }
+            | SockRequest::AcceptNb { req, .. }
+            | SockRequest::Poll { req, .. }
             | SockRequest::Connect { req, .. }
             | SockRequest::Close { req, .. } => *req,
         }
@@ -259,6 +282,8 @@ impl SockRequest {
             SockRequest::Bind { sock, .. }
             | SockRequest::Listen { sock, .. }
             | SockRequest::Accept { sock, .. }
+            | SockRequest::AcceptNb { sock, .. }
+            | SockRequest::Poll { sock, .. }
             | SockRequest::Connect { sock, .. }
             | SockRequest::Close { sock, .. } => Some(*sock),
         }
@@ -295,6 +320,13 @@ pub enum SockReply {
         /// Remote port of the accepted connection.
         peer_port: u16,
     },
+    /// Server-side readiness bits answering a [`SockRequest::Poll`].
+    Readiness {
+        /// The request being answered.
+        req: RequestId,
+        /// Bitmask assembled from [`poll_bits`].
+        bits: u64,
+    },
     /// The operation failed.
     Error {
         /// The request being answered.
@@ -304,6 +336,16 @@ pub enum SockReply {
     },
 }
 
+/// Bits carried by [`SockReply::Readiness`] (and the `POLL` kernel reply).
+pub mod poll_bits {
+    /// The socket is in the listening state.
+    pub const LISTENING: u64 = 1 << 0;
+    /// At least one established connection waits in the accept backlog.
+    pub const ACCEPT_READY: u64 = 1 << 1;
+    /// The socket's connection is established.
+    pub const ESTABLISHED: u64 = 1 << 2;
+}
+
 impl SockReply {
     /// Returns the request identifier this reply answers.
     pub fn req(&self) -> RequestId {
@@ -311,6 +353,7 @@ impl SockReply {
             SockReply::Opened { req, .. }
             | SockReply::Ok { req, .. }
             | SockReply::Accepted { req, .. }
+            | SockReply::Readiness { req, .. }
             | SockReply::Error { req, .. } => *req,
         }
     }
@@ -331,6 +374,13 @@ pub mod syscalls {
     pub const CONNECT: u32 = 5;
     /// close(sock) — word0: socket.
     pub const CLOSE: u32 = 6;
+    /// poll(sock) — word0: socket; replies with readiness bits in word0.
+    pub const POLL: u32 = 7;
+    /// Non-blocking accept(sock) — word0: socket; replies immediately
+    /// (`WouldBlock` error when the backlog is empty).
+    pub const ACCEPT_NB: u32 = 8;
+    /// listen() flag (word2): `SO_REUSEPORT`-style sharded listener.
+    pub const LISTEN_FLAG_SHARDED: u64 = 1;
     /// Successful reply; word0 carries the primary result.
     pub const REPLY_OK: u32 = 100;
     /// Failed reply; word0 carries the encoded error.
@@ -349,6 +399,7 @@ pub fn encode_sock_error(error: SockError) -> u64 {
         SockError::AddressInUse => 5,
         SockError::ServerUnavailable => 6,
         SockError::Filtered => 7,
+        SockError::WouldBlock => 8,
     }
 }
 
@@ -361,6 +412,7 @@ pub fn decode_sock_error(word: u64) -> SockError {
         5 => SockError::AddressInUse,
         6 => SockError::ServerUnavailable,
         7 => SockError::Filtered,
+        8 => SockError::WouldBlock,
         4 => SockError::InvalidState,
         _ => SockError::InvalidState,
     }
@@ -423,6 +475,7 @@ mod tests {
             SockError::AddressInUse,
             SockError::ServerUnavailable,
             SockError::Filtered,
+            SockError::WouldBlock,
         ] {
             assert_eq!(decode_sock_error(encode_sock_error(error)), error);
         }

@@ -5,6 +5,26 @@
 //! reply arrives.  The *data* path bypasses the SYSCALL server entirely:
 //! opening a socket exports a shared buffer to the application
 //! ([`SocketBuffer`]) and `send`/`recv` only touch that buffer.
+//!
+//! # Blocking, non-blocking and polling
+//!
+//! Every blocking operation is bounded by the client's **real-time**
+//! timeout ([`NetClient::with_timeout`]).  A **zero** timeout puts the
+//! client in non-blocking mode: data operations return
+//! [`SockError::WouldBlock`] instead of waiting, and [`TcpSocket::accept`]
+//! degrades to the non-blocking [`TcpSocket::accept_nb`].  On top of that
+//! the library offers a `poll(2)`-style readiness API so one thread can
+//! multiplex hundreds of sockets:
+//!
+//! * [`TcpSocket::readiness`] — recv-buffer data, send-buffer space,
+//!   hang-up and pending errors, read **locally** from the shared buffer
+//!   (no SYSCALL round trip, like the data path itself);
+//! * [`TcpSocket::accept_ready`] — listen-backlog readiness, answered by
+//!   the owning TCP server through the `POLL` syscall;
+//! * [`NetClient::poll`] — waits on a set of sockets until any is ready.
+//!
+//! This is what the HTTP server of the `newt-apps` crate runs its event
+//! loop on.
 
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -18,19 +38,55 @@ use newt_kernel::ipc::{IpcError, KernelIpc, Message};
 use newt_net::wire::IpProtocol;
 
 use crate::endpoints;
-use crate::msg::{addr_to_word, decode_sock_error, syscalls, SockId};
-use crate::sockbuf::{SockError, SocketBuffer};
+use crate::msg::{addr_to_word, decode_sock_error, poll_bits, syscalls, SockId};
+use crate::sockbuf::{Readiness, SockError, SocketBuffer};
 use crate::udp::{decode_datagram, encode_datagram};
+
+/// Fallback real-time bound for *control* calls (socket, bind, listen,
+/// accept_nb, poll, connect, close) when the client is in non-blocking
+/// mode: the kernel round trip itself can never be zero-timeout, only the
+/// data-plane waits can.
+const CONTROL_TIMEOUT_FLOOR: Duration = Duration::from_secs(10);
 
 /// Handle through which an application process uses the networking stack.
 ///
 /// Obtained from [`NewtStack::client`](crate::builder::NewtStack::client).
+///
+/// # Example: connect, send, receive
+///
+/// The peer host behind interface 0 runs an SSH-like echo service; a
+/// round trip through the whole decomposed stack looks exactly like BSD
+/// sockets:
+///
+/// ```
+/// use newt_net::link::LinkConfig;
+/// use newt_stack::builder::{NewtStack, StackConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stack = NewtStack::start(
+///     StackConfig::newtos()
+///         .link(LinkConfig::unshaped())
+///         .clock_speedup(50.0),
+/// );
+/// let client = stack.client();
+///
+/// let socket = client.tcp_socket()?;
+/// socket.connect(StackConfig::peer_addr(0), newt_net::peer::SSH_PORT)?;
+/// socket.send_all(b"uname -a\n")?;
+///
+/// let mut reply = [0u8; 9];
+/// socket.recv_exact(&mut reply)?;
+/// assert_eq!(&reply, b"uname -a\n");
+/// stack.shutdown();
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct NetClient {
     kernel: KernelIpc,
     registry: Registry,
     app: Endpoint,
-    /// Real-time bound on each blocking operation.
+    /// Real-time bound on each blocking operation; zero = non-blocking.
     op_timeout: Duration,
 }
 
@@ -52,11 +108,45 @@ impl NetClient {
         self.app
     }
 
-    /// Sets the real-time timeout applied to blocking operations.
+    /// Sets the **real-time** timeout applied to blocking operations.
+    ///
+    /// The timeout semantics are explicit:
+    ///
+    /// * **non-zero** — `send`/`recv`/`accept`/`connect` wait up to this
+    ///   long (wall clock, not virtual time) and then fail with
+    ///   [`SockError::TimedOut`];
+    /// * **zero** ([`Duration::ZERO`]) — the client is **non-blocking**:
+    ///   data operations return [`SockError::WouldBlock`] immediately when
+    ///   they cannot make progress, and [`TcpSocket::accept`] behaves like
+    ///   [`TcpSocket::accept_nb`].  Control calls that inherently need a
+    ///   kernel round trip (socket creation, bind, connect, close, the
+    ///   `POLL` syscall) still wait for their reply, bounded by a 10 s
+    ///   floor — the *reply* is immediate, only delivery takes a moment.
     #[must_use]
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.op_timeout = timeout;
         self
+    }
+
+    /// Puts the client in non-blocking mode (`with_timeout(Duration::ZERO)`).
+    #[must_use]
+    pub fn nonblocking(self) -> Self {
+        self.with_timeout(Duration::ZERO)
+    }
+
+    /// Returns `true` when the client is in non-blocking mode.
+    pub fn is_nonblocking(&self) -> bool {
+        self.op_timeout.is_zero()
+    }
+
+    /// The bound applied to kernel round trips: the op timeout, floored so
+    /// a non-blocking client can still complete control calls.
+    fn control_timeout(&self) -> Duration {
+        if self.op_timeout.is_zero() {
+            CONTROL_TIMEOUT_FLOOR
+        } else {
+            self.op_timeout
+        }
     }
 
     fn call(
@@ -71,11 +161,12 @@ impl NetClient {
         }
         // The SYSCALL server may be booting or restarting; retry the
         // synchronous call until it is reachable or the timeout expires.
-        let deadline = std::time::Instant::now() + self.op_timeout;
+        let timeout = self.control_timeout();
+        let deadline = std::time::Instant::now() + timeout;
         let reply = loop {
             match self
                 .kernel
-                .sendrec(self.app, endpoints::SYSCALL, message, self.op_timeout)
+                .sendrec(self.app, endpoints::SYSCALL, message, timeout)
             {
                 Ok(reply) => break reply,
                 Err(IpcError::Timeout) => return Err(SockError::TimedOut),
@@ -132,6 +223,282 @@ impl NetClient {
             pending: Mutex::new(Vec::new()),
         })
     }
+
+    /// Opens an `SO_REUSEPORT`-style listener group on `port`: one
+    /// listening socket per stack shard, so inbound connections are served
+    /// by whichever shard the NIC's RSS hash steers each flow to.  With
+    /// `shards == 1` this is an ordinary single *exclusive* listener
+    /// (which answers every connection-opening SYN wherever it lands, so
+    /// it works on any stack).
+    ///
+    /// New sockets are placed round-robin over the shards, so the group is
+    /// assembled by opening sockets until every shard holds exactly one;
+    /// superfluous sockets (possible when other threads open sockets
+    /// concurrently) are closed again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SockError::AddressInUse`] if any shard already has a
+    /// listener on `port`; [`SockError::InvalidState`] when `shards > 1`
+    /// disagrees with the stack's real shard count in either direction
+    /// (an under-counted *sharded* group would silently blackhole the
+    /// flows hashing to the uncovered shards, an over-counted one can
+    /// never assemble); and whatever [`NetClient::tcp_socket`] can
+    /// return.  On any error every socket opened so far is closed again,
+    /// so a failed call never leaves the port half-claimed.
+    pub fn listen_sharded(
+        &self,
+        port: u16,
+        backlog: usize,
+        shards: usize,
+    ) -> Result<Vec<TcpSocket>, SockError> {
+        match self.try_listen_sharded(port, backlog, shards.max(1)) {
+            Ok(group) => Ok(group),
+            Err((error, opened)) => {
+                for socket in opened {
+                    let _ = socket.close();
+                }
+                Err(error)
+            }
+        }
+    }
+
+    /// The fallible body of [`NetClient::listen_sharded`]; on failure the
+    /// sockets opened so far ride along in the error for cleanup.
+    #[allow(clippy::type_complexity)]
+    fn try_listen_sharded(
+        &self,
+        port: u16,
+        backlog: usize,
+        shards: usize,
+    ) -> Result<Vec<TcpSocket>, (SockError, Vec<TcpSocket>)> {
+        let mut listeners: Vec<Option<TcpSocket>> = (0..shards).map(|_| None).collect();
+        let mut missing = shards;
+        let opened = |listeners: Vec<Option<TcpSocket>>| -> Vec<TcpSocket> {
+            listeners.into_iter().flatten().collect()
+        };
+        // Round-robin placement fills every slot within `shards` opens when
+        // this client is the only opener; the cap keeps the loop finite
+        // under concurrent openers.  A whole round-robin cycle without
+        // filling a slot means the remaining slots can never fill —
+        // `shards` over-counts the stack — so stop churning and report the
+        // mismatch rather than a server failure.
+        let mut opens_without_progress = 0;
+        for _ in 0..shards * 8 {
+            if missing == 0 {
+                break;
+            }
+            if opens_without_progress > shards {
+                return Err((SockError::InvalidState, opened(listeners)));
+            }
+            let socket = match self.tcp_socket() {
+                Ok(socket) => socket,
+                Err(error) => return Err((error, opened(listeners))),
+            };
+            // A single exclusive listener answers every broadcast SYN, so
+            // its shard placement does not matter; a *sharded* group must
+            // cover every real shard or the uncovered ones would silently
+            // blackhole their share of the flows.  Fail loudly instead.
+            let shard = if shards == 1 {
+                0
+            } else {
+                endpoints::sock_shard(socket.id())
+            };
+            if shard >= shards {
+                let _ = socket.close();
+                return Err((SockError::InvalidState, opened(listeners)));
+            }
+            if listeners[shard].is_none() {
+                listeners[shard] = Some(socket);
+                missing -= 1;
+                opens_without_progress = 0;
+            } else {
+                let _ = socket.close();
+                opens_without_progress += 1;
+            }
+        }
+        if missing > 0 {
+            return Err((SockError::InvalidState, opened(listeners)));
+        }
+        if shards > 1 {
+            // The slots fill from the round-robin cursor, so a group that
+            // under-counts the stack's shards fills before ever seeing a
+            // socket from an uncovered shard.  Probe with one extra open:
+            // on a fully covered stack it lands on a covered shard, on an
+            // under-counted one it exposes a shard this group would
+            // silently blackhole.
+            match self.tcp_socket() {
+                Ok(probe) => {
+                    let shard = endpoints::sock_shard(probe.id());
+                    let _ = probe.close();
+                    if shard >= shards {
+                        return Err((SockError::InvalidState, opened(listeners)));
+                    }
+                }
+                Err(error) => return Err((error, opened(listeners))),
+            }
+        }
+        let group: Vec<TcpSocket> = listeners.into_iter().map(|s| s.expect("filled")).collect();
+        for index in 0..group.len() {
+            let listener = &group[index];
+            if let Err(error) = listener
+                .bind(port)
+                .and_then(|_| listener.listen_with(backlog, shards > 1))
+            {
+                return Err((error, group));
+            }
+        }
+        Ok(group)
+    }
+
+    /// Waits until at least one entry of `fds` is ready, filling in the
+    /// observed readiness (`poll(2)` semantics: `fds` are the pollfds,
+    /// the return value counts ready entries).  `timeout` is real time; a
+    /// zero timeout performs a single non-blocking scan.
+    ///
+    /// Data readiness is read locally from the shared socket buffers every
+    /// scan (~250 µs apart); accept readiness costs a `POLL` syscall per
+    /// listener and is re-queried only every fourth scan (~1 ms), so an
+    /// idle poll loop does not hammer the TCP servers with kernel IPC.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today (per-socket problems are reported through each
+    /// entry's [`Readiness::error`]); the `Result` leaves room for
+    /// catastrophic failures.
+    ///
+    /// # Example: a poll-driven accept loop
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use newt_net::link::LinkConfig;
+    /// use newt_stack::builder::{NewtStack, StackConfig};
+    /// use newt_stack::posix::{Interest, PollFd};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let stack = NewtStack::start(
+    ///     StackConfig::newtos()
+    ///         .link(LinkConfig::unshaped())
+    ///         .clock_speedup(50.0),
+    /// );
+    /// let client = stack.client().nonblocking();
+    ///
+    /// // One listener per shard (one shard here), like SO_REUSEPORT.
+    /// let listeners = client.listen_sharded(8080, 16, stack.shards())?;
+    ///
+    /// // Nothing pending yet: a zero-timeout scan reports no readiness.
+    /// let mut fds: Vec<PollFd> =
+    ///     listeners.iter().map(|l| PollFd::new(l, Interest::Accept)).collect();
+    /// assert_eq!(client.poll(&mut fds, Duration::ZERO)?, 0);
+    ///
+    /// // The remote peer connects in; poll reports the listener readable
+    /// // and the non-blocking accept yields the connection.
+    /// stack.peer(0).client_connect(49_152, StackConfig::local_addr(0), 8080);
+    /// let ready = client.poll(&mut fds, Duration::from_secs(10))?;
+    /// assert_eq!(ready, 1);
+    /// let (conn, peer_addr, _peer_port) =
+    ///     listeners[0].accept_nb()?.expect("backlog was ready");
+    /// assert_eq!(peer_addr, StackConfig::peer_addr(0));
+    /// assert!(conn.readiness().writable);
+    /// stack.shutdown();
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn poll(&self, fds: &mut [PollFd<'_>], timeout: Duration) -> Result<usize, SockError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut scan = 0u32;
+        loop {
+            let mut ready = 0;
+            for fd in fds.iter_mut() {
+                fd.update(scan);
+                if fd.is_ready() {
+                    ready += 1;
+                }
+            }
+            if ready > 0 || std::time::Instant::now() >= deadline {
+                return Ok(ready);
+            }
+            scan = scan.wrapping_add(1);
+            std::thread::sleep(Duration::from_micros(250));
+        }
+    }
+}
+
+/// What a [`PollFd`] waits for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interest {
+    /// Data to read (or EOF, or an error).
+    Readable,
+    /// Send-buffer space.
+    Writable,
+    /// Either direction.
+    ReadWrite,
+    /// A connection waiting in the listen backlog.
+    Accept,
+}
+
+/// One entry of a [`NetClient::poll`] set — a socket plus the events the
+/// caller cares about, with the observed readiness filled in by `poll`.
+#[derive(Debug)]
+pub struct PollFd<'a> {
+    socket: &'a TcpSocket,
+    interest: Interest,
+    revents: Readiness,
+}
+
+impl<'a> PollFd<'a> {
+    /// Creates an entry waiting for `interest` on `socket`.
+    pub fn new(socket: &'a TcpSocket, interest: Interest) -> Self {
+        PollFd {
+            socket,
+            interest,
+            revents: Readiness::default(),
+        }
+    }
+
+    /// The readiness observed by the last [`NetClient::poll`] scan.
+    pub fn revents(&self) -> Readiness {
+        self.revents
+    }
+
+    fn update(&mut self, scan: u32) {
+        match self.interest {
+            Interest::Accept => {
+                // The accept-backlog query is a kernel round trip; re-ask
+                // only every fourth scan so idle polling stays cheap.
+                if !scan.is_multiple_of(4) {
+                    return;
+                }
+                self.revents = match self.socket.accept_ready() {
+                    Ok(ready) => Readiness {
+                        readable: ready,
+                        ..Readiness::default()
+                    },
+                    // A restarting TCP server is "not ready", not fatal;
+                    // the error is surfaced so the caller can distinguish,
+                    // but it does NOT count as readiness — otherwise a
+                    // poll loop would busy-spin for the whole restart.
+                    Err(error) => Readiness {
+                        error: Some(error),
+                        ..Readiness::default()
+                    },
+                };
+            }
+            _ => self.revents = self.socket.readiness(),
+        }
+    }
+
+    fn is_ready(&self) -> bool {
+        let r = self.revents;
+        match self.interest {
+            // Listener problems (e.g. ServerUnavailable mid-restart) are
+            // recorded but never "ready" — there is nothing to accept.
+            Interest::Accept => r.readable,
+            Interest::Readable => r.readable || r.hung_up || r.error.is_some(),
+            Interest::Writable => r.writable || r.hung_up || r.error.is_some(),
+            Interest::ReadWrite => r.readable || r.writable || r.hung_up || r.error.is_some(),
+        }
+    }
 }
 
 /// A connected or listening TCP socket.
@@ -170,24 +537,69 @@ impl TcpSocket {
     ///
     /// Returns [`SockError::InvalidState`] when the socket is not bound.
     pub fn listen(&self, backlog: usize) -> Result<(), SockError> {
+        self.listen_with(backlog, false)
+    }
+
+    /// Starts listening, optionally as part of an `SO_REUSEPORT`-style
+    /// sharded group (see [`NetClient::listen_sharded`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpSocket::listen`].
+    pub fn listen_with(&self, backlog: usize, sharded: bool) -> Result<(), SockError> {
+        let flags = if sharded {
+            syscalls::LISTEN_FLAG_SHARDED
+        } else {
+            0
+        };
         self.client.call(
             syscalls::LISTEN,
-            &[(0, self.sock), (1, backlog as u64)],
+            &[(0, self.sock), (1, backlog as u64), (2, flags)],
             IpProtocol::Tcp,
         )?;
         Ok(())
     }
 
-    /// Accepts one connection, blocking until a peer connects.
+    /// Accepts one connection.  A blocking client waits until a peer
+    /// connects; a non-blocking client ([`NetClient::with_timeout`] zero)
+    /// fails with [`SockError::WouldBlock`] when the backlog is empty.
     ///
     /// # Errors
     ///
-    /// Returns [`SockError::ServerUnavailable`] on timeout or when the TCP
-    /// server is unreachable.
+    /// Returns [`SockError::WouldBlock`] (non-blocking, empty backlog),
+    /// [`SockError::TimedOut`], or [`SockError::ServerUnavailable`] when
+    /// the TCP server is unreachable.
     pub fn accept(&self) -> Result<(TcpSocket, Ipv4Addr, u16), SockError> {
+        let mtype = if self.client.is_nonblocking() {
+            syscalls::ACCEPT_NB
+        } else {
+            syscalls::ACCEPT
+        };
         let reply = self
             .client
-            .call(syscalls::ACCEPT, &[(0, self.sock)], IpProtocol::Tcp)?;
+            .call(mtype, &[(0, self.sock)], IpProtocol::Tcp)?;
+        self.accepted_from(reply)
+    }
+
+    /// Non-blocking accept: returns `Ok(None)` when no connection is
+    /// waiting, regardless of the client's timeout mode.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpSocket::accept`], except that an empty backlog is `Ok(None)`
+    /// rather than an error.
+    pub fn accept_nb(&self) -> Result<Option<(TcpSocket, Ipv4Addr, u16)>, SockError> {
+        match self
+            .client
+            .call(syscalls::ACCEPT_NB, &[(0, self.sock)], IpProtocol::Tcp)
+        {
+            Ok(reply) => Ok(Some(self.accepted_from(reply)?)),
+            Err(SockError::WouldBlock) => Ok(None),
+            Err(error) => Err(error),
+        }
+    }
+
+    fn accepted_from(&self, reply: Message) -> Result<(TcpSocket, Ipv4Addr, u16), SockError> {
         let child = reply.word(0);
         let addr = crate::msg::word_to_addr(reply.word(1));
         let port = reply.word(2) as u16;
@@ -201,6 +613,26 @@ impl TcpSocket {
             addr,
             port,
         ))
+    }
+
+    /// Returns `true` when at least one established connection waits in
+    /// this listener's backlog (one `POLL` syscall round trip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SockError::ServerUnavailable`] while the TCP server is
+    /// restarting.
+    pub fn accept_ready(&self) -> Result<bool, SockError> {
+        let reply = self
+            .client
+            .call(syscalls::POLL, &[(0, self.sock)], IpProtocol::Tcp)?;
+        Ok(reply.word(0) & poll_bits::ACCEPT_READY != 0)
+    }
+
+    /// Snapshot of this socket's data readiness, read locally from the
+    /// shared buffer — no kernel or server round trip.
+    pub fn readiness(&self) -> Readiness {
+        self.buffer.readiness()
     }
 
     /// Connects to `addr:port`, blocking until the handshake completes.
@@ -224,9 +656,21 @@ impl TcpSocket {
     /// # Errors
     ///
     /// Returns the pending socket error (e.g. [`SockError::ConnectionReset`]
-    /// after an unrecoverable TCP crash).
+    /// after an unrecoverable TCP crash), [`SockError::WouldBlock`] when
+    /// the buffer is full and the client is non-blocking, or
+    /// [`SockError::TimedOut`].
     pub fn send(&self, data: &[u8]) -> Result<usize, SockError> {
         self.buffer.write(data, self.client.op_timeout)
+    }
+
+    /// Non-blocking write regardless of the client's timeout mode.
+    ///
+    /// # Errors
+    ///
+    /// [`SockError::WouldBlock`] when the send buffer is full, or the
+    /// pending socket error.
+    pub fn try_send(&self, data: &[u8]) -> Result<usize, SockError> {
+        self.buffer.write(data, Duration::ZERO)
     }
 
     /// Writes all of `data`, blocking as needed.
@@ -247,9 +691,21 @@ impl TcpSocket {
     ///
     /// # Errors
     ///
-    /// Returns [`SockError::TimedOut`] or the pending socket error.
+    /// Returns [`SockError::WouldBlock`] (non-blocking client, nothing
+    /// buffered), [`SockError::TimedOut`], or the pending socket error.
     pub fn recv(&self, buf: &mut [u8]) -> Result<usize, SockError> {
         self.buffer.read(buf, self.client.op_timeout)
+    }
+
+    /// Non-blocking read regardless of the client's timeout mode; returns
+    /// 0 at end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// [`SockError::WouldBlock`] when nothing is buffered, or the pending
+    /// socket error.
+    pub fn try_recv(&self, buf: &mut [u8]) -> Result<usize, SockError> {
+        self.buffer.read(buf, Duration::ZERO)
     }
 
     /// Reads exactly `buf.len()` bytes.
@@ -339,8 +795,9 @@ impl UdpSocket {
     ///
     /// # Errors
     ///
-    /// Returns the pending socket error, or [`SockError::TimedOut`] if the
-    /// shared buffer stays full.
+    /// Returns the pending socket error, [`SockError::WouldBlock`] for a
+    /// non-blocking client with a full buffer, or [`SockError::TimedOut`]
+    /// if the shared buffer stays full.
     pub fn send_to(&self, payload: &[u8], addr: Ipv4Addr, port: u16) -> Result<(), SockError> {
         let record = encode_datagram(addr, port, payload);
         let mut offset = 0;
@@ -361,13 +818,15 @@ impl UdpSocket {
         self.send_to(payload, Ipv4Addr::UNSPECIFIED, 0)
     }
 
-    /// Receives one datagram, blocking until one arrives.  Returns the
-    /// payload together with the sender's address and port.
+    /// Receives one datagram, blocking until one arrives (non-blocking
+    /// clients get [`SockError::WouldBlock`] instead).  Returns the payload
+    /// together with the sender's address and port.
     ///
     /// # Errors
     ///
-    /// Returns [`SockError::TimedOut`] when nothing arrives within the
-    /// client's timeout.
+    /// Returns [`SockError::WouldBlock`] (non-blocking, nothing queued) or
+    /// [`SockError::TimedOut`] when nothing arrives within the client's
+    /// timeout.
     pub fn recv_from(&self) -> Result<(Vec<u8>, Ipv4Addr, u16), SockError> {
         let deadline = std::time::Instant::now() + self.client.op_timeout;
         loop {
@@ -378,14 +837,28 @@ impl UdpSocket {
                     return Ok((payload, addr, port));
                 }
             }
-            let now = std::time::Instant::now();
-            if now >= deadline {
-                return Err(SockError::TimedOut);
-            }
+            let remaining = if self.client.op_timeout.is_zero() {
+                Duration::ZERO
+            } else {
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(SockError::TimedOut);
+                }
+                deadline - now
+            };
             let mut chunk = [0u8; 4096];
-            let n = self.buffer.read(&mut chunk, deadline - now)?;
+            let n = self.buffer.read(&mut chunk, remaining)?;
             self.pending.lock().extend_from_slice(&chunk[..n]);
         }
+    }
+
+    /// Snapshot of this socket's readiness, read locally from the shared
+    /// buffer.  `readable` means raw datagram bytes are queued (a whole
+    /// datagram may still be in flight).
+    pub fn readiness(&self) -> Readiness {
+        let mut readiness = self.buffer.readiness();
+        readiness.readable = readiness.readable || !self.pending.lock().is_empty();
+        readiness
     }
 
     /// Closes the socket.

@@ -32,6 +32,12 @@ pub enum SockError {
     ServerUnavailable,
     /// The packet filter blocked the traffic.
     Filtered,
+    /// The operation would block and the caller asked not to block (the
+    /// `EWOULDBLOCK`/`EAGAIN` of a non-blocking socket): nothing to read,
+    /// no buffer space to write into, or no connection waiting to be
+    /// accepted.  Poll-based callers treat this as "try again later", not
+    /// as a failure.
+    WouldBlock,
 }
 
 impl std::fmt::Display for SockError {
@@ -46,11 +52,35 @@ impl std::fmt::Display for SockError {
             SockError::AddressInUse => write!(f, "address already in use"),
             SockError::ServerUnavailable => write!(f, "protocol server unavailable"),
             SockError::Filtered => write!(f, "traffic blocked by the packet filter"),
+            SockError::WouldBlock => write!(f, "operation would block"),
         }
     }
 }
 
 impl std::error::Error for SockError {}
+
+/// Readiness of one socket, in the style of `poll(2)` revents.  Produced
+/// locally by [`SocketBuffer::readiness`] (data sockets) or by the TCP
+/// server's readiness syscall (listening sockets).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Readiness {
+    /// Data (or end-of-stream, or a pending error) is available to read
+    /// without blocking.
+    pub readable: bool,
+    /// Send-buffer space is available; a write would make progress.
+    pub writable: bool,
+    /// The remote side closed its half of the stream (POLLHUP).
+    pub hung_up: bool,
+    /// A pending socket error, surfaced on the next operation (POLLERR).
+    pub error: Option<SockError>,
+}
+
+impl Readiness {
+    /// `true` if any of the readiness conditions holds.
+    pub fn any(&self) -> bool {
+        self.readable || self.writable || self.hung_up || self.error.is_some()
+    }
+}
 
 #[derive(Debug, Default)]
 struct BufInner {
@@ -96,12 +126,16 @@ impl SocketBuffer {
     // ---- application side -------------------------------------------------
 
     /// Writes as much of `data` as fits, blocking until at least one byte can
-    /// be written or `timeout` expires.
+    /// be written or `timeout` expires.  A **zero** timeout makes the call
+    /// non-blocking: it returns [`SockError::WouldBlock`] instead of waiting
+    /// when the buffer is full.
     ///
     /// # Errors
     ///
-    /// Returns the socket error if one is pending, or
-    /// [`SockError::TimedOut`] if no space became available in time.
+    /// Returns the socket error if one is pending, [`SockError::WouldBlock`]
+    /// when the buffer is full and `timeout` is zero, or
+    /// [`SockError::TimedOut`] if no space became available within a
+    /// non-zero `timeout`.
     pub fn write(&self, data: &[u8], timeout: Duration) -> Result<usize, SockError> {
         if data.is_empty() {
             return Ok(0);
@@ -119,6 +153,9 @@ impl SocketBuffer {
                 self.readable.notify_all();
                 return Ok(n);
             }
+            if timeout.is_zero() {
+                return Err(SockError::WouldBlock);
+            }
             let now = Instant::now();
             if now >= deadline {
                 return Err(SockError::TimedOut);
@@ -129,11 +166,15 @@ impl SocketBuffer {
 
     /// Reads up to `buf.len()` bytes, blocking until data, end-of-stream or
     /// an error is available, or `timeout` expires.  Returns 0 at
-    /// end-of-stream.
+    /// end-of-stream.  A **zero** timeout makes the call non-blocking: it
+    /// returns [`SockError::WouldBlock`] instead of waiting when nothing is
+    /// buffered.
     ///
     /// # Errors
     ///
-    /// Returns the pending socket error or [`SockError::TimedOut`].
+    /// Returns the pending socket error, [`SockError::WouldBlock`] when
+    /// nothing is readable and `timeout` is zero, or [`SockError::TimedOut`]
+    /// after a non-zero `timeout`.
     pub fn read(&self, buf: &mut [u8], timeout: Duration) -> Result<usize, SockError> {
         let deadline = Instant::now() + timeout;
         let mut inner = self.inner.lock();
@@ -152,6 +193,9 @@ impl SocketBuffer {
             if inner.recv_eof {
                 return Ok(0);
             }
+            if timeout.is_zero() {
+                return Err(SockError::WouldBlock);
+            }
             let now = Instant::now();
             if now >= deadline {
                 return Err(SockError::TimedOut);
@@ -163,6 +207,28 @@ impl SocketBuffer {
     /// Returns the number of bytes waiting to be read by the application.
     pub fn recv_available(&self) -> usize {
         self.inner.lock().recv.len()
+    }
+
+    /// Returns the send-buffer space currently available to the application
+    /// (how much [`SocketBuffer::write`] would accept without blocking).
+    pub fn send_space(&self) -> usize {
+        let inner = self.inner.lock();
+        self.send_capacity.saturating_sub(inner.send.len())
+    }
+
+    /// Snapshot of the buffer's readiness, computed locally from shared
+    /// memory — no protocol-server round trip (paper §V-B: the data path
+    /// bypasses the SYSCALL server, and so does polling it).
+    pub fn readiness(&self) -> Readiness {
+        let inner = self.inner.lock();
+        let error = inner.error;
+        let eof = inner.recv_eof;
+        Readiness {
+            readable: !inner.recv.is_empty() || eof || error.is_some(),
+            writable: self.send_capacity.saturating_sub(inner.send.len()) > 0 && error.is_none(),
+            hung_up: eof,
+            error,
+        }
     }
 
     /// Marks the socket as closed by the application (the server sends FIN
@@ -367,8 +433,61 @@ mod tests {
             SockError::AddressInUse,
             SockError::ServerUnavailable,
             SockError::Filtered,
+            SockError::WouldBlock,
         ] {
             assert!(!format!("{e}").is_empty());
         }
+    }
+
+    #[test]
+    fn zero_timeout_is_nonblocking() {
+        let buf = SocketBuffer::new(4, 4);
+        let mut out = [0u8; 4];
+        // Nothing to read: WouldBlock, not TimedOut, and instantly.
+        assert_eq!(
+            buf.read(&mut out, Duration::ZERO),
+            Err(SockError::WouldBlock)
+        );
+        // Full send buffer: WouldBlock.
+        assert_eq!(buf.write(&[0u8; 4], Duration::ZERO), Ok(4));
+        assert_eq!(
+            buf.write(&[0u8; 1], Duration::ZERO),
+            Err(SockError::WouldBlock)
+        );
+        // EOF and errors still take precedence over WouldBlock.
+        buf.set_eof();
+        assert_eq!(buf.read(&mut out, Duration::ZERO), Ok(0));
+        let buf = SocketBuffer::new(4, 4);
+        buf.set_error(SockError::ConnectionReset);
+        assert_eq!(
+            buf.read(&mut out, Duration::ZERO),
+            Err(SockError::ConnectionReset)
+        );
+    }
+
+    #[test]
+    fn readiness_tracks_buffer_state() {
+        let buf = SocketBuffer::new(4, 16);
+        let r = buf.readiness();
+        assert!(!r.readable && r.writable && !r.hung_up && r.error.is_none());
+        assert!(r.any());
+
+        buf.push_recv(b"x");
+        assert!(buf.readiness().readable);
+
+        buf.write(&[0u8; 4], T).unwrap();
+        assert!(!buf.readiness().writable);
+        assert_eq!(buf.send_space(), 0);
+        buf.drain_send(2);
+        assert_eq!(buf.send_space(), 2);
+        assert!(buf.readiness().writable);
+
+        buf.set_eof();
+        assert!(buf.readiness().hung_up && buf.readiness().readable);
+
+        buf.set_error(SockError::ConnectionReset);
+        let r = buf.readiness();
+        assert_eq!(r.error, Some(SockError::ConnectionReset));
+        assert!(r.readable && !r.writable);
     }
 }

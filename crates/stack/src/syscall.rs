@@ -207,8 +207,17 @@ impl SyscallServer {
                 req,
                 sock: message.word(0),
                 backlog: message.word(1) as usize,
+                sharded: message.word(2) & syscalls::LISTEN_FLAG_SHARDED != 0,
             },
             syscalls::ACCEPT => SockRequest::Accept {
+                req,
+                sock: message.word(0),
+            },
+            syscalls::ACCEPT_NB => SockRequest::AcceptNb {
+                req,
+                sock: message.word(0),
+            },
+            syscalls::POLL => SockRequest::Poll {
                 req,
                 sock: message.word(0),
             },
@@ -261,6 +270,9 @@ impl SyscallServer {
                 .with_word(0, sock)
                 .with_word(1, addr_to_word(peer_addr))
                 .with_word(2, peer_port as u64),
+            SockReply::Readiness { bits, .. } => {
+                Message::new(syscalls::REPLY_OK).with_word(0, bits)
+            }
             SockReply::Error { error, .. } => {
                 Message::new(syscalls::REPLY_ERR).with_word(0, encode_sock_error(error))
             }

@@ -31,6 +31,7 @@ use newt_channels::rich::{RichChain, RichPtr};
 use newt_kernel::clock::SimClock;
 use newt_kernel::rs::{CrashEvent, StartMode};
 use newt_kernel::storage::StorageServer;
+use newt_net::rss::{FlowKey, RssKey, RssSteering};
 use newt_net::wire::{EthernetFrame, IpProtocol, Ipv4Packet, TcpFlags, TcpSegment};
 
 use crate::endpoints;
@@ -38,8 +39,8 @@ use crate::endpoints;
 use crate::fabric::drain;
 use crate::fabric::{send, CrashBoard, PoolTable, Rx, Tx};
 use crate::msg::{
-    FlowTuple, IpToTransport, PfToTransport, SockId, SockReply, SockRequest, TransportToIp,
-    TransportToPf,
+    poll_bits, FlowTuple, IpToTransport, PfToTransport, SockId, SockReply, SockRequest,
+    TransportToIp, TransportToPf,
 };
 use crate::sockbuf::{SockError, SocketBuffer};
 
@@ -67,6 +68,12 @@ pub struct TcpConfig {
     /// the kernel-memory accounting (`tcp_mem`) that makes socket-buffer
     /// space a *per-shard* resource: replicating the stack multiplies it.
     pub shard_send_budget: usize,
+    /// The Toeplitz key the adapters steer with.  Sharded listeners
+    /// recompute the NIC's RSS mapping to decide which broadcast SYNs
+    /// belong to their shard, so this **must** equal the key programmed
+    /// into every NIC — the stack builder enforces that by programming
+    /// this key into the adapters it creates.
+    pub rss_key: RssKey,
 }
 
 impl Default for TcpConfig {
@@ -80,6 +87,7 @@ impl Default for TcpConfig {
             buffer_capacity: 256 * 1024,
             window_scale: 16,
             shard_send_budget: 4 * 1024 * 1024,
+            rss_key: RssKey::default(),
         }
     }
 }
@@ -124,6 +132,11 @@ struct SockSummary {
     local_port: u16,
     remote: Option<(u32, u16)>,
     listening: bool,
+    sharded: bool,
+    /// Accept-backlog limit, preserved so a reincarnated listener keeps
+    /// the capacity the application configured.  Only meaningful for
+    /// listening sockets (non-listeners reuse the field internally).
+    backlog: usize,
 }
 
 #[derive(Debug)]
@@ -152,6 +165,9 @@ struct TcpSock {
     backlog: Vec<SockId>,
     pending_accepts: Vec<RequestId>,
     backlog_limit: usize,
+    /// `SO_REUSEPORT`-style listener replicated on every shard: only answer
+    /// SYNs whose RSS hash steers to this shard.
+    sharded_listener: bool,
 
     // Application intents.
     pending_connect: Option<RequestId>,
@@ -213,6 +229,10 @@ pub struct TcpServer {
     next_sock: SockId,
     next_ephemeral: u16,
     isn_counter: u32,
+    /// The adapter's RSS mapping, recomputed here (it is a pure function of
+    /// the default key and the shard count) so sharded listeners can decide
+    /// which broadcast SYNs belong to this shard.
+    rss: RssSteering,
     ip_reqs: RequestDb<PendingSend>,
     stats: TcpStats,
     /// Scratch buffers reused across poll rounds (zero steady-state
@@ -244,6 +264,7 @@ impl TcpServer {
         crash_board: CrashBoard,
     ) -> Self {
         let crash_cursor = crash_board.len();
+        let rss_key = config.rss_key;
         let mut server = TcpServer {
             config,
             generation,
@@ -269,6 +290,7 @@ impl TcpServer {
             next_sock: shard.sock_id_base() + 1,
             next_ephemeral: shard.ephemeral_range(40_000).0,
             isn_counter: 0x1000_0000,
+            rss: RssSteering::new(rss_key, shard.count),
             ip_reqs: RequestDb::new(),
             stats: TcpStats::default(),
             syscall_scratch: Vec::new(),
@@ -319,7 +341,8 @@ impl TcpServer {
                 let mut sock = sock;
                 sock.state = TcpState::Listen;
                 sock.local_port = summary.local_port;
-                sock.backlog_limit = 16;
+                sock.backlog_limit = summary.backlog.max(1);
+                sock.sharded_listener = summary.sharded;
                 self.sockets.insert(summary.id, sock);
             } else {
                 // Established connections are lost: surface an error to the
@@ -346,6 +369,12 @@ impl TcpServer {
                 local_port: s.local_port,
                 remote: s.remote.map(|(a, p)| (u32::from(a), p)),
                 listening: s.state == TcpState::Listen,
+                sharded: s.sharded_listener,
+                backlog: if s.state == TcpState::Listen {
+                    s.backlog_limit
+                } else {
+                    0
+                },
             })
             .collect();
         self.storage.store(&self.storage_ns, "sockets", &summaries);
@@ -375,6 +404,7 @@ impl TcpServer {
             backlog: Vec::new(),
             pending_accepts: Vec::new(),
             backlog_limit: 0,
+            sharded_listener: false,
             pending_connect: None,
             close_requested: false,
             fin_sent: false,
@@ -468,11 +498,17 @@ impl TcpServer {
                 let reply = self.bind(sock, port);
                 send(&self.to_syscall, reply_for(req, reply));
             }
-            SockRequest::Listen { sock, backlog, .. } => {
+            SockRequest::Listen {
+                sock,
+                backlog,
+                sharded,
+                ..
+            } => {
                 let reply = match self.sockets.get_mut(&sock) {
                     Some(s) if s.local_port != 0 => {
                         s.state = TcpState::Listen;
                         s.backlog_limit = backlog.max(1);
+                        s.sharded_listener = sharded;
                         Ok(s.local_port)
                     }
                     Some(_) => Err(SockError::InvalidState),
@@ -496,6 +532,49 @@ impl TcpServer {
                     );
                 }
             },
+            SockRequest::AcceptNb { sock, .. } => {
+                let is_listener = self
+                    .sockets
+                    .get(&sock)
+                    .is_some_and(|s| s.state == TcpState::Listen);
+                let reply = if !is_listener {
+                    SockReply::Error {
+                        req,
+                        error: SockError::InvalidState,
+                    }
+                } else {
+                    match self.pop_backlog(sock) {
+                        Some((child, peer_addr, peer_port)) => SockReply::Accepted {
+                            req,
+                            sock: child,
+                            peer_addr,
+                            peer_port,
+                        },
+                        None => SockReply::Error {
+                            req,
+                            error: SockError::WouldBlock,
+                        },
+                    }
+                };
+                send(&self.to_syscall, reply);
+            }
+            SockRequest::Poll { sock, .. } => {
+                let bits = match self.sockets.get(&sock) {
+                    Some(s) if s.state == TcpState::Listen => {
+                        poll_bits::LISTENING
+                            | if s.backlog.is_empty() {
+                                0
+                            } else {
+                                poll_bits::ACCEPT_READY
+                            }
+                    }
+                    Some(s) if matches!(s.state, TcpState::Established | TcpState::CloseWait) => {
+                        poll_bits::ESTABLISHED
+                    }
+                    _ => 0,
+                };
+                send(&self.to_syscall, SockReply::Readiness { req, bits });
+            }
             SockRequest::Connect {
                 sock, addr, port, ..
             } => {
@@ -616,6 +695,22 @@ impl TcpServer {
         }
     }
 
+    /// Pops one established connection off the listener's backlog, returning
+    /// the child socket and its peer address.
+    fn pop_backlog(&mut self, listener_id: SockId) -> Option<(SockId, Ipv4Addr, u16)> {
+        let listener = self.sockets.get_mut(&listener_id)?;
+        if listener.backlog.is_empty() {
+            return None;
+        }
+        let child_id = listener.backlog.remove(0);
+        let (peer_addr, peer_port) = self
+            .sockets
+            .get(&child_id)
+            .and_then(|c| c.remote)
+            .unwrap_or((Ipv4Addr::UNSPECIFIED, 0));
+        Some((child_id, peer_addr, peer_port))
+    }
+
     fn try_complete_accepts(&mut self, listener_id: SockId) {
         loop {
             let Some(listener) = self.sockets.get_mut(&listener_id) else {
@@ -625,12 +720,9 @@ impl TcpServer {
                 return;
             }
             let req = listener.pending_accepts.remove(0);
-            let child_id = listener.backlog.remove(0);
-            let (peer_addr, peer_port) = self
-                .sockets
-                .get(&child_id)
-                .and_then(|c| c.remote)
-                .unwrap_or((Ipv4Addr::UNSPECIFIED, 0));
+            let Some((child_id, peer_addr, peer_port)) = self.pop_backlog(listener_id) else {
+                return;
+            };
             send(
                 &self.to_syscall,
                 SockReply::Accepted {
@@ -923,11 +1015,11 @@ impl TcpServer {
             .and_then(|bytes| Self::parse_segment(&bytes));
         // Always hand the chunk back to IP, even if parsing failed.
         send(&self.to_ip, TransportToIp::RxDone { ptr });
-        let Some((src, _dst, segment)) = parsed else {
+        let Some((src, dst, segment)) = parsed else {
             return;
         };
         self.stats.segments_in += 1;
-        self.handle_segment(src, segment);
+        self.handle_segment(src, dst, segment);
     }
 
     fn parse_segment(frame: &[u8]) -> Option<(Ipv4Addr, Ipv4Addr, TcpSegment)> {
@@ -958,7 +1050,7 @@ impl TcpServer {
             })
     }
 
-    fn handle_segment(&mut self, src: Ipv4Addr, segment: TcpSegment) {
+    fn handle_segment(&mut self, src: Ipv4Addr, dst: Ipv4Addr, segment: TcpSegment) {
         let Some(id) = self.find_socket(src, segment.src_port, segment.dst_port) else {
             // No socket: a RST would be sent by a full implementation; the
             // evaluation workloads never need it.
@@ -971,22 +1063,39 @@ impl TcpServer {
             .unwrap_or(false);
         if is_listener {
             if segment.flags.syn && !segment.flags.ack {
-                self.accept_syn(id, src, &segment);
+                self.accept_syn(id, src, dst, &segment);
             }
             return;
         }
         self.established_segment(id, src, segment);
     }
 
-    fn accept_syn(&mut self, listener_id: SockId, src: Ipv4Addr, syn: &TcpSegment) {
-        let (local_port, backlog_limit, backlog_len) = {
+    fn accept_syn(&mut self, listener_id: SockId, src: Ipv4Addr, dst: Ipv4Addr, syn: &TcpSegment) {
+        let (local_port, backlog_limit, backlog_len, sharded) = {
             let listener = self.sockets.get(&listener_id).expect("listener exists");
             (
                 listener.local_port,
                 listener.backlog_limit,
                 listener.backlog.len(),
+                listener.sharded_listener,
             )
         };
+        // A sharded (SO_REUSEPORT-style) listener has siblings on every
+        // shard and the driver broadcasts connection-opening SYNs; answer
+        // only the flows whose RSS hash steers to this shard, so exactly
+        // one replica sends the SYN-ACK — and that replica is the one the
+        // flow keeps hashing to if the flow-director pin is ever lost.
+        if sharded && self.shard.count > 1 {
+            let flow = FlowKey {
+                src,
+                dst,
+                src_port: syn.src_port,
+                dst_port: local_port,
+            };
+            if self.rss.queue_by_hash(&flow) != self.shard.index {
+                return;
+            }
+        }
         if backlog_len >= backlog_limit {
             return; // drop the SYN; the client retries
         }
@@ -1482,6 +1591,7 @@ mod tests {
                 req: RequestId::from_raw(3),
                 sock,
                 backlog: 4,
+                sharded: false,
             },
         );
         rig.tcp.poll();
@@ -1528,6 +1638,7 @@ mod tests {
                 req: RequestId::from_raw(4),
                 sock: a,
                 backlog: 1,
+                sharded: false,
             },
         );
         send(
@@ -1653,6 +1764,7 @@ mod tests {
                 req: RequestId::from_raw(3),
                 sock: listener,
                 backlog: 4,
+                sharded: false,
             },
         );
         send(
@@ -1710,6 +1822,195 @@ mod tests {
         let acks = outgoing(&mut rig);
         assert!(acks.iter().any(|s| s.ack == 7_001 + 13));
         assert_eq!(rig.tcp.stats().connections_established, 1);
+    }
+
+    /// Opens, binds and listens a socket on `port`, returning its id.
+    fn listening_socket(rig: &mut Rig, port: u16, sharded: bool) -> SockId {
+        let sock = open_socket(rig);
+        send(
+            &rig.syscall_tx,
+            SockRequest::Bind {
+                req: RequestId::from_raw(90),
+                sock,
+                port,
+            },
+        );
+        send(
+            &rig.syscall_tx,
+            SockRequest::Listen {
+                req: RequestId::from_raw(91),
+                sock,
+                backlog: 8,
+                sharded,
+            },
+        );
+        rig.tcp.poll();
+        drain(&rig.syscall_rx);
+        sock
+    }
+
+    /// Completes a passive handshake from `src_port` against `listener`'s
+    /// port 22.
+    fn handshake_in(rig: &mut Rig, src_port: u16) {
+        let mut syn = TcpSegment::control(src_port, 22, 1_000, 0, TcpFlags::SYN);
+        syn.mss = Some(1460);
+        inject(rig, syn);
+        let syn_ack = outgoing(rig).pop().expect("syn-ack");
+        let ack = TcpSegment::control(
+            src_port,
+            22,
+            1_001,
+            syn_ack.seq.wrapping_add(1),
+            TcpFlags::ACK,
+        );
+        inject(rig, ack);
+    }
+
+    #[test]
+    fn accept_nb_returns_wouldblock_until_a_connection_waits() {
+        let mut rig = rig();
+        let listener = listening_socket(&mut rig, 22, false);
+        // Empty backlog: WouldBlock, immediately.
+        send(
+            &rig.syscall_tx,
+            SockRequest::AcceptNb {
+                req: RequestId::from_raw(5),
+                sock: listener,
+            },
+        );
+        rig.tcp.poll();
+        let replies = drain(&rig.syscall_rx);
+        assert!(
+            matches!(
+                replies[..],
+                [SockReply::Error {
+                    error: SockError::WouldBlock,
+                    ..
+                }]
+            ),
+            "expected WouldBlock, got {replies:?}"
+        );
+        // A connection arrives; the next non-blocking accept yields it.
+        handshake_in(&mut rig, 50_000);
+        send(
+            &rig.syscall_tx,
+            SockRequest::AcceptNb {
+                req: RequestId::from_raw(6),
+                sock: listener,
+            },
+        );
+        rig.tcp.poll();
+        let replies = drain(&rig.syscall_rx);
+        assert!(
+            matches!(
+                replies[..],
+                [SockReply::Accepted {
+                    peer_port: 50_000,
+                    ..
+                }]
+            ),
+            "expected Accepted, got {replies:?}"
+        );
+        // On a non-listener it is invalid.
+        send(
+            &rig.syscall_tx,
+            SockRequest::AcceptNb {
+                req: RequestId::from_raw(7),
+                sock: 999_999,
+            },
+        );
+        rig.tcp.poll();
+        let replies = drain(&rig.syscall_rx);
+        assert!(matches!(
+            replies[..],
+            [SockReply::Error {
+                error: SockError::InvalidState,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn poll_reports_listener_and_connection_readiness() {
+        let mut rig = rig();
+        let listener = listening_socket(&mut rig, 22, false);
+        let poll = |rig: &mut Rig, sock: SockId| -> u64 {
+            send(
+                &rig.syscall_tx,
+                SockRequest::Poll {
+                    req: RequestId::from_raw(77),
+                    sock,
+                },
+            );
+            rig.tcp.poll();
+            match drain(&rig.syscall_rx).pop() {
+                Some(SockReply::Readiness { bits, .. }) => bits,
+                other => panic!("expected readiness, got {other:?}"),
+            }
+        };
+        assert_eq!(poll(&mut rig, listener), crate::msg::poll_bits::LISTENING);
+        handshake_in(&mut rig, 50_001);
+        assert_eq!(
+            poll(&mut rig, listener),
+            crate::msg::poll_bits::LISTENING | crate::msg::poll_bits::ACCEPT_READY
+        );
+        // An established connection reports ESTABLISHED; an unknown socket
+        // reports nothing.
+        let (sock, _port, _snd, _rcv) = connect_established(&mut rig);
+        assert_eq!(poll(&mut rig, sock), crate::msg::poll_bits::ESTABLISHED);
+        assert_eq!(poll(&mut rig, 999_999), 0);
+    }
+
+    #[test]
+    fn sharded_listener_answers_only_flows_hashing_to_its_shard() {
+        // Two TCP replicas of a two-shard stack, each with a sharded
+        // listener on port 22 (the SO_REUSEPORT group the HTTP server
+        // builds).  The driver broadcasts connection-opening SYNs, so both
+        // replicas see every SYN; exactly the replica the flow's RSS hash
+        // steers to may answer.
+        let steering = RssSteering::new(RssKey::default(), 2);
+        let queue_of = |src_port: u16| {
+            steering.queue_by_hash(&FlowKey {
+                src: PEER,
+                dst: LOCAL,
+                src_port,
+                dst_port: 22,
+            })
+        };
+        // Find one source port per shard.
+        let port_for_0 = (50_000..51_000).find(|p| queue_of(*p) == 0).unwrap();
+        let port_for_1 = (50_000..51_000).find(|p| queue_of(*p) == 1).unwrap();
+
+        for (shard_index, answered_port, dropped_port) in [
+            (0usize, port_for_0, port_for_1),
+            (1, port_for_1, port_for_0),
+        ] {
+            let storage = Arc::new(StorageServer::new());
+            let registry = Registry::new();
+            let mut rig = rig_with(StartMode::Fresh, storage, registry);
+            rig.tcp.shard = endpoints::Shard::new(shard_index, 2);
+            rig.tcp.rss = RssSteering::new(RssKey::default(), 2);
+            listening_socket(&mut rig, 22, true);
+
+            // The flow hashing to the *other* shard is dropped silently.
+            let mut foreign = TcpSegment::control(dropped_port, 22, 9, 0, TcpFlags::SYN);
+            foreign.mss = Some(1460);
+            inject(&mut rig, foreign);
+            assert!(
+                outgoing(&mut rig).is_empty(),
+                "shard {shard_index} answered a foreign flow"
+            );
+
+            // The flow hashing here is answered.
+            let mut ours = TcpSegment::control(answered_port, 22, 9, 0, TcpFlags::SYN);
+            ours.mss = Some(1460);
+            inject(&mut rig, ours);
+            let replies = outgoing(&mut rig);
+            assert!(
+                replies.iter().any(|s| s.flags.syn && s.flags.ack),
+                "shard {shard_index} must answer its own flow"
+            );
+        }
     }
 
     #[test]
@@ -1834,6 +2135,7 @@ mod tests {
                     req: RequestId::from_raw(3),
                     sock: listener,
                     backlog: 4,
+                    sharded: false,
                 },
             );
             rig.tcp.poll();
@@ -1850,6 +2152,9 @@ mod tests {
         assert_eq!(flows.len(), 1);
         assert_eq!(flows[0].local_port, 22);
         assert_eq!(flows[0].remote, None);
+        // The configured accept backlog survives the reincarnation.
+        let recovered = rig.tcp.sockets.values().next().expect("listener");
+        assert_eq!(recovered.backlog_limit, 4);
         // The established connection's application sees a reset.
         let buffer: Arc<SocketBuffer> = registry
             .attach_shared(endpoints::SYSCALL, &established_buffer_name)

@@ -470,7 +470,9 @@ impl UdpServer {
                 };
                 send(&self.to_syscall, reply);
             }
-            SockRequest::Listen { .. } | SockRequest::Accept { .. } => {
+            SockRequest::Listen { .. }
+            | SockRequest::Accept { .. }
+            | SockRequest::AcceptNb { .. } => {
                 send(
                     &self.to_syscall,
                     SockReply::Error {
@@ -478,6 +480,11 @@ impl UdpServer {
                         error: SockError::InvalidState,
                     },
                 );
+            }
+            SockRequest::Poll { .. } => {
+                // A datagram socket's readiness lives entirely in its shared
+                // buffer; there is no server-side backlog to report.
+                send(&self.to_syscall, SockReply::Readiness { req, bits: 0 });
             }
         }
     }
@@ -852,6 +859,7 @@ mod tests {
                 req: RequestId::from_raw(5),
                 sock,
                 backlog: 1,
+                sharded: false,
             },
         );
         send(

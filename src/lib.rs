@@ -6,6 +6,9 @@
 //! runnable examples under `examples/` and the integration tests under
 //! `tests/`.
 
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
 pub use newtos;
 
 use std::time::Duration;

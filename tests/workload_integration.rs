@@ -1,0 +1,245 @@
+//! End-to-end tests of the application workload layer: the HTTP server on
+//! the poll-based socket API, the peer-side load generator, impaired
+//! links, and the crash-during-transfer recovery story.
+
+use std::time::Duration;
+
+use newt_apps::httpd::{Httpd, HttpdConfig};
+use newt_apps::loadgen::{run_http_load, LoadConfig};
+use newtos::net::link::LinkConfig;
+use newtos::net::peer::IPERF_PORT;
+use newtos::stack::sockbuf::SockError;
+use newtos::{Component, FaultAction, NewtStack, StackConfig};
+use newtos_suite::wait_for;
+
+fn workload_config() -> StackConfig {
+    StackConfig::newtos()
+        .link(LinkConfig::unshaped())
+        .clock_speedup(50.0)
+}
+
+#[test]
+fn http_workload_runs_across_shards_over_a_clean_link() {
+    let stack = NewtStack::start(workload_config().shards(2));
+    let server =
+        Httpd::spawn(stack.client(), stack.shards(), HttpdConfig::default()).expect("http server");
+
+    let report = run_http_load(
+        &stack,
+        &LoadConfig {
+            connections: 16,
+            requests_per_connection: 3,
+            ..LoadConfig::default()
+        },
+    );
+    assert!(report.completed_all, "run hit the real-time deadline");
+    assert_eq!(
+        report.completed, 48,
+        "every request must complete: {report:?}"
+    );
+    assert_eq!(report.verify_failures, 0, "bodies must verify: {report:?}");
+    assert!(report.p99_us >= report.p50_us);
+
+    // The SO_REUSEPORT group really spread the load: every shard
+    // established inbound connections and moved segments.
+    let telemetry = stack.telemetry();
+    for shard in 0..stack.shards() {
+        assert!(
+            telemetry.tcp_shards[shard].connections_established > 0,
+            "shard {shard} served no connections"
+        );
+    }
+    // A second group on the occupied port fails with AddressInUse and
+    // must not leak: the same client can immediately claim another port.
+    let client = stack.client();
+    assert!(matches!(
+        client.listen_sharded(80, 4, stack.shards()),
+        Err(SockError::AddressInUse)
+    ));
+    let group = client
+        .listen_sharded(8081, 4, stack.shards())
+        .expect("fresh port after a failed group");
+    assert_eq!(group.len(), stack.shards());
+    for listener in group {
+        listener.close().expect("close");
+    }
+
+    let stats = server.stop();
+    assert!(stats.requests >= 48);
+    assert_eq!(stats.error_responses, 0);
+    stack.shutdown();
+}
+
+#[test]
+fn partial_sharded_listener_groups_are_rejected() {
+    // On a 4-shard stack, a sharded group covering only 2 shards would
+    // blackhole the flows hashing to the other two; the API fails loudly.
+    let stack = NewtStack::start(workload_config().shards(4));
+    let client = stack.client();
+    assert!(matches!(
+        client.listen_sharded(8080, 4, 2),
+        Err(SockError::InvalidState)
+    ));
+    // Over-counting can never assemble either, and is reported as the
+    // same configuration error instead of a fake server failure.
+    assert!(matches!(
+        client.listen_sharded(8080, 4, 8),
+        Err(SockError::InvalidState)
+    ));
+    // An exclusive single listener is always fine, wherever it lands.
+    let single = client.listen_sharded(8080, 4, 1).expect("single listener");
+    assert_eq!(single.len(), 1);
+    // And the full group works after the failed attempts (nothing leaked).
+    let full = client
+        .listen_sharded(9090, 4, stack.shards())
+        .expect("full group");
+    assert_eq!(full.len(), 4);
+    stack.shutdown();
+}
+
+#[test]
+fn http_workload_completes_over_an_impaired_link() {
+    // Burst loss, jitter, reordering and duplication: every request still
+    // completes with a verified body, carried by TCP retransmission on
+    // the stack side and the peer client's RTO on the other.
+    let config = workload_config()
+        .shards(2)
+        .link(LinkConfig::impaired().bandwidth_bps(f64::INFINITY));
+    let stack = NewtStack::start(config);
+    let _server =
+        Httpd::spawn(stack.client(), stack.shards(), HttpdConfig::default()).expect("http server");
+
+    let report = run_http_load(
+        &stack,
+        &LoadConfig {
+            connections: 8,
+            requests_per_connection: 2,
+            path: "/bytes/8192".to_string(),
+            response_timeout: Duration::from_secs(30),
+            ..LoadConfig::default()
+        },
+    );
+    assert!(
+        report.completed_all,
+        "impaired run hit the deadline: {report:?}"
+    );
+    assert_eq!(
+        report.completed, 16,
+        "every request must complete: {report:?}"
+    );
+    assert_eq!(report.verify_failures, 0, "bodies must verify: {report:?}");
+
+    // The impairments actually bit: the stack retransmitted.
+    let telemetry = stack.telemetry();
+    let retransmissions: u64 = (0..stack.shards())
+        .map(|s| telemetry.tcp_shards[s].retransmissions)
+        .sum();
+    assert!(
+        retransmissions > 0,
+        "an impaired link must force retransmissions"
+    );
+    stack.shutdown();
+}
+
+#[test]
+fn http_transfer_survives_a_tcp_crash_and_reincarnation() {
+    // A 1 MiB transfer over a paced link, with the TCP server crashed
+    // mid-flight.  The connection dies (§V-D: established connections are
+    // reset), the listener is recovered by the reincarnation, the load
+    // generator reconnects and retries, and the transfer completes with a
+    // byte-exact body.
+    let config = workload_config()
+        .clock_speedup(5.0)
+        .link(LinkConfig::unshaped().bandwidth_bps(50e6));
+    let stack = NewtStack::start(config);
+    let server =
+        Httpd::spawn(stack.client(), stack.shards(), HttpdConfig::default()).expect("http server");
+
+    let loadgen = {
+        let stack = &stack;
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(move || {
+                run_http_load(
+                    stack,
+                    &LoadConfig {
+                        connections: 1,
+                        requests_per_connection: 1,
+                        path: "/bytes/1048576".to_string(),
+                        response_timeout: Duration::from_secs(2),
+                        ..LoadConfig::default()
+                    },
+                )
+            });
+
+            // Wait until the response is mid-flight, then kill TCP.
+            assert!(
+                wait_for(
+                    || stack.peer(0).stats().tcp_bytes_received > 64 * 1024,
+                    Duration::from_secs(60),
+                ),
+                "transfer never got going"
+            );
+            assert!(stack.inject_fault(Component::Tcp, FaultAction::Crash));
+            assert!(stack.wait_component_running(Component::Tcp, Duration::from_secs(30)));
+
+            handle.join().expect("load generator thread")
+        })
+    };
+
+    assert!(loadgen.completed_all, "crashed transfer never completed");
+    assert_eq!(loadgen.completed, 1, "the retried transfer must complete");
+    assert_eq!(loadgen.verify_failures, 0, "retried body must verify");
+    assert!(
+        loadgen.retries >= 1,
+        "the crash must have forced a reconnect: {loadgen:?}"
+    );
+    assert!(stack.restart_count(Component::Tcp) >= 1);
+    let stats = server.stop();
+    assert!(
+        stats.requests >= 2,
+        "the object must have been served at least twice (original + retry)"
+    );
+    stack.shutdown();
+}
+
+#[test]
+fn nonblocking_timeout_semantics_are_explicit() {
+    let stack = NewtStack::start(workload_config());
+
+    // Zero timeout = non-blocking: WouldBlock, immediately.
+    let nb = stack.client().nonblocking();
+    assert!(nb.is_nonblocking());
+    let socket = nb.tcp_socket().expect("control calls still work");
+    socket
+        .connect(StackConfig::peer_addr(0), IPERF_PORT)
+        .expect("connect");
+    let mut buf = [0u8; 16];
+    let started = std::time::Instant::now();
+    assert_eq!(socket.recv(&mut buf), Err(SockError::WouldBlock));
+    assert!(
+        started.elapsed() < Duration::from_secs(1),
+        "non-blocking recv must not wait"
+    );
+    // accept() on a non-blocking client degrades to accept_nb.
+    let listener = nb.tcp_socket().expect("listener");
+    listener.bind(8080).expect("bind");
+    listener.listen(4).expect("listen");
+    assert!(matches!(listener.accept(), Err(SockError::WouldBlock)));
+    assert!(listener.accept_nb().expect("accept_nb").is_none());
+    assert!(!listener.accept_ready().expect("poll syscall"));
+
+    // A non-zero timeout is a real-time bound ending in TimedOut.
+    let bounded = stack.client().with_timeout(Duration::from_millis(50));
+    let socket = bounded.tcp_socket().expect("socket");
+    socket
+        .connect(StackConfig::peer_addr(0), IPERF_PORT)
+        .expect("connect");
+    let started = std::time::Instant::now();
+    assert_eq!(socket.recv(&mut buf), Err(SockError::TimedOut));
+    let waited = started.elapsed();
+    assert!(
+        waited >= Duration::from_millis(40) && waited < Duration::from_secs(5),
+        "recv should wait out its bound, waited {waited:?}"
+    );
+    stack.shutdown();
+}
