@@ -126,6 +126,44 @@ impl<T> Shared<T> {
     }
 }
 
+/// Type-erased view onto a queue's shared counters.
+trait StatsSource: Send + Sync {
+    fn stats(&self) -> QueueStats;
+}
+
+impl<T: Send> StatsSource for Shared<T> {
+    fn stats(&self) -> QueueStats {
+        Shared::stats(self)
+    }
+}
+
+/// A cheap, clonable, read-only handle onto one queue's traffic counters.
+///
+/// Both endpoint halves publish their counters with plain stores into the
+/// shared allocation, so an observer (telemetry, a bench harness) can read
+/// them at any time *without* owning either endpoint — the endpoints stay
+/// free to live inside the server threads.  Reading costs three relaxed
+/// loads and adds nothing to the message fast path.
+#[derive(Clone)]
+pub struct StatsHandle {
+    source: Arc<dyn StatsSource>,
+}
+
+impl StatsHandle {
+    /// Returns the queue's traffic counters.
+    pub fn stats(&self) -> QueueStats {
+        self.source.stats()
+    }
+}
+
+impl std::fmt::Debug for StatsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatsHandle")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
 /// The producing half of a queue, created by [`channel`].
 ///
 /// The enqueue operations take `&mut self`: the handle privately caches the
@@ -350,6 +388,17 @@ impl<T> Sender<T> {
     /// Returns traffic counters for this queue.
     pub fn stats(&self) -> QueueStats {
         self.shared.stats()
+    }
+
+    /// Returns an observer handle onto this queue's counters that stays
+    /// valid after the endpoint moves into a server thread.
+    pub fn stats_handle(&self) -> StatsHandle
+    where
+        T: Send + 'static,
+    {
+        StatsHandle {
+            source: Arc::clone(&self.shared) as Arc<dyn StatsSource>,
+        }
     }
 }
 

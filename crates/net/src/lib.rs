@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod gro;
 pub mod link;
 pub mod nic;
 pub mod peer;

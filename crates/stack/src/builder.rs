@@ -59,6 +59,7 @@ use crate::msg::{
 };
 use crate::pf::{FilterRule, PacketFilterServer, PfStats};
 use crate::posix::NetClient;
+use crate::sockbuf::Doorbell;
 use crate::syscall::{SyscallServer, SyscallStats};
 use crate::tcp::{TcpConfig, TcpServer, TcpStats};
 use crate::udp::{UdpServer, UdpStats};
@@ -94,6 +95,10 @@ pub struct StackConfig {
     pub tso: bool,
     /// Whether checksum offload is enabled.
     pub checksum_offload: bool,
+    /// Whether the drivers coalesce consecutive in-order TCP segments of a
+    /// flow into one oversized deliver message (GRO).  Off reproduces the
+    /// one-message-per-MTU-frame receive path for A/B measurements.
+    pub gro: bool,
     /// Whether the packet filter sits next to IP.
     pub with_packet_filter: bool,
     /// Rules installed into the packet filter at boot.
@@ -121,6 +126,7 @@ impl Default for StackConfig {
             shards: 1,
             tso: true,
             checksum_offload: true,
+            gro: true,
             with_packet_filter: true,
             filter_rules: Vec::new(),
             link: LinkConfig::gigabit(),
@@ -185,6 +191,13 @@ impl StackConfig {
         self
     }
 
+    /// Enables or disables receive coalescing (GRO) in the drivers.
+    #[must_use]
+    pub fn gro(mut self, gro: bool) -> Self {
+        self.gro = gro;
+        self
+    }
+
     /// Enables or disables the packet filter.
     #[must_use]
     pub fn packet_filter(mut self, enabled: bool) -> Self {
@@ -224,6 +237,23 @@ impl StackConfig {
     }
 }
 
+/// Per-shard fabric message counters: every message enqueued on and drained
+/// from the shard's lanes (towards IP, PF, the drivers, SYSCALL and back).
+///
+/// Sampled from the queues' own single-writer counters, so the accounting
+/// adds nothing to the message fast path.  The HTTP workload bench divides
+/// `sent` by completed requests to get the **messages-per-request** figure
+/// the receive fast path (GRO, delayed ACKs) is gated on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Messages enqueued on this shard's lanes.
+    pub sent: u64,
+    /// Messages drained from this shard's lanes.
+    pub received: u64,
+    /// Messages rejected because a lane was full.
+    pub full_rejections: u64,
+}
+
 /// Aggregated per-component statistics sampled from the running servers.
 ///
 /// The scalar fields mirror the unsharded stack (and alias shard 0 /
@@ -251,9 +281,27 @@ pub struct Telemetry {
     pub ip_shards: [IpStats; MAX_SHARDS],
     /// Per-NIC driver counters (RX drops, steering, resets).
     pub drivers: [DriverStats; MAX_SHARDS],
+    /// Per-shard fabric message counters (all lanes of the shard).
+    pub fabric_shards: [FabricStats; MAX_SHARDS],
 }
 
 impl Telemetry {
+    /// Messages enqueued on every fabric lane of every shard — the
+    /// denominator-free total the workload bench turns into
+    /// messages-per-request.
+    pub fn fabric_messages_total(&self) -> u64 {
+        self.fabric_shards.iter().map(|f| f.sent).sum()
+    }
+
+    /// Pure ACKs emitted by every TCP shard.
+    pub fn pure_acks_out_total(&self) -> u64 {
+        self.tcp_shards.iter().map(|t| t.pure_acks_out).sum()
+    }
+
+    /// Data-carrying segments received by every TCP shard.
+    pub fn payload_segments_in_total(&self) -> u64 {
+        self.tcp_shards.iter().map(|t| t.payload_segments_in).sum()
+    }
     /// Frames dropped by any driver because a receive pool was exhausted or
     /// an IP server's queue was full (previously these were only visible
     /// for driver 0).
@@ -296,6 +344,8 @@ pub struct NewtStack {
     nics: Vec<Arc<Mutex<Nic>>>,
     component_services: HashMap<Component, Endpoint>,
     telemetry: Arc<Mutex<Telemetry>>,
+    /// Per-shard observer handles onto every fabric lane's counters.
+    fabric_probes: Vec<Vec<newt_channels::spsc::StatsHandle>>,
     next_app: AtomicU32,
 }
 
@@ -338,6 +388,10 @@ struct ShardLanes {
     /// One transmit/completion lane pair per NIC.
     ip_to_drv: Vec<Chan<IpToDrv>>,
     drv_to_ip: Vec<Chan<DrvToIp>>,
+    /// Rung by this shard's TCP socket buffers when the application queues
+    /// work; owned by the fabric (like the lanes) so it survives TCP
+    /// restarts.
+    tcp_doorbell: Arc<Doorbell>,
 }
 
 impl ShardLanes {
@@ -359,7 +413,36 @@ impl ShardLanes {
             udp_to_sys: Chan::new(256),
             ip_to_drv: (0..nics).map(|_| Chan::new(2048)).collect(),
             drv_to_ip: (0..nics).map(|_| Chan::new(2048)).collect(),
+            tcp_doorbell: Doorbell::new(),
         }
+    }
+
+    /// Observer handles onto every lane of this shard, in a stable order,
+    /// for the fabric message accounting.
+    fn stats_handles(&self) -> Vec<newt_channels::spsc::StatsHandle> {
+        let mut handles = vec![
+            self.tcp_to_ip.stats_handle(),
+            self.ip_to_tcp.stats_handle(),
+            self.udp_to_ip.stats_handle(),
+            self.ip_to_udp.stats_handle(),
+            self.ip_to_pf.stats_handle(),
+            self.pf_to_ip.stats_handle(),
+            self.pf_to_tcp.stats_handle(),
+            self.tcp_to_pf.stats_handle(),
+            self.pf_to_udp.stats_handle(),
+            self.udp_to_pf.stats_handle(),
+            self.sys_to_tcp.stats_handle(),
+            self.tcp_to_sys.stats_handle(),
+            self.sys_to_udp.stats_handle(),
+            self.udp_to_sys.stats_handle(),
+        ];
+        for lane in &self.ip_to_drv {
+            handles.push(lane.stats_handle());
+        }
+        for lane in &self.drv_to_ip {
+            handles.push(lane.stats_handle());
+        }
+        handles
     }
 }
 
@@ -447,11 +530,14 @@ impl NewtStack {
             .map(|s| {
                 let shard = Shard::new(s, shards);
                 let set = ShardPools {
+                    // RX chunks are sized for GRO: a merged super-frame
+                    // (up to GRO_MAX_PAYLOAD of TCP payload + headers)
+                    // must fit one chunk.
                     rx: Pool::new(
                         &format!("{}.rx", shard.service_name("ip")),
                         shard.ip(),
+                        crate::driver::RX_POOL_CHUNK,
                         2048,
-                        4096,
                     ),
                     header: Pool::new(
                         &format!("{}.hdr", shard.service_name("ip")),
@@ -481,6 +567,8 @@ impl NewtStack {
 
         // --- per-shard fabric lanes -------------------------------------------
         let lanes: Vec<ShardLanes> = (0..shards).map(|_| ShardLanes::new(config.nics)).collect();
+        let fabric_probes: Vec<Vec<newt_channels::spsc::StatsHandle>> =
+            lanes.iter().map(ShardLanes::stats_handles).collect();
 
         // Attach the SYSCALL mailbox before any service or client runs so
         // that applications started right after boot can already queue calls.
@@ -541,6 +629,7 @@ impl NewtStack {
                         lane.pf_to_tcp.rx(),
                         lane.tcp_to_pf.tx(),
                         crash_board.clone(),
+                        Arc::clone(&lane.tcp_doorbell),
                     )
                 }
             }
@@ -660,8 +749,13 @@ impl NewtStack {
             let shard_pools = shard_pools.clone();
             let lanes = lanes.clone();
             let crash_board = crash_board.clone();
+            let gro_cap = if config.gro {
+                crate::driver::GRO_MAX_PAYLOAD
+            } else {
+                0
+            };
             move |index: usize| {
-                DriverServer::new(
+                DriverServer::with_gro(
                     index,
                     Arc::clone(&nics[index]),
                     shard_pools.iter().map(|p| p.rx.clone()).collect(),
@@ -669,6 +763,7 @@ impl NewtStack {
                     lanes.iter().map(|l| l.ip_to_drv[index].rx()).collect(),
                     lanes.iter().map(|l| l.drv_to_ip[index].tx()).collect(),
                     crash_board.clone(),
+                    gro_cap,
                 )
             }
         };
@@ -973,6 +1068,7 @@ impl NewtStack {
             nics,
             component_services,
             telemetry,
+            fabric_probes,
             next_app: AtomicU32::new(0),
         };
         // Wait until every service thread is up (in particular until the
@@ -1125,9 +1221,62 @@ impl NewtStack {
         }
     }
 
-    /// Returns a snapshot of per-component statistics.
+    /// Returns per-lane queue counters for one shard, in the order of
+    /// [`NewtStack::fabric_lane_names`] — the raw data behind
+    /// [`Telemetry::fabric_shards`], useful for attributing fabric traffic
+    /// to individual lanes.
+    pub fn fabric_lane_stats(&self, shard: usize) -> Vec<newt_channels::spsc::QueueStats> {
+        self.fabric_probes
+            .get(shard)
+            .map(|probes| probes.iter().map(|p| p.stats()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Returns the lane names matching [`NewtStack::fabric_lane_stats`].
+    pub fn fabric_lane_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = [
+            "tcp→ip",
+            "ip→tcp",
+            "udp→ip",
+            "ip→udp",
+            "ip→pf",
+            "pf→ip",
+            "pf→tcp",
+            "tcp→pf",
+            "pf→udp",
+            "udp→pf",
+            "sys→tcp",
+            "tcp→sys",
+            "sys→udp",
+            "udp→sys",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        for i in 0..self.config.nics {
+            names.push(format!("ip→drv{i}"));
+        }
+        for i in 0..self.config.nics {
+            names.push(format!("drv{i}→ip"));
+        }
+        names
+    }
+
+    /// Returns a snapshot of per-component statistics, including the
+    /// fabric message counters read live from the lanes themselves.
     pub fn telemetry(&self) -> Telemetry {
-        *self.telemetry.lock()
+        let mut snapshot = *self.telemetry.lock();
+        for (shard, probes) in self.fabric_probes.iter().enumerate().take(MAX_SHARDS) {
+            let mut fabric = FabricStats::default();
+            for probe in probes {
+                let queue = probe.stats();
+                fabric.sent += queue.enqueued;
+                fabric.received += queue.dequeued;
+                fabric.full_rejections += queue.full_rejections;
+            }
+            snapshot.fabric_shards[shard] = fabric;
+        }
+        snapshot
     }
 
     /// Returns the kernel-IPC counters (traps, messages, IPIs, cycles).

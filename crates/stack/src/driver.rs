@@ -36,10 +36,12 @@
 
 use std::sync::Arc;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 
 use newt_channels::pool::Pool;
 use newt_kernel::rs::CrashEvent;
+use newt_net::gro::GroEngine;
 use newt_net::nic::Nic;
 use newt_net::rss::{is_handshake_syn, MAX_QUEUES};
 
@@ -47,6 +49,16 @@ use newt_net::rss::{is_handshake_syn, MAX_QUEUES};
 use crate::fabric::drain;
 use crate::fabric::{send, CrashBoard, PoolTable, Rx, Tx};
 use crate::msg::{DrvToIp, IpToDrv};
+
+/// Largest TCP payload a GRO merge may accumulate.  Sized so the merged
+/// frame (payload + ethernet/IP/TCP headers) always fits one RX pool chunk
+/// ([`RX_POOL_CHUNK`]), and aligned with the TX side's default TSO segment
+/// so both directions move ~16 KiB per stack traversal.
+pub const GRO_MAX_PAYLOAD: usize = RX_POOL_CHUNK - 128;
+
+/// Chunk size the per-shard receive pools must use for GRO-merged frames
+/// to fit (the stack builder sizes its RX pools with this).
+pub const RX_POOL_CHUNK: usize = 16 * 1024;
 
 /// Counters describing one driver's activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -62,6 +74,11 @@ pub struct DriverStats {
     pub rx_dropped: u64,
     /// Frames delivered to each stack shard (RSS steering counters).
     pub rx_steered: [u64; MAX_QUEUES],
+    /// Frames absorbed into a GRO merge — each saved one full
+    /// driver→ip→tcp→ip trip (and usually a pure ACK back down).
+    pub rx_coalesced: u64,
+    /// GRO super-segments delivered (each carrying 2+ wire frames).
+    pub rx_merged: u64,
     /// Device resets performed because a singleton IP server crashed.
     pub resets_for_ip: u64,
     /// Per-queue resets performed because one stack shard's IP server
@@ -91,6 +108,12 @@ pub struct DriverServer {
     /// round and flushed as a single batch per lane (one index publish, one
     /// wake).
     ack_batches: Vec<Vec<DrvToIp>>,
+    /// RX coalescing engine (`None` = GRO disabled); state never spans a
+    /// poll batch, and each queue's burst is flushed before the next
+    /// queue's begins.
+    gro: Option<GroEngine>,
+    /// Scratch buffer of GRO output frames, reused across poll rounds.
+    gro_scratch: Vec<Bytes>,
 }
 
 impl DriverServer {
@@ -111,6 +134,32 @@ impl DriverServer {
         outboxes: Vec<Tx<DrvToIp>>,
         crash_board: CrashBoard,
     ) -> Self {
+        Self::with_gro(
+            index,
+            nic,
+            rx_pools,
+            pools,
+            inboxes,
+            outboxes,
+            crash_board,
+            GRO_MAX_PAYLOAD,
+        )
+    }
+
+    /// Like [`DriverServer::new`] with an explicit GRO merge cap
+    /// (`0` disables receive coalescing entirely).  The cap must leave a
+    /// merged frame within the receive pools' chunk size.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_gro(
+        index: usize,
+        nic: Arc<Mutex<Nic>>,
+        rx_pools: Vec<Pool>,
+        pools: PoolTable,
+        inboxes: Vec<Rx<IpToDrv>>,
+        outboxes: Vec<Tx<DrvToIp>>,
+        crash_board: CrashBoard,
+        gro_max_payload: usize,
+    ) -> Self {
         assert_eq!(rx_pools.len(), inboxes.len());
         assert_eq!(rx_pools.len(), outboxes.len());
         assert!(!rx_pools.is_empty(), "a driver needs at least one lane");
@@ -128,6 +177,8 @@ impl DriverServer {
             stats: DriverStats::default(),
             inbox_scratch: Vec::new(),
             ack_batches: (0..shards).map(|_| Vec::new()).collect(),
+            gro: (gro_max_payload > 0).then(|| GroEngine::new(gro_max_payload)),
+            gro_scratch: Vec::new(),
         }
     }
 
@@ -193,7 +244,9 @@ impl DriverServer {
         self.inbox_scratch = requests;
 
         // Service the device and deliver received frames to the IP server
-        // of the shard each frame was steered to.
+        // of the shard each frame was steered to.  Each queue's burst runs
+        // through the GRO engine first, so a run of in-order TCP segments
+        // of one connection becomes a single oversized deliver message.
         {
             let shards = self.outboxes.len();
             let nic_arc = Arc::clone(&self.nic);
@@ -201,9 +254,25 @@ impl DriverServer {
             nic.poll();
             let queues = nic.queues();
             for queue in 0..queues {
-                while let Some(frame) = nic.receive_on(queue) {
-                    work += 1;
-                    let shard = queue.min(shards - 1);
+                let shard = queue.min(shards - 1);
+                let mut ready = std::mem::take(&mut self.gro_scratch);
+                match self.gro.as_mut() {
+                    Some(engine) => {
+                        while let Some(frame) = nic.receive_on(queue) {
+                            work += 1;
+                            engine.push(frame, &mut ready);
+                        }
+                        // A merge never outlives its queue's burst.
+                        engine.flush(&mut ready);
+                    }
+                    None => {
+                        while let Some(frame) = nic.receive_on(queue) {
+                            work += 1;
+                            ready.push(frame);
+                        }
+                    }
+                }
+                for frame in ready.drain(..) {
                     if is_arp(&frame) || (shards > 1 && is_handshake_syn(&frame)) {
                         // ARP feeds every replica's private cache; a
                         // connection-opening SYN must reach whichever shard
@@ -215,6 +284,12 @@ impl DriverServer {
                         self.deliver(shard, &frame);
                     }
                 }
+                self.gro_scratch = ready;
+            }
+            if let Some(engine) = self.gro.as_ref() {
+                let gro_stats = engine.stats();
+                self.stats.rx_coalesced = gro_stats.coalesced;
+                self.stats.rx_merged = gro_stats.merged_out;
             }
         }
 
@@ -411,6 +486,65 @@ mod tests {
         }
         assert_eq!(rig.driver.stats().rx_delivered, 1);
         assert_eq!(rig.driver.stats().rx_steered[0], 1);
+    }
+
+    /// Builds an in-order TCP data frame towards the stack.
+    fn tcp_data_frame(seq: u32, payload: Vec<u8>) -> Vec<u8> {
+        use newt_net::wire::{TcpFlags, TcpSegment};
+        let src = Ipv4Addr::new(10, 0, 0, 2);
+        let dst = Ipv4Addr::new(10, 0, 0, 1);
+        let mut seg = TcpSegment::control(50_000, 80, seq, 9, TcpFlags::PSH_ACK);
+        seg.window = 65_000;
+        seg.payload = payload;
+        EthernetFrame::new(
+            MacAddr::from_index(0),
+            MacAddr::from_index(200),
+            EtherType::Ipv4,
+            Ipv4Packet::new(src, dst, IpProtocol::Tcp, seg.build(src, dst)).build(),
+        )
+        .build()
+    }
+
+    #[test]
+    fn consecutive_tcp_segments_become_one_deliver_message() {
+        let mut rig = rig();
+        // Three in-order segments of one flow arrive in a single poll
+        // batch: the driver coalesces them into one oversized frame and
+        // IP gets ONE deliver message instead of three.
+        for (i, len) in [100usize, 200, 300].iter().enumerate() {
+            let seq = 1_000 + (0..i).map(|j| [100u32, 200, 300][j]).sum::<u32>();
+            rig.peer_port
+                .transmit(tcp_data_frame(seq, vec![i as u8; *len]));
+        }
+        rig.driver.poll();
+        let delivered = drain(&rig.from_driver);
+        match &delivered[..] {
+            [DrvToIp::Received { ptr, .. }] => {
+                let frame = rig.driver.rx_pools[0].read(ptr).unwrap();
+                let eth = EthernetFrame::parse(&frame).unwrap();
+                let ip = Ipv4Packet::parse(&eth.payload).unwrap();
+                let seg = newt_net::wire::TcpSegment::parse(&ip.payload, ip.src, ip.dst).unwrap();
+                assert_eq!(seg.payload.len(), 600, "payloads concatenated");
+            }
+            other => panic!("expected one merged delivery, got {other:?}"),
+        }
+        let stats = rig.driver.stats();
+        assert_eq!(stats.rx_coalesced, 2, "two frames were absorbed");
+        assert_eq!(stats.rx_merged, 1);
+        assert_eq!(stats.rx_delivered, 1);
+    }
+
+    #[test]
+    fn gro_disabled_driver_delivers_frame_per_frame() {
+        let mut rig = rig();
+        rig.driver.gro = None;
+        rig.peer_port
+            .transmit(tcp_data_frame(1_000, vec![1u8; 100]));
+        rig.peer_port
+            .transmit(tcp_data_frame(1_100, vec![2u8; 100]));
+        rig.driver.poll();
+        assert_eq!(drain(&rig.from_driver).len(), 2);
+        assert_eq!(rig.driver.stats().rx_coalesced, 0);
     }
 
     #[test]

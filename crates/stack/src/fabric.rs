@@ -210,6 +210,7 @@ impl<T> Rx<T> {
 pub struct Chan<T> {
     tx_slot: Arc<Slot<Sender<T>>>,
     rx_slot: Arc<Slot<Receiver<T>>>,
+    stats: spsc::StatsHandle,
 }
 
 impl<T> Clone for Chan<T> {
@@ -217,18 +218,29 @@ impl<T> Clone for Chan<T> {
         Chan {
             tx_slot: Arc::clone(&self.tx_slot),
             rx_slot: Arc::clone(&self.rx_slot),
+            stats: self.stats.clone(),
         }
     }
 }
 
-impl<T> Chan<T> {
+impl<T: Send + 'static> Chan<T> {
     /// Creates a channel with room for `capacity` messages.
     pub fn new(capacity: usize) -> Self {
         let (tx, rx) = spsc::channel(capacity);
+        let stats = tx.stats_handle();
         Chan {
             tx_slot: Slot::new(tx),
             rx_slot: Slot::new(rx),
+            stats,
         }
+    }
+
+    /// Returns an observer handle onto this lane's traffic counters
+    /// (messages enqueued/dequeued), readable while the endpoints live
+    /// inside the server threads.  This is what the per-shard fabric
+    /// message accounting is built from.
+    pub fn stats_handle(&self) -> spsc::StatsHandle {
+        self.stats.clone()
     }
 
     /// Returns a handle to the sending end.

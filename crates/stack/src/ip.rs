@@ -178,6 +178,10 @@ pub struct IpServer {
     transport_scratch: Vec<TransportToIp>,
     pf_scratch: Vec<PfToIp>,
     drv_scratch: Vec<DrvToIp>,
+    /// Filter checks accumulated during the current poll round and flushed
+    /// to the packet filter as **one** [`IpToPf::CheckBatch`] message per
+    /// round — the per-packet pf round trip amortised over the burst.
+    check_batch: Vec<(RequestId, PacketMeta)>,
 }
 
 impl IpServer {
@@ -251,6 +255,7 @@ impl IpServer {
             transport_scratch: Vec::new(),
             pf_scratch: Vec::new(),
             drv_scratch: Vec::new(),
+            check_batch: Vec::new(),
         }
     }
 
@@ -301,8 +306,14 @@ impl IpServer {
         self.from_pf.drain_into(&mut verdicts);
         for msg in verdicts.drain(..) {
             work += 1;
-            let PfToIp::Verdict { req, pass } = msg;
-            self.handle_verdict(req, pass);
+            match msg {
+                PfToIp::Verdict { req, pass } => self.handle_verdict(req, pass),
+                PfToIp::VerdictBatch(batch) => {
+                    for (req, pass) in batch {
+                        self.handle_verdict(req, pass);
+                    }
+                }
+            }
         }
         self.pf_scratch = verdicts;
 
@@ -320,7 +331,25 @@ impl IpServer {
         }
         self.drv_scratch = from_drivers;
 
+        self.flush_checks();
         work
+    }
+
+    /// Queues a filter check for this poll round's batch.
+    fn queue_check(&mut self, req: RequestId, meta: PacketMeta) {
+        self.check_batch.push((req, meta));
+    }
+
+    /// Sends every check queued this round as one message.  On failure (the
+    /// filter's queue is full or the filter is gone) the checks stay pending
+    /// in the request database and are resubmitted when the filter's crash
+    /// event aborts them — exactly the per-check behaviour before batching.
+    fn flush_checks(&mut self) {
+        if self.check_batch.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.check_batch);
+        send(&self.to_pf, IpToPf::CheckBatch(batch));
     }
 
     // ---- outbound path ------------------------------------------------------
@@ -354,11 +383,20 @@ impl IpServer {
                 self.stage_filter_outbound(pkt);
             }
             TransportToIp::RxDone { ptr } => {
-                self.lent_rx.remove(&ptr);
-                if self.rx_pool.free(&ptr).is_ok() {
-                    self.stats.rx_freed += 1;
+                self.release_rx(ptr);
+            }
+            TransportToIp::RxDoneBatch(ptrs) => {
+                for ptr in ptrs {
+                    self.release_rx(ptr);
                 }
             }
+        }
+    }
+
+    fn release_rx(&mut self, ptr: RichPtr) {
+        self.lent_rx.remove(&ptr);
+        if self.rx_pool.free(&ptr).is_ok() {
+            self.stats.rx_freed += 1;
         }
     }
 
@@ -383,11 +421,7 @@ impl IpServer {
             AbortPolicy::Resubmit,
             PendingCheck::Outbound(pkt),
         );
-        if !send(&self.to_pf, IpToPf::Check { req, meta }) {
-            // The filter's queue is full or the filter is gone; the check
-            // stays pending and will be resubmitted when the filter is back
-            // (its crash produces an abort of this very request).
-        }
+        self.queue_check(req, meta);
     }
 
     fn handle_verdict(&mut self, req: RequestId, pass: bool) {
@@ -576,7 +610,7 @@ impl IpServer {
                         AbortPolicy::Resubmit,
                         PendingCheck::Inbound { ptr, nic },
                     );
-                    send(&self.to_pf, IpToPf::Check { req, meta });
+                    self.queue_check(req, meta);
                 } else {
                     self.continue_inbound(nic, ptr);
                 }
@@ -805,7 +839,9 @@ impl IpServer {
                     .pf_reqs
                     .submit(endpoints::PF, AbortPolicy::Resubmit, pending);
                 self.stats.resubmitted_checks += 1;
-                send(&self.to_pf, IpToPf::Check { req, meta });
+                // Queued like first-time checks: the whole resubmission goes
+                // out as one batch at the end of this poll round.
+                self.queue_check(req, meta);
             }
         } else if event.name == self.tcp_name || event.name == self.udp_name {
             // The transport will never send RxDone for the chunks it was
@@ -976,6 +1012,16 @@ mod tests {
         Ipv4Addr::new(10, 0, 0, 2)
     }
 
+    /// Flattens single checks and check batches into `(req, meta)` pairs.
+    fn checks_in(msgs: &[IpToPf]) -> Vec<(RequestId, PacketMeta)> {
+        msgs.iter()
+            .flat_map(|m| match m {
+                IpToPf::Check { req, meta } => vec![(*req, *meta)],
+                IpToPf::CheckBatch(batch) => batch.clone(),
+            })
+            .collect()
+    }
+
     /// Injects a received frame as the driver would.
     fn inject_frame(rig: &mut Rig, frame: Vec<u8>) {
         let ptr = rig.rx_pool.publish(&frame).unwrap();
@@ -1099,10 +1145,10 @@ mod tests {
         inject_frame(&mut rig, frame.build());
 
         // The packet went to the filter, not yet to TCP.
-        let checks = drain(&rig.ip_to_pf);
+        let checks = checks_in(&drain(&rig.ip_to_pf));
         assert_eq!(checks.len(), 1);
         assert!(drain(&rig.ip_to_tcp).is_empty());
-        let IpToPf::Check { req, meta } = &checks[0];
+        let (req, meta) = &checks[0];
         assert_eq!(meta.direction, Direction::Inbound);
         assert_eq!(meta.dst_port, 40000);
 
@@ -1143,8 +1189,8 @@ mod tests {
             packet.build(),
         );
         inject_frame(&mut rig, frame.build());
-        let checks = drain(&rig.ip_to_pf);
-        let IpToPf::Check { req, .. } = &checks[0];
+        let checks = checks_in(&drain(&rig.ip_to_pf));
+        let (req, _) = &checks[0];
         send(
             &rig.pf_to_ip,
             PfToIp::Verdict {

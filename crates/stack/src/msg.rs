@@ -124,6 +124,12 @@ pub enum TransportToIp {
         /// The chunk to release.
         ptr: RichPtr,
     },
+    /// Every RX chunk the transport finished with during one poll round —
+    /// one message per burst instead of one per frame (receive fast path).
+    RxDoneBatch(
+        /// The chunks to release.
+        Vec<RichPtr>,
+    ),
 }
 
 /// Messages from the IP server to a transport server.
@@ -154,6 +160,13 @@ pub enum IpToPf {
         /// Metadata the rules are evaluated against.
         meta: PacketMeta,
     },
+    /// Every check IP accumulated during one poll round — one message per
+    /// burst instead of one per packet, answered by a single
+    /// [`PfToIp::VerdictBatch`].
+    CheckBatch(
+        /// The checks, in submission order.
+        Vec<(RequestId, PacketMeta)>,
+    ),
 }
 
 /// Replies from the packet filter to the IP server.
@@ -166,6 +179,11 @@ pub enum PfToIp {
         /// `true` to let the packet through.
         pass: bool,
     },
+    /// The verdicts for a whole [`IpToPf::CheckBatch`], in check order.
+    VerdictBatch(
+        /// `(request, pass)` per checked packet.
+        Vec<(RequestId, bool)>,
+    ),
 }
 
 /// Requests from the packet filter to a transport server (used to rebuild

@@ -355,6 +355,21 @@ impl PacketFilterServer {
                         }
                         self.verdict_batch.push(PfToIp::Verdict { req, pass });
                     }
+                    IpToPf::CheckBatch(batch) => {
+                        // A whole burst of packets in one message; the
+                        // verdicts go back as one message too.
+                        let mut verdicts = Vec::with_capacity(batch.len());
+                        for (req, meta) in batch {
+                            work += 1;
+                            self.checked += 1;
+                            let pass = self.verdict(&meta);
+                            if !pass {
+                                self.blocked += 1;
+                            }
+                            verdicts.push((req, pass));
+                        }
+                        self.verdict_batch.push(PfToIp::VerdictBatch(verdicts));
+                    }
                 }
             }
             self.outboxes[shard].send_batch(&mut self.verdict_batch);
@@ -443,8 +458,34 @@ mod tests {
         rig.pf.poll();
         match drain(&rig.from_pf).pop() {
             Some(PfToIp::Verdict { pass, .. }) => pass,
+            Some(PfToIp::VerdictBatch(batch)) => batch.last().expect("verdict").1,
             None => panic!("no verdict"),
         }
+    }
+
+    #[test]
+    fn a_check_batch_is_answered_with_one_verdict_batch() {
+        let mut rig = build(StartMode::Fresh, vec![], Arc::new(StorageServer::new()));
+        let batch: Vec<(RequestId, PacketMeta)> = (0..5)
+            .map(|i| {
+                (
+                    RequestId::from_raw(i),
+                    meta(Direction::Inbound, 1000 + i as u16, 80),
+                )
+            })
+            .collect();
+        send(&rig.to_pf, IpToPf::CheckBatch(batch));
+        rig.pf.poll();
+        let replies = drain(&rig.from_pf);
+        match &replies[..] {
+            [PfToIp::VerdictBatch(verdicts)] => {
+                assert_eq!(verdicts.len(), 5, "one verdict per check");
+                assert!(verdicts.iter().all(|(_, pass)| *pass));
+                assert_eq!(verdicts[0].0, RequestId::from_raw(0));
+            }
+            other => panic!("expected one verdict batch, got {other:?}"),
+        }
+        assert_eq!(rig.pf.stats().checked, 5);
     }
 
     #[test]

@@ -9,10 +9,58 @@
 //! the server side.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
+
+/// A shard-wide wake-up list for shared socket buffers.
+///
+/// Protocol servers used to discover application writes by draining **every**
+/// socket's send queue on **every** poll — an O(all sockets) scan (plus one
+/// buffer-mutex acquisition per socket) that dominates the event loop once a
+/// few hundred mostly-idle keep-alive connections are open.  A doorbell
+/// inverts the flow: the buffer *tells* its server which socket has work, and
+/// the server's per-poll cost becomes O(sockets that rang).
+///
+/// The doorbell is owned by the stack fabric (like the lanes), so it
+/// survives server restarts; each [`SocketBuffer`] rings at most once per
+/// service round (a `wake_pending` flag suppresses repeats until the server
+/// re-arms by draining).
+#[derive(Debug, Default)]
+pub struct Doorbell {
+    rung: Mutex<Vec<u64>>,
+}
+
+impl Doorbell {
+    /// Creates an empty doorbell.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records that socket `id` has application-side work.
+    pub fn ring(&self, id: u64) {
+        self.rung.lock().push(id);
+    }
+
+    /// Moves every rung socket id into `out` (a reused scratch buffer) and
+    /// returns how many there were.
+    pub fn drain_into(&self, out: &mut Vec<u64>) -> usize {
+        let mut rung = self.rung.lock();
+        let n = rung.len();
+        out.append(&mut rung);
+        n
+    }
+}
+
+/// The doorbell registration of one socket buffer.
+#[derive(Debug)]
+struct NotifyTarget {
+    doorbell: Arc<Doorbell>,
+    id: u64,
+}
 
 /// Errors surfaced to the application through a socket.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -104,6 +152,12 @@ pub struct SocketBuffer {
     recv_capacity: usize,
     readable: Condvar,
     writable: Condvar,
+    /// `true` once the buffer has rung its doorbell and the server has not
+    /// yet re-armed by servicing the socket; suppresses repeat rings so a
+    /// write burst costs one doorbell entry, not one per `write`.
+    wake_pending: AtomicBool,
+    /// Where to announce application-side work (send-queue writes, close).
+    notify: Mutex<Option<NotifyTarget>>,
 }
 
 impl SocketBuffer {
@@ -115,6 +169,32 @@ impl SocketBuffer {
             recv_capacity,
             readable: Condvar::new(),
             writable: Condvar::new(),
+            wake_pending: AtomicBool::new(false),
+            notify: Mutex::new(None),
+        }
+    }
+
+    /// Registers (or replaces, after a server restart) the doorbell this
+    /// buffer rings when the application queues work, and rings it once so
+    /// anything already buffered is discovered.
+    pub fn attach_doorbell(&self, doorbell: Arc<Doorbell>, id: u64) {
+        *self.notify.lock() = Some(NotifyTarget { doorbell, id });
+        self.wake_pending.store(false, Ordering::Release);
+        self.ring_doorbell();
+    }
+
+    /// Re-arms the doorbell; the server calls this right *before* draining
+    /// the send queue so a concurrent application write can never be lost
+    /// (it re-rings after the drain instead).
+    pub fn rearm_doorbell(&self) {
+        self.wake_pending.store(false, Ordering::Release);
+    }
+
+    fn ring_doorbell(&self) {
+        if !self.wake_pending.swap(true, Ordering::AcqRel) {
+            if let Some(target) = self.notify.lock().as_ref() {
+                target.doorbell.ring(target.id);
+            }
         }
     }
 
@@ -151,6 +231,8 @@ impl SocketBuffer {
                 let n = space.min(data.len());
                 inner.send.extend(&data[..n]);
                 self.readable.notify_all();
+                drop(inner);
+                self.ring_doorbell();
                 return Ok(n);
             }
             if timeout.is_zero() {
@@ -234,9 +316,12 @@ impl SocketBuffer {
     /// Marks the socket as closed by the application (the server sends FIN
     /// once the send buffer drains).
     pub fn close(&self) {
-        let mut inner = self.inner.lock();
-        inner.closed_by_app = true;
-        self.readable.notify_all();
+        {
+            let mut inner = self.inner.lock();
+            inner.closed_by_app = true;
+            self.readable.notify_all();
+        }
+        self.ring_doorbell();
     }
 
     // ---- protocol-server side ---------------------------------------------

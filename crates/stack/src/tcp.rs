@@ -16,7 +16,7 @@
 //! send requests towards the IP server are resubmitted under fresh request
 //! identifiers after an IP crash.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::Duration;
@@ -42,7 +42,97 @@ use crate::msg::{
     poll_bits, FlowTuple, IpToTransport, PfToTransport, SockId, SockReply, SockRequest,
     TransportToIp, TransportToPf,
 };
-use crate::sockbuf::{SockError, SocketBuffer};
+use crate::sockbuf::{Doorbell, SockError, SocketBuffer};
+
+/// Number of slots in the hashed retransmission/ACK timer wheel.
+const WHEEL_SLOTS: usize = 64;
+/// Virtual-time width of one wheel slot.
+const WHEEL_TICK: Duration = Duration::from_millis(5);
+
+/// What a timer-wheel entry asks the server to do when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TimerKind {
+    /// Check the socket's retransmission deadline.
+    Rto,
+    /// Flush the socket's delayed ACK.
+    DelayedAck,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TimerEntry {
+    sock: SockId,
+    kind: TimerKind,
+    deadline: Duration,
+}
+
+/// A hashed timer wheel: deadlines hash into one of [`WHEEL_SLOTS`] buckets
+/// by tick index, and each poll scans only the buckets the clock moved
+/// through since the previous poll.  Per-poll cost is therefore proportional
+/// to the timers that actually fired, not to the socket population — the
+/// scheduling half of making `poll` O(active).
+///
+/// Entries are *lazily validated*: firing hands the (sock, kind) pair back
+/// to the server, which compares against the socket's **current** deadline
+/// and re-arms when the deadline moved (an ACK pushing the RTO out does not
+/// touch the wheel at all).  An entry whose deadline lies further than one
+/// wheel revolution away simply stays in its bucket and is examined once
+/// per revolution.
+#[derive(Debug)]
+struct TimerWheel {
+    slots: Vec<Vec<TimerEntry>>,
+    /// Last tick whose bucket was scanned.
+    cursor: u64,
+}
+
+impl TimerWheel {
+    fn new(now: Duration) -> Self {
+        TimerWheel {
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            cursor: Self::tick_of(now),
+        }
+    }
+
+    fn tick_of(t: Duration) -> u64 {
+        (t.as_nanos() / WHEEL_TICK.as_nanos()) as u64
+    }
+
+    /// Registers a timer.  The bucket is the tick *after* the deadline's, so
+    /// a fired entry is always past due — never early; a deadline already in
+    /// the past lands in the next bucket to be scanned.
+    fn insert(&mut self, sock: SockId, kind: TimerKind, deadline: Duration) {
+        let tick = Self::tick_of(deadline) + 1;
+        let tick = tick.max(self.cursor + 1);
+        self.slots[(tick % WHEEL_SLOTS as u64) as usize].push(TimerEntry {
+            sock,
+            kind,
+            deadline,
+        });
+    }
+
+    /// Moves every entry that is due at `now` into `due`, scanning only the
+    /// buckets between the previous call and `now`.
+    fn expire(&mut self, now: Duration, due: &mut Vec<TimerEntry>) {
+        let now_tick = Self::tick_of(now);
+        if now_tick <= self.cursor {
+            return;
+        }
+        let span = (now_tick - self.cursor).min(WHEEL_SLOTS as u64);
+        for offset in 1..=span {
+            let slot = ((self.cursor + offset) % WHEEL_SLOTS as u64) as usize;
+            let entries = &mut self.slots[slot];
+            let mut i = 0;
+            while i < entries.len() {
+                if entries[i].deadline <= now {
+                    due.push(entries.swap_remove(i));
+                } else {
+                    // More than one revolution away: stays for a later pass.
+                    i += 1;
+                }
+            }
+        }
+        self.cursor = now_tick;
+    }
+}
 
 /// Configuration of the TCP server.
 #[derive(Debug, Clone)]
@@ -74,6 +164,13 @@ pub struct TcpConfig {
     /// into every NIC — the stack builder enforces that by programming
     /// this key into the adapters it creates.
     pub rss_key: RssKey,
+    /// How long a pure ACK for in-order data may be delayed (virtual time),
+    /// hoping to piggyback on response data instead of costing its own trip
+    /// through ip, pf and the driver.  RFC 1122 semantics are preserved: at
+    /// least every second full-sized segment is acknowledged immediately,
+    /// and out-of-order data always draws an immediate duplicate ACK so the
+    /// peer's fast retransmit still works.  `ZERO` disables delaying.
+    pub delayed_ack: Duration,
 }
 
 impl Default for TcpConfig {
@@ -88,6 +185,7 @@ impl Default for TcpConfig {
             window_scale: 16,
             shard_send_budget: 4 * 1024 * 1024,
             rss_key: RssKey::default(),
+            delayed_ack: Duration::from_millis(40),
         }
     }
 }
@@ -101,12 +199,24 @@ pub struct TcpStats {
     pub segments_out: u64,
     /// Retransmissions (timeout or fast retransmit).
     pub retransmissions: u64,
+    /// The subset of retransmissions triggered by three duplicate ACKs
+    /// (fast retransmit) rather than by a timer.
+    pub fast_retransmits: u64,
     /// Connections that completed the three-way handshake (either side).
     pub connections_established: u64,
     /// Connections dropped because of an unrecoverable error.
     pub connections_reset: u64,
     /// Send requests resubmitted after an IP crash.
     pub resubmitted_sends: u64,
+    /// Data-carrying segments received (the denominator of the
+    /// ACKs-per-segment ratio the workload bench records).
+    pub payload_segments_in: u64,
+    /// Pure (payload-less) ACK segments emitted.  Delayed ACKs exist to
+    /// push this far below `payload_segments_in`.
+    pub pure_acks_out: u64,
+    /// Pure ACKs whose emission was avoided because outgoing data carried
+    /// the acknowledgement instead (piggyback wins).
+    pub acks_piggybacked: u64,
 }
 
 /// TCP connection states (RFC 793 subset).
@@ -174,6 +284,23 @@ struct TcpSock {
     close_requested: bool,
     fin_sent: bool,
     mss: usize,
+
+    // Delayed-ACK state.
+    /// An ACK is owed to the peer (flushed by the delayed-ACK timer unless
+    /// outgoing data piggybacks it first).
+    ack_pending: bool,
+    /// Full-sized segments accepted since the last ACK left (RFC 1122:
+    /// acknowledge at least every second one immediately).
+    segs_since_ack: u32,
+    /// A delayed-ACK wheel entry is outstanding.
+    ack_timer_armed: bool,
+
+    // O(active) scheduling state.
+    /// The earliest RTO wheel entry outstanding for this socket (`None` when
+    /// no entry is in the wheel).
+    rto_timer_at: Option<Duration>,
+    /// The socket sits in the ready queue already.
+    in_ready: bool,
 }
 
 impl TcpSock {
@@ -240,6 +367,25 @@ pub struct TcpServer {
     syscall_scratch: Vec<SockRequest>,
     ip_scratch: Vec<IpToTransport>,
     pf_scratch: Vec<PfToTransport>,
+
+    /// Sockets with work to do this round — fed by incoming segments,
+    /// socket-buffer doorbells, fired timers and syscall requests, so the
+    /// data pump touches only them instead of scanning the whole table.
+    /// RX chunks finished with this poll round, returned to IP as one
+    /// [`TransportToIp::RxDoneBatch`] per round.
+    rxdone_batch: Vec<RichPtr>,
+    ready: VecDeque<SockId>,
+    /// RTO and delayed-ACK deadlines.
+    wheel: TimerWheel,
+    /// Rung by socket buffers when the application queues work; owned by
+    /// the stack fabric so it survives restarts.
+    doorbell: Arc<Doorbell>,
+    doorbell_scratch: Vec<u64>,
+    timer_scratch: Vec<TimerEntry>,
+    /// Cached count of actively sending connections (the divisor of the
+    /// shard send budget); recomputed only when a connection state changed.
+    active_senders: usize,
+    senders_dirty: bool,
 }
 
 impl TcpServer {
@@ -262,9 +408,11 @@ impl TcpServer {
         from_pf: Rx<PfToTransport>,
         to_pf: Tx<TransportToPf>,
         crash_board: CrashBoard,
+        doorbell: Arc<Doorbell>,
     ) -> Self {
         let crash_cursor = crash_board.len();
         let rss_key = config.rss_key;
+        let wheel = TimerWheel::new(clock.now());
         let mut server = TcpServer {
             config,
             generation,
@@ -296,6 +444,14 @@ impl TcpServer {
             syscall_scratch: Vec::new(),
             ip_scratch: Vec::new(),
             pf_scratch: Vec::new(),
+            rxdone_batch: Vec::new(),
+            ready: VecDeque::new(),
+            wheel,
+            doorbell,
+            doorbell_scratch: Vec::new(),
+            timer_scratch: Vec::new(),
+            active_senders: 0,
+            senders_dirty: true,
         };
         if mode == StartMode::Restart {
             server.tx_pool.reset();
@@ -337,6 +493,7 @@ impl TcpServer {
                     .registry
                     .attach_shared(self.endpoint, &buffer_name)
                     .unwrap_or_else(|_| Arc::new(SocketBuffer::with_defaults()));
+                buffer.attach_doorbell(Arc::clone(&self.doorbell), summary.id);
                 let sock = self.blank_socket(summary.id, buffer);
                 let mut sock = sock;
                 sock.state = TcpState::Listen;
@@ -409,12 +566,23 @@ impl TcpServer {
             close_requested: false,
             fin_sent: false,
             mss: self.config.mss,
+            ack_pending: false,
+            segs_since_ack: 0,
+            ack_timer_armed: false,
+            rto_timer_at: None,
+            in_ready: false,
         }
     }
 
     // ---- main loop ----------------------------------------------------------
 
     /// Runs one iteration of the event loop; returns the amount of work done.
+    ///
+    /// Per-round cost is O(messages + sockets with work): incoming segments,
+    /// syscall requests, rung doorbells and fired timers enqueue their
+    /// socket on the ready list, and only the ready list is pumped — the
+    /// hundreds of idle keep-alive connections a loaded HTTP server holds
+    /// open cost nothing.
     pub fn poll(&mut self) -> usize {
         let mut work = 0;
 
@@ -454,8 +622,178 @@ impl TcpServer {
         }
         self.pf_scratch = from_pf;
 
-        work += self.pump_sockets();
+        if !self.rxdone_batch.is_empty() {
+            let batch = std::mem::take(&mut self.rxdone_batch);
+            send(&self.to_ip, TransportToIp::RxDoneBatch(batch));
+        }
+
+        work += self.expire_timers();
+        work += self.pump_ready();
         work
+    }
+
+    // ---- O(active) scheduling --------------------------------------------------
+
+    /// Queues a socket for pumping (idempotent while it is queued).
+    fn enqueue_ready(&mut self, id: SockId) {
+        if let Some(s) = self.sockets.get_mut(&id) {
+            if !s.in_ready {
+                s.in_ready = true;
+                self.ready.push_back(id);
+            }
+        }
+    }
+
+    /// Sets the retransmission deadline and makes sure a wheel entry exists
+    /// that fires no later than it.
+    fn arm_rto(&mut self, id: SockId, deadline: Duration) {
+        let Some(s) = self.sockets.get_mut(&id) else {
+            return;
+        };
+        s.rto_deadline = Some(deadline);
+        let needs_entry = match s.rto_timer_at {
+            Some(armed) => deadline < armed,
+            None => true,
+        };
+        if needs_entry {
+            s.rto_timer_at = Some(deadline);
+            self.wheel.insert(id, TimerKind::Rto, deadline);
+        }
+    }
+
+    /// Fires due RTO and delayed-ACK timers.  Entries are validated against
+    /// the socket's current state — a deadline that moved re-arms instead
+    /// of firing.
+    fn expire_timers(&mut self) -> usize {
+        let now = self.clock.now();
+        let mut due = std::mem::take(&mut self.timer_scratch);
+        self.wheel.expire(now, &mut due);
+        let mut work = 0;
+        for entry in due.drain(..) {
+            match entry.kind {
+                TimerKind::Rto => {
+                    let current = {
+                        let Some(s) = self.sockets.get_mut(&entry.sock) else {
+                            continue;
+                        };
+                        if s.rto_timer_at == Some(entry.deadline) {
+                            s.rto_timer_at = None;
+                        }
+                        if s.flight() == 0 {
+                            continue;
+                        }
+                        s.rto_deadline
+                    };
+                    match current {
+                        Some(deadline) if deadline <= now => {
+                            work += 1;
+                            self.retransmit(entry.sock, true);
+                            self.enqueue_ready(entry.sock);
+                        }
+                        Some(deadline) => self.arm_rto(entry.sock, deadline),
+                        None => {}
+                    }
+                }
+                TimerKind::DelayedAck => {
+                    let flush = {
+                        let Some(s) = self.sockets.get_mut(&entry.sock) else {
+                            continue;
+                        };
+                        s.ack_timer_armed = false;
+                        s.ack_pending
+                    };
+                    if flush {
+                        work += 1;
+                        self.emit_pure_ack(entry.sock);
+                    }
+                }
+            }
+        }
+        self.timer_scratch = due;
+        work
+    }
+
+    /// Records that an ACK is owed for socket `id`.  `immediate` short-cuts
+    /// the delay (out-of-order data, second full segment, handshake, FIN);
+    /// otherwise the ACK waits up to `delayed_ack` for response data to
+    /// piggyback on.
+    fn schedule_ack(&mut self, id: SockId, immediate: bool) {
+        if immediate || self.config.delayed_ack.is_zero() {
+            self.emit_pure_ack(id);
+            return;
+        }
+        let now = self.clock.now();
+        let deadline = now + self.config.delayed_ack;
+        let arm = {
+            let Some(s) = self.sockets.get_mut(&id) else {
+                return;
+            };
+            s.ack_pending = true;
+            let arm = !s.ack_timer_armed;
+            s.ack_timer_armed = true;
+            arm
+        };
+        if arm {
+            self.wheel.insert(id, TimerKind::DelayedAck, deadline);
+        }
+    }
+
+    /// Emits a pure ACK now and clears the delayed-ACK state.
+    fn emit_pure_ack(&mut self, id: SockId) {
+        let info = {
+            let Some(s) = self.sockets.get_mut(&id) else {
+                return;
+            };
+            s.ack_pending = false;
+            s.segs_since_ack = 0;
+            // `Closed` is *not* excluded: a socket that just processed the
+            // peer's FIN is Closed-and-about-to-be-removed but still owes
+            // the final ACK of that FIN (a blank Closed socket has no
+            // remote and stays silent).
+            if matches!(s.state, TcpState::SynSent | TcpState::Listen) {
+                None
+            } else {
+                s.remote
+                    .map(|(_, port)| (s.local_port, port, s.snd_nxt, s.rcv_nxt))
+            }
+        };
+        if let Some((local_port, dst_port, snd_nxt, rcv_nxt)) = info {
+            let seg = TcpSegment::control(local_port, dst_port, snd_nxt, rcv_nxt, TcpFlags::ACK);
+            self.stats.pure_acks_out += 1;
+            self.emit_segment(id, seg, &[], false);
+        }
+    }
+
+    /// Clears a pending delayed ACK because an outgoing segment carried the
+    /// acknowledgement.
+    fn note_piggyback(&mut self, id: SockId) {
+        if let Some(s) = self.sockets.get_mut(&id) {
+            if s.ack_pending {
+                s.ack_pending = false;
+                s.segs_since_ack = 0;
+                self.stats.acks_piggybacked += 1;
+            }
+        }
+    }
+
+    /// Returns the per-connection share of the shard send budget,
+    /// recomputing the active-sender count only after connection state
+    /// changed (data transfer leaves it untouched).
+    fn budget_share(&mut self) -> u32 {
+        if self.senders_dirty {
+            self.senders_dirty = false;
+            self.active_senders = self
+                .sockets
+                .values()
+                .filter(|s| {
+                    matches!(s.state, TcpState::Established | TcpState::CloseWait)
+                        && s.remote.is_some()
+                })
+                .count();
+        }
+        (self.config.shard_send_budget / self.active_senders.max(1))
+            .max(self.config.mss)
+            .min(u32::MAX as usize) as u32
     }
 
     fn flows(&self) -> Vec<FlowTuple> {
@@ -482,6 +820,7 @@ impl TcpServer {
                     self.config.buffer_capacity,
                     self.config.buffer_capacity,
                 ));
+                buffer.attach_doorbell(Arc::clone(&self.doorbell), id);
                 let _ = self.registry.publish_shared(
                     self.endpoint,
                     self.generation,
@@ -586,6 +925,10 @@ impl TcpServer {
             SockRequest::Close { sock, .. } => {
                 let reply = self.close(sock);
                 self.persist_sockets();
+                self.senders_dirty = true;
+                // FIN emission (once the send buffer drains) happens in the
+                // pump, so put the socket on the ready list.
+                self.enqueue_ready(sock);
                 send(&self.to_syscall, reply_for(req, reply));
             }
         }
@@ -668,11 +1011,15 @@ impl TcpServer {
         s.snd_una = isn;
         s.snd_nxt = isn.wrapping_add(1);
         s.pending_connect = Some(req);
+        let rto = s.rto;
         let mut syn = TcpSegment::control(local_port, port, isn, 0, TcpFlags::SYN);
         syn.mss = Some(self.config.mss as u16);
         syn.window = s.buffer.recv_space().min(65_535) as u16;
         self.persist_sockets();
-        self.emit_segment(sock, syn, Vec::new(), true);
+        self.emit_segment(sock, syn, &[], true);
+        // A lost SYN is recovered by the RTO like any other segment.
+        let deadline = self.clock.now() + rto;
+        self.arm_rto(sock, deadline);
         Ok(())
     }
 
@@ -743,11 +1090,15 @@ impl TcpServer {
     // ---- segment transmission -------------------------------------------------
 
     /// Hands one TCP segment (header + optional payload) to the IP server.
+    ///
+    /// The payload is borrowed: it is published straight into the shared TX
+    /// pool, so callers (the data pump, retransmission) never build an
+    /// intermediate copy.
     fn emit_segment(
         &mut self,
         sock: SockId,
         mut segment: TcpSegment,
-        payload: Vec<u8>,
+        payload: &[u8],
         is_connection_start: bool,
     ) {
         let Some(s) = self.sockets.get(&sock) else {
@@ -757,18 +1108,16 @@ impl TcpServer {
             return;
         };
         segment.window = s.buffer.recv_space().min(65_535) as u16;
-        segment.payload = payload;
         // Build the header bytes with a zero checksum (software checksumming
-        // happens in IP, hardware checksumming in the NIC).
-        let header_len = segment.wire_len() - segment.payload.len();
+        // happens in IP, hardware checksumming in the NIC); the payload is
+        // not embedded, so `build` yields exactly the header + options.
         let mut header = segment.build(Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED);
-        header.truncate(header_len);
         header[16] = 0;
         header[17] = 0;
 
         let mut chain = RichChain::new();
-        if !segment.payload.is_empty() {
-            match self.tx_pool.publish(&segment.payload) {
+        if !payload.is_empty() {
+            match self.tx_pool.publish(payload) {
                 Ok(ptr) => chain.push(ptr),
                 Err(_) => return, // pool exhausted: drop, RTO recovers
             }
@@ -816,26 +1165,33 @@ impl TcpServer {
 
     // ---- data pump -------------------------------------------------------------
 
-    /// Moves data from socket buffers into segments, handles retransmission
-    /// timers and FIN emission.  Returns the amount of work done.
-    fn pump_sockets(&mut self) -> usize {
-        let now = self.clock.now();
+    /// Pumps every socket with pending work: doorbell-rung buffers (the
+    /// application wrote or closed) plus sockets queued by incoming
+    /// segments, timers and syscalls.  Idle sockets cost nothing.
+    fn pump_ready(&mut self) -> usize {
         let mut work = 0;
-        // This shard's in-flight budget is divided evenly among the
-        // connections that are actively sending (tcp_mem-style accounting);
-        // replicating the stack replicates the budget.
-        let active_senders = self
-            .sockets
-            .values()
-            .filter(|s| {
-                matches!(s.state, TcpState::Established | TcpState::CloseWait) && s.remote.is_some()
-            })
-            .count();
-        let budget_share = (self.config.shard_send_budget / active_senders.max(1))
-            .max(self.config.mss)
-            .min(u32::MAX as usize) as u32;
-        let ids: Vec<SockId> = self.sockets.keys().copied().collect();
-        for id in ids {
+        let mut rung = std::mem::take(&mut self.doorbell_scratch);
+        self.doorbell.drain_into(&mut rung);
+        for id in rung.drain(..) {
+            work += 1;
+            self.enqueue_ready(id);
+        }
+        self.doorbell_scratch = rung;
+
+        if self.ready.is_empty() {
+            return work;
+        }
+        let now = self.clock.now();
+        let budget_share = self.budget_share();
+        while let Some(id) = self.ready.pop_front() {
+            if let Some(s) = self.sockets.get_mut(&id) {
+                s.in_ready = false;
+                // Re-arm *before* draining so a write racing the drain
+                // re-rings instead of being lost.
+                s.buffer.rearm_doorbell();
+            } else {
+                continue;
+            }
             work += self.pump_one(id, now, budget_share);
         }
         work
@@ -843,22 +1199,11 @@ impl TcpServer {
 
     fn pump_one(&mut self, id: SockId, now: Duration, budget_share: u32) -> usize {
         let mut work = 0;
-
-        // Retransmission timeout.
-        let timed_out = {
-            let Some(s) = self.sockets.get(&id) else {
-                return 0;
-            };
-            matches!(s.rto_deadline, Some(deadline) if now >= deadline && s.flight() > 0)
-        };
-        if timed_out {
-            work += 1;
-            self.retransmit(id, true);
-        }
+        let mut sent_any = false;
 
         // New data.
         loop {
-            let (seq, data, dst_port_known) = {
+            let (seq, data, arm_at) = {
                 let Some(s) = self.sockets.get_mut(&id) else {
                     return work;
                 };
@@ -891,23 +1236,24 @@ impl TcpServer {
                 let seq = s.snd_nxt;
                 s.unacked.extend_from_slice(&data);
                 s.snd_nxt = s.snd_nxt.wrapping_add(data.len() as u32);
-                if s.rto_deadline.is_none() {
-                    s.rto_deadline = Some(now + s.rto);
-                }
-                (seq, data, true)
+                let arm_at = if s.rto_deadline.is_none() {
+                    Some(now + s.rto)
+                } else {
+                    None
+                };
+                (seq, data, arm_at)
             };
-            if !dst_port_known {
-                break;
+            if let Some(deadline) = arm_at {
+                self.arm_rto(id, deadline);
             }
             work += 1;
+            sent_any = true;
             let (local_port, dst_port, rcv_nxt) = {
                 let s = self.sockets.get(&id).expect("socket exists");
                 (s.local_port, s.remote.expect("remote checked").1, s.rcv_nxt)
             };
-            let mut seg =
-                TcpSegment::control(local_port, dst_port, seq, rcv_nxt, TcpFlags::PSH_ACK);
-            seg.payload.clear();
-            self.emit_segment(id, seg, data, false);
+            let seg = TcpSegment::control(local_port, dst_port, seq, rcv_nxt, TcpFlags::PSH_ACK);
+            self.emit_segment(id, seg, &data, false);
         }
 
         // FIN emission once everything is out.
@@ -923,39 +1269,52 @@ impl TcpServer {
         };
         if fin_due {
             work += 1;
-            let (local_port, dst_port, seq, rcv_nxt, next_state) = {
+            sent_any = true;
+            self.senders_dirty = true;
+            let (local_port, dst_port, seq, rcv_nxt, arm_at) = {
                 let s = self.sockets.get_mut(&id).expect("socket exists");
                 let seq = s.snd_nxt;
                 s.snd_nxt = s.snd_nxt.wrapping_add(1);
                 s.fin_sent = true;
-                let next_state = if s.state == TcpState::CloseWait {
+                s.state = if s.state == TcpState::CloseWait {
                     TcpState::LastAck
                 } else {
                     TcpState::FinWait1
                 };
-                s.state = next_state;
-                if s.rto_deadline.is_none() {
-                    s.rto_deadline = Some(now + s.rto);
-                }
+                let arm_at = if s.rto_deadline.is_none() {
+                    Some(now + s.rto)
+                } else {
+                    None
+                };
                 (
                     s.local_port,
                     s.remote.expect("remote checked").1,
                     seq,
                     s.rcv_nxt,
-                    next_state,
+                    arm_at,
                 )
             };
-            let _ = next_state;
+            if let Some(deadline) = arm_at {
+                self.arm_rto(id, deadline);
+            }
             let seg = TcpSegment::control(local_port, dst_port, seq, rcv_nxt, TcpFlags::FIN_ACK);
-            self.emit_segment(id, seg, Vec::new(), false);
+            self.emit_segment(id, seg, &[], false);
         }
 
+        if sent_any {
+            // Outgoing segments all carry the current `rcv_nxt`: any ACK
+            // that was waiting on the delayed-ACK timer just rode along.
+            self.note_piggyback(id);
+        }
         work
     }
 
     fn retransmit(&mut self, id: SockId, from_timeout: bool) {
         let now = self.clock.now();
-        let (seg, payload) = {
+        // The unacked buffer is temporarily moved out so the retransmitted
+        // slice can be lent to `emit_segment` (which publishes it into the
+        // TX pool) without an intermediate copy.
+        let (seg, unacked, len, deadline) = {
             let Some(s) = self.sockets.get_mut(&id) else {
                 return;
             };
@@ -971,8 +1330,8 @@ impl TcpServer {
                 if from_timeout {
                     s.rto = (s.rto * 2).min(self.config.rto_max);
                 }
-                s.rto_deadline = Some(now + s.rto);
-                (syn, Vec::new())
+                let deadline = now + s.rto;
+                (syn, Vec::new(), 0, deadline)
             } else {
                 let seg_size = if self.config.tso {
                     self.config.tso_segment
@@ -980,8 +1339,7 @@ impl TcpServer {
                     s.mss
                 };
                 let len = s.unacked.len().min(seg_size);
-                let payload = s.unacked[..len].to_vec();
-                let flags = if payload.is_empty() && s.fin_sent {
+                let flags = if len == 0 && s.fin_sent {
                     TcpFlags::FIN_ACK
                 } else {
                     TcpFlags::PSH_ACK
@@ -997,12 +1355,20 @@ impl TcpServer {
                     s.ssthresh = (s.flight() / 2).max(2 * s.mss as u32);
                     s.cwnd = s.ssthresh;
                 }
-                s.rto_deadline = Some(now + s.rto);
-                (seg, payload)
+                let deadline = now + s.rto;
+                (seg, std::mem::take(&mut s.unacked), len, deadline)
             }
         };
+        self.arm_rto(id, deadline);
         self.stats.retransmissions += 1;
-        self.emit_segment(id, seg, payload, false);
+        if !from_timeout {
+            self.stats.fast_retransmits += 1;
+        }
+        self.emit_segment(id, seg, &unacked[..len], false);
+        if let Some(s) = self.sockets.get_mut(&id) {
+            debug_assert!(s.unacked.is_empty(), "unacked untouched during emit");
+            s.unacked = unacked;
+        }
     }
 
     // ---- inbound segments --------------------------------------------------------
@@ -1013,8 +1379,9 @@ impl TcpServer {
             .reader(ptr.pool)
             .and_then(|reader| reader.read(&ptr).ok())
             .and_then(|bytes| Self::parse_segment(&bytes));
-        // Always hand the chunk back to IP, even if parsing failed.
-        send(&self.to_ip, TransportToIp::RxDone { ptr });
+        // Always hand the chunk back to IP, even if parsing failed; the
+        // whole round's chunks go back as one batched message.
+        self.rxdone_batch.push(ptr);
         let Some((src, dst, segment)) = parsed else {
             return;
         };
@@ -1105,6 +1472,7 @@ impl TcpServer {
             self.config.buffer_capacity,
             self.config.buffer_capacity,
         ));
+        buffer.attach_doorbell(Arc::clone(&self.doorbell), child_id);
         let _ = self.registry.publish_shared(
             self.endpoint,
             self.generation,
@@ -1135,7 +1503,7 @@ impl TcpServer {
             TcpFlags::SYN_ACK,
         );
         syn_ack.mss = Some(self.config.mss as u16);
-        self.emit_segment(child_id, syn_ack, Vec::new(), false);
+        self.emit_segment(child_id, syn_ack, &[], false);
         // Track the parent so the child can be queued on establishment.
         self.sockets
             .get_mut(&child_id)
@@ -1145,9 +1513,13 @@ impl TcpServer {
     }
 
     fn established_segment(&mut self, id: SockId, _src: Ipv4Addr, segment: TcpSegment) {
-        let mut ack_due = false;
+        // `None` = no ACK owed; `Some(false)` = delayed; `Some(true)` =
+        // immediate.  Immediate wins over delayed within one segment.
+        let mut ack_due: Option<bool> = None;
         let mut newly_established: Option<SockId> = None;
         let mut remove_sock = false;
+        let mut resend_syn_ack = false;
+        let mut rto_update: Option<Option<Duration>> = None;
         {
             let Some(s) = self.sockets.get_mut(&id) else {
                 return;
@@ -1167,6 +1539,7 @@ impl TcpServer {
                 }
                 s.state = TcpState::Closed;
                 self.stats.connections_reset += 1;
+                self.senders_dirty = true;
                 remove_sock = true;
             } else {
                 // Handshake transitions.
@@ -1182,6 +1555,7 @@ impl TcpServer {
                             s.mss = (mss as usize).min(self.config.mss);
                         }
                         self.stats.connections_established += 1;
+                        self.senders_dirty = true;
                         if let Some(req) = s.pending_connect.take() {
                             send(
                                 &self.to_syscall,
@@ -1191,13 +1565,22 @@ impl TcpServer {
                                 },
                             );
                         }
-                        ack_due = true;
+                        // The peer is blocked in SYN-RECEIVED until this ACK
+                        // arrives: never delay the final handshake step.
+                        ack_due = Some(true);
                     }
                     TcpState::SynReceived if segment.flags.ack && segment.ack == s.snd_nxt => {
                         s.snd_una = segment.ack;
                         s.state = TcpState::Established;
                         self.stats.connections_established += 1;
+                        self.senders_dirty = true;
                         newly_established = Some(id);
+                    }
+                    TcpState::SynReceived if segment.flags.syn && !segment.flags.ack => {
+                        // The SYN-ACK was lost and the peer retries its SYN:
+                        // answer again instead of stalling the handshake
+                        // until the client gives up.
+                        resend_syn_ack = true;
                     }
                     _ => {}
                 }
@@ -1221,17 +1604,18 @@ impl TcpServer {
                             s.cwnd = s.cwnd.saturating_add(increment.max(1));
                         }
                         s.rto = self.config.rto_initial;
-                        s.rto_deadline = if s.flight() > 0 {
+                        rto_update = Some(if s.flight() > 0 {
                             Some(self.clock.now() + s.rto)
                         } else {
                             None
-                        };
+                        });
                         // FIN acknowledged?
                         if s.fin_sent && s.snd_una == s.snd_nxt {
                             match s.state {
                                 TcpState::FinWait1 => s.state = TcpState::FinWait2,
                                 TcpState::LastAck => {
                                     s.state = TcpState::Closed;
+                                    self.senders_dirty = true;
                                     remove_sock = true;
                                 }
                                 _ => {}
@@ -1244,11 +1628,28 @@ impl TcpServer {
 
                 // Payload processing (in-order only).
                 if !segment.payload.is_empty() && !matches!(s.state, TcpState::SynSent) {
+                    self.stats.payload_segments_in += 1;
                     if segment.seq == s.rcv_nxt {
                         let accepted = s.buffer.push_recv(&segment.payload);
                         s.rcv_nxt = s.rcv_nxt.wrapping_add(accepted as u32);
+                        // RFC 1122 delayed ACKs: every second full-sized
+                        // segment is acknowledged immediately (a GRO-merged
+                        // super-segment counts as the frames it carries), as
+                        // is a segment the receive buffer could not fully
+                        // take (so the shrunk window is announced).
+                        let full_segments =
+                            (segment.payload.len().div_ceil(s.mss.max(1))).max(1) as u32;
+                        s.segs_since_ack += full_segments;
+                        let immediate = s.segs_since_ack >= 2 || accepted < segment.payload.len();
+                        ack_due = Some(ack_due.unwrap_or(false) || immediate);
+                    } else {
+                        // Out of order, duplicate or stale: always answer
+                        // immediately with the expected sequence number —
+                        // these duplicate ACKs are what drives the peer's
+                        // fast retransmit, so they are never delayed or
+                        // collapsed.
+                        ack_due = Some(true);
                     }
-                    ack_due = true;
                 }
 
                 // FIN processing.
@@ -1266,9 +1667,38 @@ impl TcpServer {
                         }
                         _ => {}
                     }
-                    ack_due = true;
+                    self.senders_dirty = true;
+                    ack_due = Some(true);
                 }
             }
+        }
+
+        if let Some(deadline) = rto_update {
+            match deadline {
+                Some(at) => self.arm_rto(id, at),
+                None => {
+                    if let Some(s) = self.sockets.get_mut(&id) {
+                        s.rto_deadline = None;
+                    }
+                }
+            }
+        }
+
+        if resend_syn_ack {
+            let syn_ack = {
+                let s = self.sockets.get(&id).expect("socket exists");
+                let (_, dst_port) = s.remote.expect("half-open has a remote");
+                let mut seg = TcpSegment::control(
+                    s.local_port,
+                    dst_port,
+                    s.snd_una,
+                    s.rcv_nxt,
+                    TcpFlags::SYN_ACK,
+                );
+                seg.mss = Some(self.config.mss as u16);
+                seg
+            };
+            self.emit_segment(id, syn_ack, &[], false);
         }
 
         // Fast retransmit on three duplicate ACKs.
@@ -1299,18 +1729,13 @@ impl TcpServer {
             self.persist_sockets();
         }
 
-        if ack_due {
-            let info = {
-                let s = self.sockets.get(&id);
-                s.and_then(|s| {
-                    s.remote
-                        .map(|(_, port)| (s.local_port, port, s.snd_nxt, s.rcv_nxt))
-                })
-            };
-            if let Some((local_port, dst_port, snd_nxt, rcv_nxt)) = info {
-                let seg =
-                    TcpSegment::control(local_port, dst_port, snd_nxt, rcv_nxt, TcpFlags::ACK);
-                self.emit_segment(id, seg, Vec::new(), false);
+        if let Some(immediate) = ack_due {
+            if !remove_sock {
+                self.schedule_ack(id, immediate);
+            } else {
+                // The socket is going away (e.g. the final FIN): answer
+                // right now, there is no later.
+                self.emit_pure_ack(id);
             }
         }
 
@@ -1319,6 +1744,11 @@ impl TcpServer {
             let _ = self.registry.revoke(self.endpoint, &name);
             self.sockets.remove(&id);
             self.persist_sockets();
+        } else {
+            // Whatever this segment changed — an opened window, freed
+            // budget, newly acknowledged data — the pump should look at
+            // this socket once this round.
+            self.enqueue_ready(id);
         }
     }
 
@@ -1352,6 +1782,7 @@ impl TcpServer {
                 );
             }
             // Nudge retransmission so the connection recovers its rate fast.
+            let now = self.clock.now();
             let ids: Vec<SockId> = self
                 .sockets
                 .values()
@@ -1359,9 +1790,10 @@ impl TcpServer {
                 .map(|s| s.id)
                 .collect();
             for id in ids {
-                if let Some(s) = self.sockets.get_mut(&id) {
-                    s.rto_deadline = Some(self.clock.now());
-                }
+                // `arm_rto` inserts an earlier wheel entry when the nudged
+                // deadline beats the armed one, so the retransmit fires on
+                // the next timer sweep.
+                self.arm_rto(id, now);
             }
         }
     }
@@ -1397,7 +1829,9 @@ mod tests {
     fn rig_with(mode: StartMode, storage: Arc<StorageServer>, registry: Registry) -> Rig {
         let clock = SimClock::with_speedup(50.0);
         let tx_pool = Pool::new("tcp.tx", endpoints::TCP, 32 * 1024, 256);
-        let rx_pool = Pool::new("ip.rx", endpoints::IP, 2048, 256);
+        // Chunk size matches the builder's RX pools: large enough for a
+        // GRO-merged super-segment.
+        let rx_pool = Pool::new("ip.rx", endpoints::IP, 16 * 1024, 256);
         let pools = PoolTable::new();
         pools.register(&tx_pool);
         pools.register(&rx_pool);
@@ -1429,6 +1863,7 @@ mod tests {
             pf_tcp.rx(),
             tcp_pf.tx(),
             CrashBoard::new(),
+            Doorbell::new(),
         );
         Rig {
             tcp,
@@ -1743,6 +2178,7 @@ mod tests {
             inject(&mut rig, dup);
         }
         assert!(rig.tcp.stats().retransmissions >= 1);
+        assert_eq!(rig.tcp.stats().fast_retransmits, 1);
         assert_eq!(rig.tcp.sockets.get(&sock).unwrap().dup_acks, 0);
     }
 
@@ -1818,10 +2254,144 @@ mod tests {
             .attach_shared(endpoints::SYSCALL, &TcpServer::buffer_name(child))
             .unwrap();
         assert_eq!(buffer.recv_available(), 13);
-        // And an ACK went back.
+        // A lone sub-MSS segment is *not* acked immediately (delayed-ACK
+        // policy: the ACK waits to piggyback on response data)...
+        assert!(
+            outgoing(&mut rig).is_empty(),
+            "a single in-order segment must not draw an immediate pure ACK"
+        );
+        // ...but once the delayed-ACK timer fires, the ACK goes out.
+        rig.clock
+            .sleep(TcpConfig::default().delayed_ack + Duration::from_millis(10));
+        rig.tcp.poll();
         let acks = outgoing(&mut rig);
         assert!(acks.iter().any(|s| s.ack == 7_001 + 13));
+        assert_eq!(rig.tcp.stats().pure_acks_out, 1);
         assert_eq!(rig.tcp.stats().connections_established, 1);
+    }
+
+    // ---- delayed-ACK policy ------------------------------------------------
+
+    /// Builds an in-order data segment from the peer for an established
+    /// connection created with `connect_established`.
+    fn data_segment(local_port: u16, seq: u32, ack: u32, payload: Vec<u8>) -> TcpSegment {
+        let mut seg = TcpSegment::control(5001, local_port, seq, ack, TcpFlags::PSH_ACK);
+        seg.window = 65_535;
+        seg.payload = payload;
+        seg
+    }
+
+    #[test]
+    fn second_full_segment_is_acked_immediately() {
+        let mut rig = rig();
+        let (_sock, local_port, snd, rcv) = connect_established(&mut rig);
+        let mss = TcpConfig::default().mss;
+        // First full-sized segment: the ACK is delayed.
+        inject(&mut rig, data_segment(local_port, rcv, snd, vec![1u8; mss]));
+        assert!(
+            outgoing(&mut rig).is_empty(),
+            "first full segment must not draw an immediate ACK"
+        );
+        // Second full-sized segment: RFC 1122 says ack *now*.
+        inject(
+            &mut rig,
+            data_segment(
+                local_port,
+                rcv.wrapping_add(mss as u32),
+                snd,
+                vec![2u8; mss],
+            ),
+        );
+        let acks = outgoing(&mut rig);
+        assert!(
+            acks.iter()
+                .any(|s| s.payload.is_empty() && s.ack == rcv.wrapping_add(2 * mss as u32)),
+            "second full segment must be acked immediately, got {acks:?}"
+        );
+        // One pure ACK for two segments, plus the handshake's final ACK.
+        let stats = rig.tcp.stats();
+        assert_eq!(stats.payload_segments_in, 2);
+        assert_eq!(stats.pure_acks_out, 2);
+    }
+
+    #[test]
+    fn a_gro_merged_super_segment_counts_as_its_frames_and_acks_immediately() {
+        let mut rig = rig();
+        let (_sock, local_port, snd, rcv) = connect_established(&mut rig);
+        let mss = TcpConfig::default().mss;
+        // One oversized (GRO-merged) segment spanning three MSS of data:
+        // it stands for >= 2 full frames, so the ACK goes immediately.
+        inject(
+            &mut rig,
+            data_segment(local_port, rcv, snd, vec![7u8; 3 * mss]),
+        );
+        let acks = outgoing(&mut rig);
+        assert!(
+            acks.iter()
+                .any(|s| s.ack == rcv.wrapping_add(3 * mss as u32)),
+            "a merged super-segment must be acked immediately, got {acks:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_order_data_draws_immediate_duplicate_acks() {
+        let mut rig = rig();
+        let (_sock, local_port, snd, rcv) = connect_established(&mut rig);
+        // Three out-of-order segments (a gap before each): every one must
+        // draw an *immediate* duplicate ACK for the expected sequence
+        // number — this is what the peer's fast retransmit counts.
+        for round in 0..3u32 {
+            inject(
+                &mut rig,
+                data_segment(
+                    local_port,
+                    rcv.wrapping_add(10_000 + round * 1460),
+                    snd,
+                    vec![9u8; 100],
+                ),
+            );
+            let acks = outgoing(&mut rig);
+            assert_eq!(
+                acks.len(),
+                1,
+                "round {round}: out-of-order data must be answered at once"
+            );
+            assert_eq!(acks[0].ack, rcv, "duplicate ACK must name the gap");
+        }
+        assert_eq!(rig.tcp.stats().pure_acks_out, 1 + 3); // handshake + 3 dups
+    }
+
+    #[test]
+    fn delayed_ack_piggybacks_on_response_data() {
+        let mut rig = rig();
+        let (sock, local_port, snd, rcv) = connect_established(&mut rig);
+        // A small request arrives; its ACK is deferred.
+        inject(
+            &mut rig,
+            data_segment(local_port, rcv, snd, b"GET /".to_vec()),
+        );
+        assert!(outgoing(&mut rig).is_empty());
+        // The application answers within the delayed-ACK window: the
+        // response segment carries the acknowledgement, no pure ACK ever
+        // goes out.
+        let buffer: Arc<SocketBuffer> = rig
+            .registry
+            .attach_shared(endpoints::SYSCALL, &TcpServer::buffer_name(sock))
+            .unwrap();
+        buffer.write(b"200 OK", Duration::from_secs(1)).unwrap();
+        rig.tcp.poll();
+        let out = outgoing(&mut rig);
+        assert_eq!(out.len(), 1, "one response segment, got {out:?}");
+        assert_eq!(out[0].payload, b"200 OK");
+        assert_eq!(out[0].ack, rcv.wrapping_add(5), "response carries the ACK");
+        // Even after the delayed-ACK timer expires nothing more goes out.
+        rig.clock
+            .sleep(TcpConfig::default().delayed_ack + Duration::from_millis(10));
+        rig.tcp.poll();
+        assert!(outgoing(&mut rig).is_empty(), "ACK already piggybacked");
+        let stats = rig.tcp.stats();
+        assert_eq!(stats.pure_acks_out, 1, "only the handshake ACK was pure");
+        assert_eq!(stats.acks_piggybacked, 1);
     }
 
     /// Opens, binds and listens a socket on `port`, returning its id.
@@ -2045,6 +2615,15 @@ mod tests {
         );
         fin.window = 65_535;
         inject(&mut rig, fin);
+        // The peer's FIN is acknowledged even though the socket closed --
+        // without that final ACK the peer would retransmit its FIN from
+        // LAST-ACK forever.
+        let acks = outgoing(&mut rig);
+        assert!(
+            acks.iter()
+                .any(|s| s.flags.ack && s.ack == rcv_nxt.wrapping_add(1)),
+            "the peer's FIN must be acked, got {acks:?}"
+        );
         // The socket is gone.
         assert_eq!(rig.tcp.socket_count(), 0);
     }

@@ -13,7 +13,7 @@
 //! [`encode_datagram`]/[`decode_datagram`]), so the payload never passes
 //! through the SYSCALL server.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -135,10 +135,17 @@ pub struct UdpServer {
     crash_cursor: usize,
 
     sockets: HashMap<SockId, UdpSock>,
+    /// Every non-zero local port currently held by a socket, so ephemeral
+    /// allocation is an O(1) membership probe per candidate instead of a
+    /// scan over the whole socket table.
+    ports_in_use: HashSet<u16>,
     next_sock: SockId,
     next_ephemeral: u16,
     ip_reqs: RequestDb<RichChain>,
     stats: UdpStats,
+    /// RX chunks finished with this poll round, returned to IP as one
+    /// [`TransportToIp::RxDoneBatch`] per round.
+    rxdone_batch: Vec<RichPtr>,
     /// Scratch buffers reused across poll rounds (zero steady-state
     /// allocation on the message path).
     syscall_scratch: Vec<SockRequest>,
@@ -188,10 +195,12 @@ impl UdpServer {
             crash_board,
             crash_cursor,
             sockets: HashMap::new(),
+            ports_in_use: HashSet::new(),
             next_sock: shard.sock_id_base() + 1,
             next_ephemeral: shard.ephemeral_range(50_000).0,
             ip_reqs: RequestDb::new(),
             stats: UdpStats::default(),
+            rxdone_batch: Vec::new(),
             syscall_scratch: Vec::new(),
             ip_scratch: Vec::new(),
             pf_scratch: Vec::new(),
@@ -230,6 +239,9 @@ impl UdpServer {
             .unwrap_or_default();
         for state in states {
             self.next_sock = self.next_sock.max(state.id + 1);
+            if state.local_port != 0 {
+                self.ports_in_use.insert(state.local_port);
+            }
             let buffer: Arc<SocketBuffer> = self
                 .registry
                 .attach_shared(self.endpoint, &Self::buffer_name(state.id))
@@ -272,13 +284,26 @@ impl UdpServer {
         let width = (range.1 - range.0) as usize;
         let mut candidate = self.next_ephemeral;
         for _ in 0..width {
-            if !self.sockets.values().any(|s| s.local_port == candidate) {
+            if !self.ports_in_use.contains(&candidate) {
                 self.next_ephemeral = endpoints::next_ephemeral_port(range, candidate);
                 return Some(candidate);
             }
             candidate = endpoints::next_ephemeral_port(range, candidate);
         }
         None
+    }
+
+    /// Moves a socket onto a new local port, keeping the in-use set exact.
+    fn assign_port(&mut self, sock: SockId, port: u16) {
+        if let Some(s) = self.sockets.get_mut(&sock) {
+            if s.local_port != 0 {
+                self.ports_in_use.remove(&s.local_port);
+            }
+            s.local_port = port;
+            if port != 0 {
+                self.ports_in_use.insert(port);
+            }
+        }
     }
 
     fn flows(&self) -> Vec<FlowTuple> {
@@ -336,6 +361,11 @@ impl UdpServer {
         }
         self.pf_scratch = from_pf;
 
+        if !self.rxdone_batch.is_empty() {
+            let batch = std::mem::take(&mut self.rxdone_batch);
+            send(&self.to_ip, TransportToIp::RxDoneBatch(batch));
+        }
+
         work += self.pump_sockets();
         work
     }
@@ -385,28 +415,25 @@ impl UdpServer {
                 } else {
                     port
                 };
-                let in_use = self
-                    .sockets
-                    .values()
-                    .any(|s| s.id != sock && s.local_port == requested && requested != 0);
+                let own_port = self.sockets.get(&sock).map(|s| s.local_port);
+                let in_use = requested != 0
+                    && self.ports_in_use.contains(&requested)
+                    && own_port != Some(requested);
                 let reply = if in_use {
                     SockReply::Error {
                         req,
                         error: SockError::AddressInUse,
                     }
+                } else if own_port.is_some() {
+                    self.assign_port(sock, requested);
+                    SockReply::Ok {
+                        req,
+                        port: requested,
+                    }
                 } else {
-                    match self.sockets.get_mut(&sock) {
-                        Some(s) => {
-                            s.local_port = requested;
-                            SockReply::Ok {
-                                req,
-                                port: requested,
-                            }
-                        }
-                        None => SockReply::Error {
-                            req,
-                            error: SockError::InvalidState,
-                        },
+                    SockReply::Error {
+                        req,
+                        error: SockError::InvalidState,
                     }
                 };
                 self.persist();
@@ -433,27 +460,33 @@ impl UdpServer {
                 } else {
                     None
                 };
-                let reply = match self.sockets.get_mut(&sock) {
-                    Some(s) => {
-                        s.remote = Some((addr, port));
-                        if let Some(p) = fresh_port {
-                            s.local_port = p;
-                        }
-                        SockReply::Ok {
-                            req,
-                            port: s.local_port,
-                        }
+                let reply = if let Some(s) = self.sockets.get_mut(&sock) {
+                    s.remote = Some((addr, port));
+                    let local = s.local_port;
+                    if let Some(p) = fresh_port {
+                        self.assign_port(sock, p);
                     }
-                    None => SockReply::Error {
+                    SockReply::Ok {
+                        req,
+                        port: fresh_port.unwrap_or(local),
+                    }
+                } else {
+                    SockReply::Error {
                         req,
                         error: SockError::InvalidState,
-                    },
+                    }
                 };
                 self.persist();
                 send(&self.to_syscall, reply);
             }
             SockRequest::Close { sock, .. } => {
-                let existed = self.sockets.remove(&sock).is_some();
+                let removed = self.sockets.remove(&sock);
+                if let Some(s) = &removed {
+                    if s.local_port != 0 {
+                        self.ports_in_use.remove(&s.local_port);
+                    }
+                }
+                let existed = removed.is_some();
                 if existed {
                     let _ = self
                         .registry
@@ -495,7 +528,7 @@ impl UdpServer {
             .reader(ptr.pool)
             .and_then(|reader| reader.read(&ptr).ok())
             .and_then(|bytes| Self::parse_datagram(&bytes));
-        send(&self.to_ip, TransportToIp::RxDone { ptr });
+        self.rxdone_batch.push(ptr);
         let Some((src, dgram)) = parsed else { return };
         let Some(sock) = self
             .sockets
@@ -564,13 +597,15 @@ impl UdpServer {
         } else {
             None
         };
+        if let Some(p) = fresh_port {
+            self.assign_port(id, p);
+        }
         let mut needs_persist = false;
         let (local_port, dst, dst_port) = {
             let Some(sock) = self.sockets.get_mut(&id) else {
                 return;
             };
-            if let Some(p) = fresh_port {
-                sock.local_port = p;
+            if fresh_port.is_some() {
                 needs_persist = true;
             }
             let (dst, dst_port) = if addr.is_unspecified() {

@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use newt_apps::httpd::{Httpd, HttpdConfig};
 use newt_apps::loadgen::{run_http_load, LoadConfig};
-use newtos::net::link::LinkConfig;
+use newtos::net::link::{LinkConfig, Netem};
 use newtos::net::peer::IPERF_PORT;
 use newtos::stack::sockbuf::SockError;
 use newtos::{Component, FaultAction, NewtStack, StackConfig};
@@ -137,6 +137,59 @@ fn http_workload_completes_over_an_impaired_link() {
     assert!(
         retransmissions > 0,
         "an impaired link must force retransmissions"
+    );
+    stack.shutdown();
+}
+
+#[test]
+fn fast_retransmit_still_fires_with_gro_and_delayed_acks() {
+    // A heavily *reordering* (but lossless) link: the peer re-ACKs every
+    // out-of-order arrival, and those duplicate ACKs must reach the
+    // sharded stack's TCP senders intact — GRO must not collapse them and
+    // delayed ACKs must not defer them — so fast retransmit (not the RTO)
+    // repairs the stream.  Responses span many MTU frames (TSO-cut from
+    // one 16 KiB segment), giving each reordered frame a trail of
+    // duplicate ACKs.
+    let mut link = LinkConfig::gigabit();
+    link.netem = Netem {
+        reorder_probability: 0.2,
+        reorder_delay: Duration::from_millis(5),
+        ..Netem::default()
+    };
+    let stack = NewtStack::start(workload_config().shards(2).link(link));
+    let _server =
+        Httpd::spawn(stack.client(), stack.shards(), HttpdConfig::default()).expect("http server");
+
+    let report = run_http_load(
+        &stack,
+        &LoadConfig {
+            connections: 8,
+            requests_per_connection: 4,
+            path: "/bytes/16384".to_string(),
+            response_timeout: Duration::from_secs(30),
+            ..LoadConfig::default()
+        },
+    );
+    assert!(report.completed_all, "reordered run hit the deadline");
+    assert_eq!(report.completed, 32, "every request must complete");
+    assert_eq!(report.verify_failures, 0, "bodies must verify: {report:?}");
+
+    let telemetry = stack.telemetry();
+    let fast: u64 = (0..stack.shards())
+        .map(|s| telemetry.tcp_shards[s].fast_retransmits)
+        .sum();
+    assert!(
+        fast > 0,
+        "reordering must trigger fast retransmit, not just the RTO: {telemetry:?}"
+    );
+    // The receive fast path was actually on while it happened.
+    let coalesced = telemetry.drivers[0].rx_coalesced;
+    let piggybacked: u64 = (0..stack.shards())
+        .map(|s| telemetry.tcp_shards[s].acks_piggybacked)
+        .sum();
+    assert!(
+        coalesced > 0 || piggybacked > 0,
+        "GRO/delayed ACKs should have engaged: {telemetry:?}"
     );
     stack.shutdown();
 }
