@@ -24,7 +24,8 @@
 //! exactly like the paper's SSH client that logs back in after every
 //! injected fault.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_debug_implementations)]
 
 pub mod http;
@@ -33,4 +34,6 @@ pub mod loadgen;
 
 pub use http::{body_for_path, parse_request, response_bytes, HttpRequest, ResponseReader};
 pub use httpd::{Httpd, HttpdConfig, HttpdStats};
-pub use loadgen::{percentile_us, run_http_load, LoadConfig, LoadReport};
+pub use loadgen::{
+    percentile_us, run_http_load, run_http_load_with_hook, LoadConfig, LoadReport, LoadSnapshot,
+};

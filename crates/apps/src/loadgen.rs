@@ -83,8 +83,33 @@ pub struct LoadReport {
     pub p99_us: f64,
     /// All request latencies, sorted, in virtual microseconds.
     pub latencies_us: Vec<f64>,
+    /// Virtual time of every completion, in microseconds since the run
+    /// started, in completion order (unlike `latencies_us`, which is
+    /// sorted by magnitude).  The dependability campaign turns this
+    /// timeline into per-fault-window availability: requests completed
+    /// while a component was down versus the steady-state rate.
+    pub completions_us: Vec<f64>,
     /// Verified response-body bytes received.
     pub bytes_received: u64,
+}
+
+/// Live view of a load run, handed to the mid-run hook once per generator
+/// loop pass.  The fault campaign uses it to wait for steady state, pick
+/// the injection moment, and watch the run drain afterwards — all in the
+/// generator's own thread, so injections are precisely placed in the
+/// request timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadSnapshot {
+    /// Current virtual time (the stack clock's absolute `now`).
+    pub now: Duration,
+    /// Virtual time elapsed since the run started.
+    pub since_start: Duration,
+    /// Requests completed so far (verified or not).
+    pub completed: u64,
+    /// Connections abandoned and reopened so far.
+    pub retries: u64,
+    /// Responses that failed status/body verification so far.
+    pub verify_failures: u64,
 }
 
 /// Returns the `p`-quantile (0..=1) of an already sorted latency slice.
@@ -120,6 +145,22 @@ struct GenConn {
 /// Panics if `config.path` is not servable by the HTTP routing table —
 /// the generator needs the expected body for verification.
 pub fn run_http_load(stack: &NewtStack, config: &LoadConfig) -> LoadReport {
+    run_http_load_with_hook(stack, config, |_snapshot| {})
+}
+
+/// Like [`run_http_load`], but invokes `hook` with a [`LoadSnapshot`] once
+/// per generator loop pass.  This is the fault campaign's entry point: the
+/// hook watches the completion count to detect steady state, injects
+/// faults mid-run, and triggers manual recovery when the run stalls.
+///
+/// # Panics
+///
+/// Panics if `config.path` is not servable by the HTTP routing table.
+pub fn run_http_load_with_hook<F: FnMut(&LoadSnapshot)>(
+    stack: &NewtStack,
+    config: &LoadConfig,
+    mut hook: F,
+) -> LoadReport {
     let expected = body_for_path(&config.path).expect("load path must be servable");
     let request = request_bytes(&config.path);
     let peer = stack.peer(config.nic);
@@ -152,6 +193,7 @@ pub fn run_http_load(stack: &NewtStack, config: &LoadConfig) -> LoadReport {
     let t0 = clock.now();
     let hard_deadline = std::time::Instant::now() + config.run_deadline;
     let mut latencies_us: Vec<f64> = Vec::new();
+    let mut completions_us: Vec<f64> = Vec::new();
     let mut retries = 0u64;
     let mut verify_failures = 0u64;
     let mut bytes_received = 0u64;
@@ -190,6 +232,7 @@ pub fn run_http_load(stack: &NewtStack, config: &LoadConfig) -> LoadReport {
                             }
                             let issued = conn.issued_at.take().unwrap_or(conn.started);
                             latencies_us.push((clock.now() - issued).as_secs_f64() * 1e6);
+                            completions_us.push((clock.now() - t0).as_secs_f64() * 1e6);
                             conn.remaining -= 1;
                             conn.request_outstanding = false;
                             progress = true;
@@ -224,6 +267,14 @@ pub fn run_http_load(stack: &NewtStack, config: &LoadConfig) -> LoadReport {
                 peer.client_connect(conn.src_port, server_addr, config.port);
             }
         }
+        let now = clock.now();
+        hook(&LoadSnapshot {
+            now,
+            since_start: now - t0,
+            completed: latencies_us.len() as u64,
+            retries,
+            verify_failures,
+        });
         if all_done {
             break 'run;
         }
@@ -252,6 +303,7 @@ pub fn run_http_load(stack: &NewtStack, config: &LoadConfig) -> LoadReport {
         p50_us: percentile_us(&latencies_us, 0.50),
         p99_us: percentile_us(&latencies_us, 0.99),
         latencies_us,
+        completions_us,
         bytes_received,
     }
 }

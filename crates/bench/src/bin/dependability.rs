@@ -1,0 +1,183 @@
+//! Dependability-under-load bench — the paper's §VI crash-transparency
+//! claim measured against the *modern* stack: sharded pipelines with the
+//! receive fast path on, serving live HTTP traffic while faults strike.
+//!
+//! For every cell of {1, 4} shards × {clean, impaired} link, the campaign
+//! runs its deterministic schedule of fault modes — weighted single
+//! crashes/hangs into every per-shard component replica, the packet
+//! filter, the driver and the SYSCALL server, plus the correlated
+//! same-shard TCP+IP double fault and the driver→IP cascade — and
+//! measures per-run availability, recovery time in virtual ms, forced
+//! reconnects and byte-exact response bodies.
+//!
+//! Writes `BENCH_dependability.json`.  Gates (the baseline is the
+//! previously checked-in record, read before it is overwritten):
+//!
+//! * every response body must verify byte for byte, in every run;
+//! * no run may end in the *reboot* outcome (lost requests);
+//! * the overall transparent-recovery fraction must not fall more than
+//!   [`TRANSPARENT_GATE_POINTS`] percentage points below the record.
+
+use newt_bench::{arg_or, header};
+use newt_faults::dependability::{run_dependability_campaign, DependabilityConfig, Outcome};
+
+/// Allowed drop of the overall transparent fraction, in percentage points.
+const TRANSPARENT_GATE_POINTS: f64 = 5.0;
+
+/// Pulls the overall transparent fraction out of a previously written
+/// record (one scalar field on its own line; no JSON parser in the tree).
+fn baseline_transparent(json: &str) -> Option<f64> {
+    json.lines()
+        .find(|l| l.contains("\"transparent_fraction_overall\": "))
+        .and_then(|l| {
+            l.split(": ")
+                .nth(1)?
+                .trim()
+                .trim_end_matches(',')
+                .parse()
+                .ok()
+        })
+}
+
+fn percentile(values: &mut [f64], p: f64) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    newt_apps::loadgen::percentile_us(values, p)
+}
+
+fn main() {
+    header(
+        "Dependability under load — fault injection into the sharded stack serving HTTP",
+        "§VI (crash transparency) against the PR2-4 pipelines",
+    );
+    let runs = arg_or(1, 8);
+
+    let mut reports = Vec::new();
+    for impaired in [false, true] {
+        for shards in [1usize, 4] {
+            let config = DependabilityConfig {
+                runs,
+                ..DependabilityConfig::cell(shards, impaired)
+            };
+            println!(
+                "running {} fault runs, {} shard(s), {} link, {} conns x {} reqs...",
+                config.runs,
+                shards,
+                if impaired { "impaired" } else { "clean" },
+                config.connections,
+                config.requests_per_connection,
+            );
+            let report = run_dependability_campaign(&config);
+            print!("{}", report.render());
+            reports.push(report);
+        }
+    }
+
+    let total_runs: usize = reports.iter().map(|r| r.runs.len()).sum();
+    let total_transparent: usize = reports.iter().map(|r| r.count(Outcome::Transparent)).sum();
+    let transparent_overall = total_transparent as f64 / total_runs.max(1) as f64;
+    println!(
+        "\noverall: {total_transparent}/{total_runs} transparent ({:.0}%)",
+        100.0 * transparent_overall
+    );
+
+    // The regression gate reads the previous (checked-in) record before it
+    // is overwritten.
+    let baseline = std::fs::read_to_string("BENCH_dependability.json")
+        .ok()
+        .as_deref()
+        .and_then(baseline_transparent);
+
+    let rows: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            let mut recovery: Vec<f64> = r.runs.iter().map(|run| run.recovery_ms).collect();
+            let mut detect: Vec<f64> = r.runs.iter().map(|run| run.detect_ms).collect();
+            let recovery_p50 = percentile(&mut recovery, 0.50);
+            let recovery_max = recovery.last().copied().unwrap_or(0.0);
+            let detect_p50 = percentile(&mut detect, 0.50);
+            let outcomes: Vec<String> = r
+                .runs
+                .iter()
+                .map(|run| format!("\"{}: {}\"", run.mode, run.outcome.label()))
+                .collect();
+            format!(
+                "    {{\"shards\": {}, \"link\": \"{}\", \"runs\": {}, \"transparent\": {}, \"broken_tcp\": {}, \"reachable_after_restart\": {}, \"reboot\": {}, \"transparent_fraction\": {:.3}, \"availability_mean\": {:.3}, \"recovery_ms_p50\": {:.1}, \"recovery_ms_max\": {:.1}, \"detect_ms_p50\": {:.1}, \"reconnects\": {}, \"verify_failures\": {}, \"outcomes\": [{}]}}",
+                r.shards,
+                if r.impaired { "impaired" } else { "clean" },
+                r.runs.len(),
+                r.count(Outcome::Transparent),
+                r.count(Outcome::BrokenTcp),
+                r.count(Outcome::ReachableAfterRestart),
+                r.count(Outcome::Reboot),
+                r.transparent_fraction(),
+                r.availability_mean(),
+                recovery_p50,
+                recovery_max,
+                detect_p50,
+                r.reconnects_total(),
+                r.verify_failures_total(),
+                outcomes.join(", "),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"campaign\": \"SWIFI under HTTP load: crash/hang + correlated (same-shard double, driver->ip cascade) faults into the sharded GRO-enabled stack; availability = completions during the recovery window vs steady state; recovery/detect in virtual ms\",\n  \"transparent_fraction_overall\": {:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
+        transparent_overall,
+        rows.join(",\n"),
+    );
+    match std::fs::write("BENCH_dependability.json", &json) {
+        Ok(()) => println!("wrote BENCH_dependability.json"),
+        Err(err) => eprintln!("could not write BENCH_dependability.json: {err}"),
+    }
+
+    // ---- gates ------------------------------------------------------------
+    let mut failed = false;
+    for report in &reports {
+        let link = if report.impaired { "impaired" } else { "clean" };
+        if report.verify_failures_total() > 0 {
+            eprintln!(
+                "FAIL: {} {}-shard cell had {} body verification failures",
+                link,
+                report.shards,
+                report.verify_failures_total()
+            );
+            failed = true;
+        }
+        let reboots = report.count(Outcome::Reboot);
+        if reboots > 0 {
+            for run in &report.runs {
+                if run.outcome == Outcome::Reboot {
+                    eprintln!(
+                        "FAIL: {} {}-shard run \"{}\" lost requests ({}/{} completed)",
+                        link, report.shards, run.mode, run.completed, run.expected_requests
+                    );
+                }
+            }
+            failed = true;
+        }
+    }
+    match baseline {
+        Some(base) => {
+            let drop_points = (base - transparent_overall) * 100.0;
+            println!(
+                "transparency gate: {:.1}% overall vs baseline {:.1}% ({:+.1} points, bound -{TRANSPARENT_GATE_POINTS})",
+                100.0 * transparent_overall,
+                100.0 * base,
+                -drop_points,
+            );
+            if drop_points > TRANSPARENT_GATE_POINTS {
+                eprintln!(
+                    "FAIL: transparent-recovery fraction dropped {drop_points:.1} points below the checked-in record"
+                );
+                failed = true;
+            }
+        }
+        None => println!(
+            "transparency gate: no baseline BENCH_dependability.json found, recording only"
+        ),
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("PASS: all bodies byte-verified, no reboot outcomes, transparency within the gate");
+}

@@ -12,6 +12,7 @@
 //! | `ablation` | design-principle ablation sweep |
 //! | `scaling` | RSS scaling at 1/2/4 shards → `BENCH_scaling.json` |
 //! | `workload` | HTTP rps + p50/p99 over clean/impaired links → `BENCH_workload.json` |
+//! | `dependability` | fault injection into the sharded stack under HTTP load → `BENCH_dependability.json` |
 //!
 //! This library hosts the small amount of code the binaries share, plus
 //! the [`fastpath`] micro-measurement that tracks the inter-server channel

@@ -35,6 +35,16 @@ pub enum FaultKind {
     Hang,
 }
 
+impl FaultKind {
+    /// The reincarnation-server fault action implementing this kind.
+    pub fn action(&self) -> FaultAction {
+        match self {
+            FaultKind::Crash => FaultAction::Crash,
+            FaultKind::Hang => FaultAction::Hang,
+        }
+    }
+}
+
 /// Configuration of a campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
@@ -42,12 +52,18 @@ pub struct CampaignConfig {
     pub runs: usize,
     /// RNG seed (runs are reproducible for a given seed).
     pub seed: u64,
+    /// Number of replicated stack pipelines each run boots
+    /// ([`StackConfig::shards`]); the target weight table covers every
+    /// replica.
+    pub shards: usize,
     /// Virtual-clock speed-up used for each run.
     pub clock_speedup: f64,
     /// Fraction of faults that manifest as hangs rather than crashes.
     pub hang_fraction: f64,
-    /// Per-component selection weights `(component, weight)`; defaults to
-    /// the distribution of Table III.
+    /// Per-component selection weights `(component, weight)`.  Left empty
+    /// (the default), the table is derived from the booted topology via
+    /// [`CampaignConfig::effective_weights`], so every per-shard replica is
+    /// reachable by injection; a non-empty list overrides it.
     pub weights: Vec<(Component, u32)>,
     /// Real-time budget for each recovery wait.
     pub recovery_timeout: Duration,
@@ -58,15 +74,10 @@ impl Default for CampaignConfig {
         CampaignConfig {
             runs: 100,
             seed: 0x2012_d5ef,
+            shards: 1,
             clock_speedup: 60.0,
             hang_fraction: 0.12,
-            weights: vec![
-                (Component::Tcp, 25),
-                (Component::Udp, 10),
-                (Component::Ip, 24),
-                (Component::PacketFilter, 25),
-                (Component::Driver(0), 16),
-            ],
+            weights: Vec::new(),
             recovery_timeout: Duration::from_secs(20),
         }
     }
@@ -80,6 +91,136 @@ impl CampaignConfig {
             ..Self::default()
         }
     }
+
+    /// The components a run of this campaign can inject into: the paper's
+    /// five classes (Table III), with the TCP/UDP/IP classes expanded to
+    /// one target per configured shard replica.
+    pub fn fault_targets(&self) -> Vec<Component> {
+        topology_fault_targets(self.shards, false)
+    }
+
+    /// The weight table actually used for target selection: the explicit
+    /// [`CampaignConfig::weights`] if non-empty, otherwise derived from the
+    /// booted topology by [`derive_weights`].
+    pub fn effective_weights(&self) -> Vec<(Component, u32)> {
+        if self.weights.is_empty() {
+            derive_weights(&self.fault_targets())
+        } else {
+            self.weights.clone()
+        }
+    }
+
+    /// The deterministic injection schedule of this campaign: for a given
+    /// configuration (seed, shard count, weights, …) the same sequence of
+    /// `(target, fault kind)` pairs on any host — the reproducibility the
+    /// determinism test pins down.  Different shard counts derive
+    /// different weight tables and therefore different sequences.
+    pub fn schedule(&self) -> Vec<(Component, FaultKind)> {
+        let weights = self.effective_weights();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.runs)
+            .map(|_| roll_single_fault(&weights, self.hang_fraction, &mut rng))
+            .collect()
+    }
+}
+
+/// Draws one weighted single fault — the target pick plus the crash/hang
+/// roll — from `rng`.  The one definition both campaigns schedule with,
+/// so their fault-kind selection can never silently diverge.
+pub(crate) fn roll_single_fault(
+    weights: &[(Component, u32)],
+    hang_fraction: f64,
+    rng: &mut StdRng,
+) -> (Component, FaultKind) {
+    let target = pick_target(weights, rng);
+    let kind = if rng.gen::<f64>() < hang_fraction {
+        FaultKind::Hang
+    } else {
+        FaultKind::Crash
+    };
+    (target, kind)
+}
+
+/// Table III class weights (out of 100 injected faults): how often the
+/// paper's injector hit each component class.
+const CLASS_WEIGHTS: [(u32, &str); 6] = [
+    (25, "tcp"),
+    (10, "udp"),
+    (24, "ip"),
+    (25, "pf"),
+    (16, "driver"),
+    (8, "syscall"),
+];
+
+/// The injectable components of a `shards`-wide Split topology — the
+/// single spelling both campaigns derive their target lists from (kept in
+/// sync with the booted stack by the integration tests, which compare it
+/// against [`NewtStack::fault_targets`](newt_stack::builder::NewtStack::fault_targets)).
+/// A singleton stack keeps the legacy `Tcp`/`Udp`/`Ip` spellings; the
+/// paper's campaign excludes SYSCALL (Table III never hit it), the
+/// dependability campaign includes it.
+pub fn topology_fault_targets(shards: usize, include_syscall: bool) -> Vec<Component> {
+    let mut targets: Vec<Component> = if shards <= 1 {
+        vec![Component::Tcp, Component::Udp, Component::Ip]
+    } else {
+        (0..shards)
+            .flat_map(|s| {
+                [
+                    Component::TcpShard(s),
+                    Component::UdpShard(s),
+                    Component::IpShard(s),
+                ]
+            })
+            .collect()
+    };
+    targets.push(Component::PacketFilter);
+    targets.push(Component::Driver(0));
+    if include_syscall {
+        targets.push(Component::Syscall);
+    }
+    targets
+}
+
+/// Returns the component's class label (the Table III row it belongs to).
+fn class_of(component: Component) -> &'static str {
+    match component {
+        Component::Tcp | Component::TcpShard(_) => "tcp",
+        Component::Udp | Component::UdpShard(_) => "udp",
+        Component::Ip | Component::IpShard(_) => "ip",
+        Component::PacketFilter => "pf",
+        Component::Driver(_) => "driver",
+        Component::Syscall => "syscall",
+    }
+}
+
+/// Returns the Table III weight of a component class (syscall, which the
+/// paper does not inject into, gets a small weight for the dependability
+/// campaign that does).
+fn weight_of_class(class: &str) -> u32 {
+    CLASS_WEIGHTS
+        .iter()
+        .find(|(_, name)| *name == class)
+        .map(|(w, _)| *w)
+        .unwrap_or(1)
+}
+
+/// Derives a selection weight table from a booted topology's injectable
+/// components ([`NewtStack::fault_targets`](newt_stack::builder::NewtStack::fault_targets)):
+/// each class keeps its Table III share, split evenly over its replicas,
+/// so a 4-shard stack injects into `tcp.3` as readily as into `tcp.0`.
+pub fn derive_weights(targets: &[Component]) -> Vec<(Component, u32)> {
+    let mut class_counts: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+    for target in targets {
+        *class_counts.entry(class_of(*target)).or_insert(0) += 1;
+    }
+    targets
+        .iter()
+        .map(|target| {
+            let class = class_of(*target);
+            let replicas = class_counts[class].max(1);
+            (*target, (weight_of_class(class) / replicas).max(1))
+        })
+        .collect()
 }
 
 /// Outcome of a single fault-injection run.
@@ -168,9 +309,20 @@ impl CampaignReport {
         self.runs.iter().filter(|r| r.reboot_needed).count()
     }
 
+    /// Number of faults injected into any replica of `component`'s class
+    /// (a Table III cell: on a sharded stack `tcp.0` … `tcp.3` all count
+    /// towards the TCP row).
+    pub fn injected_into_class(&self, component: Component) -> usize {
+        let class = class_of(component);
+        self.runs
+            .iter()
+            .filter(|r| class_of(r.target) == class)
+            .count()
+    }
+
     /// Renders Table III (distribution of crashes over the components).
     pub fn render_table3(&self) -> String {
-        let components = [
+        let classes = [
             ("TCP", Component::Tcp),
             ("UDP", Component::Udp),
             ("IP", Component::Ip),
@@ -180,11 +332,11 @@ impl CampaignReport {
         let mut out = String::from("Table III — distribution of injected faults\n");
         out.push_str(&format!("{:<10} {:>6}\n", "component", "count"));
         out.push_str(&format!("{:<10} {:>6}\n", "Total", self.total()));
-        for (label, component) in components {
+        for (label, component) in classes {
             out.push_str(&format!(
                 "{:<10} {:>6}\n",
                 label,
-                self.injected_into(component)
+                self.injected_into_class(component)
             ));
         }
         out
@@ -235,23 +387,33 @@ impl CampaignReport {
 }
 
 /// Runs a full campaign.
+///
+/// # Examples
+///
+/// A one-run smoke campaign (the real Table III/IV experiment uses
+/// [`CampaignConfig::default`]'s 100 runs):
+///
+/// ```
+/// use newt_faults::{run_campaign, CampaignConfig};
+///
+/// let config = CampaignConfig {
+///     clock_speedup: 50.0,
+///     ..CampaignConfig::quick(1)
+/// };
+/// let report = run_campaign(&config);
+/// assert_eq!(report.total(), 1);
+/// assert!(report.fully_transparent() <= report.total());
+/// ```
 pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
-    let mut rng = StdRng::seed_from_u64(config.seed);
     let mut report = CampaignReport::default();
-    for _ in 0..config.runs {
-        let target = pick_target(&config.weights, &mut rng);
-        let kind = if rng.gen::<f64>() < config.hang_fraction {
-            FaultKind::Hang
-        } else {
-            FaultKind::Crash
-        };
+    for (target, kind) in config.schedule() {
         let outcome = run_one(config, target, kind);
         report.runs.push(outcome);
     }
     report
 }
 
-fn pick_target(weights: &[(Component, u32)], rng: &mut StdRng) -> Component {
+pub(crate) fn pick_target(weights: &[(Component, u32)], rng: &mut StdRng) -> Component {
     let total: u32 = weights.iter().map(|(_, w)| *w).sum();
     let mut pick = rng.gen_range(0..total.max(1));
     for (component, weight) in weights {
@@ -266,6 +428,7 @@ fn pick_target(weights: &[(Component, u32)], rng: &mut StdRng) -> Component {
 /// Runs a single fault-injection experiment against a freshly booted stack.
 pub fn run_one(config: &CampaignConfig, target: Component, kind: FaultKind) -> RunOutcome {
     let stack_config = StackConfig::newtos()
+        .shards(config.shards)
         .link(LinkConfig::unshaped())
         .clock_speedup(config.clock_speedup);
     // Hang detection relies on the heartbeat watchdog; use a timeout short
@@ -295,12 +458,8 @@ pub fn run_one(config: &CampaignConfig, target: Component, kind: FaultKind) -> R
     }
 
     // Inject the fault.
-    let action = match kind {
-        FaultKind::Crash => FaultAction::Crash,
-        FaultKind::Hang => FaultAction::Hang,
-    };
     let restarts_before = stack.restart_count(target);
-    stack.inject_fault(target, action);
+    stack.inject_fault(target, kind.action());
 
     // Wait for the fault to take effect (the component crashes on its next
     // fault check) and for the reincarnation server to restart it.
@@ -392,17 +551,82 @@ mod tests {
     #[test]
     fn weighted_target_distribution_covers_all_components() {
         let config = CampaignConfig::default();
+        let weights = config.effective_weights();
         let mut rng = StdRng::seed_from_u64(7);
         let mut counts = std::collections::HashMap::new();
         for _ in 0..2000 {
             *counts
-                .entry(pick_target(&config.weights, &mut rng))
+                .entry(pick_target(&weights, &mut rng))
                 .or_insert(0usize) += 1;
         }
         // Every component is picked, roughly according to its weight.
         assert!(counts[&Component::Tcp] > counts[&Component::Udp]);
         assert!(counts[&Component::PacketFilter] > counts[&Component::Driver(0)]);
         assert_eq!(counts.len(), 5);
+    }
+
+    #[test]
+    fn derived_weights_reach_every_shard_replica() {
+        // The pre-fix table hardcoded the singleton spellings, leaving
+        // replicas 1..n unreachable by injection on a sharded stack; the
+        // derived table must cover all of them.
+        let config = CampaignConfig {
+            shards: 4,
+            ..CampaignConfig::default()
+        };
+        let weights = config.effective_weights();
+        for s in 0..4 {
+            for component in [
+                Component::TcpShard(s),
+                Component::UdpShard(s),
+                Component::IpShard(s),
+            ] {
+                let weight = weights
+                    .iter()
+                    .find(|(c, _)| *c == component)
+                    .map(|(_, w)| *w);
+                assert!(
+                    weight.unwrap_or(0) > 0,
+                    "{component} must be selectable, weights: {weights:?}"
+                );
+            }
+        }
+        assert!(weights.iter().any(|(c, _)| *c == Component::PacketFilter));
+        assert!(weights.iter().any(|(c, _)| *c == Component::Driver(0)));
+        // The class shares survive the split: all TCP replicas together
+        // still outweigh all UDP replicas together.
+        let class_total = |probe: Component| -> u32 {
+            weights
+                .iter()
+                .filter(|(c, _)| class_of(*c) == class_of(probe))
+                .map(|(_, w)| *w)
+                .sum()
+        };
+        assert!(class_total(Component::Tcp) > class_total(Component::Udp));
+    }
+
+    #[test]
+    fn explicit_weights_override_the_derived_table() {
+        let config = CampaignConfig {
+            shards: 4,
+            weights: vec![(Component::PacketFilter, 1)],
+            ..CampaignConfig::default()
+        };
+        assert_eq!(
+            config.effective_weights(),
+            vec![(Component::PacketFilter, 1)]
+        );
+    }
+
+    #[test]
+    fn schedule_is_deterministic_for_a_seed() {
+        let config = CampaignConfig::quick(20);
+        assert_eq!(config.schedule(), config.schedule());
+        let other_seed = CampaignConfig {
+            seed: 1,
+            ..CampaignConfig::quick(20)
+        };
+        assert_ne!(config.schedule(), other_seed.schedule());
     }
 
     #[test]

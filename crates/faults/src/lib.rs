@@ -9,16 +9,35 @@
 //!   target selection, crash and hang faults, automatic recovery,
 //!   reachability and transparency classification;
 //! * [`figures`] — the Figure 4 / Figure 5 experiments: bitrate-versus-time
-//!   traces of a transfer across IP and packet-filter crashes.
+//!   traces of a transfer across IP and packet-filter crashes;
+//! * [`dependability`] — the same methodology pointed at the modern stack:
+//!   faults (including correlated same-shard double faults and driver→IP
+//!   cascades) injected into the *sharded*, GRO-enabled pipelines while
+//!   the `newt-apps` HTTP server carries live load, measuring per-run
+//!   availability, recovery time in virtual ms, forced reconnects and
+//!   byte-exact bodies — the `BENCH_dependability.json` record.
 //!
-//! Both are driven through the public [`NewtStack`](newt_stack::builder::NewtStack)
-//! API, exactly as an external test harness would drive the real system.
+//! All of them are driven through the public
+//! [`NewtStack`](newt_stack::builder::NewtStack) API, exactly as an
+//! external test harness would drive the real system.
+//!
+//! See `docs/DEPENDABILITY.md` for the fault model, the campaign knobs and
+//! how the outcome taxonomy maps onto the paper's §VI.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_debug_implementations)]
 
 pub mod campaign;
+pub mod dependability;
 pub mod figures;
 
-pub use campaign::{run_campaign, run_one, CampaignConfig, CampaignReport, FaultKind, RunOutcome};
+pub use campaign::{
+    derive_weights, run_campaign, run_one, topology_fault_targets, CampaignConfig, CampaignReport,
+    FaultKind, RunOutcome,
+};
+pub use dependability::{
+    run_dependability_campaign, DependabilityConfig, DependabilityReport, FaultMode, Outcome,
+    RunRecord,
+};
 pub use figures::{run_trace_experiment, TraceExperimentConfig, TraceExperimentResult};

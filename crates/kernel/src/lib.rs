@@ -83,8 +83,8 @@ pub use cost::{CostModel, CycleAccount};
 pub use ipc::{IpcError, KernelIpc, KernelStats, Message};
 pub use proc::{CoreAssignment, Privilege, ProcessInfo, ProcessTable};
 pub use rs::{
-    CrashEvent, CrashReason, FaultAction, ReincarnationServer, ServiceConfig, ServiceRuntime,
-    ServiceStatus, StartMode,
+    CrashEvent, CrashReason, FaultAction, RecoveryStamp, ReincarnationServer, ServiceConfig,
+    ServiceRuntime, ServiceStatus, StartMode,
 };
 pub use storage::{StorageError, StorageServer, StorageStats};
 pub use vmm::{Grant, Vmm, VmmStats};

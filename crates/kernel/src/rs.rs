@@ -88,6 +88,25 @@ pub struct CrashEvent {
     pub reason: CrashReason,
     /// Whether a new incarnation is being started.
     pub restarting: bool,
+    /// Virtual time at which the crash was *detected* (exit signal observed
+    /// or heartbeat watchdog fired).  For a hang this includes the full
+    /// heartbeat-timeout detection latency; the fault-injection campaign
+    /// subtracts its injection timestamp from this to report
+    /// time-to-detect.
+    pub at: Duration,
+}
+
+/// Virtual-time stamps of a service's most recent restart, exposed so the
+/// dependability campaign can report recovery latency without instrumenting
+/// the services themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryStamp {
+    /// When the crash (or live-update request) was detected.
+    pub detected_at: Duration,
+    /// When the replacement incarnation's thread was spawned.  State
+    /// recovery from the storage server happens inside the new incarnation
+    /// right after this point.
+    pub respawned_at: Duration,
 }
 
 /// Static configuration of a managed service.
@@ -247,6 +266,7 @@ struct ManagedService {
     thread: Option<JoinHandle<()>>,
     exited: Arc<AtomicBool>,
     panicked: Arc<AtomicBool>,
+    last_recovery: Option<RecoveryStamp>,
 }
 
 impl ManagedService {
@@ -399,6 +419,7 @@ impl ReincarnationServer {
             thread: None,
             exited: Arc::new(AtomicBool::new(false)),
             panicked: Arc::new(AtomicBool::new(false)),
+            last_recovery: None,
         };
         service.spawn_incarnation();
         self.inner.services.lock().insert(endpoint, service);
@@ -443,6 +464,17 @@ impl ReincarnationServer {
             .map(|s| s.restarts)
     }
 
+    /// Returns the virtual-time stamps of a service's most recent restart
+    /// (crash detection and incarnation respawn), or `None` if the service
+    /// has never been restarted.
+    pub fn last_recovery(&self, endpoint: Endpoint) -> Option<RecoveryStamp> {
+        self.inner
+            .services
+            .lock()
+            .get(&endpoint)
+            .and_then(|s| s.last_recovery)
+    }
+
     /// Arms a fault against a service (the SWIFI hook).
     pub fn inject_fault(&self, endpoint: Endpoint, fault: FaultAction) {
         if let Some(service) = self.inner.services.lock().get(&endpoint) {
@@ -470,6 +502,7 @@ impl ReincarnationServer {
         if let Some(handle) = thread {
             let _ = handle.join();
         }
+        let detected_at = self.inner.clock.now();
         let mut services = self.inner.services.lock();
         let Some(service) = services.get_mut(&endpoint) else {
             return false;
@@ -480,6 +513,10 @@ impl ReincarnationServer {
         *shared.fault.lock() = FaultAction::None;
         service.restarts += 1;
         service.spawn_incarnation();
+        service.last_recovery = Some(RecoveryStamp {
+            detected_at,
+            respawned_at: self.inner.clock.now(),
+        });
         true
     }
 
@@ -623,7 +660,7 @@ fn restart_service(
     service: &mut ManagedService,
     reason: CrashReason,
 ) -> Option<CrashEvent> {
-    let _ = clock;
+    let detected_at = clock.now();
     let old_generation = Generation::from_raw(service.shared.generation.load(Ordering::Acquire));
     // Collect the incarnation's thread so it does not leak.
     if let Some(handle) = service.thread.take() {
@@ -636,6 +673,7 @@ fn restart_service(
         generation: old_generation,
         reason,
         restarting,
+        at: detected_at,
     };
     if !restarting {
         service.status = ServiceStatus::Failed;
@@ -647,6 +685,10 @@ fn restart_service(
     *service.shared.fault.lock() = FaultAction::None;
     service.shared.stop.store(false, Ordering::Release);
     service.spawn_incarnation();
+    service.last_recovery = Some(RecoveryStamp {
+        detected_at,
+        respawned_at: clock.now(),
+    });
     Some(event)
 }
 

@@ -1291,6 +1291,32 @@ impl NewtStack {
         all
     }
 
+    /// Returns every component a fault can be injected into on this booted
+    /// stack, each replica individually: on a sharded stack that is
+    /// `TcpShard(s)`/`UdpShard(s)`/`IpShard(s)` for every shard `s`, every
+    /// driver, the packet filter (if configured) and the SYSCALL server.
+    ///
+    /// The fault-injection campaign derives its target weight table from
+    /// this list instead of a hardcoded singleton set, so replicas other
+    /// than shard 0 are reachable by injection.
+    pub fn fault_targets(&self) -> Vec<Component> {
+        self.components()
+    }
+
+    /// Returns the virtual-time stamps of the component's most recent
+    /// restart — when the crash was detected and when the replacement
+    /// incarnation was spawned — or `None` if it never restarted.  The
+    /// dependability campaign subtracts its injection timestamp from these
+    /// to report time-to-detect and time-to-respawn in virtual
+    /// milliseconds.
+    pub fn component_recovery(
+        &self,
+        component: Component,
+    ) -> Option<newt_kernel::rs::RecoveryStamp> {
+        self.service_for(component)
+            .and_then(|service| self.rs.last_recovery(service))
+    }
+
     /// Shuts the stack down: stops every service, the reincarnation server's
     /// watchdog and the peer hosts.
     pub fn shutdown(mut self) {

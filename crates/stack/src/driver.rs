@@ -556,6 +556,7 @@ mod tests {
             generation: Generation::FIRST,
             reason: CrashReason::Panicked,
             restarting: true,
+            at: std::time::Duration::ZERO,
         });
         rig.driver.poll();
         assert_eq!(rig.driver.stats().resets_for_ip, 1);
@@ -567,6 +568,7 @@ mod tests {
             generation: Generation::FIRST,
             reason: CrashReason::Panicked,
             restarting: true,
+            at: std::time::Duration::ZERO,
         });
         rig.driver.poll();
         assert_eq!(rig.driver.stats().resets_for_ip, 1);
@@ -780,6 +782,7 @@ mod tests {
             generation: Generation::FIRST,
             reason: CrashReason::Panicked,
             restarting: true,
+            at: std::time::Duration::ZERO,
         });
         rig.driver.poll();
         let stats = rig.driver.stats();

@@ -506,6 +506,7 @@ mod tests {
             generation: Generation::FIRST,
             reason: CrashReason::Panicked,
             restarting: true,
+            at: std::time::Duration::ZERO,
         };
         board.push(event.clone());
         let mut tcp_cursor = 0;

@@ -1288,6 +1288,7 @@ mod tests {
             generation: newt_channels::endpoint::Generation::FIRST,
             reason: newt_kernel::rs::CrashReason::Panicked,
             restarting: true,
+            at: std::time::Duration::ZERO,
         });
         rig.ip.poll();
         // The same frame is resubmitted under a fresh request id.
@@ -1307,6 +1308,7 @@ mod tests {
             generation: newt_channels::endpoint::Generation::FIRST,
             reason: newt_kernel::rs::CrashReason::Panicked,
             restarting: true,
+            at: std::time::Duration::ZERO,
         });
         rig.ip.poll();
         let resubmitted = drain(&rig.ip_to_pf);
@@ -1335,6 +1337,7 @@ mod tests {
             generation: newt_channels::endpoint::Generation::FIRST,
             reason: newt_kernel::rs::CrashReason::Panicked,
             restarting: true,
+            at: std::time::Duration::ZERO,
         });
         rig.ip.poll();
         assert_eq!(rig.rx_pool.in_use(), 0);

@@ -496,6 +496,7 @@ mod tests {
             generation: Generation::FIRST,
             reason: CrashReason::Panicked,
             restarting: true,
+            at: std::time::Duration::ZERO,
         });
         rig.syscall.poll();
         assert_eq!(rig.syscall.outstanding(), 0);

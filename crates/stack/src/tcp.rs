@@ -2684,6 +2684,7 @@ mod tests {
             generation: Generation::FIRST,
             reason: newt_kernel::rs::CrashReason::Panicked,
             restarting: true,
+            at: std::time::Duration::ZERO,
         };
         rig.tcp.handle_crash(&event);
         let resubmitted = outgoing(&mut rig);

@@ -1,0 +1,137 @@
+//! End-to-end tests of the dependability-under-load campaign: correlated
+//! faults against the sharded, GRO-enabled stack while it serves HTTP,
+//! campaign determinism, and per-replica injectability.
+
+use std::time::Duration;
+
+use newt_faults::dependability::{self, DependabilityConfig, FaultMode};
+use newt_faults::{CampaignConfig, FaultKind, Outcome};
+use newtos::{Component, NewtStack, StackConfig};
+
+/// The headline scenario: a 4-shard stack keeps serving byte-exact HTTP
+/// bodies across a correlated same-shard TCP+IP double crash.  The victim
+/// shard's connections may break and reconnect (that is the §V-D
+/// contract), but not one request may be lost or corrupted.
+#[test]
+fn four_shard_transfer_survives_same_shard_double_fault() {
+    let config = DependabilityConfig::quick(4, 1);
+    let record = dependability::run_one(&config, &FaultMode::SameShardDouble(1));
+    assert_eq!(
+        record.completed, record.expected_requests,
+        "every request must complete across the double fault: {record:?}"
+    );
+    assert_eq!(
+        record.verify_failures, 0,
+        "response bodies must stay byte-exact across the double fault: {record:?}"
+    );
+    assert_ne!(
+        record.outcome,
+        Outcome::Reboot,
+        "a same-shard double fault must never require a reboot: {record:?}"
+    );
+    assert!(
+        record.recovered_automatically || record.manually_fixed,
+        "both victims must have been restarted: {record:?}"
+    );
+    assert!(
+        record.recovery_ms > 0.0,
+        "recovery stamps must be recorded: {record:?}"
+    );
+}
+
+/// Same seed ⇒ same injection sequence, for both campaigns, at every
+/// shard count — the property that makes a campaign run reproducible on
+/// any host.
+#[test]
+fn campaign_schedules_are_deterministic_across_shard_counts() {
+    for shards in [1usize, 2, 4] {
+        let legacy = CampaignConfig {
+            shards,
+            runs: 25,
+            ..CampaignConfig::default()
+        };
+        assert_eq!(
+            legacy.schedule(),
+            legacy.schedule(),
+            "legacy campaign schedule must be a pure function of the seed at {shards} shards"
+        );
+
+        let modern = DependabilityConfig::cell(shards, false);
+        assert_eq!(
+            modern.schedule(),
+            modern.schedule(),
+            "dependability schedule must be a pure function of the seed at {shards} shards"
+        );
+        let reseeded = DependabilityConfig {
+            seed: modern.seed ^ 1,
+            ..modern.clone()
+        };
+        assert_ne!(
+            modern.schedule(),
+            reseeded.schedule(),
+            "different seeds must give different schedules at {shards} shards"
+        );
+    }
+    // Hang/crash mix is part of the schedule, not decided at injection
+    // time.
+    let config = CampaignConfig {
+        runs: 50,
+        hang_fraction: 0.5,
+        ..CampaignConfig::default()
+    };
+    let kinds: Vec<FaultKind> = config.schedule().iter().map(|(_, k)| *k).collect();
+    assert!(kinds.contains(&FaultKind::Hang));
+    assert!(kinds.contains(&FaultKind::Crash));
+}
+
+/// The weight-table bugfix: on a booted sharded stack, every component in
+/// the campaign's derived table — including replicas `*.1..n`, which the
+/// old hardcoded table could never select — resolves to a live service.
+#[test]
+fn campaign_can_select_every_replica_on_a_booted_stack() {
+    let stack = NewtStack::start(
+        StackConfig::newtos()
+            .shards(4)
+            .link(newtos::net::link::LinkConfig::unshaped())
+            .clock_speedup(50.0),
+    );
+
+    // The stack's own enumeration: 4 shards x 3 servers + pf + syscall +
+    // driver.
+    let booted = stack.fault_targets();
+    assert_eq!(booted.len(), 15, "unexpected topology: {booted:?}");
+
+    let legacy = CampaignConfig {
+        shards: 4,
+        ..CampaignConfig::default()
+    };
+    for (component, weight) in legacy.effective_weights() {
+        assert!(weight > 0);
+        assert!(
+            stack.component_status(component).is_some(),
+            "legacy campaign target {component} does not resolve on the booted stack"
+        );
+    }
+
+    let modern = DependabilityConfig::cell(4, false);
+    for component in modern.fault_targets() {
+        assert!(
+            stack.component_status(component).is_some(),
+            "dependability target {component} does not resolve on the booted stack"
+        );
+        assert!(
+            booted.contains(&component),
+            "{component} missing from NewtStack::fault_targets()"
+        );
+    }
+
+    // And the recovery-stamp hook answers for shard replicas.
+    assert!(stack.component_recovery(Component::TcpShard(3)).is_none());
+    assert!(stack.live_update(Component::TcpShard(3)));
+    assert!(stack.wait_component_running(Component::TcpShard(3), Duration::from_secs(10)));
+    let stamp = stack
+        .component_recovery(Component::TcpShard(3))
+        .expect("a live update must leave a recovery stamp");
+    assert!(stamp.respawned_at >= stamp.detected_at);
+    stack.shutdown();
+}
