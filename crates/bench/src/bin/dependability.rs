@@ -10,16 +10,28 @@
 //! measures per-run availability, recovery time in virtual ms, forced
 //! reconnects and byte-exact response bodies.
 //!
+//! After the crash campaign, the **rolling-upgrade** mode runs: every
+//! component of a 4-shard stack — each shard's TCP, UDP and IP replica,
+//! the driver, the packet filter and the SYSCALL server — is live-updated
+//! one at a time (quiesce → state transfer → resume) while the same
+//! keep-alive HTTP load runs, over the clean and the impaired link.
+//!
 //! Writes `BENCH_dependability.json`.  Gates (the baseline is the
 //! previously checked-in record, read before it is overwritten):
 //!
 //! * every response body must verify byte for byte, in every run;
 //! * no run may end in the *reboot* outcome (lost requests);
 //! * the overall transparent-recovery fraction must not fall more than
-//!   [`TRANSPARENT_GATE_POINTS`] percentage points below the record.
+//!   [`TRANSPARENT_GATE_POINTS`] percentage points below the record;
+//! * the rolling upgrade must drop **zero** requests and force **zero**
+//!   reconnects, every restart must be stamped *requested*, and no
+//!   per-component service gap may exceed the cell's bound.
 
 use newt_bench::{arg_or, header};
-use newt_faults::dependability::{run_dependability_campaign, DependabilityConfig, Outcome};
+use newt_faults::dependability::{
+    run_dependability_campaign, run_rolling_upgrade, DependabilityConfig, Outcome,
+    RollingUpgradeConfig,
+};
 
 /// Allowed drop of the overall transparent fraction, in percentage points.
 const TRANSPARENT_GATE_POINTS: f64 = 5.0;
@@ -72,6 +84,23 @@ fn main() {
         }
     }
 
+    // The rolling-upgrade mode: the same load, but requested live updates
+    // instead of faults — and an absolute zero-loss bar.
+    let mut upgrades = Vec::new();
+    for impaired in [false, true] {
+        let config = RollingUpgradeConfig::cell(4, impaired);
+        println!(
+            "\nrolling upgrade: {} components, 4 shards, {} link, {} conns x {} reqs...",
+            config.upgrade_targets().len(),
+            if impaired { "impaired" } else { "clean" },
+            config.connections,
+            config.requests_per_connection,
+        );
+        let report = run_rolling_upgrade(&config);
+        print!("{}", report.render());
+        upgrades.push((config, report));
+    }
+
     let total_runs: usize = reports.iter().map(|r| r.runs.len()).sum();
     let total_transparent: usize = reports.iter().map(|r| r.count(Outcome::Transparent)).sum();
     let transparent_overall = total_transparent as f64 / total_runs.max(1) as f64;
@@ -101,12 +130,13 @@ fn main() {
                 .map(|run| format!("\"{}: {}\"", run.mode, run.outcome.label()))
                 .collect();
             format!(
-                "    {{\"shards\": {}, \"link\": \"{}\", \"runs\": {}, \"transparent\": {}, \"broken_tcp\": {}, \"reachable_after_restart\": {}, \"reboot\": {}, \"transparent_fraction\": {:.3}, \"availability_mean\": {:.3}, \"recovery_ms_p50\": {:.1}, \"recovery_ms_max\": {:.1}, \"detect_ms_p50\": {:.1}, \"reconnects\": {}, \"verify_failures\": {}, \"outcomes\": [{}]}}",
+                "    {{\"shards\": {}, \"link\": \"{}\", \"runs\": {}, \"transparent\": {}, \"broken_tcp\": {}, \"manual_restart\": {}, \"reachable_after_restart\": {}, \"reboot\": {}, \"transparent_fraction\": {:.3}, \"availability_mean\": {:.3}, \"recovery_ms_p50\": {:.1}, \"recovery_ms_max\": {:.1}, \"detect_ms_p50\": {:.1}, \"reconnects\": {}, \"verify_failures\": {}, \"outcomes\": [{}]}}",
                 r.shards,
                 if r.impaired { "impaired" } else { "clean" },
                 r.runs.len(),
                 r.count(Outcome::Transparent),
                 r.count(Outcome::BrokenTcp),
+                r.count(Outcome::ManualRestart),
                 r.count(Outcome::ReachableAfterRestart),
                 r.count(Outcome::Reboot),
                 r.transparent_fraction(),
@@ -120,10 +150,37 @@ fn main() {
             )
         })
         .collect();
+    let upgrade_rows: Vec<String> = upgrades
+        .iter()
+        .map(|(config, r)| {
+            let gaps: Vec<String> = r
+                .records
+                .iter()
+                .map(|rec| format!("\"{}: {:.1}ms\"", rec.component, rec.service_gap_ms))
+                .collect();
+            format!(
+                "    {{\"shards\": {}, \"link\": \"{}\", \"components\": {}, \"under_load\": {}, \"completed\": {}, \"expected\": {}, \"failed_requests\": {}, \"reconnects\": {}, \"verify_failures\": {}, \"all_requested\": {}, \"max_gap_ms\": {:.1}, \"gap_bound_ms\": {:.1}, \"gaps\": [{}]}}",
+                r.shards,
+                if r.impaired { "impaired" } else { "clean" },
+                r.records.len(),
+                r.upgrades_under_load(),
+                r.completed,
+                r.expected_requests,
+                r.failed_requests(),
+                r.reconnects,
+                r.verify_failures,
+                r.all_requested(),
+                r.max_gap_ms(),
+                config.gap_bound_ms,
+                gaps.join(", "),
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"campaign\": \"SWIFI under HTTP load: crash/hang + correlated (same-shard double, driver->ip cascade) faults into the sharded GRO-enabled stack; availability = completions during the recovery window vs steady state; recovery/detect in virtual ms\",\n  \"transparent_fraction_overall\": {:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"campaign\": \"SWIFI under HTTP load: crash/hang + correlated (same-shard double, driver->ip cascade) faults into the sharded GRO-enabled stack; availability = completions during the recovery window vs steady state; recovery/detect in virtual ms\",\n  \"transparent_fraction_overall\": {:.3},\n  \"results\": [\n{}\n  ],\n  \"rolling_upgrade\": [\n{}\n  ]\n}}\n",
         transparent_overall,
         rows.join(",\n"),
+        upgrade_rows.join(",\n"),
     );
     match std::fs::write("BENCH_dependability.json", &json) {
         Ok(()) => println!("wrote BENCH_dependability.json"),
@@ -156,6 +213,52 @@ fn main() {
             failed = true;
         }
     }
+    // Rolling-upgrade gates — absolute, not baseline-relative: a live
+    // update that drops a request or breaks a connection defeats its
+    // purpose, whatever the previous record said.
+    for (config, report) in &upgrades {
+        let link = if report.impaired { "impaired" } else { "clean" };
+        if report.failed_requests() > 0 {
+            eprintln!(
+                "FAIL: {} rolling upgrade dropped {} requests ({}/{} completed)",
+                link,
+                report.failed_requests(),
+                report.completed,
+                report.expected_requests
+            );
+            failed = true;
+        }
+        if report.reconnects > 0 {
+            eprintln!(
+                "FAIL: {} rolling upgrade forced {} reconnects (must be zero)",
+                link, report.reconnects
+            );
+            failed = true;
+        }
+        if report.verify_failures > 0 {
+            eprintln!(
+                "FAIL: {} rolling upgrade had {} body verification failures",
+                link, report.verify_failures
+            );
+            failed = true;
+        }
+        if !report.all_requested() {
+            eprintln!(
+                "FAIL: {} rolling upgrade has a component that was not upgraded via a requested restart",
+                link
+            );
+            failed = true;
+        }
+        if report.max_gap_ms() > config.gap_bound_ms {
+            eprintln!(
+                "FAIL: {} rolling upgrade service gap {:.1}ms exceeds the {:.1}ms bound",
+                link,
+                report.max_gap_ms(),
+                config.gap_bound_ms
+            );
+            failed = true;
+        }
+    }
     match baseline {
         Some(base) => {
             let drop_points = (base - transparent_overall) * 100.0;
@@ -179,5 +282,5 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
-    println!("PASS: all bodies byte-verified, no reboot outcomes, transparency within the gate");
+    println!("PASS: all bodies byte-verified, no reboot outcomes, transparency within the gate, rolling upgrade dropped nothing");
 }

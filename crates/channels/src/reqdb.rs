@@ -217,6 +217,33 @@ impl<R> RequestDb<R> {
     pub fn iter_ids(&self) -> impl Iterator<Item = RequestId> + '_ {
         self.pending.keys().copied()
     }
+
+    /// Iterates over pending requests in submission order as
+    /// `(id, destination, policy, context)` — the export side of live-update
+    /// state transfer.
+    pub fn iter_pending(
+        &self,
+    ) -> impl Iterator<Item = (RequestId, Endpoint, AbortPolicy, &R)> + '_ {
+        self.pending
+            .iter()
+            .map(|(id, p)| (*id, p.to, p.policy, &p.context))
+    }
+
+    /// Re-inserts a request under its original id — the restore side of
+    /// live-update state transfer.  The id allocator is advanced past `id`
+    /// so that replies to restored requests and ids of new submissions can
+    /// never collide.
+    pub fn restore(&mut self, id: RequestId, to: Endpoint, policy: AbortPolicy, context: R) {
+        self.next_id = self.next_id.max(id.0 + 1);
+        self.pending.insert(
+            id,
+            Pending {
+                to,
+                policy,
+                context,
+            },
+        );
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +331,30 @@ mod tests {
         assert!(db.complete(old).is_none());
         // The reply to the new id completes normally.
         assert_eq!(db.complete(new).unwrap(), "pkt");
+    }
+
+    #[test]
+    fn restore_round_trips_and_keeps_ids_collision_free() {
+        let mut db: RequestDb<&'static str> = RequestDb::new();
+        let dest = ep(9);
+        db.submit(dest, AbortPolicy::Resubmit, "a");
+        let b = db.submit(dest, AbortPolicy::Fail, "b");
+
+        // Export (live-update hand-over), rebuild in a fresh database.
+        let exported: Vec<(RequestId, Endpoint, AbortPolicy, &str)> = db
+            .iter_pending()
+            .map(|(id, to, policy, ctx)| (id, to, policy, *ctx))
+            .collect();
+        let mut restored: RequestDb<&'static str> = RequestDb::new();
+        for (id, to, policy, ctx) in exported {
+            restored.restore(id, to, policy, ctx);
+        }
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.destination(b), Some(dest));
+        assert_eq!(restored.complete(b), Some("b"));
+        // New submissions must not reuse a restored id.
+        let fresh = restored.submit(dest, AbortPolicy::Drop, "c");
+        assert!(fresh > b);
     }
 
     #[test]

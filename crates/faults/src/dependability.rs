@@ -24,11 +24,21 @@
 //!   forced **reconnects**, and byte-exact verification of every response
 //!   body;
 //! * the outcome is classified with the paper's taxonomy: *transparent* /
-//!   *broken TCP* / *reachable after a manual restart* / *reboot needed*.
+//!   *broken TCP* / *manual restart* (a state-preserving harness
+//!   intervention nobody noticed) / *reachable after a manual restart* /
+//!   *reboot needed*.
+//!
+//! The module also carries the campaign's mirror image, the
+//! **rolling-upgrade** mode ([`run_rolling_upgrade`]): instead of faults,
+//! every component of the stack is live-updated one at a time — quiesce,
+//! state transfer, resume — under the same HTTP load, and the bar is
+//! absolute: zero failed requests, zero forced reconnects, byte-exact
+//! bodies, a bounded per-component service gap.
 //!
 //! `cargo run --release -p newt-bench --bin dependability` sweeps
-//! shard counts × link conditions and writes `BENCH_dependability.json`,
-//! the CI-gated record.  See `docs/DEPENDABILITY.md` for how to read it.
+//! shard counts × link conditions for both modes and writes
+//! `BENCH_dependability.json`, the CI-gated record.  See
+//! `docs/DEPENDABILITY.md` for how to read it.
 
 use std::time::{Duration, Instant};
 
@@ -246,7 +256,17 @@ pub enum Outcome {
     /// Every request completed, but only because clients reconnected —
     /// established TCP connections died with the fault.
     BrokenTcp,
-    /// Service only came back after a manual component restart.
+    /// Every request completed and no connection was lost, but the harness
+    /// had to issue a requested restart ([`NewtStack::live_update`]) to get
+    /// there — the watchdog alone did not restore service, yet because the
+    /// restart carried hot state over, clients never noticed.  Kept apart
+    /// from [`Outcome::ReachableAfterRestart`] so a state-preserving
+    /// harness intervention is not conflated with a genuine
+    /// connections-lost recovery failure.
+    ManualRestart,
+    /// Service only came back after a manual component restart *and*
+    /// established connections died along the way — the paper's
+    /// "reachable after a manual fix" row.
     ReachableAfterRestart,
     /// The load did not complete (or bodies failed verification) even
     /// after a manual restart; only a stack reboot would restore service.
@@ -259,9 +279,25 @@ impl Outcome {
         match self {
             Outcome::Transparent => "transparent",
             Outcome::BrokenTcp => "broken-tcp",
+            Outcome::ManualRestart => "manual-restart",
             Outcome::ReachableAfterRestart => "reachable-after-restart",
             Outcome::Reboot => "reboot",
         }
+    }
+}
+
+/// Classifies one loaded run.  `lost_requests` is true when the load did
+/// not complete or a body failed verification (or no fault was ever
+/// injected — the run never reached steady state); `manual` when the
+/// harness issued a requested restart; `reconnects` counts connections
+/// forced to reopen after the injection.
+pub(crate) fn classify(lost_requests: bool, manual: bool, reconnects: u64) -> Outcome {
+    match (lost_requests, manual, reconnects) {
+        (true, _, _) => Outcome::Reboot,
+        (false, true, 0) => Outcome::ManualRestart,
+        (false, true, _) => Outcome::ReachableAfterRestart,
+        (false, false, 0) => Outcome::Transparent,
+        (false, false, _) => Outcome::BrokenTcp,
     }
 }
 
@@ -365,11 +401,12 @@ impl DependabilityReport {
             ));
         }
         out.push_str(&format!(
-            "transparent {}/{} ({:.0}%), broken-tcp {}, manual {}, reboot {}; mean availability {:.2}\n",
+            "transparent {}/{} ({:.0}%), broken-tcp {}, manual-restart {}, reachable-after-restart {}, reboot {}; mean availability {:.2}\n",
             self.count(Outcome::Transparent),
             self.runs.len(),
             100.0 * self.transparent_fraction(),
             self.count(Outcome::BrokenTcp),
+            self.count(Outcome::ManualRestart),
             self.count(Outcome::ReachableAfterRestart),
             self.count(Outcome::Reboot),
             self.availability_mean(),
@@ -576,15 +613,8 @@ pub fn run_one(config: &DependabilityConfig, mode: &FaultMode) -> RunRecord {
     let gap_ms = service_gap_ms(&report.completions_us, inject_us);
     let reconnects = report.retries.saturating_sub(retries_at_inject);
 
-    let outcome = if !report.completed_all || report.verify_failures > 0 || inject_at.is_none() {
-        Outcome::Reboot
-    } else if manual {
-        Outcome::ReachableAfterRestart
-    } else if reconnects > 0 {
-        Outcome::BrokenTcp
-    } else {
-        Outcome::Transparent
-    };
+    let lost = !report.completed_all || report.verify_failures > 0 || inject_at.is_none();
+    let outcome = classify(lost, manual, reconnects);
 
     let _ = httpd.stop();
     stack.shutdown();
@@ -617,6 +647,338 @@ pub fn run_dependability_campaign(config: &DependabilityConfig) -> Dependability
         report.runs.push(run_one(config, &mode));
     }
     report
+}
+
+/// Configuration of a rolling-upgrade campaign: every component of a
+/// sharded stack — each shard's TCP, UDP and IP replica, the drivers, the
+/// packet filter and the SYSCALL server — is live-updated one at a time
+/// (quiesce → state transfer → resume) while keep-alive HTTP load runs.
+/// Unlike the fault campaign, *nothing* here is allowed to be visible:
+/// zero failed requests, zero forced reconnects, byte-exact bodies and a
+/// bounded per-component service gap.
+#[derive(Debug, Clone)]
+pub struct RollingUpgradeConfig {
+    /// Replicated stack pipelines the run boots.
+    pub shards: usize,
+    /// Whether the load crosses a netem-impaired link instead of the
+    /// clean delay link.
+    pub impaired: bool,
+    /// Virtual-clock speed-up of the run.
+    pub clock_speedup: f64,
+    /// Concurrent keep-alive connections (spread over all shards by RSS).
+    pub connections: usize,
+    /// Requests each connection issues.
+    pub requests_per_connection: usize,
+    /// Real-time budget for each component's replacement incarnation to
+    /// come up before the campaign gives up on it.
+    pub upgrade_timeout: Duration,
+    /// Real-time bound on the load run.
+    pub run_deadline: Duration,
+    /// Gate on the per-component service gap, in virtual ms.
+    pub gap_bound_ms: f64,
+}
+
+impl RollingUpgradeConfig {
+    /// The standard rolling-upgrade cell for a shard count and link
+    /// condition, as used by the `dependability` bench binary.
+    pub fn cell(shards: usize, impaired: bool) -> Self {
+        RollingUpgradeConfig {
+            shards,
+            impaired,
+            clock_speedup: 3.0,
+            connections: (4 * shards).max(8),
+            requests_per_connection: 12,
+            upgrade_timeout: Duration::from_secs(20),
+            run_deadline: Duration::from_secs(if impaired { 240 } else { 120 }),
+            // Generous in virtual terms (host-scheduling noise is
+            // amplified by the speed-up) but still a bound: an update
+            // that tears a multi-second hole into the request timeline
+            // fails the campaign.
+            gap_bound_ms: if impaired { 5_000.0 } else { 2_000.0 },
+        }
+    }
+
+    /// A reduced cell for tests: fewer connections and requests.
+    pub fn quick(shards: usize) -> Self {
+        RollingUpgradeConfig {
+            connections: (2 * shards).max(4),
+            requests_per_connection: 8,
+            ..Self::cell(shards, false)
+        }
+    }
+
+    /// The components the campaign rolls, in upgrade order — every
+    /// per-shard replica plus the singletons including SYSCALL, exactly
+    /// the set the fault campaign injects into.
+    pub fn upgrade_targets(&self) -> Vec<Component> {
+        crate::campaign::topology_fault_targets(self.shards, true)
+    }
+
+    fn stack_config(&self) -> StackConfig {
+        let link = if self.impaired {
+            LinkConfig::impaired()
+        } else {
+            LinkConfig::gigabit().propagation(Duration::from_millis(2))
+        };
+        let config = StackConfig::newtos()
+            .shards(self.shards)
+            .link(link)
+            .clock_speedup(self.clock_speedup);
+        StackConfig {
+            heartbeat_timeout: Duration::from_secs(6),
+            ..config
+        }
+    }
+
+    fn load_config(&self) -> LoadConfig {
+        LoadConfig {
+            connections: self.connections,
+            requests_per_connection: self.requests_per_connection,
+            response_timeout: Duration::from_secs(if self.impaired { 30 } else { 6 }),
+            run_deadline: self.run_deadline,
+            ..LoadConfig::default()
+        }
+    }
+}
+
+/// What one component's live update measured.
+#[derive(Debug, Clone)]
+pub struct UpgradeRecord {
+    /// The upgraded component's label (e.g. `"tcp.2"`).
+    pub component: String,
+    /// Whether the replacement incarnation was spawned at all within the
+    /// upgrade budget.
+    pub upgraded: bool,
+    /// Whether the recovery stamp marks the restart as *requested* (a
+    /// live update) rather than watchdog-detected — requested restarts
+    /// have ~0 detection latency by definition and never reach the crash
+    /// log.
+    pub requested: bool,
+    /// Virtual ms from issuing the update to the stamp's detection time
+    /// (~0 for a requested restart: the request *is* the detection).
+    pub detect_ms: f64,
+    /// Virtual ms from the request being detected to the replacement
+    /// incarnation's thread being spawned.
+    pub respawn_ms: f64,
+    /// Virtual ms between the last request completion before the update
+    /// and the first one after it — the hole the upgrade tore into the
+    /// request timeline (0 when the update was applied unloaded).
+    pub service_gap_ms: f64,
+    /// Whether the update was issued while the load was still running.
+    /// Upgrades of a run whose workload drained early are still applied,
+    /// just without traffic in flight.
+    pub under_load: bool,
+}
+
+/// Aggregate results of one rolling-upgrade campaign cell.
+#[derive(Debug, Clone)]
+pub struct RollingUpgradeReport {
+    /// Shard count of the run.
+    pub shards: usize,
+    /// Whether the link was impaired.
+    pub impaired: bool,
+    /// Per-component records, in upgrade order.
+    pub records: Vec<UpgradeRecord>,
+    /// Requests completed over the whole run.
+    pub completed: u64,
+    /// Requests the run was supposed to complete.
+    pub expected_requests: u64,
+    /// Connections forced to reconnect (gated to zero).
+    pub reconnects: u64,
+    /// Response bodies that failed byte verification (gated to zero).
+    pub verify_failures: u64,
+    /// Whether every connection finished its quota before the deadline.
+    pub completed_all: bool,
+}
+
+impl RollingUpgradeReport {
+    /// Requests that never completed — gated to zero.
+    pub fn failed_requests(&self) -> u64 {
+        self.expected_requests.saturating_sub(self.completed)
+    }
+
+    /// Largest per-component service gap, in virtual ms.
+    pub fn max_gap_ms(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.service_gap_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether every component was upgraded and every stamp says
+    /// *requested* (no upgrade fell back to watchdog-detected recovery).
+    pub fn all_requested(&self) -> bool {
+        !self.records.is_empty() && self.records.iter().all(|r| r.upgraded && r.requested)
+    }
+
+    /// Components whose update was issued while load was in flight.
+    pub fn upgrades_under_load(&self) -> usize {
+        self.records.iter().filter(|r| r.under_load).count()
+    }
+
+    /// Renders the cell as a small text table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "rolling upgrade — {} shard(s), {} link, {} components\n",
+            self.shards,
+            if self.impaired { "impaired" } else { "clean" },
+            self.records.len()
+        );
+        out.push_str(&format!(
+            "{:<12} {:>9} {:>9} {:>9} {:>9} {:>6}\n",
+            "component", "requested", "detect", "respawn", "gap", "load"
+        ));
+        for record in &self.records {
+            out.push_str(&format!(
+                "{:<12} {:>9} {:>7.1}ms {:>7.1}ms {:>7.1}ms {:>6}\n",
+                record.component,
+                if record.requested { "yes" } else { "NO" },
+                record.detect_ms,
+                record.respawn_ms,
+                record.service_gap_ms,
+                if record.under_load { "live" } else { "idle" },
+            ));
+        }
+        out.push_str(&format!(
+            "completed {}/{}, reconnects {}, verify failures {}, max gap {:.1}ms\n",
+            self.completed,
+            self.expected_requests,
+            self.reconnects,
+            self.verify_failures,
+            self.max_gap_ms(),
+        ));
+        out
+    }
+}
+
+/// Rolls every component of a freshly booted sharded stack through a live
+/// update, one at a time, under keep-alive HTTP load, and measures what
+/// the traffic saw.
+///
+/// # Panics
+///
+/// Panics if the HTTP server cannot be spawned on the fresh stack.
+pub fn run_rolling_upgrade(config: &RollingUpgradeConfig) -> RollingUpgradeReport {
+    let stack = NewtStack::start(config.stack_config());
+    let httpd = Httpd::spawn(stack.client(), stack.shards(), HttpdConfig::default())
+        .expect("spawning the http server");
+    let targets = config.upgrade_targets();
+    let expected_requests = (config.connections * config.requests_per_connection) as u64;
+    // Steady state: on average one completed request per connection.
+    let warmup = config.connections as u64;
+
+    // One entry per issued upgrade: (component, absolute virtual issue
+    // time, run-relative issue time in µs, restart count before, whether
+    // load was still in flight).
+    let mut issued: Vec<(Component, Duration, f64, u32, bool)> = Vec::new();
+    let mut next = 0usize;
+    let mut awaiting: Option<usize> = None;
+    let mut completed_at_issue = 0u64;
+
+    let report = run_http_load_with_hook(&stack, &config.load_config(), |snapshot| {
+        if snapshot.completed < warmup {
+            return;
+        }
+        // One component at a time: the next update is issued only once
+        // the previous replacement runs *and* at least one request has
+        // completed since — every upgrade window has a completion on
+        // both sides, so the per-component service gap is measurable.
+        if let Some(index) = awaiting {
+            let (component, _, _, before, _) = issued[index];
+            if stack.restart_count(component) > before
+                && stack.component_status(component) == Some(ServiceStatus::Running)
+                && snapshot.completed > completed_at_issue
+            {
+                awaiting = None;
+            }
+            return;
+        }
+        if next < targets.len() {
+            let component = targets[next];
+            let before = stack.restart_count(component);
+            stack.live_update(component);
+            issued.push((
+                component,
+                snapshot.now,
+                snapshot.since_start.as_secs_f64() * 1e6,
+                before,
+                true,
+            ));
+            completed_at_issue = snapshot.completed;
+            awaiting = Some(next);
+            next += 1;
+        }
+    });
+
+    let wait_upgraded = |component: Component, before: u32| {
+        let deadline = Instant::now() + config.upgrade_timeout;
+        loop {
+            if stack.restart_count(component) > before
+                && stack.component_status(component) == Some(ServiceStatus::Running)
+            {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+
+    // A fast workload can drain before the roll finishes; the remaining
+    // components are still upgraded, just without traffic in flight, so
+    // every cell covers the full component set.
+    for &component in &targets[next..] {
+        let before = stack.restart_count(component);
+        let now = stack.clock().now();
+        stack.live_update(component);
+        issued.push((component, now, f64::INFINITY, before, false));
+    }
+
+    let records: Vec<UpgradeRecord> = issued
+        .iter()
+        .map(
+            |&(component, issued_abs, issued_rel_us, before, under_load)| {
+                let upgraded = wait_upgraded(component, before);
+                let stamp = stack.component_recovery(component);
+                let (requested, detect_ms, respawn_ms) = match stamp {
+                    Some(stamp) => (
+                        stamp.requested,
+                        stamp.detected_at.saturating_sub(issued_abs).as_secs_f64() * 1e3,
+                        (stamp.respawned_at.saturating_sub(stamp.detected_at)).as_secs_f64() * 1e3,
+                    ),
+                    None => (false, 0.0, 0.0),
+                };
+                let gap = if under_load {
+                    service_gap_ms(&report.completions_us, issued_rel_us)
+                } else {
+                    0.0
+                };
+                UpgradeRecord {
+                    component: component.to_string(),
+                    upgraded,
+                    requested,
+                    detect_ms,
+                    respawn_ms,
+                    service_gap_ms: gap,
+                    under_load,
+                }
+            },
+        )
+        .collect();
+
+    let _ = httpd.stop();
+    stack.shutdown();
+    RollingUpgradeReport {
+        shards: config.shards,
+        impaired: config.impaired,
+        records,
+        completed: report.completed,
+        expected_requests,
+        reconnects: report.retries,
+        verify_failures: report.verify_failures,
+        completed_all: report.completed_all,
+    }
 }
 
 #[cfg(test)]
@@ -711,6 +1073,51 @@ mod tests {
         assert!((service_gap_ms(&completions, 35.0) - 5.0).abs() < 1e-9);
         // No completion after the fault: no measurable gap.
         assert_eq!(service_gap_ms(&completions, 6000.0), 0.0);
+    }
+
+    #[test]
+    fn outcome_classification_keeps_manual_restart_distinct() {
+        // Lost requests dominate everything.
+        assert_eq!(classify(true, true, 0), Outcome::Reboot);
+        assert_eq!(classify(true, false, 3), Outcome::Reboot);
+        // A harness-issued live update that nothing noticed is its own
+        // class, not the paper's reachable-after-restart failure row...
+        assert_eq!(classify(false, true, 0), Outcome::ManualRestart);
+        // ...which is reserved for manual fixes that cost connections.
+        assert_eq!(classify(false, true, 2), Outcome::ReachableAfterRestart);
+        assert_eq!(classify(false, false, 0), Outcome::Transparent);
+        assert_eq!(classify(false, false, 1), Outcome::BrokenTcp);
+        assert_eq!(Outcome::ManualRestart.label(), "manual-restart");
+    }
+
+    #[test]
+    fn rolling_upgrade_covers_every_component_and_drops_nothing() {
+        let config = RollingUpgradeConfig::quick(1);
+        let report = run_rolling_upgrade(&config);
+        assert_eq!(
+            report.records.len(),
+            config.upgrade_targets().len(),
+            "every component must be rolled: {report:?}"
+        );
+        assert_eq!(
+            report.failed_requests(),
+            0,
+            "a rolling upgrade must not drop a single request: {report:?}"
+        );
+        assert_eq!(
+            report.reconnects, 0,
+            "surviving connections must never be forced to reconnect: {report:?}"
+        );
+        assert_eq!(report.verify_failures, 0);
+        assert!(
+            report.all_requested(),
+            "every stamp must be a requested restart: {report:?}"
+        );
+        assert!(
+            report.upgrades_under_load() >= 1,
+            "at least one upgrade must have happened mid-load: {report:?}"
+        );
+        assert!(report.max_gap_ms() <= config.gap_bound_ms);
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //!   cascades) injected into the *sharded*, GRO-enabled pipelines while
 //!   the `newt-apps` HTTP server carries live load, measuring per-run
 //!   availability, recovery time in virtual ms, forced reconnects and
-//!   byte-exact bodies — the `BENCH_dependability.json` record.
+//!   byte-exact bodies — plus the rolling-upgrade mode, which live-updates
+//!   every component one at a time under the same load and requires that
+//!   *nothing* is dropped — the `BENCH_dependability.json` record.
 //!
 //! All of them are driven through the public
 //! [`NewtStack`](newt_stack::builder::NewtStack) API, exactly as an
@@ -37,7 +39,7 @@ pub use campaign::{
     FaultKind, RunOutcome,
 };
 pub use dependability::{
-    run_dependability_campaign, DependabilityConfig, DependabilityReport, FaultMode, Outcome,
-    RunRecord,
+    run_dependability_campaign, run_rolling_upgrade, DependabilityConfig, DependabilityReport,
+    FaultMode, Outcome, RollingUpgradeConfig, RollingUpgradeReport, RunRecord, UpgradeRecord,
 };
 pub use figures::{run_trace_experiment, TraceExperimentConfig, TraceExperimentResult};

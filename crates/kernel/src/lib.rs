@@ -35,11 +35,12 @@
 //!
 //! let storage_for_service = Arc::clone(&storage);
 //! let ep = rs.register(ServiceConfig::new("udp"), move |rt| {
-//!     // On a fresh start the server initialises its state; on a restart it
+//!     // On a fresh start the server initialises its state; on a restart
+//!     // (or a live update whose snapshot it chooses not to use) it
 //!     // recovers the state it stashed in the storage server.
 //!     let mut sockets: Vec<u16> = match rt.start_mode() {
 //!         StartMode::Fresh => Vec::new(),
-//!         StartMode::Restart => storage_for_service
+//!         StartMode::Restart | StartMode::LiveUpdate => storage_for_service
 //!             .retrieve("udp", "sockets")
 //!             .unwrap_or_default(),
 //!     };

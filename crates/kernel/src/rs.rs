@@ -33,9 +33,13 @@ use crate::clock::SimClock;
 pub enum StartMode {
     /// First start: initialise from scratch.
     Fresh,
-    /// Restarted after a crash or live update: recover state from the
-    /// storage server.
+    /// Restarted after a crash (or a live update whose predecessor handed
+    /// over no state): recover what survives from the storage server.
     Restart,
+    /// Replacement incarnation of a live update: the predecessor quiesced
+    /// and handed over a [`StateSnapshot`]; restore from it instead of the
+    /// storage server's lossy summaries.
+    LiveUpdate,
 }
 
 /// A fault armed against a service, observed at its next fault check.
@@ -107,6 +111,44 @@ pub struct RecoveryStamp {
     /// recovery from the storage server happens inside the new incarnation
     /// right after this point.
     pub respawned_at: Duration,
+    /// `true` when the restart was *requested* ([`ReincarnationServer::live_update`]
+    /// / [`ReincarnationServer::force_restart`]) rather than detected: the
+    /// `detected_at` stamp is then the request time and detection latency is
+    /// by definition ~0.
+    pub requested: bool,
+}
+
+/// Versioned hot state a quiescing incarnation hands to the reincarnation
+/// server during a live update, restored by the replacement incarnation.
+///
+/// The payload is opaque to the reincarnation server; each component defines
+/// its own wire format and bumps its `version` whenever that format changes.
+/// A replacement incarnation must validate the tag with
+/// [`StateSnapshot::accepts`] before decoding — a component name or version
+/// mismatch means the snapshot was produced by an incompatible predecessor
+/// and the incarnation falls back to crash-style recovery from the storage
+/// server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateSnapshot {
+    /// Service name of the component that produced the snapshot.
+    pub component: String,
+    /// Component-defined wire-format version of the payload.
+    pub version: u32,
+    /// Generation of the incarnation that produced the snapshot.
+    pub generation: Generation,
+    /// Virtual time at which the state was exported.
+    pub taken_at: Duration,
+    /// The serialized hot state.
+    pub payload: Vec<u8>,
+}
+
+impl StateSnapshot {
+    /// Returns `true` when the snapshot was produced by `component` in wire
+    /// format `version` — the validation every replacement incarnation
+    /// performs before restoring.
+    pub fn accepts(&self, component: &str, version: u32) -> bool {
+        self.component == component && self.version == version
+    }
 }
 
 /// Static configuration of a managed service.
@@ -154,6 +196,12 @@ struct ServiceShared {
     generation: AtomicU32,
     stop: AtomicBool,
     reap: AtomicBool,
+    /// A live update is in progress: quiesce and hand over instead of just
+    /// stopping.
+    update: AtomicBool,
+    /// The hand-over slot: the quiescing incarnation deposits its snapshot
+    /// here; the replacement takes it.
+    snapshot: Mutex<Option<StateSnapshot>>,
     start_mode: Mutex<StartMode>,
     fault: Mutex<FaultAction>,
     last_heartbeat: Mutex<Duration>,
@@ -192,6 +240,38 @@ impl ServiceRuntime {
     /// stop (graceful shutdown or live update).
     pub fn should_stop(&self) -> bool {
         self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// Returns `true` when a live update was requested: the service should
+    /// quiesce (drain in-flight work to a message boundary), export its hot
+    /// state through [`ServiceRuntime::hand_over`] and return.
+    ///
+    /// `should_stop` is also raised during a live update, so bodies that
+    /// predate the hand-over protocol still wind down — they just hand over
+    /// nothing and their replacement recovers crash-style.
+    pub fn update_requested(&self) -> bool {
+        self.shared.update.load(Ordering::Acquire)
+    }
+
+    /// Deposits this incarnation's hot state for the replacement incarnation
+    /// (the state-transfer phase of a live update).  The reincarnation server
+    /// wraps the payload in a [`StateSnapshot`] tagged with the service name,
+    /// the caller's `version` and the current generation.
+    pub fn hand_over(&self, version: u32, payload: Vec<u8>) {
+        let snapshot = StateSnapshot {
+            component: self.shared.name.clone(),
+            version,
+            generation: Generation::from_raw(self.shared.generation.load(Ordering::Acquire)),
+            taken_at: self.shared.clock.now(),
+            payload,
+        };
+        *self.shared.snapshot.lock() = Some(snapshot);
+    }
+
+    /// Takes the predecessor's snapshot, if one was handed over.  Called by a
+    /// replacement incarnation that starts in [`StartMode::LiveUpdate`].
+    pub fn take_snapshot(&self) -> Option<StateSnapshot> {
+        self.shared.snapshot.lock().take()
     }
 
     /// Records a heartbeat and honours any fault armed against the service.
@@ -405,6 +485,8 @@ impl ReincarnationServer {
             generation: AtomicU32::new(0),
             stop: AtomicBool::new(false),
             reap: AtomicBool::new(false),
+            update: AtomicBool::new(false),
+            snapshot: Mutex::new(None),
             start_mode: Mutex::new(StartMode::Fresh),
             fault: Mutex::new(FaultAction::None),
             last_heartbeat: Mutex::new(self.inner.clock.now()),
@@ -482,16 +564,45 @@ impl ReincarnationServer {
         }
     }
 
-    /// Requests a graceful restart (live update): the current incarnation is
-    /// asked to stop, then a new incarnation starts in restart mode.
+    /// Requests a graceful restart without state transfer: the current
+    /// incarnation is asked to stop, then a new incarnation starts in
+    /// restart mode and recovers crash-style from the storage server.
     ///
     /// Returns `true` if the service exists.
     pub fn force_restart(&self, endpoint: Endpoint) -> bool {
+        self.replace_incarnation(endpoint, false)
+    }
+
+    /// Performs a live update (paper §V-E, the MS11-083 scenario): the
+    /// current incarnation is asked to **quiesce** — finish its poll round,
+    /// drain in-flight batches to a message boundary and stop accepting new
+    /// work (peers' sends park harmlessly in the SPSC queues) — then to
+    /// export its versioned hot state (**state transfer**).  The replacement
+    /// incarnation starts in [`StartMode::LiveUpdate`], validates the
+    /// snapshot tag, restores and **resumes**.  An incarnation that hands
+    /// over nothing gets a plain [`StartMode::Restart`] replacement instead.
+    ///
+    /// Like [`ReincarnationServer::force_restart`] this is not a crash:
+    /// nothing is written to the crash log, no crash event is published, and
+    /// the recovery stamp it leaves is marked `requested` with a ~0
+    /// detection latency (`detected_at` is the request time).
+    ///
+    /// Returns `true` if the service exists.
+    pub fn live_update(&self, endpoint: Endpoint) -> bool {
+        self.replace_incarnation(endpoint, true)
+    }
+
+    fn replace_incarnation(&self, endpoint: Endpoint, update: bool) -> bool {
+        // The restart was *requested*, not detected: stamp detection now.
+        let detected_at = self.inner.clock.now();
         let (thread, shared) = {
             let mut services = self.inner.services.lock();
             let Some(service) = services.get_mut(&endpoint) else {
                 return false;
             };
+            // Clear any stale hand-over before asking for a new one.
+            service.shared.snapshot.lock().take();
+            service.shared.update.store(update, Ordering::Release);
             service.shared.stop.store(true, Ordering::Release);
             // Marked `Stopped` (not `Restarting`) so the watchdog does not
             // race with this manual restart while the old incarnation winds
@@ -502,20 +613,26 @@ impl ReincarnationServer {
         if let Some(handle) = thread {
             let _ = handle.join();
         }
-        let detected_at = self.inner.clock.now();
         let mut services = self.inner.services.lock();
         let Some(service) = services.get_mut(&endpoint) else {
             return false;
         };
         shared.stop.store(false, Ordering::Release);
+        shared.update.store(false, Ordering::Release);
         shared.generation.fetch_add(1, Ordering::AcqRel);
-        *shared.start_mode.lock() = StartMode::Restart;
+        let transferred = shared.snapshot.lock().is_some();
+        *shared.start_mode.lock() = if update && transferred {
+            StartMode::LiveUpdate
+        } else {
+            StartMode::Restart
+        };
         *shared.fault.lock() = FaultAction::None;
         service.restarts += 1;
         service.spawn_incarnation();
         service.last_recovery = Some(RecoveryStamp {
             detected_at,
             respawned_at: self.inner.clock.now(),
+            requested: true,
         });
         true
     }
@@ -684,10 +801,14 @@ fn restart_service(
     *service.shared.start_mode.lock() = StartMode::Restart;
     *service.shared.fault.lock() = FaultAction::None;
     service.shared.stop.store(false, Ordering::Release);
+    service.shared.update.store(false, Ordering::Release);
+    // A crash invalidates any snapshot a previous live update left behind.
+    service.shared.snapshot.lock().take();
     service.spawn_incarnation();
     service.last_recovery = Some(RecoveryStamp {
         detected_at,
         respawned_at: clock.now(),
+        requested: false,
     });
     Some(event)
 }
@@ -889,7 +1010,90 @@ mod tests {
         // A live update is not a crash: nothing in the crash log.
         assert!(rs.crash_log().is_empty());
         assert_eq!(rs.generation(ep), Some(Generation::from_raw(1)));
+        // The restart was requested, so detection latency is ~0 by
+        // definition.
+        let stamp = rs.last_recovery(ep).expect("a recovery stamp");
+        assert!(stamp.requested);
+        assert!(stamp.respawned_at >= stamp.detected_at);
         assert!(!rs.force_restart(Endpoint::from_raw(9999)));
+        rs.shutdown();
+    }
+
+    #[test]
+    fn live_update_transfers_state_to_the_replacement() {
+        let rs = ReincarnationServer::new(SimClock::realtime());
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen_c = Arc::clone(&seen);
+        let ep = rs.register(ServiceConfig::new("stateful"), move |rt| {
+            let restored = match rt.start_mode() {
+                StartMode::LiveUpdate => rt.take_snapshot(),
+                _ => None,
+            };
+            seen_c.lock().push((rt.start_mode(), restored));
+            loop {
+                rt.heartbeat();
+                if rt.update_requested() {
+                    // Quiesce, then hand over versioned hot state.
+                    rt.hand_over(7, vec![1, 2, 3]);
+                    return;
+                }
+                if rt.should_stop() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        assert!(rs.wait_until_running(ep, Duration::from_secs(2)));
+        assert!(rs.live_update(ep));
+        assert!(rs.wait_until_running(ep, Duration::from_secs(2)));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while seen.lock().len() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let incarnations = seen.lock().clone();
+        assert_eq!(incarnations.len(), 2);
+        assert_eq!(incarnations[0].0, StartMode::Fresh);
+        assert!(incarnations[0].1.is_none());
+        // The replacement started in live-update mode with the snapshot.
+        assert_eq!(incarnations[1].0, StartMode::LiveUpdate);
+        let snapshot = incarnations[1].1.clone().expect("handed-over snapshot");
+        assert!(snapshot.accepts("stateful", 7));
+        assert!(!snapshot.accepts("stateful", 8));
+        assert!(!snapshot.accepts("other", 7));
+        assert_eq!(snapshot.generation, Generation::from_raw(0));
+        assert_eq!(snapshot.payload, vec![1, 2, 3]);
+        // Not a crash; the stamp says "requested".
+        assert!(rs.crash_log().is_empty());
+        assert!(rs.last_recovery(ep).expect("stamp").requested);
+        rs.shutdown();
+    }
+
+    #[test]
+    fn live_update_without_hand_over_falls_back_to_restart_mode() {
+        let rs = ReincarnationServer::new(SimClock::realtime());
+        let modes = Arc::new(Mutex::new(Vec::new()));
+        let modes_c = Arc::clone(&modes);
+        // A body that predates the hand-over protocol: only honours stop.
+        let ep = rs.register(ServiceConfig::new("legacy"), move |rt| {
+            modes_c.lock().push(rt.start_mode());
+            while !rt.should_stop() {
+                rt.heartbeat();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        assert!(rs.wait_until_running(ep, Duration::from_secs(2)));
+        assert!(rs.live_update(ep));
+        assert!(rs.wait_until_running(ep, Duration::from_secs(2)));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while modes.lock().len() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(
+            modes.lock().clone(),
+            vec![StartMode::Fresh, StartMode::Restart],
+            "no snapshot handed over means crash-style recovery"
+        );
+        assert!(rs.crash_log().is_empty());
         rs.shutdown();
     }
 

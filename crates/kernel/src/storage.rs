@@ -208,7 +208,11 @@ impl StorageServer {
 /// debug-stable `postcard`-like format implemented below, which supports the
 /// subset of `serde` used by the stack's state types (integers, strings,
 /// sequences, maps, options, structs, enums, tuples, booleans).
-mod codec {
+///
+/// Public because live-update state transfer reuses it: components encode
+/// their [`StateSnapshot`](crate::rs::StateSnapshot) payloads with the same
+/// codec their persisted summaries already round-trip through.
+pub mod codec {
     use serde::de::DeserializeOwned;
     use serde::Serialize;
 

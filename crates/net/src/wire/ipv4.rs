@@ -9,7 +9,7 @@ use super::WireError;
 pub const IPV4_HEADER_LEN: usize = 20;
 
 /// IP protocol numbers understood by the stack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum IpProtocol {
     /// ICMP (1).
     Icmp,

@@ -630,6 +630,7 @@ impl NewtStack {
                         lane.tcp_to_pf.tx(),
                         crash_board.clone(),
                         Arc::clone(&lane.tcp_doorbell),
+                        rt.take_snapshot(),
                     )
                 }
             }
@@ -665,6 +666,7 @@ impl NewtStack {
                         lane.pf_to_udp.rx(),
                         lane.udp_to_pf.tx(),
                         crash_board.clone(),
+                        rt.take_snapshot(),
                     )
                 }
             }
@@ -703,6 +705,7 @@ impl NewtStack {
                         lane.ip_to_drv.iter().map(|c| c.tx()).collect(),
                         lane.drv_to_ip.iter().map(|c| c.rx()).collect(),
                         crash_board.clone(),
+                        rt.take_snapshot(),
                     )
                 }
             }
@@ -723,6 +726,7 @@ impl NewtStack {
                     lanes.iter().map(|l| l.tcp_to_pf.rx()).collect(),
                     lanes.iter().map(|l| l.pf_to_udp.tx()).collect(),
                     lanes.iter().map(|l| l.udp_to_pf.rx()).collect(),
+                    rt.take_snapshot(),
                 )
             }
         };
@@ -731,7 +735,7 @@ impl NewtStack {
             let kernel = kernel.clone();
             let lanes = lanes.clone();
             let crash_board = crash_board.clone();
-            move |_rt: &ServiceRuntime| {
+            move |rt: &ServiceRuntime| {
                 SyscallServer::new_sharded(
                     kernel.clone(),
                     lanes.iter().map(|l| l.sys_to_tcp.tx()).collect(),
@@ -739,6 +743,7 @@ impl NewtStack {
                     lanes.iter().map(|l| l.sys_to_udp.tx()).collect(),
                     lanes.iter().map(|l| l.udp_to_sys.rx()).collect(),
                     crash_board.clone(),
+                    rt.take_snapshot(),
                 )
             }
         };
@@ -789,7 +794,7 @@ impl NewtStack {
                                 // (and once at startup), so idle spins never
                                 // touch the shared telemetry mutex.
                                 let mut published = false;
-                                run_loop(&rt, || {
+                                let exit = run_loop(&rt, || {
                                     let work = server.poll();
                                     if work > 0 || !published {
                                         published = true;
@@ -801,6 +806,10 @@ impl NewtStack {
                                     }
                                     work
                                 });
+                                if exit == LoopExit::Update {
+                                    let (version, payload) = server.export_state();
+                                    rt.hand_over(version, payload);
+                                }
                             },
                         );
                     }
@@ -814,7 +823,7 @@ impl NewtStack {
                             move |rt| {
                                 let mut server = make_udp(&rt);
                                 let mut published = false;
-                                run_loop(&rt, || {
+                                let exit = run_loop(&rt, || {
                                     let work = server.poll();
                                     if work > 0 || !published {
                                         published = true;
@@ -826,6 +835,10 @@ impl NewtStack {
                                     }
                                     work
                                 });
+                                if exit == LoopExit::Update {
+                                    let (version, payload) = server.export_state();
+                                    rt.hand_over(version, payload);
+                                }
                             },
                         );
                     }
@@ -839,7 +852,7 @@ impl NewtStack {
                             move |rt| {
                                 let mut server = make_ip(&rt);
                                 let mut published = false;
-                                run_loop(&rt, || {
+                                let exit = run_loop(&rt, || {
                                     let work = server.poll();
                                     if work > 0 || !published {
                                         published = true;
@@ -851,6 +864,10 @@ impl NewtStack {
                                     }
                                     work
                                 });
+                                if exit == LoopExit::Update {
+                                    let (version, payload) = server.export_state();
+                                    rt.hand_over(version, payload);
+                                }
                             },
                         );
                     }
@@ -871,7 +888,7 @@ impl NewtStack {
                     rs.register_with_endpoint(service_config("pf"), endpoints::PF, move |rt| {
                         let mut server = make_pf(&rt);
                         let mut published = false;
-                        run_loop(&rt, || {
+                        let exit = run_loop(&rt, || {
                             let work = server.poll();
                             if work > 0 || !published {
                                 published = true;
@@ -879,6 +896,10 @@ impl NewtStack {
                             }
                             work
                         });
+                        if exit == LoopExit::Update {
+                            let (version, payload) = server.export_state();
+                            rt.hand_over(version, payload);
+                        }
                     });
                     component_services.insert(Component::PacketFilter, endpoints::PF);
                 }
@@ -892,7 +913,7 @@ impl NewtStack {
                         move |rt| {
                             let mut server = make_syscall(&rt);
                             let mut published = false;
-                            run_loop(&rt, || {
+                            let exit = run_loop(&rt, || {
                                 let work = server.poll();
                                 if work > 0 || !published {
                                     published = true;
@@ -900,6 +921,10 @@ impl NewtStack {
                                 }
                                 work
                             });
+                            if exit == LoopExit::Update {
+                                let (version, payload) = server.export_state();
+                                rt.hand_over(version, payload);
+                            }
                         },
                     );
                     component_services.insert(Component::Syscall, endpoints::SYSCALL);
@@ -915,7 +940,7 @@ impl NewtStack {
                         move |rt| {
                             let mut server = make_driver(i);
                             let mut published = false;
-                            run_loop(&rt, || {
+                            let exit = run_loop(&rt, || {
                                 let work = server.poll();
                                 if work > 0 || !published {
                                     published = true;
@@ -927,6 +952,10 @@ impl NewtStack {
                                 }
                                 work
                             });
+                            if exit == LoopExit::Update {
+                                let (version, payload) = server.export_state();
+                                rt.hand_over(version, payload);
+                            }
                         },
                     );
                     component_services.insert(Component::Driver(i), endpoints::driver(i));
@@ -963,7 +992,11 @@ impl NewtStack {
                             }
                             syscall = Some(make_syscall(&rt));
                         }
-                        run_loop(&rt, || {
+                        // The combined server never hands over a snapshot —
+                        // a live update of the monolithic bundle degrades to
+                        // a graceful restart (crash-style recovery), which is
+                        // exactly the pre-split behaviour.
+                        let _ = run_loop(&rt, || {
                             let mut work = 0;
                             work += bundle.tcp.poll();
                             work += bundle.udp.poll();
@@ -1026,11 +1059,15 @@ impl NewtStack {
                             endpoints::SYSCALL,
                             move |rt| {
                                 let mut server = make_syscall(&rt);
-                                run_loop(&rt, || {
+                                let exit = run_loop(&rt, || {
                                     let work = server.poll();
                                     telemetry.lock().syscall = server.stats();
                                     work
                                 });
+                                if exit == LoopExit::Update {
+                                    let (version, payload) = server.export_state();
+                                    rt.hand_over(version, payload);
+                                }
                             },
                         );
                         component_services.insert(Component::Syscall, endpoints::SYSCALL);
@@ -1043,7 +1080,11 @@ impl NewtStack {
                             endpoints::driver(i),
                             move |rt| {
                                 let mut server = make_driver(i);
-                                run_loop(&rt, || server.poll());
+                                let exit = run_loop(&rt, || server.poll());
+                                if exit == LoopExit::Update {
+                                    let (version, payload) = server.export_state();
+                                    rt.hand_over(version, payload);
+                                }
                             },
                         );
                         component_services.insert(Component::Driver(i), endpoints::driver(i));
@@ -1186,10 +1227,15 @@ impl NewtStack {
         }
     }
 
-    /// Requests a graceful restart of a component (live update).
+    /// Live-updates a component: quiesce, state hand-over, resume.  The
+    /// running incarnation drains to a message boundary, serializes its hot
+    /// state into a versioned [`newt_kernel::rs::StateSnapshot`], and the
+    /// replacement restores from it — surviving TCP connections never see a
+    /// SYN or RST.  A component that hands nothing over (e.g. the combined
+    /// single-server stack) degrades to a graceful crash-style restart.
     pub fn live_update(&self, component: Component) -> bool {
         match self.service_for(component) {
-            Some(service) => self.rs.force_restart(service),
+            Some(service) => self.rs.live_update(service),
             None => false,
         }
     }
@@ -1336,11 +1382,40 @@ impl Drop for NewtStack {
     }
 }
 
+/// Why a service loop returned: a plain stop (shutdown or forced restart),
+/// or a live-update request after the quiesce completed — the caller should
+/// export its state and hand it to the reincarnation server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoopExit {
+    Stop,
+    Update,
+}
+
 /// The standard service loop: poll, heartbeat, idle briefly when there is no
-/// work, exit when asked to stop.
-fn run_loop<F: FnMut() -> usize>(rt: &ServiceRuntime, mut poll: F) {
+/// work, exit when asked to stop or to hand over for a live update.
+///
+/// On a live-update request the loop *quiesces* before returning: it runs a
+/// few more poll rounds to drain the fabric batches already parked in the
+/// SPSC queues down to a message boundary.  The drain is bounded — under
+/// load peers keep producing, and their later sends simply park in the
+/// queues until the replacement re-acquires them — so the service gap stays
+/// bounded too.
+fn run_loop<F: FnMut() -> usize>(rt: &ServiceRuntime, mut poll: F) -> LoopExit {
     let mut idle_rounds = 0u32;
-    while !rt.should_stop() {
+    loop {
+        // A live update sets both flags; check the update intent first.
+        if rt.update_requested() {
+            for _ in 0..QUIESCE_ROUNDS {
+                rt.heartbeat();
+                if poll() == 0 {
+                    break;
+                }
+            }
+            return LoopExit::Update;
+        }
+        if rt.should_stop() {
+            return LoopExit::Stop;
+        }
         rt.heartbeat();
         let work = poll();
         if work == 0 {
@@ -1357,6 +1432,10 @@ fn run_loop<F: FnMut() -> usize>(rt: &ServiceRuntime, mut poll: F) {
         }
     }
 }
+
+/// Upper bound on extra poll rounds spent quiescing before a live-update
+/// hand-over.
+const QUIESCE_ROUNDS: usize = 32;
 
 /// Spins for approximately `duration` (used to emulate kernel-IPC costs).
 fn spin_for(duration: Duration) {

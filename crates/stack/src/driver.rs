@@ -60,6 +60,11 @@ pub const GRO_MAX_PAYLOAD: usize = RX_POOL_CHUNK - 128;
 /// to fit (the stack builder sizes its RX pools with this).
 pub const RX_POOL_CHUNK: usize = 16 * 1024;
 
+/// Version tag of the driver live-update snapshot payload (an empty
+/// marker — the NIC state lives behind the shared handle and survives the
+/// hand-over untouched).
+pub const DRIVER_STATE_VERSION: u32 = 1;
+
 /// Counters describing one driver's activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DriverStats {
@@ -185,6 +190,15 @@ impl DriverServer {
     /// Returns this driver's index.
     pub fn index(&self) -> usize {
         self.index
+    }
+
+    /// Serializes the driver's hot state for a live update.  The payload is
+    /// an empty versioned marker: the NIC — rings, RSS/flow-director pins,
+    /// link state — lives behind the shared handle and survives the
+    /// hand-over untouched (no crash event is published, so nothing resets
+    /// it); the replacement simply re-acquires the same lanes and pools.
+    pub fn export_state(&mut self) -> (u32, Vec<u8>) {
+        (DRIVER_STATE_VERSION, Vec::new())
     }
 
     /// Returns the number of stack shards this driver serves.

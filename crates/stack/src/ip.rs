@@ -24,8 +24,8 @@ use serde::{Deserialize, Serialize};
 use newt_channels::pool::Pool;
 use newt_channels::reqdb::{AbortPolicy, RequestDb, RequestId};
 use newt_channels::rich::{RichChain, RichPtr};
-use newt_kernel::rs::{CrashEvent, StartMode};
-use newt_kernel::storage::StorageServer;
+use newt_kernel::rs::{CrashEvent, StartMode, StateSnapshot};
+use newt_kernel::storage::{codec, StorageServer};
 use newt_net::wire::{
     internet_checksum, pseudo_header_checksum, ArpOperation, ArpPacket, EtherType, EthernetFrame,
     IcmpMessage, IcmpType, IpProtocol, Ipv4Packet, MacAddr, TcpFlags, TcpSegment, UdpDatagram,
@@ -98,7 +98,7 @@ pub struct IpStats {
 }
 
 /// Where an outbound packet originated, so completions can be routed back.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum Origin {
     Tcp(RequestId),
     Udp(RequestId),
@@ -107,7 +107,7 @@ enum Origin {
 
 /// An outbound packet somewhere between "received from a transport" and
 /// "handed to a driver".
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct OutPacket {
     origin: Origin,
     protocol: IpProtocol,
@@ -119,24 +119,43 @@ struct OutPacket {
     is_connection_start: bool,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct PendingTx {
     origin: Origin,
     chain: RichChain,
     iface: usize,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 enum PendingCheck {
     Outbound(OutPacket),
     Inbound { ptr: RichPtr, nic: usize },
 }
 
 /// Which transport a lent receive chunk went to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum LentTo {
     Tcp,
     Udp,
+}
+
+/// Version tag of the IP live-update snapshot payload.
+pub const IP_STATE_VERSION: u32 = 1;
+
+/// Everything an IP incarnation hands over on live update: the ARP cache
+/// and packets parked on unresolved ARP entries, the IP identification
+/// counter, every receive chunk currently lent to a transport, and the
+/// requests still in flight towards the drivers and the packet filter.
+/// The rx/header pools are *not* reset on this path, so every rich pointer
+/// in here stays valid across the hand-over.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct IpHotState {
+    arp_cache: Vec<(u32, MacAddr)>,
+    arp_waiting: Vec<(u32, Vec<OutPacket>)>,
+    lent_rx: Vec<(RichPtr, LentTo)>,
+    ip_ident: u16,
+    drv_in_flight: Vec<(RequestId, PendingTx)>,
+    pf_in_flight: Vec<(RequestId, PendingCheck)>,
 }
 
 /// One incarnation of the IP/ICMP/ARP server.
@@ -209,6 +228,7 @@ impl IpServer {
         to_drv: Vec<Tx<IpToDrv>>,
         from_drv: Vec<Rx<DrvToIp>>,
         crash_board: CrashBoard,
+        snapshot: Option<StateSnapshot>,
     ) -> Self {
         let storage_ns = shard.service_name("ip");
         let config = match mode {
@@ -225,9 +245,15 @@ impl IpServer {
                     .retrieve::<IpConfig>(&storage_ns, "config")
                     .unwrap_or(config)
             }
+            // Live update: the pools survive untouched — every rich pointer
+            // in flight (lent receive chunks, queued transmit chains) stays
+            // valid across the hand-over.
+            StartMode::LiveUpdate => storage
+                .retrieve::<IpConfig>(&storage_ns, "config")
+                .unwrap_or(config),
         };
         let crash_cursor = crash_board.len();
-        IpServer {
+        let mut server = IpServer {
             config,
             shard,
             tcp_name: shard.service_name("tcp"),
@@ -256,7 +282,83 @@ impl IpServer {
             pf_scratch: Vec::new(),
             drv_scratch: Vec::new(),
             check_batch: Vec::new(),
+        };
+        if matches!(mode, StartMode::LiveUpdate) {
+            let restored = snapshot
+                .as_ref()
+                .is_some_and(|snap| server.restore_from(snap));
+            if !restored {
+                // Missing or incompatible snapshot: behave like a crash
+                // restart — invalidate every outstanding pointer.
+                server.rx_pool.reset();
+                server.header_pool.reset();
+            }
         }
+        server
+    }
+
+    /// Serializes the hot state of this incarnation for a live update.
+    /// Nothing is freed or aborted — the pool chains and lent chunks stay
+    /// live and transfer to the replacement.
+    pub fn export_state(&mut self) -> (u32, Vec<u8>) {
+        let hot = IpHotState {
+            arp_cache: self
+                .arp_cache
+                .iter()
+                .map(|(ip, mac)| (u32::from(*ip), *mac))
+                .collect(),
+            arp_waiting: self
+                .arp_waiting
+                .iter()
+                .map(|(ip, pkts)| (u32::from(*ip), pkts.clone()))
+                .collect(),
+            lent_rx: self.lent_rx.iter().map(|(p, l)| (*p, *l)).collect(),
+            ip_ident: self.ip_ident,
+            drv_in_flight: self
+                .drv_reqs
+                .iter_pending()
+                .map(|(id, _, _, tx)| (id, tx.clone()))
+                .collect(),
+            pf_in_flight: self
+                .pf_reqs
+                .iter_pending()
+                .map(|(id, _, _, check)| (id, check.clone()))
+                .collect(),
+        };
+        (IP_STATE_VERSION, codec::encode(&hot))
+    }
+
+    /// Restores the hot state handed over by the previous incarnation.
+    /// Returns `false` when the snapshot belongs to another component or
+    /// carries an incompatible version.
+    fn restore_from(&mut self, snapshot: &StateSnapshot) -> bool {
+        if !snapshot.accepts(&self.shard.service_name("ip"), IP_STATE_VERSION) {
+            return false;
+        }
+        let Some(hot) = codec::decode::<IpHotState>(&snapshot.payload) else {
+            return false;
+        };
+        self.arp_cache = hot
+            .arp_cache
+            .into_iter()
+            .map(|(ip, mac)| (Ipv4Addr::from(ip), mac))
+            .collect();
+        self.arp_waiting = hot
+            .arp_waiting
+            .into_iter()
+            .map(|(ip, pkts)| (Ipv4Addr::from(ip), pkts))
+            .collect();
+        self.lent_rx = hot.lent_rx.into_iter().collect();
+        self.ip_ident = hot.ip_ident;
+        for (id, tx) in hot.drv_in_flight {
+            let to = endpoints::driver(tx.iface);
+            self.drv_reqs.restore(id, to, AbortPolicy::Resubmit, tx);
+        }
+        for (id, check) in hot.pf_in_flight {
+            self.pf_reqs
+                .restore(id, endpoints::PF, AbortPolicy::Resubmit, check);
+        }
+        true
     }
 
     /// Returns the activity counters.
@@ -945,6 +1047,17 @@ mod tests {
         rx_pool: Pool,
         header_pool: Pool,
     ) -> Rig {
+        rig_with_snapshot(mode, with_pf, storage, rx_pool, header_pool, None)
+    }
+
+    fn rig_with_snapshot(
+        mode: StartMode,
+        with_pf: bool,
+        storage: Arc<StorageServer>,
+        rx_pool: Pool,
+        header_pool: Pool,
+        snapshot: Option<StateSnapshot>,
+    ) -> Rig {
         let pools = PoolTable::new();
         pools.register(&rx_pool);
         pools.register(&header_pool);
@@ -978,6 +1091,7 @@ mod tests {
             vec![ip_drv.tx()],
             vec![drv_ip.rx()],
             crash_board.clone(),
+            snapshot,
         );
         Rig {
             ip,
@@ -1087,6 +1201,149 @@ mod tests {
         assert_eq!(eth.ethertype, EtherType::Ipv4);
         assert_eq!(eth.dst, peer_mac());
         assert_eq!(rig.ip.stats().packets_out, 1);
+    }
+
+    fn snapshot_from(version: u32, payload: Vec<u8>) -> StateSnapshot {
+        StateSnapshot {
+            component: "ip".to_string(),
+            version,
+            generation: newt_channels::endpoint::Generation::FIRST.next(),
+            taken_at: std::time::Duration::ZERO,
+            payload,
+        }
+    }
+
+    /// Queues a payload-less SYN towards an unresolved peer so the packet
+    /// parks on the ARP table with an ARP request in flight.
+    fn park_syn_on_arp(rig: &mut Rig) -> RequestId {
+        let seg = TcpSegment::control(40000, 5001, 0, 0, TcpFlags::SYN);
+        let header = IpServer::build_tcp_header(&seg);
+        let req = RequestId::from_raw(99);
+        send(
+            &rig.tcp_to_ip,
+            TransportToIp::SendPacket {
+                req,
+                protocol: IpProtocol::Tcp,
+                dst: peer_ip(),
+                src_port: 40000,
+                dst_port: 5001,
+                transport_header: header,
+                payload: RichChain::new(),
+                is_connection_start: true,
+            },
+        );
+        rig.ip.poll();
+        req
+    }
+
+    #[test]
+    fn live_update_resumes_arp_resolution_across_incarnations() {
+        let storage = Arc::new(StorageServer::new());
+        let rx_pool = Pool::new("ip.rx", endpoints::IP, 2048, 128);
+        let header_pool = Pool::new("ip.hdr", endpoints::IP, 2048, 128);
+        let (version, payload) = {
+            let mut rig = rig_with(
+                StartMode::Fresh,
+                false,
+                Arc::clone(&storage),
+                rx_pool.clone(),
+                header_pool.clone(),
+            );
+            park_syn_on_arp(&mut rig);
+            // The ARP request went out; the SYN is parked awaiting the reply.
+            assert_eq!(drain(&rig.ip_to_drv).len(), 1);
+            assert_eq!(rig.ip.drv_reqs.len(), 1);
+            rig.ip.export_state()
+        };
+        assert_eq!(version, IP_STATE_VERSION);
+        let mut rig = rig_with_snapshot(
+            StartMode::LiveUpdate,
+            false,
+            Arc::clone(&storage),
+            rx_pool.clone(),
+            header_pool.clone(),
+            Some(snapshot_from(version, payload)),
+        );
+        // The in-flight ARP transmit transferred, and when the reply lands
+        // at the *replacement*, the parked SYN goes out — resolution that
+        // started before the upgrade completes after it.
+        assert_eq!(rig.ip.drv_reqs.len(), 1);
+        let reply = ArpPacket {
+            operation: ArpOperation::Reply,
+            sender_mac: peer_mac(),
+            sender_ip: peer_ip(),
+            target_mac: MacAddr::from_index(1),
+            target_ip: Ipv4Addr::new(10, 0, 0, 1),
+        };
+        inject_frame(
+            &mut rig,
+            EthernetFrame::new(
+                MacAddr::from_index(1),
+                peer_mac(),
+                EtherType::Arp,
+                reply.build(),
+            )
+            .build(),
+        );
+        let to_driver = drain(&rig.ip_to_drv);
+        assert_eq!(to_driver.len(), 1, "parked SYN emitted after the update");
+        let IpToDrv::Transmit { chain, .. } = &to_driver[0];
+        let bytes = rig.pools.gather(chain).unwrap();
+        let eth = EthernetFrame::parse(&bytes).unwrap();
+        assert_eq!(eth.ethertype, EtherType::Ipv4);
+        assert_eq!(eth.dst, peer_mac());
+        assert_eq!(rig.ip.stats().packets_out, 1);
+    }
+
+    #[test]
+    fn live_update_version_mismatch_falls_back_to_pool_reset() {
+        let storage = Arc::new(StorageServer::new());
+        let rx_pool = Pool::new("ip.rx", endpoints::IP, 2048, 128);
+        let header_pool = Pool::new("ip.hdr", endpoints::IP, 2048, 128);
+        let (version, payload) = {
+            let mut rig = rig_with(
+                StartMode::Fresh,
+                false,
+                Arc::clone(&storage),
+                rx_pool.clone(),
+                header_pool.clone(),
+            );
+            park_syn_on_arp(&mut rig);
+            drain(&rig.ip_to_drv);
+            rig.ip.export_state()
+        };
+        let mut rig = rig_with_snapshot(
+            StartMode::LiveUpdate,
+            false,
+            Arc::clone(&storage),
+            rx_pool.clone(),
+            header_pool.clone(),
+            Some(snapshot_from(version + 1, payload)),
+        );
+        // Incompatible snapshot: the replacement starts crash-style — no
+        // transferred requests, parked packet gone, pools reset.
+        assert_eq!(rig.ip.drv_reqs.len(), 0);
+        let reply = ArpPacket {
+            operation: ArpOperation::Reply,
+            sender_mac: peer_mac(),
+            sender_ip: peer_ip(),
+            target_mac: MacAddr::from_index(1),
+            target_ip: Ipv4Addr::new(10, 0, 0, 1),
+        };
+        inject_frame(
+            &mut rig,
+            EthernetFrame::new(
+                MacAddr::from_index(1),
+                peer_mac(),
+                EtherType::Arp,
+                reply.build(),
+            )
+            .build(),
+        );
+        assert!(
+            drain(&rig.ip_to_drv).is_empty(),
+            "no parked packet survives"
+        );
     }
 
     #[test]

@@ -20,8 +20,8 @@ use std::net::Ipv4Addr;
 
 use serde::{Deserialize, Serialize};
 
-use newt_kernel::rs::StartMode;
-use newt_kernel::storage::StorageServer;
+use newt_kernel::rs::{StartMode, StateSnapshot};
+use newt_kernel::storage::{codec, StorageServer};
 use std::sync::Arc;
 
 #[cfg(test)]
@@ -142,6 +142,19 @@ impl FilterRule {
     }
 }
 
+/// Version tag of the packet-filter live-update snapshot payload.
+pub const PF_STATE_VERSION: u32 = 1;
+
+/// Everything the filter hands over on live update: the installed rule set
+/// and the connection-tracking table.  With the table transferred the
+/// replacement never has to re-query the transports, so stateful inbound
+/// blocking has no window where an established flow would be dropped.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PfHotState {
+    rules: Vec<FilterRule>,
+    tracked: Vec<(u8, u16, u32, u16)>,
+}
+
 /// Counters describing the packet filter's activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PfStats {
@@ -216,6 +229,7 @@ impl PacketFilterServer {
             vec![from_tcp],
             vec![to_udp],
             vec![from_udp],
+            None,
         )
     }
 
@@ -232,22 +246,47 @@ impl PacketFilterServer {
         from_tcp: Vec<Rx<TransportToPf>>,
         to_udp: Vec<Tx<PfToTransport>>,
         from_udp: Vec<Rx<TransportToPf>>,
+        snapshot: Option<StateSnapshot>,
     ) -> Self {
         assert_eq!(inboxes.len(), outboxes.len());
         assert_eq!(to_tcp.len(), from_tcp.len());
         assert_eq!(to_udp.len(), from_udp.len());
-        let rules = match mode {
-            StartMode::Fresh => {
-                storage.store("pf", "rules", &configured_rules);
-                configured_rules
+        // A live update restores the rule set and connection table from the
+        // snapshot; an incompatible or missing snapshot degrades to the
+        // crash-restart path (rules from storage, table re-queried).
+        let hot = match (&mode, &snapshot) {
+            (StartMode::LiveUpdate, Some(snap)) if snap.accepts("pf", PF_STATE_VERSION) => {
+                codec::decode::<PfHotState>(&snap.payload)
             }
-            StartMode::Restart => storage
-                .retrieve::<Vec<FilterRule>>("pf", "rules")
-                .unwrap_or(configured_rules),
+            _ => None,
+        };
+        let restored = hot.is_some();
+        let (rules, tracked) = match hot {
+            Some(hot) => (
+                hot.rules,
+                hot.tracked
+                    .into_iter()
+                    .map(|(proto, lport, raddr, rport)| {
+                        (proto, lport, Ipv4Addr::from(raddr), rport)
+                    })
+                    .collect(),
+            ),
+            None => {
+                let rules = match mode {
+                    StartMode::Fresh => {
+                        storage.store("pf", "rules", &configured_rules);
+                        configured_rules
+                    }
+                    _ => storage
+                        .retrieve::<Vec<FilterRule>>("pf", "rules")
+                        .unwrap_or(configured_rules),
+                };
+                (rules, HashSet::new())
+            }
         };
         let server = PacketFilterServer {
             rules,
-            tracked: HashSet::new(),
+            tracked,
             storage,
             inboxes,
             outboxes,
@@ -261,7 +300,7 @@ impl PacketFilterServer {
             transport_scratch: Vec::new(),
             verdict_batch: Vec::new(),
         };
-        if mode == StartMode::Restart {
+        if mode == StartMode::Restart || (mode == StartMode::LiveUpdate && !restored) {
             // Rebuild connection tracking by asking every transport replica
             // what is open.
             for lane in server.to_tcp.iter().chain(server.to_udp.iter()) {
@@ -269,6 +308,19 @@ impl PacketFilterServer {
             }
         }
         server
+    }
+
+    /// Serializes the hot state of this incarnation for a live update.
+    pub fn export_state(&mut self) -> (u32, Vec<u8>) {
+        let hot = PfHotState {
+            rules: self.rules.clone(),
+            tracked: self
+                .tracked
+                .iter()
+                .map(|&(proto, lport, raddr, rport)| (proto, lport, u32::from(raddr), rport))
+                .collect(),
+        };
+        (PF_STATE_VERSION, codec::encode(&hot))
     }
 
     /// Returns the filter's counters.
@@ -407,22 +459,32 @@ mod tests {
     }
 
     fn build(mode: StartMode, rules: Vec<FilterRule>, storage: Arc<StorageServer>) -> Rig {
+        build_with_snapshot(mode, rules, storage, None)
+    }
+
+    fn build_with_snapshot(
+        mode: StartMode,
+        rules: Vec<FilterRule>,
+        storage: Arc<StorageServer>,
+        snapshot: Option<StateSnapshot>,
+    ) -> Rig {
         let ip_to_pf: Chan<IpToPf> = Chan::new(64);
         let pf_to_ip: Chan<PfToIp> = Chan::new(64);
         let pf_to_tcp: Chan<PfToTransport> = Chan::new(8);
         let tcp_to_pf: Chan<TransportToPf> = Chan::new(8);
         let pf_to_udp: Chan<PfToTransport> = Chan::new(8);
         let udp_to_pf: Chan<TransportToPf> = Chan::new(8);
-        let pf = PacketFilterServer::new(
+        let pf = PacketFilterServer::new_sharded(
             mode,
             rules,
             Arc::clone(&storage),
-            ip_to_pf.rx(),
-            pf_to_ip.tx(),
-            pf_to_tcp.tx(),
-            tcp_to_pf.rx(),
-            pf_to_udp.tx(),
-            udp_to_pf.rx(),
+            vec![ip_to_pf.rx()],
+            vec![pf_to_ip.tx()],
+            vec![pf_to_tcp.tx()],
+            vec![tcp_to_pf.rx()],
+            vec![pf_to_udp.tx()],
+            vec![udp_to_pf.rx()],
+            snapshot,
         );
         Rig {
             pf,
@@ -540,6 +602,81 @@ mod tests {
         outbound.dst = bad;
         assert!(!check(&mut rig, 2, outbound));
         assert!(check(&mut rig, 3, meta(Direction::Inbound, 1, 2)));
+    }
+
+    fn snapshot_from(version: u32, payload: Vec<u8>) -> StateSnapshot {
+        StateSnapshot {
+            component: "pf".to_string(),
+            version,
+            generation: newt_channels::endpoint::Generation::FIRST.next(),
+            taken_at: std::time::Duration::ZERO,
+            payload,
+        }
+    }
+
+    #[test]
+    fn live_update_transfers_rules_and_connection_table_without_requery() {
+        let storage = Arc::new(StorageServer::new());
+        let (version, payload) = {
+            let mut rig = build(
+                StartMode::Fresh,
+                vec![FilterRule::block_inbound()],
+                Arc::clone(&storage),
+            );
+            // Track an outbound flow so the table is non-trivial.
+            let mut out = meta(Direction::Outbound, 40000, 5001);
+            out.src = Ipv4Addr::new(10, 0, 0, 1);
+            out.dst = Ipv4Addr::new(10, 0, 0, 2);
+            out.is_connection_start = true;
+            assert!(check(&mut rig, 1, out));
+            rig.pf.export_state()
+        };
+        assert_eq!(version, PF_STATE_VERSION);
+        let mut rig = build_with_snapshot(
+            StartMode::LiveUpdate,
+            vec![],
+            Arc::clone(&storage),
+            Some(snapshot_from(version, payload)),
+        );
+        // Rules and the tracked flow came from the snapshot — no
+        // QueryConnections round trip, no window where return traffic of an
+        // established flow would be blocked.
+        assert_eq!(rig.pf.stats().rules, 1);
+        assert_eq!(rig.pf.stats().tracked_flows, 1);
+        assert!(
+            drain(&rig.tcp_query).is_empty(),
+            "no re-query on live update"
+        );
+        assert!(check(&mut rig, 2, meta(Direction::Inbound, 5001, 40000)));
+        assert!(!check(&mut rig, 3, meta(Direction::Inbound, 5001, 40001)));
+    }
+
+    #[test]
+    fn live_update_version_mismatch_requeries_connections() {
+        let storage = Arc::new(StorageServer::new());
+        let (version, payload) = {
+            let mut rig = build(
+                StartMode::Fresh,
+                vec![FilterRule::block_inbound()],
+                Arc::clone(&storage),
+            );
+            assert!(!check(&mut rig, 1, meta(Direction::Inbound, 9, 9)));
+            rig.pf.export_state()
+        };
+        let rig = build_with_snapshot(
+            StartMode::LiveUpdate,
+            vec![],
+            Arc::clone(&storage),
+            Some(snapshot_from(version + 1, payload)),
+        );
+        // Incompatible snapshot: rules recovered from storage, connection
+        // table rebuilt the crash-restart way.
+        assert_eq!(rig.pf.stats().rules, 1);
+        assert_eq!(rig.pf.stats().tracked_flows, 0);
+        assert!(matches!(
+            drain(&rig.tcp_query)[..],
+            [PfToTransport::QueryConnections]
+        ));
     }
 
     #[test]

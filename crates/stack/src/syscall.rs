@@ -17,10 +17,12 @@
 //! director steers the socket's packets.
 
 use newt_channels::endpoint::Endpoint;
-use newt_channels::reqdb::{AbortPolicy, RequestDb};
+use newt_channels::reqdb::{AbortPolicy, RequestDb, RequestId};
 use newt_kernel::ipc::{KernelIpc, Message};
-use newt_kernel::rs::CrashEvent;
+use newt_kernel::rs::{CrashEvent, StateSnapshot};
+use newt_kernel::storage::codec;
 use newt_net::wire::IpProtocol;
+use serde::{Deserialize, Serialize};
 
 use crate::endpoints;
 #[cfg(test)]
@@ -45,6 +47,21 @@ pub struct SyscallStats {
 #[derive(Debug, Clone, Copy)]
 struct PendingCall {
     app: Endpoint,
+}
+
+/// Version tag of the SYSCALL live-update snapshot payload.
+pub const SYSCALL_STATE_VERSION: u32 = 1;
+
+/// Everything the SYSCALL server hands over on live update: the table of
+/// calls still waiting for a protocol-server reply (id, routed-to
+/// transport, calling application) and the round-robin placement cursors.
+/// With the table transferred, in-flight system calls complete normally
+/// instead of being failed back to the applications.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SyscallHotState {
+    next_tcp_shard: usize,
+    next_udp_shard: usize,
+    pending: Vec<(RequestId, Endpoint, Endpoint)>,
 }
 
 /// One incarnation of the SYSCALL server.
@@ -88,11 +105,16 @@ impl SyscallServer {
             vec![to_udp],
             vec![from_udp],
             crash_board,
+            None,
         )
     }
 
     /// Creates a SYSCALL server incarnation routing to one transport pair
-    /// per stack shard.
+    /// per stack shard.  A valid live-update `snapshot` restores the
+    /// outstanding-call table and placement cursors; otherwise the server
+    /// starts empty (its only state is the call table, so a cold start *is*
+    /// the crash-recovery path).
+    #[allow(clippy::too_many_arguments)]
     pub fn new_sharded(
         kernel: KernelIpc,
         to_tcp: Vec<Tx<SockRequest>>,
@@ -100,6 +122,7 @@ impl SyscallServer {
         to_udp: Vec<Tx<SockRequest>>,
         from_udp: Vec<Rx<SockReply>>,
         crash_board: CrashBoard,
+        snapshot: Option<StateSnapshot>,
     ) -> Self {
         assert!(!to_tcp.is_empty());
         assert_eq!(to_tcp.len(), from_tcp.len());
@@ -107,7 +130,7 @@ impl SyscallServer {
         assert_eq!(to_udp.len(), from_udp.len());
         kernel.attach(endpoints::SYSCALL);
         let crash_cursor = crash_board.len();
-        SyscallServer {
+        let mut server = SyscallServer {
             kernel,
             to_tcp,
             from_tcp,
@@ -120,7 +143,42 @@ impl SyscallServer {
             pending: RequestDb::new(),
             stats: SyscallStats::default(),
             reply_scratch: Vec::new(),
+        };
+        if let Some(snap) = snapshot {
+            server.restore_from(&snap);
         }
+        server
+    }
+
+    /// Serializes the hot state of this incarnation for a live update.
+    pub fn export_state(&mut self) -> (u32, Vec<u8>) {
+        let hot = SyscallHotState {
+            next_tcp_shard: self.next_tcp_shard,
+            next_udp_shard: self.next_udp_shard,
+            pending: self
+                .pending
+                .iter_pending()
+                .map(|(id, to, _, call)| (id, to, call.app))
+                .collect(),
+        };
+        (SYSCALL_STATE_VERSION, codec::encode(&hot))
+    }
+
+    /// Restores the hot state handed over by the previous incarnation.
+    fn restore_from(&mut self, snapshot: &StateSnapshot) -> bool {
+        if !snapshot.accepts("syscall", SYSCALL_STATE_VERSION) {
+            return false;
+        }
+        let Some(hot) = codec::decode::<SyscallHotState>(&snapshot.payload) else {
+            return false;
+        };
+        self.next_tcp_shard = hot.next_tcp_shard;
+        self.next_udp_shard = hot.next_udp_shard;
+        for (id, to, app) in hot.pending {
+            self.pending
+                .restore(id, to, AbortPolicy::Fail, PendingCall { app });
+        }
+        true
     }
 
     /// Returns the number of stack shards this server routes to.
@@ -401,6 +459,65 @@ mod tests {
         assert_eq!(rig.syscall.stats().calls, 1);
         assert_eq!(rig.syscall.stats().replies, 1);
         assert_eq!(rig.syscall.outstanding(), 0);
+    }
+
+    #[test]
+    fn live_update_completes_in_flight_calls_in_the_replacement() {
+        let kernel = KernelIpc::new(CostModel::default());
+        let app = endpoints::application(0);
+        kernel.attach(app);
+        let sys_tcp: Chan<SockRequest> = Chan::new(16);
+        let tcp_sys: Chan<SockReply> = Chan::new(16);
+        let sys_udp: Chan<SockRequest> = Chan::new(16);
+        let udp_sys: Chan<SockReply> = Chan::new(16);
+        let mut first = SyscallServer::new_sharded(
+            kernel.clone(),
+            vec![sys_tcp.tx()],
+            vec![tcp_sys.rx()],
+            vec![sys_udp.tx()],
+            vec![udp_sys.rx()],
+            CrashBoard::new(),
+            None,
+        );
+        let msg = Message::new(syscalls::SOCKET).with_word(syscalls::PROTO_WORD, 6);
+        kernel.send(app, endpoints::SYSCALL, msg).unwrap();
+        first.poll();
+        let req = match &drain(&sys_tcp.rx())[..] {
+            [SockRequest::Open { req }] => *req,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(first.outstanding(), 1);
+
+        let (version, payload) = first.export_state();
+        assert_eq!(version, SYSCALL_STATE_VERSION);
+        // The old incarnation exits, parking its fabric endpoints for the
+        // replacement to re-acquire.
+        drop(first);
+        let snapshot = StateSnapshot {
+            component: "syscall".to_string(),
+            version,
+            generation: Generation::FIRST.next(),
+            taken_at: Duration::ZERO,
+            payload,
+        };
+        let mut second = SyscallServer::new_sharded(
+            kernel.clone(),
+            vec![sys_tcp.tx()],
+            vec![tcp_sys.rx()],
+            vec![sys_udp.tx()],
+            vec![udp_sys.rx()],
+            CrashBoard::new(),
+            Some(snapshot),
+        );
+        assert_eq!(second.outstanding(), 1, "in-flight call transferred");
+        // TCP answers after the upgrade; the reply reaches the application
+        // through the replacement instead of being failed back.
+        send(&tcp_sys.tx(), SockReply::Opened { req, sock: 42 });
+        second.poll();
+        let reply = kernel.receive(app, Duration::from_secs(1)).unwrap();
+        assert_eq!(reply.mtype, syscalls::REPLY_OK);
+        assert_eq!(reply.word(0), 42);
+        assert_eq!(second.outstanding(), 0);
     }
 
     #[test]

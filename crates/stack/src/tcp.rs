@@ -29,8 +29,8 @@ use newt_channels::registry::{Access, Registry};
 use newt_channels::reqdb::{AbortPolicy, RequestDb, RequestId};
 use newt_channels::rich::{RichChain, RichPtr};
 use newt_kernel::clock::SimClock;
-use newt_kernel::rs::{CrashEvent, StartMode};
-use newt_kernel::storage::StorageServer;
+use newt_kernel::rs::{CrashEvent, StartMode, StateSnapshot};
+use newt_kernel::storage::{codec, StorageServer};
 use newt_net::rss::{FlowKey, RssKey, RssSteering};
 use newt_net::wire::{EthernetFrame, IpProtocol, Ipv4Packet, TcpFlags, TcpSegment};
 
@@ -220,7 +220,7 @@ pub struct TcpStats {
 }
 
 /// TCP connection states (RFC 793 subset).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum TcpState {
     Listen,
     SynSent,
@@ -309,7 +309,7 @@ impl TcpSock {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct PendingSend {
     chain: RichChain,
     dst: Ipv4Addr,
@@ -317,6 +317,58 @@ struct PendingSend {
     dst_port: u16,
     transport_header: Vec<u8>,
     is_connection_start: bool,
+}
+
+/// Wire-format version of the TCP live-update snapshot.  Bumped whenever
+/// `TcpHotState`/`HotSock` change incompatibly; a replacement
+/// incarnation that sees a different version falls back to crash-style
+/// recovery instead of misreading the predecessor's state.
+pub const TCP_STATE_VERSION: u32 = 1;
+
+/// The full per-connection state carried across a live update — everything
+/// [`SockSummary`] deliberately drops: send/receive sequence state,
+/// unacknowledged bytes, congestion control, timer deadlines and the
+/// requests parked inside the server (pending accepts/connects).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct HotSock {
+    id: SockId,
+    state: TcpState,
+    local_port: u16,
+    remote: Option<(u32, u16)>,
+    snd_una: u32,
+    snd_nxt: u32,
+    unacked: Vec<u8>,
+    peer_window: u32,
+    cwnd: u32,
+    ssthresh: u32,
+    dup_acks: u32,
+    rto: Duration,
+    rto_deadline: Option<Duration>,
+    rcv_nxt: u32,
+    backlog: Vec<SockId>,
+    pending_accepts: Vec<RequestId>,
+    backlog_limit: usize,
+    sharded_listener: bool,
+    pending_connect: Option<RequestId>,
+    close_requested: bool,
+    fin_sent: bool,
+    mss: usize,
+    ack_pending: bool,
+    segs_since_ack: u32,
+}
+
+/// Everything a TCP incarnation hands to its live-update replacement:
+/// connection blocks, allocator cursors and the sends still in flight
+/// towards IP (their pool chains survive the hand-over — the TX pool is
+/// *not* reset, so pending `SendDone`s complete against the restored
+/// request database instead of leaking chunks).
+#[derive(Debug, Serialize, Deserialize)]
+struct TcpHotState {
+    next_sock: SockId,
+    next_ephemeral: u16,
+    isn_counter: u32,
+    sockets: Vec<HotSock>,
+    in_flight: Vec<(RequestId, PendingSend)>,
 }
 
 /// One incarnation of the TCP server.
@@ -409,6 +461,7 @@ impl TcpServer {
         to_pf: Tx<TransportToPf>,
         crash_board: CrashBoard,
         doorbell: Arc<Doorbell>,
+        snapshot: Option<StateSnapshot>,
     ) -> Self {
         let crash_cursor = crash_board.len();
         let rss_key = config.rss_key;
@@ -453,11 +506,23 @@ impl TcpServer {
             active_senders: 0,
             senders_dirty: true,
         };
-        if mode == StartMode::Restart {
-            server.tx_pool.reset();
-            server.recover();
-        } else {
-            server.persist_sockets();
+        match mode {
+            StartMode::Fresh => server.persist_sockets(),
+            StartMode::Restart => {
+                server.tx_pool.reset();
+                server.recover();
+            }
+            StartMode::LiveUpdate => {
+                let restored = snapshot
+                    .as_ref()
+                    .is_some_and(|snap| server.restore_from(snap));
+                if !restored {
+                    // Missing or incompatible snapshot: recover crash-style
+                    // (listeners come back, established connections reset).
+                    server.tx_pool.reset();
+                    server.recover();
+                }
+            }
         }
         server
     }
@@ -514,6 +579,143 @@ impl TcpServer {
             }
         }
         self.persist_sockets();
+    }
+
+    // ---- live update (quiesce / state transfer / resume) --------------------
+
+    /// Serializes this incarnation's hot state for a live-update hand-over
+    /// (the state-transfer phase): every connection block, the allocator
+    /// cursors and the in-flight sends towards IP.  Returns the snapshot
+    /// version tag and the encoded payload.
+    ///
+    /// Called after the quiesce drain, so the fabric queues are at a message
+    /// boundary; nothing is emitted and nothing is freed — the shared TX
+    /// pool, socket buffers and NIC flow-director pins all outlive the
+    /// incarnation.
+    pub fn export_state(&mut self) -> (u32, Vec<u8>) {
+        let sockets = self
+            .sockets
+            .values()
+            .map(|s| HotSock {
+                id: s.id,
+                state: s.state,
+                local_port: s.local_port,
+                remote: s.remote.map(|(a, p)| (u32::from(a), p)),
+                snd_una: s.snd_una,
+                snd_nxt: s.snd_nxt,
+                unacked: s.unacked.clone(),
+                peer_window: s.peer_window,
+                cwnd: s.cwnd,
+                ssthresh: s.ssthresh,
+                dup_acks: s.dup_acks,
+                rto: s.rto,
+                rto_deadline: s.rto_deadline,
+                rcv_nxt: s.rcv_nxt,
+                backlog: s.backlog.clone(),
+                pending_accepts: s.pending_accepts.clone(),
+                backlog_limit: s.backlog_limit,
+                sharded_listener: s.sharded_listener,
+                pending_connect: s.pending_connect,
+                close_requested: s.close_requested,
+                fin_sent: s.fin_sent,
+                mss: s.mss,
+                ack_pending: s.ack_pending,
+                segs_since_ack: s.segs_since_ack,
+            })
+            .collect();
+        let in_flight = self
+            .ip_reqs
+            .iter_pending()
+            .map(|(id, _, _, pending)| (id, pending.clone()))
+            .collect();
+        let hot = TcpHotState {
+            next_sock: self.next_sock,
+            next_ephemeral: self.next_ephemeral,
+            isn_counter: self.isn_counter,
+            sockets,
+            in_flight,
+        };
+        (TCP_STATE_VERSION, codec::encode(&hot))
+    }
+
+    /// Restores from a predecessor's snapshot (the resume phase of a live
+    /// update).  Re-attaches every socket's shared buffer and doorbell,
+    /// re-arms RTO and delayed-ACK timers from their virtual-time deadlines,
+    /// restores the in-flight send database under the original request ids
+    /// and puts every socket on the ready list so the first poll round pumps
+    /// whatever the applications did while the server was down.  Emits
+    /// **nothing**: surviving connections never see a SYN or RST.
+    ///
+    /// Returns `false` when the snapshot's tag or payload is unreadable; the
+    /// caller then falls back to crash-style recovery.
+    fn restore_from(&mut self, snapshot: &StateSnapshot) -> bool {
+        if !snapshot.accepts(&self.storage_ns, TCP_STATE_VERSION) {
+            return false;
+        }
+        let Some(hot) = codec::decode::<TcpHotState>(&snapshot.payload) else {
+            return false;
+        };
+        self.next_sock = hot.next_sock;
+        self.next_ephemeral = hot.next_ephemeral;
+        self.isn_counter = hot.isn_counter;
+        let now = self.clock.now();
+        for h in hot.sockets {
+            let buffer: Arc<SocketBuffer> = self
+                .registry
+                .attach_shared(self.endpoint, &Self::buffer_name(h.id))
+                .unwrap_or_else(|_| Arc::new(SocketBuffer::with_defaults()));
+            buffer.attach_doorbell(Arc::clone(&self.doorbell), h.id);
+            let mut sock = self.blank_socket(h.id, buffer);
+            sock.state = h.state;
+            sock.local_port = h.local_port;
+            sock.remote = h.remote.map(|(a, p)| (Ipv4Addr::from(a), p));
+            sock.snd_una = h.snd_una;
+            sock.snd_nxt = h.snd_nxt;
+            sock.unacked = h.unacked;
+            sock.peer_window = h.peer_window;
+            sock.cwnd = h.cwnd;
+            sock.ssthresh = h.ssthresh;
+            sock.dup_acks = h.dup_acks;
+            sock.rto = h.rto;
+            sock.rto_deadline = h.rto_deadline;
+            sock.rcv_nxt = h.rcv_nxt;
+            sock.backlog = h.backlog;
+            sock.pending_accepts = h.pending_accepts;
+            sock.backlog_limit = h.backlog_limit;
+            sock.sharded_listener = h.sharded_listener;
+            sock.pending_connect = h.pending_connect;
+            sock.close_requested = h.close_requested;
+            sock.fin_sent = h.fin_sent;
+            sock.mss = h.mss;
+            sock.ack_pending = h.ack_pending;
+            sock.segs_since_ack = h.segs_since_ack;
+            let rto_deadline = sock.rto_deadline;
+            let ack_pending = sock.ack_pending;
+            self.sockets.insert(h.id, sock);
+            // Re-arm timers.  A deadline that passed while the component was
+            // down lands in the wheel's next scanned bucket and fires on the
+            // first timer sweep.
+            if let Some(deadline) = rto_deadline {
+                self.arm_rto(h.id, deadline);
+            }
+            if ack_pending {
+                let deadline = now + self.config.delayed_ack;
+                if let Some(s) = self.sockets.get_mut(&h.id) {
+                    s.ack_timer_armed = true;
+                }
+                self.wheel.insert(h.id, TimerKind::DelayedAck, deadline);
+            }
+            // "Re-ring the doorbell": whatever the application wrote or
+            // closed during the hand-over is picked up by the first pump.
+            self.enqueue_ready(h.id);
+        }
+        for (id, pending) in hot.in_flight {
+            self.ip_reqs
+                .restore(id, self.ip_endpoint, AbortPolicy::Resubmit, pending);
+        }
+        self.senders_dirty = true;
+        self.persist_sockets();
+        true
     }
 
     fn persist_sockets(&self) {
@@ -1827,6 +2029,15 @@ mod tests {
     }
 
     fn rig_with(mode: StartMode, storage: Arc<StorageServer>, registry: Registry) -> Rig {
+        rig_with_snapshot(mode, storage, registry, None)
+    }
+
+    fn rig_with_snapshot(
+        mode: StartMode,
+        storage: Arc<StorageServer>,
+        registry: Registry,
+        snapshot: Option<StateSnapshot>,
+    ) -> Rig {
         let clock = SimClock::with_speedup(50.0);
         let tx_pool = Pool::new("tcp.tx", endpoints::TCP, 32 * 1024, 256);
         // Chunk size matches the builder's RX pools: large enough for a
@@ -1864,6 +2075,7 @@ mod tests {
             tcp_pf.tx(),
             CrashBoard::new(),
             Doorbell::new(),
+            snapshot,
         );
         Rig {
             tcp,
@@ -2741,5 +2953,113 @@ mod tests {
             .unwrap();
         assert_eq!(buffer.error(), Some(SockError::ConnectionReset));
         assert!(rig.tcp.stats().connections_reset >= 1);
+    }
+
+    fn snapshot_from(version: u32, payload: Vec<u8>) -> StateSnapshot {
+        StateSnapshot {
+            component: "tcp".to_string(),
+            version,
+            generation: Generation::FIRST,
+            taken_at: Duration::ZERO,
+            payload,
+        }
+    }
+
+    #[test]
+    fn live_update_carries_established_connections_across_incarnations() {
+        let storage = Arc::new(StorageServer::new());
+        let registry = Registry::new();
+        let (sock, local_port, snd_nxt, rcv_nxt, version, payload, in_flight) = {
+            let mut rig = rig_with(StartMode::Fresh, Arc::clone(&storage), registry.clone());
+            let (sock, local_port, snd, rcv) = connect_established(&mut rig);
+            // Data in flight towards IP, not yet acknowledged by the peer.
+            let buffer: Arc<SocketBuffer> = rig
+                .registry
+                .attach_shared(endpoints::SYSCALL, &TcpServer::buffer_name(sock))
+                .unwrap();
+            buffer.write(&[7u8; 1000], Duration::from_secs(1)).unwrap();
+            rig.tcp.poll();
+            assert!(!outgoing(&mut rig).is_empty());
+            let in_flight = rig.tcp.ip_reqs.len();
+            assert!(in_flight >= 1, "a send should be pending towards IP");
+            let (version, payload) = rig.tcp.export_state();
+            (
+                sock,
+                local_port,
+                snd.wrapping_add(1000),
+                rcv,
+                version,
+                payload,
+                in_flight,
+            )
+        };
+
+        // The replacement incarnation restores instead of recovering.
+        let mut rig = rig_with_snapshot(
+            StartMode::LiveUpdate,
+            Arc::clone(&storage),
+            registry.clone(),
+            Some(snapshot_from(version, payload)),
+        );
+        assert_eq!(rig.tcp.stats().connections_reset, 0);
+        let restored = rig.tcp.sockets.get(&sock).expect("connection survived");
+        assert_eq!(restored.state, TcpState::Established);
+        assert_eq!(restored.local_port, local_port);
+        assert_eq!(restored.snd_nxt, snd_nxt);
+        assert_eq!(restored.rcv_nxt, rcv_nxt);
+        assert_eq!(restored.unacked.len(), 1000);
+        assert!(
+            restored.rto_deadline.is_some(),
+            "the retransmission deadline must survive the hand-over"
+        );
+        // The in-flight send database came across under the original ids.
+        assert_eq!(rig.tcp.ip_reqs.len(), in_flight);
+        // The application never saw an error on the shared buffer.
+        let buffer: Arc<SocketBuffer> = registry
+            .attach_shared(endpoints::SYSCALL, &TcpServer::buffer_name(sock))
+            .unwrap();
+        assert_eq!(buffer.error(), None);
+        // No SYN or RST is emitted for the surviving connection; the first
+        // poll emits at most data/ACK segments.
+        rig.tcp.poll();
+        for seg in outgoing(&mut rig) {
+            assert!(!seg.flags.syn && !seg.flags.rst, "resume emitted {seg:?}");
+        }
+        // The connection keeps moving: new application data flows with the
+        // carried-over sequence numbers.
+        buffer.write(&[8u8; 100], Duration::from_secs(1)).unwrap();
+        rig.tcp.poll();
+        let data: Vec<TcpSegment> = outgoing(&mut rig)
+            .into_iter()
+            .filter(|s| !s.payload.is_empty())
+            .collect();
+        assert_eq!(data.len(), 1);
+        assert_eq!(data[0].seq, snd_nxt);
+    }
+
+    #[test]
+    fn live_update_version_mismatch_falls_back_to_crash_recovery() {
+        let storage = Arc::new(StorageServer::new());
+        let registry = Registry::new();
+        let (sock, payload) = {
+            let mut rig = rig_with(StartMode::Fresh, Arc::clone(&storage), registry.clone());
+            let (sock, _p, _s, _r) = connect_established(&mut rig);
+            let (_version, payload) = rig.tcp.export_state();
+            (sock, payload)
+        };
+        // A snapshot from an incompatible predecessor version must not be
+        // trusted: the incarnation recovers crash-style instead.
+        let rig = rig_with_snapshot(
+            StartMode::LiveUpdate,
+            Arc::clone(&storage),
+            registry.clone(),
+            Some(snapshot_from(TCP_STATE_VERSION + 1, payload)),
+        );
+        assert!(!rig.tcp.sockets.contains_key(&sock));
+        assert!(rig.tcp.stats().connections_reset >= 1);
+        let buffer: Arc<SocketBuffer> = registry
+            .attach_shared(endpoints::SYSCALL, &TcpServer::buffer_name(sock))
+            .unwrap();
+        assert_eq!(buffer.error(), Some(SockError::ConnectionReset));
     }
 }

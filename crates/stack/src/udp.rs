@@ -24,8 +24,8 @@ use newt_channels::pool::Pool;
 use newt_channels::registry::{Access, Registry};
 use newt_channels::reqdb::{AbortPolicy, RequestDb};
 use newt_channels::rich::{RichChain, RichPtr};
-use newt_kernel::rs::{CrashEvent, StartMode};
-use newt_kernel::storage::StorageServer;
+use newt_kernel::rs::{CrashEvent, StartMode, StateSnapshot};
+use newt_kernel::storage::{codec, StorageServer};
 use newt_net::wire::{EthernetFrame, IpProtocol, Ipv4Packet, UdpDatagram, UDP_HEADER_LEN};
 
 use crate::endpoints;
@@ -79,6 +79,34 @@ struct UdpSockState {
     id: SockId,
     local_port: u16,
     remote: Option<(u32, u16)>,
+}
+
+/// Version tag of the UDP live-update snapshot payload.  A replacement
+/// incarnation only restores a snapshot carrying exactly this version;
+/// anything else falls back to crash-style recovery from the storage
+/// server.
+pub const UDP_STATE_VERSION: u32 = 1;
+
+/// Hot state of one UDP socket inside a live-update snapshot: the
+/// persisted configuration plus the partially received send record that a
+/// crash would have dropped.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct HotUdpSock {
+    id: SockId,
+    local_port: u16,
+    remote: Option<(u32, u16)>,
+    pending_send: Vec<u8>,
+}
+
+/// Everything a UDP incarnation hands over on live update: socket table
+/// (including partial send records), allocation cursors, and the requests
+/// still in flight towards IP with their live pool chains.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct UdpHotState {
+    next_sock: SockId,
+    next_ephemeral: u16,
+    sockets: Vec<HotUdpSock>,
+    in_flight: Vec<(newt_channels::reqdb::RequestId, RichChain)>,
 }
 
 #[derive(Debug)]
@@ -173,6 +201,7 @@ impl UdpServer {
         from_pf: Rx<PfToTransport>,
         to_pf: Tx<TransportToPf>,
         crash_board: CrashBoard,
+        snapshot: Option<StateSnapshot>,
     ) -> Self {
         let crash_cursor = crash_board.len();
         let mut server = UdpServer {
@@ -211,8 +240,86 @@ impl UdpServer {
                 server.tx_pool.reset();
                 server.recover();
             }
+            StartMode::LiveUpdate => {
+                let restored = snapshot
+                    .as_ref()
+                    .is_some_and(|snap| server.restore_from(snap));
+                if !restored {
+                    // Missing or incompatible snapshot: fall back to
+                    // crash-style recovery from the storage server.
+                    server.tx_pool.reset();
+                    server.recover();
+                }
+            }
         }
         server
+    }
+
+    /// Serializes the hot state of this incarnation for a live update:
+    /// socket table with partial send records, allocation cursors, and
+    /// in-flight requests towards IP.  Nothing is freed or aborted — the
+    /// pool chains stay live and transfer to the replacement.
+    pub fn export_state(&mut self) -> (u32, Vec<u8>) {
+        let hot = UdpHotState {
+            next_sock: self.next_sock,
+            next_ephemeral: self.next_ephemeral,
+            sockets: self
+                .sockets
+                .values()
+                .map(|s| HotUdpSock {
+                    id: s.id,
+                    local_port: s.local_port,
+                    remote: s.remote.map(|(a, p)| (u32::from(a), p)),
+                    pending_send: s.pending_send.clone(),
+                })
+                .collect(),
+            in_flight: self
+                .ip_reqs
+                .iter_pending()
+                .map(|(id, _, _, chain)| (id, chain.clone()))
+                .collect(),
+        };
+        (UDP_STATE_VERSION, codec::encode(&hot))
+    }
+
+    /// Restores the hot state handed over by the previous incarnation.
+    /// Returns `false` when the snapshot belongs to another component or
+    /// carries an incompatible version, in which case the caller falls
+    /// back to crash-style recovery.
+    fn restore_from(&mut self, snapshot: &StateSnapshot) -> bool {
+        if !snapshot.accepts(&self.storage_ns, UDP_STATE_VERSION) {
+            return false;
+        }
+        let Some(hot) = codec::decode::<UdpHotState>(&snapshot.payload) else {
+            return false;
+        };
+        self.next_sock = hot.next_sock;
+        self.next_ephemeral = hot.next_ephemeral;
+        for h in hot.sockets {
+            if h.local_port != 0 {
+                self.ports_in_use.insert(h.local_port);
+            }
+            let buffer: Arc<SocketBuffer> = self
+                .registry
+                .attach_shared(self.endpoint, &Self::buffer_name(h.id))
+                .unwrap_or_else(|_| Arc::new(SocketBuffer::with_defaults()));
+            self.sockets.insert(
+                h.id,
+                UdpSock {
+                    id: h.id,
+                    local_port: h.local_port,
+                    remote: h.remote.map(|(a, p)| (Ipv4Addr::from(a), p)),
+                    buffer,
+                    pending_send: h.pending_send,
+                },
+            );
+        }
+        for (id, chain) in hot.in_flight {
+            self.ip_reqs
+                .restore(id, self.ip_endpoint, AbortPolicy::Drop, chain);
+        }
+        self.persist();
+        true
     }
 
     fn buffer_name(id: SockId) -> String {
@@ -692,6 +799,15 @@ mod tests {
     }
 
     fn rig_with(mode: StartMode, storage: Arc<StorageServer>, registry: Registry) -> Rig {
+        rig_with_snapshot(mode, storage, registry, None)
+    }
+
+    fn rig_with_snapshot(
+        mode: StartMode,
+        storage: Arc<StorageServer>,
+        registry: Registry,
+        snapshot: Option<StateSnapshot>,
+    ) -> Rig {
         let tx_pool = Pool::new("udp.tx", endpoints::UDP, 4096, 64);
         let rx_pool = Pool::new("ip.rx", endpoints::IP, 2048, 64);
         let pools = PoolTable::new();
@@ -718,6 +834,7 @@ mod tests {
             pf_udp.rx(),
             udp_pf.tx(),
             CrashBoard::new(),
+            snapshot,
         );
         Rig {
             udp,
@@ -947,6 +1064,77 @@ mod tests {
             "datagram written before recovery flows after restart"
         );
         let _ = sock;
+    }
+
+    fn snapshot_from(version: u32, payload: Vec<u8>) -> StateSnapshot {
+        StateSnapshot {
+            component: "udp".to_string(),
+            version,
+            generation: Generation::FIRST.next(),
+            taken_at: Duration::ZERO,
+            payload,
+        }
+    }
+
+    #[test]
+    fn live_update_carries_sockets_and_in_flight_sends_across_incarnations() {
+        let storage = Arc::new(StorageServer::new());
+        let registry = Registry::new();
+        let mut rig = rig_with(StartMode::Fresh, Arc::clone(&storage), registry.clone());
+        let sock = open_and_bind(&mut rig, 5353);
+        let buffer: Arc<SocketBuffer> = rig
+            .registry
+            .attach_shared(endpoints::SYSCALL, &UdpServer::buffer_name(sock))
+            .unwrap();
+        // One datagram in flight towards IP (no SendDone consumed yet).
+        let record = encode_datagram(PEER, 53, b"query");
+        buffer.write(&record, Duration::from_secs(1)).unwrap();
+        rig.udp.poll();
+        assert_eq!(drain(&rig.ip_rx).len(), 1);
+        assert_eq!(rig.udp.ip_reqs.len(), 1);
+
+        let (version, payload) = rig.udp.export_state();
+        assert_eq!(version, UDP_STATE_VERSION);
+        let mut next = rig_with_snapshot(
+            StartMode::LiveUpdate,
+            Arc::clone(&storage),
+            registry.clone(),
+            Some(snapshot_from(version, payload)),
+        );
+        // The socket survives with its binding and shared buffer; the
+        // in-flight request transferred (no abort, no chain freed); nothing
+        // was counted as a crash recovery.
+        assert_eq!(next.udp.socket_count(), 1);
+        assert_eq!(next.udp.ip_reqs.len(), 1);
+        assert_eq!(next.udp.stats().recovered_sockets, 0);
+        let record = encode_datagram(PEER, 53, b"after update");
+        buffer.write(&record, Duration::from_secs(1)).unwrap();
+        next.udp.poll();
+        assert_eq!(
+            drain(&next.ip_rx).len(),
+            1,
+            "datagram written before the update flows through the replacement"
+        );
+    }
+
+    #[test]
+    fn live_update_version_mismatch_falls_back_to_crash_recovery() {
+        let storage = Arc::new(StorageServer::new());
+        let registry = Registry::new();
+        let (version, payload) = {
+            let mut rig = rig_with(StartMode::Fresh, Arc::clone(&storage), registry.clone());
+            open_and_bind(&mut rig, 5353);
+            rig.udp.export_state()
+        };
+        let next = rig_with_snapshot(
+            StartMode::LiveUpdate,
+            Arc::clone(&storage),
+            registry.clone(),
+            Some(snapshot_from(version + 1, payload)),
+        );
+        // Incompatible snapshot: crash-style recovery from storage instead.
+        assert_eq!(next.udp.socket_count(), 1);
+        assert_eq!(next.udp.stats().recovered_sockets, 1);
     }
 
     #[test]

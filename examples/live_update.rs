@@ -1,85 +1,124 @@
-//! Live update: replace the UDP server (the MS11-083 scenario the paper
-//! discusses — a critical vulnerability in the UDP part of the Windows stack)
-//! without rebooting and without disturbing the TCP traffic that carries
-//! most of the Internet.
+//! Live update under load: replace a TCP shard of a 4-shard stack while
+//! keep-alive HTTP traffic is mid-transfer.
+//!
+//! This is the scenario the paper motivates with MS11-083 (a critical
+//! vulnerability in the Windows UDP stack): patch a live networking
+//! component without a reboot, without dropping a request and without the
+//! surviving connections ever noticing.  The reincarnation server runs the
+//! three-phase protocol — quiesce (the shard drains its in-flight fabric
+//! batches to a message boundary), state transfer (sockets, sequence
+//! numbers, windows and in-flight requests move as a versioned
+//! `StateSnapshot`), resume (doorbells re-rung, timers re-armed) — while
+//! the other three shards keep serving untouched.
 //!
 //! Run with `cargo run --example live_update`.
 
 use std::error::Error;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
-use newtos::net::peer::{DNS_PORT, IPERF_PORT};
+use newt_apps::httpd::{Httpd, HttpdConfig};
+use newt_apps::loadgen::{run_http_load_with_hook, LoadConfig};
+use newtos::net::link::LinkConfig;
 use newtos::{Component, NewtStack, StackConfig};
-use newtos_suite::{example_config, wait_for};
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let stack = NewtStack::start(example_config());
-    let client = stack.client().with_timeout(Duration::from_secs(15));
-    let peer = StackConfig::peer_addr(0);
+    let shards = 4;
+    let target = Component::TcpShard(1);
+    let stack = NewtStack::start(
+        StackConfig::newtos()
+            .shards(shards)
+            .link(LinkConfig::gigabit().propagation(Duration::from_millis(2)))
+            .clock_speedup(3.0),
+    );
+    let httpd = Httpd::spawn(stack.client(), stack.shards(), HttpdConfig::default())
+        .expect("spawning the http server");
 
-    // Continuous TCP traffic that must not be disturbed by the update.
-    let tcp = client.tcp_socket()?;
-    tcp.connect(peer, IPERF_PORT)?;
-    let stop = Arc::new(AtomicBool::new(false));
-    let sent = Arc::new(AtomicU64::new(0));
-    let sender = {
-        let stop = Arc::clone(&stop);
-        let sent = Arc::clone(&sent);
-        std::thread::spawn(move || {
-            let chunk = vec![0xa1u8; 32 * 1024];
-            while !stop.load(Ordering::Relaxed) {
-                if tcp.send_all(&chunk).is_ok() {
-                    sent.fetch_add(chunk.len() as u64, Ordering::Relaxed);
-                }
-            }
-        })
+    let load = LoadConfig {
+        connections: 16,
+        requests_per_connection: 10,
+        response_timeout: Duration::from_secs(6),
+        run_deadline: Duration::from_secs(60),
+        ..LoadConfig::default()
     };
-
-    // A resolver socket using the component we are about to replace.
-    let udp = client.udp_socket()?;
-    udp.bind(0)?;
-    udp.send_to(b"before-update", peer, DNS_PORT)?;
     println!(
-        "dns before the update : {:?}",
-        udp.recv_from()
-            .map(|(p, _, _)| String::from_utf8_lossy(&p).into_owned())
+        "serving {} keep-alive connections x {} requests across {shards} shards...",
+        load.connections, load.requests_per_connection
     );
 
-    let tcp_before = stack.peer(0).bytes_received_on(IPERF_PORT);
-    println!("\nlive-updating the udp server (graceful restart of the component) ...");
-    let updated = stack.live_update(Component::Udp);
-    stack.wait_component_running(Component::Udp, Duration::from_secs(20));
-    std::thread::sleep(Duration::from_millis(300));
+    // Upgrade the shard from *inside* the load loop, so the update lands
+    // precisely mid-transfer: once every connection has completed at
+    // least one request, the traffic is in steady state.
+    let warmup = load.connections as u64;
+    let mut upgrade_rel_us: Option<f64> = None;
+    let mut upgrade_abs: Option<Duration> = None;
+    let mut retries_at_upgrade = 0u64;
+    let report = run_http_load_with_hook(&stack, &load, |snapshot| {
+        if upgrade_rel_us.is_none() && snapshot.completed >= warmup {
+            println!(
+                "live-updating {target} after {} completed requests (load mid-transfer)...",
+                snapshot.completed
+            );
+            upgrade_rel_us = Some(snapshot.since_start.as_secs_f64() * 1e6);
+            upgrade_abs = Some(snapshot.now);
+            retries_at_upgrade = snapshot.retries;
+            stack.live_update(target);
+        }
+    });
+    stack.wait_component_running(target, Duration::from_secs(20));
+
+    // The service gap the upgrade tore into the request timeline: virtual
+    // time between the last completion before the update and the first
+    // one after it.
+    let upgrade_us = upgrade_rel_us.expect("the load never reached steady state");
+    let last_before = report
+        .completions_us
+        .iter()
+        .filter(|t| **t <= upgrade_us)
+        .fold(f64::NEG_INFINITY, |a, t| a.max(*t));
+    let first_after = report
+        .completions_us
+        .iter()
+        .filter(|t| **t > upgrade_us)
+        .fold(f64::INFINITY, |a, t| a.min(*t));
+    let gap_ms = if first_after.is_finite() && last_before.is_finite() {
+        (first_after - last_before) / 1e3
+    } else {
+        0.0
+    };
+    let reconnects = report.retries.saturating_sub(retries_at_upgrade);
+    let survivors = load.connections as u64 - reconnects.min(load.connections as u64);
+
+    println!();
     println!(
-        "update applied: {updated}, udp generation is now {:?}",
-        stack.component_status(Component::Udp)
+        "requests completed      : {}/{} (verify failures: {})",
+        report.completed,
+        load.connections * load.requests_per_connection,
+        report.verify_failures
     );
-
-    // The same socket — same shared buffer, state recovered from the storage
-    // server — keeps working with the new incarnation.
-    udp.send_to(b"after-update", peer, DNS_PORT)?;
+    println!("service gap             : {gap_ms:.1} virtual ms");
     println!(
-        "dns after the update  : {:?}",
-        udp.recv_from()
-            .map(|(p, _, _)| String::from_utf8_lossy(&p).into_owned())
+        "surviving connections   : {survivors}/{} (forced reconnects: {reconnects})",
+        load.connections
     );
-
-    // And the TCP stream never stopped.
-    let tcp_progressed = wait_for(
-        || stack.peer(0).bytes_received_on(IPERF_PORT) > tcp_before + 64 * 1024,
-        Duration::from_secs(30),
-    );
-    println!("tcp kept flowing across the update: {tcp_progressed}");
+    if let (Some(stamp), Some(at)) = (stack.component_recovery(target), upgrade_abs) {
+        println!(
+            "recovery stamp          : requested={}, detect {:.1} ms, respawn {:.1} ms",
+            stamp.requested,
+            stamp.detected_at.saturating_sub(at).as_secs_f64() * 1e3,
+            stamp
+                .respawned_at
+                .saturating_sub(stamp.detected_at)
+                .as_secs_f64()
+                * 1e3,
+        );
+    }
     println!(
-        "udp restarts: {}, crash log entries: {} (a live update is not a crash)",
-        stack.restart_count(Component::Udp),
-        stack.crash_log().len()
+        "crash log entries       : {} (a live update is not a crash), {target} restarts: {}",
+        stack.crash_log().len(),
+        stack.restart_count(target)
     );
 
-    stop.store(true, Ordering::Relaxed);
-    let _ = sender.join();
+    let _ = httpd.stop();
     stack.shutdown();
     Ok(())
 }

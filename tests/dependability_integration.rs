@@ -125,13 +125,56 @@ fn campaign_can_select_every_replica_on_a_booted_stack() {
         );
     }
 
-    // And the recovery-stamp hook answers for shard replicas.
+    // And the recovery-stamp hook answers for shard replicas — with the
+    // requested flag set, since a live update is asked for, not detected.
     assert!(stack.component_recovery(Component::TcpShard(3)).is_none());
     assert!(stack.live_update(Component::TcpShard(3)));
     assert!(stack.wait_component_running(Component::TcpShard(3), Duration::from_secs(10)));
     let stamp = stack
         .component_recovery(Component::TcpShard(3))
         .expect("a live update must leave a recovery stamp");
+    assert!(stamp.requested, "a live update stamp must say requested");
     assert!(stamp.respawned_at >= stamp.detected_at);
     stack.shutdown();
+}
+
+/// The tentpole scenario end to end: every component of a 4-shard stack —
+/// all twelve per-shard replicas, the driver, the packet filter and the
+/// SYSCALL server — is live-updated one at a time under keep-alive HTTP
+/// load, and the traffic must not notice: zero failed requests, zero
+/// forced reconnects, byte-exact bodies, every restart stamped
+/// *requested*, every service gap within the bound.
+#[test]
+fn rolling_upgrade_of_a_four_shard_stack_drops_nothing() {
+    let config = dependability::RollingUpgradeConfig::quick(4);
+    let report = dependability::run_rolling_upgrade(&config);
+    assert_eq!(
+        report.records.len(),
+        15,
+        "all 15 components must be rolled: {report:?}"
+    );
+    for kind in ["tcp.", "udp.", "ip.", "pf", "e1000.", "syscall"] {
+        assert!(
+            report.records.iter().any(|r| r.component.starts_with(kind)),
+            "no {kind}* component in the roll: {report:?}"
+        );
+    }
+    assert_eq!(
+        report.failed_requests(),
+        0,
+        "a rolling upgrade must not drop a single request: {report:?}"
+    );
+    assert_eq!(
+        report.reconnects, 0,
+        "no surviving connection may be forced to reconnect: {report:?}"
+    );
+    assert_eq!(report.verify_failures, 0, "bodies must stay byte-exact");
+    assert!(
+        report.all_requested(),
+        "every component must be replaced via a requested restart: {report:?}"
+    );
+    assert!(
+        report.max_gap_ms() <= config.gap_bound_ms,
+        "per-component service gap out of bounds: {report:?}"
+    );
 }

@@ -182,6 +182,75 @@ fn repeated_crashes_of_the_same_component_keep_recovering() {
     stack.shutdown();
 }
 
+/// Rolls *every* component kind — TCP, UDP, IP, the packet filter, the
+/// driver and the SYSCALL server — through a live update and checks the
+/// stamp contract for each: the restart is marked *requested* (detection
+/// latency is ~0 by definition: the request is the detection), the crash
+/// log never sees it, and sockets opened before the roll keep working
+/// after the last component has been replaced.
+#[test]
+fn live_update_of_every_component_leaves_requested_stamps_and_no_crash_log() {
+    let stack = NewtStack::start(test_config());
+    let client = stack.client().with_timeout(Duration::from_secs(20));
+
+    // Pre-roll traffic: a bound UDP socket and an established TCP
+    // connection, both of which must survive the full roll.
+    let udp = client.udp_socket().expect("udp socket");
+    udp.bind(0).expect("bind");
+    udp.send_to(b"pre-roll", StackConfig::peer_addr(0), DNS_PORT)
+        .expect("send");
+    assert!(udp.recv_from().is_ok());
+    let tcp = client.tcp_socket().expect("tcp socket");
+    tcp.connect(StackConfig::peer_addr(0), SSH_PORT)
+        .expect("connect");
+    tcp.send_all(b"pre-roll\n").expect("send");
+    let mut echo = vec![0u8; 9];
+    tcp.recv_exact(&mut echo).expect("echo before the roll");
+
+    for component in stack.fault_targets() {
+        let before = stack.restart_count(component);
+        assert!(
+            stack.live_update(component),
+            "{component} refused the live update"
+        );
+        assert!(
+            wait_for(
+                || stack.restart_count(component) > before,
+                Duration::from_secs(30)
+            ),
+            "{component} was never replaced"
+        );
+        assert!(stack.wait_component_running(component, Duration::from_secs(30)));
+        let stamp = stack
+            .component_recovery(component)
+            .expect("a live update must leave a recovery stamp");
+        assert!(
+            stamp.requested,
+            "{component}: a live update is requested, not detected"
+        );
+        assert!(stamp.respawned_at >= stamp.detected_at);
+    }
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The same sockets, now served entirely by replacement incarnations.
+    udp.send_to(b"post-roll", StackConfig::peer_addr(0), DNS_PORT)
+        .expect("send after the roll");
+    let (payload, _, _) = udp.recv_from().expect("answer after the roll");
+    assert_eq!(payload, b"answer:post-roll");
+    tcp.send_all(b"post-roll\n")
+        .expect("send on the surviving connection");
+    let mut reply = vec![0u8; 10];
+    tcp.recv_exact(&mut reply)
+        .expect("the established connection must survive the full roll");
+    assert_eq!(reply, b"post-roll\n");
+
+    assert!(
+        stack.crash_log().is_empty(),
+        "a live update must never reach the crash log"
+    );
+    stack.shutdown();
+}
+
 #[test]
 fn live_update_is_not_recorded_as_a_crash() {
     let stack = NewtStack::start(test_config());
