@@ -1,27 +1,36 @@
-//! An HTTP/1.1 server on top of the stack's POSIX socket library.
+//! An HTTP/1.1 server driven by the stack's **syscall rings**.
 //!
-//! One thread multiplexes every connection through the non-blocking
-//! socket API: accept readiness comes from the TCP server's `POLL`
-//! syscall, data readiness from the shared socket buffers, and the thread
-//! parks in [`NetClient::poll`] when nothing is ready — the §V-B "C
-//! library" grown into something an event loop can use.
+//! One thread multiplexes every connection through the ring API
+//! ([`NetClient::ring`]): accepted connections arrive as multishot
+//! accept completions, data readiness as one-shot `PollArm` completions,
+//! and the thread parks on the completion queue when nothing is ready.
+//! Each loop pass touches **only the connections that completed** —
+//! O(active), not O(open) — which is what lets a single stack hold
+//! 100 000 keep-alive connections (see [`HttpdConfig::connection_scale`]).
+//!
+//! Send and receive run inline against the shared socket buffers (zero
+//! fabric messages); only accept arms and closes cross the fabric, and
+//! the SYSCALL servers batch those.
 //!
 //! The server listens `SO_REUSEPORT`-style: one listening socket per
-//! stack shard ([`NetClient::listen_sharded`]), so the NIC's RSS hash
-//! decides which replicated pipeline serves each inbound connection and
-//! the workload scales with the shard count.
+//! stack shard ([`NetClient::listen_sharded_with_caps`]), so the NIC's
+//! RSS hash decides which replicated pipeline serves each inbound
+//! connection and the workload scales with the shard count.
 //!
 //! Crash behaviour follows §V-D: when a TCP shard is reincarnated its
-//! listening sockets are recovered and the server keeps accepting;
-//! established connections surface errors and are dropped, and clients
-//! reconnect (see `newt_apps::loadgen`).
+//! listening sockets are recovered and the SYSCALL ring pump re-forwards
+//! the accept arms, so the server keeps accepting; established
+//! connections surface errors and are dropped, and clients reconnect
+//! (see `newt_apps::loadgen`).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use newt_stack::posix::{Interest, NetClient, PollFd, TcpSocket};
+use newt_stack::posix::{NetClient, RingHandle, TcpSocket};
+use newt_stack::rings::{interest_bits, Sqe, SqeOp};
 use newt_stack::sockbuf::SockError;
 
 use crate::http::{body_for_path, parse_request, response_bytes, HttpRequest, ParseOutcome};
@@ -33,6 +42,11 @@ pub struct HttpdConfig {
     pub port: u16,
     /// Accept backlog per shard listener.
     pub backlog: usize,
+    /// Per-connection send-buffer capacity in bytes (0 = server default).
+    pub send_cap: u32,
+    /// Per-connection receive-buffer capacity in bytes (0 = server
+    /// default).
+    pub recv_cap: u32,
 }
 
 impl Default for HttpdConfig {
@@ -40,6 +54,23 @@ impl Default for HttpdConfig {
         HttpdConfig {
             port: 80,
             backlog: 64,
+            send_cap: 0,
+            recv_cap: 0,
+        }
+    }
+}
+
+impl HttpdConfig {
+    /// The 100 000-connection preset: 4 KiB socket buffers each way
+    /// bound the per-connection memory (the buffers allocate lazily, so
+    /// an idle keep-alive connection holds far less), and a deep backlog
+    /// absorbs connect waves.
+    pub fn connection_scale() -> Self {
+        HttpdConfig {
+            port: 80,
+            backlog: 4096,
+            send_cap: 4096,
+            recv_cap: 4096,
         }
     }
 }
@@ -58,6 +89,12 @@ pub struct HttpdStats {
     pub connection_errors: u64,
     /// Response bytes queued for transmission.
     pub bytes_out: u64,
+    /// Ring completion entries consumed by the event loop.
+    pub ring_cqes: u64,
+    /// Total ring operations completed for this server's ring group
+    /// (inline sends/receives plus queued completions) — the denominator
+    /// of the fabric-messages-per-socket-op metric.
+    pub ring_ops: u64,
 }
 
 #[derive(Debug, Default)]
@@ -67,24 +104,28 @@ struct SharedStats {
     error_responses: AtomicU64,
     connection_errors: AtomicU64,
     bytes_out: AtomicU64,
+    ring_cqes: AtomicU64,
 }
 
 impl SharedStats {
-    fn snapshot(&self) -> HttpdStats {
+    fn snapshot(&self, ring_ops: u64) -> HttpdStats {
         HttpdStats {
             connections: self.connections.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
             error_responses: self.error_responses.load(Ordering::Relaxed),
             connection_errors: self.connection_errors.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            ring_cqes: self.ring_cqes.load(Ordering::Relaxed),
+            ring_ops,
         }
     }
 }
 
-/// One in-flight connection of the event loop.
+/// One in-flight connection of the event loop, identified by its socket
+/// id (the ring's `user_data` for its readiness watches).
 #[derive(Debug)]
 struct Conn {
-    sock: TcpSocket,
+    sock: u64,
     inbuf: Vec<u8>,
     outbuf: Vec<u8>,
     /// Cursor into `outbuf` (bytes already handed to the socket).
@@ -93,12 +134,12 @@ struct Conn {
 }
 
 enum ConnVerdict {
-    Alive(usize),
-    Dead(usize, bool),
+    Alive,
+    Dead { errored: bool },
 }
 
 impl Conn {
-    fn new(sock: TcpSocket) -> Self {
+    fn new(sock: u64) -> Self {
         Conn {
             sock,
             inbuf: Vec::new(),
@@ -108,27 +149,26 @@ impl Conn {
         }
     }
 
-    /// Flushes output, reads input, answers complete requests.  Returns
-    /// the work done and whether the connection survives.
-    fn service(&mut self, stats: &SharedStats) -> ConnVerdict {
-        let mut work = 0;
+    fn has_output(&self) -> bool {
+        self.sent < self.outbuf.len()
+    }
 
+    /// Flushes output, reads input, answers complete requests — all
+    /// inline through the ring.  Returns whether the connection survives.
+    fn service(&mut self, ring: &RingHandle, stats: &SharedStats) -> ConnVerdict {
         // Flush queued response bytes.
         while self.sent < self.outbuf.len() {
-            match self.sock.try_send(&self.outbuf[self.sent..]) {
-                Ok(n) => {
-                    self.sent += n;
-                    work += 1;
-                }
+            match ring.send(self.sock, &self.outbuf[self.sent..]) {
+                Ok(n) => self.sent += n,
                 Err(SockError::WouldBlock) => break,
-                Err(_) => return ConnVerdict::Dead(work, true),
+                Err(_) => return ConnVerdict::Dead { errored: true },
             }
         }
         if self.sent == self.outbuf.len() && !self.outbuf.is_empty() {
             self.outbuf.clear();
             self.sent = 0;
             if self.close_after_flush {
-                return ConnVerdict::Dead(work, false);
+                return ConnVerdict::Dead { errored: false };
             }
         }
 
@@ -138,17 +178,14 @@ impl Conn {
         // the close and decide after the parse loop.
         loop {
             let mut chunk = [0u8; 4096];
-            match self.sock.try_recv(&mut chunk) {
+            match ring.recv(self.sock, &mut chunk) {
                 Ok(0) => {
                     self.close_after_flush = true;
                     break;
                 }
-                Ok(n) => {
-                    self.inbuf.extend_from_slice(&chunk[..n]);
-                    work += 1;
-                }
+                Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
                 Err(SockError::WouldBlock) => break,
-                Err(_) => return ConnVerdict::Dead(work, true),
+                Err(_) => return ConnVerdict::Dead { errored: true },
             }
         }
 
@@ -160,24 +197,35 @@ impl Conn {
                     self.queue_response(400, "Bad Request", b"bad request", false, stats);
                     stats.error_responses.fetch_add(1, Ordering::Relaxed);
                     self.inbuf.clear();
-                    work += 1;
                     break;
                 }
                 ParseOutcome::Request(request, consumed) => {
                     self.inbuf.drain(..consumed);
                     self.respond(&request, stats);
-                    work += 1;
                 }
             }
         }
 
-        // The remote closed and every queued response is out: drop the
-        // connection (responses queued above flush on the next pass).
-        if self.close_after_flush && self.outbuf.is_empty() {
-            return ConnVerdict::Dead(work, false);
+        // Push freshly queued responses out in the same pass.
+        while self.sent < self.outbuf.len() {
+            match ring.send(self.sock, &self.outbuf[self.sent..]) {
+                Ok(n) => self.sent += n,
+                Err(SockError::WouldBlock) => break,
+                Err(_) => return ConnVerdict::Dead { errored: true },
+            }
+        }
+        if self.sent == self.outbuf.len() {
+            self.outbuf.clear();
+            self.sent = 0;
         }
 
-        ConnVerdict::Alive(work)
+        // The remote closed and every queued response is out: drop the
+        // connection.
+        if self.close_after_flush && self.outbuf.is_empty() {
+            return ConnVerdict::Dead { errored: false };
+        }
+
+        ConnVerdict::Alive
     }
 
     fn respond(&mut self, request: &HttpRequest, stats: &SharedStats) {
@@ -233,48 +281,65 @@ impl Conn {
 pub struct Httpd {
     stop: Arc<AtomicBool>,
     stats: Arc<SharedStats>,
+    ring: Arc<RingHandle>,
     thread: Option<JoinHandle<()>>,
 }
 
 impl Httpd {
-    /// Binds one listener per stack shard on `config.port` and spawns the
-    /// event loop.  `shards` is the stack's shard count
+    /// Binds one listener per stack shard on `config.port`, sets up the
+    /// syscall rings and spawns the event loop.  `shards` is the stack's
+    /// shard count
     /// ([`NewtStack::shards`](newt_stack::builder::NewtStack::shards)).
     ///
     /// # Errors
     ///
-    /// Whatever [`NetClient::listen_sharded`] can return (the listeners
-    /// are set up synchronously so a returned `Httpd` is already
-    /// serving).
+    /// Whatever [`NetClient::listen_sharded_with_caps`] or
+    /// [`NetClient::ring`] can return (the listeners and rings are set up
+    /// synchronously, so a returned `Httpd` is already serving).
     pub fn spawn(client: NetClient, shards: usize, config: HttpdConfig) -> Result<Self, SockError> {
         let client = client.nonblocking();
-        let listeners = client.listen_sharded(config.port, config.backlog, shards)?;
+        let listeners = client.listen_sharded_with_caps(
+            config.port,
+            config.backlog,
+            shards,
+            config.send_cap,
+            config.recv_cap,
+        )?;
+        let ring = client.ring()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(SharedStats::default());
         let thread = {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
+            let ring = Arc::clone(&ring);
             std::thread::Builder::new()
                 .name("newtos-httpd".to_string())
-                .spawn(move || run_event_loop(&client, &listeners, &stop, &stats))
+                .spawn(move || run_event_loop(&ring, &listeners, &stop, &stats))
                 .expect("spawning the httpd thread")
         };
         Ok(Httpd {
             stop,
             stats,
+            ring,
             thread: Some(thread),
         })
     }
 
     /// Returns the server's counters.
     pub fn stats(&self) -> HttpdStats {
-        self.stats.snapshot()
+        self.stats.snapshot(self.ring.cq().ops_completed())
+    }
+
+    /// The server's ring handle (shared with the event loop), e.g. for
+    /// the completion queue's metrics.
+    pub fn ring(&self) -> &Arc<RingHandle> {
+        &self.ring
     }
 
     /// Stops the event loop and waits for the thread to exit.
     pub fn stop(mut self) -> HttpdStats {
         self.halt();
-        self.stats.snapshot()
+        self.stats.snapshot(self.ring.cq().ops_completed())
     }
 
     fn halt(&mut self) {
@@ -291,64 +356,110 @@ impl Drop for Httpd {
     }
 }
 
+/// Queues a `Close` for `sock`; a full submission queue defers it to
+/// `pending_close` for the next loop pass (backpressure, not loss).
+fn close_conn(
+    ring: &RingHandle,
+    sock: u64,
+    errored: bool,
+    stats: &SharedStats,
+    pending_close: &mut Vec<u64>,
+) {
+    if errored {
+        stats.connection_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Err(SockError::WouldBlock) = ring.submit(Sqe {
+        user_data: sock,
+        op: SqeOp::Close { sock },
+    }) {
+        pending_close.push(sock);
+    }
+}
+
+/// Services `conn` and either re-arms its readiness watch (keeping it in
+/// the table) or closes it.
+fn settle(
+    conns: &mut HashMap<u64, Conn>,
+    mut conn: Conn,
+    ring: &RingHandle,
+    stats: &SharedStats,
+    pending_close: &mut Vec<u64>,
+) {
+    match conn.service(ring, stats) {
+        ConnVerdict::Alive => {
+            let interest = if conn.has_output() {
+                interest_bits::READ | interest_bits::WRITE
+            } else {
+                interest_bits::READ
+            };
+            match ring.poll_arm(conn.sock, interest, conn.sock) {
+                Ok(()) => {
+                    conns.insert(conn.sock, conn);
+                }
+                // The buffer is gone (its TCP shard was lost); the
+                // connection is unrecoverable.
+                Err(_) => close_conn(ring, conn.sock, true, stats, pending_close),
+            }
+        }
+        ConnVerdict::Dead { errored } => close_conn(ring, conn.sock, errored, stats, pending_close),
+    }
+}
+
 fn run_event_loop(
-    client: &NetClient,
+    ring: &Arc<RingHandle>,
     listeners: &[TcpSocket],
     stop: &AtomicBool,
     stats: &SharedStats,
 ) {
-    let mut conns: Vec<Conn> = Vec::new();
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut cqes = Vec::new();
+    let mut pending_close: Vec<u64> = Vec::new();
     while !stop.load(Ordering::Acquire) {
-        let mut work = 0;
-
-        // Accept until every backlog is drained.  A restarting TCP shard
-        // answers ServerUnavailable; its listener was persisted and comes
-        // back with the reincarnation, so treat errors as "nothing yet".
+        // Accept until every arm's deliveries are drained.  The multishot
+        // accept arms wake the completion queue, so a parked loop learns
+        // about new connections without polling; a restarting TCP shard
+        // surfaces transient errors which the shim self-heals from.
         for listener in listeners {
             while let Ok(Some((sock, _addr, _port))) = listener.accept_nb() {
                 stats.connections.fetch_add(1, Ordering::Relaxed);
-                conns.push(Conn::new(sock));
-                work += 1;
+                // The ring handle owns the data path from here on; the
+                // accepted TcpSocket wrapper is no longer needed.
+                let conn = Conn::new(sock.id());
+                settle(&mut conns, conn, ring, stats, &mut pending_close);
             }
         }
 
-        // Service every connection; collect the dead ones.
-        let mut dead: Vec<usize> = Vec::new();
-        for (index, conn) in conns.iter_mut().enumerate() {
-            match conn.service(stats) {
-                ConnVerdict::Alive(w) => work += w,
-                ConnVerdict::Dead(w, errored) => {
-                    work += w + 1;
-                    if errored {
-                        stats.connection_errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                    dead.push(index);
-                }
-            }
+        // Park on the completion queue, then touch ONLY the connections
+        // that completed — O(active) per pass, however many are open.
+        // The short timeout doubles as the stop-flag poll interval.
+        cqes.clear();
+        if ring.drain(&mut cqes) == 0 && !stop.load(Ordering::Acquire) {
+            ring.wait(&mut cqes, Duration::from_millis(2));
         }
-        for index in dead.into_iter().rev() {
-            let conn = conns.swap_remove(index);
-            let _ = conn.sock.close();
+        if !cqes.is_empty() {
+            stats
+                .ring_cqes
+                .fetch_add(cqes.len() as u64, Ordering::Relaxed);
+        }
+        for cqe in cqes.drain(..) {
+            // Readiness watches carry the socket id as their tag; a
+            // completion for an already-closed socket (e.g. its Close
+            // confirmation) finds no entry and is dropped here.
+            let Some(conn) = conns.remove(&cqe.user_data) else {
+                continue;
+            };
+            settle(&mut conns, conn, ring, stats, &mut pending_close);
         }
 
-        if work == 0 {
-            // Park on readiness instead of spinning: accept backlogs plus
-            // every connection (read always; write only with output
-            // pending).  The short timeout doubles as the stop-flag poll
-            // interval.
-            let mut fds: Vec<PollFd<'_>> = listeners
-                .iter()
-                .map(|l| PollFd::new(l, Interest::Accept))
-                .collect();
-            for conn in &conns {
-                let interest = if conn.sent < conn.outbuf.len() {
-                    Interest::ReadWrite
-                } else {
-                    Interest::Readable
-                };
-                fds.push(PollFd::new(&conn.sock, interest));
-            }
-            let _ = client.poll(&mut fds, Duration::from_millis(2));
-        }
+        // Retry closes the submission queue rejected earlier.
+        pending_close.retain(|&sock| {
+            matches!(
+                ring.submit(Sqe {
+                    user_data: sock,
+                    op: SqeOp::Close { sock },
+                }),
+                Err(SockError::WouldBlock)
+            )
+        });
     }
 }

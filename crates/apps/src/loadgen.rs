@@ -308,6 +308,333 @@ pub fn run_http_load_with_hook<F: FnMut(&LoadSnapshot)>(
     }
 }
 
+/// Configuration of a connection-scale run ([`run_connection_scale`]):
+/// open a large population of keep-alive connections in waves, issue one
+/// verified request per connection, leave them all open, then measure
+/// request latency at full occupancy with rotating probe subsets.
+#[derive(Debug, Clone)]
+pub struct ConnScaleConfig {
+    /// Total keep-alive connections to establish and hold.
+    pub connections: usize,
+    /// NICs/peers the connections are spread over round-robin (each peer
+    /// owns its own source-port space, so the population can exceed one
+    /// host's ephemeral ports).
+    pub nics: usize,
+    /// Connections opened per ramp wave.
+    pub wave: usize,
+    /// Server port.
+    pub port: u16,
+    /// Request target; must be servable ([`body_for_path`]).
+    pub path: String,
+    /// Virtual-time budget per connect/request attempt before the
+    /// connection is abandoned and retried on a fresh source port.
+    pub response_timeout: Duration,
+    /// Real-time bound on the whole run.
+    pub run_deadline: Duration,
+    /// Full-occupancy probe rounds after the ramp.
+    pub probe_rounds: usize,
+    /// Connections probed per round (spread evenly over the population,
+    /// rotating between rounds).
+    pub probe_subset: usize,
+}
+
+impl Default for ConnScaleConfig {
+    fn default() -> Self {
+        ConnScaleConfig {
+            connections: 100_000,
+            nics: 4,
+            wave: 2_000,
+            port: 80,
+            path: "/bytes/512".to_string(),
+            // Virtual time: at a 20x clock speedup this is a few real
+            // seconds.  A connect wave shares the stack with thousands of
+            // in-flight handshakes, so a tight bound here turns ordinary
+            // queueing into a reconnect storm that exhausts retry ports.
+            response_timeout: Duration::from_secs(120),
+            run_deadline: Duration::from_secs(900),
+            probe_rounds: 8,
+            probe_subset: 64,
+        }
+    }
+}
+
+/// Outcome of a connection-scale run.
+#[derive(Debug, Clone)]
+pub struct ConnScaleReport {
+    /// Connections the run was asked to hold.
+    pub target: usize,
+    /// Connections still established when the run ended.
+    pub established: usize,
+    /// Requests completed with a verified 200 response (ramp + probes).
+    pub completed: u64,
+    /// Responses whose status or body did not match.
+    pub verify_failures: u64,
+    /// Connections abandoned and reopened.
+    pub retries: u64,
+    /// Virtual time the ramp (connect + first request per connection)
+    /// took.
+    pub ramp_virtual_secs: f64,
+    /// Connections established per virtual second during the ramp.
+    pub connects_per_sec: f64,
+    /// Median ramp request latency (virtual microseconds).
+    pub p50_us: f64,
+    /// 99th-percentile ramp request latency (virtual microseconds).
+    pub p99_us: f64,
+    /// 99th-percentile probe latency at full occupancy (virtual
+    /// microseconds) — the "p99 intact under 100k connections" figure.
+    pub probe_p99_us: f64,
+    /// Whether the ramp and every probe finished before the real-time
+    /// deadline.
+    pub completed_all: bool,
+}
+
+/// One in-flight request attempt of the connection-scale run.
+struct ScaleFlight {
+    /// Index into the connection table.
+    index: usize,
+    reader: ResponseReader,
+    /// Virtual time the current attempt started.
+    started: Duration,
+    /// Virtual time the logical request was first issued (kept across
+    /// retries).
+    issued_at: Option<Duration>,
+    outstanding: bool,
+    done: bool,
+}
+
+impl ScaleFlight {
+    fn new(index: usize, now: Duration) -> Self {
+        ScaleFlight {
+            index,
+            reader: ResponseReader::new(),
+            started: now,
+            issued_at: None,
+            outstanding: false,
+            done: false,
+        }
+    }
+}
+
+/// A held connection: which NIC's peer owns it and on which source port.
+struct ScaleConn {
+    nic: usize,
+    src_port: u16,
+}
+
+/// Opens `config.connections` keep-alive connections against `stack`
+/// (whose HTTP server must already listen on `config.port`) in waves,
+/// completes one verified request on each, holds them all open, then
+/// probes request latency at full occupancy.
+///
+/// # Panics
+///
+/// Panics if `config.path` is not servable, or if the retry source-port
+/// space of a peer is exhausted.
+pub fn run_connection_scale(stack: &NewtStack, config: &ConnScaleConfig) -> ConnScaleReport {
+    /// First source port of the primary per-peer range.
+    const PORT_BASE: u16 = 10_000;
+    /// First source port of the per-peer retry range.
+    const RETRY_BASE: u16 = 58_000;
+
+    let expected = body_for_path(&config.path).expect("scale path must be servable");
+    let request = request_bytes(&config.path);
+    let clock = stack.clock();
+    let nics = config.nics.max(1);
+    let hard_deadline = std::time::Instant::now() + config.run_deadline;
+
+    let mut conns: Vec<ScaleConn> = Vec::with_capacity(config.connections);
+    let mut retry_cursor: Vec<u16> = vec![RETRY_BASE; nics];
+    let mut ramp_latencies: Vec<f64> = Vec::new();
+    let mut probe_latencies: Vec<f64> = Vec::new();
+    let mut retries = 0u64;
+    let mut verify_failures = 0u64;
+    let mut completed_all = true;
+
+    // Drives one flight one step; returns whether it made progress.
+    let drive = |flight: &mut ScaleFlight,
+                 conns: &mut Vec<ScaleConn>,
+                 retry_cursor: &mut Vec<u16>,
+                 retries: &mut u64,
+                 verify_failures: &mut u64,
+                 latencies: &mut Vec<f64>| {
+        let conn = &mut conns[flight.index];
+        let peer = stack.peer(conn.nic);
+        let now = clock.now();
+        let mut progress = false;
+        let reconnect = match peer.client_status(conn.src_port) {
+            Some(ClientStatus::Established) => {
+                if !flight.outstanding {
+                    peer.client_send(conn.src_port, &request);
+                    flight.started = now;
+                    flight.issued_at.get_or_insert(now);
+                    flight.outstanding = true;
+                    progress = true;
+                    false
+                } else {
+                    let data = peer.client_take(conn.src_port);
+                    if !data.is_empty() {
+                        flight.reader.push(&data);
+                        progress = true;
+                    }
+                    if let Some((status, body)) = flight.reader.pop_response() {
+                        if status != 200 || body != expected {
+                            *verify_failures += 1;
+                        }
+                        let issued = flight.issued_at.take().unwrap_or(flight.started);
+                        latencies.push((clock.now() - issued).as_secs_f64() * 1e6);
+                        flight.outstanding = false;
+                        flight.done = true;
+                        progress = true;
+                        false
+                    } else {
+                        now - flight.started > config.response_timeout
+                    }
+                }
+            }
+            Some(ClientStatus::Resolving) | Some(ClientStatus::Connecting) => {
+                now - flight.started > config.response_timeout
+            }
+            Some(ClientStatus::Closed) | Some(ClientStatus::Failed) | None => true,
+        };
+        if reconnect {
+            peer.client_close(conn.src_port);
+            conn.src_port = retry_cursor[conn.nic];
+            retry_cursor[conn.nic] = retry_cursor[conn.nic]
+                .checked_add(1)
+                .expect("retry source ports exhausted");
+            *retries += 1;
+            flight.reader = ResponseReader::new();
+            flight.outstanding = false;
+            flight.started = clock.now();
+            progress = true;
+            peer.client_connect(
+                conn.src_port,
+                StackConfig::local_addr(conn.nic),
+                config.port,
+            );
+        }
+        progress
+    };
+
+    // ---- ramp: open the population in waves, one request each ----------
+    let t0 = clock.now();
+    'ramp: for wave_start in (0..config.connections).step_by(config.wave.max(1)) {
+        let wave_end = (wave_start + config.wave.max(1)).min(config.connections);
+        let mut flights: Vec<ScaleFlight> = (wave_start..wave_end)
+            .map(|i| {
+                let nic = i % nics;
+                let offset = i / nics;
+                assert!(
+                    (PORT_BASE as usize) + offset < RETRY_BASE as usize,
+                    "primary source ports exhausted — spread over more NICs"
+                );
+                let src_port = PORT_BASE + offset as u16;
+                stack
+                    .peer(nic)
+                    .client_connect(src_port, StackConfig::local_addr(nic), config.port);
+                conns.push(ScaleConn { nic, src_port });
+                ScaleFlight::new(i, clock.now())
+            })
+            .collect();
+        loop {
+            let mut all_done = true;
+            let mut progress = false;
+            for flight in flights.iter_mut() {
+                if flight.done {
+                    continue;
+                }
+                all_done = false;
+                progress |= drive(
+                    flight,
+                    &mut conns,
+                    &mut retry_cursor,
+                    &mut retries,
+                    &mut verify_failures,
+                    &mut ramp_latencies,
+                );
+            }
+            if all_done {
+                break;
+            }
+            if std::time::Instant::now() >= hard_deadline {
+                completed_all = false;
+                break 'ramp;
+            }
+            if !progress {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+    let ramp_virtual_secs = (clock.now() - t0).as_secs_f64().max(1e-9);
+
+    // ---- probes: request latency at full occupancy ---------------------
+    if completed_all && !conns.is_empty() {
+        let stride = (conns.len() / config.probe_subset.max(1)).max(1);
+        'probe: for round in 0..config.probe_rounds {
+            let mut flights: Vec<ScaleFlight> = (0..config.probe_subset.max(1))
+                .map(|j| ScaleFlight::new((j * stride + round) % conns.len(), clock.now()))
+                .collect();
+            loop {
+                let mut all_done = true;
+                let mut progress = false;
+                for flight in flights.iter_mut() {
+                    if flight.done {
+                        continue;
+                    }
+                    all_done = false;
+                    progress |= drive(
+                        flight,
+                        &mut conns,
+                        &mut retry_cursor,
+                        &mut retries,
+                        &mut verify_failures,
+                        &mut probe_latencies,
+                    );
+                }
+                if all_done {
+                    break;
+                }
+                if std::time::Instant::now() >= hard_deadline {
+                    completed_all = false;
+                    break 'probe;
+                }
+                if !progress {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
+    }
+
+    // The population must still be open: count live connections.
+    let established = conns
+        .iter()
+        .filter(|c| {
+            matches!(
+                stack.peer(c.nic).client_status(c.src_port),
+                Some(ClientStatus::Established)
+            )
+        })
+        .count();
+
+    ramp_latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    probe_latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let total = (ramp_latencies.len() + probe_latencies.len()) as u64;
+    let completed = total - verify_failures.min(total);
+    ConnScaleReport {
+        target: config.connections,
+        established,
+        completed,
+        verify_failures,
+        retries,
+        ramp_virtual_secs,
+        connects_per_sec: conns.len() as f64 / ramp_virtual_secs,
+        p50_us: percentile_us(&ramp_latencies, 0.50),
+        p99_us: percentile_us(&ramp_latencies, 0.99),
+        probe_p99_us: percentile_us(&probe_latencies, 0.99),
+        completed_all,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

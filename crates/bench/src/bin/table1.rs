@@ -23,7 +23,9 @@ fn paper_row(component: Component) -> &'static str {
         Component::Udp => "Small state per socket, low frequency of change",
         Component::PacketFilter => "Static configuration + recoverable connection state",
         Component::Tcp => "Large, frequently changing state; only listening sockets recovered",
-        Component::Syscall => "No state (not listed in the paper's table)",
+        Component::Syscall | Component::SyscallShard(_) => {
+            "No state (not listed in the paper's table)"
+        }
         Component::TcpShard(_) | Component::UdpShard(_) | Component::IpShard(_) => {
             "Replica of the matching singleton row, one per shard"
         }
@@ -37,7 +39,7 @@ fn storage_component(component: Component) -> &'static str {
         Component::Udp => "udp",
         Component::PacketFilter => "pf",
         Component::Tcp => "tcp",
-        Component::Syscall => "syscall",
+        Component::Syscall | Component::SyscallShard(_) => "syscall",
         Component::TcpShard(_) => "tcp",
         Component::UdpShard(_) => "udp",
         Component::IpShard(_) => "ip",

@@ -260,6 +260,18 @@ fn main() {
             )
         })
         .collect();
+    // Rows owned by other benches are carried over verbatim: the
+    // connection-scale bin (`connscale`) records its 100k-keep-alive row
+    // into the same file, and overwriting it here would silently drop that
+    // record (and its CI baseline) every time the workload bench reruns.
+    let mut results = results;
+    if let Some(prev) = previous.as_deref() {
+        for line in prev.lines() {
+            if line.contains("\"link\": \"connscale") {
+                results.push(line.trim_end().trim_end_matches(',').to_string());
+            }
+        }
+    }
     let json = format!(
         "{{\n  \"workload\": \"keep-alive HTTP GET {PATH}, {REQUESTS_PER_CONNECTION} requests/connection, virtual-time latency, clean link = gigabit + {} ms one-way delay\",\n  \"results\": [\n{}\n  ]\n}}\n",
         CLEAN_ONE_WAY_DELAY.as_millis(),

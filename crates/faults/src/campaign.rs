@@ -189,7 +189,7 @@ fn class_of(component: Component) -> &'static str {
         Component::Ip | Component::IpShard(_) => "ip",
         Component::PacketFilter => "pf",
         Component::Driver(_) => "driver",
-        Component::Syscall => "syscall",
+        Component::Syscall | Component::SyscallShard(_) => "syscall",
     }
 }
 

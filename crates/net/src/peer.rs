@@ -186,7 +186,23 @@ struct PeerState {
     clients: HashMap<u16, ClientConn>,
     /// MAC addresses learned from ARP traffic.
     arp_cache: HashMap<Ipv4Addr, MacAddr>,
+    /// Earliest armed client RTO deadline, or `None` when no client
+    /// timer is armed.  Lets [`RemotePeer::tick`] skip the full client
+    /// scan while nothing is due — with 100k held keep-alive
+    /// connections the scan would otherwise run on every poll and
+    /// serialise against the load generator on the state mutex.  May
+    /// run early after a timer is cancelled (stale minimum); never
+    /// late.
+    next_client_timer: Option<Duration>,
     stats: PeerStats,
+}
+
+impl PeerState {
+    /// Folds a freshly armed client RTO deadline into the
+    /// earliest-deadline gate consulted by [`RemotePeer::tick`].
+    fn note_client_timer(&mut self, due: Duration) {
+        self.next_client_timer = Some(self.next_client_timer.map_or(due, |n| n.min(due)));
+    }
 }
 
 /// The simulated remote host.  See the module documentation.
@@ -209,6 +225,7 @@ impl RemotePeer {
                 conns: HashMap::new(),
                 clients: HashMap::new(),
                 arp_cache: HashMap::new(),
+                next_client_timer: None,
                 stats: PeerStats::default(),
             }),
         }
@@ -337,6 +354,10 @@ impl RemotePeer {
                     conn.rto_deadline = Some(self.clock.now() + conn.rto);
                     syns.push((arp.sender_mac, conn.dst_ip, Self::client_syn(conn)));
                 }
+            }
+            if !syns.is_empty() {
+                let due = self.clock.now() + CLIENT_RTO_INITIAL;
+                state.note_client_timer(due);
             }
             syns
         };
@@ -595,7 +616,11 @@ impl RemotePeer {
             }
             None => None,
         };
-        self.state.lock().clients.insert(src_port, conn);
+        {
+            let mut state = self.state.lock();
+            state.note_client_timer(now + CLIENT_RTO_INITIAL);
+            state.clients.insert(src_port, conn);
+        }
         match action {
             Some((mac, ip, syn)) => self.send_tcp(mac, ip, syn),
             None => self.send_arp_request(dst_ip),
@@ -721,8 +746,15 @@ impl RemotePeer {
                 seg.payload = chunk;
                 out.push((mac, conn.dst_ip, seg));
             }
-            if !out.is_empty() && conn.rto_deadline.is_none() {
-                conn.rto_deadline = Some(now + conn.rto);
+            let armed = if !out.is_empty() && conn.rto_deadline.is_none() {
+                let due = now + conn.rto;
+                conn.rto_deadline = Some(due);
+                Some(due)
+            } else {
+                None
+            };
+            if let Some(due) = armed {
+                state.note_client_timer(due);
             }
         }
         for (mac, ip, seg) in out {
@@ -836,11 +868,20 @@ impl RemotePeer {
         let mut segs: Vec<(MacAddr, Ipv4Addr, TcpSegment)> = Vec::new();
         {
             let mut state = self.state.lock();
+            // Earliest-deadline gate: skip the O(clients) scan unless some
+            // armed timer is actually due.  With a large idle keep-alive
+            // population this makes the common tick O(1).
+            match state.next_client_timer {
+                Some(due) if now >= due => {}
+                _ => return 0,
+            }
+            let mut next: Option<Duration> = None;
             for conn in state.clients.values_mut() {
                 let Some(deadline) = conn.rto_deadline else {
                     continue;
                 };
                 if now < deadline {
+                    next = Some(next.map_or(deadline, |n| n.min(deadline)));
                     continue;
                 }
                 conn.retries += 1;
@@ -877,7 +918,11 @@ impl RemotePeer {
                         conn.rto_deadline = None;
                     }
                 }
+                if let Some(deadline) = conn.rto_deadline {
+                    next = Some(next.map_or(deadline, |n| n.min(deadline)));
+                }
             }
+            state.next_client_timer = next;
         }
         let work = arps.len() + segs.len();
         for target in arps {

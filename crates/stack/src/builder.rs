@@ -59,8 +59,9 @@ use crate::msg::{
 };
 use crate::pf::{FilterRule, PacketFilterServer, PfStats};
 use crate::posix::NetClient;
+use crate::rings::RingTable;
 use crate::sockbuf::Doorbell;
-use crate::syscall::{SyscallServer, SyscallStats};
+use crate::syscall::{SyscallReplica, SyscallServer, SyscallStats};
 use crate::tcp::{TcpConfig, TcpServer, TcpStats};
 use crate::udp::{UdpServer, UdpStats};
 
@@ -342,6 +343,7 @@ pub struct NewtStack {
     links: Vec<Link>,
     peer_traces: Vec<TraceCapture>,
     nics: Vec<Arc<Mutex<Nic>>>,
+    rings: Arc<RingTable>,
     component_services: HashMap<Component, Endpoint>,
     telemetry: Arc<Mutex<Telemetry>>,
     /// Per-shard observer handles onto every fabric lane's counters.
@@ -385,6 +387,10 @@ struct ShardLanes {
     tcp_to_sys: Chan<SockReply>,
     sys_to_udp: Chan<SockRequest>,
     udp_to_sys: Chan<SockReply>,
+    /// The ring lanes: batched submissions from this shard's ring pump to
+    /// its TCP server, and the pump-addressed replies back.
+    ring_to_tcp: Chan<SockRequest>,
+    tcp_to_ring: Chan<SockReply>,
     /// One transmit/completion lane pair per NIC.
     ip_to_drv: Vec<Chan<IpToDrv>>,
     drv_to_ip: Vec<Chan<DrvToIp>>,
@@ -411,6 +417,8 @@ impl ShardLanes {
             tcp_to_sys: Chan::new(256),
             sys_to_udp: Chan::new(256),
             udp_to_sys: Chan::new(256),
+            ring_to_tcp: Chan::new(1024),
+            tcp_to_ring: Chan::new(4096),
             ip_to_drv: (0..nics).map(|_| Chan::new(2048)).collect(),
             drv_to_ip: (0..nics).map(|_| Chan::new(2048)).collect(),
             tcp_doorbell: Doorbell::new(),
@@ -435,6 +443,8 @@ impl ShardLanes {
             self.tcp_to_sys.stats_handle(),
             self.sys_to_udp.stats_handle(),
             self.udp_to_sys.stats_handle(),
+            self.ring_to_tcp.stats_handle(),
+            self.tcp_to_ring.stats_handle(),
         ];
         for lane in &self.ip_to_drv {
             handles.push(lane.stats_handle());
@@ -624,6 +634,8 @@ impl NewtStack {
                         pools.clone(),
                         lane.sys_to_tcp.rx(),
                         lane.tcp_to_sys.tx(),
+                        lane.ring_to_tcp.rx(),
+                        lane.tcp_to_ring.tx(),
                         lane.tcp_to_ip.tx(),
                         lane.ip_to_tcp.rx(),
                         lane.pf_to_tcp.rx(),
@@ -730,18 +742,31 @@ impl NewtStack {
                 )
             }
         };
-        // The SYSCALL server is a singleton that routes to every shard.
+        // The submission/completion rings live in this builder-owned table,
+        // outside every server, so they survive any component's crash or
+        // live update the same way the fabric lanes do.
+        let rings = Arc::new(RingTable::new());
+        // The SYSCALL server is a singleton that routes every legacy call to
+        // the owning shard and pumps shard 0's rings; shards 1.. get their
+        // own ring-pump replicas below.
         let make_syscall = {
             let kernel = kernel.clone();
+            let registry = registry.clone();
+            let rings = Arc::clone(&rings);
             let lanes = lanes.clone();
             let crash_board = crash_board.clone();
             move |rt: &ServiceRuntime| {
                 SyscallServer::new_sharded(
                     kernel.clone(),
+                    registry.clone(),
+                    rt.generation(),
+                    Arc::clone(&rings),
                     lanes.iter().map(|l| l.sys_to_tcp.tx()).collect(),
                     lanes.iter().map(|l| l.tcp_to_sys.rx()).collect(),
                     lanes.iter().map(|l| l.sys_to_udp.tx()).collect(),
                     lanes.iter().map(|l| l.udp_to_sys.rx()).collect(),
+                    lanes[0].ring_to_tcp.tx(),
+                    lanes[0].tcp_to_ring.rx(),
                     crash_board.clone(),
                     rt.take_snapshot(),
                 )
@@ -929,6 +954,34 @@ impl NewtStack {
                     );
                     component_services.insert(Component::Syscall, endpoints::SYSCALL);
                 }
+                // SYSCALL replicas: one ring pump per further stack shard,
+                // so submission processing scales with the stack.
+                for (k, shard_lane) in lanes.iter().enumerate().take(shards).skip(1) {
+                    let rings = Arc::clone(&rings);
+                    let lane = shard_lane.clone();
+                    let crash_board = crash_board.clone();
+                    let name = Component::SyscallShard(k).name();
+                    rs.register_with_endpoint(
+                        service_config(&name),
+                        endpoints::syscall_shard(k),
+                        move |rt| {
+                            let mut server = SyscallReplica::new(
+                                k,
+                                Arc::clone(&rings),
+                                lane.ring_to_tcp.tx(),
+                                lane.tcp_to_ring.rx(),
+                                crash_board.clone(),
+                            );
+                            let exit = run_loop(&rt, || server.poll());
+                            if exit == LoopExit::Update {
+                                let (version, payload) = server.export_state();
+                                rt.hand_over(version, payload);
+                            }
+                        },
+                    );
+                    component_services
+                        .insert(Component::SyscallShard(k), endpoints::syscall_shard(k));
+                }
                 // Drivers.
                 for i in 0..config.nics {
                     let make_driver = make_driver.clone();
@@ -1107,6 +1160,7 @@ impl NewtStack {
             links,
             peer_traces,
             nics,
+            rings,
             component_services,
             telemetry,
             fabric_probes,
@@ -1153,6 +1207,19 @@ impl NewtStack {
     /// Returns the directory of shared pools (useful for diagnostics).
     pub fn pool_table(&self) -> PoolTable {
         self.pools.clone()
+    }
+
+    /// Returns the shared-object registry (sockbufs, ring queues, ...).
+    pub fn registry(&self) -> Registry {
+        self.registry.clone()
+    }
+
+    /// Returns the table of submission/completion ring groups.  The table is
+    /// owned by the builder — like the fabric lanes — so ring state survives
+    /// every component crash and live update; benches use it to read
+    /// completion-side counters.
+    pub fn ring_table(&self) -> Arc<RingTable> {
+        Arc::clone(&self.rings)
     }
 
     /// Returns a handle to the simulated NIC behind interface `i`.
@@ -1295,6 +1362,8 @@ impl NewtStack {
             "tcp→sys",
             "sys→udp",
             "udp→sys",
+            "ring→tcp",
+            "tcp→ring",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -1623,8 +1692,8 @@ mod tests {
         let config = quick_config().shards(2).packet_filter(false);
         let stack = NewtStack::start(config);
         assert_eq!(stack.shards(), 2);
-        // Components: 2 shards x 3 servers + syscall + driver.
-        assert_eq!(stack.components().len(), 8);
+        // Components: 2 shards x 3 servers + syscall + syscall.1 + driver.
+        assert_eq!(stack.components().len(), 9);
         let client = stack.client();
         let a = client.tcp_socket().expect("socket a");
         let b = client.tcp_socket().expect("socket b");

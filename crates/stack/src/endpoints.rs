@@ -22,6 +22,11 @@ pub const DRIVER_BASE: u32 = 16;
 /// (tcp, udp, ip).  Shard 0 reuses the singleton TCP/UDP/IP endpoints so a
 /// one-shard stack is bit-identical to the unsharded one.
 pub const SHARD_BASE: u32 = 64;
+/// First endpoint of the replicated SYSCALL ring pumps; replica `k > 0` is
+/// `SYSCALL_SHARD_BASE + (k-1)`.  Replica 0 is the singleton SYSCALL server
+/// itself, which keeps the kernel IPC mailbox and pumps shard 0's rings, so
+/// a one-shard stack runs no extra component.
+pub const SYSCALL_SHARD_BASE: u32 = 128;
 /// First application endpoint; application `i` is `APP_BASE + i`.
 pub const APP_BASE: u32 = 256;
 
@@ -39,6 +44,12 @@ pub fn application(index: u32) -> Endpoint {
     Endpoint::from_raw(APP_BASE + index)
 }
 
+/// Returns the application index of an application endpoint (the inverse
+/// of [`application`]).  Used to key ring groups and registry names.
+pub fn app_index(app: Endpoint) -> u32 {
+    app.as_raw().saturating_sub(APP_BASE)
+}
+
 /// Returns the endpoint of the TCP server of shard `shard`.
 pub fn tcp_shard(shard: usize) -> Endpoint {
     if shard == 0 {
@@ -54,6 +65,16 @@ pub fn udp_shard(shard: usize) -> Endpoint {
         UDP
     } else {
         Endpoint::from_raw(SHARD_BASE + 3 * (shard as u32 - 1) + 1)
+    }
+}
+
+/// Returns the endpoint of the SYSCALL ring pump serving shard `shard`.
+/// Shard 0's rings are pumped by the singleton SYSCALL server.
+pub fn syscall_shard(shard: usize) -> Endpoint {
+    if shard == 0 {
+        SYSCALL
+    } else {
+        Endpoint::from_raw(SYSCALL_SHARD_BASE + shard as u32 - 1)
     }
 }
 
@@ -191,6 +212,9 @@ pub enum Component {
     UdpShard(usize),
     /// The IP server of shard `s` of a sharded stack.
     IpShard(usize),
+    /// The SYSCALL ring pump replica serving shard `s > 0` of a sharded
+    /// stack (shard 0's rings are pumped by [`Component::Syscall`]).
+    SyscallShard(usize),
 }
 
 impl Component {
@@ -206,6 +230,7 @@ impl Component {
             Component::TcpShard(s) => tcp_shard(*s),
             Component::UdpShard(s) => udp_shard(*s),
             Component::IpShard(s) => ip_shard(*s),
+            Component::SyscallShard(s) => syscall_shard(*s),
         }
     }
 
@@ -221,6 +246,7 @@ impl Component {
             Component::TcpShard(s) => format!("tcp.{s}"),
             Component::UdpShard(s) => format!("udp.{s}"),
             Component::IpShard(s) => format!("ip.{s}"),
+            Component::SyscallShard(s) => format!("syscall.{s}"),
         }
     }
 
@@ -236,6 +262,8 @@ impl Component {
             Component::TcpShard(0) => Some(Component::Tcp),
             Component::UdpShard(0) => Some(Component::Udp),
             Component::IpShard(0) => Some(Component::Ip),
+            Component::Syscall => Some(Component::SyscallShard(0)),
+            Component::SyscallShard(0) => Some(Component::Syscall),
             _ => None,
         }
     }
@@ -282,6 +310,7 @@ mod tests {
             eps.push(tcp_shard(shard));
             eps.push(udp_shard(shard));
             eps.push(ip_shard(shard));
+            eps.push(syscall_shard(shard));
         }
         for (i, a) in eps.iter().enumerate() {
             for (j, b) in eps.iter().enumerate() {

@@ -13,8 +13,11 @@
 //! * [`ip`] — the IP/ICMP/ARP hub with its T junction to the packet filter;
 //! * [`pf`] — the packet filter with rules and connection tracking;
 //! * [`tcp`] / [`udp`] — the transport servers;
-//! * [`syscall`] — the synchronous POSIX front end;
+//! * [`syscall`] — the POSIX front end: legacy kernel-IPC calls plus the
+//!   sharded submission/completion ring pumps;
 //! * [`posix`] — the application-side socket library;
+//! * [`rings`] — the asynchronous submission/completion queues between
+//!   applications and the stack;
 //! * [`sockbuf`] — the shared buffers the data path runs over;
 //! * [`msg`], [`fabric`], [`endpoints`] — the typed messages, channel wiring
 //!   and component identities;
@@ -49,6 +52,7 @@ pub mod ip;
 pub mod msg;
 pub mod pf;
 pub mod posix;
+pub mod rings;
 pub mod sockbuf;
 pub mod syscall;
 pub mod tcp;
@@ -57,6 +61,7 @@ pub mod udp;
 pub use builder::{NewtStack, StackConfig, Telemetry, Topology};
 pub use endpoints::Component;
 pub use pf::{FilterAction, FilterRule};
-pub use posix::{Interest, NetClient, PollFd, TcpSocket, UdpSocket};
+pub use posix::{Interest, NetClient, PollFd, RingHandle, TcpSocket, UdpSocket};
+pub use rings::{CqValue, Cqe, Sqe, SqeOp};
 pub use sockbuf::Readiness;
 pub use sockbuf::{SockError, SocketBuffer};

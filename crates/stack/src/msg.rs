@@ -231,6 +231,13 @@ pub enum SockRequest {
         /// listener on the same port and this one must only answer the
         /// connection-opening SYNs whose RSS hash steers to its shard.
         sharded: bool,
+        /// Send-buffer capacity for accepted connections, in bytes
+        /// (0 = the transport's default).  Listener-scoped so a
+        /// high-connection-count service can right-size its sockets.
+        send_cap: u32,
+        /// Receive-buffer capacity for accepted connections, in bytes
+        /// (0 = the transport's default).
+        recv_cap: u32,
     },
     /// Accept a connection from a listening socket's backlog (replied when
     /// one is available).
@@ -240,21 +247,17 @@ pub enum SockRequest {
         /// The listening socket.
         sock: SockId,
     },
-    /// Accept without blocking: replied immediately, with
-    /// [`SockError::WouldBlock`] when the backlog is empty.
-    AcceptNb {
-        /// Request identifier.
+    /// Arm a *multishot* accept on a listening socket (the ring path):
+    /// every connection entering the backlog is answered immediately
+    /// with [`SockReply::Accepted`] carrying this request id, until the
+    /// listener closes (a terminal [`SockReply::Error`]).  Re-arming an
+    /// already armed listener replaces the previous arm — the operation
+    /// is idempotent, which lets a SYSCALL replica blindly re-forward
+    /// arms after a transport crash.
+    AcceptArm {
+        /// Request identifier (ring-encoded, see [`crate::rings`]).
         req: RequestId,
         /// The listening socket.
-        sock: SockId,
-    },
-    /// Query server-side readiness (the half of `poll()` shared memory
-    /// cannot answer: listen/accept backlog state).  Replied immediately
-    /// with [`SockReply::Readiness`].
-    Poll {
-        /// Request identifier.
-        req: RequestId,
-        /// The socket being polled.
         sock: SockId,
     },
     /// Connect a socket to a remote address (TCP: three-way handshake;
@@ -286,8 +289,7 @@ impl SockRequest {
             | SockRequest::Bind { req, .. }
             | SockRequest::Listen { req, .. }
             | SockRequest::Accept { req, .. }
-            | SockRequest::AcceptNb { req, .. }
-            | SockRequest::Poll { req, .. }
+            | SockRequest::AcceptArm { req, .. }
             | SockRequest::Connect { req, .. }
             | SockRequest::Close { req, .. } => *req,
         }
@@ -300,8 +302,7 @@ impl SockRequest {
             SockRequest::Bind { sock, .. }
             | SockRequest::Listen { sock, .. }
             | SockRequest::Accept { sock, .. }
-            | SockRequest::AcceptNb { sock, .. }
-            | SockRequest::Poll { sock, .. }
+            | SockRequest::AcceptArm { sock, .. }
             | SockRequest::Connect { sock, .. }
             | SockRequest::Close { sock, .. } => Some(*sock),
         }
@@ -338,13 +339,6 @@ pub enum SockReply {
         /// Remote port of the accepted connection.
         peer_port: u16,
     },
-    /// Server-side readiness bits answering a [`SockRequest::Poll`].
-    Readiness {
-        /// The request being answered.
-        req: RequestId,
-        /// Bitmask assembled from [`poll_bits`].
-        bits: u64,
-    },
     /// The operation failed.
     Error {
         /// The request being answered.
@@ -354,16 +348,6 @@ pub enum SockReply {
     },
 }
 
-/// Bits carried by [`SockReply::Readiness`] (and the `POLL` kernel reply).
-pub mod poll_bits {
-    /// The socket is in the listening state.
-    pub const LISTENING: u64 = 1 << 0;
-    /// At least one established connection waits in the accept backlog.
-    pub const ACCEPT_READY: u64 = 1 << 1;
-    /// The socket's connection is established.
-    pub const ESTABLISHED: u64 = 1 << 2;
-}
-
 impl SockReply {
     /// Returns the request identifier this reply answers.
     pub fn req(&self) -> RequestId {
@@ -371,7 +355,6 @@ impl SockReply {
             SockReply::Opened { req, .. }
             | SockReply::Ok { req, .. }
             | SockReply::Accepted { req, .. }
-            | SockReply::Readiness { req, .. }
             | SockReply::Error { req, .. } => *req,
         }
     }
@@ -392,11 +375,13 @@ pub mod syscalls {
     pub const CONNECT: u32 = 5;
     /// close(sock) — word0: socket.
     pub const CLOSE: u32 = 6;
-    /// poll(sock) — word0: socket; replies with readiness bits in word0.
-    pub const POLL: u32 = 7;
-    /// Non-blocking accept(sock) — word0: socket; replies immediately
-    /// (`WouldBlock` error when the backlog is empty).
-    pub const ACCEPT_NB: u32 = 8;
+    /// Set up the application's submission/completion rings — replies
+    /// with the stack's shard count in word0, after which the rings are
+    /// attachable from the registry under `ring/<app>/...`.  Idempotent:
+    /// calling again for the same application returns the same rings.
+    /// (Message types 7/8 were the retired per-call `POLL`/`ACCEPT_NB`
+    /// round trips, now served by the rings.)
+    pub const RING_SETUP: u32 = 9;
     /// listen() flag (word2): `SO_REUSEPORT`-style sharded listener.
     pub const LISTEN_FLAG_SHARDED: u64 = 1;
     /// Successful reply; word0 carries the primary result.

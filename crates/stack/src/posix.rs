@@ -1,10 +1,23 @@
 //! The application-side socket library (the "C library" of §V-B).
 //!
-//! Synchronous POSIX-style calls are implemented as kernel IPC messages to
-//! the SYSCALL server; the calling application blocks in `sendrec` until the
-//! reply arrives.  The *data* path bypasses the SYSCALL server entirely:
-//! opening a socket exports a shared buffer to the application
-//! ([`SocketBuffer`]) and `send`/`recv` only touch that buffer.
+//! The app↔stack boundary is built on **syscall rings**: each application
+//! owns one submission queue per stack shard plus a single completion
+//! queue, shared with the SYSCALL servers through the registry (see
+//! [`crate::rings`]).  Socket operations are ring entries, not kernel
+//! round trips:
+//!
+//! * `Send`/`Recv`/`PollArm` complete **inline** on the client side
+//!   against the shared [`SocketBuffer`] — zero fabric messages;
+//! * `AcceptArm` is **multishot**: one submission yields a completion per
+//!   accepted connection for the lifetime of the listener;
+//! * `Close` is forwarded to the owning TCP shard in batches by the
+//!   SYSCALL server's ring pump.
+//!
+//! The raw ring interface is [`RingHandle`] (obtained from
+//! [`NetClient::ring`]); the classic POSIX calls below are retained as
+//! thin shims over it.  Only *control* calls that create or dismantle
+//! kernel-visible state (socket, bind, listen, connect, close) still
+//! travel as synchronous kernel IPC to the SYSCALL server.
 //!
 //! # Blocking, non-blocking and polling
 //!
@@ -19,13 +32,17 @@
 //! * [`TcpSocket::readiness`] — recv-buffer data, send-buffer space,
 //!   hang-up and pending errors, read **locally** from the shared buffer
 //!   (no SYSCALL round trip, like the data path itself);
-//! * [`TcpSocket::accept_ready`] — listen-backlog readiness, answered by
-//!   the owning TCP server through the `POLL` syscall;
+//! * [`TcpSocket::accept_ready`] — listen-backlog readiness, answered
+//!   locally from the ring's multishot accept completions;
 //! * [`NetClient::poll`] — waits on a set of sockets until any is ready.
 //!
-//! This is what the HTTP server of the `newt-apps` crate runs its event
-//! loop on.
+//! Applications that need more than hundreds of sockets (the `newt-apps`
+//! HTTP server holds 100 000) skip the shims and drive the
+//! [`RingHandle`] directly: arm readiness watches, drain the completion
+//! queue, touch only the sockets that completed.
 
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::Duration;
@@ -38,15 +55,23 @@ use newt_kernel::ipc::{IpcError, KernelIpc, Message};
 use newt_net::wire::IpProtocol;
 
 use crate::endpoints;
-use crate::msg::{addr_to_word, decode_sock_error, poll_bits, syscalls, SockId};
-use crate::sockbuf::{Readiness, SockError, SocketBuffer};
+use crate::msg::{addr_to_word, decode_sock_error, syscalls, SockId};
+use crate::rings::{self, CompletionQueue, CqValue, Cqe, Sqe, SqeOp, SubmissionRing};
+use crate::sockbuf::{Readiness, ReadyWatch, SockError, SocketBuffer};
 use crate::udp::{decode_datagram, encode_datagram};
 
 /// Fallback real-time bound for *control* calls (socket, bind, listen,
-/// accept_nb, poll, connect, close) when the client is in non-blocking
-/// mode: the kernel round trip itself can never be zero-timeout, only the
+/// connect, close, ring setup) when the client is in non-blocking mode:
+/// the kernel round trip itself can never be zero-timeout, only the
 /// data-plane waits can.
 const CONTROL_TIMEOUT_FLOOR: Duration = Duration::from_secs(10);
+
+/// The `user_data` bit reserved for the library's internal shims (the
+/// multishot accept arms behind [`TcpSocket::accept`]).  [`RingHandle`]
+/// rejects application submissions whose tag carries this bit with
+/// [`SockError::InvalidState`], so shim completions can never be
+/// confused with application completions.
+pub const SHIM_USER_BIT: u64 = 1 << 63;
 
 /// Handle through which an application process uses the networking stack.
 ///
@@ -88,6 +113,10 @@ pub struct NetClient {
     app: Endpoint,
     /// Real-time bound on each blocking operation; zero = non-blocking.
     op_timeout: Duration,
+    /// The lazily-created ring handle, shared by every clone of this
+    /// client (and thus by every socket it opens) so one application
+    /// drives one ring group.
+    ring: Arc<Mutex<Option<Arc<RingHandle>>>>,
 }
 
 impl NetClient {
@@ -100,6 +129,7 @@ impl NetClient {
             registry,
             app,
             op_timeout: Duration::from_secs(10),
+            ring: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -119,9 +149,9 @@ impl NetClient {
     ///   data operations return [`SockError::WouldBlock`] immediately when
     ///   they cannot make progress, and [`TcpSocket::accept`] behaves like
     ///   [`TcpSocket::accept_nb`].  Control calls that inherently need a
-    ///   kernel round trip (socket creation, bind, connect, close, the
-    ///   `POLL` syscall) still wait for their reply, bounded by a 10 s
-    ///   floor — the *reply* is immediate, only delivery takes a moment.
+    ///   kernel round trip (socket creation, bind, connect, close) still
+    ///   wait for their reply, bounded by a 10 s floor — the *reply* is
+    ///   immediate, only delivery takes a moment.
     #[must_use]
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.op_timeout = timeout;
@@ -224,6 +254,103 @@ impl NetClient {
         })
     }
 
+    /// Returns this application's [`RingHandle`], setting the ring group
+    /// up on first use: one `RING_SETUP` kernel call asks the SYSCALL
+    /// server to create (or re-publish) the rings, then the submission
+    /// queues and the completion queue are attached through the registry.
+    /// Every clone of this client shares the same handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SockError::ServerUnavailable`] when the SYSCALL server
+    /// cannot be reached or the rings are not published.
+    ///
+    /// # Example: an inline round trip plus a readiness watch
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use newt_net::link::LinkConfig;
+    /// use newt_stack::builder::{NewtStack, StackConfig};
+    /// use newt_stack::rings::interest_bits;
+    /// use newt_stack::sockbuf::SockError;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let stack = NewtStack::start(
+    ///     StackConfig::newtos()
+    ///         .link(LinkConfig::unshaped())
+    ///         .clock_speedup(50.0),
+    /// );
+    /// let client = stack.client();
+    /// let socket = client.tcp_socket()?;
+    /// socket.connect(StackConfig::peer_addr(0), newt_net::peer::SSH_PORT)?;
+    ///
+    /// // Send inline through the shared buffer: zero fabric messages.
+    /// let ring = client.ring()?;
+    /// assert_eq!(ring.send(socket.id(), b"uname -a\n")?, 9);
+    ///
+    /// // Arm a one-shot readiness watch; the echo reply wakes the CQ.
+    /// ring.poll_arm(socket.id(), interest_bits::READ, 7)?;
+    /// let mut cqes = Vec::new();
+    /// while cqes.is_empty() {
+    ///     ring.wait(&mut cqes, Duration::from_secs(10));
+    /// }
+    /// assert_eq!(cqes[0].user_data, 7);
+    ///
+    /// // Drain the echo with inline receives.
+    /// let mut reply = Vec::new();
+    /// while reply.len() < 9 {
+    ///     let mut chunk = [0u8; 16];
+    ///     match ring.recv(socket.id(), &mut chunk) {
+    ///         Ok(n) => reply.extend_from_slice(&chunk[..n]),
+    ///         Err(SockError::WouldBlock) => std::thread::sleep(Duration::from_millis(1)),
+    ///         Err(error) => return Err(error.into()),
+    ///     }
+    /// }
+    /// assert_eq!(&reply[..], b"uname -a\n");
+    /// stack.shutdown();
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn ring(&self) -> Result<Arc<RingHandle>, SockError> {
+        {
+            let slot = self.ring.lock();
+            if let Some(ring) = slot.as_ref() {
+                return Ok(Arc::clone(ring));
+            }
+        }
+        let reply = self.call(syscalls::RING_SETUP, &[], IpProtocol::Tcp)?;
+        let shards = (reply.word(0) as usize).max(1);
+        let app = endpoints::app_index(self.app);
+        let cq: Arc<CompletionQueue> = self
+            .registry
+            .attach_shared(self.app, &rings::cq_name(app))
+            .map_err(|_| SockError::ServerUnavailable)?;
+        let mut sqs: Vec<Arc<SubmissionRing>> = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            sqs.push(
+                self.registry
+                    .attach_shared(self.app, &rings::sq_name(app, shard))
+                    .map_err(|_| SockError::ServerUnavailable)?,
+            );
+        }
+        let handle = Arc::new(RingHandle {
+            client: self.clone(),
+            cq,
+            sqs,
+            buffers: Mutex::new(HashMap::new()),
+            shim: Mutex::new(ShimState::default()),
+        });
+        let mut slot = self.ring.lock();
+        if let Some(existing) = slot.as_ref() {
+            // Another thread of this application won the setup race; the
+            // server-side get_or_create is idempotent, so just adopt the
+            // first handle.
+            return Ok(Arc::clone(existing));
+        }
+        *slot = Some(Arc::clone(&handle));
+        Ok(handle)
+    }
+
     /// Opens an `SO_REUSEPORT`-style listener group on `port`: one
     /// listening socket per stack shard, so inbound connections are served
     /// by whichever shard the NIC's RSS hash steers each flow to.  With
@@ -252,7 +379,28 @@ impl NetClient {
         backlog: usize,
         shards: usize,
     ) -> Result<Vec<TcpSocket>, SockError> {
-        match self.try_listen_sharded(port, backlog, shards.max(1)) {
+        self.listen_sharded_with_caps(port, backlog, shards, 0, 0)
+    }
+
+    /// [`NetClient::listen_sharded`] with explicit per-connection socket
+    /// buffer capacities: every connection accepted from this listener
+    /// group gets a `send_cap`-byte send buffer and a `recv_cap`-byte
+    /// receive buffer (0 = the server default).  Right-sizing the buffers
+    /// is what lets a single stack hold 100 000 keep-alive connections:
+    /// the per-connection memory is dominated by these two rings.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::listen_sharded`].
+    pub fn listen_sharded_with_caps(
+        &self,
+        port: u16,
+        backlog: usize,
+        shards: usize,
+        send_cap: u32,
+        recv_cap: u32,
+    ) -> Result<Vec<TcpSocket>, SockError> {
+        match self.try_listen_sharded(port, backlog, shards.max(1), send_cap, recv_cap) {
             Ok(group) => Ok(group),
             Err((error, opened)) => {
                 for socket in opened {
@@ -271,6 +419,8 @@ impl NetClient {
         port: u16,
         backlog: usize,
         shards: usize,
+        send_cap: u32,
+        recv_cap: u32,
     ) -> Result<Vec<TcpSocket>, (SockError, Vec<TcpSocket>)> {
         let mut listeners: Vec<Option<TcpSocket>> = (0..shards).map(|_| None).collect();
         let mut missing = shards;
@@ -343,7 +493,7 @@ impl NetClient {
             let listener = &group[index];
             if let Err(error) = listener
                 .bind(port)
-                .and_then(|_| listener.listen_with(backlog, shards > 1))
+                .and_then(|_| listener.listen_with_caps(backlog, shards > 1, send_cap, recv_cap))
             {
                 return Err((error, group));
             }
@@ -356,10 +506,10 @@ impl NetClient {
     /// the return value counts ready entries).  `timeout` is real time; a
     /// zero timeout performs a single non-blocking scan.
     ///
-    /// Data readiness is read locally from the shared socket buffers every
-    /// scan (~250 µs apart); accept readiness costs a `POLL` syscall per
-    /// listener and is re-queried only every fourth scan (~1 ms), so an
-    /// idle poll loop does not hammer the TCP servers with kernel IPC.
+    /// Every scan (~250 µs apart) is local: data readiness is read from
+    /// the shared socket buffers, accept readiness from the ring's
+    /// multishot accept completions.  An idle poll loop costs no kernel
+    /// IPC and no fabric messages at all.
     ///
     /// # Errors
     ///
@@ -406,11 +556,10 @@ impl NetClient {
     /// ```
     pub fn poll(&self, fds: &mut [PollFd<'_>], timeout: Duration) -> Result<usize, SockError> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut scan = 0u32;
         loop {
             let mut ready = 0;
             for fd in fds.iter_mut() {
-                fd.update(scan);
+                fd.update();
                 if fd.is_ready() {
                     ready += 1;
                 }
@@ -418,9 +567,353 @@ impl NetClient {
             if ready > 0 || std::time::Instant::now() >= deadline {
                 return Ok(ready);
             }
-            scan = scan.wrapping_add(1);
             std::thread::sleep(Duration::from_micros(250));
         }
+    }
+}
+
+/// Book-keeping for the library's internal accept shims: which listeners
+/// hold a multishot arm, the connections those arms have delivered, the
+/// terminal errors they ended with, and the stash of *application*
+/// completions set aside while servicing shim completions.
+#[derive(Debug, Default)]
+struct ShimState {
+    /// Listeners with a live multishot accept arm.
+    armed: HashSet<SockId>,
+    /// Accepted connections per listener, in arrival order.
+    accepted: HashMap<SockId, VecDeque<(SockId, Ipv4Addr, u16)>>,
+    /// Terminal error of a listener's arm (consumed on read, so a
+    /// re-listen can re-arm).
+    errors: HashMap<SockId, SockError>,
+    /// Application completions drained from the CQ while looking for
+    /// shim completions; handed out by [`RingHandle::drain`]/`wait`.
+    user: Vec<Cqe>,
+}
+
+/// An application's view of its syscall rings: the per-shard submission
+/// queues, the single completion queue, and the client-side inline
+/// executor for buffer-only operations.
+///
+/// Obtained from [`NetClient::ring`]; one handle per application, shared
+/// by every clone of the client.  All methods are `&self` and the handle
+/// is internally synchronized, so one thread can submit while another
+/// drains completions.
+///
+/// # Operation classes
+///
+/// * [`RingHandle::send`], [`RingHandle::recv`], [`RingHandle::poll_arm`]
+///   and their [`Sqe`] forms complete **inline** against the shared
+///   socket buffer — no fabric message, no kernel IPC;
+/// * `AcceptArm` and `Close` submissions are batched over the fabric to
+///   the owning TCP shard by the SYSCALL server's ring pump, and their
+///   completions arrive asynchronously on the CQ.
+///
+/// # Backpressure
+///
+/// A full submission queue fails the submission with
+/// [`SockError::WouldBlock`] — nothing is enqueued, nothing is lost; the
+/// application drains completions and retries.  The completion queue
+/// never drops entries (it spills to an overflow list), so completions
+/// cannot be lost to a slow reader.
+pub struct RingHandle {
+    /// A clone of the owning client, for buffer attach (registry + app).
+    client: NetClient,
+    cq: Arc<CompletionQueue>,
+    sqs: Vec<Arc<SubmissionRing>>,
+    /// Socket buffers attached for inline execution, keyed by socket id;
+    /// evicted when a `Close` for the socket is submitted.
+    buffers: Mutex<HashMap<SockId, Arc<SocketBuffer>>>,
+    shim: Mutex<ShimState>,
+}
+
+impl fmt::Debug for RingHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RingHandle")
+            .field("app", &self.client.app)
+            .field("shards", &self.sqs.len())
+            .field("cq", &self.cq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RingHandle {
+    /// Number of submission queues (= stack shards).
+    pub fn shards(&self) -> usize {
+        self.sqs.len()
+    }
+
+    /// The completion queue, e.g. for the
+    /// [`ops_completed`](CompletionQueue::ops_completed) metric.
+    pub fn cq(&self) -> &Arc<CompletionQueue> {
+        &self.cq
+    }
+
+    /// The submission queue that owns `sock` (by shard placement).
+    fn sq_for(&self, sock: SockId) -> &Arc<SubmissionRing> {
+        let shard = endpoints::sock_shard(sock).min(self.sqs.len() - 1);
+        &self.sqs[shard]
+    }
+
+    /// The shared buffer of `sock`, attached on first use.
+    fn buffer(&self, sock: SockId) -> Result<Arc<SocketBuffer>, SockError> {
+        if let Some(buffer) = self.buffers.lock().get(&sock) {
+            return Ok(Arc::clone(buffer));
+        }
+        let buffer = self.client.attach_buffer("tcp", sock)?;
+        self.buffers
+            .lock()
+            .entry(sock)
+            .or_insert_with(|| Arc::clone(&buffer));
+        Ok(buffer)
+    }
+
+    /// Submits one ring entry.  `Send`/`Recv`/`PollArm` execute inline
+    /// and post their completion immediately; `AcceptArm`/`Close` are
+    /// queued towards the owning shard's SYSCALL pump.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SockError::WouldBlock`] when the target submission queue
+    /// is full (backpressure: retry after draining completions) and
+    /// [`SockError::InvalidState`] when `user_data` carries the reserved
+    /// [`SHIM_USER_BIT`].
+    pub fn submit(&self, sqe: Sqe) -> Result<(), SockError> {
+        if sqe.user_data & SHIM_USER_BIT != 0 {
+            return Err(SockError::InvalidState);
+        }
+        self.submit_raw(sqe)
+    }
+
+    /// [`RingHandle::submit`] without the reserved-tag check, for the
+    /// library's own shims.
+    fn submit_raw(&self, sqe: Sqe) -> Result<(), SockError> {
+        let Sqe { user_data, op } = sqe;
+        match op {
+            SqeOp::AcceptArm { listener } => self.sq_for(listener).submit(Sqe {
+                user_data,
+                op: SqeOp::AcceptArm { listener },
+            }),
+            SqeOp::Close { sock } => {
+                self.buffers.lock().remove(&sock);
+                self.sq_for(sock).submit(Sqe {
+                    user_data,
+                    op: SqeOp::Close { sock },
+                })
+            }
+            SqeOp::Send { sock, data } => {
+                let result = self
+                    .buffer(sock)
+                    .and_then(|buffer| buffer.write(&data, Duration::ZERO))
+                    .map(CqValue::Sent);
+                self.cq.post(Cqe { user_data, result });
+                Ok(())
+            }
+            SqeOp::Recv { sock, max } => {
+                let result = self.buffer(sock).and_then(|buffer| {
+                    let mut data = vec![0u8; max];
+                    let n = buffer.read(&mut data, Duration::ZERO)?;
+                    data.truncate(n);
+                    Ok(data)
+                });
+                self.cq.post(Cqe {
+                    user_data,
+                    result: result.map(CqValue::Data),
+                });
+                Ok(())
+            }
+            SqeOp::PollArm { sock, interest } => {
+                match self.buffer(sock) {
+                    Ok(buffer) => buffer.arm_watch(ReadyWatch {
+                        cq: Arc::clone(&self.cq),
+                        user_data,
+                        interest,
+                    }),
+                    Err(error) => self.cq.post(Cqe {
+                        user_data,
+                        result: Err(error),
+                    }),
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Inline non-blocking send: writes as much of `data` as fits into
+    /// the socket's send buffer and returns the number of bytes written,
+    /// without producing a completion entry.
+    ///
+    /// # Errors
+    ///
+    /// [`SockError::WouldBlock`] when the buffer is full, or the pending
+    /// socket error.
+    pub fn send(&self, sock: SockId, data: &[u8]) -> Result<usize, SockError> {
+        let n = self.buffer(sock)?.write(data, Duration::ZERO)?;
+        self.cq.note_inline_op();
+        Ok(n)
+    }
+
+    /// Inline non-blocking receive into `buf`; returns 0 at
+    /// end-of-stream, without producing a completion entry.
+    ///
+    /// # Errors
+    ///
+    /// [`SockError::WouldBlock`] when nothing is buffered, or the pending
+    /// socket error.
+    pub fn recv(&self, sock: SockId, buf: &mut [u8]) -> Result<usize, SockError> {
+        let n = self.buffer(sock)?.read(buf, Duration::ZERO)?;
+        self.cq.note_inline_op();
+        Ok(n)
+    }
+
+    /// Arms a one-shot readiness watch on `sock`: a completion tagged
+    /// `user_data` with [`CqValue::Ready`] is posted as soon as the
+    /// socket's buffer matches `interest` (bits from
+    /// [`rings::interest_bits`]) — immediately if it already does.
+    /// Hang-up and pending errors fire the watch regardless of interest.
+    /// Re-arming replaces the previous watch.
+    ///
+    /// # Errors
+    ///
+    /// [`SockError::ServerUnavailable`] when the socket's buffer cannot
+    /// be attached, [`SockError::InvalidState`] for a reserved tag.
+    pub fn poll_arm(&self, sock: SockId, interest: u8, user_data: u64) -> Result<(), SockError> {
+        if user_data & SHIM_USER_BIT != 0 {
+            return Err(SockError::InvalidState);
+        }
+        self.buffer(sock)?.arm_watch(ReadyWatch {
+            cq: Arc::clone(&self.cq),
+            user_data,
+            interest,
+        });
+        Ok(())
+    }
+
+    /// Snapshot of `sock`'s data readiness, read locally from its shared
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`SockError::ServerUnavailable`] when the buffer cannot be
+    /// attached.
+    pub fn readiness(&self, sock: SockId) -> Result<Readiness, SockError> {
+        Ok(self.buffer(sock)?.readiness())
+    }
+
+    /// Drains every pending *application* completion into `out` without
+    /// blocking; returns how many arrived.  Shim completions (the
+    /// library's accept arms) are absorbed internally.
+    pub fn drain(&self, out: &mut Vec<Cqe>) -> usize {
+        self.service(None);
+        self.hand_out(out)
+    }
+
+    /// Waits up to `timeout` for a completion, then drains every pending
+    /// *application* completion into `out`; returns how many arrived.
+    /// May return 0 before the timeout expires when the wakeup was for a
+    /// shim completion (spurious-wakeup semantics: re-call to keep
+    /// waiting).
+    pub fn wait(&self, out: &mut Vec<Cqe>, timeout: Duration) -> usize {
+        self.service(None);
+        if self.shim.lock().user.is_empty() {
+            self.service(Some(timeout));
+        }
+        self.hand_out(out)
+    }
+
+    /// Moves the stashed application completions into `out`.
+    fn hand_out(&self, out: &mut Vec<Cqe>) -> usize {
+        let mut shim = self.shim.lock();
+        let n = shim.user.len();
+        out.append(&mut shim.user);
+        n
+    }
+
+    /// Drains the CQ (optionally waiting first) and dispatches what
+    /// arrived: shim completions update the accept book-keeping,
+    /// application completions go to the stash for
+    /// [`RingHandle::drain`]/[`RingHandle::wait`].
+    fn service(&self, wait: Option<Duration>) {
+        let mut scratch = Vec::new();
+        match wait {
+            None => self.cq.drain_into(&mut scratch),
+            Some(timeout) => self.cq.wait(&mut scratch, timeout),
+        };
+        if scratch.is_empty() {
+            return;
+        }
+        let mut shim = self.shim.lock();
+        for cqe in scratch {
+            if cqe.user_data & SHIM_USER_BIT == 0 {
+                shim.user.push(cqe);
+                continue;
+            }
+            let listener = cqe.user_data & !SHIM_USER_BIT;
+            match cqe.result {
+                Ok(CqValue::Accepted {
+                    sock,
+                    peer_addr,
+                    peer_port,
+                }) => {
+                    shim.accepted
+                        .entry(listener)
+                        .or_default()
+                        .push_back((sock, peer_addr, peer_port));
+                }
+                Err(error) => {
+                    // The arm ended (listener closed, server lost); the
+                    // next accept sees the error once, then may re-arm.
+                    shim.armed.remove(&listener);
+                    shim.errors.insert(listener, error);
+                }
+                Ok(_) => {}
+            }
+        }
+    }
+
+    /// Ensures `listener` has a live multishot accept arm, submitting one
+    /// if not.
+    ///
+    /// # Errors
+    ///
+    /// [`SockError::WouldBlock`] when the submission queue is full; the
+    /// arm is not recorded, so the next call retries.
+    fn ensure_accept_arm(&self, listener: SockId) -> Result<(), SockError> {
+        {
+            let mut shim = self.shim.lock();
+            if shim.armed.contains(&listener) {
+                return Ok(());
+            }
+            shim.armed.insert(listener);
+            shim.errors.remove(&listener);
+        }
+        let sqe = Sqe {
+            user_data: SHIM_USER_BIT | listener,
+            op: SqeOp::AcceptArm { listener },
+        };
+        if let Err(error) = self.sq_for(listener).submit(sqe) {
+            self.shim.lock().armed.remove(&listener);
+            return Err(error);
+        }
+        Ok(())
+    }
+
+    /// Pops the oldest connection accepted on `listener`, if any.
+    fn pop_accepted(&self, listener: SockId) -> Option<(SockId, Ipv4Addr, u16)> {
+        self.shim.lock().accepted.get_mut(&listener)?.pop_front()
+    }
+
+    /// Returns `true` when a connection accepted on `listener` waits.
+    fn has_accepted(&self, listener: SockId) -> bool {
+        self.shim
+            .lock()
+            .accepted
+            .get(&listener)
+            .is_some_and(|queue| !queue.is_empty())
+    }
+
+    /// Consumes the terminal error of `listener`'s accept arm, if any.
+    fn take_accept_error(&self, listener: SockId) -> Option<SockError> {
+        self.shim.lock().errors.remove(&listener)
     }
 }
 
@@ -461,21 +954,16 @@ impl<'a> PollFd<'a> {
         self.revents
     }
 
-    fn update(&mut self, scan: u32) {
+    fn update(&mut self) {
         match self.interest {
             Interest::Accept => {
-                // The accept-backlog query is a kernel round trip; re-ask
-                // only every fourth scan so idle polling stays cheap.
-                if !scan.is_multiple_of(4) {
-                    return;
-                }
                 self.revents = match self.socket.accept_ready() {
                     Ok(ready) => Readiness {
                         readable: ready,
                         ..Readiness::default()
                     },
-                    // A restarting TCP server is "not ready", not fatal;
-                    // the error is surfaced so the caller can distinguish,
+                    // A restarting server is "not ready", not fatal; the
+                    // error is surfaced so the caller can distinguish,
                     // but it does NOT count as readiness — otherwise a
                     // poll loop would busy-spin for the whole restart.
                     Err(error) => Readiness {
@@ -547,6 +1035,25 @@ impl TcpSocket {
     ///
     /// As [`TcpSocket::listen`].
     pub fn listen_with(&self, backlog: usize, sharded: bool) -> Result<(), SockError> {
+        self.listen_with_caps(backlog, sharded, 0, 0)
+    }
+
+    /// Starts listening with explicit per-connection socket buffer
+    /// capacities: connections accepted from this listener get a
+    /// `send_cap`-byte send buffer and a `recv_cap`-byte receive buffer
+    /// (0 = the server default).  See
+    /// [`NetClient::listen_sharded_with_caps`].
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpSocket::listen`].
+    pub fn listen_with_caps(
+        &self,
+        backlog: usize,
+        sharded: bool,
+        send_cap: u32,
+        recv_cap: u32,
+    ) -> Result<(), SockError> {
         let flags = if sharded {
             syscalls::LISTEN_FLAG_SHARDED
         } else {
@@ -554,31 +1061,50 @@ impl TcpSocket {
         };
         self.client.call(
             syscalls::LISTEN,
-            &[(0, self.sock), (1, backlog as u64), (2, flags)],
+            &[
+                (0, self.sock),
+                (1, backlog as u64),
+                (2, flags),
+                (3, send_cap as u64),
+                (4, recv_cap as u64),
+            ],
             IpProtocol::Tcp,
         )?;
         Ok(())
     }
 
-    /// Accepts one connection.  A blocking client waits until a peer
-    /// connects; a non-blocking client ([`NetClient::with_timeout`] zero)
-    /// fails with [`SockError::WouldBlock`] when the backlog is empty.
+    /// Accepts one connection through the ring's multishot accept arm.
+    /// A blocking client waits until a peer connects; a non-blocking
+    /// client ([`NetClient::with_timeout`] zero) fails with
+    /// [`SockError::WouldBlock`] when nothing is pending.
     ///
     /// # Errors
     ///
-    /// Returns [`SockError::WouldBlock`] (non-blocking, empty backlog),
-    /// [`SockError::TimedOut`], or [`SockError::ServerUnavailable`] when
-    /// the TCP server is unreachable.
+    /// Returns [`SockError::WouldBlock`] (non-blocking, empty backlog, or
+    /// a full submission queue), [`SockError::TimedOut`], or
+    /// [`SockError::ServerUnavailable`] when the TCP server is
+    /// unreachable.
     pub fn accept(&self) -> Result<(TcpSocket, Ipv4Addr, u16), SockError> {
-        let mtype = if self.client.is_nonblocking() {
-            syscalls::ACCEPT_NB
-        } else {
-            syscalls::ACCEPT
-        };
-        let reply = self
-            .client
-            .call(mtype, &[(0, self.sock)], IpProtocol::Tcp)?;
-        self.accepted_from(reply)
+        let ring = self.client.ring()?;
+        ring.ensure_accept_arm(self.sock)?;
+        let deadline = std::time::Instant::now() + self.client.op_timeout;
+        loop {
+            ring.service(None);
+            if let Some((child, addr, port)) = ring.pop_accepted(self.sock) {
+                return self.adopt(child, addr, port);
+            }
+            if let Some(error) = ring.take_accept_error(self.sock) {
+                return Err(error);
+            }
+            if self.client.is_nonblocking() {
+                return Err(SockError::WouldBlock);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(SockError::TimedOut);
+            }
+            ring.service(Some(deadline - now));
+        }
     }
 
     /// Non-blocking accept: returns `Ok(None)` when no connection is
@@ -589,20 +1115,25 @@ impl TcpSocket {
     /// As [`TcpSocket::accept`], except that an empty backlog is `Ok(None)`
     /// rather than an error.
     pub fn accept_nb(&self) -> Result<Option<(TcpSocket, Ipv4Addr, u16)>, SockError> {
-        match self
-            .client
-            .call(syscalls::ACCEPT_NB, &[(0, self.sock)], IpProtocol::Tcp)
-        {
-            Ok(reply) => Ok(Some(self.accepted_from(reply)?)),
-            Err(SockError::WouldBlock) => Ok(None),
-            Err(error) => Err(error),
+        let ring = self.client.ring()?;
+        ring.ensure_accept_arm(self.sock)?;
+        ring.service(None);
+        if let Some((child, addr, port)) = ring.pop_accepted(self.sock) {
+            return Ok(Some(self.adopt(child, addr, port)?));
         }
+        if let Some(error) = ring.take_accept_error(self.sock) {
+            return Err(error);
+        }
+        Ok(None)
     }
 
-    fn accepted_from(&self, reply: Message) -> Result<(TcpSocket, Ipv4Addr, u16), SockError> {
-        let child = reply.word(0);
-        let addr = crate::msg::word_to_addr(reply.word(1));
-        let port = reply.word(2) as u16;
+    /// Wraps an accepted connection in a [`TcpSocket`].
+    fn adopt(
+        &self,
+        child: SockId,
+        addr: Ipv4Addr,
+        port: u16,
+    ) -> Result<(TcpSocket, Ipv4Addr, u16), SockError> {
         let buffer = self.client.attach_buffer("tcp", child)?;
         Ok((
             TcpSocket {
@@ -615,18 +1146,27 @@ impl TcpSocket {
         ))
     }
 
-    /// Returns `true` when at least one established connection waits in
-    /// this listener's backlog (one `POLL` syscall round trip).
+    /// Returns `true` when at least one accepted connection waits on this
+    /// listener's ring arm — answered locally from the completion queue,
+    /// no round trip.
     ///
     /// # Errors
     ///
-    /// Returns [`SockError::ServerUnavailable`] while the TCP server is
-    /// restarting.
+    /// Returns [`SockError::ServerUnavailable`] when the listener's arm
+    /// ended because its TCP server went away permanently, and
+    /// [`SockError::WouldBlock`] when the arm could not be submitted
+    /// (full submission queue).
     pub fn accept_ready(&self) -> Result<bool, SockError> {
-        let reply = self
-            .client
-            .call(syscalls::POLL, &[(0, self.sock)], IpProtocol::Tcp)?;
-        Ok(reply.word(0) & poll_bits::ACCEPT_READY != 0)
+        let ring = self.client.ring()?;
+        ring.ensure_accept_arm(self.sock)?;
+        ring.service(None);
+        if ring.has_accepted(self.sock) {
+            return Ok(true);
+        }
+        if let Some(error) = ring.take_accept_error(self.sock) {
+            return Err(error);
+        }
+        Ok(false)
     }
 
     /// Snapshot of this socket's data readiness, read locally from the

@@ -7,6 +7,21 @@
 //! receive) plus the state flags needed for a faithful `send`/`recv`
 //! blocking behaviour on the application side and non-blocking polling on
 //! the server side.
+//!
+//! # `WouldBlock` and readiness: one meaning everywhere
+//!
+//! Every non-blocking path in the stack — buffer reads/writes with a zero
+//! timeout, ring submissions ([`crate::rings`]), inline ring `Send`/`Recv`
+//! completions — uses [`SockError::WouldBlock`] with a single meaning:
+//! *the operation made no progress; retry when readiness changes*.  It is
+//! never a failure.  Readiness itself has one source of truth, the
+//! [`Readiness`] snapshot computed from this shared buffer: `readable`
+//! covers data, end-of-stream **and** pending errors (so a reader always
+//! wakes to observe them), `hung_up` is the POLLHUP analogue set by the
+//! remote FIN, and `error` is sticky — first error wins and is reported by
+//! every subsequent operation.  A one-shot [`ReadyWatch`] armed through
+//! the ring fires on exactly these conditions: the requested interest
+//! bits, plus hang-up and error unconditionally.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -15,6 +30,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
+
+use crate::rings::{interest_bits, CompletionQueue, CqValue, Cqe};
 
 /// A shard-wide wake-up list for shared socket buffers.
 ///
@@ -128,6 +145,40 @@ impl Readiness {
     pub fn any(&self) -> bool {
         self.readable || self.writable || self.hung_up || self.error.is_some()
     }
+
+    /// `true` if this snapshot satisfies a watch armed with `interest`
+    /// (bits from [`crate::rings::interest_bits`]).  Hang-up and errors
+    /// fire every watch, whatever its interest.
+    pub fn matches_interest(&self, interest: u8) -> bool {
+        (interest & interest_bits::READ != 0 && self.readable)
+            || (interest & interest_bits::WRITE != 0 && self.writable)
+            || self.hung_up
+            || self.error.is_some()
+    }
+}
+
+/// A one-shot readiness watch armed on a socket buffer through the ring
+/// API ([`crate::rings::SqeOp::PollArm`]).  Whichever side transitions
+/// the buffer's readiness — the transport pushing received data, setting
+/// EOF or an error, or freeing send space — posts the completion, so the
+/// application parks on a single completion-queue doorbell instead of
+/// polling each socket.
+pub struct ReadyWatch {
+    /// The completion queue the watch posts to when it fires.
+    pub cq: Arc<CompletionQueue>,
+    /// The submitter's tag, echoed on the completion.
+    pub user_data: u64,
+    /// Interest bits from [`crate::rings::interest_bits`].
+    pub interest: u8,
+}
+
+impl std::fmt::Debug for ReadyWatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadyWatch")
+            .field("user_data", &self.user_data)
+            .field("interest", &self.interest)
+            .finish_non_exhaustive()
+    }
 }
 
 #[derive(Debug, Default)]
@@ -158,6 +209,8 @@ pub struct SocketBuffer {
     wake_pending: AtomicBool,
     /// Where to announce application-side work (send-queue writes, close).
     notify: Mutex<Option<NotifyTarget>>,
+    /// The armed one-shot readiness watch, if any (ring `PollArm`).
+    watch: Mutex<Option<ReadyWatch>>,
 }
 
 impl SocketBuffer {
@@ -171,7 +224,63 @@ impl SocketBuffer {
             writable: Condvar::new(),
             wake_pending: AtomicBool::new(false),
             notify: Mutex::new(None),
+            watch: Mutex::new(None),
         }
+    }
+
+    /// Arms a one-shot readiness watch.  If the buffer already satisfies
+    /// the watch's interest the completion is posted immediately;
+    /// otherwise the watch is stored and fired by the next readiness
+    /// transition.  Re-arming replaces a previously armed watch (the old
+    /// one is dropped without completing).
+    pub fn arm_watch(&self, watch: ReadyWatch) {
+        let readiness = self.readiness();
+        if readiness.matches_interest(watch.interest) {
+            watch.cq.post(Cqe {
+                user_data: watch.user_data,
+                result: Ok(CqValue::Ready(readiness)),
+            });
+            return;
+        }
+        *self.watch.lock() = Some(watch);
+        // Readiness may have changed between the snapshot and the store;
+        // re-check so a racing transition is never missed.
+        self.maybe_fire_watch();
+    }
+
+    /// Drops the armed watch, if any, without completing it.
+    pub fn cancel_watch(&self) {
+        self.watch.lock().take();
+    }
+
+    /// Fires the armed watch if the buffer's current readiness satisfies
+    /// its interest.  Called (outside the state lock) by every readiness
+    /// transition: received data, freed send space, EOF, error.
+    fn maybe_fire_watch(&self) {
+        let mut slot = self.watch.lock();
+        let Some(watch) = slot.as_ref() else { return };
+        let readiness = self.readiness();
+        if readiness.matches_interest(watch.interest) {
+            let watch = slot.take().expect("checked above");
+            drop(slot);
+            watch.cq.post(Cqe {
+                user_data: watch.user_data,
+                result: Ok(CqValue::Ready(readiness)),
+            });
+        }
+    }
+
+    /// Bytes of heap memory this buffer currently holds (the send and
+    /// receive queues' allocations plus the fixed structure), the figure
+    /// behind the per-connection-memory benchmark gate.
+    pub fn mem_bytes(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.send.capacity() + inner.recv.capacity() + std::mem::size_of::<SocketBuffer>()
+    }
+
+    /// The configured send and receive capacities, in bytes.
+    pub fn capacities(&self) -> (usize, usize) {
+        (self.send_capacity, self.recv_capacity)
     }
 
     /// Registers (or replaces, after a server restart) the doorbell this
@@ -314,13 +423,15 @@ impl SocketBuffer {
     }
 
     /// Marks the socket as closed by the application (the server sends FIN
-    /// once the send buffer drains).
+    /// once the send buffer drains).  Cancels any armed readiness watch —
+    /// the application is done with the socket.
     pub fn close(&self) {
         {
             let mut inner = self.inner.lock();
             inner.closed_by_app = true;
             self.readable.notify_all();
         }
+        self.cancel_watch();
         self.ring_doorbell();
     }
 
@@ -329,11 +440,18 @@ impl SocketBuffer {
     /// Takes up to `max` bytes from the send queue (data the application
     /// wrote and the server should transmit).
     pub fn drain_send(&self, max: usize) -> Vec<u8> {
-        let mut inner = self.inner.lock();
-        let n = max.min(inner.send.len());
-        let out: Vec<u8> = inner.send.drain(..n).collect();
+        let out = {
+            let mut inner = self.inner.lock();
+            let n = max.min(inner.send.len());
+            let out: Vec<u8> = inner.send.drain(..n).collect();
+            if !out.is_empty() {
+                self.writable.notify_all();
+            }
+            out
+        };
         if !out.is_empty() {
-            self.writable.notify_all();
+            // Send space freed: a write-interested watch can fire.
+            self.maybe_fire_watch();
         }
         out
     }
@@ -359,12 +477,18 @@ impl SocketBuffer {
     /// number of bytes accepted (data beyond the receive capacity is
     /// rejected so the advertised window is honoured).
     pub fn push_recv(&self, data: &[u8]) -> usize {
-        let mut inner = self.inner.lock();
-        let space = self.recv_capacity.saturating_sub(inner.recv.len());
-        let n = space.min(data.len());
-        inner.recv.extend(&data[..n]);
+        let n = {
+            let mut inner = self.inner.lock();
+            let space = self.recv_capacity.saturating_sub(inner.recv.len());
+            let n = space.min(data.len());
+            inner.recv.extend(&data[..n]);
+            if n > 0 {
+                self.readable.notify_all();
+            }
+            n
+        };
         if n > 0 {
-            self.readable.notify_all();
+            self.maybe_fire_watch();
         }
         n
     }
@@ -378,20 +502,26 @@ impl SocketBuffer {
 
     /// Marks the receive stream as finished (the remote sent FIN).
     pub fn set_eof(&self) {
-        let mut inner = self.inner.lock();
-        inner.recv_eof = true;
-        self.readable.notify_all();
+        {
+            let mut inner = self.inner.lock();
+            inner.recv_eof = true;
+            self.readable.notify_all();
+        }
+        self.maybe_fire_watch();
     }
 
     /// Posts an error to the application (e.g. connection reset after an
     /// unrecoverable TCP crash).
     pub fn set_error(&self, error: SockError) {
-        let mut inner = self.inner.lock();
-        if inner.error.is_none() {
-            inner.error = Some(error);
+        {
+            let mut inner = self.inner.lock();
+            if inner.error.is_none() {
+                inner.error = Some(error);
+            }
+            self.readable.notify_all();
+            self.writable.notify_all();
         }
-        self.readable.notify_all();
-        self.writable.notify_all();
+        self.maybe_fire_watch();
     }
 
     /// Returns the pending error, if any.
@@ -548,6 +678,84 @@ mod tests {
             buf.read(&mut out, Duration::ZERO),
             Err(SockError::ConnectionReset)
         );
+    }
+
+    fn watch(cq: &Arc<CompletionQueue>, user_data: u64, interest: u8) -> ReadyWatch {
+        ReadyWatch {
+            cq: Arc::clone(cq),
+            user_data,
+            interest,
+        }
+    }
+
+    #[test]
+    fn watch_fires_once_when_data_arrives() {
+        let cq = Arc::new(CompletionQueue::new(8));
+        let buf = SocketBuffer::new(16, 16);
+        buf.arm_watch(watch(&cq, 7, interest_bits::READ));
+        assert_eq!(cq.posted(), 0);
+        buf.push_recv(b"x");
+        assert_eq!(cq.posted(), 1);
+        // One-shot: more data does not fire again until re-armed.
+        buf.push_recv(b"y");
+        assert_eq!(cq.posted(), 1);
+        let mut out = Vec::new();
+        cq.drain_into(&mut out);
+        assert_eq!(out[0].user_data, 7);
+        match &out[0].result {
+            Ok(CqValue::Ready(r)) => assert!(r.readable),
+            other => panic!("unexpected completion: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watch_fires_immediately_when_already_ready() {
+        let cq = Arc::new(CompletionQueue::new(8));
+        let buf = SocketBuffer::new(16, 16);
+        buf.push_recv(b"already here");
+        buf.arm_watch(watch(&cq, 1, interest_bits::READ));
+        assert_eq!(cq.posted(), 1);
+    }
+
+    #[test]
+    fn watch_fires_on_write_space_eof_and_error() {
+        // Write interest: fires when the server drains send space free.
+        let cq = Arc::new(CompletionQueue::new(8));
+        let buf = SocketBuffer::new(4, 16);
+        buf.write(&[0u8; 4], T).unwrap();
+        buf.arm_watch(watch(&cq, 2, interest_bits::WRITE));
+        assert_eq!(cq.posted(), 0);
+        buf.drain_send(4);
+        assert_eq!(cq.posted(), 1);
+
+        // A read-interested watch fires on EOF.
+        let buf = SocketBuffer::new(16, 16);
+        buf.arm_watch(watch(&cq, 3, interest_bits::READ));
+        buf.set_eof();
+        assert_eq!(cq.posted(), 2);
+
+        // Errors fire any watch, even with no matching interest bits.
+        let buf = SocketBuffer::new(16, 16);
+        buf.arm_watch(watch(&cq, 4, 0));
+        buf.set_error(SockError::ConnectionReset);
+        assert_eq!(cq.posted(), 3);
+
+        // App close cancels silently.
+        let buf = SocketBuffer::new(16, 16);
+        buf.arm_watch(watch(&cq, 5, interest_bits::READ));
+        buf.close();
+        buf.push_recv(b"late");
+        assert_eq!(cq.posted(), 3);
+    }
+
+    #[test]
+    fn mem_bytes_tracks_queue_allocations() {
+        let buf = SocketBuffer::new(4096, 4096);
+        let idle = buf.mem_bytes();
+        assert!(idle < 1024, "an idle buffer should be small: {idle}");
+        buf.push_recv(&[0u8; 1024]);
+        assert!(buf.mem_bytes() >= idle + 1024);
+        assert_eq!(buf.capacities(), (4096, 4096));
     }
 
     #[test]

@@ -39,9 +39,10 @@ use crate::endpoints;
 use crate::fabric::drain;
 use crate::fabric::{send, CrashBoard, PoolTable, Rx, Tx};
 use crate::msg::{
-    poll_bits, FlowTuple, IpToTransport, PfToTransport, SockId, SockReply, SockRequest,
-    TransportToIp, TransportToPf,
+    FlowTuple, IpToTransport, PfToTransport, SockId, SockReply, SockRequest, TransportToIp,
+    TransportToPf,
 };
+use crate::rings;
 use crate::sockbuf::{Doorbell, SockError, SocketBuffer};
 
 /// Number of slots in the hashed retransmission/ACK timer wheel.
@@ -247,6 +248,11 @@ struct SockSummary {
     /// the capacity the application configured.  Only meaningful for
     /// listening sockets (non-listeners reuse the field internally).
     backlog: usize,
+    /// Listener-scoped send-buffer capacity for accepted children
+    /// (0 = the transport default), preserved across reincarnations.
+    send_cap: u32,
+    /// Listener-scoped receive-buffer capacity for accepted children.
+    recv_cap: u32,
 }
 
 #[derive(Debug)]
@@ -278,6 +284,14 @@ struct TcpSock {
     /// `SO_REUSEPORT`-style listener replicated on every shard: only answer
     /// SYNs whose RSS hash steers to this shard.
     sharded_listener: bool,
+    /// Multishot accept arm (the ring path): every connection entering the
+    /// backlog is answered immediately under this request id, until the
+    /// listener closes.  Re-arming replaces the previous arm.
+    accept_watch: Option<RequestId>,
+    /// Send-buffer capacity for accepted children (0 = config default).
+    child_send_cap: u32,
+    /// Receive-buffer capacity for accepted children (0 = config default).
+    child_recv_cap: u32,
 
     // Application intents.
     pending_connect: Option<RequestId>,
@@ -322,8 +336,9 @@ struct PendingSend {
 /// Wire-format version of the TCP live-update snapshot.  Bumped whenever
 /// `TcpHotState`/`HotSock` change incompatibly; a replacement
 /// incarnation that sees a different version falls back to crash-style
-/// recovery instead of misreading the predecessor's state.
-pub const TCP_STATE_VERSION: u32 = 1;
+/// recovery instead of misreading the predecessor's state.  Version 2
+/// added the multishot accept arm and the listener-scoped buffer caps.
+pub const TCP_STATE_VERSION: u32 = 2;
 
 /// The full per-connection state carried across a live update — everything
 /// [`SockSummary`] deliberately drops: send/receive sequence state,
@@ -349,6 +364,9 @@ struct HotSock {
     pending_accepts: Vec<RequestId>,
     backlog_limit: usize,
     sharded_listener: bool,
+    accept_watch: Option<RequestId>,
+    child_send_cap: u32,
+    child_recv_cap: u32,
     pending_connect: Option<RequestId>,
     close_requested: bool,
     fin_sent: bool,
@@ -396,6 +414,11 @@ pub struct TcpServer {
 
     from_syscall: Rx<SockRequest>,
     to_syscall: Tx<SockReply>,
+    /// Submissions forwarded from the ring pumps (accept arms, closes);
+    /// their replies are routed back on `to_ring` by the ring bit in the
+    /// request id — the server itself stays stateless about rings.
+    from_ring: Rx<SockRequest>,
+    to_ring: Tx<SockReply>,
     to_ip: Tx<TransportToIp>,
     from_ip: Rx<IpToTransport>,
     from_pf: Rx<PfToTransport>,
@@ -427,6 +450,15 @@ pub struct TcpServer {
     /// [`TransportToIp::RxDoneBatch`] per round.
     rxdone_batch: Vec<RichPtr>,
     ready: VecDeque<SockId>,
+    /// Demux indices so an inbound segment finds its socket in O(1)
+    /// instead of scanning the table — the scan is O(population), which
+    /// is fatal when one stack holds 100k connections.  `flow_index`
+    /// keys every socket with a remote by (remote ip, remote port,
+    /// local port); `listen_index` keys listeners by local port.
+    /// Maintained at the insert/remove/transition sites; bulk restores
+    /// re-index each socket as it is rebuilt.
+    flow_index: HashMap<(Ipv4Addr, u16, u16), SockId>,
+    listen_index: HashMap<u16, SockId>,
     /// RTO and delayed-ACK deadlines.
     wheel: TimerWheel,
     /// Rung by socket buffers when the application queues work; owned by
@@ -455,6 +487,8 @@ impl TcpServer {
         pools: PoolTable,
         from_syscall: Rx<SockRequest>,
         to_syscall: Tx<SockReply>,
+        from_ring: Rx<SockRequest>,
+        to_ring: Tx<SockReply>,
         to_ip: Tx<TransportToIp>,
         from_ip: Rx<IpToTransport>,
         from_pf: Rx<PfToTransport>,
@@ -481,6 +515,8 @@ impl TcpServer {
             pools,
             from_syscall,
             to_syscall,
+            from_ring,
+            to_ring,
             to_ip,
             from_ip,
             from_pf,
@@ -499,6 +535,8 @@ impl TcpServer {
             pf_scratch: Vec::new(),
             rxdone_batch: Vec::new(),
             ready: VecDeque::new(),
+            flow_index: HashMap::new(),
+            listen_index: HashMap::new(),
             wheel,
             doorbell,
             doorbell_scratch: Vec::new(),
@@ -550,33 +588,58 @@ impl TcpServer {
             .retrieve(&self.storage_ns, "sockets")
             .unwrap_or_default();
         for summary in summaries {
+            // The summaries hold listeners only; they have no volatile
+            // state and are restored outright.  (Summaries written by an
+            // older incarnation may still carry connection entries —
+            // those are covered by the registry sweep below.)
+            if !summary.listening {
+                continue;
+            }
             self.next_sock = self.next_sock.max(summary.id + 1);
             let buffer_name = Self::buffer_name(summary.id);
-            if summary.listening {
-                // Listening sockets have no volatile state and are restored.
-                let buffer: Arc<SocketBuffer> = self
-                    .registry
-                    .attach_shared(self.endpoint, &buffer_name)
-                    .unwrap_or_else(|_| Arc::new(SocketBuffer::with_defaults()));
-                buffer.attach_doorbell(Arc::clone(&self.doorbell), summary.id);
-                let sock = self.blank_socket(summary.id, buffer);
-                let mut sock = sock;
-                sock.state = TcpState::Listen;
-                sock.local_port = summary.local_port;
-                sock.backlog_limit = summary.backlog.max(1);
-                sock.sharded_listener = summary.sharded;
-                self.sockets.insert(summary.id, sock);
-            } else {
-                // Established connections are lost: surface an error to the
-                // application through the shared buffer, if it still exists.
-                if let Ok(buffer) = self
-                    .registry
-                    .attach_shared::<SocketBuffer>(self.endpoint, &buffer_name)
-                {
-                    buffer.set_error(SockError::ConnectionReset);
-                }
-                self.stats.connections_reset += 1;
+            let buffer: Arc<SocketBuffer> = self
+                .registry
+                .attach_shared(self.endpoint, &buffer_name)
+                .unwrap_or_else(|_| Arc::new(SocketBuffer::with_defaults()));
+            buffer.attach_doorbell(Arc::clone(&self.doorbell), summary.id);
+            let mut sock = self.blank_socket(summary.id, buffer);
+            sock.state = TcpState::Listen;
+            sock.local_port = summary.local_port;
+            sock.backlog_limit = summary.backlog.max(1);
+            sock.sharded_listener = summary.sharded;
+            sock.child_send_cap = summary.send_cap;
+            sock.child_recv_cap = summary.recv_cap;
+            self.sockets.insert(summary.id, sock);
+            self.index_socket(summary.id);
+        }
+        // Established connections are lost (§V-D): every live buffer of
+        // this shard that is not a restored listener belonged to one.
+        // The registry survives the crash and close-time revocation keeps
+        // it exact, so enumerating it replaces per-connection summaries —
+        // the application sees `ConnectionReset` through the shared
+        // buffer and reconnects.
+        for (name, _, _) in self.registry.list("sockbuf/tcp/") {
+            let Some(id) = name
+                .rsplit('/')
+                .next()
+                .and_then(|s| s.parse::<SockId>().ok())
+            else {
+                continue;
+            };
+            if endpoints::sock_shard(id) != self.shard.index {
+                continue;
             }
+            self.next_sock = self.next_sock.max(id + 1);
+            if self.sockets.contains_key(&id) {
+                continue; // a restored listener
+            }
+            if let Ok(buffer) = self
+                .registry
+                .attach_shared::<SocketBuffer>(self.endpoint, &name)
+            {
+                buffer.set_error(SockError::ConnectionReset);
+            }
+            self.stats.connections_reset += 1;
         }
         self.persist_sockets();
     }
@@ -615,6 +678,9 @@ impl TcpServer {
                 pending_accepts: s.pending_accepts.clone(),
                 backlog_limit: s.backlog_limit,
                 sharded_listener: s.sharded_listener,
+                accept_watch: s.accept_watch,
+                child_send_cap: s.child_send_cap,
+                child_recv_cap: s.child_recv_cap,
                 pending_connect: s.pending_connect,
                 close_requested: s.close_requested,
                 fin_sent: s.fin_sent,
@@ -683,6 +749,9 @@ impl TcpServer {
             sock.pending_accepts = h.pending_accepts;
             sock.backlog_limit = h.backlog_limit;
             sock.sharded_listener = h.sharded_listener;
+            sock.accept_watch = h.accept_watch;
+            sock.child_send_cap = h.child_send_cap;
+            sock.child_recv_cap = h.child_recv_cap;
             sock.pending_connect = h.pending_connect;
             sock.close_requested = h.close_requested;
             sock.fin_sent = h.fin_sent;
@@ -692,6 +761,7 @@ impl TcpServer {
             let rto_deadline = sock.rto_deadline;
             let ack_pending = sock.ack_pending;
             self.sockets.insert(h.id, sock);
+            self.index_socket(h.id);
             // Re-arm timers.  A deadline that passed while the component was
             // down lands in the wheel's next scanned bucket and fires on the
             // first timer sweep.
@@ -718,11 +788,20 @@ impl TcpServer {
         true
     }
 
+    /// Persists the crash-recovery summaries.  Only *listeners* are
+    /// summarised: they are the one thing a reincarnation actually
+    /// rebuilds (§V-D — established connections are reset, not
+    /// recovered), and the live buffers of those connections are already
+    /// enumerable from the registry, which survives the crash and is
+    /// kept exact by close-time revocation.  Keeping children out of the
+    /// summary makes this O(listeners), so the accept and close hot
+    /// paths never serialise the whole socket table — the difference
+    /// between an O(n) and an O(n²) ramp at 100k connections.
     fn persist_sockets(&self) {
         let summaries: Vec<SockSummary> = self
             .sockets
             .values()
-            .filter(|s| s.state != TcpState::Closed)
+            .filter(|s| s.state == TcpState::Listen)
             .map(|s| SockSummary {
                 id: s.id,
                 local_port: s.local_port,
@@ -734,6 +813,8 @@ impl TcpServer {
                 } else {
                     0
                 },
+                send_cap: s.child_send_cap,
+                recv_cap: s.child_recv_cap,
             })
             .collect();
         self.storage.store(&self.storage_ns, "sockets", &summaries);
@@ -764,6 +845,9 @@ impl TcpServer {
             pending_accepts: Vec::new(),
             backlog_limit: 0,
             sharded_listener: false,
+            accept_watch: None,
+            child_send_cap: 0,
+            child_recv_cap: 0,
             pending_connect: None,
             close_requested: false,
             fin_sent: false,
@@ -797,6 +881,9 @@ impl TcpServer {
 
         let mut requests = std::mem::take(&mut self.syscall_scratch);
         self.from_syscall.drain_into(&mut requests);
+        // Ring submissions ride the same handler; their replies route back
+        // to the ring lane by the ring bit in the request id.
+        self.from_ring.drain_into(&mut requests);
         for request in requests.drain(..) {
             work += 1;
             self.handle_sock_request(request);
@@ -1033,16 +1120,22 @@ impl TcpServer {
                 let sock = self.blank_socket(id, buffer);
                 self.sockets.insert(id, sock);
                 self.persist_sockets();
-                send(&self.to_syscall, SockReply::Opened { req, sock: id });
+                route_reply(
+                    &self.to_syscall,
+                    &self.to_ring,
+                    SockReply::Opened { req, sock: id },
+                );
             }
             SockRequest::Bind { sock, port, .. } => {
                 let reply = self.bind(sock, port);
-                send(&self.to_syscall, reply_for(req, reply));
+                route_reply(&self.to_syscall, &self.to_ring, reply_for(req, reply));
             }
             SockRequest::Listen {
                 sock,
                 backlog,
                 sharded,
+                send_cap,
+                recv_cap,
                 ..
             } => {
                 let reply = match self.sockets.get_mut(&sock) {
@@ -1050,13 +1143,18 @@ impl TcpServer {
                         s.state = TcpState::Listen;
                         s.backlog_limit = backlog.max(1);
                         s.sharded_listener = sharded;
+                        s.child_send_cap = send_cap;
+                        s.child_recv_cap = recv_cap;
                         Ok(s.local_port)
                     }
                     Some(_) => Err(SockError::InvalidState),
                     None => Err(SockError::InvalidState),
                 };
+                if reply.is_ok() {
+                    self.index_socket(sock);
+                }
                 self.persist_sockets();
-                send(&self.to_syscall, reply_for(req, reply));
+                route_reply(&self.to_syscall, &self.to_ring, reply_for(req, reply));
             }
             SockRequest::Accept { sock, .. } => match self.sockets.get_mut(&sock) {
                 Some(listener) if listener.state == TcpState::Listen => {
@@ -1064,8 +1162,9 @@ impl TcpServer {
                     self.try_complete_accepts(sock);
                 }
                 _ => {
-                    send(
+                    route_reply(
                         &self.to_syscall,
+                        &self.to_ring,
                         SockReply::Error {
                             req,
                             error: SockError::InvalidState,
@@ -1073,65 +1172,55 @@ impl TcpServer {
                     );
                 }
             },
-            SockRequest::AcceptNb { sock, .. } => {
-                let is_listener = self
-                    .sockets
-                    .get(&sock)
-                    .is_some_and(|s| s.state == TcpState::Listen);
-                let reply = if !is_listener {
-                    SockReply::Error {
-                        req,
-                        error: SockError::InvalidState,
-                    }
-                } else {
-                    match self.pop_backlog(sock) {
-                        Some((child, peer_addr, peer_port)) => SockReply::Accepted {
+            SockRequest::AcceptArm { sock, .. } => match self.sockets.get_mut(&sock) {
+                Some(listener) if listener.state == TcpState::Listen => {
+                    // Idempotent: re-arming replaces the previous arm.
+                    // This is what lets a SYSCALL ring pump blindly
+                    // re-forward arms after this server's reincarnation.
+                    listener.accept_watch = Some(req);
+                    self.try_complete_accepts(sock);
+                }
+                _ => {
+                    route_reply(
+                        &self.to_syscall,
+                        &self.to_ring,
+                        SockReply::Error {
                             req,
-                            sock: child,
-                            peer_addr,
-                            peer_port,
+                            error: SockError::InvalidState,
                         },
-                        None => SockReply::Error {
-                            req,
-                            error: SockError::WouldBlock,
-                        },
-                    }
-                };
-                send(&self.to_syscall, reply);
-            }
-            SockRequest::Poll { sock, .. } => {
-                let bits = match self.sockets.get(&sock) {
-                    Some(s) if s.state == TcpState::Listen => {
-                        poll_bits::LISTENING
-                            | if s.backlog.is_empty() {
-                                0
-                            } else {
-                                poll_bits::ACCEPT_READY
-                            }
-                    }
-                    Some(s) if matches!(s.state, TcpState::Established | TcpState::CloseWait) => {
-                        poll_bits::ESTABLISHED
-                    }
-                    _ => 0,
-                };
-                send(&self.to_syscall, SockReply::Readiness { req, bits });
-            }
+                    );
+                }
+            },
             SockRequest::Connect {
                 sock, addr, port, ..
             } => {
                 let result = self.connect(sock, addr, port, req);
                 if let Err(error) = result {
-                    send(&self.to_syscall, SockReply::Error { req, error });
+                    route_reply(
+                        &self.to_syscall,
+                        &self.to_ring,
+                        SockReply::Error { req, error },
+                    );
                 }
             }
             SockRequest::Close { sock, .. } => {
+                // Only a listener close changes the crash summaries;
+                // closing a connection must stay O(1) — a 100k-connection
+                // teardown would otherwise serialise the socket table
+                // 100k times.
+                let was_listener = self
+                    .sockets
+                    .get(&sock)
+                    .is_some_and(|s| s.state == TcpState::Listen);
                 let reply = self.close(sock);
-                self.persist_sockets();
+                if was_listener {
+                    self.persist_sockets();
+                }
                 self.senders_dirty = true;
                 // FIN emission (once the send buffer drains) happens in the
                 // pump, so put the socket on the ready list.
                 self.enqueue_ready(sock);
-                send(&self.to_syscall, reply_for(req, reply));
+                route_reply(&self.to_syscall, &self.to_ring, reply_for(req, reply));
             }
         }
     }
@@ -1217,7 +1306,7 @@ impl TcpServer {
         let mut syn = TcpSegment::control(local_port, port, isn, 0, TcpFlags::SYN);
         syn.mss = Some(self.config.mss as u16);
         syn.window = s.buffer.recv_space().min(65_535) as u16;
-        self.persist_sockets();
+        self.index_socket(sock);
         self.emit_segment(sock, syn, &[], true);
         // A lost SYN is recovered by the RTO like any other segment.
         let deadline = self.clock.now() + rto;
@@ -1231,9 +1320,23 @@ impl TcpServer {
         };
         match s.state {
             TcpState::Listen | TcpState::Closed | TcpState::SynSent => {
+                // A closing listener terminates its multishot accept arm
+                // with a terminal error completion.
+                let watch = s.accept_watch.take();
                 let name = Self::buffer_name(sock);
                 let _ = self.registry.revoke(self.endpoint, &name);
+                self.unindex_socket(sock);
                 self.sockets.remove(&sock);
+                if let Some(req) = watch {
+                    route_reply(
+                        &self.to_syscall,
+                        &self.to_ring,
+                        SockReply::Error {
+                            req,
+                            error: SockError::InvalidState,
+                        },
+                    );
+                }
                 Ok(0)
             }
             _ => {
@@ -1265,15 +1368,25 @@ impl TcpServer {
             let Some(listener) = self.sockets.get_mut(&listener_id) else {
                 return;
             };
-            if listener.pending_accepts.is_empty() || listener.backlog.is_empty() {
+            if listener.backlog.is_empty() {
                 return;
             }
-            let req = listener.pending_accepts.remove(0);
+            // Blocking accepts are served first; the multishot arm then
+            // drains whatever remains (one completion per connection,
+            // the arm itself stays in place).
+            let req = if !listener.pending_accepts.is_empty() {
+                listener.pending_accepts.remove(0)
+            } else if let Some(watch) = listener.accept_watch {
+                watch
+            } else {
+                return;
+            };
             let Some((child_id, peer_addr, peer_port)) = self.pop_backlog(listener_id) else {
                 return;
             };
-            send(
+            route_reply(
                 &self.to_syscall,
+                &self.to_ring,
                 SockReply::Accepted {
                     req,
                     sock: child_id,
@@ -1601,22 +1714,41 @@ impl TcpServer {
         Some((packet.src, packet.dst, segment))
     }
 
+    /// Registers `id` in the demux indices from its current state.
+    fn index_socket(&mut self, id: SockId) {
+        let Some(s) = self.sockets.get(&id) else {
+            return;
+        };
+        if s.state == TcpState::Listen {
+            self.listen_index.insert(s.local_port, id);
+        } else if let Some((addr, port)) = s.remote {
+            self.flow_index.insert((addr, port, s.local_port), id);
+        }
+    }
+
+    /// Drops `id`'s demux entries; call before removing it from the
+    /// table.  Guarded by value so a newer socket that reused the key
+    /// is left alone.
+    fn unindex_socket(&mut self, id: SockId) {
+        let Some(s) = self.sockets.get(&id) else {
+            return;
+        };
+        if self.listen_index.get(&s.local_port) == Some(&id) {
+            self.listen_index.remove(&s.local_port);
+        }
+        if let Some((addr, port)) = s.remote {
+            if self.flow_index.get(&(addr, port, s.local_port)) == Some(&id) {
+                self.flow_index.remove(&(addr, port, s.local_port));
+            }
+        }
+    }
+
     fn find_socket(&self, remote: Ipv4Addr, remote_port: u16, local_port: u16) -> Option<SockId> {
-        // Exact connection match first.
-        self.sockets
-            .values()
-            .find(|s| {
-                s.local_port == local_port
-                    && s.remote == Some((remote, remote_port))
-                    && s.state != TcpState::Listen
-            })
-            .map(|s| s.id)
-            .or_else(|| {
-                self.sockets
-                    .values()
-                    .find(|s| s.state == TcpState::Listen && s.local_port == local_port)
-                    .map(|s| s.id)
-            })
+        // Exact connection match first, then listener fallback — O(1).
+        self.flow_index
+            .get(&(remote, remote_port, local_port))
+            .or_else(|| self.listen_index.get(&local_port))
+            .copied()
     }
 
     fn handle_segment(&mut self, src: Ipv4Addr, dst: Ipv4Addr, segment: TcpSegment) {
@@ -1640,13 +1772,15 @@ impl TcpServer {
     }
 
     fn accept_syn(&mut self, listener_id: SockId, src: Ipv4Addr, dst: Ipv4Addr, syn: &TcpSegment) {
-        let (local_port, backlog_limit, backlog_len, sharded) = {
+        let (local_port, backlog_limit, backlog_len, sharded, send_cap, recv_cap) = {
             let listener = self.sockets.get(&listener_id).expect("listener exists");
             (
                 listener.local_port,
                 listener.backlog_limit,
                 listener.backlog.len(),
                 listener.sharded_listener,
+                listener.child_send_cap,
+                listener.child_recv_cap,
             )
         };
         // A sharded (SO_REUSEPORT-style) listener has siblings on every
@@ -1670,10 +1804,20 @@ impl TcpServer {
         }
         let child_id = self.next_sock;
         self.next_sock += 1;
-        let buffer = Arc::new(SocketBuffer::new(
-            self.config.buffer_capacity,
-            self.config.buffer_capacity,
-        ));
+        // Children are sized from their listener's caps (0 = the
+        // transport's default) so a high-connection-count service can
+        // right-size its per-connection memory.
+        let child_send = if send_cap > 0 {
+            send_cap as usize
+        } else {
+            self.config.buffer_capacity
+        };
+        let child_recv = if recv_cap > 0 {
+            recv_cap as usize
+        } else {
+            self.config.buffer_capacity
+        };
+        let buffer = Arc::new(SocketBuffer::new(child_send, child_recv));
         buffer.attach_doorbell(Arc::clone(&self.doorbell), child_id);
         let _ = self.registry.publish_shared(
             self.endpoint,
@@ -1695,6 +1839,7 @@ impl TcpServer {
             child.mss = (mss as usize).min(self.config.mss);
         }
         self.sockets.insert(child_id, child);
+        self.index_socket(child_id);
         // Remember which listener owns this half-open connection by storing
         // it on the listener's backlog once established; for now send SYN-ACK.
         let mut syn_ack = TcpSegment::control(
@@ -1707,11 +1852,13 @@ impl TcpServer {
         syn_ack.mss = Some(self.config.mss as u16);
         self.emit_segment(child_id, syn_ack, &[], false);
         // Track the parent so the child can be queued on establishment.
+        // No summary write: children are never in the crash summaries
+        // (listener-only), so accepting stays O(1) however many sockets
+        // are open.
         self.sockets
             .get_mut(&child_id)
             .expect("just inserted")
             .backlog_limit = listener_id as usize;
-        self.persist_sockets();
     }
 
     fn established_segment(&mut self, id: SockId, _src: Ipv4Addr, segment: TcpSegment) {
@@ -1731,8 +1878,9 @@ impl TcpServer {
             if segment.flags.rst {
                 s.buffer.set_error(SockError::ConnectionReset);
                 if let Some(req) = s.pending_connect.take() {
-                    send(
+                    route_reply(
                         &self.to_syscall,
+                        &self.to_ring,
                         SockReply::Error {
                             req,
                             error: SockError::ConnectionRefused,
@@ -1759,8 +1907,9 @@ impl TcpServer {
                         self.stats.connections_established += 1;
                         self.senders_dirty = true;
                         if let Some(req) = s.pending_connect.take() {
-                            send(
+                            route_reply(
                                 &self.to_syscall,
+                                &self.to_ring,
                                 SockReply::Ok {
                                     req,
                                     port: s.local_port,
@@ -1928,7 +2077,6 @@ impl TcpServer {
                 listener.backlog.push(child_id);
             }
             self.try_complete_accepts(listener_id);
-            self.persist_sockets();
         }
 
         if let Some(immediate) = ack_due {
@@ -1944,8 +2092,8 @@ impl TcpServer {
         if remove_sock {
             let name = Self::buffer_name(id);
             let _ = self.registry.revoke(self.endpoint, &name);
+            self.unindex_socket(id);
             self.sockets.remove(&id);
-            self.persist_sockets();
         } else {
             // Whatever this segment changed — an opened window, freed
             // budget, newly acknowledged data — the pump should look at
@@ -2008,6 +2156,19 @@ fn reply_for(req: RequestId, result: Result<u16, SockError>) -> SockReply {
     }
 }
 
+/// Routes a reply to the lane its request came in on: ring-originated
+/// requests (the ring bit set in their id) answer on the ring lane,
+/// everything else on the legacy syscall lane.  A free function over the
+/// two disjoint `Tx` fields so call sites holding a socket borrow can
+/// still reply.
+fn route_reply(to_syscall: &Tx<SockReply>, to_ring: &Tx<SockReply>, reply: SockReply) {
+    if rings::is_ring_req(reply.req()) {
+        send(to_ring, reply);
+    } else {
+        send(to_syscall, reply);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2017,6 +2178,8 @@ mod tests {
         tcp: TcpServer,
         syscall_tx: Tx<SockRequest>,
         syscall_rx: Rx<SockReply>,
+        ring_tx: Tx<SockRequest>,
+        ring_rx: Rx<SockReply>,
         ip_rx: Rx<TransportToIp>,
         ip_tx: Tx<IpToTransport>,
         pf_tx: Tx<PfToTransport>,
@@ -2049,6 +2212,8 @@ mod tests {
 
         let sys_tcp: Chan<SockRequest> = Chan::new(64);
         let tcp_sys: Chan<SockReply> = Chan::new(64);
+        let ring_tcp: Chan<SockRequest> = Chan::new(64);
+        let tcp_ring: Chan<SockReply> = Chan::new(64);
         let tcp_ip: Chan<TransportToIp> = Chan::new(256);
         let ip_tcp: Chan<IpToTransport> = Chan::new(256);
         let pf_tcp: Chan<PfToTransport> = Chan::new(8);
@@ -2069,6 +2234,8 @@ mod tests {
             pools.clone(),
             sys_tcp.rx(),
             tcp_sys.tx(),
+            ring_tcp.rx(),
+            tcp_ring.tx(),
             tcp_ip.tx(),
             ip_tcp.rx(),
             pf_tcp.rx(),
@@ -2081,6 +2248,8 @@ mod tests {
             tcp,
             syscall_tx: sys_tcp.tx(),
             syscall_rx: tcp_sys.rx(),
+            ring_tx: ring_tcp.tx(),
+            ring_rx: tcp_ring.rx(),
             ip_rx: tcp_ip.rx(),
             ip_tx: ip_tcp.tx(),
             pf_tx: pf_tcp.tx(),
@@ -2239,6 +2408,8 @@ mod tests {
                 sock,
                 backlog: 4,
                 sharded: false,
+                send_cap: 0,
+                recv_cap: 0,
             },
         );
         rig.tcp.poll();
@@ -2286,6 +2457,8 @@ mod tests {
                 sock: a,
                 backlog: 1,
                 sharded: false,
+                send_cap: 0,
+                recv_cap: 0,
             },
         );
         send(
@@ -2413,6 +2586,8 @@ mod tests {
                 sock: listener,
                 backlog: 4,
                 sharded: false,
+                send_cap: 0,
+                recv_cap: 0,
             },
         );
         send(
@@ -2624,6 +2799,8 @@ mod tests {
                 sock,
                 backlog: 8,
                 sharded,
+                send_cap: 0,
+                recv_cap: 0,
             },
         );
         rig.tcp.poll();
@@ -2649,60 +2826,78 @@ mod tests {
     }
 
     #[test]
-    fn accept_nb_returns_wouldblock_until_a_connection_waits() {
+    fn accept_arm_is_multishot_and_replies_on_the_ring_lane() {
         let mut rig = rig();
         let listener = listening_socket(&mut rig, 22, false);
-        // Empty backlog: WouldBlock, immediately.
+        let arm = rings::ring_req(1, 0);
         send(
-            &rig.syscall_tx,
-            SockRequest::AcceptNb {
-                req: RequestId::from_raw(5),
+            &rig.ring_tx,
+            SockRequest::AcceptArm {
+                req: arm,
                 sock: listener,
             },
         );
         rig.tcp.poll();
-        let replies = drain(&rig.syscall_rx);
-        assert!(
-            matches!(
-                replies[..],
-                [SockReply::Error {
-                    error: SockError::WouldBlock,
-                    ..
-                }]
-            ),
-            "expected WouldBlock, got {replies:?}"
-        );
-        // A connection arrives; the next non-blocking accept yields it.
+        assert!(drain(&rig.ring_rx).is_empty(), "no connection waits yet");
+        // Two connections arrive: one arm, two completions — and none of
+        // them leaks onto the legacy syscall lane.
         handshake_in(&mut rig, 50_000);
+        handshake_in(&mut rig, 50_001);
+        let replies = drain(&rig.ring_rx);
+        let peers: Vec<u16> = replies
+            .iter()
+            .map(|r| match r {
+                SockReply::Accepted { req, peer_port, .. } if *req == arm => *peer_port,
+                other => panic!("expected Accepted under the arm, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(peers, vec![50_000, 50_001]);
+        assert!(drain(&rig.syscall_rx).is_empty());
+
+        // Re-arming is idempotent (a ring pump blindly re-forwards after a
+        // TCP reincarnation): the new arm simply replaces the old one.
+        let rearm = rings::ring_req(1, 7);
         send(
-            &rig.syscall_tx,
-            SockRequest::AcceptNb {
-                req: RequestId::from_raw(6),
+            &rig.ring_tx,
+            SockRequest::AcceptArm {
+                req: rearm,
                 sock: listener,
             },
         );
         rig.tcp.poll();
-        let replies = drain(&rig.syscall_rx);
+        handshake_in(&mut rig, 50_002);
+        let replies = drain(&rig.ring_rx);
         assert!(
-            matches!(
-                replies[..],
-                [SockReply::Accepted {
-                    peer_port: 50_000,
-                    ..
-                }]
-            ),
-            "expected Accepted, got {replies:?}"
+            matches!(&replies[..], [SockReply::Accepted { req, .. }] if *req == rearm),
+            "re-armed accept must answer under the new id, got {replies:?}"
         );
-        // On a non-listener it is invalid.
+
+        // Closing the listener terminates the arm with a terminal error.
         send(
-            &rig.syscall_tx,
-            SockRequest::AcceptNb {
-                req: RequestId::from_raw(7),
+            &rig.ring_tx,
+            SockRequest::Close {
+                req: rings::ring_req(1, 8),
+                sock: listener,
+            },
+        );
+        rig.tcp.poll();
+        let replies = drain(&rig.ring_rx);
+        assert!(
+            replies.iter().any(
+                |r| matches!(r, SockReply::Error { req, error: SockError::InvalidState } if *req == rearm)
+            ),
+            "listener close must terminate the arm, got {replies:?}"
+        );
+        // Arming a non-listener fails outright.
+        send(
+            &rig.ring_tx,
+            SockRequest::AcceptArm {
+                req: rings::ring_req(1, 9),
                 sock: 999_999,
             },
         );
         rig.tcp.poll();
-        let replies = drain(&rig.syscall_rx);
+        let replies = drain(&rig.ring_rx);
         assert!(matches!(
             replies[..],
             [SockReply::Error {
@@ -2713,34 +2908,48 @@ mod tests {
     }
 
     #[test]
-    fn poll_reports_listener_and_connection_readiness() {
+    fn listener_caps_size_accepted_children() {
         let mut rig = rig();
-        let listener = listening_socket(&mut rig, 22, false);
-        let poll = |rig: &mut Rig, sock: SockId| -> u64 {
-            send(
-                &rig.syscall_tx,
-                SockRequest::Poll {
-                    req: RequestId::from_raw(77),
-                    sock,
-                },
-            );
-            rig.tcp.poll();
-            match drain(&rig.syscall_rx).pop() {
-                Some(SockReply::Readiness { bits, .. }) => bits,
-                other => panic!("expected readiness, got {other:?}"),
-            }
-        };
-        assert_eq!(poll(&mut rig, listener), crate::msg::poll_bits::LISTENING);
-        handshake_in(&mut rig, 50_001);
-        assert_eq!(
-            poll(&mut rig, listener),
-            crate::msg::poll_bits::LISTENING | crate::msg::poll_bits::ACCEPT_READY
+        let sock = open_socket(&mut rig);
+        send(
+            &rig.syscall_tx,
+            SockRequest::Bind {
+                req: RequestId::from_raw(2),
+                sock,
+                port: 22,
+            },
         );
-        // An established connection reports ESTABLISHED; an unknown socket
-        // reports nothing.
-        let (sock, _port, _snd, _rcv) = connect_established(&mut rig);
-        assert_eq!(poll(&mut rig, sock), crate::msg::poll_bits::ESTABLISHED);
-        assert_eq!(poll(&mut rig, 999_999), 0);
+        send(
+            &rig.syscall_tx,
+            SockRequest::Listen {
+                req: RequestId::from_raw(3),
+                sock,
+                backlog: 8,
+                sharded: false,
+                send_cap: 4096,
+                recv_cap: 2048,
+            },
+        );
+        rig.tcp.poll();
+        drain(&rig.syscall_rx);
+        let arm = rings::ring_req(2, 0);
+        send(&rig.ring_tx, SockRequest::AcceptArm { req: arm, sock });
+        rig.tcp.poll();
+        handshake_in(&mut rig, 50_000);
+        let child = match drain(&rig.ring_rx).pop() {
+            Some(SockReply::Accepted { sock, .. }) => sock,
+            other => panic!("expected Accepted, got {other:?}"),
+        };
+        let buffer: Arc<SocketBuffer> = rig
+            .registry
+            .attach_shared(endpoints::SYSCALL, &TcpServer::buffer_name(child))
+            .unwrap();
+        assert_eq!(buffer.capacities(), (4096, 2048));
+        // The caps survive a crash/reincarnation of this server along with
+        // the listener itself.
+        let stored: Vec<SockSummary> = rig.storage.retrieve("tcp", "sockets").unwrap();
+        let listener = stored.iter().find(|s| s.listening).expect("listener");
+        assert_eq!((listener.send_cap, listener.recv_cap), (4096, 2048));
     }
 
     #[test]
@@ -2928,6 +3137,8 @@ mod tests {
                     sock: listener,
                     backlog: 4,
                     sharded: false,
+                    send_cap: 0,
+                    recv_cap: 0,
                 },
             );
             rig.tcp.poll();

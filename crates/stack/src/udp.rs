@@ -612,7 +612,7 @@ impl UdpServer {
             }
             SockRequest::Listen { .. }
             | SockRequest::Accept { .. }
-            | SockRequest::AcceptNb { .. } => {
+            | SockRequest::AcceptArm { .. } => {
                 send(
                     &self.to_syscall,
                     SockReply::Error {
@@ -620,11 +620,6 @@ impl UdpServer {
                         error: SockError::InvalidState,
                     },
                 );
-            }
-            SockRequest::Poll { .. } => {
-                // A datagram socket's readiness lives entirely in its shared
-                // buffer; there is no server-side backlog to report.
-                send(&self.to_syscall, SockReply::Readiness { req, bits: 0 });
             }
         }
     }
@@ -1012,6 +1007,8 @@ mod tests {
                 sock,
                 backlog: 1,
                 sharded: false,
+                send_cap: 0,
+                recv_cap: 0,
             },
         );
         send(

@@ -97,9 +97,9 @@ fn campaign_can_select_every_replica_on_a_booted_stack() {
     );
 
     // The stack's own enumeration: 4 shards x 3 servers + pf + syscall +
-    // driver.
+    // 3 syscall ring-pump replicas + driver.
     let booted = stack.fault_targets();
-    assert_eq!(booted.len(), 15, "unexpected topology: {booted:?}");
+    assert_eq!(booted.len(), 18, "unexpected topology: {booted:?}");
 
     let legacy = CampaignConfig {
         shards: 4,

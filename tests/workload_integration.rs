@@ -256,6 +256,145 @@ fn http_transfer_survives_a_tcp_crash_and_reincarnation() {
 }
 
 #[test]
+fn ring_completions_survive_a_syscall_crash_under_load() {
+    // The HTTP server runs entirely on the syscall-ring API: accepts
+    // arrive as multishot completions through the SYSCALL ring pump,
+    // data moves inline through shared socket buffers.  Crashing the
+    // SYSCALL server mid-run must not lose a request: established
+    // connections never depended on it, the rings live in the registry
+    // and survive the reincarnation, and the reincarnated pump re-arms
+    // the in-flight accept subscriptions.
+    let stack = NewtStack::start(workload_config().shards(2));
+    let server =
+        Httpd::spawn(stack.client(), stack.shards(), HttpdConfig::default()).expect("http server");
+
+    let loadgen = {
+        let stack = &stack;
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(move || {
+                run_http_load(
+                    stack,
+                    &LoadConfig {
+                        connections: 12,
+                        requests_per_connection: 24,
+                        response_timeout: Duration::from_secs(10),
+                        ..LoadConfig::default()
+                    },
+                )
+            });
+
+            // Let the run get going, then kill the SYSCALL server.
+            assert!(
+                wait_for(
+                    || stack.peer(0).stats().tcp_bytes_received > 4 * 1024,
+                    Duration::from_secs(60),
+                ),
+                "load never got going"
+            );
+            assert!(stack.inject_fault(Component::Syscall, FaultAction::Crash));
+            assert!(stack.wait_component_running(Component::Syscall, Duration::from_secs(30)));
+
+            handle.join().expect("load generator thread")
+        })
+    };
+
+    assert!(loadgen.completed_all, "run hit the deadline: {loadgen:?}");
+    assert_eq!(
+        loadgen.completed,
+        12 * 24,
+        "every request must complete across the syscall crash: {loadgen:?}"
+    );
+    assert_eq!(
+        loadgen.verify_failures, 0,
+        "bodies must verify: {loadgen:?}"
+    );
+    assert!(stack.restart_count(Component::Syscall) >= 1);
+
+    // The ring still works end to end: fresh connections accept fine.
+    let after = run_http_load(
+        &stack,
+        &LoadConfig {
+            connections: 4,
+            requests_per_connection: 2,
+            src_port_base: 31_000,
+            ..LoadConfig::default()
+        },
+    );
+    assert_eq!(
+        after.completed, 8,
+        "post-crash accepts must work: {after:?}"
+    );
+    let stats = server.stop();
+    assert_eq!(stats.error_responses, 0);
+    stack.shutdown();
+}
+
+#[test]
+fn ring_completions_survive_a_syscall_live_update() {
+    // Same contract, politely: a live update of the SYSCALL server under
+    // keep-alive ring-driven load is invisible — no lost request, no
+    // forced reconnect, and the restart is stamped as requested.
+    let stack = NewtStack::start(workload_config().shards(2));
+    let server =
+        Httpd::spawn(stack.client(), stack.shards(), HttpdConfig::default()).expect("http server");
+
+    let loadgen = {
+        let stack = &stack;
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(move || {
+                run_http_load(
+                    stack,
+                    &LoadConfig {
+                        connections: 12,
+                        requests_per_connection: 24,
+                        response_timeout: Duration::from_secs(10),
+                        ..LoadConfig::default()
+                    },
+                )
+            });
+
+            assert!(
+                wait_for(
+                    || stack.peer(0).stats().tcp_bytes_received > 4 * 1024,
+                    Duration::from_secs(60),
+                ),
+                "load never got going"
+            );
+            assert!(stack.live_update(Component::Syscall));
+            assert!(stack.wait_component_running(Component::Syscall, Duration::from_secs(30)));
+
+            handle.join().expect("load generator thread")
+        })
+    };
+
+    assert!(loadgen.completed_all, "run hit the deadline: {loadgen:?}");
+    assert_eq!(
+        loadgen.completed,
+        12 * 24,
+        "every request must complete across the live update: {loadgen:?}"
+    );
+    assert_eq!(
+        loadgen.verify_failures, 0,
+        "bodies must verify: {loadgen:?}"
+    );
+    assert_eq!(
+        loadgen.retries, 0,
+        "a live update must not force a reconnect: {loadgen:?}"
+    );
+    let stamp = stack
+        .component_recovery(Component::Syscall)
+        .expect("live update leaves a recovery stamp");
+    assert!(stamp.requested, "the restart must be stamped requested");
+    let stats = server.stop();
+    assert_eq!(stats.error_responses, 0, "no malformed responses");
+    assert!(
+        stats.ring_ops > 0,
+        "the server must have run on the ring API"
+    );
+    stack.shutdown();
+}
+
+#[test]
 fn nonblocking_timeout_semantics_are_explicit() {
     let stack = NewtStack::start(workload_config());
 
