@@ -30,7 +30,14 @@
 //! * clean-link 1-shard fabric messages-per-request must not regress more
 //!   than [`MPR_GATE_FACTOR`]× over the checked-in record;
 //! * clean-link 4-shard p99 must not regress more than
-//!   [`P99_GATE_FACTOR`]× over the checked-in record.
+//!   [`P99_GATE_FACTOR`]× over the checked-in record;
+//! * clean-link 4-shard messages-per-request must stay at or below
+//!   [`TX_MPR_GATE`] (the transmit fast path hands the NIC one TSO
+//!   super-segment per flow per poll round instead of a run of
+//!   MSS-sized frames);
+//! * `tx_copies` must be zero on every row: the send path carries
+//!   refcounted `Bytes` views of the socket buffer end to end, and any
+//!   fallback copy-publish is a regression.
 
 use std::time::Duration;
 
@@ -50,6 +57,9 @@ const P99_GATE_FACTOR: f64 = 2.0;
 const SCALING_GATE: f64 = 2.0;
 /// Allowed messages-per-request regression over the checked-in baseline.
 const MPR_GATE_FACTOR: f64 = 1.25;
+/// Absolute ceiling on clean-link 4-shard messages-per-request once the
+/// transmit fast path batches each response into one TSO super-segment.
+const TX_MPR_GATE: f64 = 6.0;
 /// One-way propagation delay of the "clean" measurement link.
 const CLEAN_ONE_WAY_DELAY: Duration = Duration::from_millis(5);
 
@@ -74,6 +84,13 @@ struct Sample {
     acks_per_segment: f64,
     /// Wire frames absorbed into GRO merges.
     rx_coalesced: u64,
+    /// Data-carrying segments TCP handed to IP (one super-segment per
+    /// flow per poll round under TSO).
+    tx_segments: u64,
+    /// Wire frames the NICs' TSO engines cut those segments into.
+    tso_frames: u64,
+    /// Fallback copy-publishes on the send path — must stay zero.
+    tx_copies: u64,
 }
 
 /// `NEWT_WORKLOAD_LEGACY_RX=1` turns the receive fast path off (no GRO, no
@@ -141,6 +158,11 @@ fn run_point(shards: usize, impaired: bool, connections: usize) -> Sample {
     let rx_coalesced: u64 = (0..stack.config().nics)
         .map(|i| telemetry.drivers[i].rx_coalesced)
         .sum();
+    let tx_segments = telemetry.tx_segments_total();
+    let tx_copies = telemetry.tx_copies_total();
+    let tso_frames: u64 = (0..stack.config().nics)
+        .map(|i| stack.nic_stats(i).tso_frames)
+        .sum();
     let _ = server.stop();
     stack.shutdown();
     Sample {
@@ -160,6 +182,9 @@ fn run_point(shards: usize, impaired: bool, connections: usize) -> Sample {
         messages_per_request: fabric_messages as f64 / report.completed.max(1) as f64,
         acks_per_segment: pure_acks as f64 / payload_segments.max(1) as f64,
         rx_coalesced,
+        tx_segments,
+        tso_frames,
+        tx_copies,
     }
 }
 
@@ -201,7 +226,7 @@ fn main() {
             );
             let sample = run_point(shards, impaired, connections);
             println!(
-                "  {:>8} {:>2} shards: {:>6} reqs in {:>8.3}s virtual = {:>9.1} rps, p50 {:>9.1} us, p99 {:>9.1} us, {} reconnects, {:.1} msgs/req, {:.2} acks/seg, {} coalesced, served/shard {:?}",
+                "  {:>8} {:>2} shards: {:>6} reqs in {:>8.3}s virtual = {:>9.1} rps, p50 {:>9.1} us, p99 {:>9.1} us, {} reconnects, {:.1} msgs/req, {:.2} acks/seg, {} coalesced, {} tx segs -> {} tso frames, {} tx copies, served/shard {:?}",
                 sample.link,
                 sample.shards,
                 sample.requests,
@@ -213,6 +238,9 @@ fn main() {
                 sample.messages_per_request,
                 sample.acks_per_segment,
                 sample.rx_coalesced,
+                sample.tx_segments,
+                sample.tso_frames,
+                sample.tx_copies,
                 sample.served_per_shard,
             );
             samples.push(sample);
@@ -240,7 +268,7 @@ fn main() {
         .iter()
         .map(|s| {
             format!(
-                "    {{\"shards\": {}, \"link\": \"{}\", \"connections\": {}, \"requests\": {}, \"retries\": {}, \"virtual_secs\": {:.4}, \"rps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"completed_all\": {}, \"verify_failures\": {}, \"fabric_messages\": {}, \"messages_per_request\": {:.1}, \"acks_per_segment\": {:.3}, \"rx_coalesced\": {}, \"served_per_shard\": {:?}}}",
+                "    {{\"shards\": {}, \"link\": \"{}\", \"connections\": {}, \"requests\": {}, \"retries\": {}, \"virtual_secs\": {:.4}, \"rps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"completed_all\": {}, \"verify_failures\": {}, \"fabric_messages\": {}, \"messages_per_request\": {:.1}, \"acks_per_segment\": {:.3}, \"rx_coalesced\": {}, \"tx_segments\": {}, \"tso_frames\": {}, \"tx_copies\": {}, \"served_per_shard\": {:?}}}",
                 s.shards,
                 s.link,
                 s.connections,
@@ -256,6 +284,9 @@ fn main() {
                 s.messages_per_request,
                 s.acks_per_segment,
                 s.rx_coalesced,
+                s.tx_segments,
+                s.tso_frames,
+                s.tx_copies,
                 s.served_per_shard,
             )
         })
@@ -299,6 +330,26 @@ fn main() {
             );
             failed = true;
         }
+        if s.tx_copies > 0 {
+            eprintln!(
+                "FAIL: {} {}-shard run fell off the zero-copy send path ({} tx copies)",
+                s.link, s.shards, s.tx_copies
+            );
+            failed = true;
+        }
+    }
+
+    let clean4_mpr = samples
+        .iter()
+        .find(|s| s.shards == 4 && s.link == "clean")
+        .map(|s| s.messages_per_request)
+        .unwrap_or(0.0);
+    println!("tx batching gate: clean 4-shard {clean4_mpr:.1} msgs/req (ceiling {TX_MPR_GATE})");
+    if clean4_mpr > TX_MPR_GATE {
+        eprintln!(
+            "FAIL: clean 4-shard messages-per-request {clean4_mpr:.1} exceeds the TSO ceiling {TX_MPR_GATE}"
+        );
+        failed = true;
     }
 
     let clean_rps = |shards: usize| {

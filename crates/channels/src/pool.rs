@@ -267,6 +267,38 @@ impl Pool {
         Ok(chunk.publish())
     }
 
+    /// Publishes an already reference-counted buffer as a chunk **without
+    /// copying**: the `Bytes` handle itself becomes the chunk contents, so
+    /// the slot aliases the caller's view.  This is the transmit-side
+    /// zero-copy path — a socket-buffer region loaned to the fabric keeps
+    /// exactly one underlying allocation however many rich pointers and
+    /// retransmissions reference it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::Exhausted`] if no chunk is free, or
+    /// [`PoolError::OutOfRange`] if `data` does not fit into one chunk.
+    pub fn publish_bytes(&self, data: Bytes) -> Result<RichPtr, PoolError> {
+        if data.len() > self.inner.chunk_size {
+            return Err(PoolError::OutOfRange {
+                offset: 0,
+                len: data.len() as u32,
+                published: self.inner.chunk_size as u32,
+            });
+        }
+        let mut chunk = self.alloc()?;
+        let len = data.len() as u32;
+        self.inner.slots[chunk.slot as usize].lock().data = Some(data);
+        chunk.published = true;
+        Ok(RichPtr {
+            pool: self.inner.id,
+            slot: chunk.slot,
+            generation: chunk.generation,
+            offset: 0,
+            len,
+        })
+    }
+
     /// Reads the region described by `ptr`.
     ///
     /// # Errors
@@ -499,6 +531,26 @@ mod tests {
         assert!(view.iter().all(|&b| b == 7));
         assert_eq!(reader.id(), pool.id());
         assert_eq!(reader.creator(), pool.creator());
+    }
+
+    #[test]
+    fn publish_bytes_aliases_the_callers_buffer() {
+        let pool = test_pool(2);
+        let data = Bytes::from(b"loaned payload".to_vec());
+        let ptr = pool.publish_bytes(data.clone()).unwrap();
+        let view = pool.read(&ptr).unwrap();
+        assert_eq!(view, data);
+        // Zero copy: the slot holds the caller's allocation, not a clone of
+        // its contents.
+        assert_eq!(view.as_ptr(), data.as_ptr());
+        pool.free(&ptr).unwrap();
+        assert_eq!(pool.in_use(), 0);
+        // Oversized loans are rejected without leaking a slot.
+        assert!(matches!(
+            pool.publish_bytes(Bytes::from(vec![0u8; 300])),
+            Err(PoolError::OutOfRange { .. })
+        ));
+        assert_eq!(pool.in_use(), 0);
     }
 
     #[test]

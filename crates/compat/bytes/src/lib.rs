@@ -248,6 +248,22 @@ impl BytesMut {
         self.vec.clear();
     }
 
+    /// Splits the buffer into two at `at`: returns a buffer holding
+    /// `[0, at)` and leaves `[at, len)` in `self`.  The returned front
+    /// keeps its allocation; only the tail moves, so draining a send
+    /// queue to (or near) empty costs nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.vec.len(), "split_to out of bounds: {at}");
+        let tail = self.vec.split_off(at);
+        BytesMut {
+            vec: std::mem::replace(&mut self.vec, tail),
+        }
+    }
+
     /// Freezes the buffer into an immutable, cheaply cloneable [`Bytes`]
     /// without copying.
     pub fn freeze(self) -> Bytes {
@@ -336,6 +352,21 @@ mod tests {
         let s = b.slice(1..4);
         drop(b);
         assert!(s.try_into_mut().is_err());
+    }
+
+    #[test]
+    fn split_to_keeps_front_allocation_and_leaves_tail() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"abcdef");
+        let front = m.split_to(4);
+        assert_eq!(&front[..], b"abcd");
+        assert_eq!(&m[..], b"ef");
+        m.extend_from_slice(b"gh");
+        assert_eq!(&m[..], b"efgh");
+        // Full drain: tail is empty, nothing is copied.
+        let rest = m.split_to(4);
+        assert_eq!(&rest[..], b"efgh");
+        assert!(m.is_empty());
     }
 
     #[test]

@@ -325,6 +325,19 @@ impl Telemetry {
     pub fn segments_out_total(&self) -> u64 {
         self.tcp_shards.iter().map(|t| t.segments_out).sum()
     }
+
+    /// Data-carrying (super-)segments emitted by every TCP shard.  Under
+    /// TSO this counts one oversized segment per flow per pump round —
+    /// dividing `tso_frames` by it gives the TX amortisation factor.
+    pub fn tx_segments_total(&self) -> u64 {
+        self.tcp_shards.iter().map(|t| t.tx_segments).sum()
+    }
+
+    /// Payload publishes across every TCP shard that fell back to copying
+    /// into the TX pool.  The transmit fast path keeps this at 0.
+    pub fn tx_copies_total(&self) -> u64 {
+        self.tcp_shards.iter().map(|t| t.tx_copies).sum()
+    }
 }
 
 /// A running NewtOS networking stack.

@@ -40,6 +40,8 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 
 use newt_channels::pool::Pool;
+use newt_channels::reqdb::RequestId;
+use newt_channels::rich::{RichChain, RichPtr};
 use newt_kernel::rs::CrashEvent;
 use newt_net::gro::GroEngine;
 use newt_net::nic::Nic;
@@ -110,9 +112,12 @@ pub struct DriverServer {
     /// so the steady state allocates nothing.
     inbox_scratch: Vec<IpToDrv>,
     /// Transmit acknowledgements accumulated per shard during one poll
-    /// round and flushed as a single batch per lane (one index publish, one
-    /// wake).
-    ack_batches: Vec<Vec<DrvToIp>>,
+    /// round and flushed as a single [`DrvToIp::TransmitDoneBatch`] message
+    /// per lane — the per-frame completion amortised over the burst.
+    ack_batches: Vec<Vec<(RequestId, bool)>>,
+    /// Received-frame pointers accumulated per shard during one poll round
+    /// and flushed as a single [`DrvToIp::ReceivedBatch`] message per lane.
+    rx_batches: Vec<Vec<RichPtr>>,
     /// RX coalescing engine (`None` = GRO disabled); state never spans a
     /// poll batch, and each queue's burst is flushed before the next
     /// queue's begins.
@@ -182,6 +187,7 @@ impl DriverServer {
             stats: DriverStats::default(),
             inbox_scratch: Vec::new(),
             ack_batches: (0..shards).map(|_| Vec::new()).collect(),
+            rx_batches: (0..shards).map(|_| Vec::new()).collect(),
             gro: (gro_max_payload > 0).then(|| GroEngine::new(gro_max_payload)),
             gro_scratch: Vec::new(),
         }
@@ -235,25 +241,22 @@ impl DriverServer {
                 work += 1;
                 match request {
                     IpToDrv::Transmit { req, chain } => {
-                        self.stats.tx_requests += 1;
-                        let ok = match self.pools.gather(&chain) {
-                            Some(frame) => self.nic.lock().transmit_on(shard, frame).is_ok(),
-                            // A stale chain (its owner crashed and invalidated
-                            // the pool) cannot be sent; report failure so the
-                            // owner can clean up.
-                            None => false,
-                        };
-                        if !ok {
-                            self.stats.tx_failures += 1;
+                        self.handle_transmit(shard, req, chain);
+                    }
+                    IpToDrv::TransmitBatch(batch) => {
+                        for (req, chain) in batch {
+                            self.handle_transmit(shard, req, chain);
                         }
-                        self.ack_batches[shard].push(DrvToIp::TransmitDone { req, ok });
                     }
                 }
             }
-            self.outboxes[shard].send_batch(&mut self.ack_batches[shard]);
-            // Acknowledgements that did not fit are dropped, never blocked
-            // on (IP resubmits transmits it believes were lost).
-            self.ack_batches[shard].clear();
+            if !self.ack_batches[shard].is_empty() {
+                let batch = std::mem::take(&mut self.ack_batches[shard]);
+                // An acknowledgement batch that does not fit is dropped,
+                // never blocked on (IP resubmits transmits it believes were
+                // lost).
+                let _ = self.outboxes[shard].send(DrvToIp::TransmitDoneBatch(batch));
+            }
         }
         self.inbox_scratch = requests;
 
@@ -307,30 +310,60 @@ impl DriverServer {
             }
         }
 
+        // Hand each shard's received burst to its IP server as one message.
+        for shard in 0..self.rx_batches.len() {
+            if self.rx_batches[shard].is_empty() {
+                continue;
+            }
+            let ptrs = std::mem::take(&mut self.rx_batches[shard]);
+            let count = ptrs.len() as u64;
+            if send(
+                &self.outboxes[shard],
+                DrvToIp::ReceivedBatch {
+                    nic: self.index,
+                    ptrs: ptrs.clone(),
+                },
+            ) {
+                self.stats.rx_delivered += count;
+                self.stats.rx_steered[shard.min(MAX_QUEUES - 1)] += count;
+            } else {
+                // IP's queue is full (or IP is gone): drop the burst, never
+                // block.
+                for ptr in &ptrs {
+                    let _ = self.rx_pools[shard].free(ptr);
+                }
+                self.stats.rx_dropped += count;
+            }
+        }
+
         work
     }
 
+    /// Hands one transmit request's chain to the device and queues the
+    /// acknowledgement for this round's completion batch.
+    fn handle_transmit(&mut self, shard: usize, req: RequestId, chain: RichChain) {
+        self.stats.tx_requests += 1;
+        // The chain is handed to the device as a scatter list of refcounted
+        // views — the driver never flattens a frame into a local buffer
+        // (§V-D, "Drivers"); assembling multi-chunk frames is the NIC's
+        // gather-DMA job.
+        let ok = match self.pools.parts(&chain) {
+            Some(parts) => self.nic.lock().transmit_scattered(shard, &parts).is_ok(),
+            // A stale chain (its owner crashed and invalidated the pool)
+            // cannot be sent; report failure so the owner can clean up.
+            None => false,
+        };
+        if !ok {
+            self.stats.tx_failures += 1;
+        }
+        self.ack_batches[shard].push((req, ok));
+    }
+
     /// Publishes one received frame into shard `shard`'s receive pool and
-    /// hands the rich pointer to its IP server.
+    /// queues the rich pointer for this round's delivery batch.
     fn deliver(&mut self, shard: usize, frame: &[u8]) {
         match self.rx_pools[shard].publish(frame) {
-            Ok(ptr) => {
-                if send(
-                    &self.outboxes[shard],
-                    DrvToIp::Received {
-                        nic: self.index,
-                        ptr,
-                    },
-                ) {
-                    self.stats.rx_delivered += 1;
-                    self.stats.rx_steered[shard.min(MAX_QUEUES - 1)] += 1;
-                } else {
-                    // IP's queue is full (or IP is gone): drop the frame,
-                    // never block.
-                    let _ = self.rx_pools[shard].free(&ptr);
-                    self.stats.rx_dropped += 1;
-                }
-            }
+            Ok(ptr) => self.rx_batches[shard].push(ptr),
             Err(_) => {
                 self.stats.rx_dropped += 1;
             }
@@ -426,6 +459,28 @@ mod tests {
         }
     }
 
+    /// Flattens single and batched completions into `(request, ok)` pairs.
+    fn dones_in(msgs: &[DrvToIp]) -> Vec<(RequestId, bool)> {
+        msgs.iter()
+            .flat_map(|msg| match msg {
+                DrvToIp::TransmitDone { req, ok } => vec![(*req, *ok)],
+                DrvToIp::TransmitDoneBatch(batch) => batch.clone(),
+                _ => Vec::new(),
+            })
+            .collect()
+    }
+
+    /// Flattens single and batched deliveries into frame pointers.
+    fn received_in(msgs: &[DrvToIp]) -> Vec<RichPtr> {
+        msgs.iter()
+            .flat_map(|msg| match msg {
+                DrvToIp::Received { ptr, .. } => vec![*ptr],
+                DrvToIp::ReceivedBatch { ptrs, .. } => ptrs.clone(),
+                _ => Vec::new(),
+            })
+            .collect()
+    }
+
     fn sample_frame() -> Vec<u8> {
         let src = Ipv4Addr::new(10, 0, 0, 2);
         let dst = Ipv4Addr::new(10, 0, 0, 1);
@@ -457,9 +512,11 @@ mod tests {
         // The frame went out on the link...
         let on_wire = rig.peer_port.poll_receive().expect("frame on the wire");
         assert_eq!(on_wire.len(), frame.len());
-        // ...and IP got the acknowledgement so it can free the chain.
+        // ...and IP got the acknowledgement — one batch message for the
+        // round — so it can free the chain.
         let replies = drain(&rig.from_driver);
-        assert!(matches!(replies[..], [DrvToIp::TransmitDone { req: r, ok: true }] if r == req));
+        assert_eq!(replies.len(), 1, "one completion message per round");
+        assert_eq!(dones_in(&replies), vec![(req, true)]);
         assert_eq!(rig.driver.stats().tx_requests, 1);
     }
 
@@ -476,11 +533,8 @@ mod tests {
             },
         );
         rig.driver.poll();
-        let replies = drain(&rig.from_driver);
-        assert!(matches!(
-            replies[..],
-            [DrvToIp::TransmitDone { ok: false, .. }]
-        ));
+        let dones = dones_in(&drain(&rig.from_driver));
+        assert!(matches!(dones[..], [(_, false)]));
         assert_eq!(rig.driver.stats().tx_failures, 1);
     }
 
@@ -491,9 +545,10 @@ mod tests {
         rig.driver.poll();
         let replies = drain(&rig.from_driver);
         match &replies[..] {
-            [DrvToIp::Received { nic: 0, ptr }] => {
+            [DrvToIp::ReceivedBatch { nic: 0, ptrs }] => {
                 // IP can read the frame through the pool.
-                let frame = rig.driver.rx_pools[0].read(ptr).unwrap();
+                assert_eq!(ptrs.len(), 1);
+                let frame = rig.driver.rx_pools[0].read(&ptrs[0]).unwrap();
                 assert!(EthernetFrame::parse(&frame).is_ok());
             }
             other => panic!("expected one received frame, got {other:?}"),
@@ -531,9 +586,9 @@ mod tests {
                 .transmit(tcp_data_frame(seq, vec![i as u8; *len]));
         }
         rig.driver.poll();
-        let delivered = drain(&rig.from_driver);
+        let delivered = received_in(&drain(&rig.from_driver));
         match &delivered[..] {
-            [DrvToIp::Received { ptr, .. }] => {
+            [ptr] => {
                 let frame = rig.driver.rx_pools[0].read(ptr).unwrap();
                 let eth = EthernetFrame::parse(&frame).unwrap();
                 let ip = Ipv4Packet::parse(&eth.payload).unwrap();
@@ -557,7 +612,11 @@ mod tests {
         rig.peer_port
             .transmit(tcp_data_frame(1_100, vec![2u8; 100]));
         rig.driver.poll();
-        assert_eq!(drain(&rig.from_driver).len(), 2);
+        // The burst still rides one message, but nothing was merged: the two
+        // frames arrive as distinct pointers.
+        let delivered = drain(&rig.from_driver);
+        assert_eq!(delivered.len(), 1, "one delivery message per round");
+        assert_eq!(received_in(&delivered).len(), 2);
         assert_eq!(rig.driver.stats().rx_coalesced, 0);
     }
 
@@ -713,13 +772,7 @@ mod tests {
         assert!(drain(&rig.from_driver[0]).is_empty());
         // Lane 1 carries the transmit acknowledgement and the steered reply.
         let delivered = drain(&rig.from_driver[1]);
-        let received: Vec<_> = delivered
-            .iter()
-            .filter_map(|msg| match msg {
-                DrvToIp::Received { ptr, .. } => Some(*ptr),
-                _ => None,
-            })
-            .collect();
+        let received = received_in(&delivered);
         assert!(
             matches!(&received[..], [ptr] if rig.rx_pools[1].read(ptr).is_ok()),
             "reply should land in shard 1's pool, got {delivered:?}"

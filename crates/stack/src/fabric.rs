@@ -325,6 +325,21 @@ impl PoolTable {
         Some(out.freeze())
     }
 
+    /// Resolves every part of a chain to its zero-copy pool view.  Unlike
+    /// [`PoolTable::gather`], no contiguous buffer is ever built: a
+    /// multi-part chain stays scattered, which is exactly what the driver
+    /// hands to the NIC's gather DMA on the transmit fast path.  Returns
+    /// `None` if any part is stale or unknown — the caller drops the
+    /// packet, as it must when a producer crashed and invalidated its pool.
+    pub fn parts(&self, chain: &RichChain) -> Option<Vec<Bytes>> {
+        let readers = self.readers.read();
+        let mut out = Vec::with_capacity(chain.parts().len());
+        for part in chain.iter() {
+            out.push(readers.get(&part.pool)?.read(part).ok()?);
+        }
+        Some(out)
+    }
+
     /// Returns the number of registered pools.
     pub fn len(&self) -> usize {
         self.readers.read().len()
@@ -477,6 +492,23 @@ mod tests {
         let pb = pool_b.publish(b"tail").unwrap();
         let chain: RichChain = [pa, pb].into_iter().collect();
         assert_eq!(table.gather(&chain).unwrap(), b"head-tail");
+    }
+
+    #[test]
+    fn parts_resolves_chains_without_gathering() {
+        let table = PoolTable::new();
+        let pool = Pool::new("a", Endpoint::from_raw(1), 128, 4);
+        table.register(&pool);
+        let a = pool.publish(b"head-").unwrap();
+        let b = pool.publish(b"tail").unwrap();
+        let chain: RichChain = [a, b].into_iter().collect();
+        let parts = table.parts(&chain).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(&parts[0][..], b"head-");
+        assert_eq!(&parts[1][..], b"tail");
+        // A stale part fails the whole resolution, like `gather`.
+        pool.free(&a).unwrap();
+        assert!(table.parts(&chain).is_none());
     }
 
     #[test]

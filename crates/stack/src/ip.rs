@@ -201,6 +201,20 @@ pub struct IpServer {
     /// to the packet filter as **one** [`IpToPf::CheckBatch`] message per
     /// round — the per-packet pf round trip amortised over the burst.
     check_batch: Vec<(RequestId, PacketMeta)>,
+    /// Frames staged for each driver during the current poll round and
+    /// flushed as one [`IpToDrv::TransmitBatch`] message per lane (transmit
+    /// fast path: the per-frame submission amortised over the burst).
+    tx_batch: Vec<Vec<(RequestId, RichChain)>>,
+    /// Received frames bound for TCP this round, one
+    /// [`IpToTransport::DeliverBatch`] message at the end of it.
+    deliver_tcp: Vec<RichPtr>,
+    /// Received frames bound for UDP this round.
+    deliver_udp: Vec<RichPtr>,
+    /// Send completions bound for TCP this round, one
+    /// [`IpToTransport::SendDoneBatch`] message at the end of it.
+    send_done_tcp: Vec<(RequestId, bool)>,
+    /// Send completions bound for UDP this round.
+    send_done_udp: Vec<(RequestId, bool)>,
 }
 
 impl IpServer {
@@ -253,6 +267,7 @@ impl IpServer {
                 .unwrap_or(config),
         };
         let crash_cursor = crash_board.len();
+        let drivers = to_drv.len();
         let mut server = IpServer {
             config,
             shard,
@@ -282,6 +297,11 @@ impl IpServer {
             pf_scratch: Vec::new(),
             drv_scratch: Vec::new(),
             check_batch: Vec::new(),
+            tx_batch: (0..drivers).map(|_| Vec::new()).collect(),
+            deliver_tcp: Vec::new(),
+            deliver_udp: Vec::new(),
+            send_done_tcp: Vec::new(),
+            send_done_udp: Vec::new(),
         };
         if matches!(mode, StartMode::LiveUpdate) {
             let restored = snapshot
@@ -428,12 +448,24 @@ impl IpServer {
                 match msg {
                     DrvToIp::TransmitDone { req, ok } => self.handle_transmit_done(req, ok),
                     DrvToIp::Received { nic, ptr } => self.handle_received(nic, ptr),
+                    DrvToIp::TransmitDoneBatch(batch) => {
+                        for (req, ok) in batch {
+                            self.handle_transmit_done(req, ok);
+                        }
+                    }
+                    DrvToIp::ReceivedBatch { nic, ptrs } => {
+                        for ptr in ptrs {
+                            self.handle_received(nic, ptr);
+                        }
+                    }
                 }
             }
         }
         self.drv_scratch = from_drivers;
 
         self.flush_checks();
+        self.flush_transmits();
+        self.flush_transport_batches();
         work
     }
 
@@ -452,6 +484,63 @@ impl IpServer {
         }
         let batch = std::mem::take(&mut self.check_batch);
         send(&self.to_pf, IpToPf::CheckBatch(batch));
+    }
+
+    /// Sends every frame staged this round as one [`IpToDrv::TransmitBatch`]
+    /// per driver lane.  On failure (the driver's queue is full or the
+    /// driver is gone) the whole batch is dropped: the requests complete
+    /// unsuccessfully and the transports' retransmission machinery recovers
+    /// — exactly the per-frame behaviour before batching.
+    fn flush_transmits(&mut self) {
+        for iface in 0..self.tx_batch.len() {
+            if self.tx_batch[iface].is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(&mut self.tx_batch[iface]);
+            if !send(&self.to_drv[iface], IpToDrv::TransmitBatch(batch.clone())) {
+                for (req, _) in batch {
+                    if let Some(pending) = self.drv_reqs.complete(req) {
+                        self.header_pool.free_chain(&pending.chain);
+                        self.notify_send_done(pending.origin, false);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends this round's accumulated deliveries and send completions as
+    /// one batch message per transport and direction.
+    fn flush_transport_batches(&mut self) {
+        if !self.deliver_tcp.is_empty() {
+            let ptrs = std::mem::take(&mut self.deliver_tcp);
+            self.stats.packets_in += ptrs.len() as u64;
+            if !send(&self.to_tcp, IpToTransport::DeliverBatch(ptrs.clone())) {
+                self.stats.packets_in -= ptrs.len() as u64;
+                for ptr in ptrs {
+                    self.lent_rx.remove(&ptr);
+                    let _ = self.rx_pool.free(&ptr);
+                }
+            }
+        }
+        if !self.deliver_udp.is_empty() {
+            let ptrs = std::mem::take(&mut self.deliver_udp);
+            self.stats.packets_in += ptrs.len() as u64;
+            if !send(&self.to_udp, IpToTransport::DeliverBatch(ptrs.clone())) {
+                self.stats.packets_in -= ptrs.len() as u64;
+                for ptr in ptrs {
+                    self.lent_rx.remove(&ptr);
+                    let _ = self.rx_pool.free(&ptr);
+                }
+            }
+        }
+        if !self.send_done_tcp.is_empty() {
+            let batch = std::mem::take(&mut self.send_done_tcp);
+            send(&self.to_tcp, IpToTransport::SendDoneBatch(batch));
+        }
+        if !self.send_done_udp.is_empty() {
+            let batch = std::mem::take(&mut self.send_done_udp);
+            send(&self.to_udp, IpToTransport::SendDoneBatch(batch));
+        }
     }
 
     // ---- outbound path ------------------------------------------------------
@@ -642,14 +731,9 @@ impl IpServer {
                 iface,
             },
         );
-        if !send(&self.to_drv[iface], IpToDrv::Transmit { req, chain }) {
-            // Queue to the driver full: drop.
-            if let Some(pending) = self.drv_reqs.complete(req) {
-                self.header_pool.free_chain(&pending.chain);
-                self.notify_send_done(pending.origin, false);
-            }
-            return;
-        }
+        // Staged for this round's [`IpToDrv::TransmitBatch`]; a full driver
+        // queue is handled at flush time.
+        self.tx_batch[iface].push((req, chain));
         self.stats.packets_out += 1;
     }
 
@@ -663,12 +747,8 @@ impl IpServer {
 
     fn notify_send_done(&mut self, origin: Origin, ok: bool) {
         match origin {
-            Origin::Tcp(req) => {
-                send(&self.to_tcp, IpToTransport::SendDone { req, ok });
-            }
-            Origin::Udp(req) => {
-                send(&self.to_udp, IpToTransport::SendDone { req, ok });
-            }
+            Origin::Tcp(req) => self.send_done_tcp.push((req, ok)),
+            Origin::Udp(req) => self.send_done_udp.push((req, ok)),
             Origin::Local => {}
         }
     }
@@ -782,20 +862,14 @@ impl IpServer {
                 let _ = self.rx_pool.free(&ptr);
             }
             IpProtocol::Tcp => {
-                if send(&self.to_tcp, IpToTransport::Deliver { ptr }) {
-                    self.lent_rx.insert(ptr, LentTo::Tcp);
-                    self.stats.packets_in += 1;
-                } else {
-                    let _ = self.rx_pool.free(&ptr);
-                }
+                // Staged for this round's [`IpToTransport::DeliverBatch`];
+                // a full transport queue is handled at flush time.
+                self.lent_rx.insert(ptr, LentTo::Tcp);
+                self.deliver_tcp.push(ptr);
             }
             IpProtocol::Udp => {
-                if send(&self.to_udp, IpToTransport::Deliver { ptr }) {
-                    self.lent_rx.insert(ptr, LentTo::Udp);
-                    self.stats.packets_in += 1;
-                } else {
-                    let _ = self.rx_pool.free(&ptr);
-                }
+                self.lent_rx.insert(ptr, LentTo::Udp);
+                self.deliver_udp.push(ptr);
             }
         }
     }
@@ -874,7 +948,7 @@ impl IpServer {
                 iface,
             },
         );
-        send(&self.to_drv[iface], IpToDrv::Transmit { req, chain });
+        self.tx_batch[iface].push((req, chain));
     }
 
     // ---- crash recovery ------------------------------------------------------
@@ -894,13 +968,9 @@ impl IpServer {
                     pending.clone(),
                 );
                 self.stats.resubmitted_tx += 1;
-                send(
-                    &self.to_drv[pending.iface],
-                    IpToDrv::Transmit {
-                        req,
-                        chain: pending.chain,
-                    },
-                );
+                // Staged like first-time transmits: the whole resubmission
+                // goes out as one batch at the end of this poll round.
+                self.tx_batch[pending.iface].push((req, pending.chain));
             }
         } else if event.name == "pf" {
             // The filter crashed: it never saw (or never answered) these
@@ -1136,6 +1206,39 @@ mod tests {
             .collect()
     }
 
+    /// Flattens single transmits and transmit batches into `(req, chain)`
+    /// pairs.
+    fn transmits_in(msgs: &[IpToDrv]) -> Vec<(RequestId, RichChain)> {
+        msgs.iter()
+            .flat_map(|m| match m {
+                IpToDrv::Transmit { req, chain } => vec![(*req, chain.clone())],
+                IpToDrv::TransmitBatch(batch) => batch.clone(),
+            })
+            .collect()
+    }
+
+    /// Flattens single deliveries and delivery batches into frame pointers.
+    fn deliveries_in(msgs: &[IpToTransport]) -> Vec<RichPtr> {
+        msgs.iter()
+            .flat_map(|m| match m {
+                IpToTransport::Deliver { ptr } => vec![*ptr],
+                IpToTransport::DeliverBatch(ptrs) => ptrs.clone(),
+                _ => Vec::new(),
+            })
+            .collect()
+    }
+
+    /// Flattens single and batched send completions into `(req, ok)` pairs.
+    fn send_dones_in(msgs: &[IpToTransport]) -> Vec<(RequestId, bool)> {
+        msgs.iter()
+            .flat_map(|m| match m {
+                IpToTransport::SendDone { req, ok } => vec![(*req, *ok)],
+                IpToTransport::SendDoneBatch(batch) => batch.clone(),
+                _ => Vec::new(),
+            })
+            .collect()
+    }
+
     /// Injects a received frame as the driver would.
     fn inject_frame(rig: &mut Rig, frame: Vec<u8>) {
         let ptr = rig.rx_pool.publish(&frame).unwrap();
@@ -1170,9 +1273,9 @@ mod tests {
         let mut rig = rig(false);
         send_packet_request(&mut rig, b"payload");
         // First the ARP request goes to the driver.
-        let to_driver = drain(&rig.ip_to_drv);
+        let to_driver = transmits_in(&drain(&rig.ip_to_drv));
         assert_eq!(to_driver.len(), 1);
-        let IpToDrv::Transmit { chain, .. } = &to_driver[0];
+        let (_, chain) = &to_driver[0];
         let arp_frame = rig.pools.gather(chain).unwrap();
         let eth = EthernetFrame::parse(&arp_frame).unwrap();
         assert_eq!(eth.ethertype, EtherType::Arp);
@@ -1193,9 +1296,9 @@ mod tests {
         );
         inject_frame(&mut rig, frame.build());
 
-        let to_driver = drain(&rig.ip_to_drv);
+        let to_driver = transmits_in(&drain(&rig.ip_to_drv));
         assert_eq!(to_driver.len(), 1);
-        let IpToDrv::Transmit { chain, .. } = &to_driver[0];
+        let (_, chain) = &to_driver[0];
         let bytes = rig.pools.gather(chain).unwrap();
         let eth = EthernetFrame::parse(&bytes).unwrap();
         assert_eq!(eth.ethertype, EtherType::Ipv4);
@@ -1285,9 +1388,9 @@ mod tests {
             )
             .build(),
         );
-        let to_driver = drain(&rig.ip_to_drv);
+        let to_driver = transmits_in(&drain(&rig.ip_to_drv));
         assert_eq!(to_driver.len(), 1, "parked SYN emitted after the update");
-        let IpToDrv::Transmit { chain, .. } = &to_driver[0];
+        let (_, chain) = &to_driver[0];
         let bytes = rig.pools.gather(chain).unwrap();
         let eth = EthernetFrame::parse(&bytes).unwrap();
         assert_eq!(eth.ethertype, EtherType::Ipv4);
@@ -1368,8 +1471,8 @@ mod tests {
             .build(),
         );
         let origin_req = send_packet_request(&mut rig, b"data");
-        let to_driver = drain(&rig.ip_to_drv);
-        let IpToDrv::Transmit { req, .. } = &to_driver[0];
+        let to_driver = transmits_in(&drain(&rig.ip_to_drv));
+        let (req, _) = &to_driver[0];
         let header_in_use_before = rig.ip.header_pool.in_use();
         send(
             &rig.drv_to_ip,
@@ -1380,10 +1483,8 @@ mod tests {
         );
         rig.ip.poll();
         assert!(rig.ip.header_pool.in_use() < header_in_use_before);
-        let notified = drain(&rig.ip_to_tcp);
-        assert!(
-            matches!(notified[..], [IpToTransport::SendDone { req, ok: true }] if req == origin_req)
-        );
+        let notified = send_dones_in(&drain(&rig.ip_to_tcp));
+        assert_eq!(notified, vec![(origin_req, true)]);
     }
 
     #[test]
@@ -1418,9 +1519,9 @@ mod tests {
             },
         );
         rig.ip.poll();
-        let delivered = drain(&rig.ip_to_tcp);
+        let delivered = deliveries_in(&drain(&rig.ip_to_tcp));
         let ptr = match &delivered[..] {
-            [IpToTransport::Deliver { ptr }] => *ptr,
+            [ptr] => *ptr,
             other => panic!("expected a delivery, got {other:?}"),
         };
         assert_eq!(rig.rx_pool.in_use(), 1);
@@ -1478,9 +1579,9 @@ mod tests {
         inject_frame(&mut rig, frame.build());
         // The reply goes straight out (the sender's MAC was learned from the
         // request itself).
-        let to_driver = drain(&rig.ip_to_drv);
+        let to_driver = transmits_in(&drain(&rig.ip_to_drv));
         assert_eq!(to_driver.len(), 1);
-        let IpToDrv::Transmit { chain, .. } = &to_driver[0];
+        let (_, chain) = &to_driver[0];
         let bytes = rig.pools.gather(chain).unwrap();
         let eth = EthernetFrame::parse(&bytes).unwrap();
         let ip = Ipv4Packet::parse(&eth.payload).unwrap();
@@ -1504,9 +1605,9 @@ mod tests {
             request.build(),
         );
         inject_frame(&mut rig, frame.build());
-        let to_driver = drain(&rig.ip_to_drv);
+        let to_driver = transmits_in(&drain(&rig.ip_to_drv));
         assert_eq!(to_driver.len(), 1);
-        let IpToDrv::Transmit { chain, .. } = &to_driver[0];
+        let (_, chain) = &to_driver[0];
         let bytes = rig.pools.gather(chain).unwrap();
         let eth = EthernetFrame::parse(&bytes).unwrap();
         let arp = ArpPacket::parse(&eth.payload).unwrap();
@@ -1681,8 +1782,8 @@ mod tests {
             },
         );
         rig.ip.poll();
-        let to_driver = drain(&rig.ip_to_drv);
-        let IpToDrv::Transmit { chain, .. } = &to_driver[0];
+        let to_driver = transmits_in(&drain(&rig.ip_to_drv));
+        let (_, chain) = &to_driver[0];
         let bytes = rig.pools.gather(chain).unwrap();
         // The produced frame parses with both checksums intact, without any
         // NIC offload involved.

@@ -72,6 +72,12 @@ pub enum IpToDrv {
         /// Scatter-gather description of the frame.
         chain: RichChain,
     },
+    /// Every frame IP staged during one poll round — one message per burst
+    /// instead of one per frame (transmit fast path).
+    TransmitBatch(
+        /// `(request, chain)` per frame, in submission order.
+        Vec<(RequestId, RichChain)>,
+    ),
 }
 
 /// Messages from a network driver to the IP server.
@@ -91,6 +97,20 @@ pub enum DrvToIp {
         nic: usize,
         /// Location of the frame bytes in the RX pool.
         ptr: RichPtr,
+    },
+    /// Every transmit acknowledgement from one poll round — one message per
+    /// burst instead of one per frame (transmit fast path).
+    TransmitDoneBatch(
+        /// `(request, went out)` per acknowledged frame.
+        Vec<(RequestId, bool)>,
+    ),
+    /// Every frame one poll round received into the RX pool — one message
+    /// per burst instead of one per frame.
+    ReceivedBatch {
+        /// Index of the NIC the frames arrived on.
+        nic: usize,
+        /// Locations of the frame bytes in the RX pool, in arrival order.
+        ptrs: Vec<RichPtr>,
     },
 }
 
@@ -148,6 +168,18 @@ pub enum IpToTransport {
         /// Whether the packet went out.
         ok: bool,
     },
+    /// Every frame IP delivered during one poll round — one message per
+    /// burst instead of one per frame (transmit fast path's inbound twin).
+    DeliverBatch(
+        /// Frame locations in the RX pool, in arrival order.
+        Vec<RichPtr>,
+    ),
+    /// Every send completion from one poll round — one message per burst
+    /// instead of one per packet.
+    SendDoneBatch(
+        /// `(request, went out)` per completed send.
+        Vec<(RequestId, bool)>,
+    ),
 }
 
 /// Requests from the IP server to the packet filter.

@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bytes::{Bytes, BytesMut};
 use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 
@@ -183,7 +184,11 @@ impl std::fmt::Debug for ReadyWatch {
 
 #[derive(Debug, Default)]
 struct BufInner {
-    send: VecDeque<u8>,
+    /// The send queue is a `BytesMut` rather than a ring of bytes so the
+    /// protocol server can *loan* regions out as reference-counted
+    /// [`Bytes`] views ([`SocketBuffer::drain_send_bytes`]) — the start of
+    /// the transmit path's zero-copy chain.
+    send: BytesMut,
     recv: VecDeque<u8>,
     recv_eof: bool,
     error: Option<SockError>,
@@ -338,7 +343,7 @@ impl SocketBuffer {
             let space = self.send_capacity.saturating_sub(inner.send.len());
             if space > 0 {
                 let n = space.min(data.len());
-                inner.send.extend(&data[..n]);
+                inner.send.extend_from_slice(&data[..n]);
                 self.readable.notify_all();
                 drop(inner);
                 self.ring_doorbell();
@@ -438,12 +443,23 @@ impl SocketBuffer {
     // ---- protocol-server side ---------------------------------------------
 
     /// Takes up to `max` bytes from the send queue (data the application
-    /// wrote and the server should transmit).
+    /// wrote and the server should transmit) as a copy.  Hot paths use
+    /// [`SocketBuffer::drain_send_bytes`] instead.
     pub fn drain_send(&self, max: usize) -> Vec<u8> {
+        self.drain_send_bytes(max).to_vec()
+    }
+
+    /// Takes up to `max` bytes from the send queue as a reference-counted
+    /// [`Bytes`] view — no copy is made; the returned handle is an
+    /// immutable loan of the region the application wrote, which the
+    /// transport publishes straight into the shared TX pool and keeps for
+    /// retransmission.  Later application writes extend fresh memory and
+    /// never mutate an outstanding loan.
+    pub fn drain_send_bytes(&self, max: usize) -> Bytes {
         let out = {
             let mut inner = self.inner.lock();
             let n = max.min(inner.send.len());
-            let out: Vec<u8> = inner.send.drain(..n).collect();
+            let out = inner.send.split_to(n).freeze();
             if !out.is_empty() {
                 self.writable.notify_all();
             }
@@ -546,6 +562,22 @@ mod tests {
         assert_eq!(buf.drain_send(3), b"hel");
         assert_eq!(buf.drain_send(10), b"lo");
         assert_eq!(buf.send_pending(), 0);
+    }
+
+    #[test]
+    fn drain_send_bytes_loans_stable_views() {
+        let buf = SocketBuffer::new(32, 16);
+        buf.write(b"hello", T).unwrap();
+        let first = buf.drain_send_bytes(3);
+        assert_eq!(&first[..], b"hel");
+        buf.write(b" world", T).unwrap();
+        let rest = buf.drain_send_bytes(32);
+        assert_eq!(&rest[..], b"lo world");
+        // Loaned views are immutable snapshots: later writes never touch
+        // them (the retransmission buffer depends on this).
+        assert_eq!(&first[..], b"hel");
+        assert_eq!(buf.send_pending(), 0);
+        assert!(buf.drain_send_bytes(8).is_empty());
     }
 
     #[test]

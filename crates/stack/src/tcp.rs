@@ -21,6 +21,7 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use newt_channels::endpoint::Generation;
@@ -179,7 +180,10 @@ impl Default for TcpConfig {
         TcpConfig {
             mss: 1460,
             tso: true,
-            tso_segment: 16 * 1024,
+            // One super-segment per flow per pump round.  60 KiB leaves
+            // room for the IP + TCP headers under the IPv4 total-length
+            // field (u16) once the NIC wraps the payload into a frame.
+            tso_segment: 60 * 1024,
             rto_initial: Duration::from_millis(200),
             rto_max: Duration::from_secs(2),
             buffer_capacity: 256 * 1024,
@@ -218,6 +222,15 @@ pub struct TcpStats {
     /// Pure ACKs whose emission was avoided because outgoing data carried
     /// the acknowledgement instead (piggyback wins).
     pub acks_piggybacked: u64,
+    /// Data-carrying segments handed to IP.  Under TSO this is one
+    /// oversized super-segment per flow per pump round instead of one
+    /// segment per MSS — the TX-side counterpart of GRO coalescing.
+    pub tx_segments: u64,
+    /// Payload publishes that fell back to *copying* into the TX pool
+    /// because the zero-copy publish was rejected.  The whole point of the
+    /// transmit fast path is that this stays 0: socket-buffer loans flow
+    /// into the pool, retransmissions and the driver by reference.
+    pub tx_copies: u64,
 }
 
 /// TCP connection states (RFC 793 subset).
@@ -266,7 +279,7 @@ struct TcpSock {
     // Send sequence space.
     snd_una: u32,
     snd_nxt: u32,
-    unacked: Vec<u8>,
+    unacked: ByteChain,
     peer_window: u32,
     cwnd: u32,
     ssthresh: u32,
@@ -320,6 +333,84 @@ struct TcpSock {
 impl TcpSock {
     fn flight(&self) -> u32 {
         self.snd_nxt.wrapping_sub(self.snd_una)
+    }
+}
+
+/// The retransmission buffer: an ordered chain of reference-counted
+/// [`Bytes`] views over memory the application wrote into the socket
+/// buffer.  Keeping the loans instead of flattening them into a `Vec`
+/// lets both the first transmission and every retransmission publish the
+/// *same* underlying memory into the TX pool — the send path never
+/// duplicates payload bytes.
+#[derive(Debug, Default)]
+struct ByteChain {
+    chunks: VecDeque<Bytes>,
+    len: usize,
+}
+
+impl ByteChain {
+    fn new() -> Self {
+        ByteChain::default()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a view; empty views are dropped.
+    fn push(&mut self, chunk: Bytes) {
+        if !chunk.is_empty() {
+            self.len += chunk.len();
+            self.chunks.push_back(chunk);
+        }
+    }
+
+    /// Drops the first `n` bytes (data the peer acknowledged).  Whole
+    /// chunks release their refcount; a partially covered chunk is
+    /// narrowed in place — still no copy.
+    fn advance(&mut self, n: usize) {
+        let mut n = n.min(self.len);
+        self.len -= n;
+        while n > 0 {
+            let front = self.chunks.front_mut().expect("len accounts for chunks");
+            if n >= front.len() {
+                n -= front.len();
+                self.chunks.pop_front();
+            } else {
+                *front = front.slice(n..);
+                n = 0;
+            }
+        }
+    }
+
+    /// Returns refcounted views over the first `max` bytes, preserving
+    /// chunk boundaries — the zero-copy payload of a retransmission.
+    fn view(&self, max: usize) -> Vec<Bytes> {
+        let mut out = Vec::new();
+        let mut remaining = max;
+        for chunk in &self.chunks {
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.min(chunk.len());
+            out.push(chunk.slice(..take));
+            remaining -= take;
+        }
+        out
+    }
+
+    /// Copies the content out — live-update snapshots only; the wire
+    /// format keeps a flat buffer so the snapshot version is unchanged.
+    fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len);
+        for chunk in &self.chunks {
+            out.extend_from_slice(chunk);
+        }
+        out
     }
 }
 
@@ -666,7 +757,7 @@ impl TcpServer {
                 remote: s.remote.map(|(a, p)| (u32::from(a), p)),
                 snd_una: s.snd_una,
                 snd_nxt: s.snd_nxt,
-                unacked: s.unacked.clone(),
+                unacked: s.unacked.to_vec(),
                 peer_window: s.peer_window,
                 cwnd: s.cwnd,
                 ssthresh: s.ssthresh,
@@ -737,7 +828,7 @@ impl TcpServer {
             sock.remote = h.remote.map(|(a, p)| (Ipv4Addr::from(a), p));
             sock.snd_una = h.snd_una;
             sock.snd_nxt = h.snd_nxt;
-            sock.unacked = h.unacked;
+            sock.unacked.push(Bytes::from(h.unacked));
             sock.peer_window = h.peer_window;
             sock.cwnd = h.cwnd;
             sock.ssthresh = h.ssthresh;
@@ -833,7 +924,7 @@ impl TcpServer {
             buffer,
             snd_una: 0,
             snd_nxt: 0,
-            unacked: Vec::new(),
+            unacked: ByteChain::new(),
             peer_window: 65_535,
             cwnd: (10 * self.config.mss) as u32,
             ssthresh: u32::MAX / 2,
@@ -896,7 +987,17 @@ impl TcpServer {
             work += 1;
             match msg {
                 IpToTransport::Deliver { ptr } => self.handle_deliver(ptr),
+                IpToTransport::DeliverBatch(ptrs) => {
+                    for ptr in ptrs {
+                        self.handle_deliver(ptr);
+                    }
+                }
                 IpToTransport::SendDone { req, ok } => self.handle_send_done(req, ok),
+                IpToTransport::SendDoneBatch(dones) => {
+                    for (req, ok) in dones {
+                        self.handle_send_done(req, ok);
+                    }
+                }
             }
         }
         self.ip_scratch = from_ip;
@@ -1406,14 +1507,16 @@ impl TcpServer {
 
     /// Hands one TCP segment (header + optional payload) to the IP server.
     ///
-    /// The payload is borrowed: it is published straight into the shared TX
-    /// pool, so callers (the data pump, retransmission) never build an
-    /// intermediate copy.
+    /// The payload is a list of reference-counted [`Bytes`] views — loans
+    /// of socket-buffer memory — published into the shared TX pool **by
+    /// reference**: neither the data pump nor retransmission builds an
+    /// intermediate copy.  `tx_copies` counts the publishes that had to
+    /// fall back to copying; on the evaluation workloads it stays 0.
     fn emit_segment(
         &mut self,
         sock: SockId,
         mut segment: TcpSegment,
-        payload: &[u8],
+        payload: &[Bytes],
         is_connection_start: bool,
     ) {
         let Some(s) = self.sockets.get(&sock) else {
@@ -1431,11 +1534,30 @@ impl TcpServer {
         header[17] = 0;
 
         let mut chain = RichChain::new();
-        if !payload.is_empty() {
-            match self.tx_pool.publish(payload) {
-                Ok(ptr) => chain.push(ptr),
-                Err(_) => return, // pool exhausted: drop, RTO recovers
+        for chunk in payload {
+            if chunk.is_empty() {
+                continue;
             }
+            let ptr = match self.tx_pool.publish_bytes(chunk.clone()) {
+                Ok(ptr) => ptr,
+                // The zero-copy publish was rejected (view larger than a
+                // pool chunk): fall back to the copying path and count it.
+                Err(_) => match self.tx_pool.publish(chunk.as_ref()) {
+                    Ok(ptr) => {
+                        self.stats.tx_copies += 1;
+                        ptr
+                    }
+                    Err(_) => {
+                        // Pool exhausted: drop the segment, RTO recovers.
+                        self.tx_pool.free_chain(&chain);
+                        return;
+                    }
+                },
+            };
+            chain.push(ptr);
+        }
+        if !chain.parts().is_empty() {
+            self.stats.tx_segments += 1;
         }
         let pending = PendingSend {
             chain: chain.clone(),
@@ -1544,12 +1666,14 @@ impl TcpServer {
                     s.mss
                 };
                 let take = budget.min(seg_size);
-                let data = s.buffer.drain_send(take);
+                let data = s.buffer.drain_send_bytes(take);
                 if data.is_empty() {
                     break;
                 }
                 let seq = s.snd_nxt;
-                s.unacked.extend_from_slice(&data);
+                // The retransmission buffer keeps a second refcount on the
+                // same loan — no copy.
+                s.unacked.push(data.clone());
                 s.snd_nxt = s.snd_nxt.wrapping_add(data.len() as u32);
                 let arm_at = if s.rto_deadline.is_none() {
                     Some(now + s.rto)
@@ -1568,7 +1692,7 @@ impl TcpServer {
                 (s.local_port, s.remote.expect("remote checked").1, s.rcv_nxt)
             };
             let seg = TcpSegment::control(local_port, dst_port, seq, rcv_nxt, TcpFlags::PSH_ACK);
-            self.emit_segment(id, seg, &data, false);
+            self.emit_segment(id, seg, &[data], false);
         }
 
         // FIN emission once everything is out.
@@ -1626,10 +1750,10 @@ impl TcpServer {
 
     fn retransmit(&mut self, id: SockId, from_timeout: bool) {
         let now = self.clock.now();
-        // The unacked buffer is temporarily moved out so the retransmitted
-        // slice can be lent to `emit_segment` (which publishes it into the
-        // TX pool) without an intermediate copy.
-        let (seg, unacked, len, deadline) = {
+        // The retransmitted range is a set of refcounted views into the
+        // unacked chain — `emit_segment` publishes the same memory the
+        // first transmission used, no copy and no move-out/restore dance.
+        let (seg, payload, deadline) = {
             let Some(s) = self.sockets.get_mut(&id) else {
                 return;
             };
@@ -1646,15 +1770,15 @@ impl TcpServer {
                     s.rto = (s.rto * 2).min(self.config.rto_max);
                 }
                 let deadline = now + s.rto;
-                (syn, Vec::new(), 0, deadline)
+                (syn, Vec::new(), deadline)
             } else {
                 let seg_size = if self.config.tso {
                     self.config.tso_segment
                 } else {
                     s.mss
                 };
-                let len = s.unacked.len().min(seg_size);
-                let flags = if len == 0 && s.fin_sent {
+                let payload = s.unacked.view(seg_size);
+                let flags = if payload.is_empty() && s.fin_sent {
                     TcpFlags::FIN_ACK
                 } else {
                     TcpFlags::PSH_ACK
@@ -1671,7 +1795,7 @@ impl TcpServer {
                     s.cwnd = s.ssthresh;
                 }
                 let deadline = now + s.rto;
-                (seg, std::mem::take(&mut s.unacked), len, deadline)
+                (seg, payload, deadline)
             }
         };
         self.arm_rto(id, deadline);
@@ -1679,11 +1803,7 @@ impl TcpServer {
         if !from_timeout {
             self.stats.fast_retransmits += 1;
         }
-        self.emit_segment(id, seg, &unacked[..len], false);
-        if let Some(s) = self.sockets.get_mut(&id) {
-            debug_assert!(s.unacked.is_empty(), "unacked untouched during emit");
-            s.unacked = unacked;
-        }
+        self.emit_segment(id, seg, &payload, false);
     }
 
     // ---- inbound segments --------------------------------------------------------
@@ -1943,7 +2063,7 @@ impl TcpServer {
                     if acked > 0 && acked <= flight {
                         // Account for a FIN occupying sequence space.
                         let data_acked = (acked as usize).min(s.unacked.len());
-                        s.unacked.drain(..data_acked);
+                        s.unacked.advance(data_acked);
                         s.snd_una = segment.ack;
                         s.dup_acks = 0;
                         // Congestion control (Reno).
@@ -2202,7 +2322,9 @@ mod tests {
         snapshot: Option<StateSnapshot>,
     ) -> Rig {
         let clock = SimClock::with_speedup(50.0);
-        let tx_pool = Pool::new("tcp.tx", endpoints::TCP, 32 * 1024, 256);
+        // Chunk size covers a full TSO super-segment, like the builder's
+        // TX pools.
+        let tx_pool = Pool::new("tcp.tx", endpoints::TCP, 64 * 1024, 256);
         // Chunk size matches the builder's RX pools: large enough for a
         // GRO-merged super-segment.
         let rx_pool = Pool::new("ip.rx", endpoints::IP, 16 * 1024, 256);
@@ -2297,34 +2419,23 @@ mod tests {
                 ..
             } = msg
             {
-                let mut bytes = transport_header.clone();
+                let mut bytes = transport_header;
                 if let Some(data) = rig.pools.gather(&payload) {
                     bytes.extend_from_slice(&data);
                 }
-                // Zero checksum: parse without verification by rebuilding a
-                // valid checksum first.
-                let mut seg = TcpSegment::parse(
-                    &{
-                        let mut tmp = bytes.clone();
-                        // patch checksum so parse() accepts it
-                        let csum = newt_net::wire::pseudo_header_checksum(
-                            Ipv4Addr::UNSPECIFIED,
-                            Ipv4Addr::UNSPECIFIED,
-                            6,
-                            &{
-                                let mut z = tmp.clone();
-                                z[16] = 0;
-                                z[17] = 0;
-                                z
-                            },
-                        );
-                        tmp[16..18].copy_from_slice(&csum.to_be_bytes());
-                        tmp
-                    },
+                // The segment left the server with a zero checksum (the
+                // checksum engine fills it on the wire); patch it in place
+                // so `parse` accepts it — no scratch copies.
+                let csum = newt_net::wire::pseudo_header_checksum(
                     Ipv4Addr::UNSPECIFIED,
                     Ipv4Addr::UNSPECIFIED,
-                )
-                .expect("parsable segment");
+                    6,
+                    &bytes,
+                );
+                bytes[16..18].copy_from_slice(&csum.to_be_bytes());
+                let mut seg =
+                    TcpSegment::parse(&bytes, Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED)
+                        .expect("parsable segment");
                 seg.window = seg.window.max(1);
                 out.push(seg);
             }
@@ -2518,6 +2629,61 @@ mod tests {
         let s = rig.tcp.sockets.get(&sock).unwrap();
         assert_eq!(s.flight(), 0);
         assert!(s.unacked.is_empty());
+    }
+
+    #[test]
+    fn tso_pump_emits_one_super_segment_without_copies() {
+        let mut rig = rig();
+        rig.tcp.config.tso = true;
+        let (sock, _local_port, _snd, _rcv) = connect_established(&mut rig);
+        let buffer: Arc<SocketBuffer> = rig
+            .registry
+            .attach_shared(endpoints::SYSCALL, &TcpServer::buffer_name(sock))
+            .unwrap();
+        buffer
+            .write(&[3u8; 40_000], Duration::from_secs(1))
+            .unwrap();
+        rig.tcp.poll();
+        let segs: Vec<TcpSegment> = outgoing(&mut rig)
+            .into_iter()
+            .filter(|s| !s.payload.is_empty())
+            .collect();
+        // One oversized super-segment per flow per pump round, sized by
+        // the congestion window (initial cwnd = 10 * mss), not the MSS.
+        assert_eq!(segs.len(), 1, "one super-segment per round, got {segs:?}");
+        let cwnd = rig.tcp.sockets.get(&sock).unwrap().cwnd as usize;
+        assert_eq!(segs[0].payload.len(), cwnd.min(40_000));
+        assert!(segs[0].payload.len() > TcpConfig::default().mss);
+        let stats = rig.tcp.stats();
+        assert!(stats.tx_segments >= 1);
+        assert_eq!(stats.tx_copies, 0, "the send path must not copy");
+    }
+
+    #[test]
+    fn retransmission_is_a_refcounted_view_not_a_copy() {
+        let mut rig = rig();
+        let (_sock, _local_port, _snd, _rcv) = connect_established(&mut rig);
+        let buffer: Arc<SocketBuffer> = rig
+            .registry
+            .attach_shared(endpoints::SYSCALL, &TcpServer::buffer_name(_sock))
+            .unwrap();
+        buffer.write(&[1u8; 1000], Duration::from_secs(1)).unwrap();
+        rig.tcp.poll();
+        outgoing(&mut rig);
+        // RTO fires; the retransmission re-publishes the unacked views.
+        rig.clock.sleep(Duration::from_millis(400));
+        rig.tcp.poll();
+        let retrans = outgoing(&mut rig);
+        assert!(
+            retrans.iter().any(|s| s.payload == vec![1u8; 1000]),
+            "expected a full retransmission, got {retrans:?}"
+        );
+        let stats = rig.tcp.stats();
+        assert!(stats.tx_segments >= 2, "original + retransmission");
+        assert_eq!(
+            stats.tx_copies, 0,
+            "retransmission must reuse the original loan, not copy it"
+        );
     }
 
     #[test]

@@ -449,9 +449,21 @@ impl UdpServer {
             work += 1;
             match msg {
                 IpToTransport::Deliver { ptr } => self.handle_deliver(ptr),
+                IpToTransport::DeliverBatch(ptrs) => {
+                    for ptr in ptrs {
+                        self.handle_deliver(ptr);
+                    }
+                }
                 IpToTransport::SendDone { req, .. } => {
                     if let Some(chain) = self.ip_reqs.complete(req) {
                         self.tx_pool.free_chain(&chain);
+                    }
+                }
+                IpToTransport::SendDoneBatch(dones) => {
+                    for (req, _) in dones {
+                        if let Some(chain) = self.ip_reqs.complete(req) {
+                            self.tx_pool.free_chain(&chain);
+                        }
                     }
                 }
             }

@@ -394,6 +394,144 @@ fn ring_completions_survive_a_syscall_live_update() {
     stack.shutdown();
 }
 
+/// Transmit fast-path counters scraped from one workload run.
+struct TxCounters {
+    tx_segments: u64,
+    tso_frames: u64,
+    tx_copies: u64,
+    fast_retransmits: u64,
+}
+
+/// Runs one HTTP workload and returns the load report plus the transmit
+/// fast-path counters.
+fn run_tx_workload(
+    config: StackConfig,
+    connections: usize,
+    requests: usize,
+    path: &str,
+) -> (newt_apps::loadgen::LoadReport, TxCounters) {
+    let stack = NewtStack::start(config);
+    let server =
+        Httpd::spawn(stack.client(), stack.shards(), HttpdConfig::default()).expect("http server");
+    let report = run_http_load(
+        &stack,
+        &LoadConfig {
+            connections,
+            requests_per_connection: requests,
+            path: path.to_string(),
+            response_timeout: Duration::from_secs(30),
+            ..LoadConfig::default()
+        },
+    );
+    let telemetry = stack.telemetry();
+    let counters = TxCounters {
+        tx_segments: telemetry.tx_segments_total(),
+        tso_frames: (0..stack.config().nics)
+            .map(|i| stack.nic_stats(i).tso_frames)
+            .sum(),
+        tx_copies: telemetry.tx_copies_total(),
+        fast_retransmits: (0..stack.shards())
+            .map(|s| telemetry.tcp_shards[s].fast_retransmits)
+            .sum(),
+    };
+    server.stop();
+    stack.shutdown();
+    (report, counters)
+}
+
+#[test]
+fn tso_send_path_is_differentially_equivalent_to_per_mtu_sends() {
+    // The transmit fast path (TCP super-segments cut by NIC TSO) must be
+    // an *optimization*, not a behaviour change: the same workload run
+    // with TSO disabled — TCP emitting one MTU-sized segment at a time —
+    // produces byte-identical bodies and the same request count, on a
+    // clean link and on an impaired one.
+    for (link, conns, reqs, path) in [
+        (LinkConfig::unshaped(), 16, 3, "/bytes/16384"),
+        (
+            LinkConfig::impaired().bandwidth_bps(f64::INFINITY),
+            8,
+            2,
+            "/bytes/8192",
+        ),
+    ] {
+        let base = workload_config().shards(2).link(link);
+        let (with_tso, on) = run_tx_workload(base.clone().tso(true), conns, reqs, path);
+        let (without, off) = run_tx_workload(base.tso(false), conns, reqs, path);
+
+        let expected = (conns * reqs) as u64;
+        assert_eq!(with_tso.completed, expected, "TSO run lost requests");
+        assert_eq!(without.completed, expected, "non-TSO run lost requests");
+        assert!(with_tso.completed_all && without.completed_all);
+        assert_eq!(with_tso.verify_failures, 0, "TSO bodies must verify");
+        assert_eq!(without.verify_failures, 0, "non-TSO bodies must verify");
+        // Every body is verified against the same deterministic pattern and
+        // both runs moved the same number of bytes: the wire contents are
+        // byte-identical, only the segmentation differs.
+        assert_eq!(
+            with_tso.bytes_received, without.bytes_received,
+            "TSO must not change the bytes the client sees"
+        );
+
+        // The differential is real: the TSO run sent oversized segments
+        // that the NIC cut into multiple wire frames; the non-TSO run
+        // never handed the NIC anything oversized.
+        assert!(
+            on.tso_frames > on.tx_segments,
+            "TSO run must split super-segments ({} frames from {} segments)",
+            on.tso_frames,
+            on.tx_segments
+        );
+        assert_eq!(
+            off.tso_frames, 0,
+            "a NIC without TSO must cut nothing ({} segments)",
+            off.tx_segments
+        );
+        // Zero-copy held on both sides: no fallback copy-publishes.
+        assert_eq!(on.tx_copies, 0, "TSO run fell back to a copy");
+        assert_eq!(off.tx_copies, 0, "non-TSO run fell back to a copy");
+    }
+}
+
+#[test]
+fn lost_super_segment_recovers_via_fast_retransmit_without_copies() {
+    // Conformance for the transmit fast path under Gilbert–Elliott burst
+    // loss: when wire frames cut from one TSO super-segment are dropped,
+    // the ACK trail from the surviving frames must trigger *fast*
+    // retransmit (dup-ACK driven, not RTO), the retransmission is emitted
+    // as a refcounted view of the original send-queue bytes, and every
+    // body still verifies.
+    let mut link = LinkConfig::gigabit();
+    link.netem = Netem {
+        burst_loss: Some(newtos::net::link::GilbertElliott::bursty()),
+        ..Netem::default()
+    };
+    let config = workload_config().shards(2).link(link);
+    let (report, counters) = run_tx_workload(config, 8, 4, "/bytes/16384");
+
+    assert!(
+        report.completed_all,
+        "lossy run hit the deadline: {report:?}"
+    );
+    assert_eq!(report.completed, 32, "every request must complete");
+    assert_eq!(report.verify_failures, 0, "bodies must verify: {report:?}");
+    assert!(
+        counters.tso_frames > counters.tx_segments,
+        "responses must have been TSO-cut ({} frames from {} segments)",
+        counters.tso_frames,
+        counters.tx_segments
+    );
+    assert!(
+        counters.fast_retransmits > 0,
+        "burst loss inside a TSO burst must trip fast retransmit, not just the RTO"
+    );
+    // Retransmissions (including the recovery of lost super-segment
+    // frames) ride the same zero-copy path as first transmissions: the
+    // unacked queue holds refcounted views, so no copy-publish happens
+    // even while recovering.
+    assert_eq!(counters.tx_copies, 0, "retransmit path must stay zero-copy");
+}
+
 #[test]
 fn nonblocking_timeout_semantics_are_explicit() {
     let stack = NewtStack::start(workload_config());
