@@ -32,6 +32,7 @@ use std::time::Duration;
 use newt_stack::posix::{NetClient, RingHandle, TcpSocket};
 use newt_stack::rings::{interest_bits, Sqe, SqeOp};
 use newt_stack::sockbuf::SockError;
+use newt_stack::SimClock;
 
 use crate::http::{body_for_path, parse_request, response_bytes, HttpRequest, ParseOutcome};
 
@@ -47,6 +48,19 @@ pub struct HttpdConfig {
     /// Per-connection receive-buffer capacity in bytes (0 = server
     /// default).
     pub recv_cap: u32,
+    /// How long a connection may sit on a partially received request
+    /// before it is killed (virtual time; zero disables the deadline).
+    /// This is the slow-loris defense: idle keep-alive connections are
+    /// exempt, only connections holding request *fragments* are timed.
+    pub header_deadline: Duration,
+    /// Admission watermark: beyond this many open connections new
+    /// arrivals are shed with `503` + `Connection: close`, and past a
+    /// 25 % overshoot the accept loop pauses entirely (0 = unlimited).
+    pub max_connections: usize,
+    /// Clock for the header deadline (virtual time, so campaigns at a
+    /// clock speed-up measure the knobs they configured).  `None`
+    /// disables the deadline sweep.
+    pub clock: Option<SimClock>,
 }
 
 impl Default for HttpdConfig {
@@ -56,6 +70,9 @@ impl Default for HttpdConfig {
             backlog: 64,
             send_cap: 0,
             recv_cap: 0,
+            header_deadline: Duration::ZERO,
+            max_connections: 0,
+            clock: None,
         }
     }
 }
@@ -71,6 +88,7 @@ impl HttpdConfig {
             backlog: 4096,
             send_cap: 4096,
             recv_cap: 4096,
+            ..HttpdConfig::default()
         }
     }
 }
@@ -95,6 +113,14 @@ pub struct HttpdStats {
     /// (inline sends/receives plus queued completions) — the denominator
     /// of the fabric-messages-per-socket-op metric.
     pub ring_ops: u64,
+    /// Connections shed with `503 Service Unavailable` at the admission
+    /// watermark.
+    pub shed_503: u64,
+    /// Connections killed by the header-read deadline (slow loris).
+    pub loris_kills: u64,
+    /// Loop passes in which the accept drain was paused because the
+    /// connection table sat past the hard admission cap.
+    pub accept_paused: u64,
 }
 
 #[derive(Debug, Default)]
@@ -105,6 +131,9 @@ struct SharedStats {
     connection_errors: AtomicU64,
     bytes_out: AtomicU64,
     ring_cqes: AtomicU64,
+    shed_503: AtomicU64,
+    loris_kills: AtomicU64,
+    accept_paused: AtomicU64,
 }
 
 impl SharedStats {
@@ -117,6 +146,9 @@ impl SharedStats {
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             ring_cqes: self.ring_cqes.load(Ordering::Relaxed),
             ring_ops,
+            shed_503: self.shed_503.load(Ordering::Relaxed),
+            loris_kills: self.loris_kills.load(Ordering::Relaxed),
+            accept_paused: self.accept_paused.load(Ordering::Relaxed),
         }
     }
 }
@@ -131,6 +163,12 @@ struct Conn {
     /// Cursor into `outbuf` (bytes already handed to the socket).
     sent: usize,
     close_after_flush: bool,
+    /// Virtual time at which `inbuf` first held a request fragment
+    /// without completing it; cleared whenever the buffer drains.  A
+    /// slow-loris client dripping one header byte per interval keeps
+    /// this set, and the deadline sweep kills it — an idle keep-alive
+    /// connection keeps it `None` and lives forever.
+    partial_since: Option<Duration>,
 }
 
 enum ConnVerdict {
@@ -146,6 +184,7 @@ impl Conn {
             outbuf: Vec::new(),
             sent: 0,
             close_after_flush: false,
+            partial_since: None,
         }
     }
 
@@ -155,7 +194,14 @@ impl Conn {
 
     /// Flushes output, reads input, answers complete requests — all
     /// inline through the ring.  Returns whether the connection survives.
-    fn service(&mut self, ring: &RingHandle, stats: &SharedStats) -> ConnVerdict {
+    /// `now` (when a clock is configured) timestamps partially received
+    /// requests for the slow-loris sweep.
+    fn service(
+        &mut self,
+        ring: &RingHandle,
+        stats: &SharedStats,
+        now: Option<Duration>,
+    ) -> ConnVerdict {
         // Flush queued response bytes.
         while self.sent < self.outbuf.len() {
             match ring.send(self.sock, &self.outbuf[self.sent..]) {
@@ -204,6 +250,12 @@ impl Conn {
                     self.respond(&request, stats);
                 }
             }
+        }
+        // Stamp (or clear) the partial-request timer for the loris sweep.
+        if self.inbuf.is_empty() {
+            self.partial_since = None;
+        } else if self.partial_since.is_none() {
+            self.partial_since = now;
         }
 
         // Push freshly queued responses out in the same pass.
@@ -273,6 +325,14 @@ impl Conn {
             self.close_after_flush = true;
         }
     }
+
+    /// Marks the connection shed: a `503` with `Connection: close` is
+    /// queued and the connection dies once it flushes.
+    fn shed(&mut self, stats: &SharedStats) {
+        stats.shed_503.fetch_add(1, Ordering::Relaxed);
+        stats.error_responses.fetch_add(1, Ordering::Relaxed);
+        self.queue_response(503, "Service Unavailable", b"overloaded", false, stats);
+    }
 }
 
 /// A running HTTP server (one event-loop thread).  Dropping the handle
@@ -312,9 +372,10 @@ impl Httpd {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
             let ring = Arc::clone(&ring);
+            let config = config.clone();
             std::thread::Builder::new()
                 .name("newtos-httpd".to_string())
-                .spawn(move || run_event_loop(&ring, &listeners, &stop, &stats))
+                .spawn(move || run_event_loop(&ring, &listeners, &stop, &stats, &config))
                 .expect("spawning the httpd thread")
         };
         Ok(Httpd {
@@ -384,8 +445,9 @@ fn settle(
     ring: &RingHandle,
     stats: &SharedStats,
     pending_close: &mut Vec<u64>,
+    now: Option<Duration>,
 ) {
-    match conn.service(ring, stats) {
+    match conn.service(ring, stats, now) {
         ConnVerdict::Alive => {
             let interest = if conn.has_output() {
                 interest_bits::READ | interest_bits::WRITE
@@ -410,22 +472,65 @@ fn run_event_loop(
     listeners: &[TcpSocket],
     stop: &AtomicBool,
     stats: &SharedStats,
+    config: &HttpdConfig,
 ) {
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut cqes = Vec::new();
     let mut pending_close: Vec<u64> = Vec::new();
+    // Admission control: shed with 503 past the watermark, stop draining
+    // accepts entirely past a 25 % overshoot (the backlog and the TCP
+    // half-open cap absorb the rest).
+    let soft_cap = config.max_connections;
+    let hard_cap = soft_cap + soft_cap / 4;
+    // Slow-loris sweep bookkeeping (virtual time).
+    let sweep_every = config.header_deadline / 4;
+    let mut next_sweep = config.clock.as_ref().map(SimClock::now).unwrap_or_default();
+    let mut victims: Vec<u64> = Vec::new();
     while !stop.load(Ordering::Acquire) {
+        let now = config.clock.as_ref().map(SimClock::now);
         // Accept until every arm's deliveries are drained.  The multishot
         // accept arms wake the completion queue, so a parked loop learns
         // about new connections without polling; a restarting TCP shard
         // surfaces transient errors which the shim self-heals from.
-        for listener in listeners {
-            while let Ok(Some((sock, _addr, _port))) = listener.accept_nb() {
+        let mut paused = false;
+        'accepting: for listener in listeners {
+            loop {
+                if soft_cap > 0 && conns.len() >= hard_cap {
+                    paused = true;
+                    break 'accepting;
+                }
+                let Ok(Some((sock, _addr, _port))) = listener.accept_nb() else {
+                    break;
+                };
                 stats.connections.fetch_add(1, Ordering::Relaxed);
                 // The ring handle owns the data path from here on; the
                 // accepted TcpSocket wrapper is no longer needed.
-                let conn = Conn::new(sock.id());
-                settle(&mut conns, conn, ring, stats, &mut pending_close);
+                let mut conn = Conn::new(sock.id());
+                if soft_cap > 0 && conns.len() >= soft_cap {
+                    conn.shed(stats);
+                }
+                settle(&mut conns, conn, ring, stats, &mut pending_close, now);
+            }
+        }
+        if paused {
+            stats.accept_paused.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Kill connections that have been dripping a request for longer
+        // than the header deadline.  O(open), so only every deadline/4.
+        if let Some(now) = now {
+            if !config.header_deadline.is_zero() && now >= next_sweep {
+                next_sweep = now + sweep_every;
+                victims.clear();
+                victims.extend(conns.iter().filter_map(|(&sock, conn)| {
+                    let since = conn.partial_since?;
+                    (now.saturating_sub(since) >= config.header_deadline).then_some(sock)
+                }));
+                for sock in victims.drain(..) {
+                    conns.remove(&sock);
+                    stats.loris_kills.fetch_add(1, Ordering::Relaxed);
+                    close_conn(ring, sock, false, stats, &mut pending_close);
+                }
             }
         }
 
@@ -448,7 +553,7 @@ fn run_event_loop(
             let Some(conn) = conns.remove(&cqe.user_data) else {
                 continue;
             };
-            settle(&mut conns, conn, ring, stats, &mut pending_close);
+            settle(&mut conns, conn, ring, stats, &mut pending_close, now);
         }
 
         // Retry closes the submission queue rejected earlier.

@@ -130,7 +130,7 @@ fn main() {
                 .map(|run| format!("\"{}: {}\"", run.mode, run.outcome.label()))
                 .collect();
             format!(
-                "    {{\"shards\": {}, \"link\": \"{}\", \"runs\": {}, \"transparent\": {}, \"broken_tcp\": {}, \"manual_restart\": {}, \"reachable_after_restart\": {}, \"reboot\": {}, \"transparent_fraction\": {:.3}, \"availability_mean\": {:.3}, \"recovery_ms_p50\": {:.1}, \"recovery_ms_max\": {:.1}, \"detect_ms_p50\": {:.1}, \"reconnects\": {}, \"verify_failures\": {}, \"outcomes\": [{}]}}",
+                "    {{\"shards\": {}, \"link\": \"{}\", \"runs\": {}, \"transparent\": {}, \"broken_tcp\": {}, \"manual_restart\": {}, \"reachable_after_restart\": {}, \"reboot\": {}, \"transparent_fraction\": {:.3}, \"availability_mean\": {:.3}, \"recovery_ms_p50\": {:.1}, \"recovery_ms_max\": {:.1}, \"detect_ms_p50\": {:.1}, \"detect_ms_max_crash\": {:.1}, \"detect_ms_max_hang\": {:.1}, \"reconnects\": {}, \"verify_failures\": {}, \"outcomes\": [{}]}}",
                 r.shards,
                 if r.impaired { "impaired" } else { "clean" },
                 r.runs.len(),
@@ -144,6 +144,8 @@ fn main() {
                 recovery_p50,
                 recovery_max,
                 detect_p50,
+                r.detect_ms_max_for("crash"),
+                r.detect_ms_max_for("hang"),
                 r.reconnects_total(),
                 r.verify_failures_total(),
                 outcomes.join(", "),

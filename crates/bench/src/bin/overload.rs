@@ -1,0 +1,106 @@
+//! Hostile-traffic overload bench — the adversarial counterpart of the
+//! dependability campaign.  While well-behaved keep-alive HTTP clients
+//! run verified load against the sharded stack, the peer host turns
+//! hostile mid-run and launches each of the four attacks in turn:
+//!
+//! * **syn-flood** — spoofed, unresolvable sources that never complete
+//!   the handshake, pushing the listener to its half-open cap and onto
+//!   stateless SYN cookies;
+//! * **slow-loris** — real connections dripping one header byte at a
+//!   time, killed by the server's header-read deadline;
+//! * **churn** — waves of full handshakes slammed shut with RSTs,
+//!   shed with `503` at the admission watermark;
+//! * **malformed-fuzz** — truncated, bit-flipped and lying frames,
+//!   counted and dropped by the IP and TCP demux hardening.
+//!
+//! Every cell runs at {1, 4} shards.  Writes `BENCH_overload.json`.
+//!
+//! Gates (absolute, shared with the `newt-faults` module tests via
+//! [`OverloadRecord::gate_failures`]): every legitimate body verifies
+//! and every quota completes, half-open occupancy stays under the cap
+//! and drains to zero, goodput under the SYN flood stays ≥ 70 % of
+//! steady state, and each attack demonstrably engaged its defense.
+
+use newt_bench::header;
+use newt_faults::overload::{run_overload, AttackKind, OverloadConfig, OverloadRecord};
+
+fn row(r: &OverloadRecord) -> String {
+    format!(
+        "    {{\"attack\": \"{}\", \"shards\": {}, \"completed\": {}, \"expected\": {}, \"verify_failures\": {}, \"retries\": {}, \"goodput_retained\": {:.3}, \"attack_events\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"half_open_cap\": {}, \"half_open_peak\": {}, \"half_open_after\": {}, \"half_open_drops\": {}, \"half_open_reaped\": {}, \"syn_cookies_sent\": {}, \"syn_cookies_validated\": {}, \"syn_cookies_rejected\": {}, \"rsts_out\": {}, \"rx_malformed\": {}, \"ip_parse_errors\": {}, \"arp_overflow\": {}, \"shed_503\": {}, \"loris_kills\": {}, \"accept_paused\": {}}}",
+        r.attack,
+        r.shards,
+        r.completed,
+        r.expected_requests,
+        r.verify_failures,
+        r.retries,
+        r.goodput_retained,
+        r.attack_events,
+        r.p50_us,
+        r.p99_us,
+        r.half_open_cap,
+        r.half_open_peak,
+        r.half_open_after,
+        r.half_open_drops,
+        r.half_open_reaped,
+        r.syn_cookies_sent,
+        r.syn_cookies_validated,
+        r.syn_cookies_rejected,
+        r.rsts_out,
+        r.rx_malformed,
+        r.ip_parse_errors,
+        r.arp_overflow,
+        r.shed_503,
+        r.loris_kills,
+        r.accept_paused,
+    )
+}
+
+fn main() {
+    header(
+        "Overload under attack — hostile traffic against the serving stack",
+        "SYN flood / slow loris / churn / malformed fuzz vs the PR6 defenses",
+    );
+
+    let mut records = Vec::new();
+    for shards in [1usize, 4] {
+        for attack in AttackKind::ALL {
+            let config = OverloadConfig::cell(shards, attack);
+            println!(
+                "running {} vs {} shard(s): {} conns x {} reqs, attack volume {}...",
+                attack.label(),
+                shards,
+                config.connections,
+                config.requests_per_connection,
+                config.attack_volume,
+            );
+            let record = run_overload(&config);
+            println!("{}", record.render());
+            records.push(record);
+        }
+    }
+
+    let rows: Vec<String> = records.iter().map(row).collect();
+    let json = format!(
+        "{{\n  \"campaign\": \"hostile traffic vs the serving stack: spoofed SYN flood (half-open cap + SYN cookies + SYN-RECEIVED reaper), slow loris (header-read deadline), connection churn (503 shedding + accept pausing), malformed-frame fuzz (demux hardening); goodput = legitimate completions during the attack window vs steady state\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    );
+    match std::fs::write("BENCH_overload.json", &json) {
+        Ok(()) => println!("wrote BENCH_overload.json"),
+        Err(err) => eprintln!("could not write BENCH_overload.json: {err}"),
+    }
+
+    // ---- gates ------------------------------------------------------------
+    let mut failed = false;
+    for record in &records {
+        for failure in record.gate_failures() {
+            eprintln!("FAIL: {failure}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "PASS: all bodies byte-verified under attack, goodput within the gate, half-open occupancy bounded and drained, every defense engaged"
+    );
+}

@@ -151,6 +151,11 @@ pub struct DependabilityConfig {
     /// injected) before the run concludes automatic recovery failed and
     /// restarts the targets manually.
     pub stall_timeout: Duration,
+    /// The reincarnation server's hang-detection heartbeat window
+    /// (virtual).  This latency dominates `recovery_ms` for hang faults —
+    /// a crash is detected the instant the thread dies, but a hang is
+    /// only caught when the heartbeat goes quiet for this long.
+    pub heartbeat_timeout: Duration,
 }
 
 impl DependabilityConfig {
@@ -171,6 +176,12 @@ impl DependabilityConfig {
             recovery_timeout: Duration::from_secs(20),
             run_deadline: Duration::from_secs(if impaired { 120 } else { 60 }),
             stall_timeout: Duration::from_secs(if impaired { 16 } else { 6 }),
+            // Short enough (virtual) that hangs are reaped promptly at
+            // this speed-up, long enough that host scheduling noise never
+            // reaps a healthy server.  Hang-fault recovery_ms tracks this
+            // value almost exactly, so tightening it is the single
+            // biggest lever on worst-case recovery latency.
+            heartbeat_timeout: Duration::from_secs(3),
         }
     }
 
@@ -228,10 +239,7 @@ impl DependabilityConfig {
             .link(link)
             .clock_speedup(self.clock_speedup);
         StackConfig {
-            // Short enough (virtual) that hangs are reaped promptly at
-            // this speed-up, long enough that host scheduling noise never
-            // reaps a healthy server.
-            heartbeat_timeout: Duration::from_secs(6),
+            heartbeat_timeout: self.heartbeat_timeout,
             ..config
         }
     }
@@ -376,6 +384,19 @@ impl DependabilityReport {
         self.runs.iter().map(|r| r.verify_failures).sum()
     }
 
+    /// Worst-case detection latency (virtual ms) over the runs whose mode
+    /// label contains `class` — e.g. `"hang"` isolates the runs whose
+    /// detection latency is the heartbeat window, `"crash"` the ones the
+    /// reincarnation server catches the instant the thread dies.  Returns
+    /// 0.0 when no run matches.
+    pub fn detect_ms_max_for(&self, class: &str) -> f64 {
+        self.runs
+            .iter()
+            .filter(|r| r.mode.contains(class))
+            .map(|r| r.detect_ms)
+            .fold(0.0, f64::max)
+    }
+
     /// Renders the cell as a small text table.
     pub fn render(&self) -> String {
         let mut out = format!(
@@ -410,6 +431,11 @@ impl DependabilityReport {
             self.count(Outcome::ReachableAfterRestart),
             self.count(Outcome::Reboot),
             self.availability_mean(),
+        ));
+        out.push_str(&format!(
+            "detect max: crash {:.1}ms, hang {:.1}ms\n",
+            self.detect_ms_max_for("crash"),
+            self.detect_ms_max_for("hang"),
         ));
         out
     }
@@ -676,6 +702,10 @@ pub struct RollingUpgradeConfig {
     pub run_deadline: Duration,
     /// Gate on the per-component service gap, in virtual ms.
     pub gap_bound_ms: f64,
+    /// The reincarnation server's hang-detection heartbeat window
+    /// (virtual).  Requested restarts are detected instantly, so this
+    /// only matters if an upgrade wedges a component mid-handover.
+    pub heartbeat_timeout: Duration,
 }
 
 impl RollingUpgradeConfig {
@@ -695,6 +725,7 @@ impl RollingUpgradeConfig {
             // that tears a multi-second hole into the request timeline
             // fails the campaign.
             gap_bound_ms: if impaired { 5_000.0 } else { 2_000.0 },
+            heartbeat_timeout: Duration::from_secs(3),
         }
     }
 
@@ -725,7 +756,7 @@ impl RollingUpgradeConfig {
             .link(link)
             .clock_speedup(self.clock_speedup);
         StackConfig {
-            heartbeat_timeout: Duration::from_secs(6),
+            heartbeat_timeout: self.heartbeat_timeout,
             ..config
         }
     }

@@ -17,7 +17,12 @@
 //!   availability, recovery time in virtual ms, forced reconnects and
 //!   byte-exact bodies — plus the rolling-upgrade mode, which live-updates
 //!   every component one at a time under the same load and requires that
-//!   *nothing* is dropped — the `BENCH_dependability.json` record.
+//!   *nothing* is dropped — the `BENCH_dependability.json` record;
+//! * [`overload`] — the hostile-traffic campaigns: SYN floods, slow
+//!   loris, connection churn and malformed-frame fuzz launched from the
+//!   peer against the serving stack while verified keep-alive load runs,
+//!   measuring goodput retained and every defense counter — the
+//!   `BENCH_overload.json` record.
 //!
 //! All of them are driven through the public
 //! [`NewtStack`](newt_stack::builder::NewtStack) API, exactly as an
@@ -33,6 +38,7 @@
 pub mod campaign;
 pub mod dependability;
 pub mod figures;
+pub mod overload;
 
 pub use campaign::{
     derive_weights, run_campaign, run_one, topology_fault_targets, CampaignConfig, CampaignReport,
@@ -43,3 +49,4 @@ pub use dependability::{
     FaultMode, Outcome, RollingUpgradeConfig, RollingUpgradeReport, RunRecord, UpgradeRecord,
 };
 pub use figures::{run_trace_experiment, TraceExperimentConfig, TraceExperimentResult};
+pub use overload::{run_overload, AttackKind, OverloadConfig, OverloadRecord};

@@ -707,6 +707,92 @@ impl RemotePeer {
         syn
     }
 
+    // ---- attack generators (adversarial campaigns) ---------------------------
+
+    /// The target's resolved MAC, or broadcast while ARP is still cold.
+    fn target_mac(&self, dst_ip: Ipv4Addr) -> MacAddr {
+        self.state
+            .lock()
+            .arp_cache
+            .get(&dst_ip)
+            .copied()
+            .unwrap_or(MacAddr::BROADCAST)
+    }
+
+    /// Fires `count` TCP SYNs at `dst_ip:dst_port` with source addresses
+    /// spoofed into 198.18.0.0/16 (the RFC 2544 benchmarking range) and
+    /// randomized ports and sequence numbers.  The sources do not exist,
+    /// so no handshake ever completes and the target's SYN-ACKs go
+    /// nowhere — the classic resource-exhaustion SYN flood.  Returns the
+    /// number of frames transmitted.  Deterministic per `seed`.
+    pub fn syn_flood(&self, dst_ip: Ipv4Addr, dst_port: u16, count: usize, seed: u64) -> usize {
+        let mac = self.target_mac(dst_ip);
+        let mut rng = seed | 1;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for _ in 0..count {
+            let r = next();
+            let src = Ipv4Addr::new(198, 18, (r >> 8) as u8, r as u8);
+            let src_port = 1024u16.wrapping_add((next() % 60_000) as u16);
+            let mut syn = TcpSegment::control(src_port, dst_port, next() as u32, 0, TcpFlags::SYN);
+            syn.mss = Some(1460);
+            syn.window = u16::MAX;
+            let packet = Ipv4Packet::new(src, dst_ip, IpProtocol::Tcp, syn.build(src, dst_ip));
+            self.send_frame(mac, EtherType::Ipv4, packet.build());
+        }
+        count
+    }
+
+    /// Transmits `count` malformed/truncated/bit-flipped frames from the
+    /// [`crate::pktgen::FrameFuzzer`] towards `dst_ip`.  A robust stack
+    /// counts and drops every one of them.  Returns the frames sent.
+    pub fn malformed_flood(&self, dst_ip: Ipv4Addr, count: usize, seed: u64) -> usize {
+        let mac = self.target_mac(dst_ip);
+        let mut fuzzer = crate::pktgen::FrameFuzzer::new(seed);
+        for _ in 0..count {
+            let frame = fuzzer.next_frame(
+                self.config.mac.octets(),
+                mac.octets(),
+                self.config.ip.octets(),
+                dst_ip.octets(),
+            );
+            self.port.transmit(frame);
+        }
+        count
+    }
+
+    /// Drips one more byte of an endless, never-completing HTTP request
+    /// header on the client flow bound to `src_port` — the slow-loris
+    /// attack.  The header never contains the terminating blank line, so
+    /// the server's parser sits on a partial request for as long as the
+    /// flow is allowed to live.  Returns `false` once the flow is dead
+    /// (e.g. the server's header deadline killed it — the defense win).
+    pub fn loris_drip(&self, src_port: u16, cursor: usize) -> bool {
+        const DRIP: &[u8] = b"GET /bytes/64 HTTP/1.1\r\nX-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
+        self.client_send(src_port, &[DRIP[cursor % DRIP.len()]])
+    }
+
+    /// Opens a wave of client flows (`flows` consecutive source ports
+    /// starting at `base_port`) — one half of a connection-churn storm.
+    /// Pair with [`RemotePeer::abort_wave`] to slam them shut again.
+    pub fn churn_wave(&self, base_port: u16, flows: usize, dst_ip: Ipv4Addr, dst_port: u16) {
+        for i in 0..flows {
+            self.client_connect(base_port.wrapping_add(i as u16), dst_ip, dst_port);
+        }
+    }
+
+    /// Abortively closes a wave of client flows opened by
+    /// [`RemotePeer::churn_wave`].
+    pub fn abort_wave(&self, base_port: u16, flows: usize) {
+        for i in 0..flows {
+            self.client_close(base_port.wrapping_add(i as u16));
+        }
+    }
+
     fn send_arp_request(&self, target: Ipv4Addr) {
         let req = ArpPacket::request(self.config.mac, self.config.ip, target);
         self.send_frame(MacAddr::BROADCAST, EtherType::Arp, req.build());

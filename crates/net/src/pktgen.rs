@@ -7,6 +7,8 @@
 //! deterministic byte stream from an offset, so any window of the stream can
 //! be generated (by the sender) and verified (by the receiver) independently.
 
+use crate::wire::internet_checksum;
+
 /// A deterministic, seekable byte-stream pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PayloadPattern {
@@ -55,9 +57,144 @@ impl PayloadPattern {
     }
 }
 
+/// A deterministic generator of malformed, truncated and bit-flipped
+/// frames for adversarial campaigns.
+///
+/// Every frame it produces is hostile in one of several ways — pure
+/// garbage bytes, a truncated TCP header, a wild data offset, a
+/// corrupted checksum, a flag soup, or a lying IP total-length — and a
+/// correct stack must count and drop all of them without panicking or
+/// allocating proportionally to the input.
+#[derive(Debug, Clone)]
+pub struct FrameFuzzer {
+    rng: u64,
+}
+
+impl FrameFuzzer {
+    /// Creates a fuzzer from a seed (same seed, same frame sequence).
+    pub fn new(seed: u64) -> Self {
+        FrameFuzzer {
+            rng: seed | 1, // xorshift must not start at zero
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// Produces the next hostile frame, addressed `src_mac` → `dst_mac`
+    /// and (where a shape survives long enough to carry one) an IPv4/TCP
+    /// header for `src_ip` → `dst_ip`.
+    pub fn next_frame(
+        &mut self,
+        src_mac: [u8; 6],
+        dst_mac: [u8; 6],
+        src_ip: [u8; 4],
+        dst_ip: [u8; 4],
+    ) -> Vec<u8> {
+        let shape = self.next_u64() % 6;
+        // A plausible Ethernet+IPv4+TCP frame to mutilate.
+        let mut frame = Vec::with_capacity(64);
+        frame.extend_from_slice(&dst_mac);
+        frame.extend_from_slice(&src_mac);
+        frame.extend_from_slice(&[0x08, 0x00]); // IPv4 ethertype
+        let ip_header_at = frame.len();
+        frame.extend_from_slice(&[
+            0x45, 0x00, 0x00, 0x28, // ver/ihl, tos, total length 40
+            0x00, 0x01, 0x00, 0x00, // ident, flags/frag
+            0x40, 0x06, 0x00, 0x00, // ttl, proto TCP, checksum 0 (patched)
+        ]);
+        frame.extend_from_slice(&src_ip);
+        frame.extend_from_slice(&dst_ip);
+        let tcp_header_at = frame.len();
+        let sport = (self.next_u64() % 65_536) as u16;
+        frame.extend_from_slice(&sport.to_be_bytes());
+        frame.extend_from_slice(&80u16.to_be_bytes());
+        frame.extend_from_slice(&(self.next_u64() as u32).to_be_bytes()); // seq
+        frame.extend_from_slice(&(self.next_u64() as u32).to_be_bytes()); // ack
+        frame.push(0x50); // data offset 5
+        frame.push((self.next_u64() & 0x3f) as u8); // whatever flags
+        frame.extend_from_slice(&[0xff, 0xff, 0x00, 0x00, 0x00, 0x00]); // win, csum, urg
+        match shape {
+            0 => {
+                // Pure garbage of a random short length.
+                let len = 14 + (self.next_u64() % 100) as usize;
+                let mut junk = vec![0u8; len];
+                for b in &mut junk {
+                    *b = self.next_u64() as u8;
+                }
+                // Keep the destination MAC so filtering drivers deliver it.
+                junk[..6].copy_from_slice(&dst_mac);
+                return junk;
+            }
+            1 => {
+                // Truncated mid-TCP-header.
+                let keep = tcp_header_at + (self.next_u64() % 19) as usize;
+                frame.truncate(keep);
+            }
+            2 => {
+                // Wild TCP data offset (claims options beyond the frame).
+                frame[tcp_header_at + 12] = 0xf0;
+            }
+            3 => {
+                // Checksum garbage: a payload the checksum does not cover.
+                frame.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+                let total = (frame.len() - ip_header_at) as u16;
+                frame[ip_header_at + 2..ip_header_at + 4].copy_from_slice(&total.to_be_bytes());
+            }
+            4 => {
+                // Flag soup: SYN+FIN+RST+everything at once.
+                frame[tcp_header_at + 13] = 0x3f;
+            }
+            _ => {
+                // Lying IP total length (longer than the frame carries).
+                let lie = 40 + (self.next_u64() % 1400) as u16;
+                frame[ip_header_at + 2..ip_header_at + 4].copy_from_slice(&lie.to_be_bytes());
+            }
+        }
+        // Random single-bit flip in the TCP region, so even the
+        // "well-formed" shapes arrive subtly corrupted — but leave the IP
+        // header alone: the point is to get hostile bytes *past* the IP
+        // server's header validation and into the TCP demux.
+        if frame.len() > tcp_header_at {
+            let span = frame.len() - tcp_header_at;
+            let at = tcp_header_at + (self.next_u64() as usize) % span;
+            frame[at] ^= 1 << (self.next_u64() % 8);
+        }
+        // A valid IP header checksum, computed last: frames that die
+        // should die on *TCP's* hardening (or on IP's length checks), not
+        // all be absorbed by one trivial checksum test.
+        frame[ip_header_at + 10..ip_header_at + 12].copy_from_slice(&[0, 0]);
+        let csum = internet_checksum(&frame[ip_header_at..tcp_header_at]);
+        frame[ip_header_at + 10..ip_header_at + 12].copy_from_slice(&csum.to_be_bytes());
+        frame
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fuzzer_is_deterministic_and_varied() {
+        let mut a = FrameFuzzer::new(9);
+        let mut b = FrameFuzzer::new(9);
+        let mac = [0u8; 6];
+        let ip = [10, 0, 0, 2];
+        let mut lengths = std::collections::HashSet::new();
+        for _ in 0..64 {
+            let fa = a.next_frame(mac, mac, ip, ip);
+            let fb = b.next_frame(mac, mac, ip, ip);
+            assert_eq!(fa, fb, "same seed, same frames");
+            lengths.insert(fa.len());
+        }
+        assert!(lengths.len() > 3, "shapes vary");
+    }
 
     #[test]
     fn generation_is_deterministic_and_seekable() {

@@ -64,6 +64,15 @@ impl TcpFlags {
         rst: true,
         psh: false,
     };
+    /// RST+ACK — the reset sent for a segment that named no connection
+    /// and carried no acceptable acknowledgement (RFC 793 §3.4).
+    pub const RST_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: true,
+        psh: false,
+    };
     /// ACK carrying data to be pushed.
     pub const PSH_ACK: TcpFlags = TcpFlags {
         syn: false,

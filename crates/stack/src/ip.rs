@@ -95,6 +95,9 @@ pub struct IpStats {
     pub rx_freed: u64,
     /// Frames that could not be parsed.
     pub parse_errors: u64,
+    /// Outbound packets dropped because the ARP-resolution queue for
+    /// unresolved destinations was full (spoofed-source floods land here).
+    pub arp_overflow: u64,
 }
 
 /// Where an outbound packet originated, so completions can be routed back.
@@ -647,12 +650,30 @@ impl IpServer {
             .unwrap_or(0)
     }
 
+    /// Most distinct unresolved destinations packets may wait behind.
+    const ARP_WAITING_DESTS: usize = 32;
+    /// Most packets parked per unresolved destination.
+    const ARP_WAITING_PKTS: usize = 16;
+
     fn stage_route(&mut self, pkt: OutPacket) {
         let iface = self.route(pkt.dst);
         match self.arp_cache.get(&pkt.dst).copied() {
             Some(mac) => self.stage_emit(pkt, iface, mac),
             None => {
-                // Resolve the MAC first; the packet waits.
+                // Resolve the MAC first; the packet waits — but only
+                // behind a bounded queue.  Replies to spoofed-source
+                // floods target addresses that never resolve; without
+                // the cap they would pile up here for the attacker,
+                // one allocation per forged SYN.
+                let dest_count = self.arp_waiting.len();
+                let queue_len = self.arp_waiting.get(&pkt.dst).map_or(0, Vec::len);
+                if queue_len >= Self::ARP_WAITING_PKTS
+                    || (queue_len == 0 && dest_count >= Self::ARP_WAITING_DESTS)
+                {
+                    self.stats.arp_overflow += 1;
+                    self.notify_send_done(pkt.origin, false);
+                    return;
+                }
                 self.send_arp_request(pkt.dst, iface);
                 self.arp_waiting.entry(pkt.dst).or_default().push(pkt);
             }

@@ -60,6 +60,7 @@ pub mod udp;
 
 pub use builder::{NewtStack, StackConfig, Telemetry, Topology};
 pub use endpoints::Component;
+pub use newt_kernel::clock::SimClock;
 pub use pf::{FilterAction, FilterRule};
 pub use posix::{Interest, NetClient, PollFd, RingHandle, TcpSocket, UdpSocket};
 pub use rings::{CqValue, Cqe, Sqe, SqeOp};

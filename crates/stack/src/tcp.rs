@@ -58,6 +58,16 @@ enum TimerKind {
     Rto,
     /// Flush the socket's delayed ACK.
     DelayedAck,
+    /// Reap a half-open (SYN-RECEIVED) child whose handshake never
+    /// completed — the defense that keeps a SYN flood from pinning
+    /// socket buffers forever.
+    SynReap,
+    /// Reap an established connection with no inbound activity for
+    /// [`TcpConfig::idle_timeout`].
+    IdleReap,
+    /// Reap a connection stuck in the FIN teardown states (the peer
+    /// vanished mid-close).
+    FinReap,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -136,6 +146,70 @@ impl TimerWheel {
     }
 }
 
+/// MSS classes a SYN cookie can encode in its 3 low bits (the classic
+/// cookie trick: the ISN has no room for the full option, so the peer's
+/// offer is rounded down to a class).
+const COOKIE_MSS: [u16; 4] = [536, 1220, 1460, 8960];
+
+/// Largest [`COOKIE_MSS`] class not exceeding the peer's SYN offer.
+fn cookie_mss_index(offered: Option<u16>, cap: usize) -> u8 {
+    let offered = offered
+        .unwrap_or(COOKIE_MSS[0])
+        .min(cap.min(u16::MAX as usize) as u16);
+    let mut idx = 0;
+    for (i, &class) in COOKIE_MSS.iter().enumerate() {
+        if class <= offered {
+            idx = i as u8;
+        }
+    }
+    idx
+}
+
+/// Keyed hash of the connection 4-tuple (the destination address is fixed
+/// per listener, so the local port stands in for it) — splitmix64
+/// finalizer, plenty for a simulation and allocation-free.
+fn cookie_hash(secret: u64, src: Ipv4Addr, src_port: u16, dst_port: u16) -> u32 {
+    let mut x = secret
+        ^ ((u64::from(u32::from(src))) << 32)
+        ^ ((src_port as u64) << 16)
+        ^ (dst_port as u64);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (x ^ (x >> 31)) as u32
+}
+
+/// The ISN of a stateless SYN-ACK: 29 bits of keyed 4-tuple hash, 3 bits
+/// of MSS class, offset by the client's ISN so replayed cookies from a
+/// different handshake do not validate.
+fn syn_cookie(
+    secret: u64,
+    src: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    client_isn: u32,
+    mss_idx: u8,
+) -> u32 {
+    let base = (cookie_hash(secret, src, src_port, dst_port) & !0x7) | u32::from(mss_idx & 0x7);
+    base.wrapping_add(client_isn)
+}
+
+/// Validates a completing ACK's acknowledgement number against the cookie
+/// for its 4-tuple; returns the encoded MSS class on success.
+fn check_syn_cookie(
+    secret: u64,
+    src: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    client_isn: u32,
+    cookie: u32,
+) -> Option<u16> {
+    let base = cookie.wrapping_sub(client_isn);
+    if base & !0x7 != cookie_hash(secret, src, src_port, dst_port) & !0x7 {
+        return None;
+    }
+    COOKIE_MSS.get((base & 0x7) as usize).copied()
+}
+
 /// Configuration of the TCP server.
 #[derive(Debug, Clone)]
 pub struct TcpConfig {
@@ -173,6 +247,38 @@ pub struct TcpConfig {
     /// and out-of-order data always draws an immediate duplicate ACK so the
     /// peer's fast retransmit still works.  `ZERO` disables delaying.
     pub delayed_ack: Duration,
+    /// Per-listener cap on half-open (SYN-RECEIVED) children.  Beyond it a
+    /// SYN is answered statelessly (SYN cookies) or dropped — either way
+    /// the flood stops allocating socket buffers.  `0` disables the cap.
+    pub max_half_open: usize,
+    /// Answer SYNs beyond the half-open cap with a stateless SYN cookie:
+    /// the ISN encodes a keyed hash of the 4-tuple plus the peer's MSS
+    /// class, and the completing ACK reconstructs the connection with zero
+    /// state stored in between.  Off the fast path entirely — the cookie
+    /// code runs only once the cap is hit.
+    pub syn_cookies: bool,
+    /// Key of the SYN-cookie hash.  A real deployment would randomize it
+    /// per boot; the simulation keeps it configurable so tests can forge
+    /// and corrupt cookies deterministically.
+    pub syn_cookie_secret: u64,
+    /// How long a half-open child may sit in SYN-RECEIVED before it is
+    /// reaped (virtual time).  `ZERO` disables reaping.
+    pub syn_received_timeout: Duration,
+    /// Reap established connections with no inbound segment for this long
+    /// (virtual time).  `ZERO` (the default) disables the idle reaper —
+    /// the connection-scale workloads hold 100k idle keep-alive
+    /// connections on purpose.
+    pub idle_timeout: Duration,
+    /// Bound on the FIN teardown states (FIN-WAIT-1/2, LAST-ACK and a
+    /// lingering simultaneous close): a peer that vanishes mid-close can
+    /// not pin the socket and its buffers past this (virtual time).
+    /// `ZERO` disables.
+    pub fin_wait_timeout: Duration,
+    /// TIME-WAIT-style quarantine: after an active close the local port
+    /// stays out of the ephemeral allocator for this long (virtual time),
+    /// so a reincarnated 4-tuple can not collide with the old
+    /// connection's stray segments.  `ZERO` disables.
+    pub time_wait: Duration,
 }
 
 impl Default for TcpConfig {
@@ -191,6 +297,13 @@ impl Default for TcpConfig {
             shard_send_budget: 4 * 1024 * 1024,
             rss_key: RssKey::default(),
             delayed_ack: Duration::from_millis(40),
+            max_half_open: 256,
+            syn_cookies: true,
+            syn_cookie_secret: 0x6e65_7774_6f73_2121,
+            syn_received_timeout: Duration::from_secs(3),
+            idle_timeout: Duration::ZERO,
+            fin_wait_timeout: Duration::from_secs(30),
+            time_wait: Duration::from_secs(1),
         }
     }
 }
@@ -231,6 +344,36 @@ pub struct TcpStats {
     /// transmit fast path is that this stays 0: socket-buffer loans flow
     /// into the pool, retransmissions and the driver by reference.
     pub tx_copies: u64,
+    /// Inbound frames that claimed to be TCP/IPv4 but failed to parse
+    /// (truncated headers, wild data offsets, bogus lengths, checksum
+    /// garbage).  Counted and dropped — malformed input never panics and
+    /// never allocates.
+    pub rx_malformed: u64,
+    /// RSTs emitted: segments addressed to closed ports or unknown flows,
+    /// plus force-reaped connections.
+    pub rsts_out: u64,
+    /// Stateless SYN-ACKs sent because a listener's half-open cap was hit
+    /// with SYN cookies enabled.
+    pub syn_cookies_sent: u64,
+    /// Connections reconstructed from a valid cookie-bearing ACK.
+    pub syn_cookies_validated: u64,
+    /// ACKs towards a listener port whose cookie failed validation.
+    pub syn_cookies_rejected: u64,
+    /// SYNs dropped at the half-open cap (cookies disabled) or because
+    /// the accept backlog was full when a cookie ACK completed.
+    pub half_open_drops: u64,
+    /// Half-open children reaped by the SYN-RECEIVED timeout.
+    pub half_open_reaped: u64,
+    /// Established connections reaped by the idle timeout.
+    pub idle_reaped: u64,
+    /// Connections reaped out of the FIN teardown states.
+    pub fin_wait_reaped: u64,
+    /// Gauge: half-open (SYN-RECEIVED) children right now, across every
+    /// listener of this shard.  The overload campaign samples this to
+    /// prove occupancy stays under the cap during a flood.
+    pub half_open: u64,
+    /// High-water mark of [`TcpStats::half_open`].
+    pub half_open_peak: u64,
 }
 
 /// TCP connection states (RFC 793 subset).
@@ -328,6 +471,15 @@ struct TcpSock {
     rto_timer_at: Option<Duration>,
     /// The socket sits in the ready queue already.
     in_ready: bool,
+
+    // Lifecycle defense state.
+    /// Half-open (SYN-RECEIVED) children outstanding (listener use; the
+    /// SYN-flood defense compares it against `max_half_open`).
+    half_open: usize,
+    /// Virtual time of the last inbound segment — the reference point of
+    /// the SYN-RECEIVED, idle and FIN-WAIT reapers.  One store per
+    /// segment; the reapers themselves only run off the timer wheel.
+    last_activity: Duration,
 }
 
 impl TcpSock {
@@ -561,6 +713,10 @@ pub struct TcpServer {
     /// shard send budget); recomputed only when a connection state changed.
     active_senders: usize,
     senders_dirty: bool,
+    /// TIME-WAIT-style port quarantine: actively closed local ports and
+    /// when the ephemeral allocator may hand them out again.  Bounded by
+    /// the port space (entries overwrite by key) and swept opportunistically.
+    time_wait_ports: HashMap<u16, Duration>,
 }
 
 impl TcpServer {
@@ -634,6 +790,7 @@ impl TcpServer {
             timer_scratch: Vec::new(),
             active_senders: 0,
             senders_dirty: true,
+            time_wait_ports: HashMap::new(),
         };
         match mode {
             StartMode::Fresh => server.persist_sockets(),
@@ -874,6 +1031,45 @@ impl TcpServer {
             self.ip_reqs
                 .restore(id, self.ip_endpoint, AbortPolicy::Resubmit, pending);
         }
+        // Half-open counts and lifecycle timers are derived state: recount
+        // them from the restored table (the snapshot format is unchanged)
+        // so the cap and the reapers hold across a reincarnation.
+        let lifecycle: Vec<(SockId, TcpState, usize, bool)> = self
+            .sockets
+            .values()
+            .map(|s| (s.id, s.state, s.backlog_limit, s.fin_sent))
+            .collect();
+        for (id, state, parent, fin_sent) in lifecycle {
+            match state {
+                TcpState::SynReceived => {
+                    if let Some(listener) = self.sockets.get_mut(&(parent as SockId)) {
+                        if listener.state == TcpState::Listen {
+                            listener.half_open += 1;
+                        }
+                    }
+                    self.stats.half_open += 1;
+                    if !self.config.syn_received_timeout.is_zero() {
+                        self.wheel.insert(
+                            id,
+                            TimerKind::SynReap,
+                            now + self.config.syn_received_timeout,
+                        );
+                    }
+                }
+                TcpState::Established | TcpState::CloseWait
+                    if !self.config.idle_timeout.is_zero() =>
+                {
+                    self.wheel
+                        .insert(id, TimerKind::IdleReap, now + self.config.idle_timeout);
+                }
+                _ => {}
+            }
+            if fin_sent && !self.config.fin_wait_timeout.is_zero() {
+                self.wheel
+                    .insert(id, TimerKind::FinReap, now + self.config.fin_wait_timeout);
+            }
+        }
+        self.stats.half_open_peak = self.stats.half_open_peak.max(self.stats.half_open);
         self.senders_dirty = true;
         self.persist_sockets();
         true
@@ -948,6 +1144,8 @@ impl TcpServer {
             ack_timer_armed: false,
             rto_timer_at: None,
             in_ready: false,
+            half_open: 0,
+            last_activity: self.clock.now(),
         }
     }
 
@@ -1095,6 +1293,91 @@ impl TcpServer {
                     if flush {
                         work += 1;
                         self.emit_pure_ack(entry.sock);
+                    }
+                }
+                // The lifecycle reapers below share the wheel's lazy
+                // validation: activity moved the real deadline, so a fired
+                // entry re-arms at `last_activity + timeout` instead of
+                // reaping, and a socket that left the guarded state just
+                // drops its entry.
+                TimerKind::SynReap => {
+                    let verdict = {
+                        let timeout = self.config.syn_received_timeout;
+                        let Some(s) = self.sockets.get(&entry.sock) else {
+                            continue;
+                        };
+                        if s.state != TcpState::SynReceived || timeout.is_zero() {
+                            continue;
+                        }
+                        let due_at = s.last_activity + timeout;
+                        (due_at <= now).then_some(()).ok_or(due_at)
+                    };
+                    match verdict {
+                        Ok(()) => {
+                            work += 1;
+                            self.reap_half_open(entry.sock);
+                        }
+                        Err(later) => self.wheel.insert(entry.sock, TimerKind::SynReap, later),
+                    }
+                }
+                TimerKind::IdleReap => {
+                    let verdict = {
+                        let timeout = self.config.idle_timeout;
+                        let Some(s) = self.sockets.get(&entry.sock) else {
+                            continue;
+                        };
+                        if !matches!(s.state, TcpState::Established | TcpState::CloseWait)
+                            || timeout.is_zero()
+                        {
+                            continue;
+                        }
+                        let due_at = s.last_activity + timeout;
+                        (due_at <= now).then_some(()).ok_or(due_at)
+                    };
+                    match verdict {
+                        Ok(()) => {
+                            work += 1;
+                            self.stats.idle_reaped += 1;
+                            self.reap_connection(entry.sock);
+                        }
+                        Err(later) => self.wheel.insert(entry.sock, TimerKind::IdleReap, later),
+                    }
+                }
+                TimerKind::FinReap => {
+                    let verdict = {
+                        let timeout = self.config.fin_wait_timeout;
+                        let Some(s) = self.sockets.get(&entry.sock) else {
+                            continue;
+                        };
+                        if !s.fin_sent || timeout.is_zero() {
+                            continue;
+                        }
+                        let due_at = s.last_activity + timeout;
+                        (due_at <= now).then_some(()).ok_or(due_at)
+                    };
+                    match verdict {
+                        Ok(()) => {
+                            work += 1;
+                            self.stats.fin_wait_reaped += 1;
+                            // An actively closed port is quarantined even on
+                            // the forced path, so its 4-tuple can not be
+                            // reincarnated while stray segments linger.
+                            if let Some(port) = self
+                                .sockets
+                                .get(&entry.sock)
+                                .filter(|s| {
+                                    matches!(
+                                        s.state,
+                                        TcpState::FinWait1 | TcpState::FinWait2 | TcpState::Closed
+                                    )
+                                })
+                                .map(|s| s.local_port)
+                            {
+                                self.quarantine_port(port);
+                            }
+                            self.reap_connection(entry.sock);
+                        }
+                        Err(later) => self.wheel.insert(entry.sock, TimerKind::FinReap, later),
                     }
                 }
             }
@@ -1335,10 +1618,23 @@ impl TcpServer {
             let width = (range.1 - range.0) as usize;
             let mut candidate = self.next_ephemeral;
             let mut found = None;
+            let now = self.clock.now();
             for _ in 0..width {
-                let in_use = self.sockets.values().any(|s| {
-                    s.id != sock && s.local_port == candidate && s.state != TcpState::Closed
-                });
+                // A port in TIME_WAIT quarantine is skipped until its
+                // timer expires, so a reused 4-tuple can't collide with
+                // the old incarnation's wandering segments.
+                let quarantined = match self.time_wait_ports.get(&candidate) {
+                    Some(&until) if until > now => true,
+                    Some(_) => {
+                        self.time_wait_ports.remove(&candidate);
+                        false
+                    }
+                    None => false,
+                };
+                let in_use = quarantined
+                    || self.sockets.values().any(|s| {
+                        s.id != sock && s.local_port == candidate && s.state != TcpState::Closed
+                    });
                 if !in_use {
                     found = Some(candidate);
                     break;
@@ -1525,7 +1821,14 @@ impl TcpServer {
         let Some((dst, dst_port)) = s.remote else {
             return;
         };
-        segment.window = s.buffer.recv_space().min(65_535) as u16;
+        // A half-open child still carries the sized-zero placeholder
+        // buffer; its SYN-ACK must advertise the receive window the
+        // connection will actually have once it is established.
+        segment.window = if s.state == TcpState::SynReceived {
+            (s.child_recv_cap as usize).min(65_535) as u16
+        } else {
+            s.buffer.recv_space().min(65_535) as u16
+        };
         // Build the header bytes with a zero checksum (software checksumming
         // happens in IP, hardware checksumming in the NIC); the payload is
         // not embedded, so `build` yields exactly the header + options.
@@ -1598,6 +1901,148 @@ impl TcpServer {
         if let Some(pending) = self.ip_reqs.complete(req) {
             self.tx_pool.free_chain(&pending.chain);
         }
+    }
+
+    /// Hands a socket-less control segment (an RST or a stateless cookie
+    /// SYN-ACK) to IP.  The defense paths answer peers **no socket exists
+    /// for**, so this mirrors [`TcpServer::emit_segment`] minus the socket
+    /// lookup; the explicit `window` stands in for the receive space a
+    /// socket buffer would advertise.
+    fn emit_stateless(&mut self, dst: Ipv4Addr, mut segment: TcpSegment, window: u16) {
+        segment.window = window;
+        let mut header = segment.build(Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED);
+        header[16] = 0;
+        header[17] = 0;
+        let pending = PendingSend {
+            chain: RichChain::new(),
+            dst,
+            src_port: segment.src_port,
+            dst_port: segment.dst_port,
+            transport_header: header.clone(),
+            is_connection_start: false,
+        };
+        let req = self
+            .ip_reqs
+            .submit(self.ip_endpoint, AbortPolicy::Resubmit, pending);
+        let sent = send(
+            &self.to_ip,
+            TransportToIp::SendPacket {
+                req,
+                protocol: IpProtocol::Tcp,
+                dst,
+                src_port: segment.src_port,
+                dst_port: segment.dst_port,
+                transport_header: header,
+                payload: RichChain::new(),
+                is_connection_start: false,
+            },
+        );
+        if sent {
+            self.stats.segments_out += 1;
+        } else if let Some(p) = self.ip_reqs.complete(req) {
+            self.tx_pool.free_chain(&p.chain);
+        }
+    }
+
+    /// Answers an `offending` segment that named no connection with the
+    /// RFC 793 reset: echo its ACK as our sequence when it carried one,
+    /// otherwise RST+ACK covering its sequence space.
+    fn emit_rst(&mut self, dst: Ipv4Addr, offending: &TcpSegment) {
+        let seg = if offending.flags.ack {
+            TcpSegment::control(
+                offending.dst_port,
+                offending.src_port,
+                offending.ack,
+                0,
+                TcpFlags::RST,
+            )
+        } else {
+            let mut len = offending.payload.len() as u32;
+            if offending.flags.syn {
+                len = len.wrapping_add(1);
+            }
+            if offending.flags.fin {
+                len = len.wrapping_add(1);
+            }
+            TcpSegment::control(
+                offending.dst_port,
+                offending.src_port,
+                0,
+                offending.seq.wrapping_add(len),
+                TcpFlags::RST_ACK,
+            )
+        };
+        self.stats.rsts_out += 1;
+        self.emit_stateless(dst, seg, 0);
+    }
+
+    /// Quarantines an actively closed local port TIME-WAIT-style: the
+    /// ephemeral allocator skips it until the deadline passes.
+    fn quarantine_port(&mut self, port: u16) {
+        let tw = self.config.time_wait;
+        if tw.is_zero() || port == 0 {
+            return;
+        }
+        let now = self.clock.now();
+        // The map is keyed by port (so it is bounded by the port space);
+        // sweep expired entries opportunistically so a long churn run does
+        // not accumulate dead ones.
+        if self.time_wait_ports.len() >= 4096 {
+            self.time_wait_ports.retain(|_, until| *until > now);
+        }
+        self.time_wait_ports.insert(port, now + tw);
+    }
+
+    /// Returns a listener's half-open slot (the cap's decrement side) and
+    /// updates the occupancy gauge.
+    fn release_half_open_slot(&mut self, listener_id: SockId) {
+        if let Some(l) = self.sockets.get_mut(&listener_id) {
+            if l.state == TcpState::Listen {
+                l.half_open = l.half_open.saturating_sub(1);
+            }
+        }
+        self.stats.half_open = self.stats.half_open.saturating_sub(1);
+    }
+
+    /// Removes a half-open child whose handshake never completed: buffer
+    /// revoked, demux entries dropped, listener slot released.  The flood
+    /// source never ACKed, so nothing is sent.
+    fn reap_half_open(&mut self, id: SockId) {
+        let Some(listener_id) = self.sockets.get(&id).map(|s| s.backlog_limit as SockId) else {
+            return;
+        };
+        self.stats.half_open_reaped += 1;
+        self.release_half_open_slot(listener_id);
+        let name = Self::buffer_name(id);
+        let _ = self.registry.revoke(self.endpoint, &name);
+        self.unindex_socket(id);
+        self.sockets.remove(&id);
+    }
+
+    /// Forcibly tears down a connection whose lifecycle timed out: the
+    /// application sees `TimedOut` through the shared buffer, the peer (if
+    /// it is still there) a RST.
+    fn reap_connection(&mut self, id: SockId) {
+        let info = {
+            let Some(s) = self.sockets.get_mut(&id) else {
+                return;
+            };
+            s.buffer.set_error(SockError::TimedOut);
+            s.state = TcpState::Closed;
+            s.remote
+                .map(|(ip, port)| (ip, port, s.local_port, s.snd_nxt, s.rcv_nxt))
+        };
+        self.stats.connections_reset += 1;
+        self.senders_dirty = true;
+        if let Some((dst, dst_port, local_port, snd_nxt, rcv_nxt)) = info {
+            let seg = TcpSegment::control(local_port, dst_port, snd_nxt, rcv_nxt, TcpFlags::RST);
+            self.stats.rsts_out += 1;
+            self.emit_stateless(dst, seg, 0);
+        }
+        let name = Self::buffer_name(id);
+        let _ = self.registry.revoke(self.endpoint, &name);
+        self.unindex_socket(id);
+        self.sockets.remove(&id);
     }
 
     // ---- data pump -------------------------------------------------------------
@@ -1738,6 +2183,12 @@ impl TcpServer {
             }
             let seg = TcpSegment::control(local_port, dst_port, seq, rcv_nxt, TcpFlags::FIN_ACK);
             self.emit_segment(id, seg, &[], false);
+            // A peer that never answers our FIN must not pin this socket
+            // (and its sockbuf) forever.
+            if !self.config.fin_wait_timeout.is_zero() {
+                self.wheel
+                    .insert(id, TimerKind::FinReap, now + self.config.fin_wait_timeout);
+            }
         }
 
         if sent_any {
@@ -1818,6 +2269,10 @@ impl TcpServer {
         // whole round's chunks go back as one batched message.
         self.rxdone_batch.push(ptr);
         let Some((src, dst, segment)) = parsed else {
+            // Truncated, garbage-offset or checksum-corrupt frame: count
+            // and drop.  The chunk is already queued for return above, so
+            // attacker input costs a counter bump and nothing else.
+            self.stats.rx_malformed += 1;
             return;
         };
         self.stats.segments_in += 1;
@@ -1873,8 +2328,7 @@ impl TcpServer {
 
     fn handle_segment(&mut self, src: Ipv4Addr, dst: Ipv4Addr, segment: TcpSegment) {
         let Some(id) = self.find_socket(src, segment.src_port, segment.dst_port) else {
-            // No socket: a RST would be sent by a full implementation; the
-            // evaluation workloads never need it.
+            self.stray_segment(src, dst, segment);
             return;
         };
         let is_listener = self
@@ -1885,14 +2339,144 @@ impl TcpServer {
         if is_listener {
             if segment.flags.syn && !segment.flags.ack {
                 self.accept_syn(id, src, dst, &segment);
+            } else {
+                // A non-SYN at a listening port names no connection we
+                // store — unless it completes a stateless cookie
+                // handshake.  Either way `stray_segment` decides.
+                self.stray_segment(src, dst, segment);
             }
             return;
         }
         self.established_segment(id, src, segment);
     }
 
+    /// A segment that matched no flow and no listener: either the
+    /// completing ACK of a stateless SYN-cookie handshake, or traffic to a
+    /// closed port — which draws an RST so peers (and attack tooling) can
+    /// tell "closed" from "lost".
+    fn stray_segment(&mut self, src: Ipv4Addr, dst: Ipv4Addr, segment: TcpSegment) {
+        // Never answer a RST with a RST.
+        if segment.flags.rst {
+            return;
+        }
+        // On a sharded stack connection-opening SYNs are broadcast to every
+        // shard; only the flow's RSS owner speaks for it, so closed-port
+        // RSTs go out exactly once.
+        if self.shard.count > 1 {
+            let flow = FlowKey {
+                src,
+                dst,
+                src_port: segment.src_port,
+                dst_port: segment.dst_port,
+            };
+            if self.rss.queue_by_hash(&flow) != self.shard.index {
+                return;
+            }
+        }
+        // An ACK towards a listening port may be completing a cookie
+        // handshake whose half-open state was deliberately never stored.
+        if self.config.syn_cookies && segment.flags.ack && !segment.flags.syn && !segment.flags.fin
+        {
+            if let Some(&listener_id) = self.listen_index.get(&segment.dst_port) {
+                if self.try_cookie_ack(listener_id, src, &segment) {
+                    return;
+                }
+            }
+        }
+        self.emit_rst(src, &segment);
+    }
+
+    /// Validates `ack` against the SYN cookie for its 4-tuple and, on
+    /// success, reconstructs the connection the stateless SYN-ACK never
+    /// stored: a fully established child on the listener's backlog.
+    /// Returns `false` (caller RSTs) when the cookie does not check out.
+    fn try_cookie_ack(&mut self, listener_id: SockId, src: Ipv4Addr, ack: &TcpSegment) -> bool {
+        let Some(mss_class) = check_syn_cookie(
+            self.config.syn_cookie_secret,
+            src,
+            ack.src_port,
+            ack.dst_port,
+            ack.seq.wrapping_sub(1),
+            ack.ack.wrapping_sub(1),
+        ) else {
+            self.stats.syn_cookies_rejected += 1;
+            return false;
+        };
+        let (local_port, backlog_len, backlog_limit, send_cap, recv_cap) = {
+            let Some(listener) = self.sockets.get(&listener_id) else {
+                return false;
+            };
+            (
+                listener.local_port,
+                listener.backlog.len(),
+                listener.backlog_limit,
+                listener.child_send_cap,
+                listener.child_recv_cap,
+            )
+        };
+        if backlog_len >= backlog_limit {
+            // Valid cookie but no accept-queue room: drop silently; the
+            // client's data retransmissions will draw an RST if the queue
+            // never drains.
+            self.stats.half_open_drops += 1;
+            return true;
+        }
+        let child_id = self.next_sock;
+        self.next_sock += 1;
+        let child_send = if send_cap > 0 {
+            send_cap as usize
+        } else {
+            self.config.buffer_capacity
+        };
+        let child_recv = if recv_cap > 0 {
+            recv_cap as usize
+        } else {
+            self.config.buffer_capacity
+        };
+        let buffer = Arc::new(SocketBuffer::new(child_send, child_recv));
+        buffer.attach_doorbell(Arc::clone(&self.doorbell), child_id);
+        let _ = self.registry.publish_shared(
+            self.endpoint,
+            self.generation,
+            &Self::buffer_name(child_id),
+            Access::Public,
+            Arc::clone(&buffer),
+        );
+        let now = self.clock.now();
+        let mut child = self.blank_socket(child_id, buffer);
+        child.state = TcpState::Established;
+        child.local_port = local_port;
+        child.remote = Some((src, ack.src_port));
+        // Our ISN was the cookie; the SYN-ACK consumed one sequence number.
+        child.snd_una = ack.ack;
+        child.snd_nxt = ack.ack;
+        child.rcv_nxt = ack.seq;
+        child.mss = (mss_class as usize).min(self.config.mss);
+        child.last_activity = now;
+        self.sockets.insert(child_id, child);
+        self.index_socket(child_id);
+        self.stats.syn_cookies_validated += 1;
+        self.stats.connections_established += 1;
+        self.senders_dirty = true;
+        if !self.config.idle_timeout.is_zero() {
+            self.wheel.insert(
+                child_id,
+                TimerKind::IdleReap,
+                now + self.config.idle_timeout,
+            );
+        }
+        if let Some(listener) = self.sockets.get_mut(&listener_id) {
+            listener.backlog.push(child_id);
+        }
+        self.try_complete_accepts(listener_id);
+        // Process whatever else the ACK carried (window update, piggybacked
+        // request bytes) through the normal established path.
+        self.established_segment(child_id, src, ack.clone());
+        true
+    }
+
     fn accept_syn(&mut self, listener_id: SockId, src: Ipv4Addr, dst: Ipv4Addr, syn: &TcpSegment) {
-        let (local_port, backlog_limit, backlog_len, sharded, send_cap, recv_cap) = {
+        let (local_port, backlog_limit, backlog_len, sharded, send_cap, recv_cap, half_open) = {
             let listener = self.sockets.get(&listener_id).expect("listener exists");
             (
                 listener.local_port,
@@ -1901,6 +2485,7 @@ impl TcpServer {
                 listener.sharded_listener,
                 listener.child_send_cap,
                 listener.child_recv_cap,
+                listener.half_open,
             )
         };
         // A sharded (SO_REUSEPORT-style) listener has siblings on every
@@ -1922,6 +2507,38 @@ impl TcpServer {
         if backlog_len >= backlog_limit {
             return; // drop the SYN; the client retries
         }
+        // Half-open cap: under a SYN flood the embryonic-connection table
+        // stops growing here.  With cookies enabled we still answer — the
+        // SYN-ACK's ISN *is* the state, so legitimate clients keep
+        // connecting at full backlog while the flood costs us nothing.
+        let cap = self.config.max_half_open;
+        if cap > 0 && half_open >= cap {
+            if self.config.syn_cookies {
+                let mss_idx = cookie_mss_index(syn.mss, self.config.mss);
+                let isn = syn_cookie(
+                    self.config.syn_cookie_secret,
+                    src,
+                    syn.src_port,
+                    local_port,
+                    syn.seq,
+                    mss_idx,
+                );
+                let mut syn_ack = TcpSegment::control(
+                    local_port,
+                    syn.src_port,
+                    isn,
+                    syn.seq.wrapping_add(1),
+                    TcpFlags::SYN_ACK,
+                );
+                syn_ack.mss = Some((COOKIE_MSS[mss_idx as usize]).min(self.config.mss as u16));
+                self.stats.syn_cookies_sent += 1;
+                let window = self.config.buffer_capacity.min(65_535) as u16;
+                self.emit_stateless(src, syn_ack, window);
+            } else {
+                self.stats.half_open_drops += 1;
+            }
+            return;
+        }
         let child_id = self.next_sock;
         self.next_sock += 1;
         // Children are sized from their listener's caps (0 = the
@@ -1937,17 +2554,20 @@ impl TcpServer {
         } else {
             self.config.buffer_capacity
         };
-        let buffer = Arc::new(SocketBuffer::new(child_send, child_recv));
-        buffer.attach_doorbell(Arc::clone(&self.doorbell), child_id);
-        let _ = self.registry.publish_shared(
-            self.endpoint,
-            self.generation,
-            &Self::buffer_name(child_id),
-            Access::Public,
-            Arc::clone(&buffer),
-        );
+        // A half-open child carries NO socket buffer and is not published
+        // in the registry: until the handshake completes, the peer is just
+        // a claimed source address, and a SYN flood must not be able to
+        // buy buffer setup, doorbell wiring or registry traffic with a
+        // single spoofed packet.  The real buffer is allocated at the
+        // SynReceived -> Established transition; until then the sized-zero
+        // placeholder makes every byte-carrying path a no-op and the
+        // intended capacities ride in `child_send_cap`/`child_recv_cap`.
+        let buffer = Arc::new(SocketBuffer::new(0, 0));
         let isn = self.next_isn();
+        let now = self.clock.now();
         let mut child = self.blank_socket(child_id, buffer);
+        child.child_send_cap = child_send as u32;
+        child.child_recv_cap = child_recv as u32;
         child.state = TcpState::SynReceived;
         child.local_port = local_port;
         child.remote = Some((src, syn.src_port));
@@ -1955,11 +2575,24 @@ impl TcpServer {
         child.snd_nxt = isn.wrapping_add(1);
         child.rcv_nxt = syn.seq.wrapping_add(1);
         child.peer_window = syn.window as u32;
+        child.last_activity = now;
         if let Some(mss) = syn.mss {
             child.mss = (mss as usize).min(self.config.mss);
         }
         self.sockets.insert(child_id, child);
         self.index_socket(child_id);
+        if let Some(listener) = self.sockets.get_mut(&listener_id) {
+            listener.half_open += 1;
+        }
+        self.stats.half_open += 1;
+        self.stats.half_open_peak = self.stats.half_open_peak.max(self.stats.half_open);
+        if !self.config.syn_received_timeout.is_zero() {
+            self.wheel.insert(
+                child_id,
+                TimerKind::SynReap,
+                now + self.config.syn_received_timeout,
+            );
+        }
         // Remember which listener owns this half-open connection by storing
         // it on the listener's backlog once established; for now send SYN-ACK.
         let mut syn_ack = TcpSegment::control(
@@ -1989,13 +2622,23 @@ impl TcpServer {
         let mut remove_sock = false;
         let mut resend_syn_ack = false;
         let mut rto_update: Option<Option<Duration>> = None;
+        // Listener whose half-open count this segment released (the child
+        // left SYN-RECEIVED, by establishment or by reset).
+        let mut release_half_open: Option<SockId> = None;
+        let mut arm_idle = false;
+        let mut quarantine: Option<u16> = None;
+        let now = self.clock.now();
         {
             let Some(s) = self.sockets.get_mut(&id) else {
                 return;
             };
             s.peer_window = (segment.window as u32).max(1) * self.config.window_scale.max(1);
+            s.last_activity = now;
 
             if segment.flags.rst {
+                if s.state == TcpState::SynReceived {
+                    release_half_open = Some(s.backlog_limit as SockId);
+                }
                 s.buffer.set_error(SockError::ConnectionReset);
                 if let Some(req) = s.pending_connect.take() {
                     route_reply(
@@ -2039,13 +2682,33 @@ impl TcpServer {
                         // The peer is blocked in SYN-RECEIVED until this ACK
                         // arrives: never delay the final handshake step.
                         ack_due = Some(true);
+                        arm_idle = true;
                     }
                     TcpState::SynReceived if segment.flags.ack && segment.ack == s.snd_nxt => {
                         s.snd_una = segment.ack;
                         s.state = TcpState::Established;
+                        // The handshake is complete: only now does the
+                        // connection earn a real socket buffer, a doorbell
+                        // and a registry entry.  Half-opens carry a
+                        // sized-zero placeholder so a SYN flood buys none
+                        // of this setup with spoofed packets.
+                        let buffer = Arc::new(SocketBuffer::new(
+                            s.child_send_cap as usize,
+                            s.child_recv_cap as usize,
+                        ));
+                        buffer.attach_doorbell(Arc::clone(&self.doorbell), id);
+                        let _ = self.registry.publish_shared(
+                            self.endpoint,
+                            self.generation,
+                            &Self::buffer_name(id),
+                            Access::Public,
+                            Arc::clone(&buffer),
+                        );
+                        s.buffer = buffer;
                         self.stats.connections_established += 1;
                         self.senders_dirty = true;
                         newly_established = Some(id);
+                        arm_idle = true;
                     }
                     TcpState::SynReceived if segment.flags.syn && !segment.flags.ack => {
                         // The SYN-ACK was lost and the peer retries its SYN:
@@ -2131,10 +2794,14 @@ impl TcpServer {
                     s.buffer.set_eof();
                     match s.state {
                         TcpState::Established => s.state = TcpState::CloseWait,
-                        TcpState::FinWait1 => s.state = TcpState::Closed,
+                        TcpState::FinWait1 => {
+                            s.state = TcpState::Closed;
+                            quarantine = Some(s.local_port);
+                        }
                         TcpState::FinWait2 => {
                             s.state = TcpState::Closed;
                             remove_sock = true;
+                            quarantine = Some(s.local_port);
                         }
                         _ => {}
                     }
@@ -2142,6 +2809,17 @@ impl TcpServer {
                     ack_due = Some(true);
                 }
             }
+        }
+
+        if let Some(listener_id) = release_half_open {
+            self.release_half_open_slot(listener_id);
+        }
+        if arm_idle && !self.config.idle_timeout.is_zero() {
+            self.wheel
+                .insert(id, TimerKind::IdleReap, now + self.config.idle_timeout);
+        }
+        if let Some(port) = quarantine {
+            self.quarantine_port(port);
         }
 
         if let Some(deadline) = rto_update {
@@ -2193,6 +2871,7 @@ impl TcpServer {
                 child.backlog_limit = 0;
                 listener
             };
+            self.release_half_open_slot(listener_id);
             if let Some(listener) = self.sockets.get_mut(&listener_id) {
                 listener.backlog.push(child_id);
             }
@@ -2321,6 +3000,36 @@ mod tests {
         registry: Registry,
         snapshot: Option<StateSnapshot>,
     ) -> Rig {
+        rig_full(
+            mode,
+            storage,
+            registry,
+            snapshot,
+            TcpConfig {
+                tso: false,
+                ..TcpConfig::default()
+            },
+        )
+    }
+
+    /// A fresh rig with a custom configuration (defense-knob tests).
+    fn rig_cfg(config: TcpConfig) -> Rig {
+        rig_full(
+            StartMode::Fresh,
+            Arc::new(StorageServer::new()),
+            Registry::new(),
+            None,
+            config,
+        )
+    }
+
+    fn rig_full(
+        mode: StartMode,
+        storage: Arc<StorageServer>,
+        registry: Registry,
+        snapshot: Option<StateSnapshot>,
+        config: TcpConfig,
+    ) -> Rig {
         let clock = SimClock::with_speedup(50.0);
         // Chunk size covers a full TSO super-segment, like the builder's
         // TX pools.
@@ -2345,10 +3054,7 @@ mod tests {
             mode,
             Generation::FIRST,
             endpoints::Shard::singleton(),
-            TcpConfig {
-                tso: false,
-                ..TcpConfig::default()
-            },
+            config,
             clock.clone(),
             Arc::clone(&storage),
             registry.clone(),
@@ -3438,5 +4144,354 @@ mod tests {
             .attach_shared(endpoints::SYSCALL, &TcpServer::buffer_name(sock))
             .unwrap();
         assert_eq!(buffer.error(), Some(SockError::ConnectionReset));
+    }
+
+    // ---- hostile-traffic defenses --------------------------------------------------
+
+    /// Polls repeatedly while virtual time passes so wheel timers (which
+    /// may re-arm themselves lazily across wraps) get a chance to fire.
+    fn run_for(rig: &mut Rig, virtual_time: Duration) {
+        let deadline = rig.clock.now() + virtual_time;
+        while rig.clock.now() < deadline {
+            rig.clock.sleep(Duration::from_millis(50));
+            rig.tcp.poll();
+        }
+        rig.tcp.poll();
+    }
+
+    #[test]
+    fn closed_port_draws_rst() {
+        let mut rig = rig();
+        // A SYN to a port nobody listens on: RST+ACK acknowledging the SYN.
+        let syn = TcpSegment::control(40_000, 23, 1_000, 0, TcpFlags::SYN);
+        inject(&mut rig, syn);
+        let rst = outgoing(&mut rig).pop().expect("rst expected");
+        assert!(rst.flags.rst && rst.flags.ack);
+        assert_eq!(rst.ack, 1_001);
+        assert_eq!(rst.src_port, 23);
+        assert_eq!(rst.dst_port, 40_000);
+        // A stray ACK: RST carrying the offending ACK as its sequence.
+        let ack = TcpSegment::control(40_000, 23, 5_000, 7_777, TcpFlags::ACK);
+        inject(&mut rig, ack);
+        let rst = outgoing(&mut rig).pop().expect("rst expected");
+        assert!(rst.flags.rst && !rst.flags.ack);
+        assert_eq!(rst.seq, 7_777);
+        // A stray RST is never answered (no RST wars).
+        let stray_rst = TcpSegment::control(40_000, 23, 1, 0, TcpFlags::RST);
+        inject(&mut rig, stray_rst);
+        assert!(outgoing(&mut rig).is_empty());
+        assert_eq!(rig.tcp.stats().rsts_out, 2);
+    }
+
+    #[test]
+    fn malformed_frames_are_counted_and_dropped() {
+        let mut rig = rig();
+        // Pure garbage.
+        let ptr = rig.rx_pool.publish(&[0xAB; 40]).unwrap();
+        send(&rig.ip_tx, IpToTransport::Deliver { ptr });
+        // A real frame truncated mid-TCP-header.
+        let seg = TcpSegment::control(40_000, 22, 1, 0, TcpFlags::SYN);
+        let packet = Ipv4Packet::new(PEER, LOCAL, IpProtocol::Tcp, seg.build(PEER, LOCAL));
+        let frame = EthernetFrame::new(
+            newt_net::wire::MacAddr::from_index(1),
+            newt_net::wire::MacAddr::from_index(200),
+            newt_net::wire::EtherType::Ipv4,
+            packet.build(),
+        );
+        let mut bytes = frame.build();
+        bytes.truncate(bytes.len() - 12);
+        let ptr = rig.rx_pool.publish(&bytes).unwrap();
+        send(&rig.ip_tx, IpToTransport::Deliver { ptr });
+        rig.tcp.poll();
+        assert_eq!(rig.tcp.stats().rx_malformed, 2);
+        assert_eq!(rig.tcp.stats().segments_in, 0);
+        assert_eq!(rig.tcp.socket_count(), 0, "no state for garbage");
+    }
+
+    #[test]
+    fn half_open_gauge_tracks_handshakes() {
+        let mut rig = rig();
+        let _listener = listening_socket(&mut rig, 22, false);
+        let mut syn = TcpSegment::control(50_000, 22, 1_000, 0, TcpFlags::SYN);
+        syn.mss = Some(1460);
+        inject(&mut rig, syn);
+        assert_eq!(rig.tcp.stats().half_open, 1);
+        let syn_ack = outgoing(&mut rig).pop().expect("syn-ack");
+        let ack = TcpSegment::control(
+            50_000,
+            22,
+            1_001,
+            syn_ack.seq.wrapping_add(1),
+            TcpFlags::ACK,
+        );
+        inject(&mut rig, ack);
+        assert_eq!(rig.tcp.stats().half_open, 0, "established left the gauge");
+        assert_eq!(rig.tcp.stats().half_open_peak, 1);
+    }
+
+    #[test]
+    fn syn_flood_without_cookies_refuses_legit_handshakes_at_cap() {
+        let mut rig = rig_cfg(TcpConfig {
+            tso: false,
+            max_half_open: 2,
+            syn_cookies: false,
+            ..TcpConfig::default()
+        });
+        let _listener = listening_socket(&mut rig, 22, false);
+        // The flood fills the half-open table...
+        for port in [50_000u16, 50_001] {
+            let syn = TcpSegment::control(port, 22, 1_000, 0, TcpFlags::SYN);
+            inject(&mut rig, syn);
+        }
+        assert_eq!(outgoing(&mut rig).len(), 2);
+        assert_eq!(rig.tcp.stats().half_open, 2);
+        // ...and a legitimate client arriving now is refused outright.
+        let legit = TcpSegment::control(51_000, 22, 2_000, 0, TcpFlags::SYN);
+        inject(&mut rig, legit);
+        assert!(outgoing(&mut rig).is_empty(), "no SYN-ACK without cookies");
+        assert_eq!(rig.tcp.stats().half_open_drops, 1);
+        assert_eq!(rig.tcp.stats().half_open, 2, "cap held");
+    }
+
+    #[test]
+    fn syn_cookies_keep_accepting_legit_handshakes_at_cap() {
+        let mut rig = rig_cfg(TcpConfig {
+            tso: false,
+            max_half_open: 2,
+            syn_cookies: true,
+            ..TcpConfig::default()
+        });
+        let _listener = listening_socket(&mut rig, 22, false);
+        for port in [50_000u16, 50_001] {
+            let syn = TcpSegment::control(port, 22, 1_000, 0, TcpFlags::SYN);
+            inject(&mut rig, syn);
+        }
+        outgoing(&mut rig);
+        let sockets_at_cap = rig.tcp.socket_count();
+        // The legitimate client still gets a SYN-ACK — a stateless one.
+        let client_isn = 7_777u32;
+        let mut legit = TcpSegment::control(51_000, 22, client_isn, 0, TcpFlags::SYN);
+        legit.mss = Some(1460);
+        inject(&mut rig, legit);
+        let syn_ack = outgoing(&mut rig).pop().expect("cookie SYN-ACK");
+        assert!(syn_ack.flags.syn && syn_ack.flags.ack);
+        assert_eq!(syn_ack.ack, client_isn.wrapping_add(1));
+        assert_eq!(rig.tcp.stats().syn_cookies_sent, 1);
+        assert_eq!(
+            rig.tcp.socket_count(),
+            sockets_at_cap,
+            "the cookie SYN-ACK stored no state"
+        );
+        // Completing the handshake reconstructs the connection from the
+        // cookie alone.
+        let ack = TcpSegment::control(
+            51_000,
+            22,
+            client_isn.wrapping_add(1),
+            syn_ack.seq.wrapping_add(1),
+            TcpFlags::ACK,
+        );
+        inject(&mut rig, ack);
+        assert_eq!(rig.tcp.stats().syn_cookies_validated, 1);
+        assert_eq!(rig.tcp.socket_count(), sockets_at_cap + 1);
+        assert_eq!(rig.tcp.stats().connections_established, 1);
+        // The reconstructed connection carries data like any other.
+        let mut data = TcpSegment::control(
+            51_000,
+            22,
+            client_isn.wrapping_add(1),
+            syn_ack.seq.wrapping_add(1),
+            TcpFlags::PSH_ACK,
+        );
+        data.payload = b"GET / HTTP/1.1\r\n\r\n".to_vec();
+        inject(&mut rig, data);
+        assert_eq!(rig.tcp.stats().payload_segments_in, 1);
+    }
+
+    #[test]
+    fn corrupted_cookie_acks_are_rejected_with_rst() {
+        let mut rig = rig_cfg(TcpConfig {
+            tso: false,
+            max_half_open: 1,
+            syn_cookies: true,
+            ..TcpConfig::default()
+        });
+        let _listener = listening_socket(&mut rig, 22, false);
+        let syn = TcpSegment::control(50_000, 22, 1_000, 0, TcpFlags::SYN);
+        inject(&mut rig, syn);
+        let client_isn = 7_777u32;
+        let legit = TcpSegment::control(51_000, 22, client_isn, 0, TcpFlags::SYN);
+        inject(&mut rig, legit);
+        let syn_ack = outgoing(&mut rig).pop().expect("cookie SYN-ACK");
+        let socket_count = rig.tcp.socket_count();
+        // An attacker guessing (or bit-flipping) the cookie is refused.
+        let forged = TcpSegment::control(
+            51_000,
+            22,
+            client_isn.wrapping_add(1),
+            syn_ack.seq.wrapping_add(12345),
+            TcpFlags::ACK,
+        );
+        inject(&mut rig, forged);
+        assert_eq!(rig.tcp.stats().syn_cookies_rejected, 1);
+        assert_eq!(rig.tcp.stats().syn_cookies_validated, 0);
+        assert_eq!(
+            rig.tcp.socket_count(),
+            socket_count,
+            "no state for forgeries"
+        );
+        let rst = outgoing(&mut rig).pop().expect("forgery draws RST");
+        assert!(rst.flags.rst);
+    }
+
+    #[test]
+    fn stale_half_opens_are_reaped() {
+        let mut rig = rig(); // default syn_received_timeout: 3 s virtual
+        let _listener = listening_socket(&mut rig, 22, false);
+        let syn = TcpSegment::control(50_000, 22, 1_000, 0, TcpFlags::SYN);
+        inject(&mut rig, syn);
+        assert_eq!(rig.tcp.stats().half_open, 1);
+        run_for(&mut rig, Duration::from_millis(3_500));
+        assert_eq!(rig.tcp.stats().half_open, 0, "stale embryo reaped");
+        assert_eq!(rig.tcp.stats().half_open_reaped, 1);
+        assert_eq!(rig.tcp.socket_count(), 1, "only the listener remains");
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_when_enabled() {
+        let mut rig = rig_cfg(TcpConfig {
+            tso: false,
+            idle_timeout: Duration::from_millis(500),
+            ..TcpConfig::default()
+        });
+        let _listener = listening_socket(&mut rig, 22, false);
+        handshake_in(&mut rig, 50_000);
+        outgoing(&mut rig);
+        assert_eq!(rig.tcp.socket_count(), 2);
+        run_for(&mut rig, Duration::from_millis(900));
+        assert_eq!(rig.tcp.socket_count(), 1, "idle connection reaped");
+        assert_eq!(rig.tcp.stats().idle_reaped, 1);
+        // The reap told the peer with an RST.
+        assert!(rig.tcp.stats().rsts_out >= 1);
+    }
+
+    #[test]
+    fn fin_wait_timeout_reaps_a_silent_peer() {
+        let mut rig = rig_cfg(TcpConfig {
+            tso: false,
+            fin_wait_timeout: Duration::from_millis(500),
+            ..TcpConfig::default()
+        });
+        let (sock, _port, _seq, _ack) = connect_established(&mut rig);
+        send(
+            &rig.syscall_tx,
+            SockRequest::Close {
+                req: RequestId::from_raw(50),
+                sock,
+            },
+        );
+        rig.tcp.poll();
+        let fin = outgoing(&mut rig).pop().expect("fin expected");
+        assert!(fin.flags.fin);
+        // The peer never ACKs the FIN nor sends its own: the socket must
+        // not linger forever.
+        run_for(&mut rig, Duration::from_millis(900));
+        assert_eq!(rig.tcp.socket_count(), 0, "orphaned FIN-WAIT reaped");
+        assert_eq!(rig.tcp.stats().fin_wait_reaped, 1);
+    }
+
+    #[test]
+    fn time_wait_quarantine_recycles_ephemeral_ports() {
+        let mut rig = rig();
+        let range = endpoints::Shard::singleton().ephemeral_range(40_000);
+        let now = rig.clock.now();
+        // Simulate a churn storm having just recycled the whole range.
+        let until = now + Duration::from_secs(3600);
+        for port in range.0..=range.1 {
+            rig.tcp.time_wait_ports.insert(port, until);
+        }
+        let sock = open_socket(&mut rig);
+        send(
+            &rig.syscall_tx,
+            SockRequest::Bind {
+                req: RequestId::from_raw(2),
+                sock,
+                port: 0,
+            },
+        );
+        rig.tcp.poll();
+        assert!(
+            matches!(
+                drain(&rig.syscall_rx).pop(),
+                Some(SockReply::Error {
+                    error: SockError::AddressInUse,
+                    ..
+                })
+            ),
+            "exhaustion surfaces cleanly instead of livelocking"
+        );
+        // Quarantine expiry frees the ports again.
+        let expired = rig.clock.now(); // deadlines in the past
+        for port in range.0..=range.1 {
+            rig.tcp.time_wait_ports.insert(port, expired);
+        }
+        rig.clock.sleep(Duration::from_millis(10));
+        send(
+            &rig.syscall_tx,
+            SockRequest::Bind {
+                req: RequestId::from_raw(3),
+                sock,
+                port: 0,
+            },
+        );
+        rig.tcp.poll();
+        assert!(
+            matches!(drain(&rig.syscall_rx).pop(), Some(SockReply::Ok { .. })),
+            "expired quarantine recycles the port"
+        );
+    }
+
+    #[test]
+    fn active_close_quarantines_the_port() {
+        let mut rig = rig();
+        let (sock, local_port, seq, ack) = connect_established(&mut rig);
+        send(
+            &rig.syscall_tx,
+            SockRequest::Close {
+                req: RequestId::from_raw(50),
+                sock,
+            },
+        );
+        rig.tcp.poll();
+        let fin = outgoing(&mut rig).pop().expect("fin expected");
+        assert!(fin.flags.fin);
+        // Peer ACKs our FIN and sends its own.
+        let peer_ack = TcpSegment::control(
+            5001,
+            local_port,
+            ack,
+            fin.seq.wrapping_add(1),
+            TcpFlags::ACK,
+        );
+        inject(&mut rig, peer_ack);
+        let mut peer_fin = TcpSegment::control(
+            5001,
+            local_port,
+            ack,
+            fin.seq.wrapping_add(1),
+            TcpFlags::FIN_ACK,
+        );
+        peer_fin.window = 65_535;
+        inject(&mut rig, peer_fin);
+        let _ = seq;
+        assert!(
+            rig.tcp.time_wait_ports.contains_key(&local_port),
+            "active closer's port sits in TIME_WAIT quarantine"
+        );
+        assert_eq!(
+            rig.tcp.socket_count(),
+            0,
+            "no socket retained for TIME_WAIT"
+        );
     }
 }
